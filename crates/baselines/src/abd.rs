@@ -1,0 +1,527 @@
+//! The ABD single-writer multi-reader atomic register with unbounded
+//! sequence numbers (Attiya, Bar-Noy & Dolev 1995), in its textbook form:
+//!
+//! * **write(v)**: the writer increments its sequence number, stores
+//!   `(seq, v)` locally, broadcasts `WRITE(seq, v)` and waits for `n−t`
+//!   acknowledgements (counting itself). One round ⇒ 2Δ, `2(n−1)` messages.
+//! * **read()**: the reader broadcasts `READ_QUERY`, collects `n−t`
+//!   `(seq, v)` replies (counting its own local pair), picks the pair with
+//!   the largest `seq`, **writes it back** (`WRITE_BACK` + `n−t` acks,
+//!   counting itself), then returns `v`. Two rounds ⇒ 4Δ, `4(n−1)`
+//!   messages. The write-back is what prevents new/old inversions.
+//!
+//! Sequence numbers and read-request identifiers travel on the wire, so the
+//! control information per message is `Θ(log seq)` — unbounded. The
+//! [`WireMessage`] impl accounts for this precisely; it is the "unbounded
+//! seq. nb" column of Table 1.
+
+use serde::{Deserialize, Serialize};
+use twobit_proto::payload::bits_for;
+use twobit_proto::{
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
+    WireMessage,
+};
+
+/// Messages of the unbounded ABD algorithm. Six wire types.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbdMsg<V> {
+    /// Writer announces a new value.
+    Write {
+        /// The write's sequence number.
+        seq: u64,
+        /// The written value.
+        value: V,
+    },
+    /// Acknowledges `Write { seq, .. }`.
+    WriteAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// Reader requests current `(seq, value)` pairs.
+    ReadQuery {
+        /// The reader's request identifier.
+        rid: u64,
+    },
+    /// Answers a [`AbdMsg::ReadQuery`].
+    ReadReply {
+        /// Echoed request identifier.
+        rid: u64,
+        /// The responder's current sequence number.
+        seq: u64,
+        /// The responder's current value.
+        value: V,
+    },
+    /// Reader propagates the freshest pair before returning (write-back).
+    WriteBack {
+        /// The reader's request identifier.
+        rid: u64,
+        /// Sequence number being written back.
+        seq: u64,
+        /// Value being written back.
+        value: V,
+    },
+    /// Acknowledges a [`AbdMsg::WriteBack`].
+    WriteBackAck {
+        /// Echoed request identifier.
+        rid: u64,
+    },
+}
+
+/// Bits to name one of six message types.
+const TAG_BITS: u64 = 3;
+
+impl<V: Payload> WireMessage for AbdMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            AbdMsg::Write { .. } => "ABD_WRITE",
+            AbdMsg::WriteAck { .. } => "ABD_WRITE_ACK",
+            AbdMsg::ReadQuery { .. } => "ABD_READ_QUERY",
+            AbdMsg::ReadReply { .. } => "ABD_READ_REPLY",
+            AbdMsg::WriteBack { .. } => "ABD_WRITE_BACK",
+            AbdMsg::WriteBackAck { .. } => "ABD_WRITE_BACK_ACK",
+        }
+    }
+
+    /// Control bits = type tag + every sequence number / request id carried
+    /// (at its exact binary width — the unbounded growth of Table 1 row 3).
+    fn cost(&self) -> MessageCost {
+        match self {
+            AbdMsg::Write { seq, value } => {
+                MessageCost::new(TAG_BITS + bits_for(*seq), value.data_bits())
+            }
+            AbdMsg::WriteAck { seq } => MessageCost::new(TAG_BITS + bits_for(*seq), 0),
+            AbdMsg::ReadQuery { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+            AbdMsg::ReadReply { rid, seq, value } => MessageCost::new(
+                TAG_BITS + bits_for(*rid) + bits_for(*seq),
+                value.data_bits(),
+            ),
+            AbdMsg::WriteBack { rid, seq, value } => MessageCost::new(
+                TAG_BITS + bits_for(*rid) + bits_for(*seq),
+                value.data_bits(),
+            ),
+            AbdMsg::WriteBackAck { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Pending<V> {
+    Write {
+        op_id: OpId,
+        seq: u64,
+        acks: usize,
+    },
+    Query {
+        op_id: OpId,
+        rid: u64,
+        replies: usize,
+        best_seq: u64,
+        best_value: V,
+    },
+    WriteBack {
+        op_id: OpId,
+        rid: u64,
+        acks: usize,
+        value: V,
+    },
+}
+
+/// One process of the unbounded-ABD SWMR register.
+#[derive(Clone, Debug)]
+pub struct AbdProcess<V> {
+    id: ProcessId,
+    cfg: SystemConfig,
+    writer: ProcessId,
+    /// Current `(seq, value)` pair (the server state).
+    seq: u64,
+    value: V,
+    /// Writer-side sequence counter (equals `seq` at the writer).
+    write_counter: u64,
+    /// Reader-side request counter.
+    rid_counter: u64,
+    pending: Option<Pending<V>>,
+}
+
+impl<V: Payload> AbdProcess<V> {
+    /// Creates process `id`; `writer` is the unique writer; `v0` the initial
+    /// register value.
+    pub fn new(id: ProcessId, cfg: SystemConfig, writer: ProcessId, v0: V) -> Self {
+        assert!(id.index() < cfg.n(), "process id out of range");
+        assert!(writer.index() < cfg.n(), "writer id out of range");
+        AbdProcess {
+            id,
+            cfg,
+            writer,
+            seq: 0,
+            value: v0,
+            write_counter: 0,
+            rid_counter: 0,
+            pending: None,
+        }
+    }
+
+    /// The current local `(seq, value)` pair (for tests/inspection).
+    pub fn local_pair(&self) -> (u64, &V) {
+        (self.seq, &self.value)
+    }
+
+    /// Adopts `(seq, value)` if fresher than the local pair.
+    fn absorb(&mut self, seq: u64, value: V) {
+        if seq > self.seq {
+            self.seq = seq;
+            self.value = value;
+        }
+    }
+
+    fn broadcast(&self, msg: &AbdMsg<V>, fx: &mut Effects<AbdMsg<V>, V>) {
+        for j in self.cfg.peers(self.id).collect::<Vec<_>>() {
+            fx.send(j, msg.clone());
+        }
+    }
+
+    fn check_quorum(&mut self, fx: &mut Effects<AbdMsg<V>, V>) {
+        let quorum = self.cfg.quorum();
+        match self.pending.take() {
+            Some(Pending::Write { op_id, seq, acks }) => {
+                if acks >= quorum {
+                    fx.complete_write(op_id);
+                } else {
+                    self.pending = Some(Pending::Write { op_id, seq, acks });
+                }
+            }
+            Some(Pending::Query {
+                op_id,
+                rid,
+                replies,
+                best_seq,
+                best_value,
+            }) => {
+                if replies >= quorum {
+                    // Phase 2: adopt + write back the freshest pair.
+                    self.absorb(best_seq, best_value.clone());
+                    let rid2 = self.next_rid();
+                    self.broadcast(
+                        &AbdMsg::WriteBack {
+                            rid: rid2,
+                            seq: best_seq,
+                            value: best_value.clone(),
+                        },
+                        fx,
+                    );
+                    self.pending = Some(Pending::WriteBack {
+                        op_id,
+                        rid: rid2,
+                        acks: 1, // ourselves
+                        value: best_value,
+                    });
+                    self.check_quorum(fx); // n = 1 completes immediately
+                } else {
+                    self.pending = Some(Pending::Query {
+                        op_id,
+                        rid,
+                        replies,
+                        best_seq,
+                        best_value,
+                    });
+                }
+            }
+            Some(Pending::WriteBack {
+                op_id,
+                rid,
+                acks,
+                value,
+            }) => {
+                if acks >= quorum {
+                    fx.complete_read(op_id, value);
+                } else {
+                    self.pending = Some(Pending::WriteBack {
+                        op_id,
+                        rid,
+                        acks,
+                        value,
+                    });
+                }
+            }
+            None => {}
+        }
+    }
+
+    fn next_rid(&mut self) -> u64 {
+        self.rid_counter += 1;
+        self.rid_counter
+    }
+}
+
+impl<V: Payload> Automaton for AbdProcess<V> {
+    type Value = V;
+    type Msg = AbdMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// # Panics
+    ///
+    /// Panics if a write is invoked on a non-writer process, or if an
+    /// operation is invoked while another is pending.
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<AbdMsg<V>, V>) {
+        assert!(self.pending.is_none(), "{}: operation already pending", self.id);
+        match op {
+            Operation::Write(v) => {
+                assert!(
+                    self.id == self.writer,
+                    "{}: write invoked on a non-writer process",
+                    self.id
+                );
+                self.write_counter += 1;
+                let seq = self.write_counter;
+                self.absorb(seq, v.clone());
+                self.broadcast(&AbdMsg::Write { seq, value: v }, fx);
+                self.pending = Some(Pending::Write {
+                    op_id,
+                    seq,
+                    acks: 1, // ourselves
+                });
+                self.check_quorum(fx);
+            }
+            Operation::Read => {
+                let rid = self.next_rid();
+                self.broadcast(&AbdMsg::ReadQuery { rid }, fx);
+                self.pending = Some(Pending::Query {
+                    op_id,
+                    rid,
+                    replies: 1, // our own local pair
+                    best_seq: self.seq,
+                    best_value: self.value.clone(),
+                });
+                self.check_quorum(fx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: AbdMsg<V>, fx: &mut Effects<AbdMsg<V>, V>) {
+        match msg {
+            AbdMsg::Write { seq, value } => {
+                self.absorb(seq, value);
+                fx.send(from, AbdMsg::WriteAck { seq });
+            }
+            AbdMsg::WriteAck { seq } => {
+                if let Some(Pending::Write {
+                    seq: want, acks, ..
+                }) = self.pending.as_mut()
+                {
+                    if seq == *want {
+                        *acks += 1;
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+            AbdMsg::ReadQuery { rid } => {
+                fx.send(
+                    from,
+                    AbdMsg::ReadReply {
+                        rid,
+                        seq: self.seq,
+                        value: self.value.clone(),
+                    },
+                );
+            }
+            AbdMsg::ReadReply { rid, seq, value } => {
+                if let Some(Pending::Query {
+                    rid: want,
+                    replies,
+                    best_seq,
+                    best_value,
+                    ..
+                }) = self.pending.as_mut()
+                {
+                    if rid == *want {
+                        *replies += 1;
+                        if seq > *best_seq {
+                            *best_seq = seq;
+                            *best_value = value;
+                        }
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+            AbdMsg::WriteBack { rid, seq, value } => {
+                self.absorb(seq, value);
+                fx.send(from, AbdMsg::WriteBackAck { rid });
+            }
+            AbdMsg::WriteBackAck { rid } => {
+                if let Some(Pending::WriteBack {
+                    rid: want, acks, ..
+                }) = self.pending.as_mut()
+                {
+                    if rid == *want {
+                        *acks += 1;
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Local memory: the `(seq, value)` pair plus counters — note this is
+    /// *bounded per process* only because the history is not kept; the
+    /// sequence number itself grows without bound (Table 1 row 4 calls the
+    /// unbounded-ABD column "unbounded").
+    fn state_bits(&self) -> u64 {
+        bits_for(self.seq) + self.value.data_bits() + bits_for(self.write_counter)
+            + bits_for(self.rid_counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_proto::OpOutcome;
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::max_resilience(n)
+    }
+
+    fn procs(n: usize) -> Vec<AbdProcess<u64>> {
+        (0..n)
+            .map(|i| AbdProcess::new(ProcessId::new(i), cfg(n), ProcessId::new(0), 0u64))
+            .collect()
+    }
+
+    #[test]
+    fn write_completes_after_quorum_acks() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(5), &mut fx);
+        let sends: Vec<_> = fx.drain_sends().collect();
+        assert_eq!(sends.len(), 2);
+        assert!(fx.completions().is_empty());
+        // p1 acks.
+        let mut fx1 = Effects::new();
+        ps[1].on_message(ProcessId::new(0), sends[0].1.clone(), &mut fx1);
+        let ack = fx1.drain_sends().next().unwrap();
+        assert_eq!(ack.1.kind(), "ABD_WRITE_ACK");
+        let mut fx0 = Effects::new();
+        ps[0].on_message(ProcessId::new(1), ack.1, &mut fx0);
+        assert_eq!(fx0.completions(), &[(OpId::new(0), OpOutcome::Written)]);
+        assert_eq!(ps[1].local_pair(), (1, &5));
+    }
+
+    #[test]
+    fn stale_write_does_not_regress() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[1].on_message(
+            ProcessId::new(0),
+            AbdMsg::Write { seq: 5, value: 50 },
+            &mut fx,
+        );
+        ps[1].on_message(
+            ProcessId::new(0),
+            AbdMsg::Write { seq: 3, value: 30 },
+            &mut fx,
+        );
+        assert_eq!(ps[1].local_pair(), (5, &50));
+    }
+
+    #[test]
+    fn read_queries_then_writes_back() {
+        let mut ps = procs(3);
+        // Seed p2 with a fresh value the reader doesn't have.
+        let mut fx = Effects::new();
+        ps[2].on_message(
+            ProcessId::new(0),
+            AbdMsg::Write { seq: 1, value: 7 },
+            &mut fx,
+        );
+        // p1 reads.
+        let mut fx1 = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx1);
+        let queries: Vec<_> = fx1.drain_sends().collect();
+        assert_eq!(queries.len(), 2);
+        // p2 replies with (1, 7); p0 replies with (0, 0) — deliver p2's.
+        let mut fx2 = Effects::new();
+        ps[2].on_message(ProcessId::new(1), queries[1].1.clone(), &mut fx2);
+        let reply = fx2.drain_sends().next().unwrap().1;
+        let mut fx1b = Effects::new();
+        ps[1].on_message(ProcessId::new(2), reply, &mut fx1b);
+        // Quorum of 2 replies (self + p2) → write-back broadcast starts.
+        let wbs: Vec<_> = fx1b.drain_sends().collect();
+        assert_eq!(wbs.len(), 2);
+        assert!(matches!(wbs[0].1, AbdMsg::WriteBack { seq: 1, value: 7, .. }));
+        assert!(fx1b.completions().is_empty());
+        // One write-back ack (self already counted) completes the read.
+        let mut fx0 = Effects::new();
+        ps[0].on_message(ProcessId::new(1), wbs[0].1.clone(), &mut fx0);
+        let ack = fx0.drain_sends().next().unwrap().1;
+        let mut fx1c = Effects::new();
+        ps[1].on_message(ProcessId::new(0), ack, &mut fx1c);
+        assert_eq!(
+            fx1c.completions(),
+            &[(OpId::new(0), OpOutcome::ReadValue(7))]
+        );
+        // The write-back updated p0 as well.
+        assert_eq!(ps[0].local_pair(), (1, &7));
+    }
+
+    #[test]
+    fn stale_replies_are_ignored() {
+        let mut ps = procs(5);
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        // A reply with a mismatched rid does nothing.
+        let mut fx1 = Effects::new();
+        ps[1].on_message(
+            ProcessId::new(2),
+            AbdMsg::ReadReply {
+                rid: 99,
+                seq: 9,
+                value: 9,
+            },
+            &mut fx1,
+        );
+        assert!(fx1.is_empty());
+    }
+
+    #[test]
+    fn control_bits_grow_with_seq() {
+        let small = AbdMsg::Write {
+            seq: 1,
+            value: 0u64,
+        };
+        let big = AbdMsg::Write {
+            seq: 1 << 40,
+            value: 0u64,
+        };
+        assert_eq!(small.cost().control_bits, 3 + 1);
+        assert_eq!(big.cost().control_bits, 3 + 41);
+        assert!(big.cost().control_bits > small.cost().control_bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-writer")]
+    fn non_writer_cannot_write() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[2].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+    }
+
+    #[test]
+    fn singleton_completes_locally() {
+        let c = SystemConfig::new(1, 0).unwrap();
+        let mut p = AbdProcess::new(ProcessId::new(0), c, ProcessId::new(0), 0u64);
+        let mut fx = Effects::new();
+        p.on_invoke(OpId::new(0), Operation::Write(3), &mut fx);
+        assert_eq!(fx.completions().len(), 1);
+        let mut fx = Effects::new();
+        p.on_invoke(OpId::new(1), Operation::Read, &mut fx);
+        assert_eq!(
+            fx.completions(),
+            &[(OpId::new(1), OpOutcome::ReadValue(3))]
+        );
+    }
+}

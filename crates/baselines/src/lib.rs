@@ -1,0 +1,37 @@
+//! Baseline register algorithms the paper compares against (Table 1).
+//!
+//! * [`abd`] — the classic **ABD** SWMR algorithm (Attiya, Bar-Noy & Dolev,
+//!   JACM 1995) with *unbounded* sequence numbers: writes are one
+//!   broadcast/ack round (2Δ), reads are a query round plus a write-back
+//!   round (4Δ). Message control information grows with the sequence number.
+//! * [`mwmr`] — the multi-writer generalization (timestamps =
+//!   ⟨counter, process-id⟩, both write and read are two rounds). Not in
+//!   Table 1; included as the standard extension and to exercise the
+//!   general Wing–Gong checker.
+//! * [`naive`] — a deliberately non-atomic strawman (local reads) used as
+//!   a negative control for the checker and simulator.
+//! * [`phased`] + [`profiles`] — **cost-faithful emulations** of the two
+//!   bounded-control-information baselines of Table 1: the bounded version
+//!   of ABD (O(n⁵)-bit messages, O(n²) messages and 12Δ per operation) and
+//!   H. Attiya's algorithm (J. Algorithms 2000; O(n³)-bit messages, O(n)
+//!   messages, 14Δ writes / 18Δ reads). The real bounded-timestamp
+//!   constructions are multi-paper artifacts; Table 1 cites only their
+//!   *costs*, which these emulations reproduce exactly on the wire while
+//!   inheriting ABD's linearizability for actual data flow. See DESIGN.md §5
+//!   for the substitution rationale; every emulated figure is flagged in
+//!   EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abd;
+pub mod mwmr;
+pub mod naive;
+pub mod phased;
+pub mod profiles;
+
+pub use abd::{AbdMsg, AbdProcess};
+pub use mwmr::{MwmrMsg, MwmrProcess, Timestamp};
+pub use naive::{NaiveMsg, NaiveProcess};
+pub use phased::{CostProfile, PhasedMsg, PhasedProcess};
+pub use profiles::{abd_bounded_profile, attiya_profile};

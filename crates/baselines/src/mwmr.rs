@@ -1,0 +1,423 @@
+//! Multi-writer multi-reader ABD (the standard generalization, cf. Lynch &
+//! Shvartsman 1997): timestamps are pairs ⟨counter, process-id⟩ ordered
+//! lexicographically; **both** operations are two quorum rounds:
+//!
+//! * **write(v)**: query a quorum for the highest timestamp, pick
+//!   ⟨max+1, own id⟩, broadcast the update, wait for a quorum of acks (4Δ);
+//! * **read()**: query a quorum, pick the highest ⟨ts, v⟩, write it back,
+//!   wait for a quorum of acks, return `v` (4Δ).
+//!
+//! Not part of Table 1 — the paper is SWMR — but included as the natural
+//! extension and as a workload for the general Wing–Gong checker (the
+//! specialized SWMR checker does not apply to multi-writer histories).
+
+use serde::{Deserialize, Serialize};
+use twobit_proto::payload::bits_for;
+use twobit_proto::{
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
+    WireMessage,
+};
+
+/// A multi-writer timestamp: ⟨counter, process-id⟩, compared
+/// lexicographically (derive order does exactly that).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp {
+    /// The logical counter.
+    pub num: u64,
+    /// Tie-breaking writer id.
+    pub pid: u32,
+}
+
+impl Timestamp {
+    /// The successor timestamp owned by `pid`.
+    pub fn next_for(self, pid: ProcessId) -> Timestamp {
+        Timestamp {
+            num: self.num + 1,
+            pid: pid.index() as u32,
+        }
+    }
+
+    fn bits(&self) -> u64 {
+        bits_for(self.num) + bits_for(u64::from(self.pid))
+    }
+}
+
+/// Messages of the MWMR register. Four wire types.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MwmrMsg<V> {
+    /// Phase-1 query (used by both reads and writes).
+    Query {
+        /// Request identifier.
+        rid: u64,
+    },
+    /// Answer to a query.
+    QueryReply {
+        /// Echoed request identifier.
+        rid: u64,
+        /// Responder's timestamp.
+        ts: Timestamp,
+        /// Responder's value.
+        value: V,
+    },
+    /// Phase-2 update (a write's new pair, or a read's write-back).
+    Update {
+        /// Request identifier.
+        rid: u64,
+        /// Timestamp of the pair.
+        ts: Timestamp,
+        /// The value.
+        value: V,
+    },
+    /// Acknowledges an update.
+    UpdateAck {
+        /// Echoed request identifier.
+        rid: u64,
+    },
+}
+
+const TAG_BITS: u64 = 2;
+
+impl<V: Payload> WireMessage for MwmrMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            MwmrMsg::Query { .. } => "MWMR_QUERY",
+            MwmrMsg::QueryReply { .. } => "MWMR_QUERY_REPLY",
+            MwmrMsg::Update { .. } => "MWMR_UPDATE",
+            MwmrMsg::UpdateAck { .. } => "MWMR_UPDATE_ACK",
+        }
+    }
+
+    fn cost(&self) -> MessageCost {
+        match self {
+            MwmrMsg::Query { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+            MwmrMsg::QueryReply { rid, ts, value } => {
+                MessageCost::new(TAG_BITS + bits_for(*rid) + ts.bits(), value.data_bits())
+            }
+            MwmrMsg::Update { rid, ts, value } => {
+                MessageCost::new(TAG_BITS + bits_for(*rid) + ts.bits(), value.data_bits())
+            }
+            MwmrMsg::UpdateAck { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Pending<V> {
+    Query {
+        op_id: OpId,
+        rid: u64,
+        replies: usize,
+        best: (Timestamp, V),
+        /// `Some(v)` for a write (the value to install), `None` for a read.
+        writing: Option<V>,
+    },
+    Update {
+        op_id: OpId,
+        rid: u64,
+        acks: usize,
+        /// Value to return if this is a read's write-back.
+        read_value: Option<V>,
+    },
+}
+
+/// One process of the MWMR ABD register. Every process may read and write.
+#[derive(Clone, Debug)]
+pub struct MwmrProcess<V> {
+    id: ProcessId,
+    cfg: SystemConfig,
+    ts: Timestamp,
+    value: V,
+    rid_counter: u64,
+    pending: Option<Pending<V>>,
+}
+
+impl<V: Payload> MwmrProcess<V> {
+    /// Creates process `id` with initial register value `v0`.
+    pub fn new(id: ProcessId, cfg: SystemConfig, v0: V) -> Self {
+        assert!(id.index() < cfg.n(), "process id out of range");
+        MwmrProcess {
+            id,
+            cfg,
+            ts: Timestamp::default(),
+            value: v0,
+            rid_counter: 0,
+            pending: None,
+        }
+    }
+
+    /// Current `(timestamp, value)` pair.
+    pub fn local_pair(&self) -> (Timestamp, &V) {
+        (self.ts, &self.value)
+    }
+
+    fn absorb(&mut self, ts: Timestamp, value: V) {
+        if ts > self.ts {
+            self.ts = ts;
+            self.value = value;
+        }
+    }
+
+    fn broadcast(&self, msg: &MwmrMsg<V>, fx: &mut Effects<MwmrMsg<V>, V>) {
+        for j in self.cfg.peers(self.id).collect::<Vec<_>>() {
+            fx.send(j, msg.clone());
+        }
+    }
+
+    fn next_rid(&mut self) -> u64 {
+        self.rid_counter += 1;
+        self.rid_counter
+    }
+
+    fn check_quorum(&mut self, fx: &mut Effects<MwmrMsg<V>, V>) {
+        let quorum = self.cfg.quorum();
+        match self.pending.take() {
+            Some(Pending::Query {
+                op_id,
+                rid,
+                replies,
+                best,
+                writing,
+            }) => {
+                if replies < quorum {
+                    self.pending = Some(Pending::Query {
+                        op_id,
+                        rid,
+                        replies,
+                        best,
+                        writing,
+                    });
+                    return;
+                }
+                let (ts, value, read_value) = match writing {
+                    Some(v) => (best.0.next_for(self.id), v, None),
+                    None => (best.0, best.1.clone(), Some(best.1)),
+                };
+                self.absorb(ts, value.clone());
+                let rid2 = self.next_rid();
+                self.broadcast(
+                    &MwmrMsg::Update {
+                        rid: rid2,
+                        ts,
+                        value,
+                    },
+                    fx,
+                );
+                self.pending = Some(Pending::Update {
+                    op_id,
+                    rid: rid2,
+                    acks: 1, // ourselves
+                    read_value,
+                });
+                self.check_quorum(fx);
+            }
+            Some(Pending::Update {
+                op_id,
+                rid,
+                acks,
+                read_value,
+            }) => {
+                if acks >= quorum {
+                    match read_value {
+                        Some(v) => fx.complete_read(op_id, v),
+                        None => fx.complete_write(op_id),
+                    }
+                } else {
+                    self.pending = Some(Pending::Update {
+                        op_id,
+                        rid,
+                        acks,
+                        read_value,
+                    });
+                }
+            }
+            None => {}
+        }
+    }
+}
+
+impl<V: Payload> Automaton for MwmrProcess<V> {
+    type Value = V;
+    type Msg = MwmrMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// # Panics
+    ///
+    /// Panics if an operation is invoked while another is pending.
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<MwmrMsg<V>, V>) {
+        assert!(self.pending.is_none(), "{}: operation already pending", self.id);
+        let rid = self.next_rid();
+        let writing = match op {
+            Operation::Write(v) => Some(v),
+            Operation::Read => None,
+        };
+        self.broadcast(&MwmrMsg::Query { rid }, fx);
+        self.pending = Some(Pending::Query {
+            op_id,
+            rid,
+            replies: 1, // our own pair
+            best: (self.ts, self.value.clone()),
+            writing,
+        });
+        self.check_quorum(fx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: MwmrMsg<V>, fx: &mut Effects<MwmrMsg<V>, V>) {
+        match msg {
+            MwmrMsg::Query { rid } => {
+                fx.send(
+                    from,
+                    MwmrMsg::QueryReply {
+                        rid,
+                        ts: self.ts,
+                        value: self.value.clone(),
+                    },
+                );
+            }
+            MwmrMsg::QueryReply { rid, ts, value } => {
+                if let Some(Pending::Query {
+                    rid: want,
+                    replies,
+                    best,
+                    ..
+                }) = self.pending.as_mut()
+                {
+                    if rid == *want {
+                        *replies += 1;
+                        if ts > best.0 {
+                            *best = (ts, value);
+                        }
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+            MwmrMsg::Update { rid, ts, value } => {
+                self.absorb(ts, value);
+                fx.send(from, MwmrMsg::UpdateAck { rid });
+            }
+            MwmrMsg::UpdateAck { rid } => {
+                if let Some(Pending::Update {
+                    rid: want, acks, ..
+                }) = self.pending.as_mut()
+                {
+                    if rid == *want {
+                        *acks += 1;
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+        }
+    }
+
+    fn state_bits(&self) -> u64 {
+        self.ts.bits() + self.value.data_bits() + bits_for(self.rid_counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::max_resilience(n)
+    }
+
+    fn procs(n: usize) -> Vec<MwmrProcess<u64>> {
+        (0..n)
+            .map(|i| MwmrProcess::new(ProcessId::new(i), cfg(n), 0u64))
+            .collect()
+    }
+
+    /// Synchronously runs all traffic to quiescence, FIFO.
+    fn settle(ps: &mut [MwmrProcess<u64>], seed: Vec<(ProcessId, ProcessId, MwmrMsg<u64>)>) {
+        let mut q = std::collections::VecDeque::from(seed);
+        while let Some((from, to, m)) = q.pop_front() {
+            let mut fx = Effects::new();
+            ps[to.index()].on_message(from, m, &mut fx);
+            for (next, m2) in fx.drain_sends() {
+                q.push_back((to, next, m2));
+            }
+        }
+    }
+
+    #[test]
+    fn timestamp_order_is_lexicographic() {
+        let a = Timestamp { num: 1, pid: 5 };
+        let b = Timestamp { num: 2, pid: 0 };
+        let c = Timestamp { num: 2, pid: 3 };
+        assert!(a < b && b < c);
+        assert_eq!(a.next_for(ProcessId::new(7)), Timestamp { num: 2, pid: 7 });
+    }
+
+    #[test]
+    fn any_process_may_write() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[2].on_invoke(OpId::new(0), Operation::Write(9), &mut fx);
+        let seed: Vec<_> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(2), to, m))
+            .collect();
+        assert_eq!(seed.len(), 2); // query broadcast
+        settle(&mut ps, seed);
+        // After settling, everyone has ts ⟨1, 2⟩ and value 9.
+        for p in &ps {
+            assert_eq!(p.local_pair(), (Timestamp { num: 1, pid: 2 }, &9));
+        }
+    }
+
+    #[test]
+    fn write_ts_exceeds_all_quorum_ts() {
+        let mut ps = procs(3);
+        // Seed p1 with ts ⟨5, 1⟩.
+        ps[1].ts = Timestamp { num: 5, pid: 1 };
+        ps[1].value = 55;
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(7), &mut fx);
+        let seed: Vec<_> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(0), to, m))
+            .collect();
+        settle(&mut ps, seed);
+        assert_eq!(ps[0].local_pair(), (Timestamp { num: 6, pid: 0 }, &7));
+    }
+
+    #[test]
+    fn read_adopts_and_writes_back_max() {
+        let mut ps = procs(3);
+        // Seed the fresh pair on a quorum (p0, p2) — a single seeded
+        // process could legitimately be missed by the read quorum.
+        for i in [0usize, 2] {
+            ps[i].ts = Timestamp { num: 3, pid: 0 };
+            ps[i].value = 33;
+        }
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        let seed: Vec<_> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(1), to, m))
+            .collect();
+        settle(&mut ps, seed);
+        // The write-back installed the pair at the reader.
+        assert_eq!(ps[1].local_pair(), (Timestamp { num: 3, pid: 0 }, &33));
+    }
+
+    #[test]
+    fn message_costs_account_ts() {
+        let m = MwmrMsg::Update {
+            rid: 1,
+            ts: Timestamp { num: 7, pid: 2 },
+            value: 1u64,
+        };
+        // tag(2) + rid(1) + ts(num:3 + pid:2) = 8
+        assert_eq!(m.cost().control_bits, 2 + 1 + 3 + 2);
+        assert_eq!(m.cost().data_bits, 64);
+    }
+}

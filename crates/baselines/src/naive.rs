@@ -1,0 +1,175 @@
+//! A deliberately **non-atomic** strawman register, used as a negative
+//! control.
+//!
+//! Writes propagate like ABD writes (broadcast + majority ack), but reads
+//! return the local replica *immediately*, with no quorum interaction.
+//! This is the natural "obvious" design — and it is wrong: a reader close
+//! to the writer can return a new value while a reader whose link is slow
+//! later returns the old one (a new/old inversion), and a read can miss a
+//! completed write entirely (a stale read). The test suite uses this
+//! automaton to demonstrate that the linearizability checker and the
+//! simulator actually catch real protocol bugs — the positive results on
+//! the real algorithms are meaningful because this negative control fails.
+
+use serde::{Deserialize, Serialize};
+use twobit_proto::payload::bits_for;
+use twobit_proto::{
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
+    WireMessage,
+};
+
+/// Messages of the naive register.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NaiveMsg<V> {
+    /// Writer's value announcement.
+    Store {
+        /// Sequence number.
+        seq: u64,
+        /// The value.
+        value: V,
+    },
+    /// Acknowledgement of a [`NaiveMsg::Store`].
+    StoreAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+}
+
+impl<V: Payload> WireMessage for NaiveMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            NaiveMsg::Store { .. } => "NAIVE_STORE",
+            NaiveMsg::StoreAck { .. } => "NAIVE_STORE_ACK",
+        }
+    }
+
+    fn cost(&self) -> MessageCost {
+        match self {
+            NaiveMsg::Store { seq, value } => {
+                MessageCost::new(1 + bits_for(*seq), value.data_bits())
+            }
+            NaiveMsg::StoreAck { seq } => MessageCost::new(1 + bits_for(*seq), 0),
+        }
+    }
+}
+
+/// One process of the naive (broken) register.
+#[derive(Clone, Debug)]
+pub struct NaiveProcess<V> {
+    id: ProcessId,
+    cfg: SystemConfig,
+    writer: ProcessId,
+    seq: u64,
+    value: V,
+    write_counter: u64,
+    pending: Option<(OpId, u64, usize)>,
+}
+
+impl<V: Payload> NaiveProcess<V> {
+    /// Creates process `id`; `writer` is the unique writer.
+    pub fn new(id: ProcessId, cfg: SystemConfig, writer: ProcessId, v0: V) -> Self {
+        NaiveProcess {
+            id,
+            cfg,
+            writer,
+            seq: 0,
+            value: v0,
+            write_counter: 0,
+            pending: None,
+        }
+    }
+}
+
+impl<V: Payload> Automaton for NaiveProcess<V> {
+    type Value = V;
+    type Msg = NaiveMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// # Panics
+    ///
+    /// Panics on writes from a non-writer.
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<NaiveMsg<V>, V>) {
+        match op {
+            Operation::Write(v) => {
+                assert!(self.id == self.writer, "naive register is single-writer");
+                self.write_counter += 1;
+                let seq = self.write_counter;
+                self.seq = seq;
+                self.value = v.clone();
+                for j in self.cfg.peers(self.id).collect::<Vec<_>>() {
+                    fx.send(j, NaiveMsg::Store { seq, value: v.clone() });
+                }
+                if self.cfg.quorum() <= 1 {
+                    fx.complete_write(op_id);
+                } else {
+                    self.pending = Some((op_id, seq, 1));
+                }
+            }
+            // THE BUG: a purely local read — no quorum, no write-back.
+            Operation::Read => fx.complete_read(op_id, self.value.clone()),
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: NaiveMsg<V>, fx: &mut Effects<NaiveMsg<V>, V>) {
+        match msg {
+            NaiveMsg::Store { seq, value } => {
+                if seq > self.seq {
+                    self.seq = seq;
+                    self.value = value;
+                }
+                fx.send(from, NaiveMsg::StoreAck { seq });
+            }
+            NaiveMsg::StoreAck { seq } => {
+                if let Some((op_id, want, acks)) = self.pending.as_mut() {
+                    if seq == *want {
+                        *acks += 1;
+                        if *acks >= self.cfg.quorum() {
+                            let id = *op_id;
+                            self.pending = None;
+                            fx.complete_write(id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn state_bits(&self) -> u64 {
+        bits_for(self.seq) + self.value.data_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_reads_are_instant() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut p = NaiveProcess::new(ProcessId::new(1), cfg, ProcessId::new(0), 0u64);
+        let mut fx = Effects::new();
+        p.on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        assert_eq!(fx.completions().len(), 1);
+        assert!(fx.sends().is_empty());
+    }
+
+    #[test]
+    fn writes_wait_for_quorum() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut p = NaiveProcess::new(ProcessId::new(0), cfg, ProcessId::new(0), 0u64);
+        let mut fx = Effects::new();
+        p.on_invoke(OpId::new(0), Operation::Write(5), &mut fx);
+        assert!(fx.completions().is_empty());
+        assert_eq!(fx.sends().len(), 2);
+        let mut fx = Effects::new();
+        p.on_message(ProcessId::new(1), NaiveMsg::StoreAck { seq: 1 }, &mut fx);
+        assert_eq!(fx.completions().len(), 1);
+    }
+}

@@ -1,0 +1,597 @@
+//! Phase-structured quorum protocol engine: the machinery behind the
+//! **cost-faithful emulations** of the bounded baselines (see DESIGN.md §5).
+//!
+//! An operation is a fixed sequence of *phases*; each phase is one
+//! broadcast/response round (2Δ). Four phase kinds exist:
+//!
+//! * [`PhaseKind::Value`] — broadcast the current `(seq, value)` pair and
+//!   collect `n−t` acks (the data-bearing round; ABD's write round);
+//! * [`PhaseKind::Query`] — collect `(seq, value)` pairs from `n−t`
+//!   processes and remember the freshest (ABD's read-query round);
+//! * [`PhaseKind::Sync`] — an empty synchronization round (`n−t` acks);
+//!   stands in for the handshake/label-maintenance rounds of the bounded
+//!   timestamp constructions, which is where their extra latency comes from;
+//! * [`PhaseKind::Echo`] — a relay round: every receiver re-broadcasts to
+//!   everyone, and the originator waits for `n−t` distinct relayers. Costs
+//!   `(n−1) + (n−1)²` messages — this is what makes an operation Θ(n²)
+//!   messages, matching the bounded-ABD row of Table 1.
+//!
+//! Data-flow correctness is plain ABD (a `Value` install round, and
+//! `Query`+`Value` for reads), so the emulated registers are really
+//! linearizable — the test suite checks them with `twobit-lincheck` like any
+//! other algorithm. The *costs* (message count, phase count ⇒ Δ-latency,
+//! per-message control-bit padding, modeled local memory) are set by a
+//! [`CostProfile`] to match the published figures being emulated.
+
+use serde::{Deserialize, Serialize};
+use twobit_proto::payload::bits_for;
+use twobit_proto::{
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
+    WireMessage,
+};
+
+/// One round of a phased operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Install the operation's `(seq, value)` pair on a quorum.
+    Value,
+    /// Collect the freshest `(seq, value)` pair from a quorum.
+    Query,
+    /// Empty synchronization round.
+    Sync,
+    /// Relay round (Θ(n²) messages).
+    Echo,
+}
+
+/// The cost shape of an emulated algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostProfile {
+    /// Human-readable algorithm name (used in reports).
+    pub name: &'static str,
+    /// Phase sequence of a write operation.
+    pub write_phases: Vec<PhaseKind>,
+    /// Phase sequence of a read operation.
+    pub read_phases: Vec<PhaseKind>,
+    /// Control bits carried by *every* message (the modeled bounded
+    /// timestamp / label structure). The real request ids and sequence
+    /// numbers of the emulation are folded into this budget (they are far
+    /// smaller).
+    pub control_bits_per_msg: u64,
+    /// Modeled local memory in bits (Table 1 row 4).
+    pub modeled_state_bits: u64,
+}
+
+impl CostProfile {
+    /// Failure-free latency of a write, in units of Δ.
+    pub fn write_delta(&self) -> u64 {
+        2 * self.write_phases.len() as u64
+    }
+
+    /// Failure-free latency of a read, in units of Δ.
+    pub fn read_delta(&self) -> u64 {
+        2 * self.read_phases.len() as u64
+    }
+}
+
+/// Messages of the phased engine. The `rid` identifies the (operation,
+/// phase) round; `origin` on relays names the round's originator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhasedMsg<V> {
+    /// Install round broadcast.
+    Value {
+        /// Round id.
+        rid: u64,
+        /// Pair being installed.
+        seq: u64,
+        /// Value being installed.
+        value: V,
+    },
+    /// Ack of [`PhasedMsg::Value`].
+    ValueAck {
+        /// Echoed round id.
+        rid: u64,
+    },
+    /// Query round broadcast.
+    Query {
+        /// Round id.
+        rid: u64,
+    },
+    /// Reply to [`PhasedMsg::Query`].
+    QueryReply {
+        /// Echoed round id.
+        rid: u64,
+        /// Responder's sequence number.
+        seq: u64,
+        /// Responder's value.
+        value: V,
+    },
+    /// Sync round broadcast.
+    Sync {
+        /// Round id.
+        rid: u64,
+    },
+    /// Ack of [`PhasedMsg::Sync`].
+    SyncAck {
+        /// Echoed round id.
+        rid: u64,
+    },
+    /// Echo round broadcast.
+    EchoReq {
+        /// Round id.
+        rid: u64,
+    },
+    /// Relay of an [`PhasedMsg::EchoReq`] — broadcast by every receiver.
+    EchoRelay {
+        /// Echoed round id.
+        rid: u64,
+        /// The round's originator.
+        origin: ProcessId,
+    },
+}
+
+/// A phased process does not know its padding at the type level, so the
+/// profile's `control_bits_per_msg` is stamped into each message cost by
+/// the automaton when sending (wrapping messages in [`Padded`]); the raw
+/// `WireMessage` impl reports the *unpadded* cost and is only used
+/// internally.
+impl<V: Payload> WireMessage for PhasedMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            PhasedMsg::Value { .. } => "EMU_VALUE",
+            PhasedMsg::ValueAck { .. } => "EMU_VALUE_ACK",
+            PhasedMsg::Query { .. } => "EMU_QUERY",
+            PhasedMsg::QueryReply { .. } => "EMU_QUERY_REPLY",
+            PhasedMsg::Sync { .. } => "EMU_SYNC",
+            PhasedMsg::SyncAck { .. } => "EMU_SYNC_ACK",
+            PhasedMsg::EchoReq { .. } => "EMU_ECHO_REQ",
+            PhasedMsg::EchoRelay { .. } => "EMU_ECHO_RELAY",
+        }
+    }
+
+    fn cost(&self) -> MessageCost {
+        // Unpadded baseline cost; `Padded` (below) adds the profile budget.
+        match self {
+            PhasedMsg::Value { seq, value, .. } | PhasedMsg::QueryReply { seq, value, .. } => {
+                MessageCost::new(3 + bits_for(*seq), value.data_bits())
+            }
+            _ => MessageCost::new(3, 0),
+        }
+    }
+}
+
+/// A [`PhasedMsg`] stamped with its profile's control padding — this is the
+/// actual wire type of the emulated algorithms.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Padded<V> {
+    /// The underlying engine message.
+    pub inner: PhasedMsg<V>,
+    /// Control bits the emulated algorithm would carry on this message.
+    pub control_bits: u64,
+}
+
+impl<V: Payload> WireMessage for Padded<V> {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+
+    fn cost(&self) -> MessageCost {
+        let base = self.inner.cost();
+        // The emulated control structure subsumes the engine's own ids.
+        MessageCost::new(self.control_bits.max(base.control_bits), base.data_bits)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct PendingPhased<V> {
+    op_id: OpId,
+    phases: Vec<PhaseKind>,
+    phase_idx: usize,
+    rid: u64,
+    acks: usize,
+    relayers: Vec<bool>,
+    /// Freshest pair seen by the current Query phase.
+    best: (u64, V),
+    /// `Some(v)`: a write of `v`; `None`: a read.
+    writing: Option<V>,
+    /// Pair installed by the operation's Value phase (for reads: the
+    /// write-back pair, whose value is returned).
+    install: (u64, V),
+}
+
+/// One process of a phase-structured (emulated) SWMR register.
+#[derive(Clone, Debug)]
+pub struct PhasedProcess<V> {
+    id: ProcessId,
+    cfg: SystemConfig,
+    writer: ProcessId,
+    profile: CostProfile,
+    seq: u64,
+    value: V,
+    write_counter: u64,
+    rid_counter: u64,
+    pending: Option<PendingPhased<V>>,
+}
+
+impl<V: Payload> PhasedProcess<V> {
+    /// Creates process `id` with the given cost profile.
+    pub fn new(
+        id: ProcessId,
+        cfg: SystemConfig,
+        writer: ProcessId,
+        v0: V,
+        profile: CostProfile,
+    ) -> Self {
+        assert!(id.index() < cfg.n(), "process id out of range");
+        assert!(writer.index() < cfg.n(), "writer id out of range");
+        assert!(
+            !profile.write_phases.is_empty() && !profile.read_phases.is_empty(),
+            "profiles need at least one phase per operation"
+        );
+        PhasedProcess {
+            id,
+            cfg,
+            writer,
+            profile,
+            seq: 0,
+            value: v0,
+            write_counter: 0,
+            rid_counter: 0,
+            pending: None,
+        }
+    }
+
+    /// The profile this process emulates.
+    pub fn profile(&self) -> &CostProfile {
+        &self.profile
+    }
+
+    /// Current local `(seq, value)` pair.
+    pub fn local_pair(&self) -> (u64, &V) {
+        (self.seq, &self.value)
+    }
+
+    fn stamp(&self, inner: PhasedMsg<V>) -> Padded<V> {
+        Padded {
+            control_bits: self.profile.control_bits_per_msg,
+            inner,
+        }
+    }
+
+    fn absorb(&mut self, seq: u64, value: V) {
+        if seq > self.seq {
+            self.seq = seq;
+            self.value = value;
+        }
+    }
+
+    fn broadcast(&self, inner: &PhasedMsg<V>, fx: &mut Effects<Padded<V>, V>) {
+        for j in self.cfg.peers(self.id).collect::<Vec<_>>() {
+            fx.send(j, self.stamp(inner.clone()));
+        }
+    }
+
+    fn next_rid(&mut self) -> u64 {
+        self.rid_counter += 1;
+        self.rid_counter
+    }
+
+    /// Starts phase `pending.phase_idx`, or completes the operation if all
+    /// phases are done.
+    fn start_phase(&mut self, fx: &mut Effects<Padded<V>, V>) {
+        let Some(mut p) = self.pending.take() else {
+            return;
+        };
+        if p.phase_idx >= p.phases.len() {
+            match p.writing {
+                Some(_) => fx.complete_write(p.op_id),
+                None => fx.complete_read(p.op_id, p.install.1.clone()),
+            }
+            return;
+        }
+        let kind = p.phases[p.phase_idx];
+        p.rid = self.next_rid();
+        p.acks = 1; // ourselves, for every phase kind
+        p.relayers = vec![false; self.cfg.n()];
+        match kind {
+            PhaseKind::Value => {
+                // For a write: install the new pair; for a read: write back
+                // the best pair found by the preceding Query.
+                let (seq, value) = match &p.writing {
+                    Some(v) => {
+                        self.write_counter += 1;
+                        (self.write_counter, v.clone())
+                    }
+                    None => p.best.clone(),
+                };
+                p.install = (seq, value.clone());
+                self.absorb(seq, value.clone());
+                self.broadcast(&PhasedMsg::Value {
+                    rid: p.rid,
+                    seq,
+                    value,
+                }, fx);
+            }
+            PhaseKind::Query => {
+                p.best = (self.seq, self.value.clone());
+                self.broadcast(&PhasedMsg::Query { rid: p.rid }, fx);
+            }
+            PhaseKind::Sync => {
+                self.broadcast(&PhasedMsg::Sync { rid: p.rid }, fx);
+            }
+            PhaseKind::Echo => {
+                self.broadcast(&PhasedMsg::EchoReq { rid: p.rid }, fx);
+            }
+        }
+        self.pending = Some(p);
+        self.check_quorum(fx);
+    }
+
+    fn check_quorum(&mut self, fx: &mut Effects<Padded<V>, V>) {
+        let quorum = self.cfg.quorum();
+        let Some(p) = self.pending.as_mut() else {
+            return;
+        };
+        if p.acks >= quorum {
+            let mut p = self.pending.take().expect("checked above");
+            p.phase_idx += 1;
+            self.pending = Some(p);
+            self.start_phase(fx);
+        }
+    }
+}
+
+impl<V: Payload> Automaton for PhasedProcess<V> {
+    type Value = V;
+    type Msg = Padded<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// # Panics
+    ///
+    /// Panics if a write is invoked on a non-writer process, or if an
+    /// operation is invoked while another is pending.
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<Padded<V>, V>) {
+        assert!(self.pending.is_none(), "{}: operation already pending", self.id);
+        let (phases, writing) = match op {
+            Operation::Write(v) => {
+                assert!(
+                    self.id == self.writer,
+                    "{}: write invoked on a non-writer process",
+                    self.id
+                );
+                (self.profile.write_phases.clone(), Some(v))
+            }
+            Operation::Read => (self.profile.read_phases.clone(), None),
+        };
+        self.pending = Some(PendingPhased {
+            op_id,
+            phases,
+            phase_idx: 0,
+            rid: 0,
+            acks: 0,
+            relayers: vec![false; self.cfg.n()],
+            best: (self.seq, self.value.clone()),
+            writing,
+            install: (self.seq, self.value.clone()),
+        });
+        self.start_phase(fx);
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: Padded<V>, fx: &mut Effects<Padded<V>, V>) {
+        match msg.inner {
+            PhasedMsg::Value { rid, seq, value } => {
+                self.absorb(seq, value);
+                fx.send(from, self.stamp(PhasedMsg::ValueAck { rid }));
+            }
+            PhasedMsg::Query { rid } => {
+                let reply = PhasedMsg::QueryReply {
+                    rid,
+                    seq: self.seq,
+                    value: self.value.clone(),
+                };
+                fx.send(from, self.stamp(reply));
+            }
+            PhasedMsg::Sync { rid } => {
+                fx.send(from, self.stamp(PhasedMsg::SyncAck { rid }));
+            }
+            PhasedMsg::EchoReq { rid } => {
+                // Relay to everyone (including back to the originator).
+                let relay = PhasedMsg::EchoRelay { rid, origin: from };
+                self.broadcast(&relay, fx);
+            }
+            PhasedMsg::ValueAck { rid } | PhasedMsg::SyncAck { rid } => {
+                if let Some(p) = self.pending.as_mut() {
+                    if p.rid == rid {
+                        p.acks += 1;
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+            PhasedMsg::QueryReply { rid, seq, value } => {
+                if let Some(p) = self.pending.as_mut() {
+                    if p.rid == rid {
+                        p.acks += 1;
+                        if seq > p.best.0 {
+                            p.best = (seq, value);
+                        }
+                        self.check_quorum(fx);
+                    }
+                }
+            }
+            PhasedMsg::EchoRelay { rid, origin } => {
+                if origin == self.id {
+                    if let Some(p) = self.pending.as_mut() {
+                        if p.rid == rid && !p.relayers[from.index()] {
+                            p.relayers[from.index()] = true;
+                            p.acks += 1;
+                            self.check_quorum(fx);
+                        }
+                    }
+                }
+                // Relays addressed to other originators are pure cost.
+            }
+        }
+    }
+
+    /// Local memory as **modeled** by the emulated algorithm's published
+    /// bound (Table 1 row 4) — not the emulation's own (much smaller)
+    /// footprint. Marked as modeled wherever reported.
+    fn state_bits(&self) -> u64 {
+        self.profile.modeled_state_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{abd_bounded_profile, attiya_profile};
+    use twobit_proto::OpOutcome;
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::max_resilience(n)
+    }
+
+    fn procs(n: usize, profile: CostProfile) -> Vec<PhasedProcess<u64>> {
+        (0..n)
+            .map(|i| {
+                PhasedProcess::new(
+                    ProcessId::new(i),
+                    cfg(n),
+                    ProcessId::new(0),
+                    0u64,
+                    profile.clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Synchronous message pump; returns (messages delivered, completions).
+    fn settle(
+        ps: &mut [PhasedProcess<u64>],
+        seed: Vec<(ProcessId, ProcessId, Padded<u64>)>,
+    ) -> (usize, Vec<(OpId, OpOutcome<u64>)>) {
+        let mut q = std::collections::VecDeque::from(seed);
+        let mut delivered = 0;
+        let mut completions = Vec::new();
+        while let Some((from, to, m)) = q.pop_front() {
+            delivered += 1;
+            let mut fx = Effects::new();
+            ps[to.index()].on_message(from, m, &mut fx);
+            for (next, m2) in fx.drain_sends() {
+                q.push_back((to, next, m2));
+            }
+            completions.extend(fx.drain_completions());
+        }
+        (delivered, completions)
+    }
+
+    #[test]
+    fn bounded_abd_write_completes_with_quadratic_messages() {
+        let n = 5;
+        let mut ps = procs(n, abd_bounded_profile(n));
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(9), &mut fx);
+        let seed: Vec<_> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(0), to, m))
+            .collect();
+        let (delivered, completions) = settle(&mut ps, seed);
+        assert_eq!(completions, vec![(OpId::new(0), OpOutcome::Written)]);
+        // 6 phases: Value + Echo + 4×Sync. Echo costs (n−1)+(n−1)² = 20,
+        // the others 2(n−1) = 8 each → 8 + 20 + 32 + seed(4 already counted
+        // in delivered) ... just assert the Θ(n²) signature: more than
+        // 6 × 2(n−1) (what 6 plain rounds would cost).
+        assert!(delivered > 6 * 2 * (n - 1), "delivered={delivered}");
+        // Everyone converged on the value.
+        for p in &ps {
+            assert_eq!(p.local_pair(), (1, &9));
+        }
+    }
+
+    #[test]
+    fn attiya_write_is_linear_in_n() {
+        let n = 5;
+        let mut ps = procs(n, attiya_profile(n));
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(9), &mut fx);
+        let seed: Vec<_> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(0), to, m))
+            .collect();
+        let (delivered, completions) = settle(&mut ps, seed);
+        assert_eq!(completions.len(), 1);
+        // 7 phases, each 2(n−1) messages, no echo: exactly 14(n−1).
+        assert_eq!(delivered, 14 * (n - 1));
+    }
+
+    #[test]
+    fn read_returns_freshest_value_across_quorum() {
+        let n = 3;
+        let mut ps = procs(n, attiya_profile(n));
+        // Seed the fresher pair on a full quorum's worth of processes
+        // (p0 and p2): any read quorum must then intersect it. (Seeding a
+        // single process would not guarantee visibility — quorums of size
+        // n−t=2 can miss one process.)
+        for i in [0usize, 2] {
+            ps[i].seq = 4;
+            ps[i].value = 44;
+        }
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        let seed: Vec<_> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(1), to, m))
+            .collect();
+        let (_, completions) = settle(&mut ps, seed);
+        assert_eq!(completions, vec![(OpId::new(0), OpOutcome::ReadValue(44))]);
+        // Write-back propagated the pair to the reader too.
+        assert_eq!(ps[1].local_pair(), (4, &44));
+    }
+
+    #[test]
+    fn padding_dominates_message_cost() {
+        let n = 5;
+        let profile = abd_bounded_profile(n);
+        let p = PhasedProcess::new(
+            ProcessId::new(0),
+            cfg(n),
+            ProcessId::new(0),
+            0u64,
+            profile.clone(),
+        );
+        let m = p.stamp(PhasedMsg::Sync { rid: 3 });
+        assert_eq!(m.cost().control_bits, profile.control_bits_per_msg);
+        assert_eq!(m.cost().data_bits, 0);
+        let m = p.stamp(PhasedMsg::Value {
+            rid: 3,
+            seq: 1,
+            value: 7u64,
+        });
+        assert_eq!(m.cost().control_bits, profile.control_bits_per_msg);
+        assert_eq!(m.cost().data_bits, 64);
+    }
+
+    #[test]
+    fn latencies_match_table_one() {
+        let n = 5;
+        assert_eq!(abd_bounded_profile(n).write_delta(), 12);
+        assert_eq!(abd_bounded_profile(n).read_delta(), 12);
+        assert_eq!(attiya_profile(n).write_delta(), 14);
+        assert_eq!(attiya_profile(n).read_delta(), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-writer")]
+    fn non_writer_cannot_write() {
+        let n = 3;
+        let mut ps = procs(n, attiya_profile(n));
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+    }
+}

@@ -1,0 +1,97 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the writer's read fast path (Fig. 1 comment) on vs off;
+//! * the PROCEED-signal read versus ABD's value-shipping read on a
+//!   read-dominated mix (paper footnote 3 / §5);
+//! * invariant checking on vs off (the cost of running the paper's proof
+//!   obligations continuously — infrastructure, but a knob users will care
+//!   about).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use twobit_core::{invariants, TwoBitOptions, TwoBitProcess};
+use twobit_harness::ablation;
+use twobit_proto::{Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, SimBuilder, DEFAULT_DELTA};
+
+fn bench_writer_fast_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_writer_fast_read");
+    g.sample_size(20);
+    let n = 5;
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    for fast in [true, false] {
+        let label = if fast { "fast-path" } else { "full-protocol" };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let opts = TwoBitOptions {
+                    writer_fast_read: fast,
+                    ..TwoBitOptions::default()
+                };
+                let mut sim = SimBuilder::new(cfg)
+                    .delay(DelayModel::Fixed(DEFAULT_DELTA))
+                    .check_every(0)
+                    .build(|id| TwoBitProcess::with_options(id, cfg, writer, 0u64, opts));
+                sim.client_plan(
+                    0,
+                    ClientPlan::ops(
+                        std::iter::once(Operation::Write(1u64))
+                            .chain((0..10).map(|_| Operation::Read)),
+                    ),
+                );
+                sim.run().expect("bench sim").stats.total_sent()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_read_dominated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_read_dominated_mix");
+    g.sample_size(10);
+    g.bench_function("two-bit-vs-abd-95-5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let [(tb, _), (abd, _)] = ablation::read_dominated(4, 100, seed);
+            assert!(tb < abd, "two-bit must win read-heavy mixes");
+            (tb, abd)
+        })
+    });
+    g.finish();
+}
+
+fn bench_invariant_checking_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_invariant_checking");
+    g.sample_size(10);
+    let n = 4;
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    for (label, every) in [("off", 0u64), ("every-8-events", 8), ("every-event", 1)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sim = SimBuilder::new(cfg)
+                    .delay(DelayModel::Fixed(DEFAULT_DELTA))
+                    .check_every(every)
+                    .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
+                if every > 0 {
+                    for inv in invariants::all::<u64>(writer) {
+                        sim.add_invariant(inv);
+                    }
+                }
+                sim.client_plan(0, ClientPlan::ops((1..=10u64).map(Operation::Write)));
+                sim.client_plan(1, ClientPlan::ops((0..5).map(|_| Operation::<u64>::Read)));
+                sim.run().expect("bench sim").events
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_writer_fast_read,
+    bench_read_dominated,
+    bench_invariant_checking_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Infrastructure benches: the substrates this reproduction is built on.
+//!
+//! * automaton hot path: `on_message` handler throughput for the two-bit
+//!   and ABD processes (a million-event simulation is only as fast as
+//!   this);
+//! * simulator event throughput on a mixed workload;
+//! * linearizability checker scaling (the O(m log m) SWMR checker on
+//!   histories of growing size);
+//! * two-bit codec encode/decode;
+//! * live-runtime write+read round trip (threads + chaos links).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use twobit_baselines::AbdProcess;
+use twobit_core::msg::codec;
+use twobit_core::{Parity, TwoBitMsg, TwoBitProcess};
+use twobit_lincheck::swmr;
+use twobit_proto::{
+    Automaton, Effects, History, OpId, OpOutcome, OpRecord, Operation, ProcessId, SystemConfig,
+};
+use twobit_simnet::{ClientPlan, DelayModel, SimBuilder, DEFAULT_DELTA};
+
+fn bench_automaton_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("automaton_on_message");
+    let cfg = SystemConfig::max_resilience(5);
+    let writer = ProcessId::new(0);
+    // A WRITE delivery that appends to the history and forwards (the most
+    // expensive two-bit handler): rebuild the process each iteration via
+    // iter_batched so state does not accumulate.
+    g.bench_function("twobit_write_delivery", |b| {
+        b.iter_batched(
+            || TwoBitProcess::new(ProcessId::new(1), cfg, writer, 0u64),
+            |mut p| {
+                let mut fx = Effects::new();
+                p.on_message(writer, TwoBitMsg::Write(Parity::Odd, 7u64), &mut fx);
+                fx
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("abd_write_delivery", |b| {
+        b.iter_batched(
+            || AbdProcess::new(ProcessId::new(1), cfg, writer, 0u64),
+            |mut p| {
+                let mut fx = Effects::new();
+                p.on_message(writer, twobit_baselines::AbdMsg::Write { seq: 1, value: 7u64 }, &mut fx);
+                fx
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_event_throughput");
+    g.sample_size(10);
+    for n in [3usize, 7] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = SystemConfig::max_resilience(n);
+            let writer = ProcessId::new(0);
+            b.iter(|| {
+                let mut sim = SimBuilder::new(cfg)
+                    .delay(DelayModel::Uniform {
+                        lo: 1,
+                        hi: DEFAULT_DELTA,
+                    })
+                    .check_every(0)
+                    .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
+                sim.client_plan(0, ClientPlan::ops((1..=50u64).map(Operation::Write)));
+                for r in 1..n {
+                    sim.client_plan(
+                        r,
+                        ClientPlan::ops((0..20).map(|_| Operation::<u64>::Read)),
+                    );
+                }
+                sim.run().expect("bench sim").events
+            })
+        });
+    }
+    g.finish();
+}
+
+fn make_history(ops: usize) -> History<u64> {
+    // Alternating sequential write/read history of the given size.
+    let mut records = Vec::with_capacity(ops);
+    let mut t = 0u64;
+    for i in 0..ops as u64 {
+        let is_write = i % 2 == 0;
+        let idx = i / 2 + 1;
+        records.push(OpRecord {
+            op_id: OpId::new(i),
+            proc: ProcessId::new(if is_write { 0 } else { 1 }),
+            op: if is_write {
+                Operation::Write(idx)
+            } else {
+                Operation::Read
+            },
+            invoked_at: t,
+            completed: Some((
+                t + 5,
+                if is_write {
+                    OpOutcome::Written
+                } else {
+                    OpOutcome::ReadValue(idx)
+                },
+            )),
+        });
+        t += 10;
+    }
+    History {
+        initial: 0,
+        records,
+    }
+}
+
+fn bench_lincheck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lincheck_swmr_scaling");
+    for ops in [100usize, 1_000, 10_000] {
+        let h = make_history(ops);
+        g.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
+            b.iter(|| swmr::check(&h).expect("valid history"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("twobit_codec");
+    let msg = TwoBitMsg::Write(Parity::Even, vec![0xABu8; 1024]);
+    let bytes = codec::encode(&msg);
+    g.bench_function("encode_1k", |b| b.iter(|| codec::encode(&msg)));
+    g.bench_function("decode_1k", |b| b.iter(|| codec::decode(&bytes).unwrap()));
+    g.finish();
+}
+
+fn bench_runtime_roundtrip(c: &mut Criterion) {
+    use twobit_runtime::ClusterBuilder;
+    let mut g = c.benchmark_group("runtime_write_read_roundtrip");
+    g.sample_size(10);
+    let n = 3;
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let cluster = ClusterBuilder::new(cfg)
+        .delay(DelayModel::Fixed(20)) // 20µs links
+        .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))
+        .expect("cluster");
+    let mut w = cluster.client(0);
+    let mut r = cluster.client(1);
+    let mut v = 0u64;
+    g.bench_function("write_then_read", |b| {
+        b.iter(|| {
+            v += 1;
+            w.write(v).expect("write");
+            assert_eq!(r.read().expect("read"), v);
+        })
+    });
+    g.finish();
+    drop((w, r));
+    cluster.shutdown();
+}
+
+criterion_group!(
+    benches,
+    bench_automaton_hot_path,
+    bench_sim_throughput,
+    bench_lincheck,
+    bench_codec,
+    bench_runtime_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Benchmarks for Table 1 rows 5–6 and the E2 claim: simulated virtual-time
+//! latency is asserted inside the bench (2Δ writes / ≤4Δ reads for the
+//! two-bit algorithm; 12Δ/12Δ and 14Δ/18Δ for the emulated bounded
+//! baselines), while criterion measures the wall-clock cost of verifying it
+//! — i.e. these benches double as continuously-run regression checks on the
+//! latency claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use twobit_baselines::{abd_bounded_profile, attiya_profile, PhasedProcess};
+use twobit_core::TwoBitProcess;
+use twobit_harness::latency;
+use twobit_proto::{Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, PlannedOp, SimBuilder, DEFAULT_DELTA};
+
+const GAP: u64 = 40 * DEFAULT_DELTA;
+
+/// One write + one read, fully quiescent, asserting the Δ-latencies.
+fn assert_latencies<F, A>(cfg: SystemConfig, make: F, write_d: u64, read_d_max: u64)
+where
+    A: twobit_proto::Automaton<Value = u64>,
+    F: FnMut(ProcessId) -> A,
+{
+    let mut sim = SimBuilder::new(cfg)
+        .delay(DelayModel::Fixed(DEFAULT_DELTA))
+        .check_every(0)
+        .build(make);
+    sim.client_plan(
+        0,
+        ClientPlan::new([PlannedOp::immediate(Operation::Write(1u64))]),
+    );
+    sim.client_plan(
+        1,
+        ClientPlan::new([PlannedOp::immediate(Operation::Read)]).starting_at(GAP),
+    );
+    let report = sim.run().expect("latency sim failed");
+    let w = report.history.records[0].latency().unwrap();
+    let r = report.history.records[1].latency().unwrap();
+    assert_eq!(w, write_d * DEFAULT_DELTA, "write latency");
+    assert!(r <= read_d_max * DEFAULT_DELTA, "read latency {r}");
+}
+
+fn bench_latency_rows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_rows5_6_latency");
+    g.sample_size(20);
+    let n = 5;
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    g.bench_function(BenchmarkId::new("two-bit(2d,<=4d)", n), |b| {
+        b.iter(|| {
+            assert_latencies(cfg, |id| TwoBitProcess::new(id, cfg, writer, 0u64), 2, 4);
+        })
+    });
+    g.bench_function(BenchmarkId::new("abd-bounded-emu(12d,12d)", n), |b| {
+        b.iter(|| {
+            assert_latencies(
+                cfg,
+                |id| PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n)),
+                12,
+                12,
+            );
+        })
+    });
+    g.bench_function(BenchmarkId::new("attiya-emu(14d,18d)", n), |b| {
+        b.iter(|| {
+            assert_latencies(
+                cfg,
+                |id| PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n)),
+                14,
+                18,
+            );
+        })
+    });
+    g.finish();
+}
+
+/// E2 — worst-case latency under concurrency; the bound is asserted inside.
+fn bench_concurrent_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_concurrent_latency_bounds");
+    g.sample_size(10);
+    for n in [3usize, 5] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let r = latency::bounds(n, 10, seed, DelayModel::Fixed(DEFAULT_DELTA));
+                assert!(r.holds, "latency bound violated");
+                r.read_max_delta
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_latency_rows, bench_concurrent_bounds);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Benchmarks regenerating Table 1 rows 1–2 (message complexity): the time
+//! to drive one operation to full quiescence on the deterministic simulator
+//! is proportional to the operation's total message count, so these bench
+//! groups expose exactly the O(n)/O(n²) separations of the table. Criterion
+//! reports per-algorithm, per-n timings; the absolute message counts are
+//! printed by `cargo run -p twobit-harness --bin experiments -- table1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use twobit_baselines::{abd_bounded_profile, attiya_profile, AbdProcess, PhasedProcess};
+use twobit_core::TwoBitProcess;
+use twobit_proto::{Automaton, Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, SimBuilder, DEFAULT_DELTA};
+
+fn one_op_sim<A, F>(cfg: SystemConfig, op: Operation<u64>, make: F) -> u64
+where
+    A: Automaton<Value = u64>,
+    F: FnMut(ProcessId) -> A,
+{
+    let mut sim = SimBuilder::new(cfg)
+        .delay(DelayModel::Fixed(DEFAULT_DELTA))
+        .check_every(0)
+        .build(make);
+    // Seed one write so reads have a non-initial value to fetch.
+    let plan = match op {
+        Operation::Write(_) => ClientPlan::ops([Operation::Write(1u64)]),
+        Operation::Read => ClientPlan::ops([Operation::Write(1u64), Operation::Read]),
+    };
+    sim.client_plan(0, plan);
+    let report = sim.run().expect("bench sim failed");
+    report.stats.total_sent()
+}
+
+/// Row 1 — #msgs per write: two-bit O(n²) vs ABD O(n) vs emulations.
+fn bench_write_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_row1_write_msgs");
+    g.sample_size(20);
+    for n in [3usize, 5, 9] {
+        let cfg = SystemConfig::max_resilience(n);
+        let writer = ProcessId::new(0);
+        g.bench_with_input(BenchmarkId::new("two-bit", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Write(1), |id| {
+                    TwoBitProcess::new(id, cfg, writer, 0u64)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("abd-unbounded", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Write(1), |id| {
+                    AbdProcess::new(id, cfg, writer, 0u64)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("abd-bounded-emu", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Write(1), |id| {
+                    PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n))
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("attiya-emu", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Write(1), |id| {
+                    PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Row 2 — #msgs per read.
+fn bench_read_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_row2_read_msgs");
+    g.sample_size(20);
+    for n in [3usize, 5, 9] {
+        let cfg = SystemConfig::max_resilience(n);
+        let writer = ProcessId::new(0);
+        g.bench_with_input(BenchmarkId::new("two-bit", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Read, |id| {
+                    TwoBitProcess::new(id, cfg, writer, 0u64)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("abd-unbounded", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Read, |id| {
+                    AbdProcess::new(id, cfg, writer, 0u64)
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("abd-bounded-emu", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Read, |id| {
+                    PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n))
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("attiya-emu", n), &n, |b, _| {
+            b.iter(|| {
+                one_op_sim(cfg, Operation::Read, |id| {
+                    PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n))
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Rows 3–4 are size metrics, not timings; their bench angle is the cost of
+/// the accounting itself (`WireMessage::cost` + `state_bits`), which must be
+/// cheap enough to run on every send.
+fn bench_cost_accounting(c: &mut Criterion) {
+    use twobit_core::{Parity, TwoBitMsg};
+    use twobit_proto::WireMessage;
+    let mut g = c.benchmark_group("table1_row3_cost_accounting");
+    let msg: TwoBitMsg<u64> = TwoBitMsg::Write(Parity::Odd, 42);
+    g.bench_function("twobit_msg_cost", |b| {
+        b.iter(|| std::hint::black_box(&msg).cost())
+    });
+    let cfg = SystemConfig::max_resilience(5);
+    let p = TwoBitProcess::new(ProcessId::new(1), cfg, ProcessId::new(0), 0u64);
+    g.bench_function("twobit_state_bits", |b| {
+        b.iter(|| std::hint::black_box(&p).state_bits())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_write_row, bench_read_row, bench_cost_accounting);
+criterion_main!(benches);

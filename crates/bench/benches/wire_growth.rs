@@ -1,0 +1,57 @@
+//! Benchmark for Table 1 row 3 / experiment E8: control-bit growth with
+//! history length. Each iteration simulates `k` consecutive writes and
+//! asserts the wire property (two-bit: max 2 control bits regardless of
+//! `k`; ABD: growing with log₂ k). Criterion's scaling across `k` also
+//! exposes the simulator's O(k·n²) event throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use twobit_baselines::AbdProcess;
+use twobit_core::TwoBitProcess;
+use twobit_proto::{Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, SimBuilder, DEFAULT_DELTA};
+
+fn writes_run(two_bit: bool, n: usize, k: u64) -> u64 {
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let max_bits = if two_bit {
+        let mut sim = SimBuilder::new(cfg)
+            .delay(DelayModel::Fixed(DEFAULT_DELTA / 10))
+            .check_every(0)
+            .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
+        sim.client_plan(0, ClientPlan::ops((1..=k).map(Operation::Write)));
+        let r = sim.run().expect("bench sim");
+        r.stats.max_msg_control_bits()
+    } else {
+        let mut sim = SimBuilder::new(cfg)
+            .delay(DelayModel::Fixed(DEFAULT_DELTA / 10))
+            .check_every(0)
+            .build(|id| AbdProcess::new(id, cfg, writer, 0u64));
+        sim.client_plan(0, ClientPlan::ops((1..=k).map(Operation::Write)));
+        let r = sim.run().expect("bench sim");
+        r.stats.max_msg_control_bits()
+    };
+    if two_bit {
+        assert_eq!(max_bits, 2, "two-bit control info must stay at 2 bits");
+    } else {
+        assert!(max_bits >= 3, "ABD carries tag+seq bits");
+    }
+    max_bits
+}
+
+fn bench_wire_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_wire_growth");
+    g.sample_size(10);
+    for k in [10u64, 100, 1_000] {
+        g.bench_with_input(BenchmarkId::new("two-bit", k), &k, |b, &k| {
+            b.iter(|| writes_run(true, 3, k))
+        });
+        g.bench_with_input(BenchmarkId::new("abd-unbounded", k), &k, |b, &k| {
+            b.iter(|| writes_run(false, 3, k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire_growth);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Shared helpers for the criterion benches (see `benches/`).
+#![forbid(unsafe_code)]

@@ -1,0 +1,878 @@
+//! The per-process automaton of the paper's Fig. 1.
+//!
+//! Fig. 1 is written with blocking `wait` statements; this implementation is
+//! the equivalent *reactive* automaton. Every `wait` becomes a guard that is
+//! re-examined after each state change:
+//!
+//! | Fig. 1 | here |
+//! |--------|------|
+//! | line 11 `wait (b = (w_sync_i[j]+1) mod 2)` | per-sender buffer of out-of-order `WRITE`s, drained when the parity matches |
+//! | line 20 `wait (w_sync_i[j] ≥ sn)` | per-reader queue of pending `PROCEED` guards |
+//! | line 3 / 7 / 9 operation waits | a pending-operation state machine re-checked after every mutation |
+//!
+//! Line numbers in comments below refer to Fig. 1 of the paper.
+
+use std::collections::VecDeque;
+
+use twobit_proto::{
+    Automaton, Effects, OpId, Operation, Payload, ProcessId, SystemConfig,
+};
+
+use crate::msg::{Parity, TwoBitMsg};
+
+/// Tuning knobs for [`TwoBitProcess`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwoBitOptions {
+    /// Fig. 1's comment on the read operation: "the writer can directly
+    /// return `history_i[w_sync_i[i]]`". When `true` (the default, as in the
+    /// paper) the writer serves its own reads locally in zero time; when
+    /// `false` the writer runs the full two-phase read protocol — useful as
+    /// an ablation (experiment E7).
+    pub writer_fast_read: bool,
+    /// Whether reads perform Fig. 1's **second wait** (line 9: wait until
+    /// `n−t` processes are known to hold the value about to be returned).
+    ///
+    /// `true` is the paper's algorithm. `false` is an **ablation that
+    /// deliberately weakens the register**: reads return right after the
+    /// `PROCEED` quorum (line 7), which preserves conditions 1–2 of
+    /// atomicity (no read from the future, no overwritten read — i.e. the
+    /// register is still *regular*) but permits new/old inversions between
+    /// non-overlapping reads. The experiments use this to demonstrate what
+    /// the line 9 wait buys (and the checker's ability to see the
+    /// difference). Never disable outside experiments.
+    pub read_confirmation: bool,
+}
+
+impl Default for TwoBitOptions {
+    fn default() -> Self {
+        TwoBitOptions {
+            writer_fast_read: true,
+            read_confirmation: true,
+        }
+    }
+}
+
+/// The operation currently pending at this (sequential) process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum PendingOp {
+    /// Writer blocked at line 3: waiting for `n−t` processes `p_j` with
+    /// `w_sync_w[j] = wsn`.
+    Write { op_id: OpId, wsn: u64 },
+    /// Reader blocked at line 7: waiting for `n−t` processes `p_j` with
+    /// `r_sync_i[j] = rsn`.
+    ReadAck { op_id: OpId, rsn: u64 },
+    /// Reader blocked at line 9: waiting for `n−t` processes `p_j` with
+    /// `w_sync_i[j] ≥ sn`; will return `history_i[sn]`.
+    ReadConfirm { op_id: OpId, sn: u64 },
+}
+
+/// One process `p_i` of the two-bit SWMR atomic register algorithm.
+///
+/// Create one instance per process with identical `cfg`, `writer` and
+/// initial value `v0`. The instance whose `id == writer` is the single
+/// writer `p_w`; it alone may be handed [`Operation::Write`]s.
+///
+/// See the [crate docs](crate) for a hand-driven example.
+#[derive(Clone, Debug)]
+pub struct TwoBitProcess<V> {
+    id: ProcessId,
+    cfg: SystemConfig,
+    writer: ProcessId,
+    options: TwoBitOptions,
+
+    /// `history_i[0..w_sync_i[i]]` — the known prefix of written values;
+    /// `history[0]` is the initial value `v0`.
+    history: Vec<V>,
+    /// `w_sync_i[1..n]` — write-synchronization sequence numbers.
+    w_sync: Vec<u64>,
+    /// `r_sync_i[1..n]` — read-request acknowledgement counters.
+    r_sync: Vec<u64>,
+
+    /// Line 11's wait: `WRITE`s from `p_j` whose parity is not yet
+    /// `(w_sync_i[j]+1) mod 2`, buffered until they are next in order.
+    /// Property P1 bounds each buffer to one message; the invariant checker
+    /// asserts that, but the code tolerates more defensively.
+    buffered: Vec<VecDeque<(Parity, V)>>,
+    /// Line 20's wait: for each requester `p_j`, the `sn` thresholds of
+    /// `READ()`s not yet answered with `PROCEED()` (FIFO per requester).
+    read_guards: Vec<VecDeque<u64>>,
+    /// The operation this process is currently executing, if any.
+    pending: Option<PendingOp>,
+    /// Messages `WRITE(−,−)` sent to each peer, for the Lemma 5 invariant
+    /// (`sent_writes[j] ∈ {w_sync_i[j], w_sync_i[j]+1}`). Not part of the
+    /// paper's state: it exists purely for invariant checking.
+    sent_writes: Vec<u64>,
+}
+
+impl<V: Payload> TwoBitProcess<V> {
+    /// Creates process `id` of an `n`-process system whose single writer is
+    /// `writer`, with initial register value `v0`.
+    pub fn new(id: ProcessId, cfg: SystemConfig, writer: ProcessId, v0: V) -> Self {
+        Self::with_options(id, cfg, writer, v0, TwoBitOptions::default())
+    }
+
+    /// Like [`TwoBitProcess::new`], with explicit [`TwoBitOptions`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` or `writer` is out of range for `cfg`.
+    pub fn with_options(
+        id: ProcessId,
+        cfg: SystemConfig,
+        writer: ProcessId,
+        v0: V,
+        options: TwoBitOptions,
+    ) -> Self {
+        assert!(id.index() < cfg.n(), "process id out of range");
+        assert!(writer.index() < cfg.n(), "writer id out of range");
+        let n = cfg.n();
+        TwoBitProcess {
+            id,
+            cfg,
+            writer,
+            options,
+            history: vec![v0],
+            w_sync: vec![0; n],
+            r_sync: vec![0; n],
+            buffered: (0..n).map(|_| VecDeque::new()).collect(),
+            read_guards: (0..n).map(|_| VecDeque::new()).collect(),
+            pending: None,
+            sent_writes: vec![0; n],
+        }
+    }
+
+    /// The single writer's identity.
+    pub fn writer(&self) -> ProcessId {
+        self.writer
+    }
+
+    /// `true` if this process is the writer.
+    pub fn is_writer(&self) -> bool {
+        self.id == self.writer
+    }
+
+    /// The `w_sync_i[1..n]` vector (read-only, for invariant checking).
+    pub fn w_sync(&self) -> &[u64] {
+        &self.w_sync
+    }
+
+    /// The `r_sync_i[1..n]` vector (read-only, for invariant checking).
+    pub fn r_sync(&self) -> &[u64] {
+        &self.r_sync
+    }
+
+    /// The local history prefix (read-only, for invariant checking).
+    pub fn history(&self) -> &[V] {
+        &self.history
+    }
+
+    /// Number of `WRITE` messages this process has sent to `peer`.
+    pub fn writes_sent_to(&self, peer: ProcessId) -> u64 {
+        self.sent_writes[peer.index()]
+    }
+
+    /// Number of out-of-order `WRITE`s currently buffered from `peer`
+    /// (property P1 says this never exceeds 1).
+    pub fn buffered_from(&self, peer: ProcessId) -> usize {
+        self.buffered[peer.index()].len()
+    }
+
+    /// Number of `PROCEED` guards currently pending (line 20 waits).
+    pub fn pending_read_guards(&self) -> usize {
+        self.read_guards.iter().map(|q| q.len()).sum()
+    }
+
+    fn me(&self) -> usize {
+        self.id.index()
+    }
+
+    /// Sends `WRITE(parity(wsn), history[wsn])` to `to`, bumping the Lemma 5
+    /// counter.
+    fn send_write(&mut self, to: ProcessId, wsn: u64, fx: &mut Effects<TwoBitMsg<V>, V>) {
+        debug_assert_ne!(to, self.id, "never send WRITE to self");
+        let v = self.history[wsn as usize].clone();
+        self.sent_writes[to.index()] += 1;
+        fx.send(to, TwoBitMsg::Write(Parity::of(wsn), v));
+    }
+
+    /// Lines 12–18: processes an *in-order* `WRITE` from `p_j` (the line 11
+    /// wait has already been satisfied by the caller).
+    fn process_write(&mut self, j: ProcessId, v: V, fx: &mut Effects<TwoBitMsg<V>, V>) {
+        let me = self.me();
+        let wsn = self.w_sync[j.index()] + 1; // line 12
+        if wsn == self.w_sync[me] + 1 {
+            // line 13: this is the next value of our own history.
+            self.w_sync[me] = wsn; // line 14
+            self.history.push(v);
+            debug_assert_eq!(self.history.len() as u64, wsn + 1);
+            // line 15, forwarding rule R1: to every process that (to our
+            // knowledge) knows exactly the first wsn−1 values — including
+            // p_j itself, whose w_sync entry is still wsn−1 here; the echo
+            // back to the sender is what closes the alternating-bit loop.
+            for l in 0..self.cfg.n() {
+                if l != me && self.w_sync[l] == wsn - 1 {
+                    self.send_write(ProcessId::new(l), wsn, fx);
+                }
+            }
+        } else if wsn < self.w_sync[me] {
+            // line 16, forwarding rule R2: p_j lags; send it the next value
+            // it is missing (and only that one).
+            self.send_write(j, wsn + 1, fx);
+        }
+        // (wsn == w_sync_i[i]: nothing to send — Lemma 3 case 3.)
+        self.w_sync[j.index()] = wsn; // line 18
+    }
+
+    /// Drains every buffered `WRITE` that has become in-order, then
+    /// re-evaluates all read guards and the pending operation. Idempotent;
+    /// called after every state mutation.
+    fn react(&mut self, fx: &mut Effects<TwoBitMsg<V>, V>) {
+        // Line 11 buffers: a processed WRITE from p_j advances w_sync_i[j],
+        // which can make a buffered message from p_j in-order. Selection is
+        // by parity, not arrival order: the channel is not FIFO, so the
+        // earliest-arrived buffered message may be the *later* of the two
+        // in-flight WRITEs (P1 guarantees at most one such inversion).
+        loop {
+            let mut progressed = false;
+            for j in 0..self.cfg.n() {
+                let expected = Parity::of(self.w_sync[j] + 1);
+                if let Some(pos) = self.buffered[j].iter().position(|(p, _)| *p == expected) {
+                    let (_, v) = self.buffered[j].remove(pos).expect("position checked");
+                    self.process_write(ProcessId::new(j), v, fx);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // Line 20 guards: answer READ()s whose freshness condition now holds.
+        for j in 0..self.cfg.n() {
+            while self.read_guards[j]
+                .front()
+                .is_some_and(|sn| self.w_sync[j] >= *sn)
+            {
+                self.read_guards[j].pop_front();
+                fx.send(ProcessId::new(j), TwoBitMsg::Proceed); // line 21
+            }
+        }
+
+        // Operation waits (lines 3, 7, 9).
+        self.check_pending(fx);
+    }
+
+    /// Re-evaluates the pending operation's wait predicate.
+    fn check_pending(&mut self, fx: &mut Effects<TwoBitMsg<V>, V>) {
+        let quorum = self.cfg.quorum();
+        loop {
+            match self.pending.clone() {
+                Some(PendingOp::Write { op_id, wsn }) => {
+                    // Line 3: |{j : w_sync_w[j] = wsn}| ≥ n−t. Since
+                    // w_sync_w[w] = wsn is the maximum (Lemma 3), `≥ wsn`
+                    // and `= wsn` coincide for the writer.
+                    let z = self.w_sync.iter().filter(|&&s| s >= wsn).count();
+                    if z >= quorum {
+                        self.pending = None;
+                        fx.complete_write(op_id); // line 4
+                    }
+                    return;
+                }
+                Some(PendingOp::ReadAck { op_id, rsn }) => {
+                    // Line 7: |{j : r_sync_i[j] = rsn}| ≥ n−t (counting
+                    // ourselves: r_sync_i[i] = rsn since line 5).
+                    let z = self.r_sync.iter().filter(|&&s| s == rsn).count();
+                    if z < quorum {
+                        return;
+                    }
+                    // Line 8: freeze sn = w_sync_i[i] and fall through to
+                    // the line 9 wait, which may already be satisfied.
+                    let sn = self.w_sync[self.me()];
+                    if !self.options.read_confirmation {
+                        // Ablation: skip line 9 entirely (see
+                        // [`TwoBitOptions::read_confirmation`]).
+                        self.pending = None;
+                        let v = self.history[sn as usize].clone();
+                        fx.complete_read(op_id, v);
+                        return;
+                    }
+                    self.pending = Some(PendingOp::ReadConfirm { op_id, sn });
+                }
+                Some(PendingOp::ReadConfirm { op_id, sn }) => {
+                    // Line 9: |{j : w_sync_i[j] ≥ sn}| ≥ n−t.
+                    let z = self.w_sync.iter().filter(|&&s| s >= sn).count();
+                    if z >= quorum {
+                        self.pending = None;
+                        let v = self.history[sn as usize].clone();
+                        fx.complete_read(op_id, v); // line 10
+                    }
+                    return;
+                }
+                None => return,
+            }
+        }
+    }
+}
+
+/// Test-only state mutators: the invariant checkers must be shown to
+/// *reject* broken states, and broken states are unreachable through the
+/// public API (that is the point), so tests forge them directly.
+#[cfg(test)]
+impl<V: Payload> TwoBitProcess<V> {
+    pub(crate) fn forge_w_sync(&mut self, j: usize, v: u64) {
+        self.w_sync[j] = v;
+    }
+    pub(crate) fn forge_r_sync(&mut self, j: usize, v: u64) {
+        self.r_sync[j] = v;
+    }
+    pub(crate) fn forge_history_push(&mut self, v: V) {
+        self.history.push(v);
+    }
+    pub(crate) fn forge_buffer(&mut self, from: usize, parity: Parity, v: V) {
+        self.buffered[from].push_back((parity, v));
+    }
+    pub(crate) fn forge_sent_writes(&mut self, j: usize, v: u64) {
+        self.sent_writes[j] = v;
+    }
+}
+
+impl<V: Payload> Automaton for TwoBitProcess<V> {
+    type Value = V;
+    type Msg = TwoBitMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Lines 1–4 (write, at the writer) and 5–10 (read, at any process).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write is invoked on a process other than the writer, or
+    /// if an operation is invoked while another is pending (processes are
+    /// sequential — the substrate enforces this too).
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<TwoBitMsg<V>, V>) {
+        assert!(
+            self.pending.is_none(),
+            "{}: operation invoked while another is pending",
+            self.id
+        );
+        match op {
+            Operation::Write(v) => {
+                assert!(
+                    self.is_writer(),
+                    "{}: write invoked on a non-writer process (writer is {})",
+                    self.id,
+                    self.writer
+                );
+                let me = self.me();
+                // Line 1.
+                let wsn = self.w_sync[me] + 1;
+                self.w_sync[me] = wsn;
+                self.history.push(v);
+                // Line 2: to every process believed to know exactly the
+                // first wsn−1 values.
+                for j in 0..self.cfg.n() {
+                    if j != me && self.w_sync[j] == wsn - 1 {
+                        self.send_write(ProcessId::new(j), wsn, fx);
+                    }
+                }
+                // Line 3.
+                self.pending = Some(PendingOp::Write { op_id, wsn });
+                self.check_pending(fx);
+            }
+            Operation::Read => {
+                // Fig. 1 comment: the writer can return its freshest value
+                // directly (it is always a quorum-confirmed... no — it is
+                // correct because the writer's history is the full history
+                // and its previous write completed on a quorum).
+                if self.is_writer() && self.options.writer_fast_read {
+                    let v = self.history[self.w_sync[self.me()] as usize].clone();
+                    fx.complete_read(op_id, v);
+                    return;
+                }
+                // Line 5.
+                let me = self.me();
+                let rsn = self.r_sync[me] + 1;
+                self.r_sync[me] = rsn;
+                // Line 6.
+                for j in 0..self.cfg.n() {
+                    if j != me {
+                        fx.send(ProcessId::new(j), TwoBitMsg::Read);
+                    }
+                }
+                // Line 7.
+                self.pending = Some(PendingOp::ReadAck { op_id, rsn });
+                self.check_pending(fx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: TwoBitMsg<V>, fx: &mut Effects<TwoBitMsg<V>, V>) {
+        debug_assert_ne!(from, self.id, "no self-messages in this protocol");
+        match msg {
+            TwoBitMsg::Write(parity, v) => {
+                // Line 11: buffer unconditionally; `react` processes every
+                // buffered WRITE whose parity is next in order (possibly
+                // this one, immediately).
+                self.buffered[from.index()].push_back((parity, v));
+                self.react(fx);
+            }
+            TwoBitMsg::Read => {
+                // Lines 19–20: remember sn = w_sync_i[i] now; PROCEED will
+                // be sent once w_sync_i[from] ≥ sn.
+                let sn = self.w_sync[self.me()];
+                self.read_guards[from.index()].push_back(sn);
+                self.react(fx);
+            }
+            TwoBitMsg::Proceed => {
+                // Line 22.
+                self.r_sync[from.index()] += 1;
+                self.react(fx);
+            }
+        }
+    }
+
+    /// Measured size of the local state: the history values plus the two
+    /// sequence-number vectors (and the transient buffers/guards). This is
+    /// the "local memory" row of Table 1 — unbounded, because the history
+    /// grows with the number of writes (the paper's §5 discusses why a
+    /// modulo-based bound does not obviously apply).
+    fn state_bits(&self) -> u64 {
+        let history_bits: u64 = self.history.iter().map(Payload::data_bits).sum();
+        let vec_bits = 64 * (self.w_sync.len() + self.r_sync.len() + self.sent_writes.len()) as u64;
+        let buffered_bits: u64 = self
+            .buffered
+            .iter()
+            .flat_map(|q| q.iter())
+            .map(|(_, v)| 1 + v.data_bits())
+            .sum();
+        let guard_bits: u64 = 64 * self.read_guards.iter().map(|q| q.len() as u64).sum::<u64>();
+        history_bits + vec_bits + buffered_bits + guard_bits
+    }
+
+    /// Locally-checkable pieces of the paper's proof obligations:
+    ///
+    /// * Lemma 3: `w_sync_i[i] = max_j w_sync_i[j]`;
+    /// * `history` length is `w_sync_i[i] + 1`;
+    /// * Lemma 5 (R1/R2): `sent_writes[j] = w_sync_i[j]` when
+    ///   `w_sync_i[i] = w_sync_i[j]`, and `w_sync_i[j] + 1` when
+    ///   `w_sync_i[i] > w_sync_i[j]`;
+    /// * P1 (local half): at most one out-of-order `WRITE` buffered per
+    ///   sender.
+    fn check_local_invariants(&self) -> Result<(), String> {
+        let me = self.me();
+        let max = self.w_sync.iter().copied().max().unwrap_or(0);
+        if self.w_sync[me] != max {
+            return Err(format!(
+                "Lemma 3: w_sync[{me}]={} but max is {max}",
+                self.w_sync[me]
+            ));
+        }
+        if self.history.len() as u64 != self.w_sync[me] + 1 {
+            return Err(format!(
+                "history length {} != w_sync[i]+1 = {}",
+                self.history.len(),
+                self.w_sync[me] + 1
+            ));
+        }
+        for j in 0..self.cfg.n() {
+            if j == me {
+                continue;
+            }
+            let expected = if self.w_sync[me] == self.w_sync[j] {
+                self.w_sync[j]
+            } else {
+                self.w_sync[j] + 1
+            };
+            if self.sent_writes[j] != expected {
+                return Err(format!(
+                    "Lemma 5: sent_writes[{j}]={} but w_sync[i]={}, w_sync[{j}]={} expects {expected}",
+                    self.sent_writes[j], self.w_sync[me], self.w_sync[j]
+                ));
+            }
+            if self.buffered[j].len() > 1 {
+                return Err(format!(
+                    "P1: {} WRITEs buffered from p{j} (at most 1 allowed)",
+                    self.buffered[j].len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_proto::{OpOutcome, WireMessage};
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::max_resilience(n)
+    }
+
+    fn procs(n: usize) -> Vec<TwoBitProcess<u64>> {
+        (0..n)
+            .map(|i| TwoBitProcess::new(ProcessId::new(i), cfg(n), ProcessId::new(0), 0u64))
+            .collect()
+    }
+
+    /// Delivers every queued send immediately (synchronous network), in
+    /// FIFO order, until quiescence. Returns the total number of messages.
+    fn settle(procs: &mut [TwoBitProcess<u64>], fx: &mut Effects<TwoBitMsg<u64>, u64>) -> usize {
+        let mut delivered = 0;
+        let mut queue: VecDeque<(ProcessId, ProcessId, TwoBitMsg<u64>)> = VecDeque::new();
+        let mut from0: Vec<(ProcessId, TwoBitMsg<u64>)> = fx.drain_sends().collect();
+        // The initial sends originate from whoever produced `fx`; caller
+        // tags them via the `sender` convention below: we require the first
+        // automaton in `procs` to be the sender of the seed messages only in
+        // tests that use it that way. To stay general, the seed sender is
+        // found by Lemma 5 counters — simpler: tests using settle() only
+        // seed from the writer p0.
+        for (to, m) in from0.drain(..) {
+            queue.push_back((ProcessId::new(0), to, m));
+        }
+        while let Some((from, to, m)) = queue.pop_front() {
+            delivered += 1;
+            let mut fx2 = Effects::new();
+            procs[to.index()].on_message(from, m, &mut fx2);
+            for (next_to, next_m) in fx2.drain_sends() {
+                queue.push_back((to, next_to, next_m));
+            }
+            for p in procs.iter() {
+                p.check_local_invariants().expect("local invariants");
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn initial_state() {
+        let p = TwoBitProcess::new(ProcessId::new(1), cfg(3), ProcessId::new(0), 7u64);
+        assert_eq!(p.history(), &[7]);
+        assert_eq!(p.w_sync(), &[0, 0, 0]);
+        assert_eq!(p.r_sync(), &[0, 0, 0]);
+        assert!(!p.is_writer());
+        assert_eq!(p.writer(), ProcessId::new(0));
+        p.check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_broadcasts_to_up_to_date_peers_only() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+        // All peers are believed up to date initially → 2 sends, WRITE1.
+        let sends: Vec<_> = fx.sends().to_vec();
+        assert_eq!(sends.len(), 2);
+        for (_, m) in &sends {
+            assert_eq!(m.kind(), "WRITE1");
+        }
+        assert_eq!(ps[0].w_sync(), &[1, 0, 0]);
+        assert_eq!(ps[0].history(), &[0, 1]);
+        ps[0].check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn full_write_settles_with_n_times_n_minus_1_messages() {
+        // Theorem 2: a write generates n(n−1) WRITE messages in total
+        // (writer broadcast + one forward per ordered pair).
+        for n in [2usize, 3, 5, 7] {
+            let mut ps = procs(n);
+            let mut fx = Effects::new();
+            ps[0].on_invoke(OpId::new(0), Operation::Write(9), &mut fx);
+            assert_eq!(fx.completions().len(), if n == 1 { 1 } else { 0 });
+            let delivered = settle(&mut ps, &mut fx);
+            assert_eq!(delivered, n * (n - 1), "n={n}");
+            for p in &ps {
+                assert_eq!(p.history(), &[0, 9]);
+                assert_eq!(p.w_sync(), &vec![1u64; n][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn write_completes_on_quorum_of_echoes() {
+        let mut ps = procs(5);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(3), Operation::Write(5), &mut fx);
+        let sends: Vec<_> = fx.drain_sends().collect();
+        assert_eq!(sends.len(), 4);
+        // Deliver to p1; p1 echoes back (and forwards to p2, p3, p4).
+        let mut fx1 = Effects::new();
+        ps[1].on_message(ProcessId::new(0), sends[0].1.clone(), &mut fx1);
+        let echoes: Vec<_> = fx1.drain_sends().collect();
+        assert_eq!(echoes.len(), 4, "p1 forwards to everyone else");
+        // Echo back to writer: quorum is n−t = 3; writer counts itself and
+        // p1 after the echo: that's 2 → not yet complete.
+        let echo_to_writer = echoes.iter().find(|(to, _)| to.index() == 0).unwrap();
+        let mut fx0 = Effects::new();
+        ps[0].on_message(ProcessId::new(1), echo_to_writer.1.clone(), &mut fx0);
+        assert!(fx0.completions().is_empty(), "2 < quorum of 3");
+        // p2 echoes as well → 3 = quorum → write completes.
+        let mut fx2 = Effects::new();
+        ps[2].on_message(ProcessId::new(0), sends[1].1.clone(), &mut fx2);
+        let echo2 = fx2
+            .drain_sends()
+            .find(|(to, _)| to.index() == 0)
+            .expect("echo to writer");
+        let mut fx0b = Effects::new();
+        ps[0].on_message(ProcessId::new(2), echo2.1, &mut fx0b);
+        assert_eq!(
+            fx0b.completions(),
+            &[(OpId::new(3), OpOutcome::Written)]
+        );
+    }
+
+    #[test]
+    fn writer_fast_read_returns_immediately() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        assert_eq!(fx.completions(), &[(OpId::new(0), OpOutcome::ReadValue(0))]);
+        assert!(fx.sends().is_empty());
+    }
+
+    #[test]
+    fn writer_slow_read_runs_protocol() {
+        let c = cfg(3);
+        let mut p0 = TwoBitProcess::with_options(
+            ProcessId::new(0),
+            c,
+            ProcessId::new(0),
+            0u64,
+            TwoBitOptions {
+                writer_fast_read: false,
+                ..TwoBitOptions::default()
+            },
+        );
+        let mut fx = Effects::new();
+        p0.on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        assert!(fx.completions().is_empty());
+        assert_eq!(fx.sends().len(), 2); // READ() broadcast
+        for (_, m) in fx.sends() {
+            assert_eq!(m.kind(), "READ");
+        }
+    }
+
+    #[test]
+    fn read_waits_for_proceed_quorum_then_confirm() {
+        let mut ps = procs(3);
+        // p1 reads the initial value: READ to p0, p2.
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        let reads: Vec<_> = fx.drain_sends().collect();
+        assert_eq!(reads.len(), 2);
+        assert!(fx.completions().is_empty());
+        // p0 answers PROCEED immediately (its sn=0 guard holds: w_sync[1]≥0).
+        let mut fx0 = Effects::new();
+        ps[0].on_message(ProcessId::new(1), TwoBitMsg::Read, &mut fx0);
+        let proceeds: Vec<_> = fx0.drain_sends().collect();
+        assert_eq!(proceeds.len(), 1);
+        assert_eq!(proceeds[0].1.kind(), "PROCEED");
+        // PROCEED reaches p1: r_sync quorum = 2 (self + p0) → phase 2, whose
+        // predicate (w_sync[j] ≥ 0) holds for all → read completes with v0.
+        let mut fx1 = Effects::new();
+        ps[1].on_message(ProcessId::new(0), TwoBitMsg::Proceed, &mut fx1);
+        assert_eq!(fx1.completions(), &[(OpId::new(0), OpOutcome::ReadValue(0))]);
+    }
+
+    #[test]
+    fn read_guard_defers_proceed_until_reader_catches_up() {
+        let mut ps = procs(3);
+        // p0 writes 1 and the write settles fully at p0 and p2 but NOT p1:
+        // deliver the WRITE to p2 only.
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+        let sends: Vec<_> = fx.drain_sends().collect();
+        let to_p2 = sends.iter().find(|(to, _)| to.index() == 2).unwrap();
+        let mut fx2 = Effects::new();
+        ps[2].on_message(ProcessId::new(0), to_p2.1.clone(), &mut fx2);
+        // Now p2 knows value #1 and believes p1 knows 0 values.
+        // p1 issues a read; p2 must NOT proceed until it believes p1 knows
+        // value #1.
+        let mut fxr = Effects::new();
+        ps[1].on_invoke(OpId::new(1), Operation::Read, &mut fxr);
+        let mut fx2b = Effects::new();
+        ps[2].on_message(ProcessId::new(1), TwoBitMsg::Read, &mut fx2b);
+        assert!(
+            fx2b.sends().is_empty(),
+            "PROCEED must be deferred (guard sn=1, w_sync[p1]=0)"
+        );
+        assert_eq!(ps[2].pending_read_guards(), 1);
+        // p1 receives the forwarded WRITE from p2 (rule R1 sent it one):
+        let fwd = fx2
+            .drain_sends()
+            .find(|(to, _)| to.index() == 1)
+            .expect("p2 forwards to p1");
+        let mut fx1 = Effects::new();
+        ps[1].on_message(ProcessId::new(2), fwd.1, &mut fx1);
+        // p1 echoes to p2; when p2 processes it, w_sync[p1] becomes 1 and
+        // the deferred PROCEED fires.
+        let echo = fx1
+            .drain_sends()
+            .find(|(to, _)| to.index() == 2)
+            .expect("p1 echoes to p2");
+        let mut fx2c = Effects::new();
+        ps[2].on_message(ProcessId::new(1), echo.1, &mut fx2c);
+        let out: Vec<_> = fx2c.drain_sends().collect();
+        assert!(
+            out.iter()
+                .any(|(to, m)| to.index() == 1 && m.kind() == "PROCEED"),
+            "deferred PROCEED released: {out:?}"
+        );
+        assert_eq!(ps[2].pending_read_guards(), 0);
+    }
+
+    #[test]
+    fn out_of_order_write_is_buffered_then_drained() {
+        let mut ps = procs(3);
+        // p0 writes twice; capture the two WRITEs addressed to p1.
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+        let w1 = fx
+            .drain_sends()
+            .find(|(to, _)| to.index() == 1)
+            .unwrap()
+            .1;
+        // Simulate p1's echo arriving at p0 so the writer may proceed
+        // (quorum 2 = itself + p1's echo).
+        let mut fx1 = Effects::new();
+        ps[1].on_message(ProcessId::new(0), w1.clone(), &mut fx1);
+        let echo = fx1
+            .drain_sends()
+            .find(|(to, _)| to.index() == 0)
+            .unwrap()
+            .1;
+        // Reset p1 to a fresh state to replay out-of-order delivery below.
+        ps[1] = TwoBitProcess::new(ProcessId::new(1), cfg(3), ProcessId::new(0), 0u64);
+        let mut fx0 = Effects::new();
+        ps[0].on_message(ProcessId::new(1), echo, &mut fx0);
+        assert_eq!(fx0.completions().len(), 1);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(1), Operation::Write(2), &mut fx);
+        let w2 = fx
+            .drain_sends()
+            .find(|(to, _)| to.index() == 1)
+            .unwrap()
+            .1;
+        assert_eq!(w1.kind(), "WRITE1");
+        assert_eq!(w2.kind(), "WRITE0");
+        // Deliver WRITE0(2) *before* WRITE1(1) at the fresh p1: it must be
+        // buffered (line 11), leaving the state untouched.
+        let mut fxa = Effects::new();
+        ps[1].on_message(ProcessId::new(0), w2, &mut fxa);
+        assert!(fxa.is_empty());
+        assert_eq!(ps[1].history(), &[0]);
+        assert_eq!(ps[1].buffered_from(ProcessId::new(0)), 1);
+        // Now WRITE1(1) arrives: both are processed, in order.
+        let mut fxb = Effects::new();
+        ps[1].on_message(ProcessId::new(0), w1, &mut fxb);
+        assert_eq!(ps[1].history(), &[0, 1, 2]);
+        assert_eq!(ps[1].buffered_from(ProcessId::new(0)), 0);
+        ps[1].check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn catch_up_rule_r2_sends_successor() {
+        let mut ps = procs(3);
+        // Writer writes twice, with full settling in between, except p1
+        // never hears anything (we drop its messages).
+        for (op, v) in [(0u64, 10u64), (1, 20)] {
+            let mut fx = Effects::new();
+            ps[0].on_invoke(OpId::new(op), Operation::Write(v), &mut fx);
+            // deliver only to p2, drop p1's copy
+            let sends: Vec<_> = fx.drain_sends().collect();
+            for (to, m) in sends {
+                if to.index() == 2 {
+                    let mut fx2 = Effects::new();
+                    ps[2].on_message(ProcessId::new(0), m, &mut fx2);
+                    // deliver p2's echo to p0; drop p2→p1 forward
+                    for (to2, m2) in fx2.drain_sends() {
+                        if to2.index() == 0 {
+                            let mut fx0 = Effects::new();
+                            ps[0].on_message(ProcessId::new(2), m2, &mut fx0);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(ps[2].history(), &[0, 10, 20]);
+        // p1 now learns value #1 from p2's dropped... instead simulate: p1
+        // sends its own (stale) echo? p1 knows nothing, so instead deliver
+        // the ORIGINAL WRITE1(10) from p0 that we "delayed": simplest is to
+        // have p2 receive a WRITE from p1? p1 never sends. Use the writer:
+        // p0 believes p1 knows 0 values and p0 has 2 → when p0 processes a
+        // WRITE from p1 it would catch it up; but p1 has nothing to send.
+        // The R2 path triggers at p2 when a *stale* WRITE arrives: forge the
+        // situation by delivering p1's initial-echo scenario: p1 processes
+        // WRITE1(10) from p2 (rule R1 would have sent it; reconstruct it).
+        let mut fx1 = Effects::new();
+        ps[1].on_message(
+            ProcessId::new(2),
+            TwoBitMsg::Write(Parity::Odd, 10u64),
+            &mut fx1,
+        );
+        // p1 echoes WRITE1 back to p2 (and forwards to p0 — both believed
+        // to know 0 values... p0 is at w_sync 0 in p1's view).
+        let echo_to_p2 = fx1
+            .drain_sends()
+            .find(|(to, _)| to.index() == 2)
+            .expect("echo to p2")
+            .1;
+        // p2 processes p1's echo: wsn=1 < w_sync_2[2]=2 → R2: send
+        // WRITE0(history[2]=20) to p1.
+        let mut fx2 = Effects::new();
+        ps[2].on_message(ProcessId::new(1), echo_to_p2, &mut fx2);
+        let catch_up: Vec<_> = fx2.drain_sends().collect();
+        assert_eq!(catch_up.len(), 1);
+        assert_eq!(catch_up[0].0, ProcessId::new(1));
+        assert_eq!(catch_up[0].1, TwoBitMsg::Write(Parity::Even, 20));
+        ps[2].check_local_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "write invoked on a non-writer")]
+    fn non_writer_write_panics() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+    }
+
+    #[test]
+    #[should_panic(expected = "while another is pending")]
+    fn concurrent_ops_on_one_process_panic() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        ps[1].on_invoke(OpId::new(1), Operation::Read, &mut fx);
+    }
+
+    #[test]
+    fn singleton_system_completes_everything_locally() {
+        let c = SystemConfig::new(1, 0).unwrap();
+        let mut p = TwoBitProcess::new(ProcessId::new(0), c, ProcessId::new(0), 0u64);
+        let mut fx = Effects::new();
+        p.on_invoke(OpId::new(0), Operation::Write(5), &mut fx);
+        assert_eq!(fx.completions(), &[(OpId::new(0), OpOutcome::Written)]);
+        assert!(fx.sends().is_empty());
+        let mut fx = Effects::new();
+        p.on_invoke(OpId::new(1), Operation::Read, &mut fx);
+        assert_eq!(fx.completions(), &[(OpId::new(1), OpOutcome::ReadValue(5))]);
+        p.check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn state_bits_grow_with_history() {
+        let mut ps = procs(2);
+        let before = ps[0].state_bits();
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+        let after = ps[0].state_bits();
+        assert_eq!(after - before, 64, "one more 64-bit value in history");
+    }
+}

@@ -1,0 +1,77 @@
+//! The Mostéfaoui–Raynal **two-bit-message SWMR atomic register** (Fig. 1 of
+//! the paper), as an event-driven automaton.
+//!
+//! # The algorithm in one paragraph
+//!
+//! One distinguished process is the *writer*; everyone may read. Each process
+//! keeps a local copy `history_i` of the sequence of written values plus two
+//! vectors of **local** sequence numbers: `w_sync_i[j]` (how much of the
+//! write history `p_j` knows, from `p_i`'s point of view) and `r_sync_i[j]`
+//! (how many of `p_i`'s read requests `p_j` has acknowledged). New values
+//! propagate by *forwarding*: a process that learns the `x`-th value sends it
+//! to every process it believes to know exactly `x−1` values (rule R1), and a
+//! process that receives a stale value replies with the successor value the
+//! sender is missing (rule R2). Between each ordered pair of processes the
+//! `WRITE` traffic follows an **alternating-bit** discipline — `p_i` sends its
+//! `x`-th `WRITE` to `p_j` only after processing `p_j`'s `(x−1)`-th — so a
+//! single parity bit suffices to reorder the (non-FIFO) channel, and no
+//! sequence number ever travels on the wire. Reads use two empty control
+//! messages: `READ()` asks every process to *wait* until it believes the
+//! reader knows a value at least as fresh as its own, then answer
+//! `PROCEED()`; after a quorum of `n−t` `PROCEED`s the reader waits until a
+//! quorum knows its own freshest value and returns it.
+//!
+//! Hence exactly four message types — [`WRITE0`/`WRITE1`](msg::TwoBitMsg::Write)
+//! (carrying a data value) and [`READ`](msg::TwoBitMsg::Read) /
+//! [`PROCEED`](msg::TwoBitMsg::Proceed) (carrying nothing) — i.e. **two bits
+//! of control information per message**, which is the paper's headline
+//! result. Failure-free time complexity: writes ≤ 2Δ, reads ≤ 4Δ.
+//!
+//! # Crate layout
+//!
+//! * [`TwoBitProcess`] — the per-process automaton (paper Fig. 1).
+//! * [`msg`] — the four-type message set and its 2-bit wire codec.
+//! * [`invariants`] — the paper's Lemmas 1–5 and properties P1/P2 as
+//!   machine-checkable predicates over a running simulation.
+//!
+//! # Examples
+//!
+//! Driving a 3-process system by hand (no simulator), showing a full write
+//! round trip:
+//!
+//! ```
+//! use twobit_core::{TwoBitOptions, TwoBitProcess};
+//! use twobit_proto::{Automaton, Effects, OpId, Operation, ProcessId, SystemConfig};
+//!
+//! let cfg = SystemConfig::new(3, 1)?;
+//! let writer = ProcessId::new(0);
+//! let mk = |i: usize| TwoBitProcess::new(ProcessId::new(i), cfg, writer, 0u64);
+//! let (mut p0, mut p1, mut p2) = (mk(0), mk(1), mk(2));
+//!
+//! // p0 writes 42: it broadcasts WRITE1(42) to p1 and p2 …
+//! let mut fx = Effects::new();
+//! p0.on_invoke(OpId::new(0), Operation::Write(42), &mut fx);
+//! let sends: Vec<_> = fx.drain_sends().collect();
+//! assert_eq!(sends.len(), 2);
+//!
+//! // … p1 receives it, echoes WRITE1(42) back to p0 (and forwards to p2) …
+//! let mut fx1 = Effects::new();
+//! p1.on_message(writer, sends[0].1.clone(), &mut fx1);
+//!
+//! // … and the echo back at p0 counts towards the n−t = 2 quorum:
+//! let echo = fx1.drain_sends().find(|(to, _)| *to == writer).unwrap();
+//! let mut fx0 = Effects::new();
+//! p0.on_message(ProcessId::new(1), echo.1, &mut fx0);
+//! assert_eq!(fx0.completions().len(), 1, "write completed after one echo");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod invariants;
+pub mod msg;
+
+pub use automaton::{TwoBitOptions, TwoBitProcess};
+pub use msg::{Parity, TwoBitMsg};

@@ -1,0 +1,247 @@
+//! The four-type message set and its two-bit wire codec.
+//!
+//! The paper's entire point is that these messages carry **no control
+//! information beyond their type**: `WRITE0(v)` and `WRITE1(v)` carry a data
+//! value and one implicit parity bit (folded into the type), `READ()` and
+//! `PROCEED()` carry nothing. Four types = 2 bits. The [`codec`] module
+//! makes this concrete by serializing messages with exactly one 2-bit tag.
+
+use serde::{Deserialize, Serialize};
+use twobit_proto::{MessageCost, Payload, WireMessage};
+
+/// Parity of a write sequence number — the alternating bit of §3.3.
+///
+/// The `x`-th written value is carried by `WRITE(x mod 2, v_x)`; this enum is
+/// that `x mod 2`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parity {
+    /// `x mod 2 == 0` → message type `WRITE0`.
+    Even,
+    /// `x mod 2 == 1` → message type `WRITE1`.
+    Odd,
+}
+
+impl Parity {
+    /// The parity of sequence number `x`.
+    pub fn of(x: u64) -> Self {
+        if x.is_multiple_of(2) {
+            Parity::Even
+        } else {
+            Parity::Odd
+        }
+    }
+
+    /// The parity bit as 0 or 1.
+    pub fn bit(self) -> u8 {
+        match self {
+            Parity::Even => 0,
+            Parity::Odd => 1,
+        }
+    }
+
+    /// The other parity.
+    pub fn flip(self) -> Self {
+        match self {
+            Parity::Even => Parity::Odd,
+            Parity::Odd => Parity::Even,
+        }
+    }
+}
+
+/// A message of the two-bit algorithm. Exactly four wire types exist.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TwoBitMsg<V> {
+    /// `WRITE0(v)` / `WRITE1(v)` — carries a written value; the parity is
+    /// the alternating bit (it is part of the *type*, not a field, on the
+    /// wire: see [`codec`]).
+    Write(Parity, V),
+    /// `READ()` — a read request; carries nothing.
+    Read,
+    /// `PROCEED()` — unblocks a reader; carries nothing.
+    Proceed,
+}
+
+impl<V: Payload> WireMessage for TwoBitMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            TwoBitMsg::Write(Parity::Even, _) => "WRITE0",
+            TwoBitMsg::Write(Parity::Odd, _) => "WRITE1",
+            TwoBitMsg::Read => "READ",
+            TwoBitMsg::Proceed => "PROCEED",
+        }
+    }
+
+    /// Every message costs exactly **2 control bits**; only `WRITE`s carry
+    /// data bits. This is Table 1 row 3, column "Proposed algorithm".
+    fn cost(&self) -> MessageCost {
+        match self {
+            TwoBitMsg::Write(_, v) => MessageCost::new(2, v.data_bits()),
+            TwoBitMsg::Read | TwoBitMsg::Proceed => MessageCost::new(2, 0),
+        }
+    }
+}
+
+/// Serialization proving the 2-bit claim on real bytes.
+///
+/// Layout: the first byte's two low bits are the type tag
+/// (`00`=WRITE0, `01`=WRITE1, `10`=READ, `11`=PROCEED); the six high bits are
+/// zero padding (wire formats are byte-granular; the *information content* is
+/// 2 bits). `WRITE` messages are followed by the raw value bytes.
+pub mod codec {
+    use super::{Parity, TwoBitMsg};
+    use bytes::{BufMut, Bytes, BytesMut};
+
+    /// Tag values for the four message types.
+    const TAG_WRITE0: u8 = 0b00;
+    const TAG_WRITE1: u8 = 0b01;
+    const TAG_READ: u8 = 0b10;
+    const TAG_PROCEED: u8 = 0b11;
+
+    /// Decoding error.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum DecodeError {
+        /// The buffer was empty.
+        Empty,
+        /// The tag byte had non-zero padding bits.
+        BadPadding,
+        /// A READ/PROCEED message unexpectedly carried payload bytes.
+        TrailingBytes,
+    }
+
+    impl std::fmt::Display for DecodeError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                DecodeError::Empty => write!(f, "empty message buffer"),
+                DecodeError::BadPadding => write!(f, "non-zero padding bits in tag byte"),
+                DecodeError::TrailingBytes => {
+                    write!(f, "control-only message carried payload bytes")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for DecodeError {}
+
+    /// Encodes a message whose value is a byte string.
+    pub fn encode(msg: &TwoBitMsg<Vec<u8>>) -> Bytes {
+        let mut buf = BytesMut::new();
+        match msg {
+            TwoBitMsg::Write(p, v) => {
+                buf.put_u8(match p {
+                    Parity::Even => TAG_WRITE0,
+                    Parity::Odd => TAG_WRITE1,
+                });
+                buf.put_slice(v);
+            }
+            TwoBitMsg::Read => buf.put_u8(TAG_READ),
+            TwoBitMsg::Proceed => buf.put_u8(TAG_PROCEED),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message produced by [`encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on an empty buffer, non-zero padding bits,
+    /// or payload bytes on a control-only message.
+    pub fn decode(bytes: &[u8]) -> Result<TwoBitMsg<Vec<u8>>, DecodeError> {
+        let (&tag, rest) = bytes.split_first().ok_or(DecodeError::Empty)?;
+        if tag & !0b11 != 0 {
+            return Err(DecodeError::BadPadding);
+        }
+        match tag {
+            TAG_WRITE0 => Ok(TwoBitMsg::Write(Parity::Even, rest.to_vec())),
+            TAG_WRITE1 => Ok(TwoBitMsg::Write(Parity::Odd, rest.to_vec())),
+            TAG_READ | TAG_PROCEED => {
+                if !rest.is_empty() {
+                    return Err(DecodeError::TrailingBytes);
+                }
+                Ok(if tag == TAG_READ {
+                    TwoBitMsg::Read
+                } else {
+                    TwoBitMsg::Proceed
+                })
+            }
+            _ => unreachable!("two-bit tags are exhaustive"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::codec::{decode, encode, DecodeError};
+    use super::*;
+
+    #[test]
+    fn parity_of_sequence_numbers() {
+        assert_eq!(Parity::of(0), Parity::Even);
+        assert_eq!(Parity::of(1), Parity::Odd);
+        assert_eq!(Parity::of(2), Parity::Even);
+        assert_eq!(Parity::of(u64::MAX), Parity::Odd);
+        assert_eq!(Parity::Even.flip(), Parity::Odd);
+        assert_eq!(Parity::Odd.flip(), Parity::Even);
+        assert_eq!(Parity::Even.bit(), 0);
+        assert_eq!(Parity::Odd.bit(), 1);
+    }
+
+    #[test]
+    fn kinds_are_the_four_types() {
+        let w0: TwoBitMsg<u64> = TwoBitMsg::Write(Parity::Even, 5);
+        let w1: TwoBitMsg<u64> = TwoBitMsg::Write(Parity::Odd, 5);
+        let r: TwoBitMsg<u64> = TwoBitMsg::Read;
+        let p: TwoBitMsg<u64> = TwoBitMsg::Proceed;
+        assert_eq!(w0.kind(), "WRITE0");
+        assert_eq!(w1.kind(), "WRITE1");
+        assert_eq!(r.kind(), "READ");
+        assert_eq!(p.kind(), "PROCEED");
+    }
+
+    #[test]
+    fn control_cost_is_always_two_bits() {
+        let msgs: Vec<TwoBitMsg<u64>> = vec![
+            TwoBitMsg::Write(Parity::Even, u64::MAX),
+            TwoBitMsg::Write(Parity::Odd, 0),
+            TwoBitMsg::Read,
+            TwoBitMsg::Proceed,
+        ];
+        for m in msgs {
+            assert_eq!(m.cost().control_bits, 2, "{m:?}");
+        }
+        // Only WRITEs carry data.
+        assert_eq!(TwoBitMsg::Write(Parity::Even, 1u64).cost().data_bits, 64);
+        assert_eq!(TwoBitMsg::<u64>::Read.cost().data_bits, 0);
+        assert_eq!(TwoBitMsg::<u64>::Proceed.cost().data_bits, 0);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let cases = vec![
+            TwoBitMsg::Write(Parity::Even, b"hello".to_vec()),
+            TwoBitMsg::Write(Parity::Odd, Vec::new()),
+            TwoBitMsg::Read,
+            TwoBitMsg::Proceed,
+        ];
+        for msg in cases {
+            let bytes = encode(&msg);
+            assert_eq!(decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn codec_control_messages_are_one_byte() {
+        assert_eq!(encode(&TwoBitMsg::Read).len(), 1);
+        assert_eq!(encode(&TwoBitMsg::Proceed).len(), 1);
+        // WRITE overhead is exactly one tag byte.
+        let v = vec![0u8; 100];
+        assert_eq!(encode(&TwoBitMsg::Write(Parity::Even, v)).len(), 101);
+    }
+
+    #[test]
+    fn codec_rejects_garbage() {
+        assert_eq!(decode(&[]), Err(DecodeError::Empty));
+        assert_eq!(decode(&[0b0000_0100]), Err(DecodeError::BadPadding));
+        assert_eq!(decode(&[0b10, 1]), Err(DecodeError::TrailingBytes));
+        assert_eq!(decode(&[0b11, 1, 2]), Err(DecodeError::TrailingBytes));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the two-bit core: codec totality, alternating-bit
+//! channel behaviour under arbitrary interleavings, and the exact message
+//! economy of Lemma 5 / Theorem 2 on synchronous executions of arbitrary
+//! size.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+use twobit_core::msg::codec;
+use twobit_core::{Parity, TwoBitMsg, TwoBitProcess};
+use twobit_proto::{Automaton, Effects, OpId, Operation, ProcessId, SystemConfig};
+
+proptest! {
+    /// Encode/decode is the identity on every message, and WRITE tag
+    /// overhead is exactly one byte (2 information bits + fixed padding).
+    #[test]
+    fn codec_roundtrip_any_payload(payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        for msg in [
+            TwoBitMsg::Write(Parity::Even, payload.clone()),
+            TwoBitMsg::Write(Parity::Odd, payload.clone()),
+            TwoBitMsg::Read,
+            TwoBitMsg::Proceed,
+        ] {
+            let bytes = codec::encode(&msg);
+            prop_assert_eq!(codec::decode(&bytes).unwrap(), msg.clone());
+            let overhead = bytes.len()
+                - match &msg {
+                    TwoBitMsg::Write(_, v) => v.len(),
+                    _ => 0,
+                };
+            prop_assert_eq!(overhead, 1);
+        }
+    }
+
+    /// Decoding never panics on arbitrary bytes, and every successful
+    /// decode re-encodes to the same bytes (canonical form).
+    #[test]
+    fn codec_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        if let Ok(msg) = codec::decode(&bytes) {
+            let reencoded = codec::encode(&msg);
+            prop_assert_eq!(reencoded.as_ref(), &bytes[..]);
+        }
+    }
+
+    /// Two processes exchanging WRITEs over a channel that delivers the (at
+    /// most two) in-flight messages in ANY order always converge: this is
+    /// the alternating-bit property P1 exercised directly at the automaton
+    /// level, without the simulator.
+    #[test]
+    fn pairwise_alternating_bit_converges(flip_order in prop::collection::vec(any::<bool>(), 1..40)) {
+        let n = 2;
+        let cfg = SystemConfig::new(n, 0).unwrap();
+        let writer = ProcessId::new(0);
+        let mut p0 = TwoBitProcess::new(ProcessId::new(0), cfg, writer, 0u64);
+        let mut p1 = TwoBitProcess::new(ProcessId::new(1), cfg, writer, 0u64);
+        // Channels as queues; `flip_order[k]` decides whether to deliver the
+        // front or the back of the destination's queue at step k.
+        let mut chan01: VecDeque<TwoBitMsg<u64>> = VecDeque::new();
+        let mut chan10: VecDeque<TwoBitMsg<u64>> = VecDeque::new();
+        let mut next_value = 1u64;
+        let mut op = 0u64;
+
+        for &flip in &flip_order {
+            // Writer writes when idle (its previous write completed because
+            // quorum = 2 needs p1's echo; keep issuing as the sim allows).
+            if chan01.is_empty() && chan10.is_empty() {
+                let mut fx = Effects::new();
+                p0.on_invoke(OpId::new(op), Operation::Write(next_value), &mut fx);
+                op += 1;
+                next_value += 1;
+                for (to, m) in fx.drain_sends() {
+                    assert_eq!(to.index(), 1);
+                    chan01.push_back(m);
+                }
+            }
+            // Deliver one message on each channel, in adversarial order
+            // (`flip` picks the newest rather than the oldest in-flight
+            // message — P1 says there are at most two, so this explores
+            // every reordering).
+            let msg = if flip { chan01.pop_back() } else { chan01.pop_front() };
+            if let Some(m) = msg {
+                let mut fx = Effects::new();
+                p1.on_message(ProcessId::new(0), m, &mut fx);
+                p1.check_local_invariants().unwrap();
+                for (to, m2) in fx.drain_sends() {
+                    prop_assert_eq!(to.index(), 0);
+                    chan10.push_back(m2);
+                }
+            }
+            let msg = if flip { chan10.pop_back() } else { chan10.pop_front() };
+            if let Some(m) = msg {
+                let mut fx = Effects::new();
+                p0.on_message(ProcessId::new(1), m, &mut fx);
+                p0.check_local_invariants().unwrap();
+                for (to, m2) in fx.drain_sends() {
+                    prop_assert_eq!(to.index(), 1);
+                    chan01.push_back(m2);
+                }
+            }
+        }
+        // Drain both channels to quiescence (FIFO is fine now).
+        let mut guard = 0;
+        while !chan01.is_empty() || !chan10.is_empty() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "no convergence");
+            if let Some(m) = chan01.pop_front() {
+                let mut fx = Effects::new();
+                p1.on_message(ProcessId::new(0), m, &mut fx);
+                for (to, m2) in fx.drain_sends() {
+                    prop_assert_eq!(to.index(), 0);
+                    chan10.push_back(m2);
+                }
+            }
+            if let Some(m) = chan10.pop_front() {
+                let mut fx = Effects::new();
+                p0.on_message(ProcessId::new(1), m, &mut fx);
+                for (to, m2) in fx.drain_sends() {
+                    prop_assert_eq!(to.index(), 1);
+                    chan01.push_back(m2);
+                }
+            }
+        }
+        prop_assert_eq!(p0.history(), p1.history(), "histories must converge");
+        p0.check_local_invariants().unwrap();
+        p1.check_local_invariants().unwrap();
+    }
+
+    /// On a synchronous full-information execution, one write costs exactly
+    /// n(n−1) messages for any n (Theorem 2's constant, beyond the sizes
+    /// pinned in the harness).
+    #[test]
+    fn write_message_economy_any_n(n in 2usize..10) {
+        let cfg = SystemConfig::max_resilience(n);
+        let writer = ProcessId::new(0);
+        let mut procs: Vec<TwoBitProcess<u64>> = (0..n)
+            .map(|i| TwoBitProcess::new(ProcessId::new(i), cfg, writer, 0u64))
+            .collect();
+        let mut fx = Effects::new();
+        procs[0].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
+        let mut queue: VecDeque<(ProcessId, ProcessId, TwoBitMsg<u64>)> = fx
+            .drain_sends()
+            .map(|(to, m)| (ProcessId::new(0), to, m))
+            .collect();
+        let mut delivered = 0usize;
+        while let Some((from, to, m)) = queue.pop_front() {
+            delivered += 1;
+            prop_assert!(delivered <= n * n, "message storm");
+            let mut fx = Effects::new();
+            procs[to.index()].on_message(from, m, &mut fx);
+            for (to2, m2) in fx.drain_sends() {
+                queue.push_back((to, to2, m2));
+            }
+        }
+        prop_assert_eq!(delivered, n * (n - 1));
+        for p in &procs {
+            prop_assert_eq!(p.history(), &[0, 1][..]);
+            p.check_local_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Experiment E7: design-choice ablations.
+//!
+//! Three design points the paper calls out:
+//!
+//! * **Writer fast-path read** (Fig. 1's comment "the writer can directly
+//!   return `history_i[w_sync_i[i]]`"): with the fast path the writer's
+//!   reads are free; without it they run the full two-phase protocol.
+//! * **Read-dominated workloads** (§5: "Due to the O(n) message cost of its
+//!   read operation, it can benefit to read-dominated applications"): at a
+//!   95/5 read/write mix, the two-bit algorithm's reads cost 2(n−1)
+//!   messages versus ABD's 4(n−1) — half the read traffic.
+//! * **The line 9 confirmation wait** (the second read phase): ablating it
+//!   keeps the register *regular* but loses atomicity — and, a sharper
+//!   empirical finding, only when `t ≥ 2`: with `t = 1` every `PROCEED`
+//!   quorum intersects the ≥ 2 processes (writer + earlier reader) that
+//!   already hold a previously-read value, whose line-20 guards then force
+//!   the reader to catch up (see `tests/regular_vs_atomic.rs` for the
+//!   argument).
+
+use twobit_core::{TwoBitOptions, TwoBitProcess};
+use twobit_proto::{Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, PlannedOp, SimBuilder};
+
+use crate::measure::Algo;
+use crate::report::{fmt_f64, Table};
+use crate::DELTA;
+
+/// Measures writer-issued reads with/without the fast path. Returns
+/// (latency in Δ, messages per read) for each mode.
+pub fn writer_read_modes(n: usize, reads: usize, seed: u64) -> [(f64, f64); 2] {
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let mut results = [(0.0, 0.0); 2];
+    for (idx, fast) in [true, false].into_iter().enumerate() {
+        let opts = TwoBitOptions {
+            writer_fast_read: fast,
+            ..TwoBitOptions::default()
+        };
+        let mut sim = SimBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Fixed(DELTA))
+            .check_every(0)
+            .build(|id| TwoBitProcess::with_options(id, cfg, writer, 0u64, opts));
+        // One warm-up write, then writer-issued reads.
+        let gap = 40 * DELTA;
+        let mut plan = vec![PlannedOp::after(gap, Operation::Write(1u64))];
+        plan.extend((0..reads).map(|_| PlannedOp::after(gap, Operation::Read)));
+        sim.client_plan(0, ClientPlan::new(plan));
+        let report = sim.run().expect("ablation run failed");
+        assert!(report.all_live_ops_completed());
+        let write_msgs = (n * (n - 1)) as u64;
+        let read_msgs = (report.stats.total_sent() - write_msgs) as f64 / reads as f64;
+        let max_read_latency = report
+            .history
+            .records
+            .iter()
+            .filter(|r| r.op.is_read())
+            .filter_map(|r| r.latency())
+            .max()
+            .unwrap_or(0) as f64
+            / DELTA as f64;
+        results[idx] = (max_read_latency, read_msgs);
+    }
+    results
+}
+
+/// Compares two-bit and unbounded ABD on a read-dominated (95/5) workload.
+/// Returns (total messages, mean read latency in Δ) per algorithm.
+pub fn read_dominated(n: usize, total_ops: usize, seed: u64) -> [(u64, f64); 2] {
+    let writes = (total_ops / 20).max(1);
+    let reads_per_reader = (total_ops - writes) / (n - 1).max(1);
+    let mut out = [(0u64, 0.0); 2];
+    for (idx, algo) in [Algo::TwoBit, Algo::AbdUnbounded].into_iter().enumerate() {
+        // Sequential mixed run (single sim): writer writes slowly, readers
+        // poll concurrently.
+        let cfg = SystemConfig::max_resilience(n);
+        let writer = ProcessId::new(0);
+        macro_rules! go {
+            ($make:expr) => {{
+                let mut sim = SimBuilder::new(cfg)
+                    .seed(seed)
+                    .delay(DelayModel::Uniform { lo: DELTA / 2, hi: DELTA })
+                    .check_every(0)
+                    .build($make);
+                sim.client_plan(
+                    0,
+                    ClientPlan::new((1..=writes as u64).map(|v| {
+                        PlannedOp::after(10 * DELTA, Operation::Write(v))
+                    })),
+                );
+                for r in 1..n {
+                    sim.client_plan(
+                        r,
+                        ClientPlan::ops(
+                            (0..reads_per_reader).map(|_| Operation::<u64>::Read),
+                        ),
+                    );
+                }
+                let report = sim.run().expect("read-dominated run failed");
+                assert!(report.all_live_ops_completed());
+                twobit_lincheck::check_swmr(&report.history).expect("atomicity");
+                let lats: Vec<u64> = report
+                    .history
+                    .records
+                    .iter()
+                    .filter(|r| r.op.is_read())
+                    .filter_map(|r| r.latency())
+                    .collect();
+                let mean =
+                    lats.iter().sum::<u64>() as f64 / lats.len().max(1) as f64 / DELTA as f64;
+                (report.stats.total_sent(), mean)
+            }};
+        }
+        out[idx] = match algo {
+            Algo::TwoBit => go!(|id| TwoBitProcess::new(id, cfg, writer, 0u64)),
+            Algo::AbdUnbounded => {
+                go!(|id| twobit_baselines::AbdProcess::new(id, cfg, writer, 0u64))
+            }
+            _ => unreachable!(),
+        };
+    }
+    out
+}
+
+/// Ablates the line 9 confirmation wait: runs adversarial schedules with
+/// the wait disabled and counts atomicity violations (all of which must be
+/// new/old inversions, and regularity must survive). Returns
+/// (inversions found, runs) for the given system size.
+pub fn read_confirmation_off(n: usize, seeds: u64) -> (u64, u64) {
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let mut inversions = 0u64;
+    for seed in 0..seeds {
+        let opts = TwoBitOptions {
+            read_confirmation: false,
+            ..TwoBitOptions::default()
+        };
+        let mut sim = SimBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Spiky {
+                lo: 10,
+                hi: DELTA / 2,
+                spike_ppm: 400_000,
+                spike_lo: 4 * DELTA,
+                spike_hi: 12 * DELTA,
+            })
+            .check_every(0)
+            .build(|id| TwoBitProcess::with_options(id, cfg, writer, 0u64, opts));
+        sim.client_plan(
+            0,
+            ClientPlan::new((1..=6u64).map(|v| PlannedOp::after(DELTA, Operation::Write(v)))),
+        );
+        for r in 1..n {
+            sim.client_plan(
+                r,
+                ClientPlan::new((0..10).map(|_| {
+                    PlannedOp::after(DELTA / 3 + r as u64 * 119, Operation::<u64>::Read)
+                }))
+                .starting_at(r as u64 * 173),
+            );
+        }
+        let report = sim.run().expect("ablated run failed");
+        assert!(report.all_live_ops_completed());
+        twobit_lincheck::check_swmr_regular(&report.history)
+            .expect("regularity must survive the line 9 ablation");
+        if twobit_lincheck::check_swmr(&report.history).is_err() {
+            inversions += 1;
+        }
+    }
+    (inversions, seeds)
+}
+
+/// Runs E7 and renders the report.
+pub fn run(n: usize, seed: u64) -> String {
+    let mut out = String::from("## E7 — Ablations\n\n### Writer read fast path (Fig. 1 comment)\n\n");
+    let modes = writer_read_modes(n, 10, seed);
+    let mut t = Table::new(["mode", "writer-read latency (Δ)", "msgs per writer-read"]);
+    t.row([
+        "fast path (paper)".to_string(),
+        fmt_f64(modes[0].0),
+        fmt_f64(modes[0].1),
+    ]);
+    t.row([
+        "full protocol".to_string(),
+        fmt_f64(modes[1].0),
+        fmt_f64(modes[1].1),
+    ]);
+    out.push_str(&t.to_markdown());
+
+    out.push_str("\n### Read-dominated workload, 95% reads (§5 claim)\n\n");
+    let rd = read_dominated(n, 200, seed);
+    let mut t = Table::new(["algorithm", "total msgs", "mean read latency (Δ)"]);
+    t.row([
+        "proposed (two-bit)".to_string(),
+        rd[0].0.to_string(),
+        fmt_f64(rd[0].1),
+    ]);
+    t.row([
+        "ABD95 unbounded".to_string(),
+        rd[1].0.to_string(),
+        fmt_f64(rd[1].1),
+    ]);
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nReads are 2(n−1) messages for the two-bit algorithm vs 4(n−1) for ABD \
+         (PROCEED-signal vs value-shipping design, paper footnote 3), so read-heavy \
+         mixes favour the proposed algorithm.\n",
+    );
+
+    out.push_str("\n### Line 9 confirmation wait ablated (reads end after the PROCEED quorum)\n\n");
+    let mut t = Table::new(["n", "t", "runs", "runs with new/old inversion", "regular held"]);
+    for nn in [4usize, 5] {
+        // Inversions are rare events; scan enough schedules to see them.
+        let (inv, runs) = read_confirmation_off(nn, 400);
+        t.row([
+            nn.to_string(),
+            SystemConfig::max_resilience(nn).t().to_string(),
+            runs.to_string(),
+            inv.to_string(),
+            "yes (all runs)".to_string(),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+    out.push_str(
+        "\nWithout the second wait the register degrades from atomic to regular — but \
+         only at t ≥ 2: with t = 1 every PROCEED quorum intersects the processes that \
+         already hold a previously-read value, and their line-20 guards force the reader \
+         to catch up, making line 9 redundant at that resilience.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_is_free() {
+        let [(fast_lat, fast_msgs), (slow_lat, slow_msgs)] = writer_read_modes(5, 5, 3);
+        assert_eq!(fast_lat, 0.0);
+        assert_eq!(fast_msgs, 0.0);
+        assert!(slow_lat >= 2.0);
+        assert_eq!(slow_msgs, 8.0); // 2(n−1)
+    }
+
+    #[test]
+    fn read_dominated_favors_two_bit() {
+        let [(tb_msgs, _), (abd_msgs, _)] = read_dominated(4, 100, 5);
+        assert!(
+            tb_msgs < abd_msgs,
+            "two-bit {tb_msgs} should beat ABD {abd_msgs} on read-heavy mixes"
+        );
+    }
+}

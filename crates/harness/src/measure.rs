@@ -1,0 +1,303 @@
+//! Uniform cost measurement across the four Table 1 algorithms.
+//!
+//! The measurement protocol is identical for every algorithm:
+//!
+//! 1. run `w` writes, sequentially, with generous gaps so the system is
+//!    quiescent between operations (per-operation attribution is then just
+//!    division);
+//! 2. run the same writes followed by `r` sequential reads from a
+//!    non-writer process;
+//! 3. per-write messages = run-1 total / `w`; per-read messages =
+//!    (run-2 total − run-1 total) / `r` (runs share a seed, so the write
+//!    phases are identical event-for-event);
+//! 4. latencies come from the recorded history (in Δ units), message sizes
+//!    and local memory from the wire statistics and final automaton states.
+//!
+//! Every measured history is additionally passed through the
+//! linearizability checker — measurements of a broken register would be
+//! meaningless.
+
+use twobit_baselines::{abd_bounded_profile, attiya_profile, AbdProcess, PhasedProcess};
+use twobit_core::TwoBitProcess;
+use twobit_proto::{Automaton, Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, PlannedOp, SimBuilder};
+
+use crate::DELTA;
+
+/// The four algorithms of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's two-bit-message algorithm.
+    TwoBit,
+    /// ABD'95 with unbounded sequence numbers.
+    AbdUnbounded,
+    /// Bounded-sequence-number ABD'95 (cost-faithful emulation).
+    AbdBounded,
+    /// H. Attiya's bounded algorithm (cost-faithful emulation).
+    Attiya,
+}
+
+impl Algo {
+    /// All four, in Table 1 column order (ABD-unbounded, ABD-bounded,
+    /// Attiya, proposed).
+    pub const ALL: [Algo; 4] = [
+        Algo::AbdUnbounded,
+        Algo::AbdBounded,
+        Algo::Attiya,
+        Algo::TwoBit,
+    ];
+
+    /// Display name (matching Table 1's column headers).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::TwoBit => "proposed (two-bit)",
+            Algo::AbdUnbounded => "ABD95 unbounded",
+            Algo::AbdBounded => "ABD95 bounded (emulated)",
+            Algo::Attiya => "Attiya (emulated)",
+        }
+    }
+
+    /// `true` for the cost-faithful emulations (their message-size and
+    /// memory figures are modeled, not emergent).
+    pub fn is_emulated(self) -> bool {
+        matches!(self, Algo::AbdBounded | Algo::Attiya)
+    }
+
+    /// Measures the algorithm's per-operation costs (see module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a run stalls, violates an invariant, or produces a
+    /// non-linearizable history.
+    pub fn measure(self, n: usize, writes: usize, reads: usize, seed: u64) -> OpMetrics {
+        let cfg = SystemConfig::max_resilience(n);
+        let writer = ProcessId::new(0);
+        match self {
+            Algo::TwoBit => measure_impl(
+                self,
+                cfg,
+                writes,
+                reads,
+                seed,
+                |id| TwoBitProcess::new(id, cfg, writer, 0u64),
+            ),
+            Algo::AbdUnbounded => measure_impl(
+                self,
+                cfg,
+                writes,
+                reads,
+                seed,
+                |id| AbdProcess::new(id, cfg, writer, 0u64),
+            ),
+            Algo::AbdBounded => measure_impl(
+                self,
+                cfg,
+                writes,
+                reads,
+                seed,
+                |id| PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n)),
+            ),
+            Algo::Attiya => measure_impl(
+                self,
+                cfg,
+                writes,
+                reads,
+                seed,
+                |id| PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n)),
+            ),
+        }
+    }
+}
+
+/// Measured per-operation costs of one algorithm at one system size.
+#[derive(Clone, Debug)]
+pub struct OpMetrics {
+    /// Which algorithm.
+    pub algo: Algo,
+    /// System size.
+    pub n: usize,
+    /// Messages per write operation (including all forwarding until
+    /// quiescence).
+    pub msgs_per_write: f64,
+    /// Messages per read operation.
+    pub msgs_per_read: f64,
+    /// Largest control-bit cost of any single message.
+    pub max_control_bits: u64,
+    /// Mean control bits per message.
+    pub mean_control_bits: f64,
+    /// Largest per-process local state, in bits (modeled for emulations).
+    pub state_bits_max: u64,
+    /// Write latencies, in ticks (Δ = [`crate::DELTA`] ticks).
+    pub write_latencies: Vec<u64>,
+    /// Read latencies, in ticks.
+    pub read_latencies: Vec<u64>,
+}
+
+impl OpMetrics {
+    /// Maximum write latency in Δ units.
+    pub fn write_delta_max(&self) -> f64 {
+        self.write_latencies
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64
+            / DELTA as f64
+    }
+
+    /// Maximum read latency in Δ units.
+    pub fn read_delta_max(&self) -> f64 {
+        self.read_latencies.iter().copied().max().unwrap_or(0) as f64 / DELTA as f64
+    }
+}
+
+/// Gap between sequential operations: ample time for full quiescence even
+/// for the 18Δ emulated reads.
+const GAP: u64 = 40 * DELTA;
+
+fn plans(writes: usize, reads: usize) -> (ClientPlan<u64>, ClientPlan<u64>) {
+    let writer_plan = ClientPlan::new(
+        (1..=writes as u64).map(|v| PlannedOp::after(GAP, Operation::Write(v))),
+    );
+    // The reader starts well after the last write has settled.
+    let reader_start = (writes as u64 + 2) * GAP;
+    let reader_plan = ClientPlan::new(
+        (0..reads).map(|_| PlannedOp::after(GAP, Operation::<u64>::Read)),
+    )
+    .starting_at(reader_start);
+    (writer_plan, reader_plan)
+}
+
+fn measure_impl<A, F>(
+    algo: Algo,
+    cfg: SystemConfig,
+    writes: usize,
+    reads: usize,
+    seed: u64,
+    make: F,
+) -> OpMetrics
+where
+    A: Automaton<Value = u64>,
+    F: Fn(ProcessId) -> A,
+{
+    assert!(writes > 0 && reads > 0, "need at least one op of each kind");
+    assert!(cfg.n() >= 2, "measurement needs a non-writer reader");
+    let (writer_plan, reader_plan) = plans(writes, reads);
+
+    // Run 1: writes only.
+    let mut sim = SimBuilder::new(cfg)
+        .seed(seed)
+        .delay(DelayModel::Fixed(DELTA))
+        .check_every(0)
+        .build(&make);
+    sim.client_plan(0, writer_plan.clone());
+    let r1 = sim.run().expect("write-only run failed");
+    assert!(r1.all_live_ops_completed(), "write-only run stalled");
+    let write_msgs_total = r1.stats.total_sent();
+
+    // Run 2: writes then reads (same seed → identical write phase).
+    let mut sim = SimBuilder::new(cfg)
+        .seed(seed)
+        .delay(DelayModel::Fixed(DELTA))
+        .check_every(0)
+        .build(make);
+    sim.client_plan(0, writer_plan);
+    sim.client_plan(1, reader_plan);
+    let r2 = sim.run().expect("read run failed");
+    assert!(r2.all_live_ops_completed(), "read run stalled");
+    twobit_lincheck::check_swmr(&r2.history).expect("measured history must be atomic");
+
+    let read_msgs_total = r2.stats.total_sent() - write_msgs_total;
+    let write_latencies: Vec<u64> = r2
+        .history
+        .records
+        .iter()
+        .filter(|r| r.op.is_write())
+        .filter_map(|r| r.latency())
+        .collect();
+    let read_latencies: Vec<u64> = r2
+        .history
+        .records
+        .iter()
+        .filter(|r| r.op.is_read())
+        .filter_map(|r| r.latency())
+        .collect();
+    let state_bits_max = r2.procs.iter().map(|p| p.state_bits()).max().unwrap_or(0);
+    let total = r2.stats.total_sent();
+
+    OpMetrics {
+        algo,
+        n: cfg.n(),
+        msgs_per_write: write_msgs_total as f64 / writes as f64,
+        msgs_per_read: read_msgs_total as f64 / reads as f64,
+        max_control_bits: r2.stats.max_msg_control_bits(),
+        mean_control_bits: if total == 0 {
+            0.0
+        } else {
+            r2.stats.control_bits() as f64 / total as f64
+        },
+        state_bits_max,
+        write_latencies,
+        read_latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twobit_metrics_match_paper() {
+        let n = 5;
+        let m = Algo::TwoBit.measure(n, 5, 5, 1);
+        // Theorem 2: writes cost n(n−1) messages, reads 2(n−1).
+        assert_eq!(m.msgs_per_write, (n * (n - 1)) as f64);
+        assert_eq!(m.msgs_per_read, (2 * (n - 1)) as f64);
+        // 2 control bits, always.
+        assert_eq!(m.max_control_bits, 2);
+        assert_eq!(m.mean_control_bits, 2.0);
+        // 2Δ writes, ≤4Δ reads.
+        assert_eq!(m.write_delta_max(), 2.0);
+        assert!(m.read_delta_max() <= 4.0);
+    }
+
+    #[test]
+    fn abd_metrics_match_paper() {
+        let n = 5;
+        let m = Algo::AbdUnbounded.measure(n, 5, 5, 1);
+        assert_eq!(m.msgs_per_write, (2 * (n - 1)) as f64);
+        assert_eq!(m.msgs_per_read, (4 * (n - 1)) as f64);
+        assert_eq!(m.write_delta_max(), 2.0);
+        assert_eq!(m.read_delta_max(), 4.0);
+        // Control bits grow past the two-bit constant immediately.
+        assert!(m.max_control_bits > 2);
+    }
+
+    #[test]
+    fn bounded_emulations_match_their_profiles() {
+        let n = 5;
+        let b = Algo::AbdBounded.measure(n, 3, 3, 1);
+        assert_eq!(b.write_delta_max(), 12.0);
+        assert_eq!(b.read_delta_max(), 12.0);
+        assert_eq!(b.max_control_bits, (n as u64).pow(5));
+        // Echo phases make ops quadratic: strictly more than 12 rounds of
+        // 2(n−1) messages each.
+        assert!(b.msgs_per_write > (12 * (n - 1)) as f64);
+
+        let a = Algo::Attiya.measure(n, 3, 3, 1);
+        assert_eq!(a.write_delta_max(), 14.0);
+        assert_eq!(a.read_delta_max(), 18.0);
+        assert_eq!(a.max_control_bits, (n as u64).pow(3));
+        // Linear: write = 7 rounds × 2(n−1).
+        assert_eq!(a.msgs_per_write, (14 * (n - 1)) as f64);
+        assert_eq!(a.msgs_per_read, (18 * (n - 1)) as f64);
+    }
+
+    #[test]
+    fn emulation_flags() {
+        assert!(!Algo::TwoBit.is_emulated());
+        assert!(!Algo::AbdUnbounded.is_emulated());
+        assert!(Algo::AbdBounded.is_emulated());
+        assert!(Algo::Attiya.is_emulated());
+        assert_eq!(Algo::ALL.len(), 4);
+    }
+}

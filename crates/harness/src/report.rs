@@ -1,0 +1,170 @@
+//! Minimal markdown/CSV table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table that renders to GitHub markdown or CSV.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_harness::Table;
+///
+/// let mut t = Table::new(["algo", "msgs/write"]);
+/// t.row(["two-bit", "20"]);
+/// let md = t.to_markdown();
+/// assert!(md.starts_with("| algo    | msgs/write |"));
+/// assert!(md.contains("| two-bit | 20         |"));
+/// assert_eq!(t.to_csv(), "algo,msgs/write\ntwo-bit,20\n");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                let _ = write!(out, " {}{} |", c, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        out.push('|');
+        for w in &width {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as CSV (no quoting — cells must not contain commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float compactly (2 decimals, trailing zeros trimmed).
+pub fn fmt_f64(x: f64) -> String {
+    let s = format!("{x:.2}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Percentile of a sorted slice (nearest-rank).
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["xxxx", "1"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("| a "));
+        assert!(lines[1].starts_with("|---"));
+        // All lines equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_renders() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(t.to_csv(), "x,y\n1,2\n3,4\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(2.5), "2.5");
+        assert_eq!(fmt_f64(2.504), "2.5");
+        assert_eq!(fmt_f64(0.0), "0");
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+}

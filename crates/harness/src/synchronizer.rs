@@ -1,0 +1,172 @@
+//! Experiment E5: the fault-tolerant synchronizer's bounds (P1/P2, §3.3/§5).
+//!
+//! The paper's §5 highlights that the algorithm is a crash-tolerant
+//! *synchronizer*: `∀ i,j : |w_sync_i[j] − w_sync_j[i]| ≤ 1` (P2), and on
+//! each channel at most one `WRITE` bypasses another (P1). This experiment
+//! runs an adversarial reordering delay model and *measures* the maxima —
+//! not just asserting the bound, but showing it is attained (gap = 1
+//! happens, gap = 2 never).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use twobit_core::{invariants, TwoBitMsg, TwoBitProcess};
+use twobit_proto::{Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, SimBuilder, SimInvariant, SimView};
+
+use crate::report::Table;
+use crate::DELTA;
+
+/// Maxima observed by the probe.
+#[derive(Clone, Debug, Default)]
+pub struct SyncProbeResult {
+    /// Max observed `|w_sync_i[j] − w_sync_j[i]|`.
+    pub max_gap: u64,
+    /// Max `WRITE`s buffered out-of-order at any process from one sender.
+    pub max_buffered: usize,
+    /// Max unprocessed `WRITE`s (in flight + buffered) per channel.
+    pub max_unprocessed: usize,
+}
+
+/// A probing invariant: records maxima instead of failing.
+struct SyncProbe {
+    gap: Rc<Cell<u64>>,
+    buffered: Rc<Cell<usize>>,
+    unprocessed: Rc<Cell<usize>>,
+}
+
+impl SimInvariant<TwoBitProcess<u64>> for SyncProbe {
+    fn name(&self) -> &'static str {
+        "sync-probe"
+    }
+
+    fn check(&mut self, view: &SimView<'_, TwoBitProcess<u64>>) -> Result<(), String> {
+        let n = view.procs.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let a = view.procs[i].w_sync()[j];
+                let b = view.procs[j].w_sync()[i];
+                self.gap.set(self.gap.get().max(a.abs_diff(b)));
+                let buffered = view.procs[j].buffered_from(ProcessId::new(i));
+                self.buffered.set(self.buffered.get().max(buffered));
+                let inflight = view
+                    .channel(ProcessId::new(i), ProcessId::new(j))
+                    .iter()
+                    .filter(|m| matches!(m.msg, TwoBitMsg::Write(_, _)))
+                    .count();
+                self.unprocessed
+                    .set(self.unprocessed.get().max(inflight + buffered));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the probe under an aggressive reordering adversary.
+pub fn probe(n: usize, writes: usize, seed: u64) -> SyncProbeResult {
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let mut sim = SimBuilder::new(cfg)
+        .seed(seed)
+        .delay(DelayModel::Spiky {
+            lo: 1,
+            hi: DELTA / 4,
+            spike_ppm: 250_000,
+            spike_lo: 2 * DELTA,
+            spike_hi: 8 * DELTA,
+        })
+        .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
+    // The full invariant battery (hard assertions) runs alongside the probe.
+    for inv in invariants::all::<u64>(writer) {
+        sim.add_invariant(inv);
+    }
+    let gap = Rc::new(Cell::new(0));
+    let buffered = Rc::new(Cell::new(0));
+    let unprocessed = Rc::new(Cell::new(0));
+    sim.add_invariant(Box::new(SyncProbe {
+        gap: gap.clone(),
+        buffered: buffered.clone(),
+        unprocessed: unprocessed.clone(),
+    }));
+    sim.client_plan(
+        0,
+        ClientPlan::ops((1..=writes as u64).map(Operation::Write)),
+    );
+    for r in 1..n {
+        sim.client_plan(
+            r,
+            ClientPlan::ops((0..writes / 2).map(|_| Operation::<u64>::Read)),
+        );
+    }
+    let report = sim.run().expect("probe run violated a hard invariant");
+    assert!(report.all_live_ops_completed(), "probe run stalled");
+    twobit_lincheck::check_swmr(&report.history).expect("atomicity under reordering");
+    SyncProbeResult {
+        max_gap: gap.get(),
+        max_buffered: buffered.get(),
+        max_unprocessed: unprocessed.get(),
+    }
+}
+
+/// Runs E5 across seeds and renders the report.
+pub fn run(n: usize, writes: usize, seeds: u64) -> String {
+    let mut out = String::from(
+        "## E5 — Synchronizer bounds under adversarial reordering (P1/P2)\n\n",
+    );
+    let mut t = Table::new([
+        "seed",
+        "max |w_sync gap| (bound 1)",
+        "max buffered/channel (bound 1)",
+        "max unprocessed/channel (bound 2)",
+    ]);
+    let mut attained_gap = false;
+    let mut attained_buf = false;
+    for seed in 0..seeds {
+        let r = probe(n, writes, seed);
+        assert!(r.max_gap <= 1, "P2 violated: gap {}", r.max_gap);
+        assert!(r.max_buffered <= 1, "P1 violated: buffered {}", r.max_buffered);
+        assert!(
+            r.max_unprocessed <= 2,
+            "P1 violated: unprocessed {}",
+            r.max_unprocessed
+        );
+        attained_gap |= r.max_gap == 1;
+        attained_buf |= r.max_buffered == 1;
+        t.row([
+            seed.to_string(),
+            r.max_gap.to_string(),
+            r.max_buffered.to_string(),
+            r.max_unprocessed.to_string(),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+    out.push_str(&format!(
+        "\nBounds hold in every run; gap = 1 attained: {attained_gap}; out-of-order \
+         buffering exercised: {attained_buf}.\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold_and_are_attained() {
+        let r = probe(4, 20, 5);
+        assert!(r.max_gap <= 1);
+        assert!(r.max_buffered <= 1);
+        assert!(r.max_unprocessed <= 2);
+        // The synchronizer genuinely desynchronizes by one step.
+        assert_eq!(r.max_gap, 1);
+    }
+
+    #[test]
+    fn report_renders() {
+        let report = run(3, 10, 2);
+        assert!(report.contains("bound 1"));
+    }
+}

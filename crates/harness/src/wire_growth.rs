@@ -1,0 +1,123 @@
+//! Experiment E8: control-information growth with history length.
+//!
+//! The question that motivates the paper: sequence-number-carrying
+//! algorithms put ever-growing control information on the wire, the two-bit
+//! algorithm puts a **constant 2 bits** on every message forever. This
+//! experiment runs `k` writes for growing `k` and reports the largest and
+//! mean control-bit cost per message for both algorithms — the "series"
+//! behind Table 1 row 3.
+
+use twobit_baselines::AbdProcess;
+use twobit_core::TwoBitProcess;
+use twobit_proto::{Operation, ProcessId, SystemConfig};
+use twobit_simnet::{ClientPlan, DelayModel, SimBuilder};
+
+use crate::report::{fmt_f64, Table};
+use crate::DELTA;
+
+/// One sample of the growth series.
+#[derive(Clone, Debug)]
+pub struct GrowthPoint {
+    /// Number of writes performed.
+    pub writes: u64,
+    /// Two-bit: (max, mean) control bits per message.
+    pub twobit: (u64, f64),
+    /// Unbounded ABD: (max, mean) control bits per message.
+    pub abd: (u64, f64),
+}
+
+/// Measures the series for the given write counts.
+pub fn series(n: usize, write_counts: &[u64], seed: u64) -> Vec<GrowthPoint> {
+    write_counts
+        .iter()
+        .map(|&k| {
+            let cfg = SystemConfig::max_resilience(n);
+            let writer = ProcessId::new(0);
+            let run = |two_bit: bool| -> (u64, f64) {
+                macro_rules! go {
+                    ($make:expr) => {{
+                        let mut sim = SimBuilder::new(cfg)
+                            .seed(seed)
+                            .delay(DelayModel::Fixed(DELTA / 10))
+                            .check_every(0)
+                            .max_events(200_000_000)
+                            .build($make);
+                        sim.client_plan(
+                            0,
+                            ClientPlan::ops((1..=k).map(Operation::Write)),
+                        );
+                        let report = sim.run().expect("growth run failed");
+                        assert!(report.all_live_ops_completed());
+                        let total = report.stats.total_sent().max(1);
+                        (
+                            report.stats.max_msg_control_bits(),
+                            report.stats.control_bits() as f64 / total as f64,
+                        )
+                    }};
+                }
+                if two_bit {
+                    go!(|id| TwoBitProcess::new(id, cfg, writer, 0u64))
+                } else {
+                    go!(|id| AbdProcess::new(id, cfg, writer, 0u64))
+                }
+            };
+            GrowthPoint {
+                writes: k,
+                twobit: run(true),
+                abd: run(false),
+            }
+        })
+        .collect()
+}
+
+/// Runs E8 and renders the report (markdown + CSV series).
+pub fn run(n: usize, seed: u64) -> String {
+    let counts = [1u64, 10, 100, 1_000, 5_000];
+    let points = series(n, &counts, seed);
+    let mut out = String::from(
+        "## E8 — Control bits per message vs history length (n writes performed)\n\n",
+    );
+    let mut t = Table::new([
+        "writes",
+        "two-bit max",
+        "two-bit mean",
+        "ABD max",
+        "ABD mean",
+    ]);
+    for p in &points {
+        t.row([
+            p.writes.to_string(),
+            p.twobit.0.to_string(),
+            fmt_f64(p.twobit.1),
+            p.abd.0.to_string(),
+            fmt_f64(p.abd.1),
+        ]);
+    }
+    out.push_str(&t.to_markdown());
+    out.push_str("\nCSV series:\n\n```\n");
+    out.push_str(&t.to_csv());
+    out.push_str("```\n");
+    out.push_str(
+        "\nThe two-bit column is the constant 2 regardless of history length; ABD's \
+         control cost grows with log2(seq).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twobit_is_constant_abd_grows() {
+        let pts = series(3, &[1, 50, 500], 9);
+        for p in &pts {
+            assert_eq!(p.twobit.0, 2, "writes={}", p.writes);
+            assert_eq!(p.twobit.1, 2.0);
+        }
+        // ABD's max control bits grow with the write count.
+        assert!(pts[2].abd.0 > pts[0].abd.0);
+        // log2(500) ≈ 9 bits of seq + 3 tag bits.
+        assert!(pts[2].abd.0 >= 9);
+    }
+}

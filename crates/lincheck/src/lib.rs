@@ -1,0 +1,50 @@
+//! Linearizability (atomicity) checking for read/write register histories.
+//!
+//! The consistency condition of the paper (§2.2) is Lamport's atomicity,
+//! equivalently linearizability (Herlihy & Wing 1990): all operations —
+//! except possibly, for each faulty process, the last operation it invoked —
+//! appear as if executed sequentially, respecting real-time order, with every
+//! read returning the closest preceding write (or the initial value).
+//!
+//! Two checkers are provided:
+//!
+//! * [`swmr`] — a specialized polynomial-time decision procedure for
+//!   **single-writer** histories with distinct written values. Its three
+//!   conditions are exactly the three claims of the paper's Lemma 10
+//!   (no read from the future, no overwritten read, no new/old inversion),
+//!   which are proved there to characterize SWMR atomicity.
+//! * [`wg`] — the general Wing–Gong search (with state memoization), usable
+//!   for multi-writer histories and as an independent cross-check of the
+//!   specialized checker on small histories.
+//!
+//! # Examples
+//!
+//! ```
+//! use twobit_lincheck::swmr;
+//! use twobit_proto::{History, OpId, OpOutcome, OpRecord, Operation, ProcessId};
+//!
+//! let mut h = History::new(0u64);
+//! // w(1) at [0,10], then a read at [20,30] returning 1: atomic.
+//! h.records.push(OpRecord {
+//!     op_id: OpId::new(0), proc: ProcessId::new(0),
+//!     op: Operation::Write(1), invoked_at: 0,
+//!     completed: Some((10, OpOutcome::Written)),
+//! });
+//! h.records.push(OpRecord {
+//!     op_id: OpId::new(1), proc: ProcessId::new(1),
+//!     op: Operation::Read, invoked_at: 20,
+//!     completed: Some((30, OpOutcome::ReadValue(1))),
+//! });
+//! let verdict = swmr::check(&h)?;
+//! assert_eq!(verdict.reads_checked, 1);
+//! # Ok::<(), twobit_lincheck::swmr::AtomicityViolation>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod swmr;
+pub mod wg;
+
+pub use swmr::{check as check_swmr, check_regular as check_swmr_regular, AtomicityViolation, SwmrVerdict};
+pub use wg::{check_register as check_wg, WgError};

@@ -1,0 +1,372 @@
+//! General register linearizability checking: Wing–Gong search with state
+//! memoization (Wing & Gong 1993; the memoization is Lowe's refinement).
+//!
+//! Exponential in the worst case, so intended for *small* histories: it
+//! serves as (a) the checker for multi-writer (MWMR) histories, where the
+//! single-writer shortcuts of [`crate::swmr`] do not apply, and (b) an
+//! independent cross-check of the specialized checker — the two are compared
+//! on thousands of randomized small histories in the test suite.
+//!
+//! Pending operations: a pending read constrains nothing and is dropped; a
+//! pending write may or may not have taken effect, so the search tries every
+//! subset of pending writes (each included write gets an infinite response
+//! time). The number of pending writes is limited to
+//! [`MAX_PENDING_WRITES`].
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+use twobit_proto::{History, Operation};
+
+/// Hard cap on total (completed + included-pending) operations — the memo
+/// key packs the linearized set into a `u64` bitmask.
+pub const MAX_OPS: usize = 64;
+
+/// Hard cap on pending writes (each doubles the search).
+pub const MAX_PENDING_WRITES: usize = 8;
+
+/// Why the Wing–Gong check failed (or could not run).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WgError {
+    /// More than [`MAX_OPS`] operations.
+    TooManyOps(usize),
+    /// More than [`MAX_PENDING_WRITES`] pending writes.
+    TooManyPendingWrites(usize),
+    /// A read returned a value that no write (and not the initial value)
+    /// could explain.
+    UnknownValue,
+    /// No linearization exists.
+    NotLinearizable,
+}
+
+impl fmt::Display for WgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WgError::TooManyOps(m) => write!(f, "history too large for WG search ({m} ops)"),
+            WgError::TooManyPendingWrites(m) => write!(f, "too many pending writes ({m})"),
+            WgError::UnknownValue => write!(f, "a read returned a never-written value"),
+            WgError::NotLinearizable => write!(f, "no legal linearization exists"),
+        }
+    }
+}
+
+impl std::error::Error for WgError {}
+
+#[derive(Clone, Copy)]
+enum OpSem {
+    Write(u32),
+    Read(u32),
+}
+
+#[derive(Clone, Copy)]
+struct WgOp {
+    invoked_at: u64,
+    response_at: u64, // u64::MAX for pending writes that are included
+    sem: OpSem,
+}
+
+/// Checks linearizability of a (possibly multi-writer) register history.
+///
+/// # Errors
+///
+/// Returns a [`WgError`] if the history is too large, references unknown
+/// values, or admits no linearization.
+pub fn check_register<V: Clone + Eq + Hash>(history: &History<V>) -> Result<(), WgError> {
+    // Map values to dense ids.
+    let mut value_ids: HashMap<&V, u32> = HashMap::new();
+    let mut next_id = 0u32;
+    let mut intern = |v| -> u32 {
+        *value_ids.entry(v).or_insert_with(|| {
+            let id = next_id;
+            next_id += 1;
+            id
+        })
+    };
+    let initial_id = intern(&history.initial);
+
+    let mut completed: Vec<WgOp> = Vec::new();
+    let mut pending_writes: Vec<WgOp> = Vec::new();
+    for r in &history.records {
+        match (&r.op, &r.completed) {
+            (Operation::Write(v), Some((resp, _))) => completed.push(WgOp {
+                invoked_at: r.invoked_at,
+                response_at: *resp,
+                sem: OpSem::Write(intern(v)),
+            }),
+            (Operation::Write(v), None) => pending_writes.push(WgOp {
+                invoked_at: r.invoked_at,
+                response_at: u64::MAX,
+                sem: OpSem::Write(intern(v)),
+            }),
+            (Operation::Read, Some((resp, out))) => {
+                let v = out.read_value().expect("read outcome");
+                // A read of a truly unknown value can never linearize; we
+                // only intern values seen in writes or the initial value,
+                // so check before interning blindly.
+                completed.push(WgOp {
+                    invoked_at: r.invoked_at,
+                    response_at: *resp,
+                    sem: OpSem::Read(intern(v)),
+                });
+            }
+            (Operation::Read, None) => {} // pending reads constrain nothing
+        }
+    }
+
+    // Validate that every read's value is the initial value or written by
+    // someone (otherwise fail fast with a precise error).
+    let written: HashSet<u32> = completed
+        .iter()
+        .chain(&pending_writes)
+        .filter_map(|o| match o.sem {
+            OpSem::Write(id) => Some(id),
+            OpSem::Read(_) => None,
+        })
+        .chain(std::iter::once(initial_id))
+        .collect();
+    if completed.iter().any(|o| match o.sem {
+        OpSem::Read(id) => !written.contains(&id),
+        OpSem::Write(_) => false,
+    }) {
+        return Err(WgError::UnknownValue);
+    }
+
+    if pending_writes.len() > MAX_PENDING_WRITES {
+        return Err(WgError::TooManyPendingWrites(pending_writes.len()));
+    }
+
+    // Try every subset of pending writes.
+    for subset in 0u32..(1 << pending_writes.len()) {
+        let mut ops = completed.clone();
+        for (k, w) in pending_writes.iter().enumerate() {
+            if subset & (1 << k) != 0 {
+                ops.push(*w);
+            }
+        }
+        if ops.len() > MAX_OPS {
+            return Err(WgError::TooManyOps(ops.len()));
+        }
+        if linearizes(&ops, initial_id) {
+            return Ok(());
+        }
+    }
+    Err(WgError::NotLinearizable)
+}
+
+/// Depth-first search for a legal linearization of `ops` from `initial`.
+fn linearizes(ops: &[WgOp], initial: u32) -> bool {
+    let m = ops.len();
+    if m == 0 {
+        return true;
+    }
+    let full: u64 = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+    let mut memo: HashSet<(u64, u32)> = HashSet::new();
+    let mut stack: Vec<(u64, u32)> = vec![(0, initial)];
+    while let Some((mask, val)) = stack.pop() {
+        if mask == full {
+            return true;
+        }
+        if !memo.insert((mask, val)) {
+            continue;
+        }
+        // Minimal-response among unlinearized ops: an op may linearize next
+        // only if no unlinearized op responded strictly before it was
+        // invoked.
+        let mut min_resp = u64::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                min_resp = min_resp.min(op.response_at);
+            }
+        }
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) != 0 || op.invoked_at > min_resp {
+                continue;
+            }
+            match op.sem {
+                OpSem::Write(v) => stack.push((mask | (1 << i), v)),
+                OpSem::Read(v) => {
+                    if v == val {
+                        stack.push((mask | (1 << i), val));
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_proto::{OpId, OpOutcome, OpRecord, ProcessId};
+
+    fn w(op_id: u64, proc: usize, inv: u64, resp: u64, v: u64) -> OpRecord<u64> {
+        OpRecord {
+            op_id: OpId::new(op_id),
+            proc: ProcessId::new(proc),
+            op: Operation::Write(v),
+            invoked_at: inv,
+            completed: Some((resp, OpOutcome::Written)),
+        }
+    }
+
+    fn r(op_id: u64, proc: usize, inv: u64, resp: u64, v: u64) -> OpRecord<u64> {
+        OpRecord {
+            op_id: OpId::new(op_id),
+            proc: ProcessId::new(proc),
+            op: Operation::Read,
+            invoked_at: inv,
+            completed: Some((resp, OpOutcome::ReadValue(v))),
+        }
+    }
+
+    fn hist(records: Vec<OpRecord<u64>>) -> History<u64> {
+        History {
+            initial: 0,
+            records,
+        }
+    }
+
+    #[test]
+    fn empty_is_linearizable() {
+        check_register(&hist(vec![])).unwrap();
+    }
+
+    #[test]
+    fn simple_sequential() {
+        let h = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 20, 30, 1)]);
+        check_register(&h).unwrap();
+    }
+
+    #[test]
+    fn rejects_stale_read() {
+        let h = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 20, 30, 0)]);
+        assert_eq!(check_register(&h), Err(WgError::NotLinearizable));
+    }
+
+    #[test]
+    fn rejects_new_old_inversion() {
+        let h = hist(vec![
+            w(0, 0, 0, 100, 1),
+            r(1, 1, 10, 20, 1),
+            r(2, 2, 30, 40, 0),
+        ]);
+        assert_eq!(check_register(&h), Err(WgError::NotLinearizable));
+    }
+
+    #[test]
+    fn accepts_concurrent_reads_any_order() {
+        let h = hist(vec![
+            w(0, 0, 0, 100, 1),
+            r(1, 1, 10, 30, 1),
+            r(2, 2, 20, 40, 0),
+        ]);
+        check_register(&h).unwrap();
+    }
+
+    #[test]
+    fn multi_writer_interleaving() {
+        // Two writers; a read sees w(2) then a later read sees w(1): only
+        // linearizable if w(1) is ordered after w(2)... which their overlap
+        // allows.
+        let h = hist(vec![
+            w(0, 0, 0, 50, 1),
+            w(1, 1, 0, 50, 2),
+            r(2, 2, 60, 70, 2),
+            r(3, 2, 80, 90, 2),
+        ]);
+        check_register(&h).unwrap();
+        // But seeing 2 then 1 with non-overlapping reads and no other write
+        // is NOT linearizable.
+        let h = hist(vec![
+            w(0, 0, 0, 50, 1),
+            w(1, 1, 0, 50, 2),
+            r(2, 2, 60, 70, 2),
+            r(3, 2, 80, 90, 1),
+        ]);
+        assert_eq!(check_register(&h), Err(WgError::NotLinearizable));
+    }
+
+    #[test]
+    fn multi_writer_sequential_order_respected() {
+        // w(1) completes before w(2) starts: reads may never see 1 after 2.
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            w(1, 1, 20, 30, 2),
+            r(2, 2, 40, 50, 1),
+        ]);
+        assert_eq!(check_register(&h), Err(WgError::NotLinearizable));
+    }
+
+    #[test]
+    fn pending_write_optional() {
+        let mut h = hist(vec![w(0, 0, 0, 10, 1)]);
+        h.records.push(OpRecord {
+            op_id: OpId::new(1),
+            proc: ProcessId::new(0),
+            op: Operation::Write(2),
+            invoked_at: 20,
+            completed: None,
+        });
+        // Read sees the pending write.
+        let mut h1 = h.clone();
+        h1.records.push(r(2, 1, 30, 40, 2));
+        check_register(&h1).unwrap();
+        // Read does not see it.
+        let mut h2 = h.clone();
+        h2.records.push(r(2, 1, 30, 40, 1));
+        check_register(&h2).unwrap();
+        // But a read *before* the pending write's invocation cannot see it.
+        let mut h3 = h;
+        h3.records.push(r(2, 1, 5, 15, 2));
+        assert_eq!(check_register(&h3), Err(WgError::NotLinearizable));
+    }
+
+    #[test]
+    fn unknown_value_detected() {
+        let h = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 20, 30, 42)]);
+        assert_eq!(check_register(&h), Err(WgError::UnknownValue));
+    }
+
+    #[test]
+    fn duplicate_values_supported() {
+        // The same value written twice — fine for WG (unlike the SWMR
+        // fast checker).
+        let h = hist(vec![
+            w(0, 0, 0, 10, 5),
+            r(1, 1, 15, 20, 5),
+            w(2, 0, 25, 30, 5),
+            r(3, 1, 35, 40, 5),
+        ]);
+        check_register(&h).unwrap();
+    }
+
+    #[test]
+    fn too_many_pending_writes() {
+        let mut h = hist(vec![]);
+        for i in 0..9 {
+            h.records.push(OpRecord {
+                op_id: OpId::new(i),
+                proc: ProcessId::new(i as usize % 3),
+                op: Operation::Write(i),
+                invoked_at: i * 10,
+                completed: None,
+            });
+        }
+        assert_eq!(check_register(&h), Err(WgError::TooManyPendingWrites(9)));
+    }
+
+    #[test]
+    fn pending_reads_dropped() {
+        let mut h = hist(vec![w(0, 0, 0, 10, 1)]);
+        h.records.push(OpRecord {
+            op_id: OpId::new(1),
+            proc: ProcessId::new(1),
+            op: Operation::Read,
+            invoked_at: 5,
+            completed: None,
+        });
+        check_register(&h).unwrap();
+    }
+}

@@ -1,0 +1,220 @@
+//! The event-driven automaton interface implemented by every register
+//! algorithm.
+//!
+//! The paper's Fig. 1 pseudo-code uses blocking `wait` statements; an
+//! equivalent *reactive* formulation turns each wait into a guard that is
+//! re-evaluated whenever local state changes. An [`Automaton`] is such a
+//! reactive process: the execution substrate (simulator or live runtime)
+//! feeds it operation invocations and message receptions, and the automaton
+//! responds by appending *effects* — messages to send and operations to
+//! complete — to an [`Effects`] buffer. The substrate decides when those
+//! messages are delivered (asynchrony, reordering, crashes live there).
+
+use crate::id::{ProcessId, SystemConfig};
+use crate::op::{OpId, OpOutcome, Operation};
+use crate::payload::Payload;
+use crate::wire::WireMessage;
+
+/// Buffer of outputs produced by one automaton step.
+///
+/// Collected rather than performed directly so the substrate stays in charge
+/// of delivery order, delays and crash cut-offs, and so automaton code is
+/// trivially deterministic and testable in isolation.
+#[derive(Debug)]
+pub struct Effects<M, V> {
+    sends: Vec<(ProcessId, M)>,
+    completions: Vec<(OpId, OpOutcome<V>)>,
+}
+
+impl<M, V> Default for Effects<M, V> {
+    fn default() -> Self {
+        Effects {
+            sends: Vec::new(),
+            completions: Vec::new(),
+        }
+    }
+}
+
+impl<M, V> Effects<M, V> {
+    /// Creates an empty effects buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `msg` for sending to `to` (the paper's `send TYPE(m) to p_j`).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Marks operation `op_id` as completed with `outcome`.
+    pub fn complete(&mut self, op_id: OpId, outcome: OpOutcome<V>) {
+        self.completions.push((op_id, outcome));
+    }
+
+    /// Convenience: completes a write operation (`return()`).
+    pub fn complete_write(&mut self, op_id: OpId) {
+        self.complete(op_id, OpOutcome::Written);
+    }
+
+    /// Convenience: completes a read operation returning `value`.
+    pub fn complete_read(&mut self, op_id: OpId, value: V) {
+        self.complete(op_id, OpOutcome::ReadValue(value));
+    }
+
+    /// Queued outgoing messages, in send order.
+    pub fn sends(&self) -> &[(ProcessId, M)] {
+        &self.sends
+    }
+
+    /// Queued operation completions.
+    pub fn completions(&self) -> &[(OpId, OpOutcome<V>)] {
+        &self.completions
+    }
+
+    /// Returns `true` if no effects were produced.
+    pub fn is_empty(&self) -> bool {
+        self.sends.is_empty() && self.completions.is_empty()
+    }
+
+    /// Drains the queued sends (substrate-side consumption).
+    pub fn drain_sends(&mut self) -> std::vec::Drain<'_, (ProcessId, M)> {
+        self.sends.drain(..)
+    }
+
+    /// Drains the queued completions (substrate-side consumption).
+    pub fn drain_completions(&mut self) -> std::vec::Drain<'_, (OpId, OpOutcome<V>)> {
+        self.completions.drain(..)
+    }
+}
+
+/// A deterministic, event-driven register process.
+///
+/// One instance embodies one process `p_i` of the `CAMP_{n,t}` system. The
+/// substrate guarantees the paper's model: handlers are executed atomically
+/// one at a time (processes are sequential), messages between each ordered
+/// process pair are delivered reliably but with arbitrary finite delay and
+/// possibly out of order, and a crashed process simply stops taking steps.
+///
+/// Implementations must be deterministic: identical event sequences must
+/// produce identical effects (this is what makes simulation runs replayable
+/// from a seed).
+pub trait Automaton: Send + 'static {
+    /// The register value type.
+    type Value: Payload;
+    /// The protocol message type.
+    type Msg: WireMessage;
+
+    /// This process's identity.
+    fn id(&self) -> ProcessId;
+
+    /// The system configuration (`n`, `t`).
+    fn config(&self) -> SystemConfig;
+
+    /// Handles an operation invocation by the local client.
+    ///
+    /// The substrate guarantees per-process sequentiality: it never invokes a
+    /// new operation before the previous one on the same process completed.
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<Self::Value>, fx: &mut Effects<Self::Msg, Self::Value>);
+
+    /// Handles the reception of `msg` from process `from`.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, fx: &mut Effects<Self::Msg, Self::Value>);
+
+    /// Estimated size, in bits, of this process's local state.
+    ///
+    /// Reproduces Table 1 row 4 ("local memory"). Measured (not modeled)
+    /// for the real algorithms; emulated baselines document their modeling.
+    fn state_bits(&self) -> u64;
+
+    /// Checks single-process invariants, returning a description of the
+    /// first violation.
+    ///
+    /// The two-bit automaton uses this for the locally-checkable parts of
+    /// the paper's lemmas (e.g. Lemma 3, Lemma 5). The default does nothing.
+    fn check_local_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MessageCost;
+
+    #[derive(Clone, Debug)]
+    struct Ping;
+
+    impl WireMessage for Ping {
+        fn kind(&self) -> &'static str {
+            "PING"
+        }
+        fn cost(&self) -> MessageCost {
+            MessageCost::new(1, 0)
+        }
+    }
+
+    /// Minimal automaton: completes reads with a constant, echoes a PING on
+    /// writes. Exercises the Effects plumbing.
+    struct Echo {
+        id: ProcessId,
+        cfg: SystemConfig,
+    }
+
+    impl Automaton for Echo {
+        type Value = u64;
+        type Msg = Ping;
+
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn config(&self) -> SystemConfig {
+            self.cfg
+        }
+        fn on_invoke(&mut self, op_id: OpId, op: Operation<u64>, fx: &mut Effects<Ping, u64>) {
+            match op {
+                Operation::Read => fx.complete_read(op_id, 7),
+                Operation::Write(_) => {
+                    for p in self.cfg.peers(self.id).collect::<Vec<_>>() {
+                        fx.send(p, Ping);
+                    }
+                    fx.complete_write(op_id);
+                }
+            }
+        }
+        fn on_message(&mut self, _from: ProcessId, _msg: Ping, _fx: &mut Effects<Ping, u64>) {}
+        fn state_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn effects_collect_and_drain() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut a = Echo {
+            id: ProcessId::new(0),
+            cfg,
+        };
+        let mut fx = Effects::new();
+        assert!(fx.is_empty());
+        a.on_invoke(OpId::new(1), Operation::Write(5), &mut fx);
+        assert_eq!(fx.sends().len(), 2);
+        assert_eq!(fx.completions().len(), 1);
+        assert!(!fx.is_empty());
+        let sends: Vec<_> = fx.drain_sends().collect();
+        assert_eq!(sends.len(), 2);
+        let comps: Vec<_> = fx.drain_completions().collect();
+        assert_eq!(comps, vec![(OpId::new(1), OpOutcome::Written)]);
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn read_completion_carries_value() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut a = Echo {
+            id: ProcessId::new(2),
+            cfg,
+        };
+        let mut fx = Effects::new();
+        a.on_invoke(OpId::new(9), Operation::Read, &mut fx);
+        assert_eq!(fx.completions(), &[(OpId::new(9), OpOutcome::ReadValue(7))]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Operation histories: the raw material of atomicity checking.
+//!
+//! A run of the system yields, per operation, an invocation instant and
+//! (unless the invoking process crashed mid-operation) a response instant and
+//! outcome. Atomicity/linearizability (§2.2 of the paper, Herlihy & Wing
+//! 1990) is a property of this history alone, so the simulator and the live
+//! runtime both emit [`History`] values which `twobit-lincheck` then judges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::ProcessId;
+use crate::op::{OpId, OpOutcome, Operation};
+
+/// One operation's lifetime inside a run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpRecord<V> {
+    /// Unique id of the invocation.
+    pub op_id: OpId,
+    /// Invoking process.
+    pub proc: ProcessId,
+    /// The operation invoked.
+    pub op: Operation<V>,
+    /// Invocation instant (substrate time units).
+    pub invoked_at: u64,
+    /// Response instant and outcome; `None` if the operation never completed
+    /// (its process crashed — the paper's consistency clause exempts, for
+    /// each faulty process, the last operation it invoked).
+    pub completed: Option<(u64, OpOutcome<V>)>,
+}
+
+impl<V> OpRecord<V> {
+    /// Returns `true` if the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.completed.is_some()
+    }
+
+    /// Response instant, if the operation completed.
+    pub fn response_at(&self) -> Option<u64> {
+        self.completed.as_ref().map(|(t, _)| *t)
+    }
+
+    /// Latency (response − invoke), if the operation completed.
+    pub fn latency(&self) -> Option<u64> {
+        self.response_at().map(|r| r - self.invoked_at)
+    }
+
+    /// The value returned by a completed read.
+    pub fn read_result(&self) -> Option<&V> {
+        self.completed.as_ref().and_then(|(_, o)| o.read_value())
+    }
+
+    /// Returns `true` if `self` finished strictly before `other` began
+    /// (real-time precedence `op1 →_H op2`).
+    pub fn precedes(&self, other: &OpRecord<V>) -> bool {
+        match self.response_at() {
+            Some(r) => r < other.invoked_at,
+            None => false,
+        }
+    }
+}
+
+/// A complete run history: the initial register value plus every operation
+/// record, in no particular order.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History<V> {
+    /// The register's initial value `v0`.
+    pub initial: V,
+    /// All operation records of the run.
+    pub records: Vec<OpRecord<V>>,
+}
+
+impl<V> History<V> {
+    /// Creates an empty history over a register initialized to `initial`.
+    pub fn new(initial: V) -> Self {
+        History {
+            initial,
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of operations (complete or not).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the history contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Iterates over completed operations only.
+    pub fn completed(&self) -> impl Iterator<Item = &OpRecord<V>> {
+        self.records.iter().filter(|r| r.is_complete())
+    }
+
+    /// Iterates over operations that never completed (crashed mid-op).
+    pub fn pending(&self) -> impl Iterator<Item = &OpRecord<V>> {
+        self.records.iter().filter(|r| !r.is_complete())
+    }
+
+    /// Iterates over completed reads.
+    pub fn reads(&self) -> impl Iterator<Item = &OpRecord<V>> {
+        self.completed().filter(|r| r.op.is_read())
+    }
+
+    /// Iterates over writes (complete or pending — a pending write may still
+    /// have taken effect).
+    pub fn writes(&self) -> impl Iterator<Item = &OpRecord<V>> {
+        self.records.iter().filter(|r| r.op.is_write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op_id: u64, proc: usize, op: Operation<u64>, inv: u64, resp: Option<(u64, OpOutcome<u64>)>) -> OpRecord<u64> {
+        OpRecord {
+            op_id: OpId::new(op_id),
+            proc: ProcessId::new(proc),
+            op,
+            invoked_at: inv,
+            completed: resp,
+        }
+    }
+
+    #[test]
+    fn precedence_is_strict_realtime() {
+        let a = rec(1, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written)));
+        let b = rec(2, 1, Operation::Read, 11, Some((20, OpOutcome::ReadValue(1))));
+        let c = rec(3, 2, Operation::Read, 5, Some((30, OpOutcome::ReadValue(1))));
+        assert!(a.precedes(&b));
+        assert!(!a.precedes(&c)); // c starts while a is running
+        assert!(!b.precedes(&a));
+        let pending = rec(4, 0, Operation::Write(2), 40, None);
+        assert!(!pending.precedes(&b)); // pending ops precede nothing
+    }
+
+    #[test]
+    fn latency_and_accessors() {
+        let a = rec(1, 0, Operation::Read, 5, Some((9, OpOutcome::ReadValue(3))));
+        assert_eq!(a.latency(), Some(4));
+        assert_eq!(a.read_result(), Some(&3));
+        let p = rec(2, 0, Operation::Read, 5, None);
+        assert_eq!(p.latency(), None);
+        assert!(!p.is_complete());
+    }
+
+    #[test]
+    fn history_filters() {
+        let mut h = History::new(0u64);
+        h.records.push(rec(1, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written))));
+        h.records.push(rec(2, 1, Operation::Read, 2, Some((12, OpOutcome::ReadValue(1)))));
+        h.records.push(rec(3, 0, Operation::Write(2), 20, None));
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+        assert_eq!(h.completed().count(), 2);
+        assert_eq!(h.pending().count(), 1);
+        assert_eq!(h.reads().count(), 1);
+        assert_eq!(h.writes().count(), 2);
+    }
+}

@@ -1,0 +1,248 @@
+//! Process identities and the `CAMP_{n,t}` system configuration.
+//!
+//! The paper's computation model (§2.1) is a complete network of `n`
+//! sequential asynchronous processes `p_1 .. p_n`, of which at most `t` may
+//! crash, with reliable but non-FIFO asynchronous channels. Building an
+//! atomic register additionally requires `t < n/2` (§2.2), which
+//! [`SystemConfig::new`] enforces.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of a process in the system, in `0..n`.
+///
+/// The paper indexes processes `p_1..p_n`; this implementation uses
+/// zero-based indices so a `ProcessId` doubles as a vector index.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::ProcessId;
+///
+/// let p = ProcessId::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u32);
+
+impl ProcessId {
+    /// Creates a process id from its zero-based index.
+    pub fn new(index: usize) -> Self {
+        ProcessId(u32::try_from(index).expect("process index fits in u32"))
+    }
+
+    /// Returns the zero-based index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(index: usize) -> Self {
+        ProcessId::new(index)
+    }
+}
+
+/// Error returned when a [`SystemConfig`] violates the model constraints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemConfigError {
+    /// The system needs at least one process.
+    NoProcesses,
+    /// `t < n/2` is necessary (and sufficient) to implement an atomic
+    /// register in `CAMP_{n,t}` (Attiya, Bar-Noy & Dolev 1995; paper §2.2).
+    MajorityViolated {
+        /// Number of processes.
+        n: usize,
+        /// Requested crash-fault threshold.
+        t: usize,
+    },
+}
+
+impl fmt::Display for SystemConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemConfigError::NoProcesses => write!(f, "system needs at least one process"),
+            SystemConfigError::MajorityViolated { n, t } => write!(
+                f,
+                "t < n/2 is required to implement an atomic register (got n={n}, t={t})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemConfigError {}
+
+/// Static configuration of a `CAMP_{n,t}[t < n/2]` system.
+///
+/// Bundles the process count `n` and the crash-fault threshold `t`, and
+/// provides the quorum arithmetic used throughout the algorithms: every wait
+/// predicate in the paper's Fig. 1 is of the form "at least `n − t`
+/// processes satisfy ...".
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::SystemConfig;
+///
+/// let cfg = SystemConfig::new(5, 2)?;
+/// assert_eq!(cfg.quorum(), 3); // n - t
+/// assert!(SystemConfig::new(4, 2).is_err()); // t < n/2 violated
+/// # Ok::<(), twobit_proto::SystemConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemConfig {
+    n: usize,
+    t: usize,
+}
+
+impl SystemConfig {
+    /// Creates a configuration, validating the model constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemConfigError::NoProcesses`] if `n == 0` and
+    /// [`SystemConfigError::MajorityViolated`] unless `t < n/2`.
+    pub fn new(n: usize, t: usize) -> Result<Self, SystemConfigError> {
+        if n == 0 {
+            return Err(SystemConfigError::NoProcesses);
+        }
+        if 2 * t >= n {
+            return Err(SystemConfigError::MajorityViolated { n, t });
+        }
+        Ok(SystemConfig { n, t })
+    }
+
+    /// Creates a configuration with the largest tolerable `t` for `n`
+    /// processes, i.e. `t = ⌈n/2⌉ − 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use twobit_proto::SystemConfig;
+    ///
+    /// assert_eq!(SystemConfig::max_resilience(5).t(), 2);
+    /// assert_eq!(SystemConfig::max_resilience(6).t(), 2);
+    /// assert_eq!(SystemConfig::max_resilience(1).t(), 0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn max_resilience(n: usize) -> Self {
+        assert!(n > 0, "system needs at least one process");
+        let t = n.div_ceil(2) - 1;
+        SystemConfig { n, t }
+    }
+
+    /// Number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Maximal number of processes that may crash, `t`.
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// Quorum size `n − t` used by every wait predicate of the algorithms.
+    ///
+    /// Since `t < n/2`, any two quorums of this size intersect in at least
+    /// one process, which is what the atomicity proofs rely on (Lemma 10).
+    pub fn quorum(&self) -> usize {
+        self.n - self.t
+    }
+
+    /// Iterates over all process ids `p0 .. p(n-1)`.
+    pub fn processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n).map(ProcessId::new)
+    }
+
+    /// Iterates over all process ids except `me` (the paper's
+    /// "for each j ∈ {1..n} \ {i}" pattern, e.g. Fig. 1 line 6).
+    pub fn peers(&self, me: ProcessId) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.n).map(ProcessId::new).filter(move |p| *p != me)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        for i in [0usize, 1, 7, 1000] {
+            assert_eq!(ProcessId::new(i).index(), i);
+            assert_eq!(ProcessId::from(i), ProcessId::new(i));
+        }
+    }
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId::new(0).to_string(), "p0");
+        assert_eq!(ProcessId::new(12).to_string(), "p12");
+    }
+
+    #[test]
+    fn config_rejects_majority_violation() {
+        assert_eq!(
+            SystemConfig::new(4, 2),
+            Err(SystemConfigError::MajorityViolated { n: 4, t: 2 })
+        );
+        assert_eq!(
+            SystemConfig::new(1, 1),
+            Err(SystemConfigError::MajorityViolated { n: 1, t: 1 })
+        );
+        assert_eq!(SystemConfig::new(0, 0), Err(SystemConfigError::NoProcesses));
+    }
+
+    #[test]
+    fn config_accepts_valid() {
+        let cfg = SystemConfig::new(5, 2).unwrap();
+        assert_eq!(cfg.n(), 5);
+        assert_eq!(cfg.t(), 2);
+        assert_eq!(cfg.quorum(), 3);
+    }
+
+    #[test]
+    fn max_resilience_is_maximal() {
+        for n in 1..40 {
+            let cfg = SystemConfig::max_resilience(n);
+            assert!(2 * cfg.t() < n, "t < n/2 must hold for n={n}");
+            // t+1 would violate the constraint.
+            assert!(SystemConfig::new(n, cfg.t() + 1).is_err());
+        }
+    }
+
+    #[test]
+    fn quorums_intersect() {
+        // n - t > n/2, so two quorums always intersect.
+        for n in 1..40 {
+            let cfg = SystemConfig::max_resilience(n);
+            assert!(2 * cfg.quorum() > n);
+        }
+    }
+
+    #[test]
+    fn peers_excludes_self() {
+        let cfg = SystemConfig::new(5, 2).unwrap();
+        let me = ProcessId::new(2);
+        let peers: Vec<_> = cfg.peers(me).collect();
+        assert_eq!(peers.len(), 4);
+        assert!(!peers.contains(&me));
+    }
+
+    #[test]
+    fn single_process_system() {
+        let cfg = SystemConfig::new(1, 0).unwrap();
+        assert_eq!(cfg.quorum(), 1);
+        assert_eq!(cfg.peers(ProcessId::new(0)).count(), 0);
+    }
+}

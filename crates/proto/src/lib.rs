@@ -1,0 +1,42 @@
+//! Protocol substrate shared by every register algorithm in this workspace.
+//!
+//! The paper ([Mostéfaoui & Raynal 2016]) and its baselines (ABD'95 and its
+//! bounded variants) are all *message-passing automatons*: deterministic state
+//! machines that react to operation invocations and message receptions by
+//! updating local state, sending messages, and completing operations. This
+//! crate defines that common vocabulary so the same algorithm code can run
+//! unchanged on the deterministic discrete-event simulator
+//! (`twobit-simnet`) and on the live threaded runtime (`twobit-runtime`).
+//!
+//! Main items:
+//!
+//! * [`ProcessId`], [`SystemConfig`] — the `CAMP_{n,t}` system model
+//!   (asynchronous message passing, up to `t < n/2` crash failures).
+//! * [`Operation`], [`OpOutcome`], [`OpId`] — read/write operations on a
+//!   single-writer multi-reader (SWMR) or multi-writer (MWMR) register.
+//! * [`Automaton`] and [`Effects`] — the event-driven execution interface.
+//! * [`WireMessage`] — per-message *control-bit* and *data-bit* accounting,
+//!   the measurement at the heart of the paper's Table 1.
+//! * [`OpRecord`], [`History`] — operation histories consumed by the
+//!   linearizability checker (`twobit-lincheck`).
+//!
+//! [Mostéfaoui & Raynal 2016]: https://hal.inria.fr/hal-01271135
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod history;
+pub mod id;
+pub mod op;
+pub mod payload;
+pub mod stats;
+pub mod wire;
+
+pub use automaton::{Automaton, Effects};
+pub use history::{History, OpRecord};
+pub use id::{ProcessId, SystemConfig, SystemConfigError};
+pub use op::{OpId, OpOutcome, Operation};
+pub use payload::Payload;
+pub use stats::{NetStats, StatsSnapshot};
+pub use wire::{MessageCost, WireMessage};

@@ -1,0 +1,111 @@
+//! Register operations and their outcomes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one operation *invocation*, unique within a run.
+///
+/// The paper's processes are sequential (one pending operation per process at
+/// a time); the id exists so that execution substrates can correlate an
+/// invocation with its completion and so histories can be cross-referenced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(u64);
+
+impl OpId {
+    /// Creates an operation id from a raw counter value.
+    pub fn new(raw: u64) -> Self {
+        OpId(raw)
+    }
+
+    /// Returns the raw counter value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// An operation on the register: `REG.read()` or `REG.write(v)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operation<V> {
+    /// `REG.read()` — returns the current value of the register.
+    Read,
+    /// `REG.write(v)` — defines `v` as the new value of the register.
+    /// Only the writer process may invoke this on an SWMR register.
+    Write(V),
+}
+
+impl<V> Operation<V> {
+    /// Returns `true` for a read operation.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Operation::Read)
+    }
+
+    /// Returns `true` for a write operation.
+    pub fn is_write(&self) -> bool {
+        matches!(self, Operation::Write(_))
+    }
+
+    /// Returns the value being written, if this is a write.
+    pub fn written_value(&self) -> Option<&V> {
+        match self {
+            Operation::Write(v) => Some(v),
+            Operation::Read => None,
+        }
+    }
+}
+
+/// The outcome delivered when an operation completes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpOutcome<V> {
+    /// A write completed (`return()` at Fig. 1 line 4).
+    Written,
+    /// A read completed, returning the value (`return(history_i[sn])`,
+    /// Fig. 1 line 10).
+    ReadValue(V),
+}
+
+impl<V> OpOutcome<V> {
+    /// Returns the value carried by a read outcome.
+    pub fn read_value(&self) -> Option<&V> {
+        match self {
+            OpOutcome::ReadValue(v) => Some(v),
+            OpOutcome::Written => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_id_roundtrip_and_order() {
+        assert_eq!(OpId::new(7).raw(), 7);
+        assert!(OpId::new(1) < OpId::new(2));
+        assert_eq!(OpId::new(3).to_string(), "op3");
+    }
+
+    #[test]
+    fn operation_classification() {
+        let r: Operation<u64> = Operation::Read;
+        let w = Operation::Write(42u64);
+        assert!(r.is_read() && !r.is_write());
+        assert!(w.is_write() && !w.is_read());
+        assert_eq!(w.written_value(), Some(&42));
+        assert_eq!(r.written_value(), None);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let w: OpOutcome<u64> = OpOutcome::Written;
+        let r = OpOutcome::ReadValue(9u64);
+        assert_eq!(w.read_value(), None);
+        assert_eq!(r.read_value(), Some(&9));
+    }
+}

@@ -1,0 +1,115 @@
+//! Register value payloads and their size accounting.
+//!
+//! The paper distinguishes sharply between the *data value* a message carries
+//! and its *control information*; the headline result is that two control
+//! bits suffice. To reproduce the "msg size (bits)" row of Table 1 we need to
+//! know how many bits of each message are data versus control, so register
+//! values implement [`Payload`] with an explicit bit size.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A value that can be stored in the register and shipped inside `WRITE`
+/// messages.
+///
+/// The `data_bits` method reports the payload's size so the wire-cost
+/// accounting can separate data bits from control bits. Implementations are
+/// provided for the value types used by the examples and experiments.
+pub trait Payload: Clone + Eq + Hash + Debug + Send + 'static {
+    /// Number of data bits this value occupies on the wire.
+    fn data_bits(&self) -> u64;
+}
+
+impl Payload for u64 {
+    fn data_bits(&self) -> u64 {
+        64
+    }
+}
+
+impl Payload for u32 {
+    fn data_bits(&self) -> u64 {
+        32
+    }
+}
+
+impl Payload for bool {
+    fn data_bits(&self) -> u64 {
+        1
+    }
+}
+
+impl Payload for () {
+    fn data_bits(&self) -> u64 {
+        0
+    }
+}
+
+impl Payload for String {
+    fn data_bits(&self) -> u64 {
+        8 * self.len() as u64
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn data_bits(&self) -> u64 {
+        8 * self.len() as u64
+    }
+}
+
+impl<A: Payload, B: Payload> Payload for (A, B) {
+    fn data_bits(&self) -> u64 {
+        self.0.data_bits() + self.1.data_bits()
+    }
+}
+
+/// Number of bits needed to represent `x` in binary, i.e. `⌈log₂(x+1)⌉`
+/// with the convention that zero still needs one bit.
+///
+/// Used to account for the size of unbounded sequence numbers in the ABD
+/// baseline ("unbounded seq. nb" column of Table 1): a sequence number `sn`
+/// costs `bits_for(sn)` bits on the wire.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::payload::bits_for;
+///
+/// assert_eq!(bits_for(0), 1);
+/// assert_eq!(bits_for(1), 1);
+/// assert_eq!(bits_for(2), 2);
+/// assert_eq!(bits_for(255), 8);
+/// assert_eq!(bits_for(256), 9);
+/// ```
+pub fn bits_for(x: u64) -> u64 {
+    u64::from(64 - x.max(1).leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_payload_sizes() {
+        assert_eq!(7u64.data_bits(), 64);
+        assert_eq!(7u32.data_bits(), 32);
+        assert_eq!(true.data_bits(), 1);
+        assert_eq!(().data_bits(), 0);
+        assert_eq!("ab".to_string().data_bits(), 16);
+        assert_eq!(vec![1u8, 2, 3].data_bits(), 24);
+        assert_eq!((1u64, 2u32).data_bits(), 96);
+    }
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(u64::MAX), 64);
+        for k in 1..63 {
+            assert_eq!(bits_for(1 << k), k + 1, "2^{k}");
+            assert_eq!(bits_for((1 << k) - 1), k, "2^{k}-1");
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Network statistics: message counts and wire bits, by message kind.
+//!
+//! Shared by the simulator (`twobit-simnet`) and the live runtime
+//! (`twobit-runtime`). These counters are the raw measurements behind Table 1 rows 1–3
+//! (#messages per write, #messages per read, message size in bits) and the
+//! wire-growth experiment E8. [`StatsSnapshot`] supports windowed
+//! measurement: snapshot before and after an operation (or a batch) and
+//! subtract.
+
+use std::collections::BTreeMap;
+
+use crate::wire::MessageCost;
+
+/// Running totals for one simulation (or one live-runtime session).
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    sent_by_kind: BTreeMap<&'static str, u64>,
+    bits_by_kind: BTreeMap<&'static str, u64>,
+    total_sent: u64,
+    total_delivered: u64,
+    dropped_to_crashed: u64,
+    control_bits: u64,
+    data_bits: u64,
+    max_msg_control_bits: u64,
+    max_msg_total_bits: u64,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one message handed to the network.
+    pub fn record_send(&mut self, kind: &'static str, cost: MessageCost) {
+        *self.sent_by_kind.entry(kind).or_insert(0) += 1;
+        *self.bits_by_kind.entry(kind).or_insert(0) += cost.total_bits();
+        self.total_sent += 1;
+        self.control_bits += cost.control_bits;
+        self.data_bits += cost.data_bits;
+        self.max_msg_control_bits = self.max_msg_control_bits.max(cost.control_bits);
+        self.max_msg_total_bits = self.max_msg_total_bits.max(cost.total_bits());
+    }
+
+    /// Records one message delivered to a live process.
+    pub fn record_delivery(&mut self) {
+        self.total_delivered += 1;
+    }
+
+    /// Records one message dropped because its destination had crashed.
+    pub fn record_drop_to_crashed(&mut self) {
+        self.dropped_to_crashed += 1;
+    }
+
+    /// Messages sent, total.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Messages delivered to live processes.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
+    }
+
+    /// Messages dropped at delivery because the destination crashed.
+    pub fn dropped_to_crashed(&self) -> u64 {
+        self.dropped_to_crashed
+    }
+
+    /// Messages sent of the given kind.
+    pub fn sent_of_kind(&self, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All kinds seen, with send counts.
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.sent_by_kind.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total control bits sent.
+    pub fn control_bits(&self) -> u64 {
+        self.control_bits
+    }
+
+    /// Total data bits sent.
+    pub fn data_bits(&self) -> u64 {
+        self.data_bits
+    }
+
+    /// Largest control-bit cost of any single message (Table 1 row 3
+    /// reports the worst case).
+    pub fn max_msg_control_bits(&self) -> u64 {
+        self.max_msg_control_bits
+    }
+
+    /// Largest total-bit cost of any single message.
+    pub fn max_msg_total_bits(&self) -> u64 {
+        self.max_msg_total_bits
+    }
+
+    /// Takes a snapshot for windowed measurements.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sent_by_kind: self.sent_by_kind.clone(),
+            total_sent: self.total_sent,
+            control_bits: self.control_bits,
+            data_bits: self.data_bits,
+        }
+    }
+}
+
+/// A point-in-time copy of the send counters; subtract two snapshots to get
+/// the traffic of a window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    sent_by_kind: BTreeMap<&'static str, u64>,
+    total_sent: u64,
+    control_bits: u64,
+    data_bits: u64,
+}
+
+impl StatsSnapshot {
+    /// Messages sent between `earlier` and `self`.
+    pub fn sent_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.total_sent - earlier.total_sent
+    }
+
+    /// Control bits sent between `earlier` and `self`.
+    pub fn control_bits_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.control_bits - earlier.control_bits
+    }
+
+    /// Data bits sent between `earlier` and `self`.
+    pub fn data_bits_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.data_bits - earlier.data_bits
+    }
+
+    /// Messages of `kind` sent between `earlier` and `self`.
+    pub fn kind_since(&self, earlier: &StatsSnapshot, kind: &str) -> u64 {
+        self.sent_by_kind.get(kind).copied().unwrap_or(0)
+            - earlier.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total messages in this snapshot (since run start).
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::new();
+        s.record_send("WRITE0", MessageCost::new(2, 64));
+        s.record_send("WRITE1", MessageCost::new(2, 64));
+        s.record_send("READ", MessageCost::new(2, 0));
+        s.record_delivery();
+        s.record_drop_to_crashed();
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.total_delivered(), 1);
+        assert_eq!(s.dropped_to_crashed(), 1);
+        assert_eq!(s.sent_of_kind("WRITE0"), 1);
+        assert_eq!(s.sent_of_kind("NOPE"), 0);
+        assert_eq!(s.control_bits(), 6);
+        assert_eq!(s.data_bits(), 128);
+        assert_eq!(s.max_msg_control_bits(), 2);
+        assert_eq!(s.max_msg_total_bits(), 66);
+    }
+
+    #[test]
+    fn snapshots_diff() {
+        let mut s = NetStats::new();
+        s.record_send("A", MessageCost::new(10, 5));
+        let before = s.snapshot();
+        s.record_send("A", MessageCost::new(10, 5));
+        s.record_send("B", MessageCost::new(1, 0));
+        let after = s.snapshot();
+        assert_eq!(after.sent_since(&before), 2);
+        assert_eq!(after.kind_since(&before, "A"), 1);
+        assert_eq!(after.kind_since(&before, "B"), 1);
+        assert_eq!(after.control_bits_since(&before), 11);
+        assert_eq!(after.data_bits_since(&before), 5);
+    }
+
+    #[test]
+    fn kinds_iteration_sorted() {
+        let mut s = NetStats::new();
+        s.record_send("B", MessageCost::default());
+        s.record_send("A", MessageCost::default());
+        s.record_send("A", MessageCost::default());
+        let kinds: Vec<_> = s.kinds().collect();
+        assert_eq!(kinds, vec![("A", 2), ("B", 1)]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Wire-level cost accounting for protocol messages.
+//!
+//! The central quantitative claim of the paper is about *control information*:
+//! the proposed algorithm's four message types (`WRITE0`, `WRITE1`, `READ`,
+//! `PROCEED`) carry **no control information beyond their type**, so two bits
+//! suffice; previous bounded algorithms need `O(n⁵)` (bounded ABD) or `O(n³)`
+//! (Attiya) control bits, and unbounded ABD carries ever-growing sequence
+//! numbers. Every algorithm message type in this workspace implements
+//! [`WireMessage`] so the experiment harness can measure exactly those
+//! quantities (Table 1 row 3; experiments E1.3 and E8).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of one message on the wire, split into control and data bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MessageCost {
+    /// Bits of control information: the message type tag plus any sequence
+    /// numbers, timestamps, identifiers or padding the protocol requires.
+    pub control_bits: u64,
+    /// Bits of the data value carried, if any.
+    pub data_bits: u64,
+}
+
+impl MessageCost {
+    /// Creates a cost record.
+    pub fn new(control_bits: u64, data_bits: u64) -> Self {
+        MessageCost {
+            control_bits,
+            data_bits,
+        }
+    }
+
+    /// Total bits on the wire for this message.
+    pub fn total_bits(&self) -> u64 {
+        self.control_bits + self.data_bits
+    }
+}
+
+/// A protocol message whose wire cost can be measured.
+///
+/// `kind` gives a small set of human-readable type names used for message
+/// counting (Table 1 rows 1–2); `cost` reports the control/data split
+/// (Table 1 row 3). Implementations must be cheap: the simulator calls them
+/// for every message sent.
+pub trait WireMessage: Clone + std::fmt::Debug + Send + 'static {
+    /// Human-readable message type name (e.g. `"WRITE0"`, `"READ"`).
+    fn kind(&self) -> &'static str;
+
+    /// Control/data bit cost of this message instance.
+    fn cost(&self) -> MessageCost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Dummy;
+
+    impl WireMessage for Dummy {
+        fn kind(&self) -> &'static str {
+            "DUMMY"
+        }
+        fn cost(&self) -> MessageCost {
+            MessageCost::new(2, 64)
+        }
+    }
+
+    #[test]
+    fn cost_totals() {
+        let c = MessageCost::new(2, 64);
+        assert_eq!(c.total_bits(), 66);
+        assert_eq!(MessageCost::default().total_bits(), 0);
+    }
+
+    #[test]
+    fn wire_message_object() {
+        let d = Dummy;
+        assert_eq!(d.kind(), "DUMMY");
+        assert_eq!(d.cost().control_bits, 2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the substrate primitives.
+
+use proptest::prelude::*;
+use twobit_proto::payload::bits_for;
+use twobit_proto::{MessageCost, NetStats, Payload, SystemConfig};
+
+proptest! {
+    /// `bits_for` is the exact binary width: `2^(b−1) ≤ max(x,1) < 2^b`.
+    #[test]
+    fn bits_for_is_binary_width(x in any::<u64>()) {
+        let b = bits_for(x);
+        prop_assert!((1..=64).contains(&b));
+        let x1 = x.max(1);
+        if b < 64 {
+            prop_assert!(x1 < (1u64 << b));
+        }
+        prop_assert!(x1 >= (1u64 << (b - 1)) || b == 1);
+    }
+
+    /// `bits_for` is monotone.
+    #[test]
+    fn bits_for_monotone(a in any::<u64>(), b in any::<u64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bits_for(lo) <= bits_for(hi));
+    }
+
+    /// Quorum arithmetic: for every valid (n, t), two quorums intersect and
+    /// the quorum survives t crashes.
+    #[test]
+    fn quorums_intersect_and_survive(n in 1usize..200) {
+        for t in 0..n {
+            match SystemConfig::new(n, t) {
+                Ok(cfg) => {
+                    prop_assert!(2 * t < n);
+                    prop_assert!(2 * cfg.quorum() > n, "quorum intersection");
+                    prop_assert!(cfg.quorum() <= n - t, "reachable with t crashes");
+                }
+                Err(_) => prop_assert!(2 * t >= n),
+            }
+        }
+    }
+
+    /// Byte payloads report exactly 8 bits per byte; message cost totals add
+    /// up; NetStats accumulation equals the sum of its parts.
+    #[test]
+    fn cost_accounting_adds_up(
+        sizes in prop::collection::vec(0u64..2_000, 1..50),
+    ) {
+        let mut stats = NetStats::new();
+        let mut control = 0u64;
+        let mut data = 0u64;
+        let mut max_total = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            let payload = vec![0u8; s as usize];
+            let cost = MessageCost::new(2 + (i as u64 % 7), payload.data_bits());
+            prop_assert_eq!(cost.data_bits, 8 * s);
+            prop_assert_eq!(cost.total_bits(), cost.control_bits + cost.data_bits);
+            control += cost.control_bits;
+            data += cost.data_bits;
+            max_total = max_total.max(cost.total_bits());
+            stats.record_send(if i % 2 == 0 { "A" } else { "B" }, cost);
+        }
+        prop_assert_eq!(stats.control_bits(), control);
+        prop_assert_eq!(stats.data_bits(), data);
+        prop_assert_eq!(stats.max_msg_total_bits(), max_total);
+        prop_assert_eq!(stats.total_sent(), sizes.len() as u64);
+        prop_assert_eq!(
+            stats.sent_of_kind("A") + stats.sent_of_kind("B"),
+            sizes.len() as u64
+        );
+    }
+}

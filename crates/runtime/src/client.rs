@@ -1,0 +1,109 @@
+//! Blocking client handles: the register API end users see.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use twobit_proto::{Automaton, OpId, OpOutcome, Operation, ProcessId};
+
+use crate::cluster::Incoming;
+use crate::recorder::Recorder;
+
+/// Errors surfaced by the blocking client API.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The target process is crashed or shut down.
+    ProcessUnavailable,
+    /// The operation did not complete within the configured timeout —
+    /// with more than `t` crashes the required quorum may never form.
+    Timeout,
+    /// The operation completed with an outcome of the wrong kind
+    /// (indicates a bug in the automaton).
+    ProtocolMismatch,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::ProcessUnavailable => write!(f, "target process unavailable"),
+            ClientError::Timeout => write!(f, "operation timed out"),
+            ClientError::ProtocolMismatch => write!(f, "mismatched operation outcome"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A blocking handle to the register, bound to one process.
+///
+/// Processes are sequential, so use **one client per process** and do not
+/// issue concurrent operations through clones of the same process's inbox —
+/// the automaton will panic its thread on a protocol violation, surfacing
+/// as [`ClientError::ProcessUnavailable`] here.
+pub struct RegisterClient<A: Automaton> {
+    pub(crate) proc: ProcessId,
+    pub(crate) inbox: Sender<Incoming<A>>,
+    pub(crate) recorder: Arc<Recorder<A::Value>>,
+    pub(crate) op_ids: Arc<AtomicU64>,
+    pub(crate) timeout: Duration,
+}
+
+impl<A: Automaton> RegisterClient<A> {
+    /// The process this client drives.
+    pub fn process(&self) -> ProcessId {
+        self.proc
+    }
+
+    fn invoke(&mut self, op: Operation<A::Value>) -> Result<OpOutcome<A::Value>, ClientError> {
+        let op_id = OpId::new(self.op_ids.fetch_add(1, Ordering::Relaxed));
+        let (reply_tx, reply_rx) = bounded(1);
+        let invoked_at = self.recorder.now();
+        self.inbox
+            .send(Incoming::Invoke {
+                op_id,
+                op: op.clone(),
+                reply: reply_tx,
+            })
+            .map_err(|_| ClientError::ProcessUnavailable)?;
+        self.recorder.invoked(op_id, self.proc, op, invoked_at);
+        match reply_rx.recv_timeout(self.timeout) {
+            Ok(outcome) => {
+                self.recorder
+                    .completed(op_id, self.recorder.now(), outcome.clone());
+                Ok(outcome)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(ClientError::ProcessUnavailable)
+            }
+        }
+    }
+
+    /// Writes `v` to the register (only valid on the writer's client for
+    /// SWMR algorithms; the process thread panics otherwise).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ProcessUnavailable`] if the process crashed or shut
+    /// down; [`ClientError::Timeout`] if no quorum answered in time.
+    pub fn write(&mut self, v: A::Value) -> Result<(), ClientError> {
+        match self.invoke(Operation::Write(v))? {
+            OpOutcome::Written => Ok(()),
+            OpOutcome::ReadValue(_) => Err(ClientError::ProtocolMismatch),
+        }
+    }
+
+    /// Reads the register.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegisterClient::write`].
+    pub fn read(&mut self) -> Result<A::Value, ClientError> {
+        match self.invoke(Operation::Read)? {
+            OpOutcome::ReadValue(v) => Ok(v),
+            OpOutcome::Written => Err(ClientError::ProtocolMismatch),
+        }
+    }
+}

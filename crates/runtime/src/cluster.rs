@@ -1,0 +1,396 @@
+//! Cluster assembly: process threads, chaos links, crash switches.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use twobit_proto::{
+    Automaton, Effects, History, NetStats, OpId, OpOutcome, Operation, ProcessId, SystemConfig,
+    WireMessage,
+};
+use twobit_simnet::DelayModel;
+
+use crate::client::RegisterClient;
+use crate::link::spawn_link;
+use crate::recorder::Recorder;
+
+/// Messages consumed by a process thread.
+pub enum Incoming<A: Automaton> {
+    /// A protocol message from a peer (already routed through its link).
+    Msg {
+        /// The sending process.
+        from: ProcessId,
+        /// The protocol message.
+        msg: A::Msg,
+    },
+    /// An operation invocation from a client handle.
+    Invoke {
+        /// Operation id allocated by the client.
+        op_id: OpId,
+        /// The operation.
+        op: Operation<A::Value>,
+        /// Channel on which to deliver the outcome.
+        reply: Sender<OpOutcome<A::Value>>,
+    },
+    /// Graceful shutdown request.
+    Shutdown,
+}
+
+/// Builder for a [`Cluster`].
+pub struct ClusterBuilder {
+    cfg: SystemConfig,
+    seed: u64,
+    delay: DelayModel,
+    op_timeout: Duration,
+}
+
+impl ClusterBuilder {
+    /// Starts configuring a cluster of `cfg.n()` processes.
+    pub fn new(cfg: SystemConfig) -> Self {
+        ClusterBuilder {
+            cfg,
+            seed: 0,
+            delay: DelayModel::Uniform { lo: 50, hi: 500 }, // 50–500µs
+            op_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Seeds the per-link delay samplers.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the link delay model (ticks = microseconds).
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the client-side operation timeout.
+    pub fn op_timeout(mut self, timeout: Duration) -> Self {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// Builds and starts the cluster: spawns `n` process threads and
+    /// `n(n−1)` link threads.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility
+    /// with transport-backed clusters.
+    pub fn build<A, F>(
+        self,
+        initial: A::Value,
+        mut make: F,
+    ) -> Result<Cluster<A>, std::io::Error>
+    where
+        A: Automaton,
+        F: FnMut(ProcessId) -> A,
+    {
+        let n = self.cfg.n();
+        let crashed: Vec<Arc<AtomicBool>> =
+            (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
+        let recorder = Arc::new(Recorder::new(initial));
+        let stats = Arc::new(Mutex::new(NetStats::new()));
+
+        // Inboxes (one per process).
+        let (inbox_txs, inbox_rxs): (Vec<_>, Vec<_>) =
+            (0..n).map(|_| unbounded::<Incoming<A>>()).unzip();
+
+        // Links: input channel per ordered pair (i → j).
+        let mut link_txs: Vec<Vec<Option<Sender<A::Msg>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut link_threads = Vec::new();
+        #[allow(clippy::needless_range_loop)] // i indexes link_txs below
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (tx, rx) = unbounded::<A::Msg>();
+                // Wrap delivery: the link forwards raw messages; a small
+                // adapter channel tags them with the sender id.
+                let (tagged_tx, tagged_rx) = unbounded::<A::Msg>();
+                let inbox = inbox_txs[j].clone();
+                let from = ProcessId::new(i);
+                let stats_d = Arc::clone(&stats);
+                // Adapter thread: raw → Incoming::Msg (kept separate from
+                // the link so the link stays generic over M).
+                let adapter = std::thread::spawn(move || {
+                    while let Ok(msg) = tagged_rx.recv() {
+                        stats_d.lock().record_delivery();
+                        if inbox.send(Incoming::Msg { from, msg }).is_err() {
+                            return;
+                        }
+                    }
+                });
+                let seed = self
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((i * n + j) as u64);
+                let link = spawn_link(rx, tagged_tx, self.delay, seed, Arc::clone(&crashed[j]));
+                link_threads.push(link);
+                link_threads.push(adapter);
+                link_txs[i][j] = Some(tx);
+            }
+        }
+
+        // Process threads.
+        let mut proc_threads = Vec::new();
+        for (i, inbox_rx) in inbox_rxs.into_iter().enumerate() {
+            let automaton = make(ProcessId::new(i));
+            assert_eq!(automaton.id().index(), i, "automaton id must match slot");
+            let outs: Vec<Option<Sender<A::Msg>>> = link_txs[i].clone();
+            let crashed = crashed.clone();
+            let stats = Arc::clone(&stats);
+            proc_threads.push(std::thread::spawn(move || {
+                process_loop(automaton, inbox_rx, outs, crashed, stats);
+            }));
+        }
+
+        Ok(Cluster {
+            cfg: self.cfg,
+            inbox_txs,
+            crashed,
+            recorder,
+            stats,
+            op_ids: Arc::new(AtomicU64::new(0)),
+            op_timeout: self.op_timeout,
+            proc_threads,
+            link_threads,
+        })
+    }
+}
+
+fn process_loop<A: Automaton>(
+    mut automaton: A,
+    inbox: crossbeam::channel::Receiver<Incoming<A>>,
+    outs: Vec<Option<Sender<A::Msg>>>,
+    crashed: Vec<Arc<AtomicBool>>,
+    stats: Arc<Mutex<NetStats>>,
+) {
+    let me = automaton.id().index();
+    let mut replies: std::collections::HashMap<OpId, Sender<OpOutcome<A::Value>>> =
+        std::collections::HashMap::new();
+    while let Ok(incoming) = inbox.recv() {
+        if crashed[me].load(Ordering::Relaxed) {
+            return; // silently halt: crash semantics
+        }
+        let mut fx = Effects::new();
+        match incoming {
+            Incoming::Shutdown => return,
+            Incoming::Msg { from, msg } => {
+                automaton.on_message(from, msg, &mut fx);
+            }
+            Incoming::Invoke { op_id, op, reply } => {
+                replies.insert(op_id, reply);
+                automaton.on_invoke(op_id, op, &mut fx);
+            }
+        }
+        // Apply effects: route sends through links, answer completions.
+        for (to, msg) in fx.drain_sends() {
+            stats.lock().record_send(msg.kind(), msg.cost());
+            if crashed[to.index()].load(Ordering::Relaxed) {
+                stats.lock().record_drop_to_crashed();
+                continue;
+            }
+            if let Some(tx) = outs[to.index()].as_ref() {
+                let _ = tx.send(msg);
+            }
+        }
+        for (op_id, outcome) in fx.drain_completions() {
+            if let Some(reply) = replies.remove(&op_id) {
+                let _ = reply.send(outcome);
+            }
+        }
+    }
+}
+
+/// A running cluster of register processes.
+///
+/// Obtain clients with [`Cluster::client`], crash processes with
+/// [`Cluster::crash`], and tear down with [`Cluster::shutdown`] (which also
+/// returns the recorded history for linearizability checking).
+pub struct Cluster<A: Automaton> {
+    cfg: SystemConfig,
+    inbox_txs: Vec<Sender<Incoming<A>>>,
+    crashed: Vec<Arc<AtomicBool>>,
+    recorder: Arc<Recorder<A::Value>>,
+    stats: Arc<Mutex<NetStats>>,
+    op_ids: Arc<AtomicU64>,
+    op_timeout: Duration,
+    proc_threads: Vec<JoinHandle<()>>,
+    link_threads: Vec<JoinHandle<()>>,
+}
+
+impl<A: Automaton> Cluster<A> {
+    /// The system configuration.
+    pub fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// Creates a client handle bound to process `proc`.
+    ///
+    /// Use at most one client per process at a time (processes are
+    /// sequential).
+    pub fn client(&self, proc: impl Into<ProcessId>) -> RegisterClient<A> {
+        let proc = proc.into();
+        RegisterClient {
+            proc,
+            inbox: self.inbox_txs[proc.index()].clone(),
+            recorder: Arc::clone(&self.recorder),
+            op_ids: Arc::clone(&self.op_ids),
+            timeout: self.op_timeout,
+        }
+    }
+
+    /// Crashes process `proc`: it stops handling events; messages addressed
+    /// to it are dropped. Irreversible.
+    pub fn crash(&self, proc: impl Into<ProcessId>) {
+        let proc = proc.into();
+        self.crashed[proc.index()].store(true, Ordering::Relaxed);
+        // Nudge the thread so it observes the flag even when idle.
+        let _ = self.inbox_txs[proc.index()].send(Incoming::Shutdown);
+    }
+
+    /// Snapshot of the operation history recorded so far.
+    pub fn history(&self) -> History<A::Value> {
+        self.recorder.snapshot()
+    }
+
+    /// Snapshot of the network statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats.lock().clone()
+    }
+
+    /// Gracefully stops all threads and returns the final history and
+    /// statistics.
+    pub fn shutdown(mut self) -> (History<A::Value>, NetStats) {
+        for tx in &self.inbox_txs {
+            let _ = tx.send(Incoming::Shutdown);
+        }
+        for h in self.proc_threads.drain(..) {
+            let _ = h.join();
+        }
+        // Links exit when their senders drop with the process threads.
+        self.inbox_txs.clear();
+        for h in self.link_threads.drain(..) {
+            let _ = h.join();
+        }
+        (self.recorder.snapshot(), self.stats.lock().clone())
+    }
+}
+
+impl<A: Automaton> Drop for Cluster<A> {
+    /// Best-effort, non-blocking teardown signal (C-DTOR-BLOCK: the
+    /// blocking variant is the explicit [`Cluster::shutdown`]).
+    fn drop(&mut self) {
+        for tx in &self.inbox_txs {
+            let _ = tx.send(Incoming::Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use twobit_baselines::AbdProcess;
+    use twobit_core::TwoBitProcess;
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::max_resilience(n)
+    }
+
+    #[test]
+    fn twobit_write_then_read() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(1)
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        let mut r = cluster.client(1);
+        w.write(7).unwrap();
+        assert_eq!(r.read().unwrap(), 7);
+        let (history, stats) = cluster.shutdown();
+        assert_eq!(history.records.len(), 2);
+        assert!(history.records.iter().all(|r| r.is_complete()));
+        assert!(stats.total_sent() > 0);
+        twobit_lincheck::check_swmr(&history).unwrap();
+    }
+
+    #[test]
+    fn abd_cluster_works_too() {
+        let c = cfg(5);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(2)
+            .build(0u64, |id| AbdProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        let mut r = cluster.client(4);
+        for i in 1..=5u64 {
+            w.write(i).unwrap();
+            assert_eq!(r.read().unwrap(), i);
+        }
+        let (history, _) = cluster.shutdown();
+        twobit_lincheck::check_swmr(&history).unwrap();
+    }
+
+    #[test]
+    fn crash_minority_still_live() {
+        let c = cfg(5); // t = 2
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(3)
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        let mut r = cluster.client(1);
+        w.write(1).unwrap();
+        cluster.crash(3);
+        cluster.crash(4);
+        w.write(2).unwrap();
+        assert_eq!(r.read().unwrap(), 2);
+        let (history, _) = cluster.shutdown();
+        twobit_lincheck::check_swmr(&history).unwrap();
+    }
+
+    #[test]
+    fn crash_majority_times_out() {
+        let c = cfg(3); // t = 1, quorum 2
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(4)
+            .op_timeout(Duration::from_millis(300))
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        w.write(1).unwrap();
+        cluster.crash(1);
+        cluster.crash(2);
+        // The writer alone cannot reach a quorum of 2.
+        assert_eq!(w.write(2), Err(crate::ClientError::Timeout));
+    }
+
+    #[test]
+    fn crashed_process_client_fails() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .op_timeout(Duration::from_millis(300))
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        cluster.crash(1);
+        let mut r = cluster.client(1);
+        // Either the inbox is already closed or the op times out — the
+        // operation must not succeed.
+        assert!(r.read().is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Chaos links: per-pair delivery threads injecting delay and reordering.
+//!
+//! One link thread serves one ordered process pair `p_i → p_j`. Each message
+//! gets an independent sampled delay (ticks of the
+//! [`DelayModel`](twobit_simnet::DelayModel) interpreted as microseconds),
+//! so a later message with a shorter delay genuinely overtakes an earlier
+//! one — the non-FIFO channel of the paper's model, realized with real
+//! threads.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use twobit_simnet::DelayModel;
+
+/// A message queued on a link, ordered by delivery deadline.
+struct Queued<M> {
+    deadline: Instant,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Spawns the link thread for one ordered pair.
+///
+/// Messages received on `rx` are held until their sampled deadline, then
+/// forwarded via `deliver` — unless the destination has crashed (checked at
+/// delivery time, like the simulator's drop-at-delivery semantics). The
+/// thread exits once `rx` disconnects and the queue has drained.
+pub(crate) fn spawn_link<M: Send + 'static>(
+    rx: Receiver<M>,
+    deliver: Sender<M>,
+    delay: DelayModel,
+    seed: u64,
+    dest_crashed: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut heap: BinaryHeap<Reverse<Queued<M>>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut disconnected = false;
+        loop {
+            // Deliver everything due.
+            let now = Instant::now();
+            while heap
+                .peek()
+                .is_some_and(|Reverse(q)| q.deadline <= now)
+            {
+                let Reverse(q) = heap.pop().expect("peeked");
+                if !dest_crashed.load(Ordering::Relaxed) {
+                    // The destination inbox may already be gone on shutdown.
+                    let _ = deliver.send(q.msg);
+                }
+            }
+            if disconnected && heap.is_empty() {
+                return;
+            }
+            // Wait for the next deadline or the next incoming message.
+            let wait = heap
+                .peek()
+                .map(|Reverse(q)| q.deadline.saturating_duration_since(Instant::now()));
+            let incoming = match wait {
+                Some(d) => match rx.recv_timeout(d) {
+                    Ok(m) => Some(m),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        // Sleep until the earliest deadline, then loop to
+                        // drain.
+                        if let Some(Reverse(q)) = heap.peek() {
+                            let d = q.deadline.saturating_duration_since(Instant::now());
+                            std::thread::sleep(d);
+                        }
+                        None
+                    }
+                },
+                None => {
+                    if disconnected {
+                        return;
+                    }
+                    match rx.recv() {
+                        Ok(m) => Some(m),
+                        Err(_) => return,
+                    }
+                }
+            };
+            if let Some(msg) = incoming {
+                // One tick of the delay model = 1µs of real time.
+                let micros = delay.sample(&mut rng);
+                heap.push(Reverse(Queued {
+                    deadline: Instant::now() + Duration::from_micros(micros),
+                    seq,
+                    msg,
+                }));
+                seq += 1;
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn delivers_in_deadline_order_not_send_order() {
+        // A deterministic alternating delay (via a two-point uniform range
+        // would be random; instead use Fixed and check ordering survives).
+        let (tx, link_rx) = unbounded::<u32>();
+        let (deliver_tx, out) = unbounded::<u32>();
+        let crashed = Arc::new(AtomicBool::new(false));
+        let h = spawn_link(
+            link_rx,
+            deliver_tx,
+            DelayModel::Fixed(1_000), // 1ms
+            7,
+            crashed,
+        );
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        h.join().unwrap();
+        let got: Vec<u32> = out.iter().collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reorders_with_spiky_delays() {
+        let (tx, link_rx) = unbounded::<u32>();
+        let (deliver_tx, out) = unbounded::<u32>();
+        let crashed = Arc::new(AtomicBool::new(false));
+        let h = spawn_link(
+            link_rx,
+            deliver_tx,
+            DelayModel::Spiky {
+                lo: 1,
+                hi: 100,
+                spike_ppm: 500_000,
+                spike_lo: 5_000,
+                spike_hi: 20_000,
+            },
+            3,
+            crashed,
+        );
+        for i in 0..200 {
+            tx.send(i).unwrap();
+            // Stagger sends slightly so reordering is about delays.
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        drop(tx);
+        h.join().unwrap();
+        let got: Vec<u32> = out.iter().collect();
+        assert_eq!(got.len(), 200);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..200).collect::<Vec<_>>());
+        assert_ne!(got, sorted, "spiky delays should reorder something");
+    }
+
+    #[test]
+    fn drops_to_crashed_destination() {
+        let (tx, link_rx) = unbounded::<u32>();
+        let (deliver_tx, out) = unbounded::<u32>();
+        let crashed = Arc::new(AtomicBool::new(true));
+        let h = spawn_link(link_rx, deliver_tx, DelayModel::Fixed(100), 1, crashed);
+        tx.send(1).unwrap();
+        drop(tx);
+        h.join().unwrap();
+        assert!(out.iter().next().is_none());
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared history recorder with client-side monotonic timestamps.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use twobit_proto::{History, OpId, OpOutcome, OpRecord, Operation, ProcessId};
+
+/// Records operation invocations/responses from many client threads.
+pub(crate) struct Recorder<V> {
+    start: Instant,
+    inner: Mutex<Inner<V>>,
+}
+
+struct Inner<V> {
+    history: History<V>,
+    index: HashMap<OpId, usize>,
+}
+
+impl<V: Clone> Recorder<V> {
+    pub(crate) fn new(initial: V) -> Self {
+        Recorder {
+            start: Instant::now(),
+            inner: Mutex::new(Inner {
+                history: History::new(initial),
+                index: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Nanoseconds since the recorder was created (monotonic).
+    pub(crate) fn now(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    pub(crate) fn invoked(&self, op_id: OpId, proc: ProcessId, op: Operation<V>, at: u64) {
+        let mut g = self.inner.lock();
+        let idx = g.history.records.len();
+        g.history.records.push(OpRecord {
+            op_id,
+            proc,
+            op,
+            invoked_at: at,
+            completed: None,
+        });
+        g.index.insert(op_id, idx);
+    }
+
+    pub(crate) fn completed(&self, op_id: OpId, at: u64, outcome: OpOutcome<V>) {
+        let mut g = self.inner.lock();
+        let idx = *g.index.get(&op_id).expect("completion for unknown op");
+        let rec = &mut g.history.records[idx];
+        debug_assert!(rec.completed.is_none(), "op completed twice");
+        rec.completed = Some((at, outcome));
+    }
+
+    pub(crate) fn snapshot(&self) -> History<V> {
+        self.inner.lock().history.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let r = Recorder::new(0u64);
+        let t0 = r.now();
+        r.invoked(OpId::new(0), ProcessId::new(1), Operation::Write(5), t0);
+        let h = r.snapshot();
+        assert_eq!(h.records.len(), 1);
+        assert!(!h.records[0].is_complete());
+        r.completed(OpId::new(0), t0 + 10, OpOutcome::Written);
+        let h = r.snapshot();
+        assert_eq!(h.records[0].completed, Some((t0 + 10, OpOutcome::Written)));
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let r = Recorder::new(0u64);
+        let a = r.now();
+        let b = r.now();
+        assert!(b >= a);
+    }
+}

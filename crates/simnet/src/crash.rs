@@ -1,0 +1,122 @@
+//! Crash-failure injection.
+//!
+//! "A process may halt prematurely (crash failure), but executes correctly
+//! its local algorithm until it possibly crashes" (§2.1). A crashed process
+//! stops taking steps: it handles no further events and sends no further
+//! messages. Messages already handed to the network stay in flight (channels
+//! are reliable); messages *addressed to* a crashed process are silently
+//! dropped at delivery.
+//!
+//! Two crash triggers are supported:
+//!
+//! * [`CrashPoint::AtTime`] — crash at a virtual-time instant;
+//! * [`CrashPoint::OnStep`] — crash while executing the process's k-th
+//!   handler, after only a prefix of that handler's sends has reached the
+//!   network. This reproduces the paper's "crashes during this broadcast ⇒
+//!   the message is received by an arbitrary subset of processes" (§3.5)
+//!   deterministically.
+
+use twobit_proto::ProcessId;
+
+use crate::SimTime;
+
+/// When (and how abruptly) a process crashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash at the given virtual time (before handling any event scheduled
+    /// at a strictly later time).
+    AtTime(SimTime),
+    /// Crash during the process's `step`-th handler execution (1-based,
+    /// counting both invocations and message deliveries): the handler runs,
+    /// but only its first `sends_allowed` outgoing messages are released to
+    /// the network, and any operation completion it produced is suppressed
+    /// (the process died before returning to its caller).
+    OnStep {
+        /// 1-based index of the fatal handler execution.
+        step: u64,
+        /// How many of that handler's sends escape before the crash.
+        sends_allowed: usize,
+    },
+}
+
+/// A per-run crash schedule: at most one crash point per process.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_simnet::{CrashPlan, CrashPoint};
+///
+/// let plan = CrashPlan::none()
+///     .with_crash(2, CrashPoint::AtTime(5_000))
+///     .with_crash(4, CrashPoint::OnStep { step: 3, sends_allowed: 1 });
+/// assert_eq!(plan.crash_count(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CrashPlan {
+    entries: Vec<(ProcessId, CrashPoint)>,
+}
+
+impl CrashPlan {
+    /// A plan in which no process crashes (failure-free run).
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Adds a crash for `proc` (builder style). A later entry for the same
+    /// process replaces the earlier one.
+    pub fn with_crash(mut self, proc: impl Into<ProcessId>, point: CrashPoint) -> Self {
+        let proc = proc.into();
+        self.entries.retain(|(p, _)| *p != proc);
+        self.entries.push((proc, point));
+        self
+    }
+
+    /// Looks up the crash point for `proc`, if any.
+    pub fn point_for(&self, proc: ProcessId) -> Option<CrashPoint> {
+        self.entries
+            .iter()
+            .find(|(p, _)| *p == proc)
+            .map(|(_, c)| *c)
+    }
+
+    /// Number of processes scheduled to crash.
+    pub fn crash_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over all scheduled crashes.
+    pub fn iter(&self) -> impl Iterator<Item = (ProcessId, CrashPoint)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan() {
+        let plan = CrashPlan::none();
+        assert_eq!(plan.crash_count(), 0);
+        assert_eq!(plan.point_for(ProcessId::new(0)), None);
+    }
+
+    #[test]
+    fn with_crash_replaces() {
+        let plan = CrashPlan::none()
+            .with_crash(1, CrashPoint::AtTime(10))
+            .with_crash(1, CrashPoint::AtTime(20));
+        assert_eq!(plan.crash_count(), 1);
+        assert_eq!(plan.point_for(ProcessId::new(1)), Some(CrashPoint::AtTime(20)));
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let plan = CrashPlan::none()
+            .with_crash(0, CrashPoint::AtTime(1))
+            .with_crash(3, CrashPoint::OnStep { step: 2, sends_allowed: 0 });
+        let got: Vec<_> = plan.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&(ProcessId::new(3), CrashPoint::OnStep { step: 2, sends_allowed: 0 })));
+    }
+}

@@ -1,0 +1,181 @@
+//! Message-delay models.
+//!
+//! Channels in the model are asynchronous: "while the transit time of each
+//! message is finite, there is no upper bound on message transit times"
+//! (§2.1). For *time-complexity* experiments the paper assumes transfer
+//! delays bounded by Δ and instantaneous local computation; [`DelayModel`]
+//! covers both regimes plus adversarial mixes that force reordering on the
+//! non-FIFO channels (the situation the alternating-bit pattern of §3.3 and
+//! the wait of Fig. 1 line 11 exist to survive).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::SimTime;
+
+/// Distribution of per-message transit delays.
+///
+/// Sampling is per message and independent per sample, so any model with a
+/// non-degenerate range yields non-FIFO behaviour (a later message can
+/// overtake an earlier one).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long (the paper's synchronous-Δ
+    /// regime used for the time-complexity rows of Table 1).
+    Fixed(SimTime),
+    /// Uniformly distributed in `[lo, hi]` (inclusive).
+    Uniform {
+        /// Minimum delay.
+        lo: SimTime,
+        /// Maximum delay.
+        hi: SimTime,
+    },
+    /// Mostly uniform in `[lo, hi]`, but with probability `spike_ppm`
+    /// (parts-per-million) the delay is instead uniform in
+    /// `[spike_lo, spike_hi]`. Models rare long-haul delays; with large
+    /// spikes this is an aggressive reordering adversary.
+    Spiky {
+        /// Minimum normal delay.
+        lo: SimTime,
+        /// Maximum normal delay.
+        hi: SimTime,
+        /// Spike probability in parts-per-million.
+        spike_ppm: u32,
+        /// Minimum spike delay.
+        spike_lo: SimTime,
+        /// Maximum spike delay.
+        spike_hi: SimTime,
+    },
+}
+
+impl DelayModel {
+    /// Samples a transit delay.
+    ///
+    /// Degenerate bounds are tolerated (`lo > hi` is treated as `lo == hi`),
+    /// and a delay of at least 1 tick is enforced so no message is delivered
+    /// at its send instant (processes never react to their own sends within
+    /// the same handler execution).
+    pub fn sample(&self, rng: &mut StdRng) -> SimTime {
+        let raw = match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { lo, hi } => sample_range(rng, lo, hi),
+            DelayModel::Spiky {
+                lo,
+                hi,
+                spike_ppm,
+                spike_lo,
+                spike_hi,
+            } => {
+                if rng.gen_range(0..1_000_000u32) < spike_ppm {
+                    sample_range(rng, spike_lo, spike_hi)
+                } else {
+                    sample_range(rng, lo, hi)
+                }
+            }
+        };
+        raw.max(1)
+    }
+
+    /// Upper bound of the delay distribution (the Δ this model realizes).
+    pub fn max_delay(&self) -> SimTime {
+        match *self {
+            DelayModel::Fixed(d) => d.max(1),
+            DelayModel::Uniform { lo, hi } => lo.max(hi).max(1),
+            DelayModel::Spiky {
+                lo, hi, spike_hi, ..
+            } => lo.max(hi).max(spike_hi).max(1),
+        }
+    }
+}
+
+fn sample_range(rng: &mut StdRng, lo: SimTime, hi: SimTime) -> SimTime {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Fixed(500);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 500);
+        }
+        assert_eq!(m.max_delay(), 500);
+    }
+
+    #[test]
+    fn zero_fixed_is_clamped_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(DelayModel::Fixed(0).sample(&mut rng), 1);
+        assert_eq!(DelayModel::Fixed(0).max_delay(), 1);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let m = DelayModel::Uniform { lo: 10, hi: 20 };
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2_000 {
+            let d = m.sample(&mut rng);
+            assert!((10..=20).contains(&d));
+            seen_lo |= d == 10;
+            seen_hi |= d == 20;
+        }
+        assert!(seen_lo && seen_hi, "uniform should hit both bounds");
+        assert_eq!(m.max_delay(), 20);
+    }
+
+    #[test]
+    fn degenerate_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DelayModel::Uniform { lo: 7, hi: 7 };
+        assert_eq!(m.sample(&mut rng), 7);
+        // lo > hi treated as lo.
+        let m = DelayModel::Uniform { lo: 9, hi: 2 };
+        assert_eq!(m.sample(&mut rng), 9);
+    }
+
+    #[test]
+    fn spiky_spikes_sometimes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = DelayModel::Spiky {
+            lo: 1,
+            hi: 10,
+            spike_ppm: 200_000, // 20%
+            spike_lo: 1_000,
+            spike_hi: 2_000,
+        };
+        let mut spikes = 0u32;
+        for _ in 0..5_000 {
+            let d = m.sample(&mut rng);
+            if d >= 1_000 {
+                spikes += 1;
+            } else {
+                assert!((1..=10).contains(&d));
+            }
+        }
+        // 20% ± generous tolerance
+        assert!((600..=1_600).contains(&spikes), "spikes={spikes}");
+        assert_eq!(m.max_delay(), 2_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = DelayModel::Uniform { lo: 1, hi: 1_000 };
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| m.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

@@ -1,0 +1,167 @@
+//! Global invariant hooks: predicates over the *whole* system state.
+//!
+//! The paper's proof (§4) rests on invariants that relate the local states
+//! of different processes and the messages in flight — e.g. Lemma 2
+//! (`w_sync_i[i] ≥ w_sync_j[i]`), property P2
+//! (`|w_sync_i[j] − w_sync_j[i]| ≤ 1`), and property P1 (at most one WRITE
+//! bypasses another per channel). A [`SimInvariant`] is checked by the
+//! simulator after events, with full visibility of every process and every
+//! in-flight message; a violation aborts the run with a replayable report.
+
+use twobit_proto::{Automaton, ProcessId};
+
+use crate::SimTime;
+
+/// A message currently in flight on some channel.
+#[derive(Debug)]
+pub struct InFlightMsg<'a, M> {
+    /// Sender.
+    pub from: ProcessId,
+    /// Destination.
+    pub to: ProcessId,
+    /// The message.
+    pub msg: &'a M,
+    /// When it was handed to the network.
+    pub sent_at: SimTime,
+    /// When it will be delivered (or dropped, if the destination crashed).
+    pub deliver_at: SimTime,
+    /// Global send sequence number (total order of sends); on a given
+    /// channel, a message with a smaller `send_seq` was sent earlier.
+    pub send_seq: u64,
+}
+
+/// Read-only view of the entire simulated system at one instant.
+pub struct SimView<'a, A: Automaton> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// All process automatons, indexed by process id.
+    pub procs: &'a [A],
+    /// Crash flags, indexed by process id.
+    pub crashed: &'a [bool],
+    /// Every message in flight (unordered).
+    pub inflight: &'a [InFlightMsg<'a, A::Msg>],
+}
+
+impl<'a, A: Automaton> SimView<'a, A> {
+    /// Iterates over live (non-crashed) processes.
+    pub fn live_procs(&self) -> impl Iterator<Item = &'a A> + '_ {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.crashed[*i])
+            .map(|(_, p)| p)
+    }
+
+    /// In-flight messages on the ordered channel `from → to`, sorted by
+    /// send order.
+    pub fn channel(&self, from: ProcessId, to: ProcessId) -> Vec<&InFlightMsg<'a, A::Msg>> {
+        let mut msgs: Vec<_> = self
+            .inflight
+            .iter()
+            .filter(|m| m.from == from && m.to == to)
+            .collect();
+        msgs.sort_by_key(|m| m.send_seq);
+        msgs
+    }
+}
+
+/// Description of a failed invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Virtual time of the violation.
+    pub at: SimTime,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant '{}' violated at t={}: {}",
+            self.invariant, self.at, self.detail
+        )
+    }
+}
+
+impl std::error::Error for InvariantViolation {}
+
+/// A predicate over the global system state, checked during simulation.
+pub trait SimInvariant<A: Automaton> {
+    /// Name used in violation reports.
+    fn name(&self) -> &'static str;
+
+    /// Checks the invariant; returns a description of the violation if any.
+    fn check(&mut self, view: &SimView<'_, A>) -> Result<(), String>;
+}
+
+/// Blanket adapter: any `(name, closure)` pair is an invariant.
+impl<A, F> SimInvariant<A> for (&'static str, F)
+where
+    A: Automaton,
+    F: FnMut(&SimView<'_, A>) -> Result<(), String>,
+{
+    fn name(&self) -> &'static str {
+        self.0
+    }
+
+    fn check(&mut self, view: &SimView<'_, A>) -> Result<(), String> {
+        (self.1)(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::NullRegister;
+    use twobit_proto::SystemConfig;
+
+    #[test]
+    fn view_helpers() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let procs: Vec<NullRegister> = (0..3).map(|i| NullRegister::new(i.into(), cfg)).collect();
+        let crashed = vec![false, true, false];
+        let inflight: Vec<InFlightMsg<'_, <NullRegister as Automaton>::Msg>> = Vec::new();
+        let view = SimView {
+            now: 5,
+            procs: &procs,
+            crashed: &crashed,
+            inflight: &inflight,
+        };
+        assert_eq!(view.live_procs().count(), 2);
+        assert!(view.channel(ProcessId::new(0), ProcessId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn closure_invariant_adapts() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let procs: Vec<NullRegister> = (0..3).map(|i| NullRegister::new(i.into(), cfg)).collect();
+        let crashed = vec![false; 3];
+        let inflight = Vec::new();
+        let view = SimView {
+            now: 0,
+            procs: &procs,
+            crashed: &crashed,
+            inflight: &inflight,
+        };
+        let mut inv = ("always-ok", |_: &SimView<'_, NullRegister>| Ok(()));
+        assert_eq!(SimInvariant::name(&inv), "always-ok");
+        assert!(inv.check(&view).is_ok());
+        let mut bad = ("always-bad", |_: &SimView<'_, NullRegister>| {
+            Err("boom".to_string())
+        });
+        assert_eq!(bad.check(&view), Err("boom".to_string()));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = InvariantViolation {
+            invariant: "P2",
+            at: 42,
+            detail: "gap of 2".into(),
+        };
+        assert_eq!(v.to_string(), "invariant 'P2' violated at t=42: gap of 2");
+    }
+}

@@ -1,0 +1,159 @@
+//! Client workloads: what each (sequential) process asks of its register.
+//!
+//! Processes in the model are sequential — a client invokes its next
+//! operation only after the previous one returned. A [`ClientPlan`] is
+//! therefore a closed-loop script: an ordered list of operations with
+//! optional pauses. Open-loop behaviour is not meaningful under the paper's
+//! process model and is intentionally absent.
+
+use twobit_proto::Operation;
+
+use crate::SimTime;
+
+/// One scripted operation with an optional pause before its invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlannedOp<V> {
+    /// The operation to invoke.
+    pub op: Operation<V>,
+    /// Extra virtual time to wait (after the previous operation completed,
+    /// or after `start_at` for the first operation) before invoking.
+    pub delay_before: SimTime,
+}
+
+impl<V> PlannedOp<V> {
+    /// An operation invoked immediately when its turn comes.
+    pub fn immediate(op: Operation<V>) -> Self {
+        PlannedOp {
+            op,
+            delay_before: 0,
+        }
+    }
+
+    /// An operation invoked after a pause.
+    pub fn after(delay: SimTime, op: Operation<V>) -> Self {
+        PlannedOp {
+            op,
+            delay_before: delay,
+        }
+    }
+}
+
+/// A closed-loop script for one process.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::Operation;
+/// use twobit_simnet::{ClientPlan, PlannedOp};
+///
+/// // Write three values back-to-back, starting at t=100.
+/// let plan = ClientPlan::ops([
+///     Operation::Write(1u64),
+///     Operation::Write(2),
+///     Operation::Write(3),
+/// ])
+/// .starting_at(100);
+/// assert_eq!(plan.len(), 3);
+///
+/// // A reader that polls every 500 ticks.
+/// let poll = ClientPlan::new(
+///     (0..4).map(|_| PlannedOp::after(500, Operation::<u64>::Read)),
+/// );
+/// assert_eq!(poll.len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientPlan<V> {
+    ops: Vec<PlannedOp<V>>,
+    start_at: SimTime,
+}
+
+impl<V> ClientPlan<V> {
+    /// Creates a plan from planned operations.
+    pub fn new(ops: impl IntoIterator<Item = PlannedOp<V>>) -> Self {
+        ClientPlan {
+            ops: ops.into_iter().collect(),
+            start_at: 0,
+        }
+    }
+
+    /// Creates a plan of back-to-back operations (no pauses).
+    pub fn ops(ops: impl IntoIterator<Item = Operation<V>>) -> Self {
+        ClientPlan::new(ops.into_iter().map(PlannedOp::immediate))
+    }
+
+    /// An empty plan (process participates in the protocol but invokes
+    /// nothing).
+    pub fn idle() -> Self {
+        ClientPlan {
+            ops: Vec::new(),
+            start_at: 0,
+        }
+    }
+
+    /// Sets the virtual time at which the first operation becomes eligible.
+    pub fn starting_at(mut self, t: SimTime) -> Self {
+        self.start_at = t;
+        self
+    }
+
+    /// Number of scripted operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the plan contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The script's start time.
+    pub fn start_at(&self) -> SimTime {
+        self.start_at
+    }
+
+    pub(crate) fn into_parts(self) -> (Vec<PlannedOp<V>>, SimTime) {
+        (self.ops, self.start_at)
+    }
+}
+
+impl<V> Default for ClientPlan<V> {
+    fn default() -> Self {
+        ClientPlan::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_construction() {
+        let p = ClientPlan::ops([Operation::Write(1u64), Operation::Read]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.start_at(), 0);
+        let p = p.starting_at(50);
+        assert_eq!(p.start_at(), 50);
+        let (ops, start) = p.into_parts();
+        assert_eq!(start, 50);
+        assert_eq!(ops[0].delay_before, 0);
+        assert_eq!(ops[0].op, Operation::Write(1));
+    }
+
+    #[test]
+    fn idle_plan_is_empty() {
+        let p: ClientPlan<u64> = ClientPlan::idle();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(ClientPlan::<u64>::default(), p);
+    }
+
+    #[test]
+    fn planned_op_constructors() {
+        let a = PlannedOp::immediate(Operation::Write(5u64));
+        assert_eq!(a.delay_before, 0);
+        let b = PlannedOp::after(9, Operation::<u64>::Read);
+        assert_eq!(b.delay_before, 9);
+        assert!(b.op.is_read());
+    }
+}

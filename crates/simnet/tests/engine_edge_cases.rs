@@ -1,0 +1,140 @@
+//! Engine edge cases: tie-breaking, degenerate systems, crash timing
+//! corners, and guard rails.
+
+use twobit_proto::{Operation, SystemConfig};
+use twobit_simnet::testutil::{MajorityEcho, NullRegister};
+use twobit_simnet::{ClientPlan, CrashPlan, CrashPoint, DelayModel, PlannedOp, SimBuilder};
+
+#[test]
+fn empty_simulation_is_quiescent_immediately() {
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let sim = SimBuilder::new(cfg).build(|id| NullRegister::new(id, cfg));
+    let report = sim.run().unwrap();
+    assert_eq!(report.events, 0);
+    assert_eq!(report.final_time, 0);
+    assert!(report.history.is_empty());
+    assert!(report.all_live_ops_completed());
+}
+
+#[test]
+fn singleton_system_runs() {
+    let cfg = SystemConfig::new(1, 0).unwrap();
+    let mut sim = SimBuilder::new(cfg).build(|id| MajorityEcho::new(id, cfg));
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64), Operation::Read]));
+    let report = sim.run().unwrap();
+    assert!(report.all_live_ops_completed());
+    assert_eq!(report.stats.total_sent(), 0, "nobody to talk to");
+}
+
+#[test]
+fn same_instant_events_processed_in_schedule_order() {
+    // Two processes invoke at the exact same virtual instant; the run must
+    // be deterministic and identical across repetitions.
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let run = || {
+        let mut sim = SimBuilder::new(cfg)
+            .seed(3)
+            .delay(DelayModel::Fixed(10))
+            .build(|id| MajorityEcho::new(id, cfg));
+        sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]).starting_at(100));
+        sim.client_plan(1, ClientPlan::ops([Operation::Write(2u64)]).starting_at(100));
+        let r = sim.run().unwrap();
+        (
+            r.events,
+            r.final_time,
+            r.history
+                .records
+                .iter()
+                .map(|rec| rec.response_at())
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn crash_at_time_zero_prevents_everything() {
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg)
+        .crashes(CrashPlan::none().with_crash(0, CrashPoint::AtTime(0)))
+        .build(|id| MajorityEcho::new(id, cfg));
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+    let report = sim.run().unwrap();
+    // The crash is scheduled before the invocation (same instant, earlier
+    // sequence number), so the write is never even invoked.
+    assert!(report.history.is_empty());
+    assert!(report.all_live_ops_completed(), "crashed ops are exempt");
+    assert_eq!(report.stats.total_sent(), 0);
+    assert!(report.crashed[0]);
+}
+
+#[test]
+fn on_step_crash_with_zero_sends_is_total_silence() {
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg)
+        .crashes(CrashPlan::none().with_crash(
+            0,
+            CrashPoint::OnStep {
+                step: 1,
+                sends_allowed: 0,
+            },
+        ))
+        .build(|id| MajorityEcho::new(id, cfg));
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+    let report = sim.run().unwrap();
+    assert_eq!(report.stats.total_sent(), 0);
+    assert!(report.crashed[0]);
+}
+
+#[test]
+fn on_step_crash_never_reached_is_harmless() {
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg)
+        .crashes(CrashPlan::none().with_crash(
+            2,
+            CrashPoint::OnStep {
+                step: 10_000,
+                sends_allowed: 0,
+            },
+        ))
+        .build(|id| MajorityEcho::new(id, cfg));
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+    let report = sim.run().unwrap();
+    assert!(!report.crashed[2], "step never reached → no crash");
+    assert!(report.all_live_ops_completed());
+}
+
+#[test]
+#[should_panic(expected = "already has a client plan")]
+fn double_plan_assignment_rejected() {
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg).build(|id| NullRegister::new(id, cfg));
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+    sim.client_plan(0, ClientPlan::ops([Operation::<u64>::Read]));
+}
+
+#[test]
+fn time_limit_trips() {
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg)
+        .delay(DelayModel::Fixed(1_000))
+        .max_time(500)
+        .build(|id| MajorityEcho::new(id, cfg));
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+    let err = sim.run().unwrap_err();
+    assert!(err.to_string().contains("time limit"), "{err}");
+}
+
+#[test]
+fn plans_with_large_offsets_keep_virtual_time_cheap() {
+    // A month of virtual nanoseconds costs nothing to skip.
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg).build(|id| NullRegister::new(id, cfg));
+    sim.client_plan(
+        0,
+        ClientPlan::new(vec![PlannedOp::after(2_600_000_000_000_000, Operation::Write(1u64))]),
+    );
+    let report = sim.run().unwrap();
+    assert_eq!(report.final_time, 2_600_000_000_000_000);
+    assert_eq!(report.events, 1);
+}

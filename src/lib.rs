@@ -1,0 +1,72 @@
+//! # twobit — atomic read/write registers from two-bit messages
+//!
+//! A reproduction of **Mostéfaoui & Raynal, "Two-Bit Messages are Sufficient
+//! to Implement Atomic Read/Write Registers in Crash-prone Systems"**
+//! (IRISA TR #2034 / PODC'16 line of work): a single-writer multi-reader
+//! atomic register for asynchronous message-passing systems with up to
+//! `t < n/2` crash failures, whose messages carry **two bits of control
+//! information** — just their type (`WRITE0`, `WRITE1`, `READ`, `PROCEED`).
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`core`] — the paper's algorithm ([`TwoBitProcess`]) and
+//!   its machine-checked invariants;
+//! * [`baselines`] — unbounded ABD (SWMR/MWMR) and
+//!   cost-faithful emulations of the bounded baselines of Table 1;
+//! * [`simnet`] — a deterministic discrete-event simulator
+//!   of the `CAMP_{n,t}` model (non-FIFO channels, crash injection);
+//! * [`runtime`] — a live threaded runtime with chaos
+//!   links and blocking [`RegisterClient`] handles;
+//! * [`lincheck`] — atomicity checking for recorded
+//!   histories;
+//! * [`harness`] — the experiments regenerating the
+//!   paper's Table 1 and in-text claims.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use twobit::{ClusterBuilder, ProcessId, SystemConfig, TwoBitProcess};
+//!
+//! // A 5-process system tolerating 2 crashes; p0 is the writer.
+//! let cfg = SystemConfig::new(5, 2)?;
+//! let writer = ProcessId::new(0);
+//! let cluster = ClusterBuilder::new(cfg)
+//!     .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
+//!
+//! let mut w = cluster.client(writer);
+//! let mut r = cluster.client(ProcessId::new(3));
+//! w.write(7)?;
+//! assert_eq!(r.read()?, 7);
+//!
+//! // Crash-tolerance within t:
+//! cluster.crash(ProcessId::new(4));
+//! w.write(8)?;
+//! assert_eq!(r.read()?, 8);
+//!
+//! // The recorded history is atomic (checked, not assumed):
+//! let (history, _) = cluster.shutdown();
+//! twobit::lincheck::check_swmr(&history)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for more: a versioned KV cache, a read-dominated
+//! workload comparison, crash injection, and a synchronizer probe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use twobit_baselines as baselines;
+pub use twobit_core as core;
+pub use twobit_harness as harness;
+pub use twobit_lincheck as lincheck;
+pub use twobit_proto as proto;
+pub use twobit_runtime as runtime;
+pub use twobit_simnet as simnet;
+
+pub use twobit_baselines::{AbdProcess, MwmrProcess, PhasedProcess};
+pub use twobit_core::{TwoBitOptions, TwoBitProcess};
+pub use twobit_proto::{
+    Automaton, Effects, History, OpId, OpOutcome, Operation, Payload, ProcessId, SystemConfig,
+};
+pub use twobit_runtime::{ClientError, Cluster, ClusterBuilder, RegisterClient};
+pub use twobit_simnet::{ClientPlan, CrashPlan, CrashPoint, DelayModel, SimBuilder};

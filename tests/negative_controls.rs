@@ -1,0 +1,217 @@
+//! Negative controls: the verification machinery must *fail* on broken
+//! protocols and forged histories. A checker that never rejects proves
+//! nothing — these tests pin down its teeth.
+
+use twobit::baselines::NaiveProcess;
+use twobit::core::TwoBitProcess;
+use twobit::lincheck::{swmr, wg};
+use twobit::simnet::{ClientPlan, DelayModel, PlannedOp, SimBuilder};
+use twobit::{History, OpId, OpOutcome, Operation, ProcessId, SystemConfig};
+
+const DELTA: u64 = 1_000;
+
+/// The naive register (quorum writes, *local* reads) must produce a
+/// non-atomic history under at least one schedule: a reader adjacent to a
+/// fast link sees the new value while a reader behind a slow link later
+/// reads the old one.
+#[test]
+fn naive_register_violates_atomicity_under_some_schedule() {
+    let n = 4;
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let mut violations = 0usize;
+    let mut runs = 0usize;
+    for seed in 0..200u64 {
+        let mut sim = SimBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Spiky {
+                lo: 10,
+                hi: DELTA / 2,
+                spike_ppm: 400_000,
+                spike_lo: 4 * DELTA,
+                spike_hi: 10 * DELTA,
+            })
+            .check_every(0)
+            .build(|id| NaiveProcess::new(id, cfg, writer, 0u64));
+        sim.client_plan(
+            0,
+            ClientPlan::new((1..=5u64).map(|v| PlannedOp::after(DELTA, Operation::Write(v)))),
+        );
+        // Readers poll at staggered offsets — the recipe for observing a
+        // new/old inversion on local reads.
+        for r in 1..n {
+            sim.client_plan(
+                r,
+                ClientPlan::new((0..8).map(|_| {
+                    PlannedOp::after(DELTA / 2 + r as u64 * 137, Operation::<u64>::Read)
+                }))
+                .starting_at(r as u64 * 211),
+            );
+        }
+        let report = sim.run().expect("sim itself must not fail");
+        runs += 1;
+        if swmr::check(&report.history).is_err() {
+            // Cross-validate with the independent Wing–Gong checker.
+            assert!(
+                wg::check_register(&report.history).is_err(),
+                "checkers disagree on seed {seed}"
+            );
+            violations += 1;
+        }
+    }
+    assert!(
+        violations > 0,
+        "naive register never caught in {runs} runs — the checker has no teeth"
+    );
+}
+
+/// Same workload, same adversarial schedule family — the *real* algorithm
+/// stays atomic on every seed where the naive one fails.
+#[test]
+fn twobit_survives_the_schedules_that_break_naive() {
+    let n = 4;
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    for seed in 0..50u64 {
+        let mut sim = SimBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Spiky {
+                lo: 10,
+                hi: DELTA / 2,
+                spike_ppm: 400_000,
+                spike_lo: 4 * DELTA,
+                spike_hi: 10 * DELTA,
+            })
+            .check_every(0)
+            .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
+        sim.client_plan(
+            0,
+            ClientPlan::new((1..=5u64).map(|v| PlannedOp::after(DELTA, Operation::Write(v)))),
+        );
+        for r in 1..n {
+            sim.client_plan(
+                r,
+                ClientPlan::new((0..8).map(|_| {
+                    PlannedOp::after(DELTA / 2 + r as u64 * 137, Operation::<u64>::Read)
+                }))
+                .starting_at(r as u64 * 211),
+            );
+        }
+        let report = sim.run().expect("sim failed");
+        assert!(report.all_live_ops_completed());
+        twobit::lincheck::check_swmr(&report.history)
+            .unwrap_or_else(|e| panic!("two-bit broke on seed {seed}: {e}"));
+    }
+}
+
+fn rec(
+    op_id: u64,
+    proc: usize,
+    op: Operation<u64>,
+    inv: u64,
+    resp: Option<(u64, OpOutcome<u64>)>,
+) -> twobit::proto::OpRecord<u64> {
+    twobit::proto::OpRecord {
+        op_id: OpId::new(op_id),
+        proc: ProcessId::new(proc),
+        op,
+        invoked_at: inv,
+        completed: resp,
+    }
+}
+
+/// Forged histories with known defects are rejected with the right verdict.
+#[test]
+fn forged_histories_rejected_with_precise_verdicts() {
+    // Stale read.
+    let h = History {
+        initial: 0u64,
+        records: vec![
+            rec(0, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written))),
+            rec(1, 1, Operation::Read, 20, Some((30, OpOutcome::ReadValue(0)))),
+        ],
+    };
+    assert!(matches!(
+        swmr::check(&h),
+        Err(swmr::AtomicityViolation::StaleRead { .. })
+    ));
+    assert!(wg::check_register(&h).is_err());
+
+    // Read from the future.
+    let h = History {
+        initial: 0u64,
+        records: vec![
+            rec(0, 1, Operation::Read, 0, Some((5, OpOutcome::ReadValue(9)))),
+            rec(1, 0, Operation::Write(9), 50, Some((60, OpOutcome::Written))),
+        ],
+    };
+    assert!(matches!(
+        swmr::check(&h),
+        Err(swmr::AtomicityViolation::ReadFromFuture { .. })
+    ));
+    assert!(wg::check_register(&h).is_err());
+
+    // New/old inversion.
+    let h = History {
+        initial: 0u64,
+        records: vec![
+            rec(0, 0, Operation::Write(1), 0, Some((100, OpOutcome::Written))),
+            rec(1, 1, Operation::Read, 10, Some((20, OpOutcome::ReadValue(1)))),
+            rec(2, 2, Operation::Read, 30, Some((40, OpOutcome::ReadValue(0)))),
+        ],
+    };
+    assert!(matches!(
+        swmr::check(&h),
+        Err(swmr::AtomicityViolation::NewOldInversion { .. })
+    ));
+    assert!(wg::check_register(&h).is_err());
+}
+
+/// The simulator's protocol-error detection: an automaton that completes an
+/// operation twice (or one it never received) aborts the run loudly instead
+/// of producing garbage measurements.
+#[test]
+fn simulator_rejects_protocol_misbehaviour() {
+    use twobit::proto::{Automaton, Effects, MessageCost, WireMessage};
+
+    #[derive(Clone, Debug)]
+    struct NopMsg;
+    impl WireMessage for NopMsg {
+        fn kind(&self) -> &'static str {
+            "NOP"
+        }
+        fn cost(&self) -> MessageCost {
+            MessageCost::new(1, 0)
+        }
+    }
+
+    #[derive(Debug)]
+    struct DoubleCompleter {
+        id: ProcessId,
+        cfg: SystemConfig,
+    }
+    impl Automaton for DoubleCompleter {
+        type Value = u64;
+        type Msg = NopMsg;
+        fn id(&self) -> ProcessId {
+            self.id
+        }
+        fn config(&self) -> SystemConfig {
+            self.cfg
+        }
+        fn on_invoke(&mut self, op_id: OpId, _op: Operation<u64>, fx: &mut Effects<NopMsg, u64>) {
+            fx.complete_write(op_id);
+            fx.complete_write(op_id); // bug: double completion
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: NopMsg, _fx: &mut Effects<NopMsg, u64>) {}
+        fn state_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    let cfg = SystemConfig::new(3, 1).unwrap();
+    let mut sim = SimBuilder::new(cfg).build(|id| DoubleCompleter { id, cfg });
+    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+    let err = sim.run().expect_err("double completion must abort");
+    assert!(err.to_string().contains("completed twice"), "{err}");
+}

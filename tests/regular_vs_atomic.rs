@@ -1,0 +1,116 @@
+//! What Fig. 1's second read wait (line 9) buys: atomicity vs regularity.
+//!
+//! The paper's read runs two phases: a `READ`/`PROCEED` quorum (lines 6–7)
+//! and then a *confirmation* wait (line 9) that `n−t` processes are known to
+//! hold the value about to be returned. Claim 2's proof only needs phase 1;
+//! it is Claim 3 — **no new/old inversion** — that needs line 9. Ablating
+//! the confirmation yields a register that is still *regular* (every read
+//! returns the last completed or a concurrent write's value) but can lose
+//! atomicity.
+//!
+//! A sharper fact these tests pin down empirically: the ablated register
+//! only breaks when **t ≥ 2**. With t = 1, any `PROCEED` quorum (`n−t`
+//! processes counting the reader) must include either the writer or the
+//! earlier reader of the value — both of which already hold it, so their
+//! line-20 guard (`w_sync_q[r] ≥ sn_q ≥ x`) plus Lemma 2
+//! (`w_sync_r[r] ≥ w_sync_q[r]`) force the later reader to catch up before
+//! proceeding. Inversion needs `n−t−1` ignorant responders besides the
+//! reader, and at least two processes (writer + earlier reader) always
+//! know — hence `t ≥ 2`.
+
+use twobit::core::{TwoBitOptions, TwoBitProcess};
+use twobit::lincheck::{check_swmr, check_swmr_regular};
+use twobit::simnet::{ClientPlan, DelayModel, PlannedOp, SimBuilder, SimReport};
+use twobit::{Operation, ProcessId, SystemConfig};
+
+const DELTA: u64 = 1_000;
+
+fn adversarial_run(n: usize, seed: u64, confirm: bool) -> SimReport<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::max_resilience(n);
+    let writer = ProcessId::new(0);
+    let opts = TwoBitOptions {
+        read_confirmation: confirm,
+        ..TwoBitOptions::default()
+    };
+    let mut sim = SimBuilder::new(cfg)
+        .seed(seed)
+        .delay(DelayModel::Spiky {
+            lo: 10,
+            hi: DELTA / 2,
+            spike_ppm: 400_000,
+            spike_lo: 4 * DELTA,
+            spike_hi: 12 * DELTA,
+        })
+        .check_every(0)
+        .build(|id| TwoBitProcess::with_options(id, cfg, writer, 0u64, opts));
+    sim.client_plan(
+        0,
+        ClientPlan::new((1..=6u64).map(|v| PlannedOp::after(DELTA, Operation::Write(v)))),
+    );
+    for r in 1..n {
+        sim.client_plan(
+            r,
+            ClientPlan::new(
+                (0..10).map(|_| PlannedOp::after(DELTA / 3 + r as u64 * 119, Operation::Read)),
+            )
+            .starting_at(r as u64 * 173),
+        );
+    }
+    let report = sim.run().expect("sim failed");
+    assert!(report.all_live_ops_completed(), "liveness must not depend on line 9");
+    report
+}
+
+/// t = 2 (n = 5), confirmation off: still regular on *every* schedule, but
+/// atomicity breaks on some — and only via new/old inversions.
+#[test]
+fn ablated_read_is_regular_but_not_atomic_when_t_is_2() {
+    let mut atomic_violations = 0usize;
+    for seed in 0..300u64 {
+        let report = adversarial_run(5, seed, false);
+        // Regularity must hold unconditionally (Claims 1–2 survive the
+        // ablation).
+        check_swmr_regular(&report.history).unwrap_or_else(|e| {
+            panic!("ablated read lost regularity on seed {seed}: {e}")
+        });
+        if let Err(e) = check_swmr(&report.history) {
+            // Only inversions may appear.
+            assert!(
+                matches!(
+                    e,
+                    twobit::lincheck::AtomicityViolation::NewOldInversion { .. }
+                ),
+                "unexpected violation kind on seed {seed}: {e}"
+            );
+            atomic_violations += 1;
+        }
+    }
+    assert!(
+        atomic_violations > 0,
+        "no inversion found in 300 adversarial runs — the ablation test has no power"
+    );
+}
+
+/// t = 1 (n = 4), confirmation off: atomicity holds *anyway* — quorum
+/// overlap with the ≥ 2 processes that always know a previously-read value
+/// (writer + earlier reader) makes line 9 redundant at this resilience.
+#[test]
+fn ablated_read_stays_atomic_when_t_is_1() {
+    for seed in 0..200u64 {
+        let report = adversarial_run(4, seed, false);
+        check_swmr(&report.history).unwrap_or_else(|e| {
+            panic!("t=1 ablation unexpectedly broke atomicity on seed {seed}: {e}")
+        });
+    }
+}
+
+/// The full algorithm (line 9 active) is atomic on the exact schedule
+/// family that breaks the t = 2 ablation.
+#[test]
+fn full_read_is_atomic_on_the_same_schedules() {
+    for seed in 0..300u64 {
+        let report = adversarial_run(5, seed, true);
+        check_swmr(&report.history)
+            .unwrap_or_else(|e| panic!("full algorithm broke on seed {seed}: {e}"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based whole-protocol testing of the two-bit algorithm.
+//!
+//! proptest generates random system sizes, delay regimes, crash plans
+//! (within `t`) and workloads; every generated scenario must satisfy, with
+//! the full invariant battery armed:
+//!
+//! * all of Lemmas 2–5 and properties P1/P2 at every event;
+//! * liveness: every operation of a live process completes;
+//! * atomicity of the recorded history (checked post-hoc);
+//! * determinism: re-running a scenario reproduces it exactly.
+
+use proptest::prelude::*;
+use twobit::core::{invariants, TwoBitOptions, TwoBitProcess};
+use twobit::simnet::{ClientPlan, CrashPlan, CrashPoint, DelayModel, PlannedOp, SimBuilder};
+use twobit::{Operation, ProcessId, SystemConfig};
+
+const DELTA: u64 = 1_000;
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    n: usize,
+    seed: u64,
+    delay: DelayModel,
+    writes: u64,
+    reader_ops: Vec<(usize, u64, u64)>, // (proc, reads, start offset)
+    crashes: Vec<(usize, CrashPoint)>,
+    fast_read: bool,
+}
+
+fn arb_delay() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        Just(DelayModel::Fixed(DELTA)),
+        (1u64..DELTA).prop_map(|hi| DelayModel::Uniform { lo: 1, hi }),
+        (1u64..500, 1u64..8).prop_map(|(hi, mult)| DelayModel::Spiky {
+            lo: 1,
+            hi,
+            spike_ppm: 250_000,
+            spike_lo: DELTA,
+            spike_hi: mult * DELTA,
+        }),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=6, any::<u64>(), arb_delay(), 1u64..10, any::<bool>())
+        .prop_flat_map(|(n, seed, delay, writes, fast_read)| {
+            let t = SystemConfig::max_resilience(n).t();
+            let readers = prop::collection::vec(
+                (1usize..n.max(2), 0u64..6, 0u64..(8 * DELTA)),
+                0..n,
+            );
+            // Crash at most t processes, never the writer (p0) — writer
+            // crashes are exercised separately below.
+            let crashes = prop::collection::vec(
+                (
+                    1usize..n.max(2),
+                    prop_oneof![
+                        (1u64..30 * DELTA).prop_map(CrashPoint::AtTime),
+                        (1u64..15, 0usize..n).prop_map(|(step, sends)| {
+                            CrashPoint::OnStep {
+                                step,
+                                sends_allowed: sends,
+                            }
+                        }),
+                    ],
+                ),
+                0..=t,
+            );
+            (readers, crashes).prop_map(move |(reader_ops, crashes)| Scenario {
+                n,
+                seed,
+                delay,
+                writes,
+                reader_ops,
+                crashes,
+                fast_read,
+            })
+        })
+}
+
+fn run_scenario(sc: &Scenario) -> (u64, u64, usize) {
+    let cfg = SystemConfig::max_resilience(sc.n);
+    let writer = ProcessId::new(0);
+    let opts = TwoBitOptions {
+        writer_fast_read: sc.fast_read,
+        ..TwoBitOptions::default()
+    };
+    let mut plan = CrashPlan::none();
+    let mut crashed: Vec<usize> = Vec::new();
+    for (p, point) in &sc.crashes {
+        if !crashed.contains(p) {
+            crashed.push(*p);
+        }
+        plan = plan.with_crash(*p, *point);
+    }
+    let mut sim = SimBuilder::new(cfg)
+        .seed(sc.seed)
+        .delay(sc.delay)
+        .crashes(plan)
+        .check_every(2)
+        .build(|id| TwoBitProcess::with_options(id, cfg, writer, 0u64, opts));
+    for inv in invariants::all::<u64>(writer) {
+        sim.add_invariant(inv);
+    }
+    sim.client_plan(
+        0,
+        ClientPlan::new(
+            (1..=sc.writes).map(|v| PlannedOp::after(DELTA / 3, Operation::Write(v))),
+        ),
+    );
+    let mut planned: Vec<usize> = Vec::new();
+    for (p, reads, start) in &sc.reader_ops {
+        if *p >= sc.n || planned.contains(p) {
+            continue; // one plan per process (the engine enforces this)
+        }
+        planned.push(*p);
+        sim.client_plan(
+            *p,
+            ClientPlan::new((0..*reads).map(|_| PlannedOp::after(DELTA / 2, Operation::Read)))
+                .starting_at(*start),
+        );
+    }
+    let report = sim.run().expect("invariant or protocol failure");
+    assert!(
+        report.all_live_ops_completed(),
+        "liveness violated: {:?}",
+        report.stalled_ops
+    );
+    twobit::lincheck::check_swmr(&report.history).expect("atomicity violated");
+    (
+        report.final_time,
+        report.stats.total_sent(),
+        report.history.completed().count(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_scenarios_safe_live_and_atomic(sc in arb_scenario()) {
+        run_scenario(&sc);
+    }
+
+    #[test]
+    fn scenarios_are_deterministic(sc in arb_scenario()) {
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Writer crashes mid-write: its last write is exempt, everything else
+    /// must stay live and atomic.
+    #[test]
+    fn writer_crash_mid_write(
+        seed in any::<u64>(),
+        step in 1u64..8,
+        sends in 0usize..5,
+        reads in 1u64..6,
+    ) {
+        let n = 5;
+        let cfg = SystemConfig::max_resilience(n);
+        let writer = ProcessId::new(0);
+        let mut sim = SimBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Uniform { lo: 1, hi: DELTA })
+            .crashes(CrashPlan::none().with_crash(
+                0,
+                CrashPoint::OnStep { step, sends_allowed: sends },
+            ))
+            .check_every(2)
+            .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
+        for inv in invariants::all::<u64>(writer) {
+            sim.add_invariant(inv);
+        }
+        sim.client_plan(0, ClientPlan::ops((1..=6u64).map(Operation::Write)));
+        for r in 1..4usize {
+            sim.client_plan(
+                r,
+                ClientPlan::new(
+                    (0..reads).map(|_| PlannedOp::after(DELTA, Operation::<u64>::Read)),
+                ),
+            );
+        }
+        let report = sim.run().expect("run failed");
+        prop_assert!(report.all_live_ops_completed());
+        twobit::lincheck::check_swmr(&report.history).expect("atomicity");
+    }
+}
