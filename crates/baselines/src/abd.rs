@@ -18,8 +18,7 @@
 use serde::{Deserialize, Serialize};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
-    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
-    WireMessage,
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
 };
 
 /// Messages of the unbounded ABD algorithm. Six wire types.
@@ -269,7 +268,11 @@ impl<V: Payload> Automaton for AbdProcess<V> {
     /// Panics if a write is invoked on a non-writer process, or if an
     /// operation is invoked while another is pending.
     fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<AbdMsg<V>, V>) {
-        assert!(self.pending.is_none(), "{}: operation already pending", self.id);
+        assert!(
+            self.pending.is_none(),
+            "{}: operation already pending",
+            self.id
+        );
         match op {
             Operation::Write(v) => {
                 assert!(
@@ -372,7 +375,9 @@ impl<V: Payload> Automaton for AbdProcess<V> {
     /// sequence number itself grows without bound (Table 1 row 4 calls the
     /// unbounded-ABD column "unbounded").
     fn state_bits(&self) -> u64 {
-        bits_for(self.seq) + self.value.data_bits() + bits_for(self.write_counter)
+        bits_for(self.seq)
+            + self.value.data_bits()
+            + bits_for(self.write_counter)
             + bits_for(self.rid_counter)
     }
 }
@@ -452,7 +457,14 @@ mod tests {
         // Quorum of 2 replies (self + p2) → write-back broadcast starts.
         let wbs: Vec<_> = fx1b.drain_sends().collect();
         assert_eq!(wbs.len(), 2);
-        assert!(matches!(wbs[0].1, AbdMsg::WriteBack { seq: 1, value: 7, .. }));
+        assert!(matches!(
+            wbs[0].1,
+            AbdMsg::WriteBack {
+                seq: 1,
+                value: 7,
+                ..
+            }
+        ));
         assert!(fx1b.completions().is_empty());
         // One write-back ack (self already counted) completes the read.
         let mut fx0 = Effects::new();
@@ -519,9 +531,6 @@ mod tests {
         assert_eq!(fx.completions().len(), 1);
         let mut fx = Effects::new();
         p.on_invoke(OpId::new(1), Operation::Read, &mut fx);
-        assert_eq!(
-            fx.completions(),
-            &[(OpId::new(1), OpOutcome::ReadValue(3))]
-        );
+        assert_eq!(fx.completions(), &[(OpId::new(1), OpOutcome::ReadValue(3))]);
     }
 }

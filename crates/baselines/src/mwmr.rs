@@ -14,13 +14,14 @@
 use serde::{Deserialize, Serialize};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
-    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
-    WireMessage,
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
 };
 
 /// A multi-writer timestamp: ⟨counter, process-id⟩, compared
 /// lexicographically (derive order does exactly that).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct Timestamp {
     /// The logical counter.
     pub num: u64,
@@ -251,7 +252,11 @@ impl<V: Payload> Automaton for MwmrProcess<V> {
     ///
     /// Panics if an operation is invoked while another is pending.
     fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<MwmrMsg<V>, V>) {
-        assert!(self.pending.is_none(), "{}: operation already pending", self.id);
+        assert!(
+            self.pending.is_none(),
+            "{}: operation already pending",
+            self.id
+        );
         let rid = self.next_rid();
         let writing = match op {
             Operation::Write(v) => Some(v),
@@ -323,7 +328,6 @@ impl<V: Payload> Automaton for MwmrProcess<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     fn cfg(n: usize) -> SystemConfig {
         SystemConfig::max_resilience(n)

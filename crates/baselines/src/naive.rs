@@ -14,8 +14,7 @@
 use serde::{Deserialize, Serialize};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
-    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
-    WireMessage,
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
 };
 
 /// Messages of the naive register.
@@ -104,7 +103,13 @@ impl<V: Payload> Automaton for NaiveProcess<V> {
                 self.seq = seq;
                 self.value = v.clone();
                 for j in self.cfg.peers(self.id).collect::<Vec<_>>() {
-                    fx.send(j, NaiveMsg::Store { seq, value: v.clone() });
+                    fx.send(
+                        j,
+                        NaiveMsg::Store {
+                            seq,
+                            value: v.clone(),
+                        },
+                    );
                 }
                 if self.cfg.quorum() <= 1 {
                     fx.complete_write(op_id);

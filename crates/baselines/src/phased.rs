@@ -26,8 +26,7 @@
 use serde::{Deserialize, Serialize};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
-    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig,
-    WireMessage,
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
 };
 
 /// One round of a phased operation.
@@ -305,11 +304,14 @@ impl<V: Payload> PhasedProcess<V> {
                 };
                 p.install = (seq, value.clone());
                 self.absorb(seq, value.clone());
-                self.broadcast(&PhasedMsg::Value {
-                    rid: p.rid,
-                    seq,
-                    value,
-                }, fx);
+                self.broadcast(
+                    &PhasedMsg::Value {
+                        rid: p.rid,
+                        seq,
+                        value,
+                    },
+                    fx,
+                );
             }
             PhaseKind::Query => {
                 p.best = (self.seq, self.value.clone());
@@ -357,7 +359,11 @@ impl<V: Payload> Automaton for PhasedProcess<V> {
     /// Panics if a write is invoked on a non-writer process, or if an
     /// operation is invoked while another is pending.
     fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<Padded<V>, V>) {
-        assert!(self.pending.is_none(), "{}: operation already pending", self.id);
+        assert!(
+            self.pending.is_none(),
+            "{}: operation already pending",
+            self.id
+        );
         let (phases, writing) = match op {
             Operation::Write(v) => {
                 assert!(

@@ -43,7 +43,14 @@ fn bench_automaton_hot_path(c: &mut Criterion) {
             || AbdProcess::new(ProcessId::new(1), cfg, writer, 0u64),
             |mut p| {
                 let mut fx = Effects::new();
-                p.on_message(writer, twobit_baselines::AbdMsg::Write { seq: 1, value: 7u64 }, &mut fx);
+                p.on_message(
+                    writer,
+                    twobit_baselines::AbdMsg::Write {
+                        seq: 1,
+                        value: 7u64,
+                    },
+                    &mut fx,
+                );
                 fx
             },
             criterion::BatchSize::SmallInput,
@@ -69,10 +76,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
                     .build(|id| TwoBitProcess::new(id, cfg, writer, 0u64));
                 sim.client_plan(0, ClientPlan::ops((1..=50u64).map(Operation::Write)));
                 for r in 1..n {
-                    sim.client_plan(
-                        r,
-                        ClientPlan::ops((0..20).map(|_| Operation::<u64>::Read)),
-                    );
+                    sim.client_plan(r, ClientPlan::ops((0..20).map(|_| Operation::<u64>::Read)));
                 }
                 sim.run().expect("bench sim").events
             })

@@ -1,0 +1,149 @@
+//! Shard-count × reader-count scaling of `RegisterSpace`.
+//!
+//! Sweeps the number of hosted registers and the number of reader processes
+//! per register on a 5-process deployment (the sharded deterministic
+//! simulator behind the backend-agnostic `Driver`), measuring wall-clock
+//! cost per operation and wire traffic. Results seed the performance
+//! trajectory in `BENCH_shards.json` at the workspace root.
+//!
+//! Run with: `cargo bench --bench shard_scaling`
+
+use std::time::Instant;
+
+use criterion::{BenchmarkId, Criterion};
+use twobit_core::TwoBitProcess;
+use twobit_proto::{
+    Driver, Operation, ProcessId, RegisterId, RegisterSpace, SystemConfig, Workload,
+};
+use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder};
+
+const N: usize = 5;
+const SHARD_COUNTS: [usize; 4] = [1, 4, 16, 64];
+const READER_COUNTS: [usize; 3] = [1, 2, 4];
+const ROUNDS: u64 = 4;
+
+fn build_space(shards: usize, seed: u64) -> RegisterSpace<SimSpace<TwoBitProcess<u64>>> {
+    let cfg = SystemConfig::max_resilience(N);
+    let sim = SpaceBuilder::new(cfg)
+        .seed(seed)
+        .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
+        .registers(shards)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+        });
+    let names = (0..shards).map(|k| format!("shard:{k:03}"));
+    RegisterSpace::new(sim, names).expect("names fit the hosted registers")
+}
+
+/// One write + `readers` reads per register per round, pipelined across
+/// shards through the portable `Workload` abstraction.
+fn sweep_workload(shards: usize, readers: usize) -> Workload<u64> {
+    let mut w = Workload::new();
+    for round in 0..ROUNDS {
+        for k in 0..shards {
+            let reg = RegisterId::new(k);
+            let writer = k % N;
+            w = w.step(
+                writer,
+                reg,
+                Operation::Write(1 + round * shards as u64 + k as u64),
+            );
+            for r in 1..=readers {
+                w = w.step((writer + r) % N, reg, Operation::Read);
+            }
+        }
+    }
+    w
+}
+
+struct Row {
+    shards: usize,
+    readers: usize,
+    ops: usize,
+    wall_ns_per_op: f64,
+    msgs: u64,
+    control_bits: u64,
+    routing_bits: u64,
+}
+
+fn measure(shards: usize, readers: usize) -> Row {
+    let workload = sweep_workload(shards, readers);
+    let mut space = build_space(shards, 42);
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(space.driver_mut())
+        .expect("sweep workload runs");
+    let wall = t0.elapsed();
+    let stats = space.driver().stats();
+    Row {
+        shards,
+        readers,
+        ops: workload.len(),
+        wall_ns_per_op: wall.as_nanos() as f64 / workload.len() as f64,
+        msgs: stats.total_sent(),
+        control_bits: stats.control_bits(),
+        routing_bits: stats.routing_bits(),
+    }
+}
+
+fn write_json(rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"shard_scaling\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"backend\": \"simnet-space\"}},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"readers\": {}, \"ops\": {}, \
+             \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"control_bits\": {}, \
+             \"routing_bits\": {}}}{}\n",
+            r.shards,
+            r.readers,
+            r.ops,
+            r.wall_ns_per_op,
+            r.msgs,
+            r.control_bits,
+            r.routing_bits,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
+    std::fs::write(path, out).expect("write BENCH_shards.json");
+    println!("wrote {path}");
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("register_space_shard_scaling");
+    g.sample_size(10);
+    for &shards in &SHARD_COUNTS {
+        for &readers in &READER_COUNTS {
+            g.bench_with_input(
+                BenchmarkId::new(format!("shards{shards}"), format!("readers{readers}")),
+                &(shards, readers),
+                |b, &(shards, readers)| {
+                    let workload = sweep_workload(shards, readers);
+                    b.iter(|| {
+                        let mut space = build_space(shards, 42);
+                        workload
+                            .run_pipelined_on(space.driver_mut())
+                            .expect("sweep workload runs");
+                        space.driver().stats().total_sent()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_shard_scaling(&mut c);
+    // Single measured pass per point for the JSON trajectory seed.
+    let rows: Vec<Row> = SHARD_COUNTS
+        .iter()
+        .flat_map(|&s| READER_COUNTS.iter().map(move |&r| measure(s, r)))
+        .collect();
+    write_json(&rows);
+}

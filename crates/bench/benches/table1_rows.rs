@@ -128,5 +128,10 @@ fn bench_cost_accounting(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_write_row, bench_read_row, bench_cost_accounting);
+criterion_group!(
+    benches,
+    bench_write_row,
+    bench_read_row,
+    bench_cost_accounting
+);
 criterion_main!(benches);

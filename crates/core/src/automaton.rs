@@ -14,9 +14,7 @@
 
 use std::collections::VecDeque;
 
-use twobit_proto::{
-    Automaton, Effects, OpId, Operation, Payload, ProcessId, SystemConfig,
-};
+use twobit_proto::{Automaton, Effects, OpId, Operation, Payload, ProcessId, SystemConfig};
 
 use crate::msg::{Parity, TwoBitMsg};
 
@@ -412,7 +410,12 @@ impl<V: Payload> Automaton for TwoBitProcess<V> {
         }
     }
 
-    fn on_message(&mut self, from: ProcessId, msg: TwoBitMsg<V>, fx: &mut Effects<TwoBitMsg<V>, V>) {
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: TwoBitMsg<V>,
+        fx: &mut Effects<TwoBitMsg<V>, V>,
+    ) {
         debug_assert_ne!(from, self.id, "no self-messages in this protocol");
         match msg {
             TwoBitMsg::Write(parity, v) => {
@@ -622,10 +625,7 @@ mod tests {
             .expect("echo to writer");
         let mut fx0b = Effects::new();
         ps[0].on_message(ProcessId::new(2), echo2.1, &mut fx0b);
-        assert_eq!(
-            fx0b.completions(),
-            &[(OpId::new(3), OpOutcome::Written)]
-        );
+        assert_eq!(fx0b.completions(), &[(OpId::new(3), OpOutcome::Written)]);
     }
 
     #[test]
@@ -678,7 +678,10 @@ mod tests {
         // predicate (w_sync[j] ≥ 0) holds for all → read completes with v0.
         let mut fx1 = Effects::new();
         ps[1].on_message(ProcessId::new(0), TwoBitMsg::Proceed, &mut fx1);
-        assert_eq!(fx1.completions(), &[(OpId::new(0), OpOutcome::ReadValue(0))]);
+        assert_eq!(
+            fx1.completions(),
+            &[(OpId::new(0), OpOutcome::ReadValue(0))]
+        );
     }
 
     #[test]
@@ -734,20 +737,12 @@ mod tests {
         // p0 writes twice; capture the two WRITEs addressed to p1.
         let mut fx = Effects::new();
         ps[0].on_invoke(OpId::new(0), Operation::Write(1), &mut fx);
-        let w1 = fx
-            .drain_sends()
-            .find(|(to, _)| to.index() == 1)
-            .unwrap()
-            .1;
+        let w1 = fx.drain_sends().find(|(to, _)| to.index() == 1).unwrap().1;
         // Simulate p1's echo arriving at p0 so the writer may proceed
         // (quorum 2 = itself + p1's echo).
         let mut fx1 = Effects::new();
         ps[1].on_message(ProcessId::new(0), w1.clone(), &mut fx1);
-        let echo = fx1
-            .drain_sends()
-            .find(|(to, _)| to.index() == 0)
-            .unwrap()
-            .1;
+        let echo = fx1.drain_sends().find(|(to, _)| to.index() == 0).unwrap().1;
         // Reset p1 to a fresh state to replay out-of-order delivery below.
         ps[1] = TwoBitProcess::new(ProcessId::new(1), cfg(3), ProcessId::new(0), 0u64);
         let mut fx0 = Effects::new();
@@ -755,11 +750,7 @@ mod tests {
         assert_eq!(fx0.completions().len(), 1);
         let mut fx = Effects::new();
         ps[0].on_invoke(OpId::new(1), Operation::Write(2), &mut fx);
-        let w2 = fx
-            .drain_sends()
-            .find(|(to, _)| to.index() == 1)
-            .unwrap()
-            .1;
+        let w2 = fx.drain_sends().find(|(to, _)| to.index() == 1).unwrap().1;
         assert_eq!(w1.kind(), "WRITE1");
         assert_eq!(w2.kind(), "WRITE0");
         // Deliver WRITE0(2) *before* WRITE1(1) at the fresh p1: it must be

@@ -290,9 +290,7 @@ impl<V: Payload> SimInvariant<TwoBitProcess<V>> for ReadSyncSanity {
 }
 
 /// The full battery of global invariants for a system with the given writer.
-pub fn all<V: Payload>(
-    writer: ProcessId,
-) -> Vec<Box<dyn SimInvariant<TwoBitProcess<V>>>> {
+pub fn all<V: Payload>(writer: ProcessId) -> Vec<Box<dyn SimInvariant<TwoBitProcess<V>>>> {
     vec![
         Box::new(Lemma2),
         Box::new(Lemma4::new(writer)),
@@ -327,10 +325,7 @@ mod tests {
         for inv in all::<u64>(writer) {
             sim.add_invariant(inv);
         }
-        sim.client_plan(
-            0,
-            ClientPlan::ops((1..=writes).map(Operation::Write)),
-        );
+        sim.client_plan(0, ClientPlan::ops((1..=writes).map(Operation::Write)));
         for &r in readers {
             sim.client_plan(
                 r,

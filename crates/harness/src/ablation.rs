@@ -79,21 +79,23 @@ pub fn read_dominated(n: usize, total_ops: usize, seed: u64) -> [(u64, f64); 2] 
             ($make:expr) => {{
                 let mut sim = SimBuilder::new(cfg)
                     .seed(seed)
-                    .delay(DelayModel::Uniform { lo: DELTA / 2, hi: DELTA })
+                    .delay(DelayModel::Uniform {
+                        lo: DELTA / 2,
+                        hi: DELTA,
+                    })
                     .check_every(0)
                     .build($make);
                 sim.client_plan(
                     0,
-                    ClientPlan::new((1..=writes as u64).map(|v| {
-                        PlannedOp::after(10 * DELTA, Operation::Write(v))
-                    })),
+                    ClientPlan::new(
+                        (1..=writes as u64)
+                            .map(|v| PlannedOp::after(10 * DELTA, Operation::Write(v))),
+                    ),
                 );
                 for r in 1..n {
                     sim.client_plan(
                         r,
-                        ClientPlan::ops(
-                            (0..reads_per_reader).map(|_| Operation::<u64>::Read),
-                        ),
+                        ClientPlan::ops((0..reads_per_reader).map(|_| Operation::<u64>::Read)),
                     );
                 }
                 let report = sim.run().expect("read-dominated run failed");
@@ -153,9 +155,11 @@ pub fn read_confirmation_off(n: usize, seeds: u64) -> (u64, u64) {
         for r in 1..n {
             sim.client_plan(
                 r,
-                ClientPlan::new((0..10).map(|_| {
-                    PlannedOp::after(DELTA / 3 + r as u64 * 119, Operation::<u64>::Read)
-                }))
+                ClientPlan::new(
+                    (0..10).map(|_| {
+                        PlannedOp::after(DELTA / 3 + r as u64 * 119, Operation::<u64>::Read)
+                    }),
+                )
                 .starting_at(r as u64 * 173),
             );
         }
@@ -172,7 +176,8 @@ pub fn read_confirmation_off(n: usize, seeds: u64) -> (u64, u64) {
 
 /// Runs E7 and renders the report.
 pub fn run(n: usize, seed: u64) -> String {
-    let mut out = String::from("## E7 — Ablations\n\n### Writer read fast path (Fig. 1 comment)\n\n");
+    let mut out =
+        String::from("## E7 — Ablations\n\n### Writer read fast path (Fig. 1 comment)\n\n");
     let modes = writer_read_modes(n, 10, seed);
     let mut t = Table::new(["mode", "writer-read latency (Δ)", "msgs per writer-read"]);
     t.row([
@@ -208,7 +213,13 @@ pub fn run(n: usize, seed: u64) -> String {
     );
 
     out.push_str("\n### Line 9 confirmation wait ablated (reads end after the PROCEED quorum)\n\n");
-    let mut t = Table::new(["n", "t", "runs", "runs with new/old inversion", "regular held"]);
+    let mut t = Table::new([
+        "n",
+        "t",
+        "runs",
+        "runs with new/old inversion",
+        "regular held",
+    ]);
     for nn in [4usize, 5] {
         // Inversions are rare events; scan enough schedules to see them.
         let (inv, runs) = read_confirmation_off(nn, 400);

@@ -49,13 +49,12 @@ fn scenario(
     for inv in invariants::all::<u64>(writer) {
         sim.add_invariant(inv);
     }
-    sim.client_plan(
-        0,
-        ClientPlan::ops((1..=10u64).map(Operation::Write)),
-    );
+    sim.client_plan(0, ClientPlan::ops((1..=10u64).map(Operation::Write)));
     sim.client_plan(1, ClientPlan::ops((0..8).map(|_| Operation::<u64>::Read)));
     sim.client_plan(2, ClientPlan::ops((0..8).map(|_| Operation::<u64>::Read)));
-    let report = sim.run().expect("crash scenario must not violate invariants");
+    let report = sim
+        .run()
+        .expect("crash scenario must not violate invariants");
     let atomic = twobit_lincheck::check_swmr(&report.history).is_ok();
     let res = ScenarioResult {
         name,
@@ -141,7 +140,11 @@ pub fn run(seed: u64) -> String {
             r.crashes.to_string(),
             r.completed.to_string(),
             r.stalled.to_string(),
-            if r.atomic { "yes".into() } else { "NO".to_string() },
+            if r.atomic {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
     out.push_str(&t.to_markdown());

@@ -81,20 +81,20 @@ pub fn bounds(n: usize, ops_per_proc: usize, seed: u64, delay: DelayModel) -> Bo
 
 /// Runs E2 across several seeds and system sizes; renders a report.
 pub fn run_bounds(seeds: u64) -> String {
-    let mut out = String::from(
-        "## E2 — Latency bounds under concurrency (claim: write ≤ 2Δ, read ≤ 4Δ)\n\n",
-    );
-    let mut t = Table::new(["n", "delay model", "seeds", "max write (Δ)", "max read (Δ)", "bound holds"]);
+    let mut out =
+        String::from("## E2 — Latency bounds under concurrency (claim: write ≤ 2Δ, read ≤ 4Δ)\n\n");
+    let mut t = Table::new([
+        "n",
+        "delay model",
+        "seeds",
+        "max write (Δ)",
+        "max read (Δ)",
+        "bound holds",
+    ]);
     for &n in &[3usize, 5, 7] {
         for (dname, delay) in [
             ("fixed Δ", DelayModel::Fixed(DELTA)),
-            (
-                "uniform [1, Δ]",
-                DelayModel::Uniform {
-                    lo: 1,
-                    hi: DELTA,
-                },
-            ),
+            ("uniform [1, Δ]", DelayModel::Uniform { lo: 1, hi: DELTA }),
         ] {
             let mut wmax: f64 = 0.0;
             let mut rmax: f64 = 0.0;
@@ -111,7 +111,11 @@ pub fn run_bounds(seeds: u64) -> String {
                 seeds.to_string(),
                 fmt_f64(wmax),
                 fmt_f64(rmax),
-                if all_hold { "yes".into() } else { "NO".to_string() },
+                if all_hold {
+                    "yes".into()
+                } else {
+                    "NO".to_string()
+                },
             ]);
         }
     }
@@ -122,9 +126,8 @@ pub fn run_bounds(seeds: u64) -> String {
 /// Runs E9: latency distributions for all four algorithms under uniform
 /// `[Δ/2, Δ]` delays, sequential mixed workload.
 pub fn run_distributions(n: usize, ops: usize, seed: u64) -> String {
-    let mut out = String::from(
-        "## E9 — Latency distributions, delays uniform in [Δ/2, Δ] (Δ units)\n\n",
-    );
+    let mut out =
+        String::from("## E9 — Latency distributions, delays uniform in [Δ/2, Δ] (Δ units)\n\n");
     let mut t = Table::new([
         "algorithm",
         "write p50",
@@ -224,7 +227,11 @@ mod tests {
     #[test]
     fn bounds_hold_with_fixed_delta() {
         let r = bounds(5, 15, 3, DelayModel::Fixed(DELTA));
-        assert!(r.holds, "write {} read {}", r.write_max_delta, r.read_max_delta);
+        assert!(
+            r.holds,
+            "write {} read {}",
+            r.write_max_delta, r.read_max_delta
+        );
         assert_eq!(r.ops.0, 15);
         assert_eq!(r.ops.1, 15 * 4);
     }
@@ -232,12 +239,7 @@ mod tests {
     #[test]
     fn bounds_hold_with_jitter() {
         for seed in 0..5 {
-            let r = bounds(
-                4,
-                12,
-                seed,
-                DelayModel::Uniform { lo: 1, hi: DELTA },
-            );
+            let r = bounds(4, 12, seed, DelayModel::Uniform { lo: 1, hi: DELTA });
             assert!(
                 r.holds,
                 "seed {seed}: write {} read {}",

@@ -73,38 +73,18 @@ impl Algo {
         let cfg = SystemConfig::max_resilience(n);
         let writer = ProcessId::new(0);
         match self {
-            Algo::TwoBit => measure_impl(
-                self,
-                cfg,
-                writes,
-                reads,
-                seed,
-                |id| TwoBitProcess::new(id, cfg, writer, 0u64),
-            ),
-            Algo::AbdUnbounded => measure_impl(
-                self,
-                cfg,
-                writes,
-                reads,
-                seed,
-                |id| AbdProcess::new(id, cfg, writer, 0u64),
-            ),
-            Algo::AbdBounded => measure_impl(
-                self,
-                cfg,
-                writes,
-                reads,
-                seed,
-                |id| PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n)),
-            ),
-            Algo::Attiya => measure_impl(
-                self,
-                cfg,
-                writes,
-                reads,
-                seed,
-                |id| PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n)),
-            ),
+            Algo::TwoBit => measure_impl(self, cfg, writes, reads, seed, |id| {
+                TwoBitProcess::new(id, cfg, writer, 0u64)
+            }),
+            Algo::AbdUnbounded => measure_impl(self, cfg, writes, reads, seed, |id| {
+                AbdProcess::new(id, cfg, writer, 0u64)
+            }),
+            Algo::AbdBounded => measure_impl(self, cfg, writes, reads, seed, |id| {
+                PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n))
+            }),
+            Algo::Attiya => measure_impl(self, cfg, writes, reads, seed, |id| {
+                PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n))
+            }),
         }
     }
 }
@@ -136,12 +116,7 @@ pub struct OpMetrics {
 impl OpMetrics {
     /// Maximum write latency in Δ units.
     pub fn write_delta_max(&self) -> f64 {
-        self.write_latencies
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64
-            / DELTA as f64
+        self.write_latencies.iter().copied().max().unwrap_or(0) as f64 / DELTA as f64
     }
 
     /// Maximum read latency in Δ units.
@@ -155,15 +130,13 @@ impl OpMetrics {
 const GAP: u64 = 40 * DELTA;
 
 fn plans(writes: usize, reads: usize) -> (ClientPlan<u64>, ClientPlan<u64>) {
-    let writer_plan = ClientPlan::new(
-        (1..=writes as u64).map(|v| PlannedOp::after(GAP, Operation::Write(v))),
-    );
+    let writer_plan =
+        ClientPlan::new((1..=writes as u64).map(|v| PlannedOp::after(GAP, Operation::Write(v))));
     // The reader starts well after the last write has settled.
     let reader_start = (writes as u64 + 2) * GAP;
-    let reader_plan = ClientPlan::new(
-        (0..reads).map(|_| PlannedOp::after(GAP, Operation::<u64>::Read)),
-    )
-    .starting_at(reader_start);
+    let reader_plan =
+        ClientPlan::new((0..reads).map(|_| PlannedOp::after(GAP, Operation::<u64>::Read)))
+            .starting_at(reader_start);
     (writer_plan, reader_plan)
 }
 

@@ -13,9 +13,8 @@ use crate::report::{fmt_f64, Table};
 
 /// Runs E3 for the given sizes; panics if a formula is violated.
 pub fn run(sizes: &[usize], writes: usize, reads: usize, seed: u64) -> String {
-    let mut out = String::from(
-        "## E3 — Exact message complexity of the two-bit algorithm (Theorem 2)\n\n",
-    );
+    let mut out =
+        String::from("## E3 — Exact message complexity of the two-bit algorithm (Theorem 2)\n\n");
     let mut t = Table::new([
         "n",
         "msgs/write (measured)",
@@ -35,7 +34,11 @@ pub fn run(sizes: &[usize], writes: usize, reads: usize, seed: u64) -> String {
             fmt_f64(wf),
             fmt_f64(m.msgs_per_read),
             fmt_f64(rf),
-            if ok { "yes".to_string() } else { "NO".to_string() },
+            if ok {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            },
         ]);
         assert!(ok, "message formula violated at n={n}");
     }

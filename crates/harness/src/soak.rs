@@ -81,9 +81,9 @@ pub fn soak_once(seed: u64) -> (u64, u64) {
     let w = rng.gen_range(1..=12u64);
     sim.client_plan(
         writer.index(),
-        ClientPlan::new((1..=w).map(|v| {
-            PlannedOp::after(rng.gen_range(0..3 * DELTA), Operation::Write(v))
-        })),
+        ClientPlan::new(
+            (1..=w).map(|v| PlannedOp::after(rng.gen_range(0..3 * DELTA), Operation::Write(v))),
+        ),
     );
     for p in 0..n {
         if p == writer.index() {
@@ -92,9 +92,10 @@ pub fn soak_once(seed: u64) -> (u64, u64) {
         let reads = rng.gen_range(0..8);
         sim.client_plan(
             p,
-            ClientPlan::new((0..reads).map(|_| {
-                PlannedOp::after(rng.gen_range(0..4 * DELTA), Operation::<u64>::Read)
-            }))
+            ClientPlan::new(
+                (0..reads)
+                    .map(|_| PlannedOp::after(rng.gen_range(0..4 * DELTA), Operation::<u64>::Read)),
+            )
             .starting_at(rng.gen_range(0..10 * DELTA)),
         );
     }

@@ -113,9 +113,8 @@ pub fn probe(n: usize, writes: usize, seed: u64) -> SyncProbeResult {
 
 /// Runs E5 across seeds and renders the report.
 pub fn run(n: usize, writes: usize, seeds: u64) -> String {
-    let mut out = String::from(
-        "## E5 — Synchronizer bounds under adversarial reordering (P1/P2)\n\n",
-    );
+    let mut out =
+        String::from("## E5 — Synchronizer bounds under adversarial reordering (P1/P2)\n\n");
     let mut t = Table::new([
         "seed",
         "max |w_sync gap| (bound 1)",
@@ -127,7 +126,11 @@ pub fn run(n: usize, writes: usize, seeds: u64) -> String {
     for seed in 0..seeds {
         let r = probe(n, writes, seed);
         assert!(r.max_gap <= 1, "P2 violated: gap {}", r.max_gap);
-        assert!(r.max_buffered <= 1, "P1 violated: buffered {}", r.max_buffered);
+        assert!(
+            r.max_buffered <= 1,
+            "P1 violated: buffered {}",
+            r.max_buffered
+        );
         assert!(
             r.max_unprocessed <= 2,
             "P1 violated: unprocessed {}",

@@ -43,10 +43,7 @@ pub fn run(n: usize, writes: usize, reads: usize, seed: u64) -> String {
     let mut t = Table::new(header);
 
     let measured_rows: Vec<Vec<String>> = vec![
-        metrics
-            .iter()
-            .map(|m| fmt_f64(m.msgs_per_write))
-            .collect(),
+        metrics.iter().map(|m| fmt_f64(m.msgs_per_write)).collect(),
         metrics.iter().map(|m| fmt_f64(m.msgs_per_read)).collect(),
         metrics
             .iter()
@@ -104,7 +101,10 @@ mod tests {
     fn table1_report_contains_all_claims() {
         let report = run(5, 3, 3, 7);
         // Spot-check the headline cells.
-        assert!(report.contains("2 → 2 max"), "two-bit msg size cell:\n{report}");
+        assert!(
+            report.contains("2 → 2 max"),
+            "two-bit msg size cell:\n{report}"
+        );
         assert!(report.contains("2d → 2d"), "write latency cell");
         assert!(report.contains("O(n^5)"), "bounded ABD padding");
         assert!(report.contains("O(n^3)"), "Attiya padding");

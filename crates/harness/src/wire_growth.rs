@@ -42,10 +42,7 @@ pub fn series(n: usize, write_counts: &[u64], seed: u64) -> Vec<GrowthPoint> {
                             .check_every(0)
                             .max_events(200_000_000)
                             .build($make);
-                        sim.client_plan(
-                            0,
-                            ClientPlan::ops((1..=k).map(Operation::Write)),
-                        );
+                        sim.client_plan(0, ClientPlan::ops((1..=k).map(Operation::Write)));
                         let report = sim.run().expect("growth run failed");
                         assert!(report.all_live_ops_completed());
                         let total = report.stats.total_sent().max(1);
@@ -74,9 +71,8 @@ pub fn series(n: usize, write_counts: &[u64], seed: u64) -> Vec<GrowthPoint> {
 pub fn run(n: usize, seed: u64) -> String {
     let counts = [1u64, 10, 100, 1_000, 5_000];
     let points = series(n, &counts, seed);
-    let mut out = String::from(
-        "## E8 — Control bits per message vs history length (n writes performed)\n\n",
-    );
+    let mut out =
+        String::from("## E8 — Control bits per message vs history length (n writes performed)\n\n");
     let mut t = Table::new([
         "writes",
         "two-bit max",

@@ -46,5 +46,8 @@
 pub mod swmr;
 pub mod wg;
 
-pub use swmr::{check as check_swmr, check_regular as check_swmr_regular, AtomicityViolation, SwmrVerdict};
+pub use swmr::{
+    check as check_swmr, check_regular as check_swmr_regular, check_sharded as check_swmr_sharded,
+    AtomicityViolation, ShardedViolation, SwmrVerdict,
+};
 pub use wg::{check_register as check_wg, WgError};

@@ -28,11 +28,11 @@
 //! writer can only have its last write pending, which is exactly what this
 //! treatment covers.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
 
-use twobit_proto::{History, OpId, Operation};
+use twobit_proto::{History, OpId, Operation, RegisterId, ShardedHistory};
 
 /// Successful verdict with summary statistics.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -112,13 +112,20 @@ impl fmt::Display for AtomicityViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AtomicityViolation::MultipleWriters { writers } => {
-                write!(f, "writes from two processes p{} and p{}", writers.0, writers.1)
+                write!(
+                    f,
+                    "writes from two processes p{} and p{}",
+                    writers.0, writers.1
+                )
             }
             AtomicityViolation::OverlappingWrites { first, second } => {
                 write!(f, "writes {first} and {second} overlap in real time")
             }
             AtomicityViolation::PendingWriteNotLast { write } => {
-                write!(f, "pending write {write} is not the writer's last operation")
+                write!(
+                    f,
+                    "pending write {write} is not the writer's last operation"
+                )
             }
             AtomicityViolation::AmbiguousValues => {
                 write!(f, "duplicate written values; attribution ambiguous")
@@ -127,10 +134,20 @@ impl fmt::Display for AtomicityViolation {
                 write!(f, "read {read} returned a never-written value")
             }
             AtomicityViolation::ReadFromFuture { read, write_index } => {
-                write!(f, "read {read} returned write #{write_index} from the future")
+                write!(
+                    f,
+                    "read {read} returned write #{write_index} from the future"
+                )
             }
-            AtomicityViolation::StaleRead { read, got, required } => {
-                write!(f, "read {read} returned overwritten write #{got} (needed ≥ #{required})")
+            AtomicityViolation::StaleRead {
+                read,
+                got,
+                required,
+            } => {
+                write!(
+                    f,
+                    "read {read} returned overwritten write #{got} (needed ≥ #{required})"
+                )
             }
             AtomicityViolation::NewOldInversion {
                 earlier,
@@ -154,7 +171,9 @@ impl std::error::Error for AtomicityViolation {}
 ///
 /// Returns the first [`AtomicityViolation`] found; see the module docs for
 /// the exact conditions.
-pub fn check<V: Clone + Eq + Hash>(history: &History<V>) -> Result<SwmrVerdict, AtomicityViolation> {
+pub fn check<V: Clone + Eq + Hash>(
+    history: &History<V>,
+) -> Result<SwmrVerdict, AtomicityViolation> {
     // --- Collect and validate writes. --------------------------------------
     let mut writes: Vec<&twobit_proto::OpRecord<V>> =
         history.records.iter().filter(|r| r.op.is_write()).collect();
@@ -301,6 +320,44 @@ pub fn check<V: Clone + Eq + Hash>(history: &History<V>) -> Result<SwmrVerdict, 
         writes: writes.len(),
         initial_reads: reads.iter().filter(|r| r.x == 0).count(),
     })
+}
+
+/// A [`check`] failure localized to one register of a sharded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedViolation {
+    /// The offending register.
+    pub reg: RegisterId,
+    /// Its violation.
+    pub violation: AtomicityViolation,
+}
+
+impl fmt::Display for ShardedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register {}: {}", self.reg, self.violation)
+    }
+}
+
+impl std::error::Error for ShardedViolation {}
+
+/// Checks every register of a sharded run independently.
+///
+/// The registers of a [`RegisterSpace`](twobit_proto::RegisterSpace) are
+/// independent atomic objects — each one is exactly the paper's protocol —
+/// so a multi-register run is correct iff each per-register projection is
+/// an atomic SWMR history.
+///
+/// # Errors
+///
+/// The first per-register violation, tagged with its register id.
+pub fn check_sharded<V: Clone + Eq + Hash>(
+    sharded: &ShardedHistory<V>,
+) -> Result<BTreeMap<RegisterId, SwmrVerdict>, ShardedViolation> {
+    let mut verdicts = BTreeMap::new();
+    for (reg, history) in sharded.iter() {
+        let verdict = check(history).map_err(|violation| ShardedViolation { reg, violation })?;
+        verdicts.insert(reg, verdict);
+    }
+    Ok(verdicts)
 }
 
 /// Checks the weaker **regular**-register condition (Lamport 1986) for a
@@ -491,10 +548,18 @@ mod tests {
     #[test]
     fn pending_write_may_be_read_or_not() {
         // Writer crashed mid-write: reads may see it...
-        let h = hist(vec![w(0, 0, 10, 1), w_pending(1, 20, 2), r(2, 1, 30, 40, 2)]);
+        let h = hist(vec![
+            w(0, 0, 10, 1),
+            w_pending(1, 20, 2),
+            r(2, 1, 30, 40, 2),
+        ]);
         check(&h).unwrap();
         // ...or not, even much later.
-        let h = hist(vec![w(0, 0, 10, 1), w_pending(1, 20, 2), r(2, 1, 30, 40, 1)]);
+        let h = hist(vec![
+            w(0, 0, 10, 1),
+            w_pending(1, 20, 2),
+            r(2, 1, 30, 40, 1),
+        ]);
         check(&h).unwrap();
     }
 
@@ -556,7 +621,9 @@ mod tests {
         let h = hist(vec![w_pending(0, 0, 1), w(1, 10, 20, 2)]);
         assert_eq!(
             check(&h),
-            Err(AtomicityViolation::PendingWriteNotLast { write: OpId::new(0) })
+            Err(AtomicityViolation::PendingWriteNotLast {
+                write: OpId::new(0)
+            })
         );
     }
 
@@ -628,5 +695,44 @@ mod tests {
         ]);
         check(&h).unwrap();
         check_regular(&h).unwrap();
+    }
+
+    #[test]
+    fn sharded_check_judges_each_register_alone() {
+        let good = hist(vec![w(0, 0, 10, 1), r(1, 1, 11, 20, 1)]);
+        // Stale read: write #2 completed before the read began, but the
+        // read still saw #1.
+        let bad = hist(vec![w(0, 0, 10, 1), w(1, 11, 20, 2), r(2, 1, 30, 40, 1)]);
+        let r0 = RegisterId::new(0);
+        let r1 = RegisterId::new(1);
+
+        let all_good = ShardedHistory::from_tagged(
+            0u64,
+            [r0, r1],
+            good.records
+                .iter()
+                .map(|rec| (r0, rec.clone()))
+                .collect::<Vec<_>>(),
+        );
+        let verdicts = check_sharded(&all_good).unwrap();
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[&r0].reads_checked, 1);
+        assert_eq!(verdicts[&r1].reads_checked, 0);
+
+        let mixed = ShardedHistory::from_tagged(
+            0u64,
+            [r0, r1],
+            good.records
+                .iter()
+                .map(|rec| (r0, rec.clone()))
+                .chain(bad.records.iter().map(|rec| (r1, rec.clone())))
+                .collect::<Vec<_>>(),
+        );
+        let err = check_sharded(&mixed).unwrap_err();
+        assert_eq!(err.reg, r1);
+        assert!(matches!(
+            err.violation,
+            AtomicityViolation::StaleRead { .. }
+        ));
     }
 }

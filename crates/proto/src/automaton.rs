@@ -114,10 +114,20 @@ pub trait Automaton: Send + 'static {
     ///
     /// The substrate guarantees per-process sequentiality: it never invokes a
     /// new operation before the previous one on the same process completed.
-    fn on_invoke(&mut self, op_id: OpId, op: Operation<Self::Value>, fx: &mut Effects<Self::Msg, Self::Value>);
+    fn on_invoke(
+        &mut self,
+        op_id: OpId,
+        op: Operation<Self::Value>,
+        fx: &mut Effects<Self::Msg, Self::Value>,
+    );
 
     /// Handles the reception of `msg` from process `from`.
-    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, fx: &mut Effects<Self::Msg, Self::Value>);
+    fn on_message(
+        &mut self,
+        from: ProcessId,
+        msg: Self::Msg,
+        fx: &mut Effects<Self::Msg, Self::Value>,
+    );
 
     /// Estimated size, in bits, of this process's local state.
     ///

@@ -6,9 +6,11 @@
 //! 1990) is a property of this history alone, so the simulator and the live
 //! runtime both emit [`History`] values which `twobit-lincheck` then judges.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
-use crate::id::ProcessId;
+use crate::id::{ProcessId, RegisterId};
 use crate::op::{OpId, OpOutcome, Operation};
 
 /// One operation's lifetime inside a run.
@@ -110,11 +112,102 @@ impl<V> History<V> {
     }
 }
 
+/// Per-register operation histories of one multi-register run.
+///
+/// Each register of a [`RegisterSpace`](crate::RegisterSpace) is an
+/// independent atomic object, so atomicity is judged **per register**: the
+/// checker runs on each shard's [`History`] in isolation (see
+/// `twobit_lincheck::check_swmr_sharded`). Backends produce this projection
+/// from their recorded runs via [`Driver::history`](crate::Driver::history).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardedHistory<V> {
+    shards: BTreeMap<RegisterId, History<V>>,
+}
+
+impl<V: Clone> ShardedHistory<V> {
+    /// Creates an empty projection hosting `registers`, each initialized to
+    /// `initial`.
+    pub fn new(initial: V, registers: impl IntoIterator<Item = RegisterId>) -> Self {
+        ShardedHistory {
+            shards: registers
+                .into_iter()
+                .map(|r| (r, History::new(initial.clone())))
+                .collect(),
+        }
+    }
+
+    /// Builds the projection from `(register, record)` pairs.
+    pub fn from_tagged(
+        initial: V,
+        registers: impl IntoIterator<Item = RegisterId>,
+        tagged: impl IntoIterator<Item = (RegisterId, OpRecord<V>)>,
+    ) -> Self {
+        let mut sharded = ShardedHistory::new(initial.clone(), registers);
+        for (reg, rec) in tagged {
+            sharded
+                .shards
+                .entry(reg)
+                .or_insert_with(|| History::new(initial.clone()))
+                .records
+                .push(rec);
+        }
+        sharded
+    }
+
+    /// Appends a record to `reg`'s history (creating the shard if needed,
+    /// initialized to `initial`).
+    pub fn push(&mut self, reg: RegisterId, initial: V, rec: OpRecord<V>) {
+        self.shards
+            .entry(reg)
+            .or_insert_with(|| History::new(initial))
+            .records
+            .push(rec);
+    }
+}
+
+impl<V> ShardedHistory<V> {
+    /// The history of one register.
+    pub fn shard(&self, reg: RegisterId) -> Option<&History<V>> {
+        self.shards.get(&reg)
+    }
+
+    /// Iterates over `(register, history)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegisterId, &History<V>)> {
+        self.shards.iter().map(|(r, h)| (*r, h))
+    }
+
+    /// All hosted registers, in id order.
+    pub fn registers(&self) -> impl Iterator<Item = RegisterId> + '_ {
+        self.shards.keys().copied()
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Returns `true` if no register is hosted.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Total operations across all registers.
+    pub fn total_ops(&self) -> usize {
+        self.shards.values().map(History::len).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rec(op_id: u64, proc: usize, op: Operation<u64>, inv: u64, resp: Option<(u64, OpOutcome<u64>)>) -> OpRecord<u64> {
+    fn rec(
+        op_id: u64,
+        proc: usize,
+        op: Operation<u64>,
+        inv: u64,
+        resp: Option<(u64, OpOutcome<u64>)>,
+    ) -> OpRecord<u64> {
         OpRecord {
             op_id: OpId::new(op_id),
             proc: ProcessId::new(proc),
@@ -127,8 +220,20 @@ mod tests {
     #[test]
     fn precedence_is_strict_realtime() {
         let a = rec(1, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written)));
-        let b = rec(2, 1, Operation::Read, 11, Some((20, OpOutcome::ReadValue(1))));
-        let c = rec(3, 2, Operation::Read, 5, Some((30, OpOutcome::ReadValue(1))));
+        let b = rec(
+            2,
+            1,
+            Operation::Read,
+            11,
+            Some((20, OpOutcome::ReadValue(1))),
+        );
+        let c = rec(
+            3,
+            2,
+            Operation::Read,
+            5,
+            Some((30, OpOutcome::ReadValue(1))),
+        );
         assert!(a.precedes(&b));
         assert!(!a.precedes(&c)); // c starts while a is running
         assert!(!b.precedes(&a));
@@ -147,10 +252,65 @@ mod tests {
     }
 
     #[test]
+    fn sharded_projection_groups_by_register() {
+        let r0 = RegisterId::new(0);
+        let r1 = RegisterId::new(1);
+        let tagged = vec![
+            (
+                r0,
+                rec(0, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written))),
+            ),
+            (
+                r1,
+                rec(1, 1, Operation::Write(9), 0, Some((10, OpOutcome::Written))),
+            ),
+            (
+                r0,
+                rec(
+                    2,
+                    1,
+                    Operation::Read,
+                    20,
+                    Some((30, OpOutcome::ReadValue(1))),
+                ),
+            ),
+        ];
+        let sh = ShardedHistory::from_tagged(0u64, [r0, r1], tagged);
+        assert_eq!(sh.len(), 2);
+        assert_eq!(sh.total_ops(), 3);
+        assert_eq!(sh.shard(r0).unwrap().len(), 2);
+        assert_eq!(sh.shard(r1).unwrap().len(), 1);
+        assert_eq!(sh.shard(r0).unwrap().initial, 0);
+        assert!(sh.shard(RegisterId::new(7)).is_none());
+        assert_eq!(sh.registers().collect::<Vec<_>>(), vec![r0, r1]);
+        assert!(!sh.is_empty());
+    }
+
+    #[test]
+    fn sharded_new_hosts_empty_registers() {
+        let sh: ShardedHistory<u64> = ShardedHistory::new(5, RegisterId::first(3));
+        assert_eq!(sh.len(), 3);
+        assert_eq!(sh.total_ops(), 0);
+        assert!(sh.shard(RegisterId::new(2)).unwrap().is_empty());
+    }
+
+    #[test]
     fn history_filters() {
         let mut h = History::new(0u64);
-        h.records.push(rec(1, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written))));
-        h.records.push(rec(2, 1, Operation::Read, 2, Some((12, OpOutcome::ReadValue(1)))));
+        h.records.push(rec(
+            1,
+            0,
+            Operation::Write(1),
+            0,
+            Some((10, OpOutcome::Written)),
+        ));
+        h.records.push(rec(
+            2,
+            1,
+            Operation::Read,
+            2,
+            Some((12, OpOutcome::ReadValue(1))),
+        ));
         h.records.push(rec(3, 0, Operation::Write(2), 20, None));
         assert_eq!(h.len(), 3);
         assert!(!h.is_empty());

@@ -51,6 +51,81 @@ impl From<usize> for ProcessId {
     }
 }
 
+/// Identity of one register inside a [`RegisterSpace`](crate::RegisterSpace)
+/// (a "shard"), in `0..k` for a space of `k` registers.
+///
+/// The paper implements a *single* SWMR register; a production deployment
+/// multiplexes many independent registers over one cluster. Wire messages are
+/// tagged with a compact `RegisterId` (see [`Envelope`](crate::Envelope)),
+/// whose bits are accounted as **routing** information, separate from the
+/// per-register control bits — each register's protocol still carries exactly
+/// two control bits per message, preserving the paper's claim.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::RegisterId;
+///
+/// let r = RegisterId::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// assert_eq!(RegisterId::ZERO.index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegisterId(u32);
+
+impl RegisterId {
+    /// The default register — what single-register backends host.
+    pub const ZERO: RegisterId = RegisterId(0);
+
+    /// Creates a register id from its zero-based index.
+    pub fn new(index: usize) -> Self {
+        RegisterId(u32::try_from(index).expect("register index fits in u32"))
+    }
+
+    /// Returns the zero-based index of this register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The first `k` register ids, `r0 .. r(k-1)`.
+    pub fn first(k: usize) -> Vec<RegisterId> {
+        (0..k).map(RegisterId::new).collect()
+    }
+
+    /// Bits needed to address one of `space_size` registers on the wire:
+    /// `⌈log₂ space_size⌉`, and 0 for a single-register space (no tag is
+    /// needed when there is nothing to distinguish).
+    ///
+    /// ```
+    /// use twobit_proto::RegisterId;
+    ///
+    /// assert_eq!(RegisterId::routing_bits(1), 0);
+    /// assert_eq!(RegisterId::routing_bits(2), 1);
+    /// assert_eq!(RegisterId::routing_bits(64), 6);
+    /// assert_eq!(RegisterId::routing_bits(65), 7);
+    /// ```
+    pub fn routing_bits(space_size: usize) -> u64 {
+        if space_size <= 1 {
+            0
+        } else {
+            u64::from(usize::BITS - (space_size - 1).leading_zeros())
+        }
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for RegisterId {
+    fn from(index: usize) -> Self {
+        RegisterId::new(index)
+    }
+}
+
 /// Error returned when a [`SystemConfig`] violates the model constraints.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SystemConfigError {

@@ -19,6 +19,14 @@
 //!   the measurement at the heart of the paper's Table 1.
 //! * [`OpRecord`], [`History`] — operation histories consumed by the
 //!   linearizability checker (`twobit-lincheck`).
+//! * [`Driver`] — the backend-agnostic driving interface (issue/poll/crash/
+//!   history/stats) implemented by both execution substrates, so workloads
+//!   are written once.
+//! * [`RegisterId`], [`Envelope`], [`ShardSet`] — multiplexing many
+//!   independent registers over one cluster, with shard tags accounted as
+//!   *routing* (not control) bits.
+//! * [`RegisterSpace`], [`Workload`], [`ShardedHistory`] — named registers,
+//!   portable operation scripts, and per-register history projection.
 //!
 //! [Mostéfaoui & Raynal 2016]: https://hal.inria.fr/hal-01271135
 
@@ -26,17 +34,23 @@
 #![warn(missing_docs)]
 
 pub mod automaton;
+pub mod driver;
 pub mod history;
 pub mod id;
 pub mod op;
 pub mod payload;
+pub mod shard;
+pub mod space;
 pub mod stats;
 pub mod wire;
 
 pub use automaton::{Automaton, Effects};
-pub use history::{History, OpRecord};
-pub use id::{ProcessId, SystemConfig, SystemConfigError};
+pub use driver::{Driver, DriverError, OpTicket, Workload, WorkloadStep};
+pub use history::{History, OpRecord, ShardedHistory};
+pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
 pub use op::{OpId, OpOutcome, Operation};
 pub use payload::Payload;
-pub use stats::{NetStats, StatsSnapshot};
-pub use wire::{MessageCost, WireMessage};
+pub use shard::{ShardSet, UnknownRegister};
+pub use space::RegisterSpace;
+pub use stats::{NetStats, ShardTraffic, StatsSnapshot};
+pub use wire::{Envelope, MessageCost, WireMessage};

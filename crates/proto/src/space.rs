@@ -1,0 +1,171 @@
+//! [`RegisterSpace`]: many independent *named* atomic registers over one
+//! deployment.
+//!
+//! A production system rarely wants "the register"; it wants `user:42`,
+//! `session:9f`, `config/flags`, ... — thousands of independent atomic
+//! objects served by one cluster. `RegisterSpace` binds human-readable names
+//! to the compact [`RegisterId`]s a sharded backend hosts and forwards
+//! operations through the backend-agnostic [`Driver`] interface, so the same
+//! space code runs on the sharded simulator and the live runtime.
+//!
+//! Each named register is exactly the paper's protocol: its messages carry
+//! two control bits; the shard tag the envelope adds is routing, reported
+//! separately by [`NetStats`](crate::NetStats) (see
+//! [`NetStats::routing_bits`](crate::NetStats::routing_bits) and
+//! [`NetStats::shard`](crate::NetStats::shard)).
+
+use std::collections::BTreeMap;
+
+use crate::driver::{Driver, DriverError, OpTicket};
+use crate::history::{History, ShardedHistory};
+use crate::id::{ProcessId, RegisterId};
+use crate::op::{OpOutcome, Operation};
+
+/// A set of named registers multiplexed over one [`Driver`] backend.
+pub struct RegisterSpace<D: Driver> {
+    driver: D,
+    names: BTreeMap<String, RegisterId>,
+}
+
+impl<D: Driver> RegisterSpace<D> {
+    /// Binds `names` (in iteration order) to the backend's registers (in id
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Backend`] if there are more names than hosted
+    /// registers, or a name repeats.
+    pub fn new(
+        driver: D,
+        names: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, DriverError> {
+        let regs = driver.registers();
+        let mut map = BTreeMap::new();
+        for (i, name) in names.into_iter().enumerate() {
+            let Some(&reg) = regs.get(i) else {
+                return Err(DriverError::Backend(format!(
+                    "space needs more than the {} hosted registers",
+                    regs.len()
+                )));
+            };
+            let name = name.into();
+            if map.insert(name.clone(), reg).is_some() {
+                return Err(DriverError::Backend(format!(
+                    "duplicate register name {name:?}"
+                )));
+            }
+        }
+        Ok(RegisterSpace { driver, names: map })
+    }
+
+    /// The id a name is bound to.
+    pub fn id(&self, name: &str) -> Option<RegisterId> {
+        self.names.get(name).copied()
+    }
+
+    /// All bound names, in lexicographic order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.keys().map(String::as_str)
+    }
+
+    /// Number of bound names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if no name is bound.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The underlying backend.
+    pub fn driver(&self) -> &D {
+        &self.driver
+    }
+
+    /// Mutable access to the underlying backend (e.g. to crash processes).
+    pub fn driver_mut(&mut self) -> &mut D {
+        &mut self.driver
+    }
+
+    /// Unwraps the backend.
+    pub fn into_driver(self) -> D {
+        self.driver
+    }
+
+    fn resolve(&self, name: &str) -> Result<RegisterId, DriverError> {
+        self.id(name)
+            .ok_or_else(|| DriverError::UnknownName(name.to_string()))
+    }
+
+    /// Issues an operation on a named register without waiting
+    /// (pipelining across names; sequential per name, as the model
+    /// requires). Complete it with [`RegisterSpace::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownName`], or whatever [`Driver::invoke`] returns.
+    pub fn issue(
+        &mut self,
+        proc: impl Into<ProcessId>,
+        name: &str,
+        op: Operation<D::Value>,
+    ) -> Result<OpTicket, DriverError> {
+        let reg = self.resolve(name)?;
+        self.driver.invoke(proc.into(), reg, op)
+    }
+
+    /// Waits for an issued operation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Driver::poll`].
+    pub fn wait(&mut self, ticket: &OpTicket) -> Result<OpOutcome<D::Value>, DriverError> {
+        self.driver.poll(ticket)
+    }
+
+    /// Blocking write to a named register via `proc`.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::UnknownName`], or whatever [`Driver::write`] returns.
+    pub fn write(
+        &mut self,
+        proc: impl Into<ProcessId>,
+        name: &str,
+        value: D::Value,
+    ) -> Result<(), DriverError> {
+        let reg = self.resolve(name)?;
+        self.driver.write(proc.into(), reg, value)
+    }
+
+    /// Blocking read of a named register via `proc`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`RegisterSpace::write`].
+    pub fn read(
+        &mut self,
+        proc: impl Into<ProcessId>,
+        name: &str,
+    ) -> Result<D::Value, DriverError> {
+        let reg = self.resolve(name)?;
+        self.driver.read(proc.into(), reg)
+    }
+
+    /// The recorded history of one named register.
+    ///
+    /// Snapshots the whole deployment to extract one shard; when checking
+    /// many registers, take one [`RegisterSpace::histories`] snapshot and
+    /// index it instead of calling this in a loop.
+    pub fn history_of(&self, name: &str) -> Option<History<D::Value>> {
+        let reg = self.id(name)?;
+        self.driver.history().shard(reg).cloned()
+    }
+
+    /// One snapshot of every register's history (the input to
+    /// `twobit_lincheck::check_swmr_sharded`).
+    pub fn histories(&self) -> ShardedHistory<D::Value> {
+        self.driver.history()
+    }
+}

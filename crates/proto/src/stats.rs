@@ -9,18 +9,42 @@
 
 use std::collections::BTreeMap;
 
+use crate::id::RegisterId;
 use crate::wire::MessageCost;
+
+/// Per-register (shard) traffic counters inside a [`NetStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardTraffic {
+    /// Messages sent for this register.
+    pub sent: u64,
+    /// Control bits sent for this register (two per message for the paper's
+    /// algorithm, regardless of how many registers share the cluster).
+    pub control_bits: u64,
+    /// Data bits sent for this register.
+    pub data_bits: u64,
+    /// Shard-tag routing bits spent addressing this register.
+    pub routing_bits: u64,
+}
+
+impl ShardTraffic {
+    /// Total bits this register put on the wire.
+    pub fn total_bits(&self) -> u64 {
+        self.control_bits + self.data_bits + self.routing_bits
+    }
+}
 
 /// Running totals for one simulation (or one live-runtime session).
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
     sent_by_kind: BTreeMap<&'static str, u64>,
     bits_by_kind: BTreeMap<&'static str, u64>,
+    per_shard: BTreeMap<RegisterId, ShardTraffic>,
     total_sent: u64,
     total_delivered: u64,
     dropped_to_crashed: u64,
     control_bits: u64,
     data_bits: u64,
+    routing_bits: u64,
     max_msg_control_bits: u64,
     max_msg_total_bits: u64,
 }
@@ -38,8 +62,20 @@ impl NetStats {
         self.total_sent += 1;
         self.control_bits += cost.control_bits;
         self.data_bits += cost.data_bits;
+        self.routing_bits += cost.routing_bits;
         self.max_msg_control_bits = self.max_msg_control_bits.max(cost.control_bits);
         self.max_msg_total_bits = self.max_msg_total_bits.max(cost.total_bits());
+    }
+
+    /// Records one message handed to the network on behalf of register
+    /// `reg`, updating both the aggregate counters and the shard's.
+    pub fn record_send_for(&mut self, reg: RegisterId, kind: &'static str, cost: MessageCost) {
+        self.record_send(kind, cost);
+        let shard = self.per_shard.entry(reg).or_default();
+        shard.sent += 1;
+        shard.control_bits += cost.control_bits;
+        shard.data_bits += cost.data_bits;
+        shard.routing_bits += cost.routing_bits;
     }
 
     /// Records one message delivered to a live process.
@@ -85,6 +121,22 @@ impl NetStats {
     /// Total data bits sent.
     pub fn data_bits(&self) -> u64 {
         self.data_bits
+    }
+
+    /// Total shard-tag routing bits sent (0 unless messages were recorded
+    /// through a multi-register envelope).
+    pub fn routing_bits(&self) -> u64 {
+        self.routing_bits
+    }
+
+    /// Traffic attributed to register `reg` (zeroed if the shard never sent).
+    pub fn shard(&self, reg: RegisterId) -> ShardTraffic {
+        self.per_shard.get(&reg).copied().unwrap_or_default()
+    }
+
+    /// All registers with attributed traffic, in id order.
+    pub fn shards(&self) -> impl Iterator<Item = (RegisterId, ShardTraffic)> + '_ {
+        self.per_shard.iter().map(|(r, t)| (*r, *t))
     }
 
     /// Largest control-bit cost of any single message (Table 1 row 3
@@ -183,6 +235,30 @@ mod tests {
         assert_eq!(after.kind_since(&before, "B"), 1);
         assert_eq!(after.control_bits_since(&before), 11);
         assert_eq!(after.data_bits_since(&before), 5);
+    }
+
+    #[test]
+    fn sharded_sends_split_and_aggregate() {
+        let mut s = NetStats::new();
+        let r0 = RegisterId::new(0);
+        let r1 = RegisterId::new(1);
+        let cost = MessageCost::new(2, 64).with_routing(1);
+        s.record_send_for(r0, "WRITE0", cost);
+        s.record_send_for(r0, "READ", MessageCost::new(2, 0).with_routing(1));
+        s.record_send_for(r1, "WRITE1", cost);
+        assert_eq!(s.total_sent(), 3);
+        assert_eq!(s.routing_bits(), 3);
+        assert_eq!(s.control_bits(), 6);
+        let t0 = s.shard(r0);
+        assert_eq!(t0.sent, 2);
+        assert_eq!(t0.control_bits, 4);
+        assert_eq!(t0.data_bits, 64);
+        assert_eq!(t0.routing_bits, 2);
+        assert_eq!(t0.total_bits(), 70);
+        assert_eq!(s.shard(r1).sent, 1);
+        assert_eq!(s.shard(RegisterId::new(9)), ShardTraffic::default());
+        let shards: Vec<_> = s.shards().map(|(r, _)| r).collect();
+        assert_eq!(shards, vec![r0, r1]);
     }
 
     #[test]

@@ -1,15 +1,23 @@
 //! Blocking client handles: the register API end users see.
+//!
+//! A [`RegisterClient`] is bound to one `(process, register)` pair. The
+//! blocking [`RegisterClient::write`] / [`RegisterClient::read`] calls are
+//! sugar over the split halves: [`RegisterClient::issue`] sends the
+//! invocation and returns an [`OpHandle`]; [`OpHandle::wait`] blocks for
+//! the outcome. Splitting lets a caller pipeline operations across
+//! *different* registers while each register stays sequential — the model's
+//! requirement, now enforced at the API layer: a second `issue` on a busy
+//! pair returns [`ClientError::OperationInFlight`] instead of the historic
+//! behaviour of panicking the process thread.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
 
-use crossbeam::channel::{bounded, Sender};
-use twobit_proto::{Automaton, OpId, OpOutcome, Operation, ProcessId};
+use crossbeam::channel::{bounded, Receiver, TryRecvError};
+use twobit_proto::{Automaton, OpId, OpOutcome, Operation, ProcessId, RegisterId};
 
-use crate::cluster::Incoming;
-use crate::recorder::Recorder;
+use crate::cluster::{Incoming, Shared, Slot};
 
 /// Errors surfaced by the blocking client API.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,6 +30,16 @@ pub enum ClientError {
     /// The operation completed with an outcome of the wrong kind
     /// (indicates a bug in the automaton).
     ProtocolMismatch,
+    /// This `(process, register)` pair already has an operation in flight;
+    /// processes are sequential per register.
+    OperationInFlight {
+        /// The busy process.
+        proc: ProcessId,
+        /// The busy register.
+        reg: RegisterId,
+    },
+    /// The cluster does not host this register.
+    UnknownRegister(RegisterId),
 }
 
 impl fmt::Display for ClientError {
@@ -30,55 +48,116 @@ impl fmt::Display for ClientError {
             ClientError::ProcessUnavailable => write!(f, "target process unavailable"),
             ClientError::Timeout => write!(f, "operation timed out"),
             ClientError::ProtocolMismatch => write!(f, "mismatched operation outcome"),
+            ClientError::OperationInFlight { proc, reg } => {
+                write!(f, "{proc} already has an operation in flight on {reg}")
+            }
+            ClientError::UnknownRegister(reg) => write!(f, "unknown register {reg}"),
         }
     }
 }
 
 impl std::error::Error for ClientError {}
 
-/// A blocking handle to the register, bound to one process.
+/// A blocking handle to one register, bound to one process.
 ///
-/// Processes are sequential, so use **one client per process** and do not
-/// issue concurrent operations through clones of the same process's inbox —
-/// the automaton will panic its thread on a protocol violation, surfacing
-/// as [`ClientError::ProcessUnavailable`] here.
+/// Clients are cheap to create and clone-free; make one per
+/// `(process, register)` pair you drive. Concurrent operations on the same
+/// pair — even through different clients — are rejected with
+/// [`ClientError::OperationInFlight`].
 pub struct RegisterClient<A: Automaton> {
-    pub(crate) proc: ProcessId,
-    pub(crate) inbox: Sender<Incoming<A>>,
-    pub(crate) recorder: Arc<Recorder<A::Value>>,
-    pub(crate) op_ids: Arc<AtomicU64>,
-    pub(crate) timeout: Duration,
+    shared: Arc<Shared<A>>,
+    proc: ProcessId,
+    reg: RegisterId,
 }
 
 impl<A: Automaton> RegisterClient<A> {
+    pub(crate) fn new(shared: Arc<Shared<A>>, proc: ProcessId, reg: RegisterId) -> Self {
+        RegisterClient { shared, proc, reg }
+    }
+
     /// The process this client drives.
     pub fn process(&self) -> ProcessId {
         self.proc
     }
 
-    fn invoke(&mut self, op: Operation<A::Value>) -> Result<OpOutcome<A::Value>, ClientError> {
-        let op_id = OpId::new(self.op_ids.fetch_add(1, Ordering::Relaxed));
+    /// The register this client drives.
+    pub fn register(&self) -> RegisterId {
+        self.reg
+    }
+
+    /// Issues `op` without waiting for it, returning the wait half.
+    ///
+    /// A previously abandoned operation on this pair (handle dropped, or
+    /// its `wait` timed out) is reaped here if its outcome has since
+    /// arrived; if it is still running, `issue` reports
+    /// [`ClientError::OperationInFlight`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::OperationInFlight`] if the pair is busy;
+    /// [`ClientError::ProcessUnavailable`] if the process crashed or shut
+    /// down.
+    pub fn issue(&mut self, op: Operation<A::Value>) -> Result<OpHandle<A>, ClientError> {
+        let key = (self.proc, self.reg);
+        {
+            let mut inflight = self.shared.inflight.lock();
+            match inflight.get(&key) {
+                Some(Slot::Busy) => {
+                    return Err(ClientError::OperationInFlight {
+                        proc: self.proc,
+                        reg: self.reg,
+                    })
+                }
+                Some(Slot::Abandoned(op_id, rx)) => match rx.try_recv() {
+                    Ok(outcome) => {
+                        // The abandoned op finally completed: record it so
+                        // the history stays truthful, then free the slot.
+                        self.shared
+                            .recorder
+                            .completed(*op_id, self.shared.recorder.now(), outcome);
+                        inflight.remove(&key);
+                    }
+                    Err(TryRecvError::Empty) => {
+                        return Err(ClientError::OperationInFlight {
+                            proc: self.proc,
+                            reg: self.reg,
+                        })
+                    }
+                    Err(TryRecvError::Disconnected) => {
+                        // Process died mid-op; the op can never complete.
+                        inflight.remove(&key);
+                    }
+                },
+                None => {}
+            }
+            inflight.insert(key, Slot::Busy);
+        }
+
+        let op_id = OpId::new(self.shared.op_ids.fetch_add(1, Ordering::Relaxed));
         let (reply_tx, reply_rx) = bounded(1);
-        let invoked_at = self.recorder.now();
-        self.inbox
+        let invoked_at = self.shared.recorder.now();
+        if self.shared.inbox_txs[self.proc.index()]
             .send(Incoming::Invoke {
+                reg: self.reg,
                 op_id,
                 op: op.clone(),
                 reply: reply_tx,
             })
-            .map_err(|_| ClientError::ProcessUnavailable)?;
-        self.recorder.invoked(op_id, self.proc, op, invoked_at);
-        match reply_rx.recv_timeout(self.timeout) {
-            Ok(outcome) => {
-                self.recorder
-                    .completed(op_id, self.recorder.now(), outcome.clone());
-                Ok(outcome)
-            }
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Err(ClientError::Timeout),
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                Err(ClientError::ProcessUnavailable)
-            }
+            .is_err()
+        {
+            self.shared.inflight.lock().remove(&key);
+            return Err(ClientError::ProcessUnavailable);
         }
+        self.shared
+            .recorder
+            .invoked(op_id, self.proc, self.reg, op, invoked_at);
+        Ok(OpHandle {
+            shared: Arc::clone(&self.shared),
+            proc: self.proc,
+            reg: self.reg,
+            op_id,
+            rx: Some(reply_rx),
+        })
     }
 
     /// Writes `v` to the register (only valid on the writer's client for
@@ -87,9 +166,10 @@ impl<A: Automaton> RegisterClient<A> {
     /// # Errors
     ///
     /// [`ClientError::ProcessUnavailable`] if the process crashed or shut
-    /// down; [`ClientError::Timeout`] if no quorum answered in time.
+    /// down; [`ClientError::Timeout`] if no quorum answered in time;
+    /// [`ClientError::OperationInFlight`] if the pair is busy.
     pub fn write(&mut self, v: A::Value) -> Result<(), ClientError> {
-        match self.invoke(Operation::Write(v))? {
+        match self.issue(Operation::Write(v))?.wait()? {
             OpOutcome::Written => Ok(()),
             OpOutcome::ReadValue(_) => Err(ClientError::ProtocolMismatch),
         }
@@ -101,9 +181,98 @@ impl<A: Automaton> RegisterClient<A> {
     ///
     /// Same as [`RegisterClient::write`].
     pub fn read(&mut self) -> Result<A::Value, ClientError> {
-        match self.invoke(Operation::Read)? {
+        match self.issue(Operation::Read)?.wait()? {
             OpOutcome::ReadValue(v) => Ok(v),
             OpOutcome::Written => Err(ClientError::ProtocolMismatch),
+        }
+    }
+}
+
+/// The wait half of an issued operation.
+///
+/// Obtained from [`RegisterClient::issue`]. Dropping the handle without
+/// waiting *abandons* the operation: it keeps running in the cluster, its
+/// `(process, register)` pair stays busy, and the next
+/// [`RegisterClient::issue`] on the pair reaps the outcome once it lands.
+pub struct OpHandle<A: Automaton> {
+    shared: Arc<Shared<A>>,
+    proc: ProcessId,
+    reg: RegisterId,
+    op_id: OpId,
+    rx: Option<Receiver<OpOutcome<A::Value>>>,
+}
+
+impl<A: Automaton> fmt::Debug for OpHandle<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpHandle")
+            .field("proc", &self.proc)
+            .field("reg", &self.reg)
+            .field("op_id", &self.op_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Automaton> OpHandle<A> {
+    /// The operation id assigned at issue time.
+    pub fn op_id(&self) -> OpId {
+        self.op_id
+    }
+
+    /// The issuing process.
+    pub fn process(&self) -> ProcessId {
+        self.proc
+    }
+
+    /// The target register.
+    pub fn register(&self) -> RegisterId {
+        self.reg
+    }
+
+    /// Blocks until the operation completes (up to the cluster's configured
+    /// operation timeout).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Timeout`] if no outcome arrived in time (the
+    /// operation stays in flight and is reaped by the pair's next `issue`);
+    /// [`ClientError::ProcessUnavailable`] if the process died.
+    pub fn wait(mut self) -> Result<OpOutcome<A::Value>, ClientError> {
+        let rx = self.rx.take().expect("wait consumes the receiver once");
+        match rx.recv_timeout(self.shared.op_timeout) {
+            Ok(outcome) => {
+                self.shared.recorder.completed(
+                    self.op_id,
+                    self.shared.recorder.now(),
+                    outcome.clone(),
+                );
+                self.shared.inflight.lock().remove(&(self.proc, self.reg));
+                Ok(outcome)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                // Leave the pair busy; park the receiver for reaping.
+                self.shared
+                    .inflight
+                    .lock()
+                    .insert((self.proc, self.reg), Slot::Abandoned(self.op_id, rx));
+                Err(ClientError::Timeout)
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                self.shared.inflight.lock().remove(&(self.proc, self.reg));
+                Err(ClientError::ProcessUnavailable)
+            }
+        }
+    }
+}
+
+impl<A: Automaton> Drop for OpHandle<A> {
+    /// Parks the reply receiver so a later `issue` on the pair can reap the
+    /// outcome (see the type docs).
+    fn drop(&mut self) {
+        if let Some(rx) = self.rx.take() {
+            self.shared
+                .inflight
+                .lock()
+                .insert((self.proc, self.reg), Slot::Abandoned(self.op_id, rx));
         }
     }
 }

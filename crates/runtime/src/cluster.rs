@@ -1,19 +1,28 @@
-//! Cluster assembly: process threads, chaos links, crash switches.
+//! Cluster assembly: process threads, chaos links, crash switches, shards.
+//!
+//! Each process thread hosts a [`ShardSet`] — one automaton instance per
+//! register — and every link carries [`Envelope`]-wrapped messages, so one
+//! cluster serves many independent registers (the paper's protocol, once
+//! per register). The cluster implements the backend-agnostic
+//! [`Driver`] interface; blocking per-register handles come from
+//! [`Cluster::client`] / [`Cluster::client_for`].
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use twobit_proto::{
-    Automaton, Effects, History, NetStats, OpId, OpOutcome, Operation, ProcessId, SystemConfig,
+    Automaton, Driver, DriverError, Effects, Envelope, History, NetStats, OpId, OpOutcome,
+    OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
     WireMessage,
 };
 use twobit_simnet::DelayModel;
 
-use crate::client::RegisterClient;
+use crate::client::{ClientError, OpHandle, RegisterClient};
 use crate::link::spawn_link;
 use crate::recorder::Recorder;
 
@@ -23,11 +32,13 @@ pub enum Incoming<A: Automaton> {
     Msg {
         /// The sending process.
         from: ProcessId,
-        /// The protocol message.
-        msg: A::Msg,
+        /// The enveloped protocol message.
+        env: Envelope<A::Msg>,
     },
     /// An operation invocation from a client handle.
     Invoke {
+        /// The target register.
+        reg: RegisterId,
         /// Operation id allocated by the client.
         op_id: OpId,
         /// The operation.
@@ -39,22 +50,58 @@ pub enum Incoming<A: Automaton> {
     Shutdown,
 }
 
+/// One `(process, register)` pair's client-side in-flight state. The API
+/// layer enforces the model's per-register sequentiality with this table:
+/// a second `issue` on a busy pair gets [`ClientError::OperationInFlight`]
+/// instead of panicking the process thread.
+pub(crate) enum Slot<V> {
+    /// An [`OpHandle`] holds the reply receiver.
+    Busy,
+    /// The handle was dropped or timed out with the operation still
+    /// running; the receiver is parked here so a later `issue` can reap the
+    /// outcome once it lands.
+    Abandoned(OpId, Receiver<OpOutcome<V>>),
+}
+
+/// The per-pair in-flight table guarded by [`Shared::inflight`].
+pub(crate) type InflightMap<V> = HashMap<(ProcessId, RegisterId), Slot<V>>;
+
+/// Latest polled driver outcome per `(process, register)` pair.
+type CompletedMap<V> = HashMap<(ProcessId, RegisterId), (OpId, OpOutcome<V>)>;
+
+/// State shared between the cluster, its clients, and its handles.
+pub(crate) struct Shared<A: Automaton> {
+    pub(crate) cfg: SystemConfig,
+    pub(crate) registers: Vec<RegisterId>,
+    pub(crate) inbox_txs: Vec<Sender<Incoming<A>>>,
+    pub(crate) crashed: Vec<Arc<AtomicBool>>,
+    pub(crate) recorder: Recorder<A::Value>,
+    /// Shared with the process and adapter threads, which update it.
+    pub(crate) stats: Arc<Mutex<NetStats>>,
+    pub(crate) op_ids: AtomicU64,
+    pub(crate) op_timeout: Duration,
+    pub(crate) inflight: Mutex<InflightMap<A::Value>>,
+}
+
 /// Builder for a [`Cluster`].
 pub struct ClusterBuilder {
     cfg: SystemConfig,
     seed: u64,
     delay: DelayModel,
     op_timeout: Duration,
+    registers: Vec<RegisterId>,
 }
 
 impl ClusterBuilder {
-    /// Starts configuring a cluster of `cfg.n()` processes.
+    /// Starts configuring a cluster of `cfg.n()` processes hosting a single
+    /// register (use [`ClusterBuilder::registers`] for more).
     pub fn new(cfg: SystemConfig) -> Self {
         ClusterBuilder {
             cfg,
             seed: 0,
             delay: DelayModel::Uniform { lo: 50, hi: 500 }, // 50–500µs
             op_timeout: Duration::from_secs(10),
+            registers: vec![RegisterId::ZERO],
         }
     }
 
@@ -76,26 +123,57 @@ impl ClusterBuilder {
         self
     }
 
-    /// Builds and starts the cluster: spawns `n` process threads and
-    /// `n(n−1)` link threads.
+    /// Hosts registers `r0 .. r(count-1)`.
+    pub fn registers(mut self, count: usize) -> Self {
+        self.registers = RegisterId::first(count);
+        self
+    }
+
+    /// Hosts exactly the given registers.
+    pub fn register_ids(mut self, registers: Vec<RegisterId>) -> Self {
+        self.registers = registers;
+        self
+    }
+
+    /// Builds and starts the cluster with one automaton per process (all
+    /// hosted registers get identical per-process instances).
     ///
     /// # Errors
     ///
     /// Currently infallible; returns `Result` for forward compatibility
     /// with transport-backed clusters.
-    pub fn build<A, F>(
+    pub fn build<A, F>(self, initial: A::Value, mut make: F) -> Result<Cluster<A>, std::io::Error>
+    where
+        A: Automaton,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.build_sharded(initial, move |_reg, id| make(id))
+    }
+
+    /// Builds and starts the cluster: spawns `n` process threads (each
+    /// hosting one automaton per register, created by `make`) and `n(n−1)`
+    /// link threads.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; returns `Result` for forward compatibility
+    /// with transport-backed clusters.
+    pub fn build_sharded<A, F>(
         self,
         initial: A::Value,
         mut make: F,
     ) -> Result<Cluster<A>, std::io::Error>
     where
         A: Automaton,
-        F: FnMut(ProcessId) -> A,
+        F: FnMut(RegisterId, ProcessId) -> A,
     {
         let n = self.cfg.n();
+        assert!(
+            !self.registers.is_empty(),
+            "cluster needs at least one register"
+        );
         let crashed: Vec<Arc<AtomicBool>> =
             (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
-        let recorder = Arc::new(Recorder::new(initial));
         let stats = Arc::new(Mutex::new(NetStats::new()));
 
         // Inboxes (one per process).
@@ -103,7 +181,8 @@ impl ClusterBuilder {
             (0..n).map(|_| unbounded::<Incoming<A>>()).unzip();
 
         // Links: input channel per ordered pair (i → j).
-        let mut link_txs: Vec<Vec<Option<Sender<A::Msg>>>> =
+        type LinkTxs<M> = Vec<Vec<Option<Sender<Envelope<M>>>>>;
+        let mut link_txs: LinkTxs<A::Msg> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         let mut link_threads = Vec::new();
         #[allow(clippy::needless_range_loop)] // i indexes link_txs below
@@ -112,19 +191,19 @@ impl ClusterBuilder {
                 if i == j {
                     continue;
                 }
-                let (tx, rx) = unbounded::<A::Msg>();
+                let (tx, rx) = unbounded::<Envelope<A::Msg>>();
                 // Wrap delivery: the link forwards raw messages; a small
                 // adapter channel tags them with the sender id.
-                let (tagged_tx, tagged_rx) = unbounded::<A::Msg>();
+                let (tagged_tx, tagged_rx) = unbounded::<Envelope<A::Msg>>();
                 let inbox = inbox_txs[j].clone();
                 let from = ProcessId::new(i);
                 let stats_d = Arc::clone(&stats);
                 // Adapter thread: raw → Incoming::Msg (kept separate from
                 // the link so the link stays generic over M).
                 let adapter = std::thread::spawn(move || {
-                    while let Ok(msg) = tagged_rx.recv() {
+                    while let Ok(env) = tagged_rx.recv() {
                         stats_d.lock().record_delivery();
-                        if inbox.send(Incoming::Msg { from, msg }).is_err() {
+                        if inbox.send(Incoming::Msg { from, env }).is_err() {
                             return;
                         }
                     }
@@ -143,24 +222,29 @@ impl ClusterBuilder {
         // Process threads.
         let mut proc_threads = Vec::new();
         for (i, inbox_rx) in inbox_rxs.into_iter().enumerate() {
-            let automaton = make(ProcessId::new(i));
-            assert_eq!(automaton.id().index(), i, "automaton id must match slot");
-            let outs: Vec<Option<Sender<A::Msg>>> = link_txs[i].clone();
+            let shards = ShardSet::new(ProcessId::new(i), &self.registers, &mut make);
+            let outs: Vec<Option<Sender<Envelope<A::Msg>>>> = link_txs[i].clone();
             let crashed = crashed.clone();
             let stats = Arc::clone(&stats);
             proc_threads.push(std::thread::spawn(move || {
-                process_loop(automaton, inbox_rx, outs, crashed, stats);
+                process_loop(shards, inbox_rx, outs, crashed, stats);
             }));
         }
 
         Ok(Cluster {
-            cfg: self.cfg,
-            inbox_txs,
-            crashed,
-            recorder,
-            stats,
-            op_ids: Arc::new(AtomicU64::new(0)),
-            op_timeout: self.op_timeout,
+            shared: Arc::new(Shared {
+                cfg: self.cfg,
+                registers: self.registers,
+                inbox_txs,
+                crashed,
+                recorder: Recorder::new(initial),
+                stats,
+                op_ids: AtomicU64::new(0),
+                op_timeout: self.op_timeout,
+                inflight: Mutex::new(HashMap::new()),
+            }),
+            driver_pending: HashMap::new(),
+            driver_completed: HashMap::new(),
             proc_threads,
             link_threads,
         })
@@ -168,15 +252,14 @@ impl ClusterBuilder {
 }
 
 fn process_loop<A: Automaton>(
-    mut automaton: A,
+    mut shards: ShardSet<A>,
     inbox: crossbeam::channel::Receiver<Incoming<A>>,
-    outs: Vec<Option<Sender<A::Msg>>>,
+    outs: Vec<Option<Sender<Envelope<A::Msg>>>>,
     crashed: Vec<Arc<AtomicBool>>,
     stats: Arc<Mutex<NetStats>>,
 ) {
-    let me = automaton.id().index();
-    let mut replies: std::collections::HashMap<OpId, Sender<OpOutcome<A::Value>>> =
-        std::collections::HashMap::new();
+    let me = shards.id().index();
+    let mut replies: HashMap<OpId, Sender<OpOutcome<A::Value>>> = HashMap::new();
     while let Ok(incoming) = inbox.recv() {
         if crashed[me].load(Ordering::Relaxed) {
             return; // silently halt: crash semantics
@@ -184,23 +267,36 @@ fn process_loop<A: Automaton>(
         let mut fx = Effects::new();
         match incoming {
             Incoming::Shutdown => return,
-            Incoming::Msg { from, msg } => {
-                automaton.on_message(from, msg, &mut fx);
+            Incoming::Msg { from, env } => {
+                shards.on_message(from, env, &mut fx);
             }
-            Incoming::Invoke { op_id, op, reply } => {
+            Incoming::Invoke {
+                reg,
+                op_id,
+                op,
+                reply,
+            } => {
                 replies.insert(op_id, reply);
-                automaton.on_invoke(op_id, op, &mut fx);
+                if shards.on_invoke(reg, op_id, op, &mut fx).is_err() {
+                    // Unknown register: validated at the client layer, so
+                    // this is unreachable in practice; dropping the reply
+                    // surfaces as ProcessUnavailable there.
+                    replies.remove(&op_id);
+                    continue;
+                }
             }
         }
         // Apply effects: route sends through links, answer completions.
-        for (to, msg) in fx.drain_sends() {
-            stats.lock().record_send(msg.kind(), msg.cost());
+        for (to, env) in fx.drain_sends() {
+            stats
+                .lock()
+                .record_send_for(env.reg, env.kind(), env.cost());
             if crashed[to.index()].load(Ordering::Relaxed) {
                 stats.lock().record_drop_to_crashed();
                 continue;
             }
             if let Some(tx) = outs[to.index()].as_ref() {
-                let _ = tx.send(msg);
+                let _ = tx.send(env);
             }
         }
         for (op_id, outcome) in fx.drain_completions() {
@@ -211,19 +307,21 @@ fn process_loop<A: Automaton>(
     }
 }
 
-/// A running cluster of register processes.
+/// A running cluster of register processes (one [`ShardSet`] each).
 ///
-/// Obtain clients with [`Cluster::client`], crash processes with
-/// [`Cluster::crash`], and tear down with [`Cluster::shutdown`] (which also
-/// returns the recorded history for linearizability checking).
+/// Obtain blocking clients with [`Cluster::client`] /
+/// [`Cluster::client_for`], crash processes with [`Cluster::crash`], drive
+/// it backend-agnostically through [`Driver`], and tear down with
+/// [`Cluster::shutdown`] (which also returns the recorded history for
+/// linearizability checking).
 pub struct Cluster<A: Automaton> {
-    cfg: SystemConfig,
-    inbox_txs: Vec<Sender<Incoming<A>>>,
-    crashed: Vec<Arc<AtomicBool>>,
-    recorder: Arc<Recorder<A::Value>>,
-    stats: Arc<Mutex<NetStats>>,
-    op_ids: Arc<AtomicU64>,
-    op_timeout: Duration,
+    pub(crate) shared: Arc<Shared<A>>,
+    /// Tickets issued through [`Driver::invoke`] and not yet polled.
+    driver_pending: HashMap<(ProcessId, RegisterId), OpHandle<A>>,
+    /// The most recently polled outcome per pair (so re-polling the latest
+    /// ticket is idempotent; bounded at one entry per pair, evicted by the
+    /// pair's next poll).
+    driver_completed: CompletedMap<A::Value>,
     proc_threads: Vec<JoinHandle<()>>,
     link_threads: Vec<JoinHandle<()>>,
 }
@@ -231,58 +329,91 @@ pub struct Cluster<A: Automaton> {
 impl<A: Automaton> Cluster<A> {
     /// The system configuration.
     pub fn config(&self) -> SystemConfig {
-        self.cfg
+        self.shared.cfg
     }
 
-    /// Creates a client handle bound to process `proc`.
+    /// The registers this cluster hosts.
+    pub fn hosted_registers(&self) -> &[RegisterId] {
+        &self.shared.registers
+    }
+
+    /// Creates a client handle bound to process `proc` on the default
+    /// register `r0`.
     ///
-    /// Use at most one client per process at a time (processes are
-    /// sequential).
+    /// # Panics
+    ///
+    /// Panics if `r0` is not hosted (custom
+    /// [`ClusterBuilder::register_ids`] without it).
     pub fn client(&self, proc: impl Into<ProcessId>) -> RegisterClient<A> {
-        let proc = proc.into();
-        RegisterClient {
-            proc,
-            inbox: self.inbox_txs[proc.index()].clone(),
-            recorder: Arc::clone(&self.recorder),
-            op_ids: Arc::clone(&self.op_ids),
-            timeout: self.op_timeout,
+        self.client_for(proc, RegisterId::ZERO)
+            .expect("default register r0 not hosted")
+    }
+
+    /// Creates a client handle bound to process `proc` on register `reg`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::UnknownRegister`] if the cluster does not host `reg`.
+    pub fn client_for(
+        &self,
+        proc: impl Into<ProcessId>,
+        reg: RegisterId,
+    ) -> Result<RegisterClient<A>, ClientError> {
+        if !self.shared.registers.contains(&reg) {
+            return Err(ClientError::UnknownRegister(reg));
         }
+        Ok(RegisterClient::new(
+            Arc::clone(&self.shared),
+            proc.into(),
+            reg,
+        ))
     }
 
     /// Crashes process `proc`: it stops handling events; messages addressed
     /// to it are dropped. Irreversible.
     pub fn crash(&self, proc: impl Into<ProcessId>) {
         let proc = proc.into();
-        self.crashed[proc.index()].store(true, Ordering::Relaxed);
+        self.shared.crashed[proc.index()].store(true, Ordering::Relaxed);
         // Nudge the thread so it observes the flag even when idle.
-        let _ = self.inbox_txs[proc.index()].send(Incoming::Shutdown);
+        let _ = self.shared.inbox_txs[proc.index()].send(Incoming::Shutdown);
     }
 
-    /// Snapshot of the operation history recorded so far.
+    /// Snapshot of the flat operation history recorded so far (all
+    /// registers interleaved; use [`Cluster::sharded_history`] for the
+    /// per-register projection the checker wants).
     pub fn history(&self) -> History<A::Value> {
-        self.recorder.snapshot()
+        self.shared.recorder.snapshot()
+    }
+
+    /// Snapshot of the per-register operation histories recorded so far.
+    pub fn sharded_history(&self) -> ShardedHistory<A::Value> {
+        self.shared
+            .recorder
+            .snapshot_sharded(&self.shared.registers)
     }
 
     /// Snapshot of the network statistics.
     pub fn stats(&self) -> NetStats {
-        self.stats.lock().clone()
+        self.shared.stats.lock().clone()
     }
 
-    /// Gracefully stops all threads and returns the final history and
-    /// statistics.
+    /// Gracefully stops all threads and returns the final (flat) history
+    /// and statistics. Take [`Cluster::sharded_history`] first if you need
+    /// the per-register projection.
     pub fn shutdown(mut self) -> (History<A::Value>, NetStats) {
-        for tx in &self.inbox_txs {
+        for tx in &self.shared.inbox_txs {
             let _ = tx.send(Incoming::Shutdown);
         }
         for h in self.proc_threads.drain(..) {
             let _ = h.join();
         }
-        // Links exit when their senders drop with the process threads.
-        self.inbox_txs.clear();
         for h in self.link_threads.drain(..) {
             let _ = h.join();
         }
-        (self.recorder.snapshot(), self.stats.lock().clone())
+        (
+            self.shared.recorder.snapshot(),
+            self.shared.stats.lock().clone(),
+        )
     }
 }
 
@@ -290,9 +421,109 @@ impl<A: Automaton> Drop for Cluster<A> {
     /// Best-effort, non-blocking teardown signal (C-DTOR-BLOCK: the
     /// blocking variant is the explicit [`Cluster::shutdown`]).
     fn drop(&mut self) {
-        for tx in &self.inbox_txs {
+        for tx in &self.shared.inbox_txs {
             let _ = tx.send(Incoming::Shutdown);
         }
+    }
+}
+
+fn to_driver_error(e: ClientError, proc: ProcessId) -> DriverError {
+    match e {
+        ClientError::ProcessUnavailable => DriverError::ProcessUnavailable(proc),
+        ClientError::Timeout => DriverError::Timeout,
+        ClientError::ProtocolMismatch => DriverError::ProtocolMismatch,
+        ClientError::OperationInFlight { proc, reg } => {
+            DriverError::OperationInFlight { proc, reg }
+        }
+        ClientError::UnknownRegister(r) => DriverError::UnknownRegister(r),
+    }
+}
+
+/// Backend-agnostic driving of the live cluster. `invoke` issues through
+/// the same per-register in-flight accounting as the blocking clients;
+/// `poll` blocks (up to the configured operation timeout) for the reply.
+///
+/// A ticket whose `poll` timed out cannot be re-polled — its outcome, if
+/// the quorum eventually answers, is reaped by the next `invoke` on the
+/// same `(process, register)` pair.
+impl<A: Automaton> Driver for Cluster<A> {
+    type Value = A::Value;
+
+    fn config(&self) -> SystemConfig {
+        self.shared.cfg
+    }
+
+    fn registers(&self) -> Vec<RegisterId> {
+        self.shared.registers.clone()
+    }
+
+    fn invoke(
+        &mut self,
+        proc: ProcessId,
+        reg: RegisterId,
+        op: Operation<A::Value>,
+    ) -> Result<OpTicket, DriverError> {
+        if proc.index() >= self.shared.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        if self.shared.crashed[proc.index()].load(Ordering::Relaxed) {
+            return Err(DriverError::ProcessUnavailable(proc));
+        }
+        let mut client = self
+            .client_for(proc, reg)
+            .map_err(|e| to_driver_error(e, proc))?;
+        // An unpolled driver ticket on this pair counts as in flight.
+        if self.driver_pending.contains_key(&(proc, reg)) {
+            return Err(DriverError::OperationInFlight { proc, reg });
+        }
+        let handle = client.issue(op).map_err(|e| to_driver_error(e, proc))?;
+        let ticket = OpTicket {
+            proc,
+            reg,
+            op_id: handle.op_id(),
+        };
+        self.driver_pending.insert((proc, reg), handle);
+        Ok(ticket)
+    }
+
+    fn poll(&mut self, ticket: &OpTicket) -> Result<OpOutcome<A::Value>, DriverError> {
+        let key = (ticket.proc, ticket.reg);
+        if let Some((op_id, outcome)) = self.driver_completed.get(&key) {
+            if *op_id == ticket.op_id {
+                return Ok(outcome.clone());
+            }
+        }
+        let handle = self
+            .driver_pending
+            .remove(&key)
+            .ok_or(DriverError::Stalled(ticket.op_id))?;
+        if handle.op_id() != ticket.op_id {
+            // A newer ticket superseded this one; put it back.
+            let op_id = handle.op_id();
+            self.driver_pending.insert(key, handle);
+            return Err(DriverError::Backend(format!(
+                "ticket {} superseded by {op_id}",
+                ticket.op_id
+            )));
+        }
+        let outcome = handle.wait().map_err(|e| to_driver_error(e, ticket.proc))?;
+        // Replaces the pair's previous cached outcome, keeping the cache
+        // bounded at one entry per (process, register) pair.
+        self.driver_completed
+            .insert(key, (ticket.op_id, outcome.clone()));
+        Ok(outcome)
+    }
+
+    fn crash(&mut self, proc: ProcessId) {
+        Cluster::crash(self, proc);
+    }
+
+    fn history(&self) -> ShardedHistory<A::Value> {
+        self.sharded_history()
+    }
+
+    fn stats(&self) -> NetStats {
+        Cluster::stats(self)
     }
 }
 
@@ -392,5 +623,142 @@ mod tests {
         // Either the inbox is already closed or the op times out — the
         // operation must not succeed.
         assert!(r.read().is_err());
+    }
+
+    #[test]
+    fn sharded_cluster_serves_independent_registers() {
+        let c = cfg(3);
+        let cluster = ClusterBuilder::new(c)
+            .seed(5)
+            .registers(4)
+            // Register rk's writer is process k mod n.
+            .build_sharded(0u64, |reg, id| {
+                TwoBitProcess::new(id, c, ProcessId::new(reg.index() % 3), 0u64)
+            })
+            .unwrap();
+        for k in 0..4usize {
+            let reg = RegisterId::new(k);
+            let mut w = cluster.client_for(k % 3, reg).unwrap();
+            let mut r = cluster.client_for((k + 1) % 3, reg).unwrap();
+            w.write(100 + k as u64).unwrap();
+            assert_eq!(r.read().unwrap(), 100 + k as u64);
+        }
+        let sharded = cluster.sharded_history();
+        assert_eq!(sharded.len(), 4);
+        for (_, h) in sharded.iter() {
+            assert_eq!(h.len(), 2);
+            twobit_lincheck::check_swmr(h).unwrap();
+        }
+        // Per-shard wire accounting adds up to the aggregate.
+        let stats = cluster.stats();
+        let shard_sum: u64 = stats.shards().map(|(_, t)| t.sent).sum();
+        assert_eq!(shard_sum, stats.total_sent());
+        assert!(stats.routing_bits() > 0, "4 registers need shard tags");
+    }
+
+    #[test]
+    fn concurrent_issue_on_same_register_is_typed_error() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(6)
+            // Slow links so the first op is still in flight when the second
+            // is issued.
+            .delay(DelayModel::Fixed(50_000))
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut a = cluster.client(0);
+        let mut b = cluster.client(0);
+        let handle = a.issue(Operation::Write(1)).unwrap();
+        // A clone of the same process's client cannot sneak a concurrent op
+        // in — the old footgun that panicked the process thread.
+        match b.issue(Operation::Write(2)) {
+            Err(ClientError::OperationInFlight { proc, reg }) => {
+                assert_eq!(proc, ProcessId::new(0));
+                assert_eq!(reg, RegisterId::ZERO);
+            }
+            other => panic!("expected OperationInFlight, got {other:?}"),
+        }
+        assert_eq!(handle.wait().unwrap(), OpOutcome::Written);
+        // After completion the pair is free again.
+        b.write(2).unwrap();
+        let (history, _) = cluster.shutdown();
+        twobit_lincheck::check_swmr(&history).unwrap();
+    }
+
+    #[test]
+    fn pipelined_handles_across_registers() {
+        let c = cfg(3);
+        let cluster = ClusterBuilder::new(c)
+            .seed(7)
+            .registers(3)
+            .build_sharded(0u64, |_reg, id| {
+                TwoBitProcess::new(id, c, ProcessId::new(0), 0u64)
+            })
+            .unwrap();
+        // One client per register, all bound to p0: issue all three writes
+        // before waiting on any (pipelining across shards).
+        let mut clients: Vec<_> = (0..3)
+            .map(|k| cluster.client_for(0, RegisterId::new(k)).unwrap())
+            .collect();
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .enumerate()
+            .map(|(k, cl)| cl.issue(Operation::Write(k as u64 + 1)).unwrap())
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().unwrap(), OpOutcome::Written);
+        }
+        let sharded = cluster.sharded_history();
+        for (_, h) in sharded.iter() {
+            twobit_lincheck::check_swmr(h).unwrap();
+        }
+    }
+
+    #[test]
+    fn abandoned_handle_outcome_is_reaped() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(8)
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        let handle = w.issue(Operation::Write(1)).unwrap();
+        drop(handle); // abandon without waiting
+                      // The next issue either reaps the landed outcome and proceeds, or
+                      // reports the op as still in flight — never a thread panic.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match w.issue(Operation::Write(2)) {
+                Ok(h) => {
+                    assert_eq!(h.wait().unwrap(), OpOutcome::Written);
+                    break;
+                }
+                Err(ClientError::OperationInFlight { .. }) => {
+                    assert!(std::time::Instant::now() < deadline, "op never landed");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        let (history, _) = cluster.shutdown();
+        twobit_lincheck::check_swmr(&history).unwrap();
+    }
+
+    #[test]
+    fn driver_interface_drives_the_cluster() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let mut cluster = ClusterBuilder::new(c)
+            .seed(9)
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        Driver::write(&mut cluster, p0, RegisterId::ZERO, 7).unwrap();
+        assert_eq!(Driver::read(&mut cluster, p1, RegisterId::ZERO).unwrap(), 7);
+        let sharded = Driver::history(&cluster);
+        twobit_lincheck::check_swmr(sharded.shard(RegisterId::ZERO).unwrap()).unwrap();
     }
 }

@@ -44,5 +44,5 @@ pub mod cluster;
 mod link;
 mod recorder;
 
-pub use client::{ClientError, RegisterClient};
+pub use client::{ClientError, OpHandle, RegisterClient};
 pub use cluster::{Cluster, ClusterBuilder};

@@ -64,10 +64,7 @@ pub(crate) fn spawn_link<M: Send + 'static>(
         loop {
             // Deliver everything due.
             let now = Instant::now();
-            while heap
-                .peek()
-                .is_some_and(|Reverse(q)| q.deadline <= now)
-            {
+            while heap.peek().is_some_and(|Reverse(q)| q.deadline <= now) {
                 let Reverse(q) = heap.pop().expect("peeked");
                 if !dest_crashed.load(Ordering::Relaxed) {
                     // The destination inbox may already be gone on shutdown.

@@ -4,16 +4,20 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use parking_lot::Mutex;
-use twobit_proto::{History, OpId, OpOutcome, OpRecord, Operation, ProcessId};
+use twobit_proto::{
+    History, OpId, OpOutcome, OpRecord, Operation, ProcessId, RegisterId, ShardedHistory,
+};
 
-/// Records operation invocations/responses from many client threads.
+/// Records operation invocations/responses from many client threads,
+/// tagging each operation with its target register.
 pub(crate) struct Recorder<V> {
     start: Instant,
+    initial: V,
     inner: Mutex<Inner<V>>,
 }
 
 struct Inner<V> {
-    history: History<V>,
+    records: Vec<(RegisterId, OpRecord<V>)>,
     index: HashMap<OpId, usize>,
 }
 
@@ -21,8 +25,9 @@ impl<V: Clone> Recorder<V> {
     pub(crate) fn new(initial: V) -> Self {
         Recorder {
             start: Instant::now(),
+            initial,
             inner: Mutex::new(Inner {
-                history: History::new(initial),
+                records: Vec::new(),
                 index: HashMap::new(),
             }),
         }
@@ -33,29 +38,54 @@ impl<V: Clone> Recorder<V> {
         u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
-    pub(crate) fn invoked(&self, op_id: OpId, proc: ProcessId, op: Operation<V>, at: u64) {
+    pub(crate) fn invoked(
+        &self,
+        op_id: OpId,
+        proc: ProcessId,
+        reg: RegisterId,
+        op: Operation<V>,
+        at: u64,
+    ) {
         let mut g = self.inner.lock();
-        let idx = g.history.records.len();
-        g.history.records.push(OpRecord {
-            op_id,
-            proc,
-            op,
-            invoked_at: at,
-            completed: None,
-        });
+        let idx = g.records.len();
+        g.records.push((
+            reg,
+            OpRecord {
+                op_id,
+                proc,
+                op,
+                invoked_at: at,
+                completed: None,
+            },
+        ));
         g.index.insert(op_id, idx);
     }
 
     pub(crate) fn completed(&self, op_id: OpId, at: u64, outcome: OpOutcome<V>) {
         let mut g = self.inner.lock();
         let idx = *g.index.get(&op_id).expect("completion for unknown op");
-        let rec = &mut g.history.records[idx];
+        let rec = &mut g.records[idx].1;
         debug_assert!(rec.completed.is_none(), "op completed twice");
         rec.completed = Some((at, outcome));
     }
 
+    /// All records flattened into one history (register tags dropped) —
+    /// the single-register view, also useful for whole-run accounting.
     pub(crate) fn snapshot(&self) -> History<V> {
-        self.inner.lock().history.clone()
+        let g = self.inner.lock();
+        let mut h = History::new(self.initial.clone());
+        h.records.extend(g.records.iter().map(|(_, r)| r.clone()));
+        h
+    }
+
+    /// Per-register projection over `registers` (empty shards included).
+    pub(crate) fn snapshot_sharded(&self, registers: &[RegisterId]) -> ShardedHistory<V> {
+        let g = self.inner.lock();
+        ShardedHistory::from_tagged(
+            self.initial.clone(),
+            registers.iter().copied(),
+            g.records.iter().cloned(),
+        )
     }
 }
 
@@ -67,13 +97,38 @@ mod tests {
     fn records_and_snapshots() {
         let r = Recorder::new(0u64);
         let t0 = r.now();
-        r.invoked(OpId::new(0), ProcessId::new(1), Operation::Write(5), t0);
+        r.invoked(
+            OpId::new(0),
+            ProcessId::new(1),
+            RegisterId::ZERO,
+            Operation::Write(5),
+            t0,
+        );
         let h = r.snapshot();
         assert_eq!(h.records.len(), 1);
         assert!(!h.records[0].is_complete());
         r.completed(OpId::new(0), t0 + 10, OpOutcome::Written);
         let h = r.snapshot();
         assert_eq!(h.records[0].completed, Some((t0 + 10, OpOutcome::Written)));
+    }
+
+    #[test]
+    fn sharded_snapshot_projects_by_register() {
+        let r = Recorder::new(0u64);
+        let regs = [RegisterId::new(0), RegisterId::new(1)];
+        let t = r.now();
+        r.invoked(
+            OpId::new(0),
+            ProcessId::new(0),
+            regs[1],
+            Operation::Write(7),
+            t,
+        );
+        r.completed(OpId::new(0), t + 1, OpOutcome::Written);
+        let sh = r.snapshot_sharded(&regs);
+        assert_eq!(sh.len(), 2);
+        assert_eq!(sh.shard(regs[0]).unwrap().len(), 0);
+        assert_eq!(sh.shard(regs[1]).unwrap().len(), 1);
     }
 
     #[test]

@@ -107,16 +107,31 @@ mod tests {
             .with_crash(1, CrashPoint::AtTime(10))
             .with_crash(1, CrashPoint::AtTime(20));
         assert_eq!(plan.crash_count(), 1);
-        assert_eq!(plan.point_for(ProcessId::new(1)), Some(CrashPoint::AtTime(20)));
+        assert_eq!(
+            plan.point_for(ProcessId::new(1)),
+            Some(CrashPoint::AtTime(20))
+        );
     }
 
     #[test]
     fn iter_yields_all() {
         let plan = CrashPlan::none()
             .with_crash(0, CrashPoint::AtTime(1))
-            .with_crash(3, CrashPoint::OnStep { step: 2, sends_allowed: 0 });
+            .with_crash(
+                3,
+                CrashPoint::OnStep {
+                    step: 2,
+                    sends_allowed: 0,
+                },
+            );
         let got: Vec<_> = plan.iter().collect();
         assert_eq!(got.len(), 2);
-        assert!(got.contains(&(ProcessId::new(3), CrashPoint::OnStep { step: 2, sends_allowed: 0 })));
+        assert!(got.contains(&(
+            ProcessId::new(3),
+            CrashPoint::OnStep {
+                step: 2,
+                sends_allowed: 0
+            }
+        )));
     }
 }

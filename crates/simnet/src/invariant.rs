@@ -131,7 +131,9 @@ mod tests {
             inflight: &inflight,
         };
         assert_eq!(view.live_procs().count(), 2);
-        assert!(view.channel(ProcessId::new(0), ProcessId::new(1)).is_empty());
+        assert!(view
+            .channel(ProcessId::new(0), ProcessId::new(1))
+            .is_empty());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod crash;
 pub mod delay;
 pub mod invariant;
 pub mod sim;
+pub mod space;
 pub mod testutil;
 pub mod workload;
 
@@ -51,6 +52,7 @@ pub use crash::{CrashPlan, CrashPoint};
 pub use delay::DelayModel;
 pub use invariant::{InFlightMsg, InvariantViolation, SimInvariant, SimView};
 pub use sim::{SimBuilder, SimError, SimReport, Simulation};
+pub use space::{SimSpace, SpaceBuilder};
 pub use twobit_proto::stats::{NetStats, StatsSnapshot};
 pub use workload::{ClientPlan, PlannedOp};
 

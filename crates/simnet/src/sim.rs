@@ -16,15 +16,16 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twobit_proto::{
-    Automaton, Effects, History, OpId, OpRecord, Operation, ProcessId, SystemConfig, WireMessage,
+    Automaton, Driver, DriverError, Effects, History, OpId, OpOutcome, OpRecord, OpTicket,
+    Operation, ProcessId, RegisterId, ShardedHistory, SystemConfig, WireMessage,
 };
 
 use crate::crash::{CrashPlan, CrashPoint};
 use crate::delay::DelayModel;
 use crate::invariant::{InFlightMsg, InvariantViolation, SimInvariant, SimView};
-use twobit_proto::stats::NetStats;
 use crate::workload::{ClientPlan, PlannedOp};
 use crate::SimTime;
+use twobit_proto::stats::NetStats;
 
 /// Errors terminating a simulation abnormally.
 #[derive(Debug)]
@@ -192,6 +193,7 @@ impl SimBuilder {
             outstanding: vec![None; n],
             invariants: Vec::new(),
             check_every: self.check_every,
+            events: 0,
             max_events: self.max_events,
             max_time: self.max_time,
         };
@@ -233,6 +235,11 @@ enum EventKind<A: Automaton> {
     },
     Invoke {
         op: Operation<A::Value>,
+        /// `Some(op_id)` for interactively-driven invocations (the record
+        /// and the outstanding slot were created at [`Driver::invoke`]
+        /// time); `None` for plan-scripted ones, which allocate on
+        /// processing.
+        pre_allocated: Option<OpId>,
     },
     Crash,
 }
@@ -282,9 +289,12 @@ pub struct Simulation<A: Automaton> {
     stats: NetStats,
     plans: Vec<Vec<PlannedOp<A::Value>>>,
     plan_cursor: Vec<usize>,
-    outstanding: Vec<Option<OpId>>,
+    /// Per process: the outstanding op and whether it came from a plan
+    /// (plan-issued completions schedule the next scripted op).
+    outstanding: Vec<Option<(OpId, bool)>>,
     invariants: Vec<Box<dyn SimInvariant<A>>>,
     check_every: u64,
+    events: u64,
     max_events: u64,
     max_time: SimTime,
 }
@@ -336,7 +346,124 @@ impl<A: Automaton> Simulation<A> {
     fn schedule_invoke(&mut self, proc: ProcessId, at: SimTime) {
         let cursor = self.plan_cursor[proc.index()];
         let op = self.plans[proc.index()][cursor].op.clone();
-        self.push_event(at, proc, EventKind::Invoke { op });
+        self.push_event(
+            at,
+            proc,
+            EventKind::Invoke {
+                op,
+                pre_allocated: None,
+            },
+        );
+    }
+
+    /// Processes the next queued event. Returns `Ok(false)` when the queue
+    /// is empty (quiescence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on invariant violation, protocol misbehaviour,
+    /// or when the event/time guards trip.
+    pub fn step(&mut self) -> Result<bool, SimError> {
+        let Some(ev) = self.queue.pop() else {
+            return Ok(false);
+        };
+        debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.now = ev.at;
+        if self.now > self.max_time {
+            return Err(SimError::TimeLimitExceeded {
+                limit: self.max_time,
+            });
+        }
+        self.events += 1;
+        if self.events > self.max_events {
+            return Err(SimError::EventLimitExceeded {
+                limit: self.max_events,
+            });
+        }
+
+        let p = ev.proc;
+        let pi = p.index();
+        match ev.kind {
+            EventKind::Crash => {
+                self.crashed[pi] = true;
+            }
+            EventKind::Deliver { from, msg, .. } => {
+                if self.crashed[pi] {
+                    self.stats.record_drop_to_crashed();
+                } else {
+                    self.stats.record_delivery();
+                    let mut fx = Effects::new();
+                    self.procs[pi].on_message(from, msg, &mut fx);
+                    self.finish_step(p, fx)?;
+                }
+            }
+            EventKind::Invoke { op, pre_allocated } => {
+                if !self.crashed[pi] {
+                    let op_id = match pre_allocated {
+                        // Interactive invocation: record and outstanding slot
+                        // were created at `Driver::invoke` time.
+                        Some(op_id) => op_id,
+                        None => {
+                            let op_id = OpId::new(self.history.records.len() as u64);
+                            if let Some((prev, _)) = self.outstanding[pi] {
+                                return Err(SimError::ProtocolError(format!(
+                                    "process {p} invoked {op_id} while {prev} is outstanding"
+                                )));
+                            }
+                            self.outstanding[pi] = Some((op_id, true));
+                            self.history.records.push(OpRecord {
+                                op_id,
+                                proc: p,
+                                op: op.clone(),
+                                invoked_at: self.now,
+                                completed: None,
+                            });
+                            op_id
+                        }
+                    };
+                    let mut fx = Effects::new();
+                    self.procs[pi].on_invoke(op_id, op, &mut fx);
+                    self.finish_step(p, fx)?;
+                }
+            }
+        }
+
+        if self.check_every > 0 && self.events.is_multiple_of(self.check_every) {
+            self.check_invariants()?;
+        }
+        Ok(true)
+    }
+
+    /// Processes events until the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulation::step`].
+    pub fn run_to_quiescence(&mut self) -> Result<(), SimError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Consumes the (quiescent or abandoned) simulation into its report.
+    pub fn into_report(self) -> SimReport<A> {
+        // Collect ops of live processes that never completed.
+        let stalled_ops = self
+            .history
+            .records
+            .iter()
+            .filter(|r| !r.is_complete() && !self.crashed[r.proc.index()])
+            .map(|r| r.op_id)
+            .collect();
+
+        SimReport {
+            history: self.history,
+            stats: self.stats,
+            final_time: self.now,
+            events: self.events,
+            stalled_ops,
+            procs: self.procs,
+            crashed: self.crashed,
+        }
     }
 
     /// Runs the simulation to quiescence.
@@ -346,89 +473,17 @@ impl<A: Automaton> Simulation<A> {
     /// Returns [`SimError`] on invariant violation, protocol misbehaviour,
     /// or when the event/time guards trip.
     pub fn run(mut self) -> Result<SimReport<A>, SimError> {
-        let mut events: u64 = 0;
-        while let Some(ev) = self.queue.pop() {
-            debug_assert!(ev.at >= self.now, "time must be monotone");
-            self.now = ev.at;
-            if self.now > self.max_time {
-                return Err(SimError::TimeLimitExceeded {
-                    limit: self.max_time,
-                });
-            }
-            events += 1;
-            if events > self.max_events {
-                return Err(SimError::EventLimitExceeded {
-                    limit: self.max_events,
-                });
-            }
-
-            let p = ev.proc;
-            let pi = p.index();
-            match ev.kind {
-                EventKind::Crash => {
-                    self.crashed[pi] = true;
-                }
-                EventKind::Deliver { from, msg, .. } => {
-                    if self.crashed[pi] {
-                        self.stats.record_drop_to_crashed();
-                    } else {
-                        self.stats.record_delivery();
-                        let mut fx = Effects::new();
-                        self.procs[pi].on_message(from, msg, &mut fx);
-                        self.finish_step(p, fx)?;
-                    }
-                }
-                EventKind::Invoke { op } => {
-                    if !self.crashed[pi] {
-                        let op_id = OpId::new(self.history.records.len() as u64);
-                        if let Some(prev) = self.outstanding[pi] {
-                            return Err(SimError::ProtocolError(format!(
-                                "process {p} invoked {op_id} while {prev} is outstanding"
-                            )));
-                        }
-                        self.outstanding[pi] = Some(op_id);
-                        self.history.records.push(OpRecord {
-                            op_id,
-                            proc: p,
-                            op: op.clone(),
-                            invoked_at: self.now,
-                            completed: None,
-                        });
-                        let mut fx = Effects::new();
-                        self.procs[pi].on_invoke(op_id, op, &mut fx);
-                        self.finish_step(p, fx)?;
-                    }
-                }
-            }
-
-            if self.check_every > 0 && events.is_multiple_of(self.check_every) {
-                self.check_invariants()?;
-            }
-        }
-
-        // Quiescent: collect ops of live processes that never completed.
-        let stalled_ops = self
-            .history
-            .records
-            .iter()
-            .filter(|r| !r.is_complete() && !self.crashed[r.proc.index()])
-            .map(|r| r.op_id)
-            .collect();
-
-        Ok(SimReport {
-            history: self.history,
-            stats: self.stats,
-            final_time: self.now,
-            events,
-            stalled_ops,
-            procs: self.procs,
-            crashed: self.crashed,
-        })
+        self.run_to_quiescence()?;
+        Ok(self.into_report())
     }
 
     /// Applies the effects of one handler execution at process `p`,
     /// honouring a step-based crash point if armed.
-    fn finish_step(&mut self, p: ProcessId, mut fx: Effects<A::Msg, A::Value>) -> Result<(), SimError> {
+    fn finish_step(
+        &mut self,
+        p: ProcessId,
+        mut fx: Effects<A::Msg, A::Value>,
+    ) -> Result<(), SimError> {
         let pi = p.index();
         self.steps_taken[pi] += 1;
         let mut sends_allowed = usize::MAX;
@@ -486,21 +541,38 @@ impl<A: Automaton> Simulation<A> {
                 )));
             }
             rec.completed = Some((self.now, outcome));
-            if self.outstanding[pi] != Some(op_id) {
+            let Some((outstanding_op, from_plan)) = self.outstanding[pi] else {
+                return Err(SimError::ProtocolError(format!(
+                    "op {op_id} completed but was not outstanding at {p}"
+                )));
+            };
+            if outstanding_op != op_id {
                 return Err(SimError::ProtocolError(format!(
                     "op {op_id} completed but was not outstanding at {p}"
                 )));
             }
             self.outstanding[pi] = None;
-            // Closed loop: schedule the next scripted op, if any.
-            self.plan_cursor[pi] += 1;
-            let cursor = self.plan_cursor[pi];
-            if cursor < self.plans[pi].len() {
-                let at = self.now + self.plans[pi][cursor].delay_before;
-                self.schedule_invoke(p, at);
+            if from_plan {
+                // Closed loop: schedule the next scripted op, if any.
+                self.plan_cursor[pi] += 1;
+                let cursor = self.plan_cursor[pi];
+                if cursor < self.plans[pi].len() {
+                    let at = self.now + self.plans[pi][cursor].delay_before;
+                    self.schedule_invoke(p, at);
+                }
             }
         }
         Ok(())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Snapshot of the network statistics so far.
+    pub fn net_stats(&self) -> NetStats {
+        self.stats.clone()
     }
 
     fn check_invariants(&mut self) -> Result<(), SimError> {
@@ -568,12 +640,113 @@ impl<A: Automaton> Simulation<A> {
     }
 }
 
+/// Interactive, backend-agnostic driving of a **single-register**
+/// simulation (the paper's original setting) — the sharded analogue is
+/// [`SimSpace`](crate::SimSpace).
+///
+/// `invoke` schedules the invocation at the current virtual time; `poll`
+/// advances the event loop until the ticket's operation completes.
+/// Interactive invocations and scripted [`ClientPlan`]s must not target the
+/// same process (the engine rejects overlapping invocations as a protocol
+/// error, as the model's sequential processes require).
+impl<A: Automaton> Driver for Simulation<A> {
+    type Value = A::Value;
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    fn registers(&self) -> Vec<RegisterId> {
+        vec![RegisterId::ZERO]
+    }
+
+    fn invoke(
+        &mut self,
+        proc: ProcessId,
+        reg: RegisterId,
+        op: Operation<A::Value>,
+    ) -> Result<OpTicket, DriverError> {
+        if reg != RegisterId::ZERO {
+            return Err(DriverError::UnknownRegister(reg));
+        }
+        let pi = proc.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        if self.crashed[pi] {
+            return Err(DriverError::ProcessUnavailable(proc));
+        }
+        if self.outstanding[pi].is_some() {
+            return Err(DriverError::OperationInFlight { proc, reg });
+        }
+        let op_id = OpId::new(self.history.records.len() as u64);
+        self.outstanding[pi] = Some((op_id, false));
+        self.history.records.push(OpRecord {
+            op_id,
+            proc,
+            op: op.clone(),
+            invoked_at: self.now,
+            completed: None,
+        });
+        self.push_event(
+            self.now,
+            proc,
+            EventKind::Invoke {
+                op,
+                pre_allocated: Some(op_id),
+            },
+        );
+        Ok(OpTicket { proc, reg, op_id })
+    }
+
+    fn poll(&mut self, ticket: &OpTicket) -> Result<OpOutcome<A::Value>, DriverError> {
+        loop {
+            let rec = self
+                .history
+                .records
+                .get(ticket.op_id.raw() as usize)
+                .ok_or(DriverError::Stalled(ticket.op_id))?;
+            if let Some((_, outcome)) = &rec.completed {
+                return Ok(outcome.clone());
+            }
+            let advanced = self
+                .step()
+                .map_err(|e| DriverError::Backend(e.to_string()))?;
+            if !advanced {
+                return if self.crashed[ticket.proc.index()] {
+                    Err(DriverError::ProcessUnavailable(ticket.proc))
+                } else {
+                    Err(DriverError::Stalled(ticket.op_id))
+                };
+            }
+        }
+    }
+
+    fn crash(&mut self, proc: ProcessId) {
+        self.crashed[proc.index()] = true;
+    }
+
+    fn history(&self) -> ShardedHistory<A::Value> {
+        ShardedHistory::from_tagged(
+            self.history.initial.clone(),
+            [RegisterId::ZERO],
+            self.history
+                .records
+                .iter()
+                .map(|r| (RegisterId::ZERO, r.clone())),
+        )
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::{EchoMsg, MajorityEcho, NullRegister};
     use crate::{ClientPlan, CrashPlan, CrashPoint, DelayModel, PlannedOp};
-    
 
     fn cfg5() -> SystemConfig {
         SystemConfig::new(5, 2).unwrap()
@@ -583,7 +756,10 @@ mod tests {
     fn null_register_runs_to_quiescence() {
         let cfg = SystemConfig::new(3, 1).unwrap();
         let mut sim = SimBuilder::new(cfg).build(|id| NullRegister::new(id, cfg));
-        sim.client_plan(0, ClientPlan::ops([Operation::Write(7u64), Operation::Read]));
+        sim.client_plan(
+            0,
+            ClientPlan::ops([Operation::Write(7u64), Operation::Read]),
+        );
         let report = sim.run().unwrap();
         assert!(report.all_live_ops_completed());
         assert_eq!(report.history.len(), 2);
@@ -675,7 +851,10 @@ mod tests {
                 .seed(seed)
                 .delay(DelayModel::Uniform { lo: 10, hi: 2_000 })
                 .build(|id| MajorityEcho::new(id, cfg));
-            sim.client_plan(1, ClientPlan::ops((0..20).map(|i| Operation::Write(i as u64))));
+            sim.client_plan(
+                1,
+                ClientPlan::ops((0..20).map(|i| Operation::Write(i as u64))),
+            );
             sim.client_plan(3, ClientPlan::ops((0..20).map(|_| Operation::<u64>::Read)));
             let r = sim.run().unwrap();
             (

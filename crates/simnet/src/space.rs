@@ -1,0 +1,473 @@
+//! Deterministic sharded simulator: many registers over one simulated
+//! cluster, driven interactively through the [`Driver`] interface.
+//!
+//! Where [`Simulation`](crate::Simulation) hosts the paper's single register
+//! under scripted client plans, `SimSpace` hosts a whole
+//! [`ShardSet`] per process — one automaton instance per register, wire
+//! messages wrapped in [`Envelope`]s — and is driven one operation at a
+//! time: [`Driver::invoke`] runs the invocation handler at the current
+//! virtual instant, [`Driver::poll`] advances the delivery queue until the
+//! operation completes. Runs are a deterministic function of the seed, like
+//! every simulation in this workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use twobit_proto::{Driver, ProcessId, RegisterId, SystemConfig};
+//! use twobit_simnet::SpaceBuilder;
+//! # use twobit_simnet::testutil::NullRegister;
+//!
+//! let cfg = SystemConfig::new(3, 1)?;
+//! let mut space = SpaceBuilder::new(cfg)
+//!     .seed(7)
+//!     .registers(8)
+//!     .build(0u64, |_reg, id| NullRegister::new(id, cfg));
+//! let p0 = ProcessId::new(0);
+//! space.write(p0, RegisterId::new(3), 42)?;
+//! assert_eq!(space.read(p0, RegisterId::new(3))?, 42);
+//! assert_eq!(space.history().len(), 8);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use twobit_proto::{
+    Automaton, Driver, DriverError, Effects, Envelope, NetStats, OpId, OpOutcome, OpRecord,
+    OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
+    WireMessage,
+};
+
+use crate::delay::DelayModel;
+use crate::SimTime;
+
+/// Builder for a [`SimSpace`].
+pub struct SpaceBuilder {
+    cfg: SystemConfig,
+    seed: u64,
+    delay: DelayModel,
+    registers: Vec<RegisterId>,
+    max_events: u64,
+}
+
+impl SpaceBuilder {
+    /// Starts configuring a sharded simulation of `cfg.n()` processes
+    /// hosting a single register (use [`SpaceBuilder::registers`] for more).
+    pub fn new(cfg: SystemConfig) -> Self {
+        SpaceBuilder {
+            cfg,
+            seed: 0,
+            delay: DelayModel::Fixed(crate::DEFAULT_DELTA),
+            registers: vec![RegisterId::ZERO],
+            max_events: 50_000_000,
+        }
+    }
+
+    /// Sets the RNG seed (runs are deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the message delay model.
+    pub fn delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Hosts registers `r0 .. r(count-1)`.
+    pub fn registers(mut self, count: usize) -> Self {
+        self.registers = RegisterId::first(count);
+        self
+    }
+
+    /// Hosts exactly the given registers.
+    pub fn register_ids(mut self, registers: Vec<RegisterId>) -> Self {
+        self.registers = registers;
+        self
+    }
+
+    /// Sets the runaway guard on the number of delivery events.
+    pub fn max_events(mut self, limit: u64) -> Self {
+        self.max_events = limit;
+        self
+    }
+
+    /// Instantiates one automaton per `(register, process)` pair via `make`
+    /// and returns the space. `initial` is the recorded initial value of
+    /// every register.
+    pub fn build<A, F>(self, initial: A::Value, mut make: F) -> SimSpace<A>
+    where
+        A: Automaton,
+        F: FnMut(RegisterId, ProcessId) -> A,
+    {
+        let n = self.cfg.n();
+        let nodes: Vec<ShardSet<A>> = (0..n)
+            .map(|i| ShardSet::new(ProcessId::new(i), &self.registers, &mut make))
+            .collect();
+        SimSpace {
+            cfg: self.cfg,
+            registers: self.registers,
+            nodes,
+            crashed: vec![false; n],
+            now: 0,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            rng: StdRng::seed_from_u64(self.seed),
+            delay: self.delay,
+            initial,
+            records: Vec::new(),
+            outstanding: HashMap::new(),
+            stats: NetStats::new(),
+            events: 0,
+            max_events: self.max_events,
+        }
+    }
+}
+
+struct SpaceEvent<M> {
+    at: SimTime,
+    seq: u64,
+    from: ProcessId,
+    to: ProcessId,
+    env: Envelope<M>,
+}
+
+// Min-heap ordering on (at, seq); BinaryHeap is a max-heap so comparisons
+// are reversed here.
+impl<M> PartialEq for SpaceEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for SpaceEvent<M> {}
+impl<M> PartialOrd for SpaceEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for SpaceEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A sharded, interactively-driven deterministic simulation.
+///
+/// Construct with [`SpaceBuilder`]; drive through the [`Driver`] trait
+/// (possibly behind a [`RegisterSpace`](twobit_proto::RegisterSpace) for
+/// named registers).
+pub struct SimSpace<A: Automaton> {
+    cfg: SystemConfig,
+    registers: Vec<RegisterId>,
+    nodes: Vec<ShardSet<A>>,
+    crashed: Vec<bool>,
+    now: SimTime,
+    queue: BinaryHeap<SpaceEvent<A::Msg>>,
+    seq: u64,
+    rng: StdRng,
+    delay: DelayModel,
+    initial: A::Value,
+    /// All operation records, tagged with their register; `OpId` = index.
+    records: Vec<(RegisterId, OpRecord<A::Value>)>,
+    outstanding: HashMap<(ProcessId, RegisterId), OpId>,
+    stats: NetStats,
+    events: u64,
+    max_events: u64,
+}
+
+impl<A: Automaton> SimSpace<A> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Delivery events processed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Immutable access to one `(process, register)` automaton.
+    pub fn automaton(&self, proc: ProcessId, reg: RegisterId) -> Option<&A> {
+        self.nodes.get(proc.index()).and_then(|n| n.shard(reg))
+    }
+
+    /// Delivers queued messages until the network is silent.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Backend`] on protocol misbehaviour or when the event
+    /// guard trips.
+    pub fn run_to_quiescence(&mut self) -> Result<(), DriverError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Checks every live automaton's local invariants.
+    ///
+    /// # Errors
+    ///
+    /// The first violation, prefixed with the process id.
+    pub fn check_local_invariants(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if self.crashed[i] {
+                continue;
+            }
+            node.check_local_invariants()
+                .map_err(|e| format!("p{i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Delivers the next queued message. Returns `Ok(false)` at quiescence.
+    fn step(&mut self) -> Result<bool, DriverError> {
+        let Some(ev) = self.queue.pop() else {
+            return Ok(false);
+        };
+        debug_assert!(ev.at >= self.now, "time must be monotone");
+        self.now = ev.at;
+        self.events += 1;
+        if self.events > self.max_events {
+            return Err(DriverError::Backend(format!(
+                "event limit exceeded ({} events)",
+                self.max_events
+            )));
+        }
+        let pi = ev.to.index();
+        if self.crashed[pi] {
+            self.stats.record_drop_to_crashed();
+        } else {
+            self.stats.record_delivery();
+            let mut fx = Effects::new();
+            self.nodes[pi].on_message(ev.from, ev.env, &mut fx);
+            self.apply_effects(ev.to, fx)?;
+        }
+        Ok(true)
+    }
+
+    /// Routes one handler execution's sends into the delivery queue and
+    /// applies its completions to the records.
+    fn apply_effects(
+        &mut self,
+        p: ProcessId,
+        mut fx: Effects<Envelope<A::Msg>, A::Value>,
+    ) -> Result<(), DriverError> {
+        for (to, env) in fx.drain_sends() {
+            debug_assert!(to != p, "protocols must not send to self");
+            self.stats.record_send_for(env.reg, env.kind(), env.cost());
+            let delay = self.delay.sample(&mut self.rng);
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(SpaceEvent {
+                at: self.now + delay,
+                seq,
+                from: p,
+                to,
+                env,
+            });
+        }
+        for (op_id, outcome) in fx.drain_completions() {
+            let (reg, rec) = self
+                .records
+                .get_mut(op_id.raw() as usize)
+                .ok_or_else(|| DriverError::Backend(format!("completion for unknown {op_id}")))?;
+            if rec.completed.is_some() {
+                return Err(DriverError::Backend(format!("{op_id} completed twice")));
+            }
+            if rec.proc != p {
+                return Err(DriverError::Backend(format!(
+                    "{op_id} of {} completed by {p}",
+                    rec.proc
+                )));
+            }
+            rec.completed = Some((self.now, outcome));
+            self.outstanding.remove(&(p, *reg));
+        }
+        Ok(())
+    }
+}
+
+impl<A: Automaton> Driver for SimSpace<A> {
+    type Value = A::Value;
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    fn registers(&self) -> Vec<RegisterId> {
+        self.registers.clone()
+    }
+
+    fn invoke(
+        &mut self,
+        proc: ProcessId,
+        reg: RegisterId,
+        op: Operation<A::Value>,
+    ) -> Result<OpTicket, DriverError> {
+        let pi = proc.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        if !self.registers.contains(&reg) {
+            return Err(DriverError::UnknownRegister(reg));
+        }
+        if self.crashed[pi] {
+            return Err(DriverError::ProcessUnavailable(proc));
+        }
+        if self.outstanding.contains_key(&(proc, reg)) {
+            return Err(DriverError::OperationInFlight { proc, reg });
+        }
+        let op_id = OpId::new(self.records.len() as u64);
+        self.records.push((
+            reg,
+            OpRecord {
+                op_id,
+                proc,
+                op: op.clone(),
+                invoked_at: self.now,
+                completed: None,
+            },
+        ));
+        self.outstanding.insert((proc, reg), op_id);
+        let mut fx = Effects::new();
+        self.nodes[pi]
+            .on_invoke(reg, op_id, op, &mut fx)
+            .expect("register presence checked above");
+        self.apply_effects(proc, fx)?;
+        Ok(OpTicket { proc, reg, op_id })
+    }
+
+    fn poll(&mut self, ticket: &OpTicket) -> Result<OpOutcome<A::Value>, DriverError> {
+        loop {
+            let (_, rec) = self
+                .records
+                .get(ticket.op_id.raw() as usize)
+                .ok_or(DriverError::Stalled(ticket.op_id))?;
+            if let Some((_, outcome)) = &rec.completed {
+                return Ok(outcome.clone());
+            }
+            if !self.step()? {
+                return if self.crashed[ticket.proc.index()] {
+                    Err(DriverError::ProcessUnavailable(ticket.proc))
+                } else {
+                    Err(DriverError::Stalled(ticket.op_id))
+                };
+            }
+        }
+    }
+
+    fn crash(&mut self, proc: ProcessId) {
+        self.crashed[proc.index()] = true;
+    }
+
+    fn history(&self) -> ShardedHistory<A::Value> {
+        ShardedHistory::from_tagged(
+            self.initial.clone(),
+            self.registers.iter().copied(),
+            self.records.iter().cloned(),
+        )
+    }
+
+    fn stats(&self) -> NetStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::MajorityEcho;
+
+    fn cfg5() -> SystemConfig {
+        SystemConfig::new(5, 2).unwrap()
+    }
+
+    fn space(regs: usize, seed: u64) -> SimSpace<MajorityEcho> {
+        let cfg = cfg5();
+        SpaceBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Fixed(1_000))
+            .registers(regs)
+            .build(0u64, |_reg, id| MajorityEcho::new(id, cfg))
+    }
+
+    #[test]
+    fn shards_are_independent() {
+        let mut s = space(4, 1);
+        let p1 = ProcessId::new(1);
+        s.write(p1, RegisterId::new(2), 9).unwrap();
+        // Only r2 saw traffic: 4 PINGs + 4 PONGs.
+        assert_eq!(s.stats().shard(RegisterId::new(2)).sent, 8);
+        assert_eq!(s.stats().shard(RegisterId::new(0)).sent, 0);
+        assert_eq!(s.stats().total_sent(), 8);
+        // Routing tag: ⌈log₂ 4⌉ = 2 bits per message, control stays intact.
+        assert_eq!(s.stats().routing_bits(), 16);
+        let h = s.history();
+        assert_eq!(h.shard(RegisterId::new(2)).unwrap().len(), 1);
+        assert_eq!(h.shard(RegisterId::new(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn pipelining_across_shards_sequential_per_shard() {
+        let mut s = space(2, 2);
+        let p0 = ProcessId::new(0);
+        let r0 = RegisterId::new(0);
+        let r1 = RegisterId::new(1);
+        let t0 = s.invoke(p0, r0, Operation::Write(1)).unwrap();
+        // Same process, different register: pipelines.
+        let t1 = s.invoke(p0, r1, Operation::Write(2)).unwrap();
+        // Same register: rejected with a typed error.
+        let err = s.invoke(p0, r0, Operation::Read).unwrap_err();
+        assert_eq!(err, DriverError::OperationInFlight { proc: p0, reg: r0 });
+        assert_eq!(s.poll(&t0).unwrap(), OpOutcome::Written);
+        assert_eq!(s.poll(&t1).unwrap(), OpOutcome::Written);
+        // Both writes overlapped in virtual time.
+        let h = s.history();
+        let w0 = &h.shard(r0).unwrap().records[0];
+        let w1 = &h.shard(r1).unwrap().records[0];
+        assert_eq!(w0.invoked_at, w1.invoked_at);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = space(3, seed);
+            for i in 0..3usize {
+                s.write(ProcessId::new(i), RegisterId::new(i), 7).unwrap();
+            }
+            s.run_to_quiescence().unwrap();
+            (s.now(), s.events(), s.stats().total_sent())
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    #[test]
+    fn crash_is_observed() {
+        let mut s = space(1, 3);
+        s.crash(ProcessId::new(2));
+        let err = s
+            .invoke(ProcessId::new(2), RegisterId::ZERO, Operation::Read)
+            .unwrap_err();
+        assert_eq!(err, DriverError::ProcessUnavailable(ProcessId::new(2)));
+        // Minority crash: others still make progress.
+        s.write(ProcessId::new(0), RegisterId::ZERO, 5).unwrap();
+    }
+
+    #[test]
+    fn bad_addresses_are_typed() {
+        let mut s = space(2, 4);
+        assert_eq!(
+            s.invoke(ProcessId::new(9), RegisterId::ZERO, Operation::Read)
+                .unwrap_err(),
+            DriverError::UnknownProcess(ProcessId::new(9))
+        );
+        assert_eq!(
+            s.invoke(ProcessId::new(0), RegisterId::new(7), Operation::Read)
+                .unwrap_err(),
+            DriverError::UnknownRegister(RegisterId::new(7))
+        );
+    }
+}

@@ -20,7 +20,10 @@ fn empty_simulation_is_quiescent_immediately() {
 fn singleton_system_runs() {
     let cfg = SystemConfig::new(1, 0).unwrap();
     let mut sim = SimBuilder::new(cfg).build(|id| MajorityEcho::new(id, cfg));
-    sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64), Operation::Read]));
+    sim.client_plan(
+        0,
+        ClientPlan::ops([Operation::Write(1u64), Operation::Read]),
+    );
     let report = sim.run().unwrap();
     assert!(report.all_live_ops_completed());
     assert_eq!(report.stats.total_sent(), 0, "nobody to talk to");
@@ -36,8 +39,14 @@ fn same_instant_events_processed_in_schedule_order() {
             .seed(3)
             .delay(DelayModel::Fixed(10))
             .build(|id| MajorityEcho::new(id, cfg));
-        sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]).starting_at(100));
-        sim.client_plan(1, ClientPlan::ops([Operation::Write(2u64)]).starting_at(100));
+        sim.client_plan(
+            0,
+            ClientPlan::ops([Operation::Write(1u64)]).starting_at(100),
+        );
+        sim.client_plan(
+            1,
+            ClientPlan::ops([Operation::Write(2u64)]).starting_at(100),
+        );
         let r = sim.run().unwrap();
         (
             r.events,
@@ -132,7 +141,10 @@ fn plans_with_large_offsets_keep_virtual_time_cheap() {
     let mut sim = SimBuilder::new(cfg).build(|id| NullRegister::new(id, cfg));
     sim.client_plan(
         0,
-        ClientPlan::new(vec![PlannedOp::after(2_600_000_000_000_000, Operation::Write(1u64))]),
+        ClientPlan::new(vec![PlannedOp::after(
+            2_600_000_000_000_000,
+            Operation::Write(1u64),
+        )]),
     );
     let report = sim.run().unwrap();
     assert_eq!(report.final_time, 2_600_000_000_000_000);

@@ -14,16 +14,13 @@
 
 use twobit::core::invariants;
 use twobit::{
-    ClientPlan, CrashPlan, CrashPoint, DelayModel, Operation, ProcessId, SimBuilder,
-    SystemConfig, TwoBitProcess,
+    ClientPlan, CrashPlan, CrashPoint, DelayModel, Operation, ProcessId, SimBuilder, SystemConfig,
+    TwoBitProcess,
 };
 
 const DELTA: u64 = 1_000;
 
-fn run_scenario(
-    label: &str,
-    crashes: CrashPlan,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn run_scenario(label: &str, crashes: CrashPlan) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::new(5, 2)?;
     let writer = ProcessId::new(0);
     let mut sim = SimBuilder::new(cfg)
@@ -63,13 +60,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run_scenario(
         "p3+p4 crash mid-broadcast",
         CrashPlan::none()
-            .with_crash(3, CrashPoint::OnStep { step: 2, sends_allowed: 1 })
-            .with_crash(4, CrashPoint::OnStep { step: 4, sends_allowed: 0 }),
+            .with_crash(
+                3,
+                CrashPoint::OnStep {
+                    step: 2,
+                    sends_allowed: 1,
+                },
+            )
+            .with_crash(
+                4,
+                CrashPoint::OnStep {
+                    step: 4,
+                    sends_allowed: 0,
+                },
+            ),
     )?;
 
     run_scenario(
         "writer crashes mid-write",
-        CrashPlan::none().with_crash(0, CrashPoint::OnStep { step: 3, sends_allowed: 1 }),
+        CrashPlan::none().with_crash(
+            0,
+            CrashPoint::OnStep {
+                step: 3,
+                sends_allowed: 1,
+            },
+        ),
     )?;
 
     run_scenario(

@@ -1,22 +1,74 @@
-//! Quickstart: an SWMR atomic register on the live threaded runtime.
+//! Quickstart: one workload, two backends, checked atomicity.
 //!
-//! Starts a 5-process crash-prone system (t = 2), writes from the single
-//! writer, reads from several readers, crashes a process mid-run, and
-//! finally checks the recorded history for atomicity.
+//! The public API is organized around the backend-agnostic `Driver` trait:
+//! the same workload definition (no backend-specific code) runs on the
+//! deterministic discrete-event simulator *and* on the live threaded
+//! runtime with chaos links. Both runs are then checked — per register —
+//! by the linearizability checker.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use twobit::{ClusterBuilder, DelayModel, ProcessId, SystemConfig, TwoBitProcess};
+use twobit::{
+    ClusterBuilder, DelayModel, Driver, Operation, ProcessId, RegisterId, SpaceBuilder,
+    SystemConfig, TwoBitProcess, Workload,
+};
+
+/// Writes 1..=10 from the writer interleaved with reads from two readers —
+/// a plain data structure, not code, so every backend runs it identically.
+fn workload(reg: RegisterId) -> Workload<u64> {
+    let mut w = Workload::new();
+    for v in 1..=10u64 {
+        w = w
+            .step(0, reg, Operation::Write(v))
+            .step(1, reg, Operation::Read)
+            .step(2, reg, Operation::Read);
+    }
+    w
+}
+
+/// Everything below `run` is backend-independent: drive, crash, re-drive,
+/// then extract history + stats through the same trait.
+fn run<D: Driver<Value = u64>>(
+    label: &str,
+    driver: &mut D,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let reg = RegisterId::ZERO;
+    workload(reg).run_on(driver)?;
+
+    // Crash up to t processes — the register stays live and atomic.
+    driver.crash(ProcessId::new(3));
+    driver.crash(ProcessId::new(4));
+    driver.write(ProcessId::new(0), reg, 11)?;
+    let after = driver.read(ProcessId::new(1), reg)?;
+
+    let sharded = driver.history();
+    twobit::lincheck::check_swmr_sharded(&sharded)?;
+    let stats = driver.stats();
+    println!(
+        "{label:8} {} ops, {} msgs, read {after} after 2 crashes, \
+         max {} control bits/msg — atomic",
+        sharded.total_ops(),
+        stats.total_sent(),
+        stats.max_msg_control_bits(),
+    );
+    Ok(())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CAMP_{n,t}[t < n/2]: 5 processes, at most 2 may crash.
     let cfg = SystemConfig::new(5, 2)?;
     let writer = ProcessId::new(0);
 
-    // Chaos links: 50–500µs delays with occasional 2ms spikes, so messages
-    // genuinely reorder (the channels are not FIFO — the algorithm's
-    // alternating-bit discipline handles that).
-    let cluster = ClusterBuilder::new(cfg)
+    // Backend 1: deterministic simulator (virtual time, replayable seed).
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .build(0u64, |_reg, id| TwoBitProcess::new(id, cfg, writer, 0u64));
+    run("simnet", &mut sim)?;
+
+    // Backend 2: live threads with chaos links — 50–500µs delays plus 2ms
+    // spikes, so messages genuinely reorder (the channels are not FIFO; the
+    // algorithm's alternating-bit discipline handles that).
+    let mut cluster = ClusterBuilder::new(cfg)
         .seed(7)
         .delay(DelayModel::Spiky {
             lo: 50,
@@ -26,38 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spike_hi: 2_000,
         })
         .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
+    run("runtime", &mut cluster)?;
 
-    let mut w = cluster.client(writer);
-    let mut r1 = cluster.client(ProcessId::new(1));
-    let mut r2 = cluster.client(ProcessId::new(2));
-
-    println!("writing 1..=10 from p0, reading from p1/p2 …");
-    for v in 1..=10u64 {
-        w.write(v)?;
-        let a = r1.read()?;
-        let b = r2.read()?;
-        println!("  wrote {v:2}   p1 read {a:2}   p2 read {b:2}");
-        assert_eq!(a, v);
-        assert_eq!(b, v);
-    }
-
-    // Crash up to t processes — the register stays live and atomic.
-    println!("crashing p3 and p4 (t = 2) …");
-    cluster.crash(ProcessId::new(3));
-    cluster.crash(ProcessId::new(4));
-    w.write(11)?;
-    println!("  after crashes: p1 reads {}", r1.read()?);
-
-    let (history, stats) = cluster.shutdown();
-    twobit::lincheck::check_swmr(&history)?;
-    println!(
-        "done: {} operations, {} messages, history is atomic",
-        history.completed().count(),
-        stats.total_sent()
-    );
-    println!(
-        "every message carried exactly 2 control bits (max observed: {})",
-        stats.max_msg_control_bits()
-    );
+    println!("same workload, same checks, two execution substrates");
     Ok(())
 }

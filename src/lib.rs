@@ -5,52 +5,115 @@
 //! (IRISA TR #2034 / PODC'16 line of work): a single-writer multi-reader
 //! atomic register for asynchronous message-passing systems with up to
 //! `t < n/2` crash failures, whose messages carry **two bits of control
-//! information** — just their type (`WRITE0`, `WRITE1`, `READ`, `PROCEED`).
+//! information** — just their type (`WRITE0`, `WRITE1`, `READ`, `PROCEED`) —
+//! grown here into a multi-register, multi-backend system.
 //!
-//! This crate is a facade re-exporting the workspace:
+//! The public API is organized around two abstractions:
 //!
-//! * [`core`] — the paper's algorithm ([`TwoBitProcess`]) and
-//!   its machine-checked invariants;
-//! * [`baselines`] — unbounded ABD (SWMR/MWMR) and
-//!   cost-faithful emulations of the bounded baselines of Table 1;
-//! * [`simnet`] — a deterministic discrete-event simulator
-//!   of the `CAMP_{n,t}` model (non-FIFO channels, crash injection);
-//! * [`runtime`] — a live threaded runtime with chaos
-//!   links and blocking [`RegisterClient`] handles;
-//! * [`lincheck`] — atomicity checking for recorded
-//!   histories;
-//! * [`harness`] — the experiments regenerating the
-//!   paper's Table 1 and in-text claims.
+//! * **[`Driver`]** — the backend-agnostic driving interface
+//!   (`invoke`/`poll`/`crash`/`history`/`stats`), implemented by the
+//!   deterministic simulator ([`Simulation`], [`SimSpace`]) and the live
+//!   threaded runtime ([`Cluster`]). Workloads, checkers, and benchmarks
+//!   are written once and run on every backend.
+//! * **[`RegisterSpace`]** — many independent *named* registers multiplexed
+//!   over one deployment. Each register runs the paper's protocol
+//!   unchanged (two control bits per message); the shard tag on the wire is
+//!   accounted separately as *routing* bits (see [`proto::NetStats`]).
 //!
-//! ## Quickstart
+//! ## Quickstart: one workload, two backends
 //!
 //! ```
-//! use twobit::{ClusterBuilder, ProcessId, SystemConfig, TwoBitProcess};
+//! use twobit::{
+//!     Driver, Operation, ProcessId, RegisterId, SpaceBuilder, SystemConfig, TwoBitProcess,
+//!     Workload,
+//! };
 //!
-//! // A 5-process system tolerating 2 crashes; p0 is the writer.
-//! let cfg = SystemConfig::new(5, 2)?;
+//! let cfg = SystemConfig::new(5, 2)?; // 5 processes, up to 2 crashes
 //! let writer = ProcessId::new(0);
-//! let cluster = ClusterBuilder::new(cfg)
+//! let r0 = RegisterId::ZERO;
+//!
+//! // A portable operation script — no backend-specific code.
+//! let workload = Workload::new()
+//!     .step(0, r0, Operation::Write(7u64))
+//!     .step(3, r0, Operation::Read);
+//!
+//! // Run it on the deterministic simulator...
+//! let mut sim = SpaceBuilder::new(cfg)
+//!     .seed(42)
+//!     .build(0u64, |_reg, id| TwoBitProcess::new(id, cfg, writer, 0u64));
+//! workload.run_on(&mut sim)?;
+//! twobit::lincheck::check_swmr_sharded(&sim.history())?;
+//!
+//! // ...and, unchanged, on the live threaded runtime.
+//! let mut cluster = twobit::ClusterBuilder::new(cfg)
+//!     .seed(42)
 //!     .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
-//!
-//! let mut w = cluster.client(writer);
-//! let mut r = cluster.client(ProcessId::new(3));
-//! w.write(7)?;
-//! assert_eq!(r.read()?, 7);
-//!
-//! // Crash-tolerance within t:
-//! cluster.crash(ProcessId::new(4));
-//! w.write(8)?;
-//! assert_eq!(r.read()?, 8);
-//!
-//! // The recorded history is atomic (checked, not assumed):
-//! let (history, _) = cluster.shutdown();
-//! twobit::lincheck::check_swmr(&history)?;
+//! workload.run_on(&mut cluster)?;
+//! twobit::lincheck::check_swmr_sharded(&Driver::history(&cluster))?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
-//! See `examples/` for more: a versioned KV cache, a read-dominated
-//! workload comparison, crash injection, and a synchronizer probe.
+//! ## Many named registers on one cluster
+//!
+//! ```
+//! use twobit::{ClusterBuilder, ProcessId, RegisterSpace, SystemConfig, TwoBitProcess};
+//!
+//! let cfg = SystemConfig::new(3, 1)?;
+//! // Each register gets its own writer (round-robin over processes), and
+//! // its own independent instance of the paper's automaton.
+//! let cluster = ClusterBuilder::new(cfg)
+//!     .registers(4)
+//!     .build_sharded(0u64, |reg, id| {
+//!         TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % 3), 0u64)
+//!     })?;
+//! let mut space = RegisterSpace::new(cluster, ["alpha", "beta", "gamma", "delta"])?;
+//!
+//! space.write(1, "beta", 9)?; // p1 is beta's writer (r1)
+//! assert_eq!(space.read(2, "beta")?, 9);
+//!
+//! // Per-register atomicity, checked not assumed:
+//! twobit::lincheck::check_swmr(&space.history_of("beta").unwrap())?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Blocking clients still exist and gained pipelining: [`RegisterClient`]
+//! splits into [`RegisterClient::issue`] → [`runtime::OpHandle::wait`], so
+//! one caller can overlap operations on *different* registers while each
+//! register stays sequential. Concurrent operations on the same
+//! `(process, register)` pair are rejected with a typed
+//! [`ClientError::OperationInFlight`] instead of wedging the process.
+//!
+//! ## Migrating from the pre-`Driver` API
+//!
+//! * `ClusterBuilder::new(cfg).build(..)` and `cluster.client(p)` still
+//!   work (single register `r0`). Add `.registers(k)` /
+//!   `.build_sharded(..)` and `cluster.client_for(p, reg)` for shards.
+//! * `SimBuilder` + `ClientPlan` remain the scripted way to drive the
+//!   simulator (crash points, invariants, virtual-time reports). For
+//!   interactive or backend-portable driving, use the [`Driver`] methods on
+//!   [`Simulation`] — or [`SpaceBuilder`] for a sharded simulation.
+//! * `cluster.shutdown()` still returns the flat history; per-register
+//!   projections come from `cluster.sharded_history()` /
+//!   [`Driver::history`], checked with [`lincheck::check_swmr_sharded`].
+//!
+//! ## Crate map
+//!
+//! * [`core`] — the paper's algorithm ([`TwoBitProcess`]) and its
+//!   machine-checked invariants;
+//! * [`proto`] — the protocol substrate: system model, automaton interface,
+//!   wire-cost accounting, the [`Driver`] trait, sharding ([`proto::ShardSet`],
+//!   [`proto::Envelope`]) and [`RegisterSpace`];
+//! * [`baselines`] — unbounded ABD (SWMR/MWMR) and cost-faithful emulations
+//!   of the bounded baselines of Table 1;
+//! * [`simnet`] — the deterministic discrete-event simulator (non-FIFO
+//!   channels, crash injection, virtual time), single-register and sharded;
+//! * [`runtime`] — the live threaded runtime with chaos links;
+//! * [`lincheck`] — atomicity checking, per register;
+//! * [`harness`] — the experiments regenerating the paper's Table 1 and
+//!   in-text claims.
+//!
+//! See `examples/` for more: a portable workload, a named-register KV
+//! cache, crash injection, and a synchronizer probe.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,7 +129,11 @@ pub use twobit_simnet as simnet;
 pub use twobit_baselines::{AbdProcess, MwmrProcess, PhasedProcess};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{
-    Automaton, Effects, History, OpId, OpOutcome, Operation, Payload, ProcessId, SystemConfig,
+    Automaton, Driver, DriverError, Effects, Envelope, History, OpId, OpOutcome, OpTicket,
+    Operation, Payload, ProcessId, RegisterId, RegisterSpace, ShardSet, ShardedHistory,
+    SystemConfig, Workload,
 };
 pub use twobit_runtime::{ClientError, Cluster, ClusterBuilder, RegisterClient};
-pub use twobit_simnet::{ClientPlan, CrashPlan, CrashPoint, DelayModel, SimBuilder};
+pub use twobit_simnet::{
+    ClientPlan, CrashPlan, CrashPoint, DelayModel, SimBuilder, SimSpace, Simulation, SpaceBuilder,
+};

@@ -67,10 +67,8 @@ where
     for r in 1..n {
         sim.client_plan(
             r,
-            ClientPlan::new(
-                (0..5).map(|_| PlannedOp::after(DELTA, Operation::<u64>::Read)),
-            )
-            .starting_at((r as u64) * DELTA / 3),
+            ClientPlan::new((0..5).map(|_| PlannedOp::after(DELTA, Operation::<u64>::Read)))
+                .starting_at((r as u64) * DELTA / 3),
         );
     }
     let report = sim.run().expect("simulation failed");
@@ -134,12 +132,20 @@ fn bounded_emulations_tolerate_crashes() {
     let cfg = SystemConfig::max_resilience(n);
     let writer = ProcessId::new(0);
     for crashes in crash_plans(n, cfg.t()) {
-        exercise_swmr(n, 7, DelayModel::Uniform { lo: 1, hi: DELTA }, crashes.clone(), |id| {
-            PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n))
-        });
-        exercise_swmr(n, 8, DelayModel::Uniform { lo: 1, hi: DELTA }, crashes, |id| {
-            PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n))
-        });
+        exercise_swmr(
+            n,
+            7,
+            DelayModel::Uniform { lo: 1, hi: DELTA },
+            crashes.clone(),
+            |id| PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n)),
+        );
+        exercise_swmr(
+            n,
+            8,
+            DelayModel::Uniform { lo: 1, hi: DELTA },
+            crashes,
+            |id| PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n)),
+        );
     }
 }
 
@@ -227,7 +233,10 @@ fn byte_valued_register_works_end_to_end() {
         0,
         ClientPlan::ops((1..=4u8).map(|k| Operation::Write(vec![k; k as usize]))),
     );
-    sim.client_plan(2, ClientPlan::ops((0..3).map(|_| Operation::<Vec<u8>>::Read)));
+    sim.client_plan(
+        2,
+        ClientPlan::ops((0..3).map(|_| Operation::<Vec<u8>>::Read)),
+    );
     let report = sim.run().expect("byte register sim failed");
     assert!(report.all_live_ops_completed());
     twobit::lincheck::check_swmr(&report.history).expect("atomic");

@@ -1,0 +1,145 @@
+//! Backend equivalence through the `Driver` trait: one workload definition
+//! — no backend-specific code — executes on the deterministic simulator and
+//! on the live threaded runtime, and both runs must be atomic per register.
+//!
+//! This is the contract the API redesign exists to enforce: anything
+//! expressible as a `Workload` means the same thing on every backend.
+
+use twobit::lincheck::check_swmr_sharded;
+use twobit::{
+    ClusterBuilder, Driver, DriverError, Operation, ProcessId, RegisterId, SpaceBuilder,
+    SystemConfig, TwoBitProcess, Workload,
+};
+
+const N: usize = 5;
+const REGISTERS: usize = 4;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::max_resilience(N)
+}
+
+/// Register rk's writer is process k mod n (SWMR per register; different
+/// registers have different writers, which only a sharded deployment can
+/// express).
+fn writer_of(reg: RegisterId) -> ProcessId {
+    ProcessId::new(reg.index() % N)
+}
+
+/// A mixed read/write script across 4 registers and all 5 processes.
+fn workload() -> Workload<u64> {
+    let mut w = Workload::new();
+    for round in 0..6u64 {
+        for k in 0..REGISTERS {
+            let reg = RegisterId::new(k);
+            let writer = writer_of(reg);
+            w = w.step(writer, reg, Operation::Write(100 * (k as u64 + 1) + round));
+            // Two readers per register per round.
+            w = w.step((writer.index() + 1) % N, reg, Operation::Read);
+            w = w.step((writer.index() + 2) % N, reg, Operation::Read);
+        }
+    }
+    w
+}
+
+fn check_backend<D: Driver<Value = u64>>(driver: &mut D, label: &str) {
+    let w = workload();
+    w.run_on(driver).unwrap_or_else(|e| panic!("{label}: {e}"));
+    let sharded = driver.history();
+    assert_eq!(sharded.len(), REGISTERS, "{label}: register count");
+    assert_eq!(sharded.total_ops(), w.len(), "{label}: op count");
+    let verdicts =
+        check_swmr_sharded(&sharded).unwrap_or_else(|e| panic!("{label}: not atomic: {e}"));
+    for (reg, verdict) in &verdicts {
+        assert_eq!(verdict.writes, 6, "{label}: {reg} writes");
+        assert_eq!(verdict.reads_checked, 12, "{label}: {reg} reads");
+    }
+}
+
+#[test]
+fn same_workload_runs_on_simulator_backend() {
+    let cfg = cfg();
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    check_backend(&mut sim, "simnet");
+}
+
+#[test]
+fn same_workload_runs_on_runtime_backend() {
+    let cfg = cfg();
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    check_backend(&mut cluster, "runtime");
+}
+
+#[test]
+fn pipelined_execution_is_equivalent_too() {
+    let cfg = cfg();
+    let w = workload();
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(11)
+        .registers(REGISTERS)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    w.run_pipelined_on(&mut sim).unwrap();
+    check_swmr_sharded(&sim.history()).unwrap();
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(11)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    w.run_pipelined_on(&mut cluster).unwrap();
+    check_swmr_sharded(&Driver::history(&cluster)).unwrap();
+}
+
+#[test]
+fn crash_tolerance_is_portable() {
+    // Crash t processes mid-workload through the same Driver calls on both
+    // backends; surviving quorums must keep every register live and atomic.
+    let cfg = cfg();
+    let run = |driver: &mut dyn Driver<Value = u64>| {
+        let reg = RegisterId::new(0);
+        let writer = writer_of(reg); // p0: not crashed below
+        driver.write(writer, reg, 1).unwrap();
+        driver.crash(ProcessId::new(3));
+        driver.crash(ProcessId::new(4));
+        driver.write(writer, reg, 2).unwrap();
+        assert_eq!(driver.read(ProcessId::new(1), reg).unwrap(), 2);
+        // A crashed process cannot invoke.
+        assert!(matches!(
+            driver.invoke(ProcessId::new(4), reg, Operation::Read),
+            Err(DriverError::ProcessUnavailable(_))
+        ));
+        check_swmr_sharded(&driver.history()).unwrap();
+    };
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(3)
+        .registers(REGISTERS)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    run(&mut sim);
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(3)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    run(&mut cluster);
+}

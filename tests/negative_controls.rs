@@ -42,9 +42,11 @@ fn naive_register_violates_atomicity_under_some_schedule() {
         for r in 1..n {
             sim.client_plan(
                 r,
-                ClientPlan::new((0..8).map(|_| {
-                    PlannedOp::after(DELTA / 2 + r as u64 * 137, Operation::<u64>::Read)
-                }))
+                ClientPlan::new(
+                    (0..8).map(|_| {
+                        PlannedOp::after(DELTA / 2 + r as u64 * 137, Operation::<u64>::Read)
+                    }),
+                )
                 .starting_at(r as u64 * 211),
             );
         }
@@ -91,9 +93,11 @@ fn twobit_survives_the_schedules_that_break_naive() {
         for r in 1..n {
             sim.client_plan(
                 r,
-                ClientPlan::new((0..8).map(|_| {
-                    PlannedOp::after(DELTA / 2 + r as u64 * 137, Operation::<u64>::Read)
-                }))
+                ClientPlan::new(
+                    (0..8).map(|_| {
+                        PlannedOp::after(DELTA / 2 + r as u64 * 137, Operation::<u64>::Read)
+                    }),
+                )
                 .starting_at(r as u64 * 211),
             );
         }
@@ -128,7 +132,13 @@ fn forged_histories_rejected_with_precise_verdicts() {
         initial: 0u64,
         records: vec![
             rec(0, 0, Operation::Write(1), 0, Some((10, OpOutcome::Written))),
-            rec(1, 1, Operation::Read, 20, Some((30, OpOutcome::ReadValue(0)))),
+            rec(
+                1,
+                1,
+                Operation::Read,
+                20,
+                Some((30, OpOutcome::ReadValue(0))),
+            ),
         ],
     };
     assert!(matches!(
@@ -142,7 +152,13 @@ fn forged_histories_rejected_with_precise_verdicts() {
         initial: 0u64,
         records: vec![
             rec(0, 1, Operation::Read, 0, Some((5, OpOutcome::ReadValue(9)))),
-            rec(1, 0, Operation::Write(9), 50, Some((60, OpOutcome::Written))),
+            rec(
+                1,
+                0,
+                Operation::Write(9),
+                50,
+                Some((60, OpOutcome::Written)),
+            ),
         ],
     };
     assert!(matches!(
@@ -155,9 +171,27 @@ fn forged_histories_rejected_with_precise_verdicts() {
     let h = History {
         initial: 0u64,
         records: vec![
-            rec(0, 0, Operation::Write(1), 0, Some((100, OpOutcome::Written))),
-            rec(1, 1, Operation::Read, 10, Some((20, OpOutcome::ReadValue(1)))),
-            rec(2, 2, Operation::Read, 30, Some((40, OpOutcome::ReadValue(0)))),
+            rec(
+                0,
+                0,
+                Operation::Write(1),
+                0,
+                Some((100, OpOutcome::Written)),
+            ),
+            rec(
+                1,
+                1,
+                Operation::Read,
+                10,
+                Some((20, OpOutcome::ReadValue(1))),
+            ),
+            rec(
+                2,
+                2,
+                Operation::Read,
+                30,
+                Some((40, OpOutcome::ReadValue(0))),
+            ),
         ],
     };
     assert!(matches!(

@@ -57,7 +57,10 @@ fn adversarial_run(n: usize, seed: u64, confirm: bool) -> SimReport<TwoBitProces
         );
     }
     let report = sim.run().expect("sim failed");
-    assert!(report.all_live_ops_completed(), "liveness must not depend on line 9");
+    assert!(
+        report.all_live_ops_completed(),
+        "liveness must not depend on line 9"
+    );
     report
 }
 
@@ -70,9 +73,8 @@ fn ablated_read_is_regular_but_not_atomic_when_t_is_2() {
         let report = adversarial_run(5, seed, false);
         // Regularity must hold unconditionally (Claims 1–2 survive the
         // ablation).
-        check_swmr_regular(&report.history).unwrap_or_else(|e| {
-            panic!("ablated read lost regularity on seed {seed}: {e}")
-        });
+        check_swmr_regular(&report.history)
+            .unwrap_or_else(|e| panic!("ablated read lost regularity on seed {seed}: {e}"));
         if let Err(e) = check_swmr(&report.history) {
             // Only inversions may appear.
             assert!(

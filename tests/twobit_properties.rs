@@ -42,13 +42,17 @@ fn arb_delay() -> impl Strategy<Value = DelayModel> {
 }
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (2usize..=6, any::<u64>(), arb_delay(), 1u64..10, any::<bool>())
+    (
+        2usize..=6,
+        any::<u64>(),
+        arb_delay(),
+        1u64..10,
+        any::<bool>(),
+    )
         .prop_flat_map(|(n, seed, delay, writes, fast_read)| {
             let t = SystemConfig::max_resilience(n).t();
-            let readers = prop::collection::vec(
-                (1usize..n.max(2), 0u64..6, 0u64..(8 * DELTA)),
-                0..n,
-            );
+            let readers =
+                prop::collection::vec((1usize..n.max(2), 0u64..6, 0u64..(8 * DELTA)), 0..n);
             // Crash at most t processes, never the writer (p0) — writer
             // crashes are exercised separately below.
             let crashes = prop::collection::vec(
@@ -104,9 +108,7 @@ fn run_scenario(sc: &Scenario) -> (u64, u64, usize) {
     }
     sim.client_plan(
         0,
-        ClientPlan::new(
-            (1..=sc.writes).map(|v| PlannedOp::after(DELTA / 3, Operation::Write(v))),
-        ),
+        ClientPlan::new((1..=sc.writes).map(|v| PlannedOp::after(DELTA / 3, Operation::Write(v)))),
     );
     let mut planned: Vec<usize> = Vec::new();
     for (p, reads, start) in &sc.reader_ops {

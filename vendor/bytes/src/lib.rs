@@ -1,0 +1,127 @@
+//! Vendored minimal stand-in for the `bytes` crate (offline build).
+//!
+//! [`Bytes`] is a cheaply-clonable immutable byte buffer, [`BytesMut`] a
+//! growable builder, and [`BufMut`] the writing trait — just enough for the
+//! two-bit wire codec. No zero-copy slicing or split operations.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply-clonable immutable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+/// Growable byte buffer builder.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// Creates an empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Converts to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Byte-writing operations (the used subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.0.push(b);
+    }
+    fn put_slice(&mut self, s: &[u8]) {
+        self.0.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_freeze_read() {
+        let mut b = BytesMut::with_capacity(4);
+        b.put_u8(1);
+        b.put_slice(&[2, 3]);
+        assert_eq!(b.len(), 3);
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 2, 3]);
+        assert_eq!(frozen.clone().as_ref(), &[1, 2, 3]);
+        assert!(!frozen.is_empty());
+        assert_eq!(frozen.len(), 3);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert!(BytesMut::new().freeze().is_empty());
+        assert_eq!(Bytes::copy_from_slice(&[]).len(), 0);
+    }
+}

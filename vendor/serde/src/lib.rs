@@ -1,0 +1,27 @@
+//! Vendored minimal stand-in for the `serde` facade.
+//!
+//! The workspace builds offline and never serializes through serde (reports
+//! are rendered by hand in `twobit-harness`), but protocol types carry
+//! `#[derive(Serialize, Deserialize)]` so downstream users with the real
+//! serde could swap this out. Here the traits are empty markers and the
+//! derives are no-ops.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirrors `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
