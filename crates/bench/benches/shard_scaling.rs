@@ -1,12 +1,19 @@
-//! Shard-count × reader-count scaling of `RegisterSpace`.
+//! Shard-count × reader-count scaling of `RegisterSpace` under the framed
+//! transport.
 //!
 //! Sweeps the number of hosted registers and the number of reader processes
 //! per register on a 5-process deployment (the sharded deterministic
 //! simulator behind the backend-agnostic `Driver`), measuring wall-clock
-//! cost per operation and wire traffic. Results seed the performance
-//! trajectory in `BENCH_shards.json` at the workspace root.
+//! cost per operation and wire traffic — and, since the frame refactor, the
+//! framed-vs-unframed routing comparison: `routing_bits_framed` is what the
+//! shared delta-encoded frame headers actually put on the wire,
+//! `routing_bits_unframed` what the same messages' per-envelope shard tags
+//! would have cost (the PR-1 transport preserved in `BENCH_shards.json`).
+//! Results land in `BENCH_frames.json` at the workspace root.
 //!
 //! Run with: `cargo bench --bench shard_scaling`
+//! Fast mode (JSON only, no criterion sampling — what CI's bench smoke job
+//! runs): `BENCH_FAST=1 cargo bench --bench shard_scaling`
 
 use std::time::Instant;
 
@@ -27,6 +34,9 @@ fn build_space(shards: usize, seed: u64) -> RegisterSpace<SimSpace<TwoBitProcess
     let sim = SpaceBuilder::new(cfg)
         .seed(seed)
         .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
+        // Hold staged envelopes half the delay bound for company: staggered
+        // operations coalesce per link, amortizing the routing header.
+        .flush_hold(500)
         .registers(shards)
         .build(0u64, |reg, id| {
             TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
@@ -62,8 +72,11 @@ struct Row {
     ops: usize,
     wall_ns_per_op: f64,
     msgs: u64,
+    frames: u64,
+    msgs_per_frame: f64,
     control_bits: u64,
-    routing_bits: u64,
+    routing_bits_unframed: u64,
+    routing_bits_framed: u64,
 }
 
 fn measure(shards: usize, readers: usize) -> Row {
@@ -75,41 +88,66 @@ fn measure(shards: usize, readers: usize) -> Row {
         .expect("sweep workload runs");
     let wall = t0.elapsed();
     let stats = space.driver().stats();
+    assert_eq!(
+        stats.control_bits(),
+        2 * stats.total_sent(),
+        "the two-bit claim must survive framing"
+    );
     Row {
         shards,
         readers,
         ops: workload.len(),
         wall_ns_per_op: wall.as_nanos() as f64 / workload.len() as f64,
         msgs: stats.total_sent(),
+        frames: stats.frames_sent(),
+        msgs_per_frame: stats.messages_per_frame(),
         control_bits: stats.control_bits(),
-        routing_bits: stats.routing_bits(),
+        routing_bits_unframed: stats.routing_bits(),
+        routing_bits_framed: stats.frame_header_bits(),
     }
 }
 
 fn write_json(rows: &[Row]) {
-    let mut out = String::from("{\n  \"bench\": \"shard_scaling\",\n");
+    let mut out = String::from("{\n  \"bench\": \"shard_scaling_framed\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"backend\": \"simnet-space\"}},\n"
+        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"backend\": \"simnet-space\", \
+         \"transport\": \"frames\", \"unframed_baseline\": \"BENCH_shards.json\"}},\n"
     ));
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        // No unframed baseline at 1 shard (routing is free either way):
+        // emit null rather than a misleading perfect ratio.
+        let ratio = if r.routing_bits_unframed == 0 {
+            "null".to_string()
+        } else {
+            format!(
+                "{:.3}",
+                r.routing_bits_framed as f64 / r.routing_bits_unframed as f64
+            )
+        };
         out.push_str(&format!(
             "    {{\"shards\": {}, \"readers\": {}, \"ops\": {}, \
-             \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"control_bits\": {}, \
-             \"routing_bits\": {}}}{}\n",
+             \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"frames\": {}, \
+             \"msgs_per_frame\": {:.2}, \"control_bits\": {}, \
+             \"routing_bits_unframed\": {}, \"routing_bits_framed\": {}, \
+             \"framed_over_unframed\": {}}}{}\n",
             r.shards,
             r.readers,
             r.ops,
             r.wall_ns_per_op,
             r.msgs,
+            r.frames,
+            r.msgs_per_frame,
             r.control_bits,
-            r.routing_bits,
+            r.routing_bits_unframed,
+            r.routing_bits_framed,
+            ratio,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shards.json");
-    std::fs::write(path, out).expect("write BENCH_shards.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frames.json");
+    std::fs::write(path, out).expect("write BENCH_frames.json");
     println!("wrote {path}");
 }
 
@@ -138,8 +176,13 @@ fn bench_shard_scaling(c: &mut Criterion) {
 }
 
 fn main() {
-    let mut c = Criterion::default();
-    bench_shard_scaling(&mut c);
+    // BENCH_FAST=1 skips criterion sampling and emits the JSON trajectory
+    // only — the mode CI's bench smoke job runs.
+    let fast = std::env::var_os("BENCH_FAST").is_some();
+    if !fast {
+        let mut c = Criterion::default();
+        bench_shard_scaling(&mut c);
+    }
     // Single measured pass per point for the JSON trajectory seed.
     let rows: Vec<Row> = SHARD_COUNTS
         .iter()

@@ -1,0 +1,638 @@
+//! Frame-based batching transport: coalesce envelopes per link with a
+//! shared routing header.
+//!
+//! The per-register protocol needs only two control bits per message, but a
+//! multi-register deployment adds a shard tag to every
+//! [`Envelope`] — and when each envelope crosses the link
+//! alone that *routing* overhead dwarfs the control bits (`⌈log₂ k⌉` bits
+//! per message for a `k`-register space). A [`Frame`] coalesces every
+//! envelope queued for one ordered link `(src, dst)` into a single wire
+//! unit whose routing information is shared:
+//!
+//! * messages are grouped by register and the groups sorted by
+//!   [`RegisterId`], so each shard tag appears **once per frame** instead of
+//!   once per message;
+//! * the tag sequence is delta-encoded (sorted gaps are small) with
+//!   self-delimiting Elias-gamma codes, so the header needs no out-of-band
+//!   length information — see [`FrameHeader`];
+//! * within a group, messages keep their send order, which is all the
+//!   protocol can rely on anyway (channels are not FIFO, and registers are
+//!   independent).
+//!
+//! [`FrameCost`] reports the amortized routing bits (`header_bits`)
+//! alongside the untouched per-message control bits, plus the
+//! per-message-tag figure the same messages would have cost unframed —
+//! the framed-vs-unframed comparison the benchmarks and
+//! [`NetStats`](crate::NetStats) expose.
+
+use serde::{Deserialize, Serialize};
+
+use crate::id::RegisterId;
+use crate::wire::{Envelope, WireMessage};
+
+/// One register's run of messages inside a [`Frame`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct FrameGroup<M> {
+    reg: RegisterId,
+    msgs: Vec<M>,
+}
+
+/// A batch of enveloped messages for one ordered link, sharing one routing
+/// header.
+///
+/// Frames are the transport unit of both execution substrates: the
+/// deterministic simulator coalesces all envelopes staged on a link at the
+/// same virtual instant, the live runtime's links coalesce under a
+/// flush policy. A frame is delivered **atomically**: either every message
+/// in it reaches the destination (in group order) or — if the destination
+/// crashed — none does.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::{Envelope, Frame, MessageCost, RegisterId, WireMessage};
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping;
+/// impl WireMessage for Ping {
+///     fn kind(&self) -> &'static str { "PING" }
+///     fn cost(&self) -> MessageCost { MessageCost::new(2, 0) }
+/// }
+///
+/// let frame = Frame::from_envelopes([
+///     Envelope::new(RegisterId::new(5), Ping),
+///     Envelope::new(RegisterId::new(1), Ping),
+///     Envelope::new(RegisterId::new(5), Ping),
+/// ]);
+/// assert_eq!(frame.len(), 3);
+/// assert_eq!(frame.group_count(), 2); // r1 and r5
+///
+/// // The shared header replaces three 3-bit shard tags (for, say, an
+/// // 8-register space) with one delta-encoded tag sequence.
+/// let cost = frame.cost(RegisterId::routing_bits(8));
+/// assert_eq!(cost.control_bits, 6); // untouched: 2 bits per message
+/// assert_eq!(cost.unframed_routing_bits, 9);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame<M> {
+    /// Groups sorted by register id; within a group, send order.
+    groups: Vec<FrameGroup<M>>,
+}
+
+impl<M> Default for Frame<M> {
+    fn default() -> Self {
+        Frame { groups: Vec::new() }
+    }
+}
+
+impl<M> Frame<M> {
+    /// Builds a frame from envelopes, grouping by register (sorted) while
+    /// preserving each register's internal message order.
+    pub fn from_envelopes(envelopes: impl IntoIterator<Item = Envelope<M>>) -> Self {
+        let mut groups: Vec<FrameGroup<M>> = Vec::new();
+        for env in envelopes {
+            match groups.binary_search_by_key(&env.reg, |g| g.reg) {
+                Ok(i) => groups[i].msgs.push(env.inner),
+                Err(i) => groups.insert(
+                    i,
+                    FrameGroup {
+                        reg: env.reg,
+                        msgs: vec![env.inner],
+                    },
+                ),
+            }
+        }
+        Frame { groups }
+    }
+
+    /// Total messages carried.
+    pub fn len(&self) -> usize {
+        self.groups.iter().map(|g| g.msgs.len()).sum()
+    }
+
+    /// Returns `true` if the frame carries no messages.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Number of distinct registers addressed (= shard tags in the header).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The routing header: each addressed register with its message count,
+    /// in id order.
+    pub fn header(&self) -> FrameHeader {
+        FrameHeader {
+            groups: self
+                .groups
+                .iter()
+                .map(|g| (g.reg, g.msgs.len() as u64))
+                .collect(),
+        }
+    }
+
+    /// Iterates `(register, message)` pairs in wire order (groups sorted by
+    /// register, send order within a group).
+    pub fn iter(&self) -> impl Iterator<Item = (RegisterId, &M)> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.msgs.iter().map(move |m| (g.reg, m)))
+    }
+
+    /// Consumes the frame back into envelopes, in wire order.
+    pub fn into_envelopes(self) -> impl Iterator<Item = Envelope<M>> {
+        self.groups.into_iter().flat_map(|g| {
+            let reg = g.reg;
+            g.msgs
+                .into_iter()
+                .map(move |inner| Envelope::new(reg, inner))
+        })
+    }
+}
+
+impl<M: WireMessage> Frame<M> {
+    /// Wire cost of this frame. `per_msg_routing_bits` is the shard-tag
+    /// width of the hosting space (`⌈log₂ k⌉`, see
+    /// [`RegisterId::routing_bits`]); it sets the unframed comparison
+    /// figure, and a width of 0 (single-register deployment) degenerates
+    /// the header to 0 bits — with one register there is nothing to route,
+    /// exactly as the unframed transport paid no tag, so framing never
+    /// regresses the paper's headline configuration.
+    pub fn cost(&self, per_msg_routing_bits: u64) -> FrameCost {
+        let mut control = 0;
+        let mut data = 0;
+        for (_, m) in self.iter() {
+            let c = m.cost();
+            control += c.control_bits;
+            data += c.data_bits;
+        }
+        let messages = self.len() as u64;
+        FrameCost {
+            messages,
+            header_bits: if per_msg_routing_bits == 0 {
+                0
+            } else {
+                self.header().bits()
+            },
+            control_bits: control,
+            data_bits: data,
+            unframed_routing_bits: messages * per_msg_routing_bits,
+        }
+    }
+}
+
+/// Wire cost of one [`Frame`], splitting the shared routing header from the
+/// untouched per-message control and data bits.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameCost {
+    /// Messages carried by the frame.
+    pub messages: u64,
+    /// Bits of the shared, delta-encoded routing header — the *amortized*
+    /// routing cost of the whole frame.
+    pub header_bits: u64,
+    /// Sum of the inner messages' control bits (two per message for the
+    /// paper's algorithm — framing never touches them).
+    pub control_bits: u64,
+    /// Sum of the inner messages' data bits.
+    pub data_bits: u64,
+    /// What the same messages' shard tags would cost if each envelope
+    /// crossed the link alone (`messages × ⌈log₂ k⌉`) — the figure
+    /// `header_bits` is compared against.
+    pub unframed_routing_bits: u64,
+}
+
+impl FrameCost {
+    /// Total bits the frame puts on the wire.
+    pub fn total_bits(&self) -> u64 {
+        self.header_bits + self.control_bits + self.data_bits
+    }
+
+    /// Routing bits saved versus sending every envelope alone (0 when the
+    /// header is not smaller).
+    pub fn routing_bits_saved(&self) -> u64 {
+        self.unframed_routing_bits.saturating_sub(self.header_bits)
+    }
+}
+
+/// Error returned by [`FrameHeader::decode`] on a malformed bit stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameDecodeError {
+    /// The stream ended inside a gamma code.
+    Truncated,
+    /// A decoded value overflows the register-id or count domain.
+    Overflow,
+}
+
+impl std::fmt::Display for FrameDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameDecodeError::Truncated => write!(f, "frame header truncated mid-code"),
+            FrameDecodeError::Overflow => write!(f, "frame header value out of domain"),
+        }
+    }
+}
+
+impl std::error::Error for FrameDecodeError {}
+
+/// The shared routing header of a [`Frame`]: the addressed registers (in id
+/// order) with their message counts.
+///
+/// The wire encoding is a sequence of self-delimiting Elias-gamma codes —
+/// no length prefixes, no alignment padding until the final byte:
+///
+/// ```text
+/// γ(d+1)  ·  γ(tag₀+1) γ(c₀)  ·  γ(tag₁−tag₀) γ(c₁)  ·  …
+/// ```
+///
+/// where `d` is the group count, `tagᵢ` the sorted register ids, `cᵢ` the
+/// per-group message counts, and `γ(x) = 2⌊log₂ x⌋ + 1` bits. Sorting makes
+/// every tag after the first a small positive *gap*, which gamma codes in
+/// one or three bits for adjacent shards — this is where the amortization
+/// comes from.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::{Frame, FrameHeader};
+/// # use twobit_proto::{Envelope, MessageCost, RegisterId, WireMessage};
+/// # #[derive(Clone, Debug)]
+/// # struct P;
+/// # impl WireMessage for P {
+/// #     fn kind(&self) -> &'static str { "P" }
+/// #     fn cost(&self) -> MessageCost { MessageCost::new(2, 0) }
+/// # }
+/// let frame = Frame::from_envelopes(
+///     (0..64usize).map(|k| Envelope::new(RegisterId::new(k), P)),
+/// );
+/// let header = frame.header();
+/// let bytes = header.encode();
+/// assert_eq!(FrameHeader::decode(&bytes)?, header);
+/// // 64 adjacent shard tags cost far less than 64 × 6 unframed bits.
+/// assert!(header.bits() < 64 * 6 / 2);
+/// # Ok::<(), twobit_proto::FrameDecodeError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameHeader {
+    /// `(register, message count)` per group, sorted by register id.
+    pub groups: Vec<(RegisterId, u64)>,
+}
+
+/// Elias-gamma code length for `x ≥ 1`: `2⌊log₂ x⌋ + 1` bits.
+fn gamma_bits(x: u64) -> u64 {
+    assert!(x >= 1, "gamma codes start at 1");
+    2 * u64::from(63 - x.leading_zeros()) + 1
+}
+
+impl FrameHeader {
+    /// The gamma code of each group's register tag: the first tag absolute
+    /// (offset by one so tag 0 is encodable), every later one as its gap
+    /// from the previous tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` violates the type's invariant of strictly
+    /// increasing register ids — possible only through the public field or
+    /// deserialization, since [`Frame::header`] always sorts.
+    fn tag_code(prev: Option<RegisterId>, reg: RegisterId) -> u64 {
+        match prev {
+            None => reg.index() as u64 + 1,
+            Some(p) => reg
+                .index()
+                .checked_sub(p.index())
+                .filter(|&gap| gap > 0)
+                .expect("frame header groups must have strictly increasing register ids")
+                as u64,
+        }
+    }
+
+    /// Exact size of the encoded header in bits (before byte padding).
+    ///
+    /// # Panics
+    ///
+    /// As for a malformed hand-built header — see [`FrameHeader::encode`].
+    pub fn bits(&self) -> u64 {
+        let mut bits = gamma_bits(self.groups.len() as u64 + 1);
+        let mut prev: Option<RegisterId> = None;
+        for &(reg, count) in &self.groups {
+            assert!(count >= 1, "frame header groups must carry messages");
+            bits += gamma_bits(Self::tag_code(prev, reg)) + gamma_bits(count);
+            prev = Some(reg);
+        }
+        bits
+    }
+
+    /// Encodes the header into bytes (final byte zero-padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a header violating the type's invariant (register ids not
+    /// strictly increasing, or a zero message count) — constructible only
+    /// by hand or via deserialization; [`Frame::header`] always upholds it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BitWriter::default();
+        w.put_gamma(self.groups.len() as u64 + 1);
+        let mut prev: Option<RegisterId> = None;
+        for &(reg, count) in &self.groups {
+            assert!(count >= 1, "frame header groups must carry messages");
+            w.put_gamma(Self::tag_code(prev, reg));
+            w.put_gamma(count);
+            prev = Some(reg);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a header previously produced by [`FrameHeader::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`FrameDecodeError::Truncated`] if the stream ends mid-code;
+    /// [`FrameDecodeError::Overflow`] if a tag or count leaves its domain.
+    pub fn decode(bytes: &[u8]) -> Result<FrameHeader, FrameDecodeError> {
+        let mut r = BitReader::new(bytes);
+        let d = r
+            .get_gamma()?
+            .checked_sub(1)
+            .ok_or(FrameDecodeError::Overflow)?;
+        // Domain check before trusting d with an allocation: every group
+        // needs at least two more bits (a tag code and a count code), so a
+        // count the remaining input cannot possibly hold is malformed —
+        // not merely truncated — input.
+        if d > (bytes.len() as u64) * 8 {
+            return Err(FrameDecodeError::Overflow);
+        }
+        let mut groups = Vec::with_capacity(d as usize);
+        let mut prev: Option<u64> = None;
+        for _ in 0..d {
+            let tag_code = r.get_gamma()?;
+            let tag = match prev {
+                None => tag_code.checked_sub(1).ok_or(FrameDecodeError::Overflow)?,
+                Some(p) => {
+                    if tag_code == 0 {
+                        return Err(FrameDecodeError::Overflow);
+                    }
+                    p.checked_add(tag_code).ok_or(FrameDecodeError::Overflow)?
+                }
+            };
+            if tag > u64::from(u32::MAX) {
+                return Err(FrameDecodeError::Overflow);
+            }
+            let count = r.get_gamma()?;
+            if count == 0 {
+                return Err(FrameDecodeError::Overflow);
+            }
+            groups.push((RegisterId::new(tag as usize), count));
+            prev = Some(tag);
+        }
+        Ok(FrameHeader { groups })
+    }
+
+    /// Total message count across all groups.
+    pub fn messages(&self) -> u64 {
+        self.groups.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// MSB-first bit sink for the header codec.
+#[derive(Default)]
+struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0 ⇒ last byte full / none yet).
+    used: u32,
+}
+
+impl BitWriter {
+    fn put_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Elias gamma: `N` zeros, then the `N+1` significant bits of `x`.
+    fn put_gamma(&mut self, x: u64) {
+        assert!(x >= 1, "gamma codes start at 1");
+        let n = 63 - x.leading_zeros();
+        for _ in 0..n {
+            self.put_bit(false);
+        }
+        for i in (0..=n).rev() {
+            self.put_bit(x & (1 << i) != 0);
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit source for the header codec.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    fn get_bit(&mut self) -> Result<bool, FrameDecodeError> {
+        let byte = self
+            .bytes
+            .get((self.pos / 8) as usize)
+            .ok_or(FrameDecodeError::Truncated)?;
+        let bit = byte & (1 << (7 - self.pos % 8)) != 0;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    fn get_gamma(&mut self) -> Result<u64, FrameDecodeError> {
+        let mut n = 0u32;
+        while !self.get_bit()? {
+            n += 1;
+            if n > 63 {
+                return Err(FrameDecodeError::Overflow);
+            }
+        }
+        let mut x = 1u64;
+        for _ in 0..n {
+            x = (x << 1) | u64::from(self.get_bit()?);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MessageCost;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Tag(u64);
+
+    impl WireMessage for Tag {
+        fn kind(&self) -> &'static str {
+            "TAG"
+        }
+        fn cost(&self) -> MessageCost {
+            MessageCost::new(2, 64)
+        }
+    }
+
+    fn env(reg: usize, v: u64) -> Envelope<Tag> {
+        Envelope::new(RegisterId::new(reg), Tag(v))
+    }
+
+    #[test]
+    fn gamma_lengths() {
+        for (x, bits) in [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15)] {
+            assert_eq!(gamma_bits(x), bits, "γ({x})");
+            let mut w = BitWriter::default();
+            w.put_gamma(x);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.get_gamma().unwrap(), x);
+            assert_eq!(r.pos, bits);
+        }
+    }
+
+    #[test]
+    fn grouping_sorts_tags_and_preserves_order_within_register() {
+        let frame = Frame::from_envelopes([env(5, 0), env(1, 1), env(5, 2), env(1, 3), env(3, 4)]);
+        assert_eq!(frame.len(), 5);
+        assert_eq!(frame.group_count(), 3);
+        let wire: Vec<(usize, u64)> = frame.iter().map(|(r, m)| (r.index(), m.0)).collect();
+        assert_eq!(wire, vec![(1, 1), (1, 3), (3, 4), (5, 0), (5, 2)]);
+        // Round trip back to envelopes in the same wire order.
+        let back: Vec<(usize, u64)> = frame
+            .into_envelopes()
+            .map(|e| (e.reg.index(), e.inner.0))
+            .collect();
+        assert_eq!(back, vec![(1, 1), (1, 3), (3, 4), (5, 0), (5, 2)]);
+    }
+
+    #[test]
+    fn header_roundtrips_and_bits_is_exact() {
+        let frame = Frame::from_envelopes([env(0, 0), env(0, 1), env(7, 2), env(63, 3)]);
+        let header = frame.header();
+        assert_eq!(
+            header.groups,
+            vec![
+                (RegisterId::new(0), 2),
+                (RegisterId::new(7), 1),
+                (RegisterId::new(63), 1),
+            ]
+        );
+        let bytes = header.encode();
+        assert_eq!(FrameHeader::decode(&bytes).unwrap(), header);
+        // Every encoded bit is accounted for: the byte length is the bit
+        // length rounded up.
+        assert_eq!(bytes.len() as u64, header.bits().div_ceil(8));
+        assert_eq!(header.messages(), 4);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let frame: Frame<Tag> = Frame::from_envelopes([]);
+        assert!(frame.is_empty());
+        assert_eq!(frame.len(), 0);
+        let header = frame.header();
+        assert_eq!(header.bits(), 1); // γ(0+1) alone
+        assert_eq!(FrameHeader::decode(&header.encode()).unwrap(), header);
+        assert_eq!(frame.cost(6).total_bits(), 1);
+    }
+
+    #[test]
+    fn cost_splits_header_from_untouched_control() {
+        let frame = Frame::from_envelopes((0..10).map(|k| env(k, k as u64)));
+        let cost = frame.cost(RegisterId::routing_bits(64));
+        assert_eq!(cost.messages, 10);
+        assert_eq!(
+            cost.control_bits, 20,
+            "2 control bits per message, untouched"
+        );
+        assert_eq!(cost.data_bits, 640);
+        assert_eq!(cost.unframed_routing_bits, 60);
+        assert_eq!(cost.header_bits, frame.header().bits());
+        assert_eq!(
+            cost.total_bits(),
+            cost.header_bits + cost.control_bits + cost.data_bits
+        );
+        // Ten adjacent tags delta-encode to well under ten 6-bit tags.
+        assert!(cost.header_bits < cost.unframed_routing_bits);
+        assert_eq!(
+            cost.routing_bits_saved(),
+            cost.unframed_routing_bits - cost.header_bits
+        );
+    }
+
+    #[test]
+    fn sixty_four_adjacent_shards_amortize_below_half() {
+        // The acceptance shape: one message per register, 64 registers.
+        let frame = Frame::from_envelopes((0..64).map(|k| env(k, 0)));
+        let cost = frame.cost(RegisterId::routing_bits(64));
+        assert_eq!(cost.unframed_routing_bits, 64 * 6);
+        assert!(
+            2 * cost.header_bits <= cost.unframed_routing_bits,
+            "header {} vs unframed {}",
+            cost.header_bits,
+            cost.unframed_routing_bits
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // A stream that is all zeros never terminates a gamma code.
+        assert_eq!(
+            FrameHeader::decode(&[0x00]),
+            Err(FrameDecodeError::Truncated)
+        );
+        // Empty input can't even hold γ(1).
+        assert_eq!(FrameHeader::decode(&[]), Err(FrameDecodeError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_absurd_group_count_without_allocating() {
+        // A crafted header whose group count claims 2⁶² groups must come
+        // back as a typed error, not a capacity-overflow panic: the count
+        // is bounded by what the remaining input could possibly hold.
+        let mut w = BitWriter::default();
+        w.put_gamma(1u64 << 62);
+        let bytes = w.into_bytes();
+        assert_eq!(FrameHeader::decode(&bytes), Err(FrameDecodeError::Overflow));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn encode_rejects_unsorted_hand_built_header() {
+        // `groups` is a public field, so a hand-built header can violate
+        // the sorted invariant; encode must fail loudly, not underflow.
+        let bad = FrameHeader {
+            groups: vec![(RegisterId::new(5), 1), (RegisterId::new(1), 1)],
+        };
+        let _ = bad.encode();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bits_rejects_duplicate_registers() {
+        // A duplicate register (gap 0) must not wrap into a gigantic gamma
+        // length.
+        let bad = FrameHeader {
+            groups: vec![(RegisterId::new(3), 1), (RegisterId::new(3), 2)],
+        };
+        let _ = bad.bits();
+    }
+
+    #[test]
+    fn singleton_frame_header_is_small() {
+        let frame = Frame::from_envelopes([env(0, 1)]);
+        // γ(2) + γ(1) + γ(1) = 3 + 1 + 1.
+        assert_eq!(frame.header().bits(), 5);
+    }
+}

@@ -25,6 +25,11 @@
 //! * [`RegisterId`], [`Envelope`], [`ShardSet`] — multiplexing many
 //!   independent registers over one cluster, with shard tags accounted as
 //!   *routing* (not control) bits.
+//! * [`Frame`], [`FrameHeader`], [`FrameCost`] — the batching transport
+//!   unit: all envelopes queued for one ordered link coalesce into one
+//!   frame whose delta-encoded header carries each shard tag once, so
+//!   routing amortizes across the batch while every message keeps exactly
+//!   its two control bits.
 //! * [`RegisterSpace`], [`Workload`], [`ShardedHistory`] — named registers,
 //!   portable operation scripts, and per-register history projection.
 //!
@@ -35,6 +40,7 @@
 
 pub mod automaton;
 pub mod driver;
+pub mod frame;
 pub mod history;
 pub mod id;
 pub mod op;
@@ -46,6 +52,7 @@ pub mod wire;
 
 pub use automaton::{Automaton, Effects};
 pub use driver::{Driver, DriverError, OpTicket, Workload, WorkloadStep};
+pub use frame::{Frame, FrameCost, FrameDecodeError, FrameHeader};
 pub use history::{History, OpRecord, ShardedHistory};
 pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
 pub use op::{OpId, OpOutcome, Operation};

@@ -112,7 +112,10 @@ impl<A: Automaton> ShardSet<A> {
         self.id
     }
 
-    /// Shard-tag size every outgoing envelope carries.
+    /// Shard-tag width of this set (`⌈log₂ k⌉` for `k` hosted registers):
+    /// what addressing one register costs when an envelope crosses a link
+    /// alone. Transports use it as the unframed-equivalent routing figure;
+    /// on the wire, frames share one delta-encoded header instead.
     pub fn routing_bits(&self) -> u64 {
         self.routing_bits
     }
@@ -191,14 +194,7 @@ impl<A: Automaton> ShardSet<A> {
         fx: &mut Effects<Envelope<A::Msg>, A::Value>,
     ) {
         for (to, msg) in inner.drain_sends() {
-            fx.send(
-                to,
-                Envelope {
-                    reg,
-                    routing_bits: self.routing_bits,
-                    inner: msg,
-                },
-            );
+            fx.send(to, Envelope::new(reg, msg));
         }
         for (op_id, outcome) in inner.drain_completions() {
             fx.complete(op_id, outcome);
@@ -285,10 +281,12 @@ mod tests {
         assert_eq!(sends.len(), 2);
         for (_, env) in &sends {
             assert_eq!(env.reg, reg);
-            assert_eq!(env.routing_bits, 2);
             assert_eq!(env.cost().control_bits, 2);
-            assert_eq!(env.cost().routing_bits, 2);
+            // The shard tag is no longer carried per message; the set's tag
+            // width is derived where traffic is accounted.
+            assert_eq!(env.cost().routing_bits, 0);
         }
+        assert_eq!(set.routing_bits(), 2);
     }
 
     #[test]
@@ -297,11 +295,7 @@ mod tests {
         let mut fx = Effects::new();
         set.on_message(
             ProcessId::new(1),
-            Envelope {
-                reg: RegisterId::new(1),
-                routing_bits: 2,
-                inner: Ping,
-            },
+            Envelope::new(RegisterId::new(1), Ping),
             &mut fx,
         );
         let probe = |reg: usize| set.shard(RegisterId::new(reg)).unwrap().received;

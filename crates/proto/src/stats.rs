@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::frame::FrameCost;
 use crate::id::RegisterId;
 use crate::wire::MessageCost;
 
@@ -47,6 +48,10 @@ pub struct NetStats {
     routing_bits: u64,
     max_msg_control_bits: u64,
     max_msg_total_bits: u64,
+    frames_sent: u64,
+    frame_header_bits: u64,
+    framed_messages: u64,
+    max_frame_messages: u64,
 }
 
 impl NetStats {
@@ -78,9 +83,31 @@ impl NetStats {
         shard.routing_bits += cost.routing_bits;
     }
 
+    /// Records one frame handed to the network. Per-message control/data
+    /// costs are recorded separately (via [`NetStats::record_send_for`]);
+    /// this adds the frame's shared-header routing bits and the
+    /// frame-shape counters.
+    pub fn record_frame(&mut self, cost: FrameCost) {
+        self.frames_sent += 1;
+        self.frame_header_bits += cost.header_bits;
+        self.framed_messages += cost.messages;
+        self.max_frame_messages = self.max_frame_messages.max(cost.messages);
+    }
+
     /// Records one message delivered to a live process.
     pub fn record_delivery(&mut self) {
         self.total_delivered += 1;
+    }
+
+    /// Records `n` messages delivered at once (a whole frame).
+    pub fn record_deliveries(&mut self, n: u64) {
+        self.total_delivered += n;
+    }
+
+    /// Records `n` messages dropped at once because their frame's
+    /// destination had crashed (frames drop atomically).
+    pub fn record_frame_drop_to_crashed(&mut self, n: u64) {
+        self.dropped_to_crashed += n;
     }
 
     /// Records one message dropped because its destination had crashed.
@@ -123,10 +150,46 @@ impl NetStats {
         self.data_bits
     }
 
-    /// Total shard-tag routing bits sent (0 unless messages were recorded
-    /// through a multi-register envelope).
+    /// Total per-message shard-tag routing bits: what addressing each
+    /// message's register would cost if every envelope crossed its link
+    /// alone (0 on single-register deployments). Under the framed
+    /// transport these bits are *not* on the wire — the shared header is
+    /// (see [`NetStats::frame_header_bits`]) — so this doubles as the
+    /// unframed-equivalent comparison figure.
     pub fn routing_bits(&self) -> u64 {
         self.routing_bits
+    }
+
+    /// Frames handed to the network.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Total shared-header routing bits actually sent by the framed
+    /// transport — the amortized counterpart of
+    /// [`NetStats::routing_bits`].
+    pub fn frame_header_bits(&self) -> u64 {
+        self.frame_header_bits
+    }
+
+    /// Messages that travelled inside frames.
+    pub fn framed_messages(&self) -> u64 {
+        self.framed_messages
+    }
+
+    /// Largest number of messages coalesced into one frame.
+    pub fn max_frame_messages(&self) -> u64 {
+        self.max_frame_messages
+    }
+
+    /// Mean messages per frame (0.0 before any frame was sent) — the
+    /// batching factor the routing amortization depends on.
+    pub fn messages_per_frame(&self) -> f64 {
+        if self.frames_sent == 0 {
+            0.0
+        } else {
+            self.framed_messages as f64 / self.frames_sent as f64
+        }
     }
 
     /// Traffic attributed to register `reg` (zeroed if the shard never sent).
@@ -157,6 +220,8 @@ impl NetStats {
             total_sent: self.total_sent,
             control_bits: self.control_bits,
             data_bits: self.data_bits,
+            frames_sent: self.frames_sent,
+            frame_header_bits: self.frame_header_bits,
         }
     }
 }
@@ -169,6 +234,8 @@ pub struct StatsSnapshot {
     total_sent: u64,
     control_bits: u64,
     data_bits: u64,
+    frames_sent: u64,
+    frame_header_bits: u64,
 }
 
 impl StatsSnapshot {
@@ -185,6 +252,16 @@ impl StatsSnapshot {
     /// Data bits sent between `earlier` and `self`.
     pub fn data_bits_since(&self, earlier: &StatsSnapshot) -> u64 {
         self.data_bits - earlier.data_bits
+    }
+
+    /// Frames sent between `earlier` and `self`.
+    pub fn frames_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.frames_sent - earlier.frames_sent
+    }
+
+    /// Frame header bits sent between `earlier` and `self`.
+    pub fn frame_header_bits_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.frame_header_bits - earlier.frame_header_bits
     }
 
     /// Messages of `kind` sent between `earlier` and `self`.
@@ -259,6 +336,40 @@ mod tests {
         assert_eq!(s.shard(RegisterId::new(9)), ShardTraffic::default());
         let shards: Vec<_> = s.shards().map(|(r, _)| r).collect();
         assert_eq!(shards, vec![r0, r1]);
+    }
+
+    #[test]
+    fn frame_accounting_separates_header_from_per_message_routing() {
+        let mut s = NetStats::new();
+        let r0 = RegisterId::new(0);
+        // Two messages recorded with their unframed-equivalent 6-bit tags...
+        s.record_send_for(r0, "WRITE0", MessageCost::new(2, 64).with_routing(6));
+        s.record_send_for(r0, "READ", MessageCost::new(2, 0).with_routing(6));
+        // ...that actually travelled in one frame with a 9-bit header.
+        s.record_frame(FrameCost {
+            messages: 2,
+            header_bits: 9,
+            control_bits: 4,
+            data_bits: 64,
+            unframed_routing_bits: 12,
+        });
+        s.record_deliveries(2);
+        assert_eq!(s.routing_bits(), 12, "unframed-equivalent figure");
+        assert_eq!(s.frame_header_bits(), 9, "bits actually on the wire");
+        assert_eq!(s.frames_sent(), 1);
+        assert_eq!(s.framed_messages(), 2);
+        assert_eq!(s.max_frame_messages(), 2);
+        assert!((s.messages_per_frame() - 2.0).abs() < f64::EPSILON);
+        assert_eq!(s.total_delivered(), 2);
+        assert_eq!(s.control_bits(), 4, "framing never touches control bits");
+
+        let before = NetStats::new().snapshot();
+        let after = s.snapshot();
+        assert_eq!(after.frames_since(&before), 1);
+        assert_eq!(after.frame_header_bits_since(&before), 9);
+
+        s.record_frame_drop_to_crashed(3);
+        assert_eq!(s.dropped_to_crashed(), 3);
     }
 
     #[test]

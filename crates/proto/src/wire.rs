@@ -18,9 +18,13 @@ use crate::id::RegisterId;
 ///
 /// *Control* bits are what the paper's Table 1 measures: protocol information
 /// beyond the data value (type tags, sequence numbers, timestamps). *Routing*
-/// bits are the shard tag added by [`Envelope`] when many registers share one
-/// cluster — they address a register, not a point in any register's protocol,
-/// so they are accounted separately to keep the two-bit claim crisp.
+/// bits address a register when many registers share one cluster — they
+/// address a register, not a point in any register's protocol, so they are
+/// accounted separately to keep the two-bit claim crisp. Under the framed
+/// transport the per-message field stays 0 and routing is accounted once per
+/// [`Frame`](crate::Frame) header; per-message tags are still recorded
+/// separately as the *unframed-equivalent* comparison figure (see
+/// [`NetStats`](crate::NetStats)).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MessageCost {
     /// Bits of control information: the message type tag plus any sequence
@@ -75,20 +79,27 @@ pub trait WireMessage: Clone + std::fmt::Debug + Send + 'static {
 ///
 /// When a [`RegisterSpace`](crate::RegisterSpace) multiplexes many registers
 /// over one cluster, every wire message is wrapped in an `Envelope` carrying
-/// a compact [`RegisterId`]. The envelope adds `routing_bits` of shard-tag
-/// overhead (`⌈log₂ k⌉` for a `k`-register space — see
-/// [`RegisterId::routing_bits`]) to the inner message's cost; the inner
-/// message's *control* cost is untouched, so a two-bit-per-register protocol
-/// stays two-bit per register.
+/// a compact [`RegisterId`]. The shard tag's wire cost is **not** part of
+/// the envelope: the tag width is a per-deployment constant
+/// (`⌈log₂ k⌉` for a `k`-register space — see [`RegisterId::routing_bits`])
+/// derived where traffic is accounted, and on the wire envelopes travel
+/// inside a [`Frame`](crate::Frame) whose shared header encodes each tag
+/// once per frame instead of once per message. The inner message's
+/// *control* cost is untouched either way, so a two-bit-per-register
+/// protocol stays two-bit per register.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Envelope<M> {
     /// The register this message belongs to.
     pub reg: RegisterId,
-    /// Shard-tag size for the hosting space (same for every message of one
-    /// deployment; 0 when the space has a single register).
-    pub routing_bits: u64,
     /// The register-protocol message.
     pub inner: M,
+}
+
+impl<M> Envelope<M> {
+    /// Wraps `inner` for register `reg`.
+    pub fn new(reg: RegisterId, inner: M) -> Self {
+        Envelope { reg, inner }
+    }
 }
 
 impl<M: WireMessage> WireMessage for Envelope<M> {
@@ -96,8 +107,9 @@ impl<M: WireMessage> WireMessage for Envelope<M> {
         self.inner.kind()
     }
 
+    /// The inner message's cost; routing is accounted at the frame layer.
     fn cost(&self) -> MessageCost {
-        self.inner.cost().with_routing(self.routing_bits)
+        self.inner.cost()
     }
 }
 
@@ -142,15 +154,11 @@ mod tests {
 
     #[test]
     fn envelope_preserves_kind_and_control_cost() {
-        let e = Envelope {
-            reg: RegisterId::new(5),
-            routing_bits: 6,
-            inner: Dummy,
-        };
+        let e = Envelope::new(RegisterId::new(5), Dummy);
         assert_eq!(e.kind(), "DUMMY");
         let cost = e.cost();
         assert_eq!(cost.control_bits, 2, "per-register control stays two bits");
-        assert_eq!(cost.routing_bits, 6);
-        assert_eq!(cost.total_bits(), 2 + 64 + 6);
+        assert_eq!(cost.routing_bits, 0, "routing lives in the frame header");
+        assert_eq!(cost.total_bits(), 2 + 64);
     }
 }

@@ -2,7 +2,24 @@
 
 use proptest::prelude::*;
 use twobit_proto::payload::bits_for;
-use twobit_proto::{MessageCost, NetStats, Payload, SystemConfig};
+use twobit_proto::{
+    Envelope, Frame, FrameHeader, MessageCost, NetStats, Payload, RegisterId, SystemConfig,
+    WireMessage,
+};
+
+/// A dummy protocol message with a recognizable payload and the paper's
+/// two-bit control cost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Probe(u64);
+
+impl WireMessage for Probe {
+    fn kind(&self) -> &'static str {
+        "PROBE"
+    }
+    fn cost(&self) -> MessageCost {
+        MessageCost::new(2, 64)
+    }
+}
 
 proptest! {
     /// `bits_for` is the exact binary width: `2^(b−1) ≤ max(x,1) < 2^b`.
@@ -67,6 +84,95 @@ proptest! {
         prop_assert_eq!(
             stats.sent_of_kind("A") + stats.sent_of_kind("B"),
             sizes.len() as u64
+        );
+    }
+
+    /// Frame codec round trip: building a frame preserves every message,
+    /// groups sort by register while each register keeps its send order,
+    /// and the header survives encode → decode bit-exactly.
+    #[test]
+    fn frame_codec_roundtrip(
+        tags in prop::collection::vec(0usize..1_024, 0..200),
+        space_bits in 0u64..11,
+    ) {
+        let envs: Vec<Envelope<Probe>> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| Envelope::new(RegisterId::new(t), Probe(i as u64)))
+            .collect();
+        let frame = Frame::from_envelopes(envs);
+        prop_assert_eq!(frame.len(), tags.len());
+
+        // Wire order: register-sorted groups, send order within a group.
+        let wire: Vec<(usize, u64)> = frame
+            .iter()
+            .map(|(r, m)| (r.index(), m.0))
+            .collect();
+        let mut expected: Vec<(usize, u64)> = tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        // Stable sort by register reproduces "grouped, order preserved".
+        expected.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(&wire, &expected);
+
+        // Header: groups match the tag multiset; encode/decode round
+        // trips; the reported bit size matches the byte size produced.
+        let header = frame.header();
+        prop_assert_eq!(header.messages(), tags.len() as u64);
+        let bytes = header.encode();
+        prop_assert_eq!(FrameHeader::decode(&bytes).unwrap(), header.clone());
+        prop_assert_eq!(bytes.len() as u64, header.bits().div_ceil(8));
+
+        // Costs: control and data bits are exactly the per-message sums
+        // (framing never touches them); the unframed comparison figure is
+        // messages × tag width; header_bits is the codec's exact size.
+        let cost = frame.cost(space_bits);
+        prop_assert_eq!(cost.messages, tags.len() as u64);
+        prop_assert_eq!(cost.control_bits, 2 * tags.len() as u64);
+        prop_assert_eq!(cost.data_bits, 64 * tags.len() as u64);
+        prop_assert_eq!(cost.unframed_routing_bits, space_bits * tags.len() as u64);
+        // A 0-width tag (single-register deployment) degenerates the
+        // header: nothing to route, no routing bits.
+        if space_bits == 0 {
+            prop_assert_eq!(cost.header_bits, 0);
+        } else {
+            prop_assert_eq!(cost.header_bits, header.bits());
+        }
+        prop_assert_eq!(
+            cost.total_bits(),
+            cost.header_bits + cost.control_bits + cost.data_bits
+        );
+
+        // Decomposing back to envelopes loses nothing.
+        let back: Vec<(usize, u64)> = frame
+            .into_envelopes()
+            .map(|e| (e.reg.index(), e.inner.0))
+            .collect();
+        prop_assert_eq!(back, expected);
+    }
+
+    /// Batching a whole space's worth of adjacent registers always
+    /// amortizes: with one message per register of a `k`-register space,
+    /// the shared header beats per-message tags for every k ≥ 32.
+    #[test]
+    fn dense_frames_always_save_routing(k in 32usize..512) {
+        let frame = Frame::from_envelopes(
+            (0..k).map(|t| Envelope::new(RegisterId::new(t), Probe(0))),
+        );
+        let per_msg = RegisterId::routing_bits(k);
+        let cost = frame.cost(per_msg);
+        prop_assert!(
+            cost.header_bits < cost.unframed_routing_bits,
+            "header {} vs unframed {} at k={}",
+            cost.header_bits,
+            cost.unframed_routing_bits,
+            k
+        );
+        prop_assert_eq!(
+            cost.routing_bits_saved(),
+            cost.unframed_routing_bits - cost.header_bits
         );
     }
 }

@@ -1,13 +1,17 @@
 //! Cluster assembly: process threads, chaos links, crash switches, shards.
 //!
 //! Each process thread hosts a [`ShardSet`] — one automaton instance per
-//! register — and every link carries [`Envelope`]-wrapped messages, so one
-//! cluster serves many independent registers (the paper's protocol, once
-//! per register). The cluster implements the backend-agnostic
+//! register — and every link carries [`Frame`]s of [`Envelope`]-wrapped
+//! messages, so one cluster serves many independent registers (the paper's
+//! protocol, once per register). Outbound sends are batched per destination
+//! per handler execution, links coalesce batches under a [`FlushPolicy`],
+//! and each frame crosses with one sampled delay and one shared routing
+//! header — delivered atomically to a live process or dropped whole with a
+//! crashed one. The cluster implements the backend-agnostic
 //! [`Driver`] interface; blocking per-register handles come from
 //! [`Cluster::client`] / [`Cluster::client_for`].
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -16,24 +20,26 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, History, NetStats, OpId, OpOutcome,
+    Automaton, Driver, DriverError, Effects, Envelope, Frame, History, NetStats, OpId, OpOutcome,
     OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
     WireMessage,
 };
 use twobit_simnet::DelayModel;
 
 use crate::client::{ClientError, OpHandle, RegisterClient};
-use crate::link::spawn_link;
+use crate::link::{spawn_link, FlushPolicy, LinkConfig};
 use crate::recorder::Recorder;
 
 /// Messages consumed by a process thread.
 pub enum Incoming<A: Automaton> {
-    /// A protocol message from a peer (already routed through its link).
-    Msg {
+    /// A frame of protocol messages from one peer (already routed through
+    /// its link). Handled atomically: the crash flag is checked once for
+    /// the whole frame.
+    Frame {
         /// The sending process.
         from: ProcessId,
-        /// The enveloped protocol message.
-        env: Envelope<A::Msg>,
+        /// The coalesced batch of enveloped protocol messages.
+        frame: Frame<A::Msg>,
     },
     /// An operation invocation from a client handle.
     Invoke {
@@ -66,6 +72,13 @@ pub(crate) enum Slot<V> {
 /// The per-pair in-flight table guarded by [`Shared::inflight`].
 pub(crate) type InflightMap<V> = HashMap<(ProcessId, RegisterId), Slot<V>>;
 
+/// One process's outbound channels, one envelope per link item so the
+/// links' [`FlushPolicy`] counts real messages (`None` on the self slot).
+type OutboundLinks<M> = Vec<Option<Sender<Envelope<M>>>>;
+
+/// The full link-channel matrix, indexed `[src][dst]`.
+type LinkTxs<M> = Vec<OutboundLinks<M>>;
+
 /// Latest polled driver outcome per `(process, register)` pair.
 type CompletedMap<V> = HashMap<(ProcessId, RegisterId), (OpId, OpOutcome<V>)>;
 
@@ -90,6 +103,7 @@ pub struct ClusterBuilder {
     delay: DelayModel,
     op_timeout: Duration,
     registers: Vec<RegisterId>,
+    flush: FlushPolicy,
 }
 
 impl ClusterBuilder {
@@ -102,7 +116,15 @@ impl ClusterBuilder {
             delay: DelayModel::Uniform { lo: 50, hi: 500 }, // 50–500µs
             op_timeout: Duration::from_secs(10),
             registers: vec![RegisterId::ZERO],
+            flush: FlushPolicy::default(),
         }
+    }
+
+    /// Sets the links' frame flush policy (how aggressively envelopes
+    /// coalesce; [`FlushPolicy::immediate`] disables batching).
+    pub fn flush_policy(mut self, flush: FlushPolicy) -> Self {
+        self.flush = flush;
+        self
     }
 
     /// Seeds the per-link delay samplers.
@@ -180,8 +202,11 @@ impl ClusterBuilder {
         let (inbox_txs, inbox_rxs): (Vec<_>, Vec<_>) =
             (0..n).map(|_| unbounded::<Incoming<A>>()).unzip();
 
-        // Links: input channel per ordered pair (i → j).
-        type LinkTxs<M> = Vec<Vec<Option<Sender<Envelope<M>>>>>;
+        // Links: input channel per ordered pair (i → j). Items are single
+        // envelopes — the link's flush policy decides how many coalesce
+        // into a frame, so `max_batch` caps envelopes per frame and
+        // `FlushPolicy::immediate` really sends each message alone.
+        let tag_bits = RegisterId::routing_bits(self.registers.len());
         let mut link_txs: LinkTxs<A::Msg> =
             (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         let mut link_threads = Vec::new();
@@ -192,18 +217,18 @@ impl ClusterBuilder {
                     continue;
                 }
                 let (tx, rx) = unbounded::<Envelope<A::Msg>>();
-                // Wrap delivery: the link forwards raw messages; a small
+                // Wrap delivery: the link forwards whole frames; a small
                 // adapter channel tags them with the sender id.
-                let (tagged_tx, tagged_rx) = unbounded::<Envelope<A::Msg>>();
+                let (framed_tx, framed_rx) = unbounded::<Frame<A::Msg>>();
                 let inbox = inbox_txs[j].clone();
                 let from = ProcessId::new(i);
                 let stats_d = Arc::clone(&stats);
-                // Adapter thread: raw → Incoming::Msg (kept separate from
-                // the link so the link stays generic over M).
+                // Adapter thread: frame → Incoming::Frame (kept separate
+                // from the link so the link stays generic over its items).
                 let adapter = std::thread::spawn(move || {
-                    while let Ok(env) = tagged_rx.recv() {
-                        stats_d.lock().record_delivery();
-                        if inbox.send(Incoming::Msg { from, env }).is_err() {
+                    while let Ok(frame) = framed_rx.recv() {
+                        stats_d.lock().record_deliveries(frame.len() as u64);
+                        if inbox.send(Incoming::Frame { from, frame }).is_err() {
                             return;
                         }
                     }
@@ -212,7 +237,36 @@ impl ClusterBuilder {
                     .seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((i * n + j) as u64);
-                let link = spawn_link(rx, tagged_tx, self.delay, seed, Arc::clone(&crashed[j]));
+                // The flush closure is where batches become frames — and
+                // where the shared-header routing cost is accounted.
+                let stats_f = Arc::clone(&stats);
+                let build_frame = move |batch: Vec<Envelope<A::Msg>>| {
+                    let frame = Frame::from_envelopes(batch);
+                    stats_f.lock().record_frame(frame.cost(tag_bits));
+                    frame
+                };
+                // Frames reaching their deadline after the destination
+                // crashed drop whole — and must still be accounted, so
+                // delivered + dropped reconciles with sent like on the
+                // deterministic backend.
+                let stats_x = Arc::clone(&stats);
+                let drop_frame = move |frame: Frame<A::Msg>| {
+                    stats_x
+                        .lock()
+                        .record_frame_drop_to_crashed(frame.len() as u64);
+                };
+                let link = spawn_link(
+                    rx,
+                    framed_tx,
+                    LinkConfig {
+                        policy: self.flush,
+                        delay: self.delay,
+                        seed,
+                        dest_crashed: Arc::clone(&crashed[j]),
+                    },
+                    build_frame,
+                    drop_frame,
+                );
                 link_threads.push(link);
                 link_threads.push(adapter);
                 link_txs[i][j] = Some(tx);
@@ -223,7 +277,7 @@ impl ClusterBuilder {
         let mut proc_threads = Vec::new();
         for (i, inbox_rx) in inbox_rxs.into_iter().enumerate() {
             let shards = ShardSet::new(ProcessId::new(i), &self.registers, &mut make);
-            let outs: Vec<Option<Sender<Envelope<A::Msg>>>> = link_txs[i].clone();
+            let outs: OutboundLinks<A::Msg> = link_txs[i].clone();
             let crashed = crashed.clone();
             let stats = Arc::clone(&stats);
             proc_threads.push(std::thread::spawn(move || {
@@ -254,11 +308,14 @@ impl ClusterBuilder {
 fn process_loop<A: Automaton>(
     mut shards: ShardSet<A>,
     inbox: crossbeam::channel::Receiver<Incoming<A>>,
-    outs: Vec<Option<Sender<Envelope<A::Msg>>>>,
+    outs: OutboundLinks<A::Msg>,
     crashed: Vec<Arc<AtomicBool>>,
     stats: Arc<Mutex<NetStats>>,
 ) {
     let me = shards.id().index();
+    // Unframed-equivalent tag width, derived from the hosted register count
+    // (the tag is a per-deployment constant, not per-message state).
+    let tag_bits = shards.routing_bits();
     let mut replies: HashMap<OpId, Sender<OpOutcome<A::Value>>> = HashMap::new();
     while let Ok(incoming) = inbox.recv() {
         if crashed[me].load(Ordering::Relaxed) {
@@ -267,8 +324,13 @@ fn process_loop<A: Automaton>(
         let mut fx = Effects::new();
         match incoming {
             Incoming::Shutdown => return,
-            Incoming::Msg { from, env } => {
-                shards.on_message(from, env, &mut fx);
+            Incoming::Frame { from, frame } => {
+                // Atomic handling: every message of the frame runs at this
+                // point of the process's timeline (crash checked above,
+                // once for the whole frame).
+                for env in frame.into_envelopes() {
+                    shards.on_message(from, env, &mut fx);
+                }
             }
             Incoming::Invoke {
                 reg,
@@ -286,17 +348,33 @@ fn process_loop<A: Automaton>(
                 }
             }
         }
-        // Apply effects: route sends through links, answer completions.
+        // Apply effects: batch sends per destination (one stats lock per
+        // handler execution, one burst per link — the link's flush policy
+        // coalesces the burst into frames), answer completions.
+        let mut batches: BTreeMap<ProcessId, Vec<Envelope<A::Msg>>> = BTreeMap::new();
         for (to, env) in fx.drain_sends() {
-            stats
-                .lock()
-                .record_send_for(env.reg, env.kind(), env.cost());
-            if crashed[to.index()].load(Ordering::Relaxed) {
-                stats.lock().record_drop_to_crashed();
-                continue;
+            batches.entry(to).or_default().push(env);
+        }
+        if !batches.is_empty() {
+            let mut st = stats.lock();
+            for batch in batches.values() {
+                for env in batch {
+                    st.record_send_for(env.reg, env.kind(), env.cost().with_routing(tag_bits));
+                }
             }
-            if let Some(tx) = outs[to.index()].as_ref() {
-                let _ = tx.send(env);
+            drop(st);
+            for (to, batch) in batches {
+                if crashed[to.index()].load(Ordering::Relaxed) {
+                    stats
+                        .lock()
+                        .record_frame_drop_to_crashed(batch.len() as u64);
+                    continue;
+                }
+                if let Some(tx) = outs[to.index()].as_ref() {
+                    for env in batch {
+                        let _ = tx.send(env);
+                    }
+                }
             }
         }
         for (op_id, outcome) in fx.drain_completions() {

@@ -46,3 +46,4 @@ mod recorder;
 
 pub use client::{ClientError, OpHandle, RegisterClient};
 pub use cluster::{Cluster, ClusterBuilder};
+pub use link::FlushPolicy;

@@ -1,11 +1,21 @@
-//! Chaos links: per-pair delivery threads injecting delay and reordering.
+//! Chaos links: per-pair delivery threads injecting delay and reordering,
+//! now speaking *frames*.
 //!
-//! One link thread serves one ordered process pair `p_i → p_j`. Each message
-//! gets an independent sampled delay (ticks of the
-//! [`DelayModel`](twobit_simnet::DelayModel) interpreted as microseconds),
-//! so a later message with a shorter delay genuinely overtakes an earlier
-//! one — the non-FIFO channel of the paper's model, realized with real
-//! threads.
+//! One link thread serves one ordered process pair `p_i → p_j`. Incoming
+//! items accumulate in a pending batch under a [`FlushPolicy`]
+//! (size-based and hold-time-based); each flush hands the batch to a
+//! caller-supplied closure — the cluster builds a
+//! [`Frame`](twobit_proto::Frame) there and records its shared-header cost —
+//! and the result enters the delay heap as **one unit** with **one**
+//! independently sampled delay (ticks of the
+//! [`DelayModel`](twobit_simnet::DelayModel) interpreted as microseconds).
+//! A later flush with a shorter delay genuinely overtakes an earlier one —
+//! the non-FIFO channel of the paper's model, realized with real threads.
+//!
+//! Delivery is atomic per flushed unit: the destination's crash flag is
+//! checked once at the unit's deadline — in the normal path *and* in the
+//! shutdown drain — so a frame reaches a live process whole or, if the
+//! process crashed first, not at all.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -14,104 +24,216 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use twobit_simnet::DelayModel;
 
-/// A message queued on a link, ordered by delivery deadline.
-struct Queued<M> {
-    deadline: Instant,
-    seq: u64,
-    msg: M,
+/// When a link flushes its pending batch into one frame.
+///
+/// A batch flushes as soon as **either** bound is hit: it has `max_batch`
+/// items, or its oldest item has waited `max_hold`. Items already queued on
+/// the channel are drained into the batch in one gulp before either bound
+/// is checked, so a burst coalesces without paying the hold time; `max_hold`
+/// only bounds how long a lone early message waits for company.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlushPolicy {
+    /// Flush when this many items are pending (≥ 1).
+    pub max_batch: usize,
+    /// Flush when the oldest pending item has waited this long.
+    pub max_hold: Duration,
 }
 
-impl<M> PartialEq for Queued<M> {
+impl FlushPolicy {
+    /// No coalescing: every item crosses the link alone, immediately.
+    pub fn immediate() -> Self {
+        FlushPolicy {
+            max_batch: 1,
+            max_hold: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for FlushPolicy {
+    /// Coalesce up to 64 items, holding the batch at most 20µs — well under
+    /// the default 50–500µs link delays it amortizes against.
+    fn default() -> Self {
+        FlushPolicy {
+            max_batch: 64,
+            max_hold: Duration::from_micros(20),
+        }
+    }
+}
+
+/// A flushed unit queued on a link, ordered by delivery deadline.
+struct Queued<B> {
+    deadline: Instant,
+    seq: u64,
+    unit: B,
+}
+
+impl<B> PartialEq for Queued<B> {
     fn eq(&self, other: &Self) -> bool {
         self.deadline == other.deadline && self.seq == other.seq
     }
 }
-impl<M> Eq for Queued<M> {}
-impl<M> PartialOrd for Queued<M> {
+impl<B> Eq for Queued<B> {}
+impl<B> PartialOrd for Queued<B> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M> Ord for Queued<M> {
+impl<B> Ord for Queued<B> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
     }
 }
 
+/// Static configuration of one link thread.
+pub(crate) struct LinkConfig {
+    /// When pending items coalesce into a frame.
+    pub(crate) policy: FlushPolicy,
+    /// Per-frame delay sampler (ticks = microseconds).
+    pub(crate) delay: DelayModel,
+    /// Seed for the delay sampler.
+    pub(crate) seed: u64,
+    /// The destination's crash switch, checked at delivery time.
+    pub(crate) dest_crashed: Arc<AtomicBool>,
+}
+
 /// Spawns the link thread for one ordered pair.
 ///
-/// Messages received on `rx` are held until their sampled deadline, then
-/// forwarded via `deliver` — unless the destination has crashed (checked at
-/// delivery time, like the simulator's drop-at-delivery semantics). The
-/// thread exits once `rx` disconnects and the queue has drained.
-pub(crate) fn spawn_link<M: Send + 'static>(
+/// Items received on `rx` accumulate under the config's flush policy; each
+/// flush maps the batch through `flush` (where the cluster builds a frame
+/// and accounts its header) and holds the result until its sampled
+/// deadline, then forwards it via `deliver` — unless the destination has
+/// crashed, checked **at delivery time** so a crash while a unit is in
+/// flight (including during the shutdown drain) hands the whole unit to
+/// `on_drop` instead (where the cluster records the drop, keeping
+/// `delivered + dropped = sent` reconcilable across backends). The thread
+/// exits once `rx` disconnects, the pending batch has been flushed, and
+/// the heap has drained.
+pub(crate) fn spawn_link<M, B, F, D>(
     rx: Receiver<M>,
-    deliver: Sender<M>,
-    delay: DelayModel,
-    seed: u64,
-    dest_crashed: Arc<AtomicBool>,
-) -> JoinHandle<()> {
+    deliver: Sender<B>,
+    config: LinkConfig,
+    mut flush: F,
+    mut on_drop: D,
+) -> JoinHandle<()>
+where
+    M: Send + 'static,
+    B: Send + 'static,
+    F: FnMut(Vec<M>) -> B + Send + 'static,
+    D: FnMut(B) + Send + 'static,
+{
+    let LinkConfig {
+        policy,
+        delay,
+        seed,
+        dest_crashed,
+    } = config;
+    assert!(policy.max_batch >= 1, "flush policy needs max_batch >= 1");
     std::thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut heap: BinaryHeap<Reverse<Queued<M>>> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Reverse<Queued<B>>> = BinaryHeap::new();
+        let mut pending: Vec<M> = Vec::new();
+        let mut pending_since: Option<Instant> = None;
         let mut seq = 0u64;
         let mut disconnected = false;
         loop {
-            // Deliver everything due.
+            // Deliver everything due, checking the crash flag per unit so a
+            // destination that crashed while the unit was in flight drops
+            // it whole — this is the only place units leave the heap, in
+            // the live path and the shutdown drain alike.
             let now = Instant::now();
             while heap.peek().is_some_and(|Reverse(q)| q.deadline <= now) {
                 let Reverse(q) = heap.pop().expect("peeked");
-                if !dest_crashed.load(Ordering::Relaxed) {
+                if dest_crashed.load(Ordering::Relaxed) {
+                    on_drop(q.unit);
+                } else {
                     // The destination inbox may already be gone on shutdown.
-                    let _ = deliver.send(q.msg);
+                    let _ = deliver.send(q.unit);
                 }
             }
-            if disconnected && heap.is_empty() {
-                return;
-            }
-            // Wait for the next deadline or the next incoming message.
-            let wait = heap
-                .peek()
-                .map(|Reverse(q)| q.deadline.saturating_duration_since(Instant::now()));
-            let incoming = match wait {
-                Some(d) => match rx.recv_timeout(d) {
-                    Ok(m) => Some(m),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        disconnected = true;
-                        // Sleep until the earliest deadline, then loop to
-                        // drain.
-                        if let Some(Reverse(q)) = heap.peek() {
-                            let d = q.deadline.saturating_duration_since(Instant::now());
-                            std::thread::sleep(d);
+
+            // Opportunistically pull whatever is already queued on the
+            // channel (up to the batch bound) — coalescing without holding.
+            while pending.len() < policy.max_batch {
+                match rx.try_recv() {
+                    Ok(m) => {
+                        if pending.is_empty() {
+                            pending_since = Some(Instant::now());
                         }
-                        None
+                        pending.push(m);
                     }
-                },
-                None => {
-                    if disconnected {
-                        return;
-                    }
-                    match rx.recv() {
-                        Ok(m) => Some(m),
-                        Err(_) => return,
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
                     }
                 }
-            };
-            if let Some(msg) = incoming {
+            }
+
+            // Flush when a policy bound is hit, or unconditionally on
+            // shutdown so no message is stranded.
+            let hold_expired = pending_since.is_some_and(|t| t.elapsed() >= policy.max_hold);
+            if !pending.is_empty()
+                && (pending.len() >= policy.max_batch || hold_expired || disconnected)
+            {
+                let batch = std::mem::take(&mut pending);
+                pending_since = None;
                 // One tick of the delay model = 1µs of real time.
                 let micros = delay.sample(&mut rng);
                 heap.push(Reverse(Queued {
                     deadline: Instant::now() + Duration::from_micros(micros),
                     seq,
-                    msg,
+                    unit: flush(batch),
                 }));
                 seq += 1;
+            }
+
+            if disconnected {
+                if heap.is_empty() && pending.is_empty() {
+                    return;
+                }
+                // Drain: sleep to the next deadline, then loop so delivery
+                // re-checks dest_crashed *after* the sleep.
+                if let Some(Reverse(q)) = heap.peek() {
+                    let d = q.deadline.saturating_duration_since(Instant::now());
+                    std::thread::sleep(d);
+                }
+                continue;
+            }
+
+            // Wait for the next deadline (delivery or flush) or the next
+            // incoming item.
+            let next_flush = pending_since.map(|t| t + policy.max_hold);
+            let next_delivery = heap.peek().map(|Reverse(q)| q.deadline);
+            let next_deadline = match (next_flush, next_delivery) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            match next_deadline {
+                Some(deadline) => {
+                    let d = deadline.saturating_duration_since(Instant::now());
+                    match rx.recv_timeout(d) {
+                        Ok(m) => {
+                            if pending.is_empty() {
+                                pending_since = Some(Instant::now());
+                            }
+                            pending.push(m);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(m) => {
+                        pending_since = Some(Instant::now());
+                        pending.push(m);
+                    }
+                    Err(_) => disconnected = true,
+                },
             }
         }
     })
@@ -119,40 +241,71 @@ pub(crate) fn spawn_link<M: Send + 'static>(
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::AtomicU32;
+
     use super::*;
     use crossbeam::channel::unbounded;
 
-    #[test]
-    fn delivers_in_deadline_order_not_send_order() {
-        // A deterministic alternating delay (via a two-point uniform range
-        // would be random; instead use Fixed and check ordering survives).
+    /// Spawns a link whose flush unit is simply the batch itself; dropped
+    /// messages (not batches) accumulate in the returned counter.
+    #[allow(clippy::type_complexity)]
+    fn id_link(
+        policy: FlushPolicy,
+        delay: DelayModel,
+        seed: u64,
+        crashed: Arc<AtomicBool>,
+    ) -> (
+        Sender<u32>,
+        Receiver<Vec<u32>>,
+        Arc<AtomicU32>,
+        JoinHandle<()>,
+    ) {
         let (tx, link_rx) = unbounded::<u32>();
-        let (deliver_tx, out) = unbounded::<u32>();
-        let crashed = Arc::new(AtomicBool::new(false));
+        let (deliver_tx, out) = unbounded::<Vec<u32>>();
+        let dropped = Arc::new(AtomicU32::new(0));
+        let dropped_w = Arc::clone(&dropped);
         let h = spawn_link(
             link_rx,
             deliver_tx,
+            LinkConfig {
+                policy,
+                delay,
+                seed,
+                dest_crashed: crashed,
+            },
+            |b| b,
+            move |b: Vec<u32>| {
+                dropped_w.fetch_add(b.len() as u32, Ordering::Relaxed);
+            },
+        );
+        (tx, out, dropped, h)
+    }
+
+    #[test]
+    fn delivers_in_deadline_order_not_send_order() {
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (tx, out, _dropped, h) = id_link(
+            FlushPolicy::immediate(),
             DelayModel::Fixed(1_000), // 1ms
             7,
             crashed,
         );
         for i in 0..10 {
             tx.send(i).unwrap();
+            // Space sends out so each crosses alone (immediate policy).
+            std::thread::sleep(Duration::from_micros(200));
         }
         drop(tx);
         h.join().unwrap();
-        let got: Vec<u32> = out.iter().collect();
+        let got: Vec<u32> = out.iter().flatten().collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn reorders_with_spiky_delays() {
-        let (tx, link_rx) = unbounded::<u32>();
-        let (deliver_tx, out) = unbounded::<u32>();
         let crashed = Arc::new(AtomicBool::new(false));
-        let h = spawn_link(
-            link_rx,
-            deliver_tx,
+        let (tx, out, _dropped, h) = id_link(
+            FlushPolicy::immediate(),
             DelayModel::Spiky {
                 lo: 1,
                 hi: 100,
@@ -170,7 +323,7 @@ mod tests {
         }
         drop(tx);
         h.join().unwrap();
-        let got: Vec<u32> = out.iter().collect();
+        let got: Vec<u32> = out.iter().flatten().collect();
         assert_eq!(got.len(), 200);
         let mut sorted = got.clone();
         sorted.sort_unstable();
@@ -180,13 +333,100 @@ mod tests {
 
     #[test]
     fn drops_to_crashed_destination() {
-        let (tx, link_rx) = unbounded::<u32>();
-        let (deliver_tx, out) = unbounded::<u32>();
         let crashed = Arc::new(AtomicBool::new(true));
-        let h = spawn_link(link_rx, deliver_tx, DelayModel::Fixed(100), 1, crashed);
+        let (tx, out, dropped, h) =
+            id_link(FlushPolicy::immediate(), DelayModel::Fixed(100), 1, crashed);
         tx.send(1).unwrap();
         drop(tx);
         h.join().unwrap();
         assert!(out.iter().next().is_none());
+        assert_eq!(dropped.load(Ordering::Relaxed), 1, "drop was accounted");
+    }
+
+    #[test]
+    fn burst_coalesces_into_one_batch() {
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (tx, out, _dropped, h) = id_link(
+            FlushPolicy {
+                max_batch: 64,
+                max_hold: Duration::from_millis(5),
+            },
+            DelayModel::Fixed(2_000),
+            5,
+            crashed,
+        );
+        for i in 0..40 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        h.join().unwrap();
+        let batches: Vec<Vec<u32>> = out.iter().collect();
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, 40, "nothing lost");
+        assert!(
+            batches.len() <= 3,
+            "a burst should coalesce into few batches, got {}",
+            batches.len()
+        );
+        // Order within each batch is the send order.
+        for b in &batches {
+            assert!(b.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn max_batch_caps_batch_size() {
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (tx, out, _dropped, h) = id_link(
+            FlushPolicy {
+                max_batch: 8,
+                max_hold: Duration::from_millis(5),
+            },
+            DelayModel::Fixed(1_000),
+            6,
+            crashed,
+        );
+        for i in 0..32 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        h.join().unwrap();
+        let batches: Vec<Vec<u32>> = out.iter().collect();
+        assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 32);
+        assert!(batches.iter().all(|b| b.len() <= 8));
+    }
+
+    #[test]
+    fn batch_delivered_atomically_or_not_at_all_on_crash_during_drain() {
+        // Regression for the shutdown-drain path: the destination crashes
+        // while a flushed batch sits in the delay heap *after* the channel
+        // has disconnected. The drain must re-check the crash flag at
+        // delivery time and drop the whole batch.
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (tx, out, dropped, h) = id_link(
+            FlushPolicy {
+                max_batch: 64,
+                max_hold: Duration::ZERO,
+            },
+            DelayModel::Fixed(50_000), // 50ms in flight
+            2,
+            Arc::clone(&crashed),
+        );
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx); // shutdown: the link is now draining
+        std::thread::sleep(Duration::from_millis(10));
+        crashed.store(true, Ordering::Relaxed); // crash mid-drain
+        h.join().unwrap();
+        assert!(
+            out.iter().next().is_none(),
+            "no partial delivery: the batch crashed with its destination"
+        );
+        assert_eq!(
+            dropped.load(Ordering::Relaxed),
+            10,
+            "all ten messages were accounted as dropped, none delivered"
+        );
     }
 }

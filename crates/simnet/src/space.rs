@@ -10,6 +10,16 @@
 //! operation completes. Runs are a deterministic function of the seed, like
 //! every simulation in this workspace.
 //!
+//! The transport unit is the [`Frame`]: all envelopes staged on one ordered
+//! link `(src, dst)` at the same virtual instant coalesce into a single
+//! frame that crosses the network as one delivery event — one sampled
+//! delay, one shared routing header, delivered atomically (all messages or,
+//! when the destination crashed, none). Per-message control/data bits are
+//! unchanged by framing; the routing saving is visible in
+//! [`NetStats::frame_header_bits`](twobit_proto::NetStats::frame_header_bits)
+//! versus the per-message figure in
+//! [`NetStats::routing_bits`](twobit_proto::NetStats::routing_bits).
+//!
 //! # Examples
 //!
 //! ```
@@ -30,13 +40,13 @@
 //! ```
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, NetStats, OpId, OpOutcome, OpRecord,
+    Automaton, Driver, DriverError, Effects, Envelope, Frame, NetStats, OpId, OpOutcome, OpRecord,
     OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
     WireMessage,
 };
@@ -51,6 +61,7 @@ pub struct SpaceBuilder {
     delay: DelayModel,
     registers: Vec<RegisterId>,
     max_events: u64,
+    flush_hold: SimTime,
 }
 
 impl SpaceBuilder {
@@ -63,6 +74,7 @@ impl SpaceBuilder {
             delay: DelayModel::Fixed(crate::DEFAULT_DELTA),
             registers: vec![RegisterId::ZERO],
             max_events: 50_000_000,
+            flush_hold: 0,
         }
     }
 
@@ -96,6 +108,20 @@ impl SpaceBuilder {
         self
     }
 
+    /// Sets the flush hold window, in virtual ticks — the engine-side
+    /// counterpart of the runtime links' size/ticks `FlushPolicy`:
+    /// envelopes staged on a link wait
+    /// up to this long for company before flushing as one frame. The
+    /// default of 0 coalesces exactly the sends of one virtual instant;
+    /// a window of a fraction of the mean delay batches staggered
+    /// operations too, amortizing the routing header much harder. Either
+    /// way the channel stays a legal asynchronous channel — the hold is
+    /// just extra (bounded) delay.
+    pub fn flush_hold(mut self, ticks: SimTime) -> Self {
+        self.flush_hold = ticks;
+        self
+    }
+
     /// Instantiates one automaton per `(register, process)` pair via `make`
     /// and returns the space. `initial` is the recorded initial value of
     /// every register.
@@ -110,11 +136,14 @@ impl SpaceBuilder {
             .collect();
         SimSpace {
             cfg: self.cfg,
+            tag_bits: RegisterId::routing_bits(self.registers.len()),
             registers: self.registers,
             nodes,
             crashed: vec![false; n],
             now: 0,
             queue: BinaryHeap::new(),
+            staged: BTreeMap::new(),
+            flush_hold: self.flush_hold,
             seq: 0,
             rng: StdRng::seed_from_u64(self.seed),
             delay: self.delay,
@@ -128,12 +157,23 @@ impl SpaceBuilder {
     }
 }
 
+enum SpaceEventKind<M> {
+    /// A frame crossing link `from → to`, due at `at`.
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        frame: Frame<M>,
+    },
+    /// A staged link's hold window expires: coalesce its envelopes into
+    /// one frame and launch it. Exactly one marker is in flight per staged
+    /// link.
+    Flush { from: ProcessId, to: ProcessId },
+}
+
 struct SpaceEvent<M> {
     at: SimTime,
     seq: u64,
-    from: ProcessId,
-    to: ProcessId,
-    env: Envelope<M>,
+    kind: SpaceEventKind<M>,
 }
 
 // Min-heap ordering on (at, seq); BinaryHeap is a max-heap so comparisons
@@ -163,10 +203,18 @@ impl<M> Ord for SpaceEvent<M> {
 pub struct SimSpace<A: Automaton> {
     cfg: SystemConfig,
     registers: Vec<RegisterId>,
+    /// Shard-tag width of the deployment (`⌈log₂ k⌉`), derived once at
+    /// build time and used only for routing accounting.
+    tag_bits: u64,
     nodes: Vec<ShardSet<A>>,
     crashed: Vec<bool>,
     now: SimTime,
     queue: BinaryHeap<SpaceEvent<A::Msg>>,
+    /// Envelopes staged per ordered link, waiting for the link's flush
+    /// marker to coalesce them into one [`Frame`].
+    staged: BTreeMap<(ProcessId, ProcessId), Vec<Envelope<A::Msg>>>,
+    /// How long a staged link waits for more envelopes before flushing.
+    flush_hold: SimTime,
     seq: u64,
     rng: StdRng,
     delay: DelayModel,
@@ -222,34 +270,70 @@ impl<A: Automaton> SimSpace<A> {
         Ok(())
     }
 
-    /// Delivers the next queued message. Returns `Ok(false)` at quiescence.
+    /// Coalesces one staged link's envelopes into a [`Frame`] and queues it
+    /// as a single delivery event with one sampled delay — everything the
+    /// link accumulated during its hold window shares the routing header.
+    fn flush_link(&mut self, from: ProcessId, to: ProcessId) {
+        let Some(envs) = self.staged.remove(&(from, to)) else {
+            return;
+        };
+        let frame = Frame::from_envelopes(envs);
+        self.stats.record_frame(frame.cost(self.tag_bits));
+        let delay = self.delay.sample(&mut self.rng);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(SpaceEvent {
+            at: self.now + delay,
+            seq,
+            kind: SpaceEventKind::Deliver { from, to, frame },
+        });
+    }
+
+    /// Processes the next queued event (a flush marker or a frame
+    /// delivery). Returns `Ok(false)` at quiescence. A staged link always
+    /// has its flush marker in the queue, so quiescence implies nothing is
+    /// staged either.
     fn step(&mut self) -> Result<bool, DriverError> {
         let Some(ev) = self.queue.pop() else {
+            debug_assert!(self.staged.is_empty(), "staged links keep a marker queued");
             return Ok(false);
         };
         debug_assert!(ev.at >= self.now, "time must be monotone");
         self.now = ev.at;
-        self.events += 1;
-        if self.events > self.max_events {
-            return Err(DriverError::Backend(format!(
-                "event limit exceeded ({} events)",
-                self.max_events
-            )));
-        }
-        let pi = ev.to.index();
-        if self.crashed[pi] {
-            self.stats.record_drop_to_crashed();
-        } else {
-            self.stats.record_delivery();
-            let mut fx = Effects::new();
-            self.nodes[pi].on_message(ev.from, ev.env, &mut fx);
-            self.apply_effects(ev.to, fx)?;
+        match ev.kind {
+            SpaceEventKind::Flush { from, to } => {
+                self.flush_link(from, to);
+            }
+            SpaceEventKind::Deliver { from, to, frame } => {
+                self.events += 1;
+                if self.events > self.max_events {
+                    return Err(DriverError::Backend(format!(
+                        "event limit exceeded ({} events)",
+                        self.max_events
+                    )));
+                }
+                let pi = to.index();
+                if self.crashed[pi] {
+                    // Atomic non-delivery: the whole frame is lost with its
+                    // target.
+                    self.stats.record_frame_drop_to_crashed(frame.len() as u64);
+                } else {
+                    // Atomic delivery: every message in the frame is
+                    // handled at this instant, in wire order.
+                    self.stats.record_deliveries(frame.len() as u64);
+                    let mut fx = Effects::new();
+                    for env in frame.into_envelopes() {
+                        self.nodes[pi].on_message(from, env, &mut fx);
+                    }
+                    self.apply_effects(to, fx)?;
+                }
+            }
         }
         Ok(true)
     }
 
-    /// Routes one handler execution's sends into the delivery queue and
-    /// applies its completions to the records.
+    /// Stages one handler execution's sends on their links (arming each
+    /// link's flush marker) and applies its completions to the records.
     fn apply_effects(
         &mut self,
         p: ProcessId,
@@ -257,17 +341,23 @@ impl<A: Automaton> SimSpace<A> {
     ) -> Result<(), DriverError> {
         for (to, env) in fx.drain_sends() {
             debug_assert!(to != p, "protocols must not send to self");
-            self.stats.record_send_for(env.reg, env.kind(), env.cost());
-            let delay = self.delay.sample(&mut self.rng);
-            let seq = self.seq;
-            self.seq += 1;
-            self.queue.push(SpaceEvent {
-                at: self.now + delay,
-                seq,
-                from: p,
-                to,
-                env,
-            });
+            // Per-message cost with the unframed-equivalent tag; the bits
+            // actually on the wire are the frame header, recorded at flush.
+            self.stats
+                .record_send_for(env.reg, env.kind(), env.cost().with_routing(self.tag_bits));
+            let staged = self.staged.entry((p, to)).or_default();
+            if staged.is_empty() {
+                // First envelope on this link: arm its flush marker at the
+                // end of the hold window.
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(SpaceEvent {
+                    at: self.now + self.flush_hold,
+                    seq,
+                    kind: SpaceEventKind::Flush { from: p, to },
+                });
+            }
+            staged.push(env);
         }
         for (op_id, outcome) in fx.drain_completions() {
             let (reg, rec) = self
@@ -403,11 +493,67 @@ mod tests {
         assert_eq!(s.stats().shard(RegisterId::new(2)).sent, 8);
         assert_eq!(s.stats().shard(RegisterId::new(0)).sent, 0);
         assert_eq!(s.stats().total_sent(), 8);
-        // Routing tag: ⌈log₂ 4⌉ = 2 bits per message, control stays intact.
+        // Unframed-equivalent routing: ⌈log₂ 4⌉ = 2 bits per message;
+        // control stays intact. On the wire, each message travelled in a
+        // frame whose header is recorded separately.
         assert_eq!(s.stats().routing_bits(), 16);
+        assert_eq!(s.stats().frames_sent(), 8, "one frame per link crossing");
+        assert_eq!(s.stats().framed_messages(), 8);
+        assert!(s.stats().frame_header_bits() > 0);
         let h = s.history();
         assert_eq!(h.shard(RegisterId::new(2)).unwrap().len(), 1);
         assert_eq!(h.shard(RegisterId::new(0)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn same_instant_same_link_sends_coalesce_into_one_frame() {
+        let mut s = space(2, 9);
+        let p0 = ProcessId::new(0);
+        // Two writes on different registers issued at the same virtual
+        // instant: each peer link carries both PINGs in ONE frame.
+        let t0 = s
+            .invoke(p0, RegisterId::new(0), Operation::Write(1))
+            .unwrap();
+        let t1 = s
+            .invoke(p0, RegisterId::new(1), Operation::Write(2))
+            .unwrap();
+        s.poll(&t0).unwrap();
+        s.poll(&t1).unwrap();
+        s.run_to_quiescence().unwrap();
+        let stats = s.stats();
+        // 4 peers × (1 PING frame out + 1 PONG frame back), 2 messages each.
+        assert_eq!(stats.total_sent(), 16);
+        assert_eq!(stats.frames_sent(), 8);
+        assert_eq!(stats.max_frame_messages(), 2);
+        assert!((stats.messages_per_frame() - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn frames_drop_atomically_to_crashed_destination() {
+        let mut s = space(2, 12);
+        let p0 = ProcessId::new(0);
+        let p4 = ProcessId::new(4);
+        let t0 = s
+            .invoke(p0, RegisterId::new(0), Operation::Write(1))
+            .unwrap();
+        let t1 = s
+            .invoke(p0, RegisterId::new(1), Operation::Write(2))
+            .unwrap();
+        // Crash p4 while the two-message frame to it is still in flight:
+        // both messages vanish together, none is half-delivered.
+        s.crash(p4);
+        s.poll(&t0).unwrap();
+        s.poll(&t1).unwrap();
+        s.run_to_quiescence().unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.dropped_to_crashed(), 2, "whole frame dropped");
+        // 8 PINGs + the 3 live peers' 2 PONGs each; p4 never replies.
+        assert_eq!(stats.total_sent(), 14);
+        assert_eq!(
+            stats.total_delivered() + stats.dropped_to_crashed(),
+            stats.total_sent(),
+            "every sent message is delivered or dropped whole-frame"
+        );
     }
 
     #[test]

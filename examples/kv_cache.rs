@@ -66,9 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     twobit::lincheck::check_swmr_sharded(&store.histories())?;
     let stats = Driver::stats(store.driver());
     println!(
-        "config store: {} msgs, 2 control bits each, {} routing bits total \
+        "config store: {} msgs, 2 control bits each; routing: {} bits of \
+         shared frame headers on the wire vs {} unframed-equivalent \
          (⌈log₂ {}⌉ per msg) — every key atomic",
         stats.total_sent(),
+        stats.frame_header_bits(),
         stats.routing_bits(),
         KEYS.len(),
     );

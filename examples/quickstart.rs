@@ -6,6 +6,25 @@
 //! runtime with chaos links. Both runs are then checked — per register —
 //! by the linearizability checker.
 //!
+//! # Envelopes, frames, and the three kinds of bits
+//!
+//! Every protocol message is wrapped in an `Envelope` naming its target
+//! register, but envelopes never cross a link alone: each ordered link
+//! coalesces whatever is queued into a `Frame` — one wire unit, one
+//! sampled delay, one shared routing header that delta-encodes each shard
+//! tag once per frame instead of once per message. Delivery is atomic:
+//! a frame reaches a live process whole, or dies whole with a crashed one.
+//!
+//! The stats therefore split three ways:
+//!
+//! * `control_bits` — the paper's claim, exactly 2 per message, untouched
+//!   by sharding *and* by framing;
+//! * `routing_bits` — the unframed-equivalent figure: `⌈log₂ k⌉` per
+//!   message, what per-envelope shard tags *would* cost;
+//! * `frame_header_bits` — the routing bits actually on the wire: the
+//!   shared headers, far below `routing_bits` once frames batch (see
+//!   `BENCH_frames.json` for the 64-shard comparison).
+//!
 //! Run with: `cargo run --example quickstart`
 
 use twobit::{
@@ -45,10 +64,12 @@ fn run<D: Driver<Value = u64>>(
     twobit::lincheck::check_swmr_sharded(&sharded)?;
     let stats = driver.stats();
     println!(
-        "{label:8} {} ops, {} msgs, read {after} after 2 crashes, \
-         max {} control bits/msg — atomic",
+        "{label:8} {} ops, {} msgs in {} frames ({:.1} msgs/frame), \
+         read {after} after 2 crashes, max {} control bits/msg — atomic",
         sharded.total_ops(),
         stats.total_sent(),
+        stats.frames_sent(),
+        stats.messages_per_frame(),
         stats.max_msg_control_bits(),
     );
     Ok(())

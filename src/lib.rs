@@ -129,11 +129,11 @@ pub use twobit_simnet as simnet;
 pub use twobit_baselines::{AbdProcess, MwmrProcess, PhasedProcess};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, History, OpId, OpOutcome, OpTicket,
-    Operation, Payload, ProcessId, RegisterId, RegisterSpace, ShardSet, ShardedHistory,
-    SystemConfig, Workload,
+    Automaton, Driver, DriverError, Effects, Envelope, Frame, FrameCost, FrameHeader, History,
+    OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterSpace, ShardSet,
+    ShardedHistory, SystemConfig, Workload,
 };
-pub use twobit_runtime::{ClientError, Cluster, ClusterBuilder, RegisterClient};
+pub use twobit_runtime::{ClientError, Cluster, ClusterBuilder, FlushPolicy, RegisterClient};
 pub use twobit_simnet::{
     ClientPlan, CrashPlan, CrashPoint, DelayModel, SimBuilder, SimSpace, Simulation, SpaceBuilder,
 };

@@ -53,12 +53,16 @@ fn sixty_four_registers_on_five_processes_stay_atomic() {
     }
 
     // Wire accounting: per-shard sends sum to the aggregate, every message
-    // still carries 2 control bits, and the 64-register shard tag is 6 bits.
+    // still carries 2 control bits, and the 64-register shard tag is 6 bits
+    // per message unframed-equivalent — while on the wire the messages
+    // travelled in frames with shared headers.
     let stats = space.driver().stats();
     let shard_sent: u64 = stats.shards().map(|(_, t)| t.sent).sum();
     assert_eq!(shard_sent, stats.total_sent());
     assert_eq!(stats.max_msg_control_bits(), 2);
     assert_eq!(stats.routing_bits(), 6 * stats.total_sent());
+    assert!(stats.frames_sent() > 0, "the cluster's links speak frames");
+    assert!(stats.frame_header_bits() > 0);
 }
 
 #[test]
