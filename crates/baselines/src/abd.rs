@@ -16,6 +16,7 @@
 //! seq. nb" column of Table 1.
 
 use serde::{Deserialize, Serialize};
+use twobit_proto::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
     Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
@@ -99,6 +100,93 @@ impl<V: Payload> WireMessage for AbdMsg<V> {
                 value.data_bits(),
             ),
             AbdMsg::WriteBackAck { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+        }
+    }
+
+    /// Wire size: 3-bit tag, then every sequence number / request id as a
+    /// self-delimiting gamma code (`γ(x+1)`, ≈ twice its bare binary
+    /// width), then the value. The modeled cost uses bare widths, so the
+    /// wire figure is slightly larger — exactly the price ABD's unbounded
+    /// counters pay for being decodable at all, and the gap the two-bit
+    /// algorithm does not have.
+    fn encoded_bits(&self) -> u64 {
+        TAG_BITS
+            + match self {
+                AbdMsg::Write { seq, value } => gamma_bits(seq + 1) + value.encoded_bits(),
+                AbdMsg::WriteAck { seq } => gamma_bits(seq + 1),
+                AbdMsg::ReadQuery { rid } => gamma_bits(rid + 1),
+                AbdMsg::ReadReply { rid, seq, value } | AbdMsg::WriteBack { rid, seq, value } => {
+                    gamma_bits(rid + 1) + gamma_bits(seq + 1) + value.encoded_bits()
+                }
+                AbdMsg::WriteBackAck { rid } => gamma_bits(rid + 1),
+            }
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        match self {
+            AbdMsg::Write { seq, value } => {
+                w.put_bits(0, TAG_BITS as u32);
+                w.put_gamma(seq + 1);
+                value.encode_into(w)
+            }
+            AbdMsg::WriteAck { seq } => {
+                w.put_bits(1, TAG_BITS as u32);
+                w.put_gamma(seq + 1);
+                Ok(())
+            }
+            AbdMsg::ReadQuery { rid } => {
+                w.put_bits(2, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                Ok(())
+            }
+            AbdMsg::ReadReply { rid, seq, value } => {
+                w.put_bits(3, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                w.put_gamma(seq + 1);
+                value.encode_into(w)
+            }
+            AbdMsg::WriteBack { rid, seq, value } => {
+                w.put_bits(4, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                w.put_gamma(seq + 1);
+                value.encode_into(w)
+            }
+            AbdMsg::WriteBackAck { rid } => {
+                w.put_bits(5, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                Ok(())
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let gamma_minus_one =
+            |r: &mut BitReader<'_>| -> Result<u64, WireError> { Ok(r.get_gamma()? - 1) };
+        match r.get_bits(TAG_BITS as u32)? {
+            0 => Ok(AbdMsg::Write {
+                seq: gamma_minus_one(r)?,
+                value: V::decode(r)?,
+            }),
+            1 => Ok(AbdMsg::WriteAck {
+                seq: gamma_minus_one(r)?,
+            }),
+            2 => Ok(AbdMsg::ReadQuery {
+                rid: gamma_minus_one(r)?,
+            }),
+            3 => Ok(AbdMsg::ReadReply {
+                rid: gamma_minus_one(r)?,
+                seq: gamma_minus_one(r)?,
+                value: V::decode(r)?,
+            }),
+            4 => Ok(AbdMsg::WriteBack {
+                rid: gamma_minus_one(r)?,
+                seq: gamma_minus_one(r)?,
+                value: V::decode(r)?,
+            }),
+            5 => Ok(AbdMsg::WriteBackAck {
+                rid: gamma_minus_one(r)?,
+            }),
+            _ => Err(WireError::Malformed("unknown ABD message tag")),
         }
     }
 }

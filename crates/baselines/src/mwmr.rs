@@ -12,6 +12,7 @@
 //! specialized SWMR checker does not apply to multi-writer histories).
 
 use serde::{Deserialize, Serialize};
+use twobit_proto::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
     Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
@@ -40,6 +41,22 @@ impl Timestamp {
 
     fn bits(&self) -> u64 {
         bits_for(self.num) + bits_for(u64::from(self.pid))
+    }
+
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.num + 1) + gamma_bits(u64::from(self.pid) + 1)
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) {
+        w.put_gamma(self.num + 1);
+        w.put_gamma(u64::from(self.pid) + 1);
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let num = r.get_gamma()? - 1;
+        let pid = r.get_gamma()? - 1;
+        let pid = u32::try_from(pid).map_err(|_| WireError::Overflow)?;
+        Ok(Timestamp { num, pid })
     }
 }
 
@@ -98,6 +115,69 @@ impl<V: Payload> WireMessage for MwmrMsg<V> {
                 MessageCost::new(TAG_BITS + bits_for(*rid) + ts.bits(), value.data_bits())
             }
             MwmrMsg::UpdateAck { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+        }
+    }
+
+    /// Wire size: 2-bit tag, gamma-coded request id, gamma-coded timestamp
+    /// pair where present, then the value (gamma ≈ twice the modeled bare
+    /// widths — see the ABD codec notes).
+    fn encoded_bits(&self) -> u64 {
+        TAG_BITS
+            + match self {
+                MwmrMsg::Query { rid } => gamma_bits(rid + 1),
+                MwmrMsg::QueryReply { rid, ts, value } | MwmrMsg::Update { rid, ts, value } => {
+                    gamma_bits(rid + 1) + ts.encoded_bits() + value.encoded_bits()
+                }
+                MwmrMsg::UpdateAck { rid } => gamma_bits(rid + 1),
+            }
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        match self {
+            MwmrMsg::Query { rid } => {
+                w.put_bits(0, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                Ok(())
+            }
+            MwmrMsg::QueryReply { rid, ts, value } => {
+                w.put_bits(1, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                ts.encode_into(w);
+                value.encode_into(w)
+            }
+            MwmrMsg::Update { rid, ts, value } => {
+                w.put_bits(2, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                ts.encode_into(w);
+                value.encode_into(w)
+            }
+            MwmrMsg::UpdateAck { rid } => {
+                w.put_bits(3, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                Ok(())
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        match r.get_bits(TAG_BITS as u32)? {
+            0 => Ok(MwmrMsg::Query {
+                rid: r.get_gamma()? - 1,
+            }),
+            1 => Ok(MwmrMsg::QueryReply {
+                rid: r.get_gamma()? - 1,
+                ts: Timestamp::decode(r)?,
+                value: V::decode(r)?,
+            }),
+            2 => Ok(MwmrMsg::Update {
+                rid: r.get_gamma()? - 1,
+                ts: Timestamp::decode(r)?,
+                value: V::decode(r)?,
+            }),
+            3 => Ok(MwmrMsg::UpdateAck {
+                rid: r.get_gamma()? - 1,
+            }),
+            _ => unreachable!("two-bit tags are exhaustive"),
         }
     }
 }

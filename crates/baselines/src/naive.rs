@@ -12,6 +12,7 @@
 //! the real algorithms are meaningful because this negative control fails.
 
 use serde::{Deserialize, Serialize};
+use twobit_proto::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
     Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
@@ -48,6 +49,44 @@ impl<V: Payload> WireMessage for NaiveMsg<V> {
                 MessageCost::new(1 + bits_for(*seq), value.data_bits())
             }
             NaiveMsg::StoreAck { seq } => MessageCost::new(1 + bits_for(*seq), 0),
+        }
+    }
+
+    /// Wire size: 1-bit tag, gamma-coded sequence number, then the value
+    /// for stores (gamma ≈ twice the modeled bare width — see the ABD
+    /// codec notes).
+    fn encoded_bits(&self) -> u64 {
+        match self {
+            NaiveMsg::Store { seq, value } => 1 + gamma_bits(seq + 1) + value.encoded_bits(),
+            NaiveMsg::StoreAck { seq } => 1 + gamma_bits(seq + 1),
+        }
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        match self {
+            NaiveMsg::Store { seq, value } => {
+                w.put_bit(false);
+                w.put_gamma(seq + 1);
+                value.encode_into(w)
+            }
+            NaiveMsg::StoreAck { seq } => {
+                w.put_bit(true);
+                w.put_gamma(seq + 1);
+                Ok(())
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let ack = r.get_bit()?;
+        let seq = r.get_gamma()? - 1;
+        if ack {
+            Ok(NaiveMsg::StoreAck { seq })
+        } else {
+            Ok(NaiveMsg::Store {
+                seq,
+                value: V::decode(r)?,
+            })
         }
     }
 }

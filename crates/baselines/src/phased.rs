@@ -24,6 +24,7 @@
 //! [`CostProfile`] to match the published figures being emulated.
 
 use serde::{Deserialize, Serialize};
+use twobit_proto::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
     Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
@@ -128,6 +129,22 @@ pub enum PhasedMsg<V> {
     },
 }
 
+impl<V> PhasedMsg<V> {
+    /// The round id every variant carries.
+    fn rid(&self) -> u64 {
+        match self {
+            PhasedMsg::Value { rid, .. }
+            | PhasedMsg::ValueAck { rid }
+            | PhasedMsg::Query { rid }
+            | PhasedMsg::QueryReply { rid, .. }
+            | PhasedMsg::Sync { rid }
+            | PhasedMsg::SyncAck { rid }
+            | PhasedMsg::EchoReq { rid }
+            | PhasedMsg::EchoRelay { rid, .. } => *rid,
+        }
+    }
+}
+
 /// A phased process does not know its padding at the type level, so the
 /// profile's `control_bits_per_msg` is stamped into each message cost by
 /// the automaton when sending (wrapping messages in [`Padded`]); the raw
@@ -156,6 +173,79 @@ impl<V: Payload> WireMessage for PhasedMsg<V> {
             _ => MessageCost::new(3, 0),
         }
     }
+
+    /// Wire size: 3-bit tag, gamma-coded round id, then the variant's
+    /// fields (gamma ≈ twice the modeled bare widths — see the ABD codec
+    /// notes).
+    fn encoded_bits(&self) -> u64 {
+        3 + gamma_bits(self.rid() + 1)
+            + match self {
+                PhasedMsg::Value { seq, value, .. } | PhasedMsg::QueryReply { seq, value, .. } => {
+                    gamma_bits(seq + 1) + value.encoded_bits()
+                }
+                PhasedMsg::EchoRelay { origin, .. } => gamma_bits(origin.index() as u64 + 1),
+                _ => 0,
+            }
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        let tag = match self {
+            PhasedMsg::Value { .. } => 0,
+            PhasedMsg::ValueAck { .. } => 1,
+            PhasedMsg::Query { .. } => 2,
+            PhasedMsg::QueryReply { .. } => 3,
+            PhasedMsg::Sync { .. } => 4,
+            PhasedMsg::SyncAck { .. } => 5,
+            PhasedMsg::EchoReq { .. } => 6,
+            PhasedMsg::EchoRelay { .. } => 7,
+        };
+        w.put_bits(tag, 3);
+        w.put_gamma(self.rid() + 1);
+        match self {
+            PhasedMsg::Value { seq, value, .. } | PhasedMsg::QueryReply { seq, value, .. } => {
+                w.put_gamma(seq + 1);
+                value.encode_into(w)?;
+            }
+            PhasedMsg::EchoRelay { origin, .. } => {
+                w.put_gamma(origin.index() as u64 + 1);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_bits(3)?;
+        let rid = r.get_gamma()? - 1;
+        Ok(match tag {
+            0 | 3 => {
+                let seq = r.get_gamma()? - 1;
+                let value = V::decode(r)?;
+                if tag == 0 {
+                    PhasedMsg::Value { rid, seq, value }
+                } else {
+                    PhasedMsg::QueryReply { rid, seq, value }
+                }
+            }
+            1 => PhasedMsg::ValueAck { rid },
+            2 => PhasedMsg::Query { rid },
+            4 => PhasedMsg::Sync { rid },
+            5 => PhasedMsg::SyncAck { rid },
+            6 => PhasedMsg::EchoReq { rid },
+            7 => {
+                let origin = r.get_gamma()? - 1;
+                let origin = usize::try_from(origin)
+                    .ok()
+                    .filter(|&p| p <= u32::MAX as usize)
+                    .ok_or(WireError::Overflow)?;
+                PhasedMsg::EchoRelay {
+                    rid,
+                    origin: ProcessId::new(origin),
+                }
+            }
+            _ => unreachable!("three-bit tags are exhaustive"),
+        })
+    }
 }
 
 /// A [`PhasedMsg`] stamped with its profile's control padding — this is the
@@ -177,6 +267,55 @@ impl<V: Payload> WireMessage for Padded<V> {
         let base = self.inner.cost();
         // The emulated control structure subsumes the engine's own ids.
         MessageCost::new(self.control_bits.max(base.control_bits), base.data_bits)
+    }
+
+    /// Wire size: the engine message plus the modeled padding as *real*
+    /// zero bits, so a byte transport carries what the emulated algorithm
+    /// would carry — the O(n³)/O(n⁵) control budgets of the bounded
+    /// baselines become measurable bytes, not just a number in a struct.
+    fn encoded_bits(&self) -> u64 {
+        let pad = self.wire_pad_bits();
+        self.inner.encoded_bits() + gamma_bits(pad + 1) + pad
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        self.inner.encode_into(w)?;
+        let pad = self.wire_pad_bits();
+        w.put_gamma(pad + 1);
+        for _ in 0..pad {
+            w.put_bit(false);
+        }
+        Ok(())
+    }
+
+    /// Decoding normalizes the stamp to the *effective* control budget
+    /// (`max(control_bits, engine cost)`) — the quantity `cost()` reports
+    /// either way, so the cost accounting round-trips exactly.
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let inner = PhasedMsg::<V>::decode(r)?;
+        let pad = r.get_gamma()? - 1;
+        if pad > r.remaining_bits() {
+            return Err(WireError::Overflow);
+        }
+        for _ in 0..pad {
+            if r.get_bit()? {
+                return Err(WireError::Malformed("non-zero padding in emulated budget"));
+            }
+        }
+        let control_bits = inner.cost().control_bits + pad;
+        Ok(Padded {
+            inner,
+            control_bits,
+        })
+    }
+}
+
+impl<V: Payload> Padded<V> {
+    /// Padding bits the wire encoding appends beyond the engine message:
+    /// the modeled control budget minus the engine's own control bits.
+    fn wire_pad_bits(&self) -> u64 {
+        self.control_bits
+            .saturating_sub(self.inner.cost().control_bits)
     }
 }
 

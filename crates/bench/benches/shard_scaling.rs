@@ -1,14 +1,25 @@
 //! Shard-count × reader-count scaling of `RegisterSpace` under the framed
-//! transport.
+//! transport — now with the byte-level wire codec in the loop.
 //!
 //! Sweeps the number of hosted registers and the number of reader processes
-//! per register on a 5-process deployment (the sharded deterministic
-//! simulator behind the backend-agnostic `Driver`), measuring wall-clock
-//! cost per operation and wire traffic — and, since the frame refactor, the
-//! framed-vs-unframed routing comparison: `routing_bits_framed` is what the
-//! shared delta-encoded frame headers actually put on the wire,
-//! `routing_bits_unframed` what the same messages' per-envelope shard tags
-//! would have cost (the PR-1 transport preserved in `BENCH_shards.json`).
+//! per register on a 5-process deployment, measuring wall-clock cost per
+//! operation and wire traffic. Since the wire-codec redesign every frame is
+//! actually encoded and decoded (`wire_codec(true)`), so alongside the
+//! framed-vs-unframed routing-bit comparison each row reports
+//! **bytes-on-wire**: the length-prefixed blobs a socket would carry
+//! (`wire_bytes`, and `bytes_per_op`). Three row sources:
+//!
+//! * `simnet` / `uniform` — the historical sweep: one write + `readers`
+//!   reads per register per round, pipelined across shards;
+//! * `simnet` / `zipf95` — workload realism: register popularity drawn
+//!   from a Zipf(1.0) distribution over the shards, 95% reads / 5% writes;
+//! * `tcp` / `uniform` — the same portable workload on the real loopback
+//!   TCP backend (`TcpCluster`), proving the byte path end to end.
+//!
+//! The 64-shard rows also assert the header codec v2 chooser: the
+//! delta/gamma-vs-bitmap mode bit must never lose to forced delta/gamma
+//! (`frame_header_bits ≤ frame_header_gamma_bits`).
+//!
 //! Results land in `BENCH_frames.json` at the workspace root.
 //!
 //! Run with: `cargo bench --bench shard_scaling`
@@ -18,16 +29,23 @@
 use std::time::Instant;
 
 use criterion::{BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use twobit_core::TwoBitProcess;
 use twobit_proto::{
-    Driver, Operation, ProcessId, RegisterId, RegisterSpace, SystemConfig, Workload,
+    Driver, NetStats, Operation, ProcessId, RegisterId, RegisterSpace, SystemConfig, Workload,
 };
 use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder};
+use twobit_transport::TcpClusterBuilder;
 
 const N: usize = 5;
 const SHARD_COUNTS: [usize; 4] = [1, 4, 16, 64];
 const READER_COUNTS: [usize; 3] = [1, 2, 4];
 const ROUNDS: u64 = 4;
+/// Operations per zipfian row (reads + writes).
+const ZIPF_OPS: usize = 400;
+/// Read fraction of the read-mostly mix, in percent.
+const ZIPF_READ_PCT: u64 = 95;
 
 fn build_space(shards: usize, seed: u64) -> RegisterSpace<SimSpace<TwoBitProcess<u64>>> {
     let cfg = SystemConfig::max_resilience(N);
@@ -37,6 +55,9 @@ fn build_space(shards: usize, seed: u64) -> RegisterSpace<SimSpace<TwoBitProcess
         // Hold staged envelopes half the delay bound for company: staggered
         // operations coalesce per link, amortizing the routing header.
         .flush_hold(500)
+        // Route every frame through the byte codec: the run executes on
+        // decoded bytes and `wire_bytes` reports real blob sizes.
+        .wire_codec(true)
         .registers(shards)
         .build(0u64, |reg, id| {
             TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
@@ -66,7 +87,38 @@ fn sweep_workload(shards: usize, readers: usize) -> Workload<u64> {
     w
 }
 
+/// Read-mostly skewed workload: register popularity ~ Zipf(1.0) over the
+/// shards, `ZIPF_READ_PCT`% reads; reader processes rotate per step.
+fn zipf_workload(shards: usize, ops: usize, seed: u64) -> Workload<u64> {
+    // Cumulative Zipf weights (w_r = 1/rank).
+    let mut cum = Vec::with_capacity(shards);
+    let mut total = 0.0f64;
+    for rank in 1..=shards {
+        total += 1.0 / rank as f64;
+        cum.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new();
+    let mut next_value = 1u64;
+    for i in 0..ops {
+        let u: f64 = (rng.gen::<u64>() >> 11) as f64 / (1u64 << 53) as f64 * total;
+        let k = cum.partition_point(|&c| c < u).min(shards - 1);
+        let reg = RegisterId::new(k);
+        let writer = k % N;
+        if rng.gen_range(0u64..100) < ZIPF_READ_PCT {
+            let reader = (writer + 1 + i % (N - 1)) % N;
+            w = w.step(reader, reg, Operation::Read);
+        } else {
+            next_value += 1;
+            w = w.step(writer, reg, Operation::Write(next_value));
+        }
+    }
+    w
+}
+
 struct Row {
+    source: &'static str,
+    mix: &'static str,
     shards: usize,
     readers: usize,
     ops: usize,
@@ -77,6 +129,52 @@ struct Row {
     control_bits: u64,
     routing_bits_unframed: u64,
     routing_bits_framed: u64,
+    routing_bits_framed_gamma: u64,
+    wire_bytes: u64,
+    bytes_per_op: f64,
+}
+
+fn row_from_stats(
+    source: &'static str,
+    mix: &'static str,
+    shards: usize,
+    readers: usize,
+    ops: usize,
+    wall_ns: f64,
+    stats: &NetStats,
+) -> Row {
+    assert_eq!(
+        stats.control_bits(),
+        2 * stats.total_sent(),
+        "the two-bit claim must survive framing and serialization"
+    );
+    if shards == 64 {
+        // Header codec v2 acceptance: the per-frame mode chooser never
+        // loses to always-gamma at the 64-shard row.
+        assert!(
+            stats.frame_header_bits() <= stats.frame_header_gamma_bits(),
+            "chooser {} > forced gamma {} at {shards} shards",
+            stats.frame_header_bits(),
+            stats.frame_header_gamma_bits(),
+        );
+    }
+    Row {
+        source,
+        mix,
+        shards,
+        readers,
+        ops,
+        wall_ns_per_op: wall_ns / ops as f64,
+        msgs: stats.total_sent(),
+        frames: stats.frames_sent(),
+        msgs_per_frame: stats.messages_per_frame(),
+        control_bits: stats.control_bits(),
+        routing_bits_unframed: stats.routing_bits(),
+        routing_bits_framed: stats.frame_header_bits(),
+        routing_bits_framed_gamma: stats.frame_header_gamma_bits(),
+        wire_bytes: stats.wire_bytes(),
+        bytes_per_op: stats.wire_bytes() as f64 / ops as f64,
+    }
 }
 
 fn measure(shards: usize, readers: usize) -> Row {
@@ -88,29 +186,74 @@ fn measure(shards: usize, readers: usize) -> Row {
         .expect("sweep workload runs");
     let wall = t0.elapsed();
     let stats = space.driver().stats();
-    assert_eq!(
-        stats.control_bits(),
-        2 * stats.total_sent(),
-        "the two-bit claim must survive framing"
-    );
-    Row {
+    row_from_stats(
+        "simnet",
+        "uniform",
         shards,
         readers,
-        ops: workload.len(),
-        wall_ns_per_op: wall.as_nanos() as f64 / workload.len() as f64,
-        msgs: stats.total_sent(),
-        frames: stats.frames_sent(),
-        msgs_per_frame: stats.messages_per_frame(),
-        control_bits: stats.control_bits(),
-        routing_bits_unframed: stats.routing_bits(),
-        routing_bits_framed: stats.frame_header_bits(),
-    }
+        workload.len(),
+        wall.as_nanos() as f64,
+        &stats,
+    )
+}
+
+fn measure_zipf(shards: usize) -> Row {
+    let workload = zipf_workload(shards, ZIPF_OPS, 7);
+    let mut space = build_space(shards, 42);
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(space.driver_mut())
+        .expect("zipf workload runs");
+    let wall = t0.elapsed();
+    let stats = space.driver().stats();
+    row_from_stats(
+        "simnet",
+        "zipf95",
+        shards,
+        0,
+        workload.len(),
+        wall.as_nanos() as f64,
+        &stats,
+    )
+}
+
+/// The same portable workload on the real loopback TCP backend: the bytes
+/// column is what `write(2)` handed to the kernel.
+fn measure_tcp(shards: usize, readers: usize) -> Row {
+    let cfg = SystemConfig::max_resilience(N);
+    let workload = sweep_workload(shards, readers);
+    let mut cluster = TcpClusterBuilder::new(cfg)
+        .registers(shards)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(&mut cluster)
+        .expect("workload runs over TCP");
+    let wall = t0.elapsed();
+    let (_, stats) = cluster.shutdown();
+    assert!(
+        stats.wire_bytes() > 0,
+        "TCP rows must populate bytes-on-wire"
+    );
+    row_from_stats(
+        "tcp",
+        "uniform",
+        shards,
+        readers,
+        workload.len(),
+        wall.as_nanos() as f64,
+        &stats,
+    )
 }
 
 fn write_json(rows: &[Row]) {
     let mut out = String::from("{\n  \"bench\": \"shard_scaling_framed\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"backend\": \"simnet-space\", \
+        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"zipf_ops\": {ZIPF_OPS}, \
+         \"zipf_read_pct\": {ZIPF_READ_PCT}, \"wire_codec\": true, \
          \"transport\": \"frames\", \"unframed_baseline\": \"BENCH_shards.json\"}},\n"
     ));
     out.push_str("  \"rows\": [\n");
@@ -126,11 +269,14 @@ fn write_json(rows: &[Row]) {
             )
         };
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"readers\": {}, \"ops\": {}, \
-             \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"frames\": {}, \
+            "    {{\"source\": \"{}\", \"mix\": \"{}\", \"shards\": {}, \"readers\": {}, \
+             \"ops\": {}, \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"frames\": {}, \
              \"msgs_per_frame\": {:.2}, \"control_bits\": {}, \
              \"routing_bits_unframed\": {}, \"routing_bits_framed\": {}, \
-             \"framed_over_unframed\": {}}}{}\n",
+             \"routing_bits_framed_gamma\": {}, \"framed_over_unframed\": {}, \
+             \"wire_bytes\": {}, \"bytes_per_op\": {:.1}}}{}\n",
+            r.source,
+            r.mix,
             r.shards,
             r.readers,
             r.ops,
@@ -141,7 +287,10 @@ fn write_json(rows: &[Row]) {
             r.control_bits,
             r.routing_bits_unframed,
             r.routing_bits_framed,
+            r.routing_bits_framed_gamma,
             ratio,
+            r.wire_bytes,
+            r.bytes_per_op,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -184,9 +333,11 @@ fn main() {
         bench_shard_scaling(&mut c);
     }
     // Single measured pass per point for the JSON trajectory seed.
-    let rows: Vec<Row> = SHARD_COUNTS
+    let mut rows: Vec<Row> = SHARD_COUNTS
         .iter()
         .flat_map(|&s| READER_COUNTS.iter().map(move |&r| measure(s, r)))
         .collect();
+    rows.extend(SHARD_COUNTS.iter().map(|&s| measure_zipf(s)));
+    rows.push(measure_tcp(16, 2));
     write_json(&rows);
 }

@@ -7,6 +7,7 @@
 //! makes this concrete by serializing messages with exactly one 2-bit tag.
 
 use serde::{Deserialize, Serialize};
+use twobit_proto::bits::{BitReader, BitWriter, WireError};
 use twobit_proto::{MessageCost, Payload, WireMessage};
 
 /// Parity of a write sequence number — the alternating bit of §3.3.
@@ -77,6 +78,48 @@ impl<V: Payload> WireMessage for TwoBitMsg<V> {
         match self {
             TwoBitMsg::Write(_, v) => MessageCost::new(2, v.data_bits()),
             TwoBitMsg::Read | TwoBitMsg::Proceed => MessageCost::new(2, 0),
+        }
+    }
+
+    /// The bit-exact wire size: the two-bit type tag plus, for writes, the
+    /// value's own encoding. For fixed-width payloads this equals
+    /// `cost().control_bits + cost().data_bits` exactly — the two-bit claim
+    /// on real bits, not just in the accounting.
+    fn encoded_bits(&self) -> u64 {
+        match self {
+            TwoBitMsg::Write(_, v) => 2 + v.encoded_bits(),
+            TwoBitMsg::Read | TwoBitMsg::Proceed => 2,
+        }
+    }
+
+    /// Layout: tag `00`=WRITE0, `01`=WRITE1, `10`=READ, `11`=PROCEED (the
+    /// same tag values as the legacy byte-aligned [`codec`]), then the
+    /// value bits for writes. Exactly two control bits per message on the
+    /// wire.
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        match self {
+            TwoBitMsg::Write(p, v) => {
+                w.put_bits(u64::from(p.bit()), 2);
+                v.encode_into(w)
+            }
+            TwoBitMsg::Read => {
+                w.put_bits(0b10, 2);
+                Ok(())
+            }
+            TwoBitMsg::Proceed => {
+                w.put_bits(0b11, 2);
+                Ok(())
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        match r.get_bits(2)? {
+            0b00 => Ok(TwoBitMsg::Write(Parity::Even, V::decode(r)?)),
+            0b01 => Ok(TwoBitMsg::Write(Parity::Odd, V::decode(r)?)),
+            0b10 => Ok(TwoBitMsg::Read),
+            0b11 => Ok(TwoBitMsg::Proceed),
+            _ => unreachable!("two-bit tags are exhaustive"),
         }
     }
 }
@@ -212,6 +255,30 @@ mod tests {
         assert_eq!(TwoBitMsg::Write(Parity::Even, 1u64).cost().data_bits, 64);
         assert_eq!(TwoBitMsg::<u64>::Read.cost().data_bits, 0);
         assert_eq!(TwoBitMsg::<u64>::Proceed.cost().data_bits, 0);
+    }
+
+    #[test]
+    fn bit_codec_roundtrips_with_exactly_two_control_bits() {
+        use twobit_proto::bits::{BitReader, BitWriter};
+        let msgs: Vec<TwoBitMsg<u64>> = vec![
+            TwoBitMsg::Write(Parity::Even, u64::MAX),
+            TwoBitMsg::Write(Parity::Odd, 0),
+            TwoBitMsg::Read,
+            TwoBitMsg::Proceed,
+        ];
+        for msg in msgs {
+            let mut w = BitWriter::new();
+            msg.encode_into(&mut w).unwrap();
+            assert_eq!(w.bit_len(), msg.encoded_bits(), "{msg:?}");
+            // The wire size IS the modeled cost: 2 control bits + data.
+            let c = msg.cost();
+            assert_eq!(msg.encoded_bits(), c.control_bits + c.data_bits);
+            assert_eq!(msg.encoded_bits() - c.data_bits, 2, "two bits, on-wire");
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(TwoBitMsg::<u64>::decode(&mut r).unwrap(), msg);
+            assert_eq!(r.bits_read(), msg.encoded_bits());
+        }
     }
 
     #[test]

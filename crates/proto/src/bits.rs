@@ -1,0 +1,328 @@
+//! Bit-granular wire I/O: the substrate of the byte-level codec.
+//!
+//! The paper's headline figure is *bits*, so the wire format is specified in
+//! bits, not bytes: a frame is one contiguous bit stream (routing header,
+//! then every message back to back) zero-padded to a byte boundary only at
+//! the very end. [`BitWriter`] and [`BitReader`] are the MSB-first cursor
+//! types every [`WireMessage`](crate::WireMessage) and
+//! [`Payload`](crate::Payload) codec writes to and reads from;
+//! [`gamma_bits`] sizes the self-delimiting Elias-gamma codes used wherever
+//! a value has no fixed width (routing gaps, group counts, sequence
+//! numbers of the baselines).
+
+use std::fmt;
+
+/// Error surfaced by the wire codec (bit I/O, header, frame, message and
+/// payload decoders).
+///
+/// Re-exported as `FrameDecodeError` for continuity with the pre-codec API,
+/// which only had the header decoder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The stream ended inside a code or a declared field.
+    Truncated,
+    /// A decoded value overflows its domain, or a declared count/length
+    /// exceeds what the remaining input could possibly hold (rejected
+    /// *before* any allocation is sized from it).
+    Overflow,
+    /// The type does not implement the byte-level codec (it only carries
+    /// modeled costs). Only codec-capable messages can cross a byte
+    /// transport.
+    Unsupported(&'static str),
+    /// The input is structurally invalid (non-canonical header, non-zero
+    /// padding, bad UTF-8 payload, ...).
+    Malformed(&'static str),
+    /// The frame's length prefix disagrees with the buffer it arrived in.
+    LengthMismatch,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire stream truncated mid-code"),
+            WireError::Overflow => write!(f, "wire value out of domain or count exceeds input"),
+            WireError::Unsupported(what) => {
+                write!(f, "no byte-level wire codec for {what}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed wire input: {what}"),
+            WireError::LengthMismatch => {
+                write!(f, "frame length prefix disagrees with buffer length")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Elias-gamma code length for `x ≥ 1`: `2⌊log₂ x⌋ + 1` bits.
+///
+/// # Panics
+///
+/// Panics if `x == 0` (gamma codes start at 1; encode `x + 1` for domains
+/// containing zero).
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::bits::gamma_bits;
+///
+/// assert_eq!(gamma_bits(1), 1);
+/// assert_eq!(gamma_bits(2), 3);
+/// assert_eq!(gamma_bits(255), 15);
+/// ```
+pub fn gamma_bits(x: u64) -> u64 {
+    assert!(x >= 1, "gamma codes start at 1");
+    2 * u64::from(63 - x.leading_zeros()) + 1
+}
+
+/// MSB-first bit sink.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::bits::{BitReader, BitWriter};
+///
+/// let mut w = BitWriter::default();
+/// w.put_bits(0b10, 2);
+/// w.put_gamma(5);
+/// assert_eq!(w.bit_len(), 2 + 5);
+/// let bytes = w.into_bytes();
+/// let mut r = BitReader::new(&bytes);
+/// assert_eq!(r.get_bits(2).unwrap(), 0b10);
+/// assert_eq!(r.get_gamma().unwrap(), 5);
+/// ```
+#[derive(Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the last byte (0 ⇒ last byte full / none yet).
+    used: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends one bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= 1 << (7 - self.used);
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Appends the `n` low bits of `x`, most significant first (`n ≤ 64`).
+    pub fn put_bits(&mut self, x: u64, n: u32) {
+        assert!(n <= 64, "at most 64 bits per call");
+        for i in (0..n).rev() {
+            self.put_bit(x & (1u64 << i) != 0);
+        }
+    }
+
+    /// Elias gamma: `N` zeros, then the `N+1` significant bits of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn put_gamma(&mut self, x: u64) {
+        assert!(x >= 1, "gamma codes start at 1");
+        let n = 63 - x.leading_zeros();
+        for _ in 0..n {
+            self.put_bit(false);
+        }
+        for i in (0..=n).rev() {
+            self.put_bit(x & (1 << i) != 0);
+        }
+    }
+
+    /// Bits written so far (before the final byte's zero padding).
+    pub fn bit_len(&self) -> u64 {
+        if self.used == 0 {
+            self.bytes.len() as u64 * 8
+        } else {
+            (self.bytes.len() as u64 - 1) * 8 + u64::from(self.used)
+        }
+    }
+
+    /// Finishes the stream, zero-padding the last byte.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit source over a byte slice.
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at end of input.
+    pub fn get_bit(&mut self) -> Result<bool, WireError> {
+        let byte = self
+            .bytes
+            .get((self.pos / 8) as usize)
+            .ok_or(WireError::Truncated)?;
+        let bit = byte & (1 << (7 - self.pos % 8)) != 0;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n ≤ 64` bits, most significant first.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `n` bits remain.
+    pub fn get_bits(&mut self, n: u32) -> Result<u64, WireError> {
+        assert!(n <= 64, "at most 64 bits per call");
+        if u64::from(n) > self.remaining_bits() {
+            // Fail without moving the cursor so callers can report cleanly.
+            return Err(WireError::Truncated);
+        }
+        let mut x = 0u64;
+        for _ in 0..n {
+            x = (x << 1) | u64::from(self.get_bit()?);
+        }
+        Ok(x)
+    }
+
+    /// Reads one Elias-gamma code.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] mid-code; [`WireError::Overflow`] if the
+    /// unary prefix exceeds the 64-bit domain.
+    pub fn get_gamma(&mut self) -> Result<u64, WireError> {
+        let mut n = 0u32;
+        while !self.get_bit()? {
+            n += 1;
+            if n > 63 {
+                return Err(WireError::Overflow);
+            }
+        }
+        let mut x = 1u64;
+        for _ in 0..n {
+            x = (x << 1) | u64::from(self.get_bit()?);
+        }
+        Ok(x)
+    }
+
+    /// Bits consumed so far.
+    pub fn bits_read(&self) -> u64 {
+        self.pos
+    }
+
+    /// Bits left in the input (final-byte padding included).
+    pub fn remaining_bits(&self) -> u64 {
+        (self.bytes.len() as u64 * 8).saturating_sub(self.pos)
+    }
+
+    /// Consumes the final-byte zero padding, rejecting a stream with a
+    /// non-zero pad bit or a whole byte of slack (which would mean the
+    /// declared length was wrong, not that the stream was padded).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] on non-zero padding or ≥ 8 leftover bits.
+    pub fn expect_zero_padding(&mut self) -> Result<(), WireError> {
+        if self.remaining_bits() >= 8 {
+            return Err(WireError::Malformed("more than a byte of trailing slack"));
+        }
+        while self.remaining_bits() > 0 {
+            if self.get_bit()? {
+                return Err(WireError::Malformed("non-zero padding bit"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_len_tracks_partial_bytes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.put_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.put_bits(0xAB, 8);
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bit().unwrap());
+        assert_eq!(r.get_bits(8).unwrap(), 0xAB);
+        assert_eq!(r.bits_read(), 9);
+        assert_eq!(r.remaining_bits(), 7);
+        r.expect_zero_padding().unwrap();
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        for x in [0u64, 1, 0xFFFF_FFFF_FFFF_FFFF, 0x0123_4567_89AB_CDEF] {
+            let mut w = BitWriter::new();
+            w.put_bits(x, 64);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.get_bits(64).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn gamma_roundtrip_and_lengths() {
+        for (x, bits) in [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15)] {
+            assert_eq!(gamma_bits(x), bits, "γ({x})");
+            let mut w = BitWriter::new();
+            w.put_gamma(x);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(r.get_gamma().unwrap(), x);
+            assert_eq!(r.bits_read(), bits);
+        }
+    }
+
+    #[test]
+    fn truncated_reads_are_typed() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.get_bit(), Err(WireError::Truncated));
+        let mut r = BitReader::new(&[0x80]);
+        assert_eq!(r.get_bits(16), Err(WireError::Truncated));
+        assert_eq!(r.bits_read(), 0, "failed get_bits must not consume");
+        // All-zeros never terminates a gamma code.
+        let mut r = BitReader::new(&[0x00]);
+        assert_eq!(r.get_gamma(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn padding_is_policed() {
+        let mut r = BitReader::new(&[0b1000_0001]);
+        assert!(r.get_bit().unwrap());
+        assert_eq!(
+            r.expect_zero_padding(),
+            Err(WireError::Malformed("non-zero padding bit"))
+        );
+        let mut r = BitReader::new(&[0x80, 0x00]);
+        assert!(r.get_bit().unwrap());
+        assert_eq!(
+            r.expect_zero_padding(),
+            Err(WireError::Malformed("more than a byte of trailing slack"))
+        );
+    }
+}

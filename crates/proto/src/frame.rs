@@ -1,5 +1,5 @@
 //! Frame-based batching transport: coalesce envelopes per link with a
-//! shared routing header.
+//! shared routing header — and a full byte-level codec.
 //!
 //! The per-register protocol needs only two control bits per message, but a
 //! multi-register deployment adds a shard tag to every
@@ -12,23 +12,40 @@
 //! * messages are grouped by register and the groups sorted by
 //!   [`RegisterId`], so each shard tag appears **once per frame** instead of
 //!   once per message;
-//! * the tag sequence is delta-encoded (sorted gaps are small) with
-//!   self-delimiting Elias-gamma codes, so the header needs no out-of-band
-//!   length information — see [`FrameHeader`];
+//! * the tag sequence is encoded by whichever of two schemes is smaller per
+//!   frame — delta/Elias-gamma gaps (sorted gaps are small) or a span
+//!   bitmap (dense-but-gappy tag sets) — selected by a one-bit mode flag,
+//!   see [`FrameHeader`];
 //! * within a group, messages keep their send order, which is all the
 //!   protocol can rely on anyway (channels are not FIFO, and registers are
 //!   independent).
 //!
-//! [`FrameCost`] reports the amortized routing bits (`header_bits`)
-//! alongside the untouched per-message control bits, plus the
-//! per-message-tag figure the same messages would have cost unframed —
-//! the framed-vs-unframed comparison the benchmarks and
-//! [`NetStats`](crate::NetStats) expose.
+//! Since the wire-codec redesign a frame is not just an accounting unit but
+//! a real byte blob: [`Frame::encode`] serializes the header and every
+//! message (via [`WireMessage::encode_into`]) into one contiguous,
+//! length-prefixed bit stream, and [`Frame::decode`] parses it back with
+//! every declared count bounds-checked against the remaining input *before*
+//! any allocation. [`FrameCost`] reports the amortized routing bits
+//! (`header_bits`) alongside the untouched per-message control bits, plus
+//! the per-message-tag figure the same messages would have cost unframed —
+//! and the encoded blob reconciles bit-for-bit with that accounting on
+//! multi-register deployments (see `docs/wire-format.md`; a
+//! single-register space accounts 0 routing bits by convention — nothing
+//! to route, like the unframed transport — while the blob still carries
+//! the small self-describing header skeleton).
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
+use crate::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use crate::id::RegisterId;
 use crate::wire::{Envelope, WireMessage};
+
+/// Error type of the frame and header decoders.
+///
+/// Kept as an alias of the codec-wide [`WireError`] so pre-codec code
+/// matching on `FrameDecodeError::Truncated` / `::Overflow` still compiles.
+pub type FrameDecodeError = WireError;
 
 /// One register's run of messages inside a [`Frame`].
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,12 +57,13 @@ struct FrameGroup<M> {
 /// A batch of enveloped messages for one ordered link, sharing one routing
 /// header.
 ///
-/// Frames are the transport unit of both execution substrates: the
+/// Frames are the transport unit of every execution substrate: the
 /// deterministic simulator coalesces all envelopes staged on a link at the
 /// same virtual instant, the live runtime's links coalesce under a
-/// flush policy. A frame is delivered **atomically**: either every message
-/// in it reaches the destination (in group order) or — if the destination
-/// crashed — none does.
+/// flush policy, and the TCP backend writes each frame as one
+/// length-prefixed byte blob ([`Frame::encode`]). A frame is delivered
+/// **atomically**: either every message in it reaches the destination (in
+/// group order) or — if the destination crashed — none does.
 ///
 /// # Examples
 ///
@@ -68,7 +86,7 @@ struct FrameGroup<M> {
 /// assert_eq!(frame.group_count(), 2); // r1 and r5
 ///
 /// // The shared header replaces three 3-bit shard tags (for, say, an
-/// // 8-register space) with one delta-encoded tag sequence.
+/// // 8-register space) with one shared tag sequence.
 /// let cost = frame.cost(RegisterId::routing_bits(8));
 /// assert_eq!(cost.control_bits, 6); // untouched: 2 bits per message
 /// assert_eq!(cost.unframed_routing_bits, 9);
@@ -151,6 +169,18 @@ impl<M> Frame<M> {
     }
 }
 
+/// Maximum frame body a decoder will accept (bytes). Generous for any batch
+/// the flush policies produce; small enough that a hostile length prefix
+/// cannot size a pathological allocation.
+pub const MAX_FRAME_BODY_BYTES: u32 = 1 << 26; // 64 MiB
+
+/// Largest element count a decoder pre-reserves from a declared count.
+/// Declared counts are bounded by the remaining input *bits*, but decoded
+/// elements are 16–24 bytes each — reserving bit-bounded counts verbatim
+/// would let a small hostile blob demand allocations two orders of
+/// magnitude larger than itself. Anything longer grows organically.
+const DECODE_RESERVE_CAP: usize = 4096;
+
 impl<M: WireMessage> Frame<M> {
     /// Wire cost of this frame. `per_msg_routing_bits` is the shard-tag
     /// width of the hosting space (`⌈log₂ k⌉`, see
@@ -168,17 +198,116 @@ impl<M: WireMessage> Frame<M> {
             data += c.data_bits;
         }
         let messages = self.len() as u64;
+        let (header_bits, header_gamma_bits) = if per_msg_routing_bits == 0 {
+            (0, 0)
+        } else {
+            let h = self.header();
+            (h.bits(), h.bits_gamma())
+        };
         FrameCost {
             messages,
-            header_bits: if per_msg_routing_bits == 0 {
-                0
-            } else {
-                self.header().bits()
-            },
+            header_bits,
+            header_gamma_bits,
             control_bits: control,
             data_bits: data,
             unframed_routing_bits: messages * per_msg_routing_bits,
         }
+    }
+
+    /// Exact size of [`Frame::encode`]'s body in bits (header plus every
+    /// message, before byte padding and without the 32-bit length prefix).
+    pub fn encoded_bits(&self) -> u64 {
+        self.header().bits() + self.iter().map(|(_, m)| m.encoded_bits()).sum::<u64>()
+    }
+
+    /// Serializes the frame into one length-prefixed byte blob:
+    ///
+    /// ```text
+    /// u32 BE body length · body
+    /// body := header bits · message bits (wire order) · zero pad to byte
+    /// ```
+    ///
+    /// The 32-bit prefix is stream framing (it lets a TCP reader slice the
+    /// stream into frames); it is not part of the three accounted bit
+    /// classes. The body reconciles exactly with [`FrameHeader::bits`] plus
+    /// each message's [`WireMessage::encoded_bits`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Unsupported`] if the message type has no byte-level
+    /// codec; [`WireError::Overflow`] if the body exceeds
+    /// [`MAX_FRAME_BODY_BYTES`].
+    pub fn encode(&self) -> Result<Bytes, WireError> {
+        let mut w = BitWriter::new();
+        self.header().encode_into(&mut w);
+        for (_, m) in self.iter() {
+            m.encode_into(&mut w)?;
+        }
+        let body = w.into_bytes();
+        let len = u32::try_from(body.len()).map_err(|_| WireError::Overflow)?;
+        if len > MAX_FRAME_BODY_BYTES {
+            return Err(WireError::Overflow);
+        }
+        let mut blob = Vec::with_capacity(4 + body.len());
+        blob.extend_from_slice(&len.to_be_bytes());
+        blob.extend_from_slice(&body);
+        Ok(Bytes::from(blob))
+    }
+
+    /// Parses one blob produced by [`Frame::encode`] (length prefix
+    /// included; the buffer must contain exactly one frame).
+    ///
+    /// Hardened against hostile input: the length prefix must match the
+    /// buffer, the declared group and message counts are bounded by the
+    /// remaining input *before* any allocation is sized from them, and the
+    /// final-byte padding must be zero.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::LengthMismatch`] if the prefix disagrees with the
+    /// buffer; [`WireError::Truncated`] / [`WireError::Overflow`] /
+    /// [`WireError::Malformed`] on a corrupt body;
+    /// [`WireError::Unsupported`] if the message type has no codec.
+    pub fn decode(blob: &[u8]) -> Result<Frame<M>, WireError> {
+        if blob.len() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let (prefix, body) = blob.split_at(4);
+        let declared = u32::from_be_bytes(prefix.try_into().expect("split at 4"));
+        if declared > MAX_FRAME_BODY_BYTES {
+            return Err(WireError::Overflow);
+        }
+        if declared as usize != body.len() {
+            return Err(WireError::LengthMismatch);
+        }
+        let mut r = BitReader::new(body);
+        let header = FrameHeader::decode_from(&mut r)?;
+        // Bound the total message count by the remaining input before
+        // allocating any group: every encodable message is at least one
+        // bit. The sum must be overflow-checked — the per-group counts are
+        // attacker-controlled u64s, and a wrapped sum would sail past the
+        // bound.
+        let declared_messages = header
+            .groups
+            .iter()
+            .try_fold(0u64, |acc, &(_, c)| acc.checked_add(c))
+            .ok_or(WireError::Overflow)?;
+        if declared_messages > r.remaining_bits() {
+            return Err(WireError::Overflow);
+        }
+        let mut groups = Vec::with_capacity(header.groups.len());
+        for &(reg, count) in &header.groups {
+            // `count ≤ remaining bits` caps it at 2²⁹, but elements are
+            // wider than a bit — never let a declared count pre-reserve
+            // more than a sane chunk; longer groups grow organically.
+            let mut msgs = Vec::with_capacity((count as usize).min(DECODE_RESERVE_CAP));
+            for _ in 0..count {
+                msgs.push(M::decode(&mut r)?);
+            }
+            groups.push(FrameGroup { reg, msgs });
+        }
+        r.expect_zero_padding()?;
+        Ok(Frame { groups })
     }
 }
 
@@ -188,9 +317,14 @@ impl<M: WireMessage> Frame<M> {
 pub struct FrameCost {
     /// Messages carried by the frame.
     pub messages: u64,
-    /// Bits of the shared, delta-encoded routing header — the *amortized*
-    /// routing cost of the whole frame.
+    /// Bits of the shared routing header as actually encoded — the
+    /// *amortized* routing cost of the whole frame, with the per-frame
+    /// delta/gamma-vs-bitmap chooser applied.
     pub header_bits: u64,
+    /// What the header would cost with the delta/gamma mode forced — the
+    /// pre-chooser (header codec v1) comparison figure. Always ≥
+    /// `header_bits`.
+    pub header_gamma_bits: u64,
     /// Sum of the inner messages' control bits (two per message for the
     /// paper's algorithm — framing never touches them).
     pub control_bits: u64,
@@ -215,41 +349,31 @@ impl FrameCost {
     }
 }
 
-/// Error returned by [`FrameHeader::decode`] on a malformed bit stream.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum FrameDecodeError {
-    /// The stream ended inside a gamma code.
-    Truncated,
-    /// A decoded value overflows the register-id or count domain.
-    Overflow,
-}
-
-impl std::fmt::Display for FrameDecodeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FrameDecodeError::Truncated => write!(f, "frame header truncated mid-code"),
-            FrameDecodeError::Overflow => write!(f, "frame header value out of domain"),
-        }
-    }
-}
-
-impl std::error::Error for FrameDecodeError {}
-
 /// The shared routing header of a [`Frame`]: the addressed registers (in id
 /// order) with their message counts.
 ///
-/// The wire encoding is a sequence of self-delimiting Elias-gamma codes —
-/// no length prefixes, no alignment padding until the final byte:
+/// The wire encoding starts with the gamma-coded group count; a non-empty
+/// header then carries one **mode bit** selecting whichever of two tag
+/// encodings is smaller for this frame (ROADMAP "Header codec v2"):
 ///
 /// ```text
-/// γ(d+1)  ·  γ(tag₀+1) γ(c₀)  ·  γ(tag₁−tag₀) γ(c₁)  ·  …
+/// γ(d+1)  ·  mode  ·  body            (mode/body absent when d = 0)
+///
+/// mode 0 (delta/gamma):
+///   γ(tag₀+1) γ(c₀)  ·  γ(tag₁−tag₀) γ(c₁)  ·  …
+/// mode 1 (span bitmap):
+///   γ(tag₀+1) γ(span)  ·  bitmap[span]  ·  γ(c₀) … γ(c_{d−1})
 /// ```
 ///
 /// where `d` is the group count, `tagᵢ` the sorted register ids, `cᵢ` the
-/// per-group message counts, and `γ(x) = 2⌊log₂ x⌋ + 1` bits. Sorting makes
-/// every tag after the first a small positive *gap*, which gamma codes in
-/// one or three bits for adjacent shards — this is where the amortization
-/// comes from.
+/// per-group message counts, `span = tag_{d−1} − tag₀ + 1`, and
+/// `γ(x) = 2⌊log₂ x⌋ + 1` bits. Sorted gaps gamma-code in one bit for
+/// adjacent shards — near-optimal for dense runs — while the bitmap wins
+/// when tags are regular but gapped (`≈ γ(gap)` per tag otherwise). The
+/// encoder computes both sizes and picks the smaller, so the chosen
+/// encoding never exceeds forced-gamma by more than the mode bit, and
+/// [`FrameHeader::bits_gamma`] exposes the forced-gamma figure for
+/// comparison.
 ///
 /// # Examples
 ///
@@ -278,12 +402,6 @@ pub struct FrameHeader {
     pub groups: Vec<(RegisterId, u64)>,
 }
 
-/// Elias-gamma code length for `x ≥ 1`: `2⌊log₂ x⌋ + 1` bits.
-fn gamma_bits(x: u64) -> u64 {
-    assert!(x >= 1, "gamma codes start at 1");
-    2 * u64::from(63 - x.leading_zeros()) + 1
-}
-
 impl FrameHeader {
     /// The gamma code of each group's register tag: the first tag absolute
     /// (offset by one so tag 0 is encodable), every later one as its gap
@@ -306,13 +424,10 @@ impl FrameHeader {
         }
     }
 
-    /// Exact size of the encoded header in bits (before byte padding).
-    ///
-    /// # Panics
-    ///
-    /// As for a malformed hand-built header — see [`FrameHeader::encode`].
-    pub fn bits(&self) -> u64 {
-        let mut bits = gamma_bits(self.groups.len() as u64 + 1);
+    /// Size of the delta/gamma body (mode 0), sans count prefix and mode
+    /// bit.
+    fn gamma_body_bits(&self) -> u64 {
+        let mut bits = 0;
         let mut prev: Option<RegisterId> = None;
         for &(reg, count) in &self.groups {
             assert!(count >= 1, "frame header groups must carry messages");
@@ -322,148 +437,208 @@ impl FrameHeader {
         bits
     }
 
-    /// Encodes the header into bytes (final byte zero-padded).
+    /// Size of the span-bitmap body (mode 1), sans count prefix and mode
+    /// bit. `None` for an empty header (no bitmap mode exists there).
+    fn bitmap_body_bits(&self) -> Option<u64> {
+        let (first, _) = *self.groups.first()?;
+        let (last, _) = *self.groups.last()?;
+        // Walk the groups to enforce the sorted invariant exactly like the
+        // gamma body does.
+        let mut counts = 0;
+        let mut prev: Option<RegisterId> = None;
+        for &(reg, count) in &self.groups {
+            assert!(count >= 1, "frame header groups must carry messages");
+            let _ = Self::tag_code(prev, reg);
+            counts += gamma_bits(count);
+            prev = Some(reg);
+        }
+        let span = last.index() as u64 - first.index() as u64 + 1;
+        Some(gamma_bits(first.index() as u64 + 1) + gamma_bits(span) + span + counts)
+    }
+
+    /// Exact size of the encoded header in bits (before byte padding), with
+    /// the per-frame mode chooser applied.
+    ///
+    /// # Panics
+    ///
+    /// As for a malformed hand-built header — see [`FrameHeader::encode`].
+    pub fn bits(&self) -> u64 {
+        let prefix = gamma_bits(self.groups.len() as u64 + 1);
+        match self.bitmap_body_bits() {
+            None => prefix,
+            Some(bitmap) => prefix + 1 + bitmap.min(self.gamma_body_bits()),
+        }
+    }
+
+    /// Size of the header with the delta/gamma mode forced — what the
+    /// pre-chooser codec would emit plus the mode bit. The chooser's
+    /// [`FrameHeader::bits`] never exceeds this.
+    pub fn bits_gamma(&self) -> u64 {
+        let prefix = gamma_bits(self.groups.len() as u64 + 1);
+        if self.groups.is_empty() {
+            prefix
+        } else {
+            prefix + 1 + self.gamma_body_bits()
+        }
+    }
+
+    /// Encodes the header into `w` (no byte padding; the caller finishes
+    /// the stream).
     ///
     /// # Panics
     ///
     /// Panics on a header violating the type's invariant (register ids not
     /// strictly increasing, or a zero message count) — constructible only
     /// by hand or via deserialization; [`Frame::header`] always upholds it.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut w = BitWriter::default();
+    pub fn encode_into(&self, w: &mut BitWriter) {
         w.put_gamma(self.groups.len() as u64 + 1);
-        let mut prev: Option<RegisterId> = None;
-        for &(reg, count) in &self.groups {
-            assert!(count >= 1, "frame header groups must carry messages");
-            w.put_gamma(Self::tag_code(prev, reg));
-            w.put_gamma(count);
-            prev = Some(reg);
+        let Some(bitmap) = self.bitmap_body_bits() else {
+            return;
+        };
+        if self.gamma_body_bits() <= bitmap {
+            w.put_bit(false); // mode 0: delta/gamma
+            let mut prev: Option<RegisterId> = None;
+            for &(reg, count) in &self.groups {
+                w.put_gamma(Self::tag_code(prev, reg));
+                w.put_gamma(count);
+                prev = Some(reg);
+            }
+        } else {
+            w.put_bit(true); // mode 1: span bitmap
+            let (first, _) = self.groups[0];
+            let (last, _) = *self.groups.last().expect("non-empty");
+            let span = last.index() as u64 - first.index() as u64 + 1;
+            w.put_gamma(first.index() as u64 + 1);
+            w.put_gamma(span);
+            let mut present = self.groups.iter().map(|&(r, _)| r).peekable();
+            for offset in 0..span {
+                let hit = present
+                    .peek()
+                    .is_some_and(|r| r.index() as u64 == first.index() as u64 + offset);
+                if hit {
+                    present.next();
+                }
+                w.put_bit(hit);
+            }
+            for &(_, count) in &self.groups {
+                w.put_gamma(count);
+            }
         }
+    }
+
+    /// Encodes the header into bytes (final byte zero-padded).
+    ///
+    /// # Panics
+    ///
+    /// As for [`FrameHeader::encode_into`].
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.encode_into(&mut w);
         w.into_bytes()
+    }
+
+    /// Decodes a header from the front of `r`, leaving the cursor after
+    /// its last code.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if the stream ends mid-code;
+    /// [`WireError::Overflow`] if a count exceeds what the remaining input
+    /// could hold or a tag leaves its domain; [`WireError::Malformed`] on a
+    /// non-canonical bitmap.
+    pub fn decode_from(r: &mut BitReader<'_>) -> Result<FrameHeader, WireError> {
+        let d = r.get_gamma()?.checked_sub(1).ok_or(WireError::Overflow)?;
+        // Domain check before trusting d with an allocation: every group
+        // needs at least two more bits (a tag code and a count code), so a
+        // count the remaining input cannot possibly hold is malformed —
+        // not merely truncated — input. The reserve cap keeps even a
+        // bit-plausible d from pre-sizing allocations much larger than the
+        // blob that declared it.
+        if d > r.remaining_bits() / 2 {
+            return Err(WireError::Overflow);
+        }
+        if d == 0 {
+            return Ok(FrameHeader { groups: Vec::new() });
+        }
+        let mut groups = Vec::with_capacity((d as usize).min(DECODE_RESERVE_CAP));
+        if !r.get_bit()? {
+            // Mode 0: delta/gamma.
+            let mut prev: Option<u64> = None;
+            for _ in 0..d {
+                let tag_code = r.get_gamma()?;
+                let tag = match prev {
+                    None => tag_code.checked_sub(1).ok_or(WireError::Overflow)?,
+                    Some(p) => {
+                        if tag_code == 0 {
+                            return Err(WireError::Overflow);
+                        }
+                        p.checked_add(tag_code).ok_or(WireError::Overflow)?
+                    }
+                };
+                if tag > u64::from(u32::MAX) {
+                    return Err(WireError::Overflow);
+                }
+                let count = r.get_gamma()?;
+                if count == 0 {
+                    return Err(WireError::Overflow);
+                }
+                groups.push((RegisterId::new(tag as usize), count));
+                prev = Some(tag);
+            }
+        } else {
+            // Mode 1: span bitmap.
+            let first = r.get_gamma()?.checked_sub(1).ok_or(WireError::Overflow)?;
+            let span = r.get_gamma()?;
+            if span < d || span > r.remaining_bits() {
+                return Err(WireError::Overflow);
+            }
+            let last = first.checked_add(span - 1).ok_or(WireError::Overflow)?;
+            if last > u64::from(u32::MAX) {
+                return Err(WireError::Overflow);
+            }
+            let mut tags = Vec::with_capacity((d as usize).min(DECODE_RESERVE_CAP));
+            for offset in 0..span {
+                let present = r.get_bit()?;
+                if present {
+                    // Reject the moment the popcount exceeds the declared
+                    // group count — a span-sized all-ones bitmap must not
+                    // get to accumulate span tags before the final check.
+                    if tags.len() as u64 == d {
+                        return Err(WireError::Malformed("bitmap popcount != group count"));
+                    }
+                    tags.push(first + offset);
+                }
+                if (offset == 0 || offset == span - 1) && !present {
+                    return Err(WireError::Malformed("bitmap span not tight"));
+                }
+            }
+            if tags.len() as u64 != d {
+                return Err(WireError::Malformed("bitmap popcount != group count"));
+            }
+            for tag in tags {
+                let count = r.get_gamma()?;
+                if count == 0 {
+                    return Err(WireError::Overflow);
+                }
+                groups.push((RegisterId::new(tag as usize), count));
+            }
+        }
+        Ok(FrameHeader { groups })
     }
 
     /// Decodes a header previously produced by [`FrameHeader::encode`].
     ///
     /// # Errors
     ///
-    /// [`FrameDecodeError::Truncated`] if the stream ends mid-code;
-    /// [`FrameDecodeError::Overflow`] if a tag or count leaves its domain.
-    pub fn decode(bytes: &[u8]) -> Result<FrameHeader, FrameDecodeError> {
+    /// As for [`FrameHeader::decode_from`].
+    pub fn decode(bytes: &[u8]) -> Result<FrameHeader, WireError> {
         let mut r = BitReader::new(bytes);
-        let d = r
-            .get_gamma()?
-            .checked_sub(1)
-            .ok_or(FrameDecodeError::Overflow)?;
-        // Domain check before trusting d with an allocation: every group
-        // needs at least two more bits (a tag code and a count code), so a
-        // count the remaining input cannot possibly hold is malformed —
-        // not merely truncated — input.
-        if d > (bytes.len() as u64) * 8 {
-            return Err(FrameDecodeError::Overflow);
-        }
-        let mut groups = Vec::with_capacity(d as usize);
-        let mut prev: Option<u64> = None;
-        for _ in 0..d {
-            let tag_code = r.get_gamma()?;
-            let tag = match prev {
-                None => tag_code.checked_sub(1).ok_or(FrameDecodeError::Overflow)?,
-                Some(p) => {
-                    if tag_code == 0 {
-                        return Err(FrameDecodeError::Overflow);
-                    }
-                    p.checked_add(tag_code).ok_or(FrameDecodeError::Overflow)?
-                }
-            };
-            if tag > u64::from(u32::MAX) {
-                return Err(FrameDecodeError::Overflow);
-            }
-            let count = r.get_gamma()?;
-            if count == 0 {
-                return Err(FrameDecodeError::Overflow);
-            }
-            groups.push((RegisterId::new(tag as usize), count));
-            prev = Some(tag);
-        }
-        Ok(FrameHeader { groups })
+        Self::decode_from(&mut r)
     }
 
     /// Total message count across all groups.
     pub fn messages(&self) -> u64 {
         self.groups.iter().map(|&(_, c)| c).sum()
-    }
-}
-
-/// MSB-first bit sink for the header codec.
-#[derive(Default)]
-struct BitWriter {
-    bytes: Vec<u8>,
-    /// Bits already used in the last byte (0 ⇒ last byte full / none yet).
-    used: u32,
-}
-
-impl BitWriter {
-    fn put_bit(&mut self, bit: bool) {
-        if self.used == 0 {
-            self.bytes.push(0);
-        }
-        if bit {
-            let last = self.bytes.last_mut().expect("pushed above");
-            *last |= 1 << (7 - self.used);
-        }
-        self.used = (self.used + 1) % 8;
-    }
-
-    /// Elias gamma: `N` zeros, then the `N+1` significant bits of `x`.
-    fn put_gamma(&mut self, x: u64) {
-        assert!(x >= 1, "gamma codes start at 1");
-        let n = 63 - x.leading_zeros();
-        for _ in 0..n {
-            self.put_bit(false);
-        }
-        for i in (0..=n).rev() {
-            self.put_bit(x & (1 << i) != 0);
-        }
-    }
-
-    fn into_bytes(self) -> Vec<u8> {
-        self.bytes
-    }
-}
-
-/// MSB-first bit source for the header codec.
-struct BitReader<'a> {
-    bytes: &'a [u8],
-    pos: u64,
-}
-
-impl<'a> BitReader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0 }
-    }
-
-    fn get_bit(&mut self) -> Result<bool, FrameDecodeError> {
-        let byte = self
-            .bytes
-            .get((self.pos / 8) as usize)
-            .ok_or(FrameDecodeError::Truncated)?;
-        let bit = byte & (1 << (7 - self.pos % 8)) != 0;
-        self.pos += 1;
-        Ok(bit)
-    }
-
-    fn get_gamma(&mut self) -> Result<u64, FrameDecodeError> {
-        let mut n = 0u32;
-        while !self.get_bit()? {
-            n += 1;
-            if n > 63 {
-                return Err(FrameDecodeError::Overflow);
-            }
-        }
-        let mut x = 1u64;
-        for _ in 0..n {
-            x = (x << 1) | u64::from(self.get_bit()?);
-        }
-        Ok(x)
     }
 }
 
@@ -482,23 +657,24 @@ mod tests {
         fn cost(&self) -> MessageCost {
             MessageCost::new(2, 64)
         }
+        fn encoded_bits(&self) -> u64 {
+            2 + 64
+        }
+        fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+            w.put_bits(0b01, 2);
+            w.put_bits(self.0, 64);
+            Ok(())
+        }
+        fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+            if r.get_bits(2)? != 0b01 {
+                return Err(WireError::Malformed("bad Tag tag"));
+            }
+            Ok(Tag(r.get_bits(64)?))
+        }
     }
 
     fn env(reg: usize, v: u64) -> Envelope<Tag> {
         Envelope::new(RegisterId::new(reg), Tag(v))
-    }
-
-    #[test]
-    fn gamma_lengths() {
-        for (x, bits) in [(1, 1), (2, 3), (3, 3), (4, 5), (7, 5), (8, 7), (255, 15)] {
-            assert_eq!(gamma_bits(x), bits, "γ({x})");
-            let mut w = BitWriter::default();
-            w.put_gamma(x);
-            let bytes = w.into_bytes();
-            let mut r = BitReader::new(&bytes);
-            assert_eq!(r.get_gamma().unwrap(), x);
-            assert_eq!(r.pos, bits);
-        }
     }
 
     #[test]
@@ -542,7 +718,7 @@ mod tests {
         assert!(frame.is_empty());
         assert_eq!(frame.len(), 0);
         let header = frame.header();
-        assert_eq!(header.bits(), 1); // γ(0+1) alone
+        assert_eq!(header.bits(), 1); // γ(0+1) alone, no mode bit
         assert_eq!(FrameHeader::decode(&header.encode()).unwrap(), header);
         assert_eq!(frame.cost(6).total_bits(), 1);
     }
@@ -559,6 +735,8 @@ mod tests {
         assert_eq!(cost.data_bits, 640);
         assert_eq!(cost.unframed_routing_bits, 60);
         assert_eq!(cost.header_bits, frame.header().bits());
+        assert_eq!(cost.header_gamma_bits, frame.header().bits_gamma());
+        assert!(cost.header_bits <= cost.header_gamma_bits);
         assert_eq!(
             cost.total_bits(),
             cost.header_bits + cost.control_bits + cost.data_bits
@@ -586,14 +764,163 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_garbage() {
-        // A stream that is all zeros never terminates a gamma code.
-        assert_eq!(
-            FrameHeader::decode(&[0x00]),
-            Err(FrameDecodeError::Truncated)
+    fn chooser_picks_bitmap_for_regularly_gapped_tags() {
+        // Every fourth register: gamma pays γ(4) = 5 bits per gap, the
+        // bitmap pays 4 — the v2 mode exists exactly for this shape.
+        let sparse = Frame::from_envelopes((0..32).map(|k| env(4 * k, 0))).header();
+        assert!(
+            sparse.bits() < sparse.bits_gamma(),
+            "bitmap mode must win on gapped-regular tags: {} vs {}",
+            sparse.bits(),
+            sparse.bits_gamma()
         );
+        assert_eq!(FrameHeader::decode(&sparse.encode()).unwrap(), sparse);
+
+        // Dense adjacent tags: gamma gaps are 1 bit each, bitmap cannot
+        // beat that; the chooser must fall back to gamma (= forced gamma).
+        let dense = Frame::from_envelopes((0..32).map(|k| env(k, 0))).header();
+        assert_eq!(dense.bits(), dense.bits_gamma());
+        assert_eq!(FrameHeader::decode(&dense.encode()).unwrap(), dense);
+    }
+
+    #[test]
+    fn chooser_never_exceeds_forced_gamma() {
+        // A grab bag of shapes: dense, gapped, huge gaps, repeated counts.
+        let shapes: Vec<Vec<usize>> = vec![
+            (0..64).collect(),
+            (0..64).map(|k| 4 * k).collect(),
+            vec![0, 1_000_000],
+            vec![7],
+            (0..10).map(|k| k * k).collect(),
+        ];
+        for tags in shapes {
+            let header = Frame::from_envelopes(tags.iter().map(|&t| env(t, 0))).header();
+            assert!(
+                header.bits() <= header.bits_gamma(),
+                "chooser lost to forced gamma on {tags:?}"
+            );
+            let bytes = header.encode();
+            assert_eq!(FrameHeader::decode(&bytes).unwrap(), header, "{tags:?}");
+            assert_eq!(bytes.len() as u64, header.bits().div_ceil(8), "{tags:?}");
+        }
+    }
+
+    #[test]
+    fn frame_blob_roundtrips_and_reconciles_with_cost() {
+        let frame = Frame::from_envelopes([env(0, 7), env(3, 9), env(0, 8), env(9, 1)]);
+        let blob = frame.encode().unwrap();
+        assert_eq!(Frame::<Tag>::decode(&blob).unwrap(), frame);
+        // The blob is the 4-byte prefix plus the body, whose bit length is
+        // exactly header + Σ message bits.
+        let body_bits = frame.encoded_bits();
+        assert_eq!(blob.len() as u64, 4 + body_bits.div_ceil(8));
+        // And the accounting reconciles: body bits = FrameCost's header +
+        // control + data, since Tag's codec is exactly its cost.
+        let cost = frame.cost(RegisterId::routing_bits(16));
+        assert_eq!(body_bits, cost.total_bits());
+        let declared = u32::from_be_bytes(blob[..4].try_into().unwrap());
+        assert_eq!(declared as usize, blob.len() - 4);
+    }
+
+    #[test]
+    fn empty_frame_encodes_to_one_body_byte() {
+        let frame: Frame<Tag> = Frame::default();
+        let blob = frame.encode().unwrap();
+        assert_eq!(blob.len(), 5); // 4-byte prefix + γ(1) padded to a byte
+        assert_eq!(Frame::<Tag>::decode(&blob).unwrap(), frame);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // No room for even the length prefix.
+        assert_eq!(Frame::<Tag>::decode(&[]), Err(WireError::Truncated));
+        // Prefix promising more body than the buffer holds.
+        assert_eq!(
+            Frame::<Tag>::decode(&[0, 0, 0, 9, 0xFF]),
+            Err(WireError::LengthMismatch)
+        );
+        // A stream that is all zeros never terminates a gamma code.
+        assert_eq!(FrameHeader::decode(&[0x00]), Err(WireError::Truncated));
         // Empty input can't even hold γ(1).
-        assert_eq!(FrameHeader::decode(&[]), Err(FrameDecodeError::Truncated));
+        assert_eq!(FrameHeader::decode(&[]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_message_count_beyond_input_before_allocating() {
+        // A syntactically valid header claiming 2⁴⁰ messages in one group:
+        // the frame decoder must bound the count against the remaining
+        // body *before* sizing any allocation from it.
+        let mut w = BitWriter::new();
+        FrameHeader {
+            groups: vec![(RegisterId::new(0), 1 << 40)],
+        }
+        .encode_into(&mut w);
+        let body = w.into_bytes();
+        let mut blob = (body.len() as u32).to_be_bytes().to_vec();
+        blob.extend_from_slice(&body);
+        assert_eq!(Frame::<Tag>::decode(&blob), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn decode_rejects_wrapping_message_count_sum() {
+        // Two groups declaring 2⁶³ messages each: the naive sum wraps to 0
+        // and would sail past a wrapping total bound, then panic sizing an
+        // allocation. Both the per-group bound and the checked sum must
+        // reject this as a typed error.
+        let mut w = BitWriter::new();
+        w.put_gamma(3); // d = 2
+        w.put_bit(false); // delta/gamma mode
+        w.put_gamma(1); // tag 0
+        w.put_gamma(1u64 << 63); // count: 2⁶³
+        w.put_gamma(1); // gap to tag 1
+        w.put_gamma(1u64 << 63); // count: 2⁶³ (sum wraps to 0)
+        let body = w.into_bytes();
+        let mut blob = (body.len() as u32).to_be_bytes().to_vec();
+        blob.extend_from_slice(&body);
+        assert_eq!(Frame::<Tag>::decode(&blob), Err(WireError::Overflow));
+        // The bare header itself is syntactically fine (counts are only
+        // bounded against a message section, which a standalone header
+        // does not have) — the frame decoder is where the bound lives.
+        assert!(FrameHeader::decode(&body).is_ok());
+    }
+
+    #[test]
+    fn decode_caps_pre_reserved_capacity() {
+        // A bit-plausible group count (d ≈ remaining/2) must not
+        // pre-reserve gigabytes: the reserve cap bounds the initial
+        // allocation while truncated input still fails with a typed error.
+        let mut w = BitWriter::new();
+        w.put_gamma(100_000 + 1); // d = 100k groups, nothing behind them
+        let mut body = w.into_bytes();
+        body.resize(body.len() + 100_000, 0); // enough "remaining" bits
+        assert!(matches!(
+            FrameHeader::decode(&body),
+            Err(WireError::Truncated | WireError::Overflow)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_length_prefix_without_allocating() {
+        // A hostile prefix declaring a multi-gigabyte body is rejected on
+        // the prefix alone.
+        let blob = [0xFF, 0xFF, 0xFF, 0xFF];
+        assert_eq!(Frame::<Tag>::decode(&blob), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn decode_rejects_nonzero_padding() {
+        // Two messages: 8 header bits + 132 message bits = 140, leaving 4
+        // genuine padding bits in the final body byte.
+        let frame = Frame::from_envelopes([env(0, 5), env(0, 6)]);
+        let blob = frame.encode().unwrap();
+        assert_eq!(frame.encoded_bits() % 8, 4, "test needs unaligned body");
+        let mut tampered = blob.to_vec();
+        // The message ends mid-byte; flip the last (padding) bit.
+        *tampered.last_mut().unwrap() |= 1;
+        assert_eq!(
+            Frame::<Tag>::decode(&tampered),
+            Err(WireError::Malformed("non-zero padding bit"))
+        );
     }
 
     #[test]
@@ -601,10 +928,44 @@ mod tests {
         // A crafted header whose group count claims 2⁶² groups must come
         // back as a typed error, not a capacity-overflow panic: the count
         // is bounded by what the remaining input could possibly hold.
-        let mut w = BitWriter::default();
+        let mut w = BitWriter::new();
         w.put_gamma(1u64 << 62);
         let bytes = w.into_bytes();
-        assert_eq!(FrameHeader::decode(&bytes), Err(FrameDecodeError::Overflow));
+        assert_eq!(FrameHeader::decode(&bytes), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn decode_rejects_overfull_bitmap_before_accumulating_span_tags() {
+        // Mode-1 header: d = 1 but an all-ones bitmap over a large span.
+        // The decoder must bail at the second set bit, not collect a
+        // span-sized tag vector first and fail on the final popcount.
+        let span = 4_000u64;
+        let mut w = BitWriter::new();
+        w.put_gamma(2); // d = 1
+        w.put_bit(true); // bitmap mode
+        w.put_gamma(1); // first = 0
+        w.put_gamma(span);
+        for _ in 0..span {
+            w.put_bit(true);
+        }
+        w.put_gamma(1); // count for the one declared group
+        let bytes = w.into_bytes();
+        assert_eq!(
+            FrameHeader::decode(&bytes),
+            Err(WireError::Malformed("bitmap popcount != group count"))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bitmap_span_beyond_input() {
+        // Mode-1 header declaring a 2³⁰-bit bitmap in a few bytes.
+        let mut w = BitWriter::new();
+        w.put_gamma(2); // d = 1
+        w.put_bit(true); // bitmap mode
+        w.put_gamma(1); // first = 0
+        w.put_gamma(1 << 30); // span
+        let bytes = w.into_bytes();
+        assert_eq!(FrameHeader::decode(&bytes), Err(WireError::Overflow));
     }
 
     #[test]
@@ -632,7 +993,7 @@ mod tests {
     #[test]
     fn singleton_frame_header_is_small() {
         let frame = Frame::from_envelopes([env(0, 1)]);
-        // γ(2) + γ(1) + γ(1) = 3 + 1 + 1.
-        assert_eq!(frame.header().bits(), 5);
+        // γ(2) + mode + γ(1) + γ(1) = 3 + 1 + 1 + 1.
+        assert_eq!(frame.header().bits(), 6);
     }
 }

@@ -16,7 +16,10 @@
 //!   single-writer multi-reader (SWMR) or multi-writer (MWMR) register.
 //! * [`Automaton`] and [`Effects`] — the event-driven execution interface.
 //! * [`WireMessage`] — per-message *control-bit* and *data-bit* accounting,
-//!   the measurement at the heart of the paper's Table 1.
+//!   the measurement at the heart of the paper's Table 1 — now with a
+//!   byte-level codec (`encoded_bits` / `encode_into` / `decode` over the
+//!   [`bits`] module's MSB-first bit I/O), so the two-bit claim is proved
+//!   by serialization, not just asserted by accounting.
 //! * [`OpRecord`], [`History`] — operation histories consumed by the
 //!   linearizability checker (`twobit-lincheck`).
 //! * [`Driver`] — the backend-agnostic driving interface (issue/poll/crash/
@@ -27,9 +30,12 @@
 //!   *routing* (not control) bits.
 //! * [`Frame`], [`FrameHeader`], [`FrameCost`] — the batching transport
 //!   unit: all envelopes queued for one ordered link coalesce into one
-//!   frame whose delta-encoded header carries each shard tag once, so
-//!   routing amortizes across the batch while every message keeps exactly
-//!   its two control bits.
+//!   frame whose shared header carries each shard tag once (per-frame
+//!   chooser between delta/gamma and bitmap tag encodings), so routing
+//!   amortizes across the batch while every message keeps exactly its two
+//!   control bits. [`Frame::encode`] / [`Frame::decode`] turn a frame into
+//!   one contiguous, length-prefixed byte blob (see `docs/wire-format.md`)
+//!   — the unit a real TCP transport writes per link.
 //! * [`RegisterSpace`], [`Workload`], [`ShardedHistory`] — named registers,
 //!   portable operation scripts, and per-register history projection.
 //!
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod automaton;
+pub mod bits;
 pub mod driver;
 pub mod frame;
 pub mod history;
@@ -51,8 +58,9 @@ pub mod stats;
 pub mod wire;
 
 pub use automaton::{Automaton, Effects};
+pub use bits::{BitReader, BitWriter, WireError};
 pub use driver::{Driver, DriverError, OpTicket, Workload, WorkloadStep};
-pub use frame::{Frame, FrameCost, FrameDecodeError, FrameHeader};
+pub use frame::{Frame, FrameCost, FrameDecodeError, FrameHeader, MAX_FRAME_BODY_BYTES};
 pub use history::{History, OpRecord, ShardedHistory};
 pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
 pub use op::{OpId, OpOutcome, Operation};

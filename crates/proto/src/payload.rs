@@ -9,20 +9,72 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
+use crate::bits::{gamma_bits, BitReader, BitWriter, WireError};
+
 /// A value that can be stored in the register and shipped inside `WRITE`
 /// messages.
 ///
 /// The `data_bits` method reports the payload's size so the wire-cost
 /// accounting can separate data bits from control bits. Implementations are
 /// provided for the value types used by the examples and experiments.
+///
+/// The codec methods ([`encoded_bits`](Payload::encoded_bits) /
+/// [`encode_into`](Payload::encode_into) / [`decode`](Payload::decode)) let
+/// messages carrying this value serialize it bit-exactly. Fixed-width
+/// payloads (`u64`, `u32`, `bool`, `()`, tuples of these) encode in exactly
+/// `data_bits()` bits, which is what makes a frame's byte length reconcile
+/// with the cost accounting; variable-width payloads (`String`, `Vec<u8>`)
+/// must be self-delimiting on the wire, so they prepend a gamma-coded
+/// length and `encoded_bits() > data_bits()` — the prefix is framing, not
+/// data, and is reported by `encoded_bits` only.
 pub trait Payload: Clone + Eq + Hash + Debug + Send + 'static {
     /// Number of data bits this value occupies on the wire.
     fn data_bits(&self) -> u64;
+
+    /// Exact size of [`Payload::encode_into`]'s output in bits. Defaults to
+    /// `data_bits()` (correct for fixed-width codecs); variable-width
+    /// codecs must override it alongside `encode_into`.
+    fn encoded_bits(&self) -> u64 {
+        self.data_bits()
+    }
+
+    /// Appends this value to `w` as a self-delimiting bit string.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`WireError::Unsupported`]: the type has no
+    /// byte-level codec and cannot cross a byte transport.
+    fn encode_into(&self, _w: &mut BitWriter) -> Result<(), WireError> {
+        Err(WireError::Unsupported("payload codec"))
+    }
+
+    /// Parses one value from the front of `r` (the inverse of
+    /// [`Payload::encode_into`]).
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`WireError::Unsupported`]; implementations
+    /// surface the usual decode errors, and variable-width decoders must
+    /// bound the declared length against `r.remaining_bits()` *before*
+    /// allocating.
+    fn decode(_r: &mut BitReader<'_>) -> Result<Self, WireError>
+    where
+        Self: Sized,
+    {
+        Err(WireError::Unsupported("payload decode"))
+    }
 }
 
 impl Payload for u64 {
     fn data_bits(&self) -> u64 {
         64
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        w.put_bits(*self, 64);
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        r.get_bits(64)
     }
 }
 
@@ -30,11 +82,25 @@ impl Payload for u32 {
     fn data_bits(&self) -> u64 {
         32
     }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        w.put_bits(u64::from(*self), 32);
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(r.get_bits(32)? as u32)
+    }
 }
 
 impl Payload for bool {
     fn data_bits(&self) -> u64 {
         1
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        w.put_bit(*self);
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        r.get_bit()
     }
 }
 
@@ -42,11 +108,50 @@ impl Payload for () {
     fn data_bits(&self) -> u64 {
         0
     }
+    fn encode_into(&self, _w: &mut BitWriter) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn decode(_r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+/// Shared codec of the byte-string payloads: γ(len+1), then the raw bytes.
+fn encode_byte_string(bytes: &[u8], w: &mut BitWriter) {
+    w.put_gamma(bytes.len() as u64 + 1);
+    for &b in bytes {
+        w.put_bits(u64::from(b), 8);
+    }
+}
+
+fn decode_byte_string(r: &mut BitReader<'_>) -> Result<Vec<u8>, WireError> {
+    let len = r.get_gamma()?.checked_sub(1).ok_or(WireError::Overflow)?;
+    // Bound the declared length against the remaining input before the
+    // allocation is sized from it (decoder hardening).
+    if len.checked_mul(8).ok_or(WireError::Overflow)? > r.remaining_bits() {
+        return Err(WireError::Overflow);
+    }
+    let mut bytes = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        bytes.push(r.get_bits(8)? as u8);
+    }
+    Ok(bytes)
 }
 
 impl Payload for String {
     fn data_bits(&self) -> u64 {
         8 * self.len() as u64
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.len() as u64 + 1) + 8 * self.len() as u64
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        encode_byte_string(self.as_bytes(), w);
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        String::from_utf8(decode_byte_string(r)?)
+            .map_err(|_| WireError::Malformed("string payload is not UTF-8"))
     }
 }
 
@@ -54,11 +159,31 @@ impl Payload for Vec<u8> {
     fn data_bits(&self) -> u64 {
         8 * self.len() as u64
     }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.len() as u64 + 1) + 8 * self.len() as u64
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        encode_byte_string(self, w);
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        decode_byte_string(r)
+    }
 }
 
 impl<A: Payload, B: Payload> Payload for (A, B) {
     fn data_bits(&self) -> u64 {
         self.0.data_bits() + self.1.data_bits()
+    }
+    fn encoded_bits(&self) -> u64 {
+        self.0.encoded_bits() + self.1.encoded_bits()
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        self.0.encode_into(w)?;
+        self.1.encode_into(w)
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(r)?, B::decode(r)?))
     }
 }
 
@@ -97,6 +222,72 @@ mod tests {
         assert_eq!("ab".to_string().data_bits(), 16);
         assert_eq!(vec![1u8, 2, 3].data_bits(), 24);
         assert_eq!((1u64, 2u32).data_bits(), 96);
+    }
+
+    fn roundtrip<P: Payload + PartialEq>(v: &P) {
+        let mut w = BitWriter::new();
+        v.encode_into(&mut w).unwrap();
+        assert_eq!(w.bit_len(), v.encoded_bits(), "{v:?}: encoded_bits exact");
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(&P::decode(&mut r).unwrap(), v);
+        assert_eq!(r.bits_read(), v.encoded_bits());
+    }
+
+    #[test]
+    fn payload_codecs_roundtrip() {
+        roundtrip(&0u64);
+        roundtrip(&u64::MAX);
+        roundtrip(&7u32);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&());
+        roundtrip(&String::new());
+        roundtrip(&"héllo wörld".to_string());
+        roundtrip(&Vec::<u8>::new());
+        roundtrip(&vec![0u8, 1, 255, 128]);
+        roundtrip(&(42u64, true));
+        roundtrip(&(1u32, vec![9u8; 30]));
+    }
+
+    #[test]
+    fn fixed_width_payloads_encode_in_exactly_data_bits() {
+        assert_eq!(5u64.encoded_bits(), 5u64.data_bits());
+        assert_eq!(5u32.encoded_bits(), 5u32.data_bits());
+        assert_eq!(true.encoded_bits(), true.data_bits());
+        assert_eq!(().encoded_bits(), ().data_bits());
+        assert_eq!((1u64, 2u32).encoded_bits(), (1u64, 2u32).data_bits());
+        // Variable-width payloads pay a self-delimiting length prefix.
+        let v = vec![0u8; 10];
+        assert!(v.encoded_bits() > v.data_bits());
+        assert_eq!(v.encoded_bits(), bits_crate_gamma(11) + 80);
+    }
+
+    fn bits_crate_gamma(x: u64) -> u64 {
+        crate::bits::gamma_bits(x)
+    }
+
+    #[test]
+    fn byte_string_decode_bounds_length_before_allocating() {
+        // γ(2^40 + 1) then nothing: the declared length dwarfs the input
+        // and must be rejected before Vec::with_capacity sees it.
+        let mut w = BitWriter::new();
+        w.put_gamma((1u64 << 40) + 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(Vec::<u8>::decode(&mut r), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn string_decode_rejects_bad_utf8() {
+        let mut w = BitWriter::new();
+        encode_byte_string(&[0xFF, 0xFE], &mut w);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(
+            String::decode(&mut r),
+            Err(WireError::Malformed("string payload is not UTF-8"))
+        );
     }
 
     #[test]

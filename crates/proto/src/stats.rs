@@ -50,8 +50,10 @@ pub struct NetStats {
     max_msg_total_bits: u64,
     frames_sent: u64,
     frame_header_bits: u64,
+    frame_header_gamma_bits: u64,
     framed_messages: u64,
     max_frame_messages: u64,
+    wire_bytes: u64,
 }
 
 impl NetStats {
@@ -90,8 +92,18 @@ impl NetStats {
     pub fn record_frame(&mut self, cost: FrameCost) {
         self.frames_sent += 1;
         self.frame_header_bits += cost.header_bits;
+        self.frame_header_gamma_bits += cost.header_gamma_bits;
         self.framed_messages += cost.messages;
         self.max_frame_messages = self.max_frame_messages.max(cost.messages);
+    }
+
+    /// Records `n` bytes actually put on the wire by the byte-level codec
+    /// (one call per encoded frame blob, length prefix included). Only
+    /// populated when a backend routes sends through
+    /// [`Frame::encode`](crate::Frame::encode) — the substrates' wire-codec
+    /// mode and the TCP transport do; the pure in-memory paths leave it 0.
+    pub fn record_wire_bytes(&mut self, n: u64) {
+        self.wire_bytes += n;
     }
 
     /// Records one message delivered to a live process.
@@ -172,6 +184,20 @@ impl NetStats {
         self.frame_header_bits
     }
 
+    /// What the same frame headers would have cost with the delta/gamma
+    /// mode forced (header codec v1 plus the mode bit) — the figure the
+    /// per-frame chooser is asserted against: `frame_header_bits() ≤`
+    /// this, always.
+    pub fn frame_header_gamma_bits(&self) -> u64 {
+        self.frame_header_gamma_bits
+    }
+
+    /// Bytes actually put on the wire by the byte-level codec (0 unless a
+    /// backend encodes frames — see [`NetStats::record_wire_bytes`]).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
     /// Messages that travelled inside frames.
     pub fn framed_messages(&self) -> u64 {
         self.framed_messages
@@ -222,6 +248,7 @@ impl NetStats {
             data_bits: self.data_bits,
             frames_sent: self.frames_sent,
             frame_header_bits: self.frame_header_bits,
+            wire_bytes: self.wire_bytes,
         }
     }
 }
@@ -236,9 +263,15 @@ pub struct StatsSnapshot {
     data_bits: u64,
     frames_sent: u64,
     frame_header_bits: u64,
+    wire_bytes: u64,
 }
 
 impl StatsSnapshot {
+    /// Wire bytes put on the wire between `earlier` and `self`.
+    pub fn wire_bytes_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.wire_bytes - earlier.wire_bytes
+    }
+
     /// Messages sent between `earlier` and `self`.
     pub fn sent_since(&self, earlier: &StatsSnapshot) -> u64 {
         self.total_sent - earlier.total_sent
@@ -349,13 +382,17 @@ mod tests {
         s.record_frame(FrameCost {
             messages: 2,
             header_bits: 9,
+            header_gamma_bits: 11,
             control_bits: 4,
             data_bits: 64,
             unframed_routing_bits: 12,
         });
         s.record_deliveries(2);
+        s.record_wire_bytes(14);
         assert_eq!(s.routing_bits(), 12, "unframed-equivalent figure");
         assert_eq!(s.frame_header_bits(), 9, "bits actually on the wire");
+        assert_eq!(s.frame_header_gamma_bits(), 11, "forced-gamma comparison");
+        assert_eq!(s.wire_bytes(), 14);
         assert_eq!(s.frames_sent(), 1);
         assert_eq!(s.framed_messages(), 2);
         assert_eq!(s.max_frame_messages(), 2);
@@ -367,6 +404,7 @@ mod tests {
         let after = s.snapshot();
         assert_eq!(after.frames_since(&before), 1);
         assert_eq!(after.frame_header_bits_since(&before), 9);
+        assert_eq!(after.wire_bytes_since(&before), 14);
 
         s.record_frame_drop_to_crashed(3);
         assert_eq!(s.dropped_to_crashed(), 3);

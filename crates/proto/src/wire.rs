@@ -11,6 +11,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::bits::{BitReader, BitWriter, WireError};
 use crate::id::RegisterId;
 
 /// Cost of one message on the wire, split into control, data and routing
@@ -61,18 +62,78 @@ impl MessageCost {
     }
 }
 
-/// A protocol message whose wire cost can be measured.
+/// A protocol message whose wire cost can be measured — and, for
+/// codec-capable types, serialized bit-exactly.
 ///
 /// `kind` gives a small set of human-readable type names used for message
 /// counting (Table 1 rows 1–2); `cost` reports the control/data split
 /// (Table 1 row 3). Implementations must be cheap: the simulator calls them
 /// for every message sent.
+///
+/// # The byte-level codec
+///
+/// The three codec methods turn the cost *model* into bytes on a wire:
+/// [`encode_into`](WireMessage::encode_into) appends the message to a
+/// [`BitWriter`] as a self-delimiting bit string,
+/// [`decode`](WireMessage::decode) parses it back, and
+/// [`encoded_bits`](WireMessage::encoded_bits) reports the exact bit count
+/// `encode_into` produces. They have defaults so cost-model-only message
+/// types (test probes, emulation internals) keep compiling, but the
+/// defaults **fail at runtime** with [`WireError::Unsupported`] — only
+/// types overriding all three can cross a byte transport (the TCP backend)
+/// or run under the substrates' encode–decode fidelity mode.
+///
+/// Contract for implementors:
+///
+/// * `decode(encode_into(m)) == m` for every value (round trip);
+/// * `encoded_bits(m)` equals the exact number of bits `encode_into(m)`
+///   writes;
+/// * for the paper's automaton the encoding *is* the cost:
+///   `encoded_bits == cost().control_bits + cost().data_bits`, with the
+///   type tag spending exactly two bits. Baseline algorithms whose modeled
+///   control fields have no fixed width (unbounded sequence numbers)
+///   serialize them as self-delimiting gamma codes, so their wire size can
+///   exceed the modeled bit count — that gap is measurement, not error.
 pub trait WireMessage: Clone + std::fmt::Debug + Send + 'static {
     /// Human-readable message type name (e.g. `"WRITE0"`, `"READ"`).
     fn kind(&self) -> &'static str;
 
     /// Control/data bit cost of this message instance.
     fn cost(&self) -> MessageCost;
+
+    /// Exact size, in bits, of this message's [`WireMessage::encode_into`]
+    /// output. The default mirrors the modeled cost (control + data bits),
+    /// which is correct only for codecs whose encoding is bit-for-bit the
+    /// model — override it together with `encode_into`.
+    fn encoded_bits(&self) -> u64 {
+        let c = self.cost();
+        c.control_bits + c.data_bits
+    }
+
+    /// Appends this message to `w` as a self-delimiting bit string.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`WireError::Unsupported`]: the type carries
+    /// only modeled costs and cannot cross a byte transport.
+    fn encode_into(&self, _w: &mut BitWriter) -> Result<(), WireError> {
+        Err(WireError::Unsupported(self.kind()))
+    }
+
+    /// Parses one message from the front of `r` (the inverse of
+    /// [`WireMessage::encode_into`]).
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`WireError::Unsupported`]; implementations
+    /// surface [`WireError::Truncated`] / [`WireError::Overflow`] /
+    /// [`WireError::Malformed`] on corrupt input.
+    fn decode(_r: &mut BitReader<'_>) -> Result<Self, WireError>
+    where
+        Self: Sized,
+    {
+        Err(WireError::Unsupported("message decode"))
+    }
 }
 
 /// A protocol message tagged with the register (shard) it belongs to.
@@ -110,6 +171,18 @@ impl<M: WireMessage> WireMessage for Envelope<M> {
     /// The inner message's cost; routing is accounted at the frame layer.
     fn cost(&self) -> MessageCost {
         self.inner.cost()
+    }
+
+    fn encoded_bits(&self) -> u64 {
+        self.inner.encoded_bits()
+    }
+
+    /// Encodes the inner message only: the register tag never travels with
+    /// the message — it lives once in the frame's shared routing header.
+    /// Consequently a bare envelope cannot be *decoded* (the tag is gone);
+    /// frames decode messages and re-wrap them per group instead.
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        self.inner.encode_into(w)
     }
 }
 

@@ -74,7 +74,9 @@ pub(crate) type InflightMap<V> = HashMap<(ProcessId, RegisterId), Slot<V>>;
 
 /// One process's outbound channels, one envelope per link item so the
 /// links' [`FlushPolicy`] counts real messages (`None` on the self slot).
-type OutboundLinks<M> = Vec<Option<Sender<Envelope<M>>>>;
+/// Public alias because [`process_loop`] — shared with the TCP transport
+/// backend — takes one.
+pub type OutboundLinks<M> = Vec<Option<Sender<Envelope<M>>>>;
 
 /// The full link-channel matrix, indexed `[src][dst]`.
 type LinkTxs<M> = Vec<OutboundLinks<M>>;
@@ -104,6 +106,7 @@ pub struct ClusterBuilder {
     op_timeout: Duration,
     registers: Vec<RegisterId>,
     flush: FlushPolicy,
+    wire_codec: bool,
 }
 
 impl ClusterBuilder {
@@ -117,7 +120,21 @@ impl ClusterBuilder {
             op_timeout: Duration::from_secs(10),
             registers: vec![RegisterId::ZERO],
             flush: FlushPolicy::default(),
+            wire_codec: false,
         }
+    }
+
+    /// Routes every flushed frame through the byte-level codec
+    /// ([`Frame::encode`] → [`Frame::decode`]) on its link: the cluster
+    /// then delivers the *decoded* bytes, proving serialization fidelity on
+    /// the live runtime, and
+    /// [`NetStats::wire_bytes`](twobit_proto::NetStats::wire_bytes) reports
+    /// the bytes a socket would carry. Requires a codec-capable message
+    /// type — a cost-model-only message panics the link thread on the
+    /// first flush (operations then time out).
+    pub fn wire_codec(mut self, on: bool) -> Self {
+        self.wire_codec = on;
+        self
     }
 
     /// Sets the links' frame flush policy (how aggressively envelopes
@@ -238,12 +255,21 @@ impl ClusterBuilder {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((i * n + j) as u64);
                 // The flush closure is where batches become frames — and
-                // where the shared-header routing cost is accounted.
+                // where the shared-header routing cost is accounted, plus
+                // the byte-codec round trip under `wire_codec`.
                 let stats_f = Arc::clone(&stats);
+                let wire_codec = self.wire_codec;
                 let build_frame = move |batch: Vec<Envelope<A::Msg>>| {
                     let frame = Frame::from_envelopes(batch);
                     stats_f.lock().record_frame(frame.cost(tag_bits));
-                    frame
+                    if !wire_codec {
+                        return frame;
+                    }
+                    let blob = frame
+                        .encode()
+                        .expect("wire_codec requires a codec-capable message type");
+                    stats_f.lock().record_wire_bytes(blob.len() as u64);
+                    Frame::decode(&blob).expect("frame byte codec must round-trip")
                 };
                 // Frames reaching their deadline after the destination
                 // crashed drop whole — and must still be accounted, so
@@ -305,7 +331,14 @@ impl ClusterBuilder {
     }
 }
 
-fn process_loop<A: Automaton>(
+/// The body of one process thread: drain the inbox, run handlers
+/// atomically, batch outbound envelopes per destination, answer
+/// completions. Public because every live backend shares it — the
+/// in-process cluster hands `outs` to chaos-link threads, the TCP
+/// transport to socket-writer threads; the protocol semantics (crash
+/// checks, send accounting with the deployment's tag width, per-frame drop
+/// recording for crashed destinations) are identical by construction.
+pub fn process_loop<A: Automaton>(
     mut shards: ShardSet<A>,
     inbox: crossbeam::channel::Receiver<Incoming<A>>,
     outs: OutboundLinks<A::Msg>,

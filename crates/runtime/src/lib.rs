@@ -42,8 +42,9 @@
 pub mod client;
 pub mod cluster;
 mod link;
-mod recorder;
+pub mod recorder;
 
 pub use client::{ClientError, OpHandle, RegisterClient};
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{process_loop, Cluster, ClusterBuilder, Incoming, OutboundLinks};
 pub use link::FlushPolicy;
+pub use recorder::Recorder;

@@ -10,7 +10,10 @@ use twobit_proto::{
 
 /// Records operation invocations/responses from many client threads,
 /// tagging each operation with its target register.
-pub(crate) struct Recorder<V> {
+///
+/// Public so other live backends (the TCP transport) can record histories
+/// with the same clock and projection semantics as the in-process cluster.
+pub struct Recorder<V> {
     start: Instant,
     initial: V,
     inner: Mutex<Inner<V>>,
@@ -22,7 +25,8 @@ struct Inner<V> {
 }
 
 impl<V: Clone> Recorder<V> {
-    pub(crate) fn new(initial: V) -> Self {
+    /// Creates a recorder whose histories start from `initial`.
+    pub fn new(initial: V) -> Self {
         Recorder {
             start: Instant::now(),
             initial,
@@ -34,11 +38,12 @@ impl<V: Clone> Recorder<V> {
     }
 
     /// Nanoseconds since the recorder was created (monotonic).
-    pub(crate) fn now(&self) -> u64 {
+    pub fn now(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
     }
 
-    pub(crate) fn invoked(
+    /// Records the invocation of `op_id` by `proc` on `reg` at time `at`.
+    pub fn invoked(
         &self,
         op_id: OpId,
         proc: ProcessId,
@@ -61,7 +66,12 @@ impl<V: Clone> Recorder<V> {
         g.index.insert(op_id, idx);
     }
 
-    pub(crate) fn completed(&self, op_id: OpId, at: u64, outcome: OpOutcome<V>) {
+    /// Records the completion of `op_id` at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op_id` was never recorded as invoked.
+    pub fn completed(&self, op_id: OpId, at: u64, outcome: OpOutcome<V>) {
         let mut g = self.inner.lock();
         let idx = *g.index.get(&op_id).expect("completion for unknown op");
         let rec = &mut g.records[idx].1;
@@ -71,7 +81,7 @@ impl<V: Clone> Recorder<V> {
 
     /// All records flattened into one history (register tags dropped) —
     /// the single-register view, also useful for whole-run accounting.
-    pub(crate) fn snapshot(&self) -> History<V> {
+    pub fn snapshot(&self) -> History<V> {
         let g = self.inner.lock();
         let mut h = History::new(self.initial.clone());
         h.records.extend(g.records.iter().map(|(_, r)| r.clone()));
@@ -79,7 +89,7 @@ impl<V: Clone> Recorder<V> {
     }
 
     /// Per-register projection over `registers` (empty shards included).
-    pub(crate) fn snapshot_sharded(&self, registers: &[RegisterId]) -> ShardedHistory<V> {
+    pub fn snapshot_sharded(&self, registers: &[RegisterId]) -> ShardedHistory<V> {
         let g = self.inner.lock();
         ShardedHistory::from_tagged(
             self.initial.clone(),

@@ -2,6 +2,7 @@
 //! in doctests). Not register implementations anyone should use — see
 //! `twobit-core` and `twobit-baselines` for the real protocols.
 
+use twobit_proto::bits::{BitReader, BitWriter, WireError};
 use twobit_proto::{
     Automaton, Effects, MessageCost, OpId, Operation, ProcessId, SystemConfig, WireMessage,
 };
@@ -106,6 +107,32 @@ impl WireMessage for EchoMsg {
         match self {
             EchoMsg::Ping(_) => MessageCost::new(1, 64),
             EchoMsg::Pong => MessageCost::new(1, 0),
+        }
+    }
+    // Codec-capable so the engines' encode–decode fidelity mode (and the
+    // TCP transport) can run the test automatons too: 1-bit tag, then the
+    // value for pings — bit-for-bit the modeled cost.
+    fn encoded_bits(&self) -> u64 {
+        match self {
+            EchoMsg::Ping(_) => 65,
+            EchoMsg::Pong => 1,
+        }
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        match self {
+            EchoMsg::Ping(v) => {
+                w.put_bit(false);
+                w.put_bits(*v, 64);
+            }
+            EchoMsg::Pong => w.put_bit(true),
+        }
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        if r.get_bit()? {
+            Ok(EchoMsg::Pong)
+        } else {
+            Ok(EchoMsg::Ping(r.get_bits(64)?))
         }
     }
 }

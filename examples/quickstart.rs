@@ -1,10 +1,10 @@
-//! Quickstart: one workload, two backends, checked atomicity.
+//! Quickstart: one workload, three backends, checked atomicity.
 //!
 //! The public API is organized around the backend-agnostic `Driver` trait:
 //! the same workload definition (no backend-specific code) runs on the
-//! deterministic discrete-event simulator *and* on the live threaded
-//! runtime with chaos links. Both runs are then checked — per register —
-//! by the linearizability checker.
+//! deterministic discrete-event simulator, on the live threaded runtime
+//! with chaos links, *and* on a real loopback TCP cluster. Every run is
+//! then checked — per register — by the linearizability checker.
 //!
 //! # Envelopes, frames, and the three kinds of bits
 //!
@@ -25,11 +25,17 @@
 //!   shared headers, far below `routing_bits` once frames batch (see
 //!   `BENCH_frames.json` for the 64-shard comparison).
 //!
+//! Since the wire-codec redesign frames are real byte blobs
+//! (`Frame::encode`/`Frame::decode`, layout in `docs/wire-format.md`).
+//! The simulator runs below with `wire_codec(true)` — every frame crosses
+//! as encoded-then-decoded bytes — and the TCP backend has no other mode:
+//! its `wire_bytes` are what the kernel actually carried.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use twobit::{
     ClusterBuilder, DelayModel, Driver, Operation, ProcessId, RegisterId, SpaceBuilder,
-    SystemConfig, TwoBitProcess, Workload,
+    SystemConfig, TcpClusterBuilder, TwoBitProcess, Workload,
 };
 
 /// Writes 1..=10 from the writer interleaved with reads from two readers —
@@ -64,12 +70,13 @@ fn run<D: Driver<Value = u64>>(
     twobit::lincheck::check_swmr_sharded(&sharded)?;
     let stats = driver.stats();
     println!(
-        "{label:8} {} ops, {} msgs in {} frames ({:.1} msgs/frame), \
+        "{label:8} {} ops, {} msgs in {} frames ({:.1} msgs/frame, {} B on wire), \
          read {after} after 2 crashes, max {} control bits/msg — atomic",
         sharded.total_ops(),
         stats.total_sent(),
         stats.frames_sent(),
         stats.messages_per_frame(),
+        stats.wire_bytes(),
         stats.max_msg_control_bits(),
     );
     Ok(())
@@ -80,9 +87,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = SystemConfig::new(5, 2)?;
     let writer = ProcessId::new(0);
 
-    // Backend 1: deterministic simulator (virtual time, replayable seed).
+    // Backend 1: deterministic simulator (virtual time, replayable seed),
+    // with the byte codec in the loop proving serialization fidelity.
     let mut sim = SpaceBuilder::new(cfg)
         .seed(7)
+        .wire_codec(true)
         .build(0u64, |_reg, id| TwoBitProcess::new(id, cfg, writer, 0u64));
     run("simnet", &mut sim)?;
 
@@ -101,6 +110,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
     run("runtime", &mut cluster)?;
 
-    println!("same workload, same checks, two execution substrates");
+    // Backend 3: real loopback TCP — one socket per ordered process pair,
+    // each frame a length-prefixed byte blob. Same workload, same checks.
+    let mut tcp =
+        TcpClusterBuilder::new(cfg).build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
+    run("tcp", &mut tcp)?;
+
+    println!("same workload, same checks, three execution substrates");
     Ok(())
 }

@@ -12,9 +12,10 @@
 //!
 //! * **[`Driver`]** — the backend-agnostic driving interface
 //!   (`invoke`/`poll`/`crash`/`history`/`stats`), implemented by the
-//!   deterministic simulator ([`Simulation`], [`SimSpace`]) and the live
-//!   threaded runtime ([`Cluster`]). Workloads, checkers, and benchmarks
-//!   are written once and run on every backend.
+//!   deterministic simulator ([`Simulation`], [`SimSpace`]), the live
+//!   threaded runtime ([`Cluster`]), and the real-socket TCP backend
+//!   ([`TcpCluster`]). Workloads, checkers, and benchmarks are written
+//!   once and run on every backend.
 //! * **[`RegisterSpace`]** — many independent *named* registers multiplexed
 //!   over one deployment. Each register runs the paper's protocol
 //!   unchanged (two control bits per message); the shard tag on the wire is
@@ -83,6 +84,46 @@
 //! `(process, register)` pair are rejected with a typed
 //! [`ClientError::OperationInFlight`] instead of wedging the process.
 //!
+//! ## The wire codec and the TCP backend
+//!
+//! The unit of exchange on every link is bytes, not clones: a frame is one
+//! contiguous, length-prefixed byte blob ([`Frame::encode`] /
+//! [`Frame::decode`] — layout in `docs/wire-format.md`), and every message
+//! type implements a bit-exact codec through the `WireMessage`
+//! `encoded_bits`/`encode_into`/`decode` methods. For the paper's
+//! automaton the encoding *is* the cost model — exactly two control bits
+//! per message in the byte stream. The deterministic backends prove
+//! fidelity on demand (`SpaceBuilder::wire_codec(true)`,
+//! `ClusterBuilder::wire_codec(true)`: every frame is delivered from its
+//! decoded bytes); [`TcpCluster`] has no other mode — one loopback TCP
+//! connection per ordered process pair, one frame blob per socket write:
+//!
+//! ```
+//! use twobit::{Driver, ProcessId, RegisterId, SystemConfig, TcpClusterBuilder, TwoBitProcess};
+//!
+//! let cfg = SystemConfig::new(3, 1)?;
+//! let writer = ProcessId::new(0);
+//! let mut tcp = TcpClusterBuilder::new(cfg)
+//!     .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
+//! tcp.write(writer, RegisterId::ZERO, 9)?;
+//! assert_eq!(tcp.read(ProcessId::new(2), RegisterId::ZERO)?, 9);
+//! assert!(tcp.stats().wire_bytes() > 0); // real bytes, real sockets
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Migrating to the byte-level frame API
+//!
+//! * `Frame::encode()` returns the length-prefixed blob; `Frame::decode`
+//!   expects the prefix included. `FrameHeader::bits()`/`encode()` now
+//!   include the header-codec-v2 mode bit (delta/gamma vs span bitmap,
+//!   whichever is smaller per frame); `bits_gamma()` reports the forced
+//!   delta/gamma figure for comparison.
+//! * `FrameDecodeError` is an alias of `proto::WireError` (the old
+//!   `Truncated`/`Overflow` variants remain, with new ones alongside).
+//! * Custom `WireMessage`/`Payload` impls keep compiling — the codec
+//!   methods have defaults — but must override them to cross [`TcpCluster`]
+//!   or a `wire_codec(true)` backend. See `docs/wire-format.md`.
+//!
 //! ## Migrating from the pre-`Driver` API
 //!
 //! * `ClusterBuilder::new(cfg).build(..)` and `cluster.client(p)` still
@@ -108,6 +149,8 @@
 //! * [`simnet`] — the deterministic discrete-event simulator (non-FIFO
 //!   channels, crash injection, virtual time), single-register and sharded;
 //! * [`runtime`] — the live threaded runtime with chaos links;
+//! * [`transport`] — the real-socket backend: the same cluster over
+//!   loopback TCP, one length-prefixed frame stream per ordered link;
 //! * [`lincheck`] — atomicity checking, per register;
 //! * [`harness`] — the experiments regenerating the paper's Table 1 and
 //!   in-text claims.
@@ -125,6 +168,7 @@ pub use twobit_lincheck as lincheck;
 pub use twobit_proto as proto;
 pub use twobit_runtime as runtime;
 pub use twobit_simnet as simnet;
+pub use twobit_transport as transport;
 
 pub use twobit_baselines::{AbdProcess, MwmrProcess, PhasedProcess};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
@@ -137,3 +181,4 @@ pub use twobit_runtime::{ClientError, Cluster, ClusterBuilder, FlushPolicy, Regi
 pub use twobit_simnet::{
     ClientPlan, CrashPlan, CrashPoint, DelayModel, SimBuilder, SimSpace, Simulation, SpaceBuilder,
 };
+pub use twobit_transport::{TcpCluster, TcpClusterBuilder};

@@ -8,7 +8,7 @@
 use twobit::lincheck::check_swmr_sharded;
 use twobit::{
     ClusterBuilder, Driver, DriverError, Operation, ProcessId, RegisterId, SpaceBuilder,
-    SystemConfig, TwoBitProcess, Workload,
+    SystemConfig, TcpClusterBuilder, TwoBitProcess, Workload,
 };
 
 const N: usize = 5;
@@ -78,6 +78,72 @@ fn same_workload_runs_on_runtime_backend() {
         })
         .unwrap();
     check_backend(&mut cluster, "runtime");
+}
+
+#[test]
+fn same_workload_runs_on_tcp_backend() {
+    let cfg = cfg();
+    let mut cluster = TcpClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    check_backend(&mut cluster, "tcp");
+    assert!(
+        cluster.stats().wire_bytes() > 0,
+        "tcp: the workload crossed real sockets as encoded frames"
+    );
+}
+
+/// The TCP backend and the simulator agree per register: same completed
+/// operation counts, same per-register atomicity verdicts (write/read
+/// tallies), and — since the workload's writes are fixed — the same
+/// written-value sequences. Interleavings differ (real scheduler vs
+/// virtual time); the *register semantics* must not.
+#[test]
+fn tcp_histories_match_simnet_per_register() {
+    let cfg = cfg();
+    let w = workload();
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .wire_codec(true)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    w.run_on(&mut sim).unwrap();
+    let sim_hist = sim.history();
+    let sim_verdicts = check_swmr_sharded(&sim_hist).unwrap();
+
+    let mut tcp = TcpClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    w.run_on(&mut tcp).unwrap();
+    let tcp_hist = Driver::history(&tcp);
+    let tcp_verdicts = check_swmr_sharded(&tcp_hist).unwrap();
+
+    assert_eq!(sim_hist.len(), tcp_hist.len(), "register count");
+    assert_eq!(sim_hist.total_ops(), tcp_hist.total_ops(), "op count");
+    for ((reg_s, v_s), (reg_t, v_t)) in sim_verdicts.iter().zip(tcp_verdicts.iter()) {
+        assert_eq!(reg_s, reg_t);
+        assert_eq!(v_s.writes, v_t.writes, "{reg_s}: write count");
+        assert_eq!(v_s.reads_checked, v_t.reads_checked, "{reg_s}: read count");
+    }
+    for (reg, sim_shard) in sim_hist.iter() {
+        let tcp_shard = tcp_hist.shard(reg).unwrap();
+        let writes = |h: &twobit::History<u64>| -> Vec<u64> {
+            h.records
+                .iter()
+                .filter_map(|r| r.op.written_value().copied())
+                .collect()
+        };
+        assert_eq!(writes(sim_shard), writes(tcp_shard), "{reg}: write values");
+    }
 }
 
 #[test]

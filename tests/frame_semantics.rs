@@ -33,6 +33,73 @@ fn sweep_workload(shards: usize, readers: usize, rounds: u64) -> Workload<u64> {
     w
 }
 
+/// Byte-codec fidelity on the deterministic engine: with
+/// `wire_codec(true)` every frame is encoded to a length-prefixed blob and
+/// the *decoded* copy is what gets delivered — the run executes on real
+/// bytes. The bytes must reconcile exactly with the three accounted bit
+/// classes: each frame blob is a 32-bit prefix plus its body
+/// (header + control + data bits) padded to a byte.
+#[test]
+fn simnet_wire_codec_bytes_reconcile_with_bit_accounting() {
+    let cfg = SystemConfig::max_resilience(N);
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(42)
+        .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
+        .flush_hold(500)
+        .wire_codec(true)
+        .registers(16)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+        });
+    sweep_workload(16, 2, 4).run_pipelined_on(&mut sim).unwrap();
+    sim.run_to_quiescence().unwrap();
+    check_swmr_sharded(&sim.history()).unwrap();
+
+    let stats = sim.stats();
+    assert!(stats.wire_bytes() > 0);
+    assert_eq!(
+        stats.control_bits(),
+        2 * stats.total_sent(),
+        "exactly two control bits per message, on the wire"
+    );
+    // Exact reconciliation: Σ blob bytes = Σ (4-byte prefix + body padded
+    // to a byte), where Σ body bits = header + control + data bits.
+    let body_bits = stats.frame_header_bits() + stats.control_bits() + stats.data_bits();
+    let frames = stats.frames_sent();
+    let wire_bits = stats.wire_bytes() * 8;
+    assert!(
+        wire_bits >= body_bits + 32 * frames,
+        "wire bytes cannot undercut the accounted bits: {wire_bits} < {body_bits} + 32×{frames}"
+    );
+    assert!(
+        wire_bits < body_bits + (32 + 8) * frames,
+        "per-frame overhead is bounded by the prefix plus one padding byte"
+    );
+}
+
+/// The same fidelity mode on the live runtime: the cluster's links encode
+/// and decode every frame, and the run stays atomic.
+#[test]
+fn cluster_wire_codec_stays_atomic_and_counts_bytes() {
+    let cfg = SystemConfig::max_resilience(N);
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(9)
+        .registers(4)
+        .wire_codec(true)
+        .op_timeout(Duration::from_secs(10))
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+        })
+        .unwrap();
+    sweep_workload(4, 2, 3).run_on(&mut cluster).unwrap();
+    let stats = Cluster::stats(&cluster);
+    let sharded = cluster.sharded_history();
+    drop(cluster);
+    assert!(stats.wire_bytes() > 0, "frames crossed the links as bytes");
+    assert_eq!(stats.control_bits(), 2 * stats.total_sent());
+    check_swmr_sharded(&sharded).unwrap();
+}
+
 /// The PR's acceptance bar: at 64 shards / 4 readers (the bench
 /// configuration behind `BENCH_frames.json`), the framed transport's
 /// shared headers cost at most half the per-message shard tags of the
