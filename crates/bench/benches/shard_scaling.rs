@@ -1,5 +1,6 @@
 //! Shard-count × reader-count scaling of `RegisterSpace` under the framed
-//! transport — now with the byte-level wire codec in the loop.
+//! transport — byte-level wire codec in the loop, static-vs-adaptive
+//! flush hold head to head.
 //!
 //! Sweeps the number of hosted registers and the number of reader processes
 //! per register on a 5-process deployment, measuring wall-clock cost per
@@ -7,14 +8,29 @@
 //! actually encoded and decoded (`wire_codec(true)`), so alongside the
 //! framed-vs-unframed routing-bit comparison each row reports
 //! **bytes-on-wire**: the length-prefixed blobs a socket would carry
-//! (`wire_bytes`, and `bytes_per_op`). Three row sources:
+//! (`wire_bytes`, and `bytes_per_op`). Row sources and mixes:
 //!
 //! * `simnet` / `uniform` — the historical sweep: one write + `readers`
 //!   reads per register per round, pipelined across shards;
 //! * `simnet` / `zipf95` — workload realism: register popularity drawn
 //!   from a Zipf(1.0) distribution over the shards, 95% reads / 5% writes;
+//! * `simnet` / `readmostly` — the same 95/5 read-mostly mix with uniform
+//!   register popularity;
+//! * `simnet` / `hotkey` — the contended-hot-key row: every operation
+//!   targets register r0 (readers rotating over the non-writer processes)
+//!   while the other shards sit idle;
 //! * `tcp` / `uniform` — the same portable workload on the real loopback
 //!   TCP backend (`TcpCluster`), proving the byte path end to end.
+//!
+//! The zipf95, readmostly, and hotkey rows are emitted **twice**: once
+//! under the static default hold (`hold: "static"`, `flush_hold(500)`) and
+//! once under the adaptive auto-tuner (`hold: "adaptive"`,
+//! `VirtualHold::Adaptive { floor: 0, ceil: 2000 }`), plus a static and an
+//! adaptive TCP row. Every row carries the flush-reason counters
+//! (`flushes_size`/`flushes_hold`/`flushes_shutdown`) and the mean
+//! observed hold, so the JSON shows *why* the frames formed, not just how
+//! many. CI's bench smoke job fails if the adaptive rows lose to static
+//! on bytes-on-wire for the read-mostly and zipfian mixes.
 //!
 //! The 64-shard rows also assert the header codec v2 chooser: the
 //! delta/gamma-vs-bitmap mode bit must never lose to forced delta/gamma
@@ -33,28 +49,72 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use twobit_core::TwoBitProcess;
 use twobit_proto::{
-    Driver, NetStats, Operation, ProcessId, RegisterId, RegisterSpace, SystemConfig, Workload,
+    Driver, FlushReason, NetStats, Operation, ProcessId, RegisterId, RegisterSpace, SystemConfig,
+    Workload,
 };
-use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder};
+use twobit_runtime::FlushPolicy;
+use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder, VirtualHold};
 use twobit_transport::TcpClusterBuilder;
 
 const N: usize = 5;
 const SHARD_COUNTS: [usize; 4] = [1, 4, 16, 64];
 const READER_COUNTS: [usize; 3] = [1, 2, 4];
 const ROUNDS: u64 = 4;
-/// Operations per zipfian row (reads + writes).
-const ZIPF_OPS: usize = 400;
-/// Read fraction of the read-mostly mix, in percent.
-const ZIPF_READ_PCT: u64 = 95;
+/// Operations per mixed-workload row (reads + writes).
+const MIX_OPS: usize = 400;
+/// Read fraction of the read-mostly mixes, in percent.
+const READ_PCT: u64 = 95;
+/// The static default the simnet adaptive rows are judged against, in
+/// virtual ticks.
+const STATIC_HOLD: u64 = 500;
+/// Simnet adaptive band: floor 0 (idle links flush immediately), ceiling
+/// 2000 ticks (bursty links may hold up to 4× the static default).
+const ADAPTIVE: VirtualHold = VirtualHold::Adaptive {
+    floor: 0,
+    ceil: 2_000,
+};
+/// The TCP rows run real-time holds, not virtual ticks: the static row
+/// holds 20µs (the `FlushPolicy::default()` window, max_batch 64) and
+/// the adaptive row tunes between 0 and this ceiling — both recorded in
+/// the JSON config block so the rows are reproducible as published.
+const TCP_STATIC_HOLD_US: u64 = 20;
+const TCP_ADAPTIVE_CEIL_US: u64 = 200;
 
-fn build_space(shards: usize, seed: u64) -> RegisterSpace<SimSpace<TwoBitProcess<u64>>> {
+/// Which hold policy a row ran under (also its JSON label).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Hold {
+    Static,
+    Adaptive,
+}
+
+impl Hold {
+    fn label(self) -> &'static str {
+        match self {
+            Hold::Static => "static",
+            Hold::Adaptive => "adaptive",
+        }
+    }
+
+    fn virtual_hold(self) -> VirtualHold {
+        match self {
+            Hold::Static => VirtualHold::Static(STATIC_HOLD),
+            Hold::Adaptive => ADAPTIVE,
+        }
+    }
+}
+
+fn build_space(
+    shards: usize,
+    seed: u64,
+    hold: Hold,
+) -> RegisterSpace<SimSpace<TwoBitProcess<u64>>> {
     let cfg = SystemConfig::max_resilience(N);
     let sim = SpaceBuilder::new(cfg)
         .seed(seed)
         .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
-        // Hold staged envelopes half the delay bound for company: staggered
-        // operations coalesce per link, amortizing the routing header.
-        .flush_hold(500)
+        // Static rows hold staged envelopes half the delay bound for
+        // company; adaptive rows auto-tune per link between 0 and 2000.
+        .flush_hold_policy(hold.virtual_hold())
         // Route every frame through the byte codec: the run executes on
         // decoded bytes and `wire_bytes` reports real blob sizes.
         .wire_codec(true)
@@ -88,7 +148,7 @@ fn sweep_workload(shards: usize, readers: usize) -> Workload<u64> {
 }
 
 /// Read-mostly skewed workload: register popularity ~ Zipf(1.0) over the
-/// shards, `ZIPF_READ_PCT`% reads; reader processes rotate per step.
+/// shards, `READ_PCT`% reads; reader processes rotate per step.
 fn zipf_workload(shards: usize, ops: usize, seed: u64) -> Workload<u64> {
     // Cumulative Zipf weights (w_r = 1/rank).
     let mut cum = Vec::with_capacity(shards);
@@ -103,22 +163,62 @@ fn zipf_workload(shards: usize, ops: usize, seed: u64) -> Workload<u64> {
     for i in 0..ops {
         let u: f64 = (rng.gen::<u64>() >> 11) as f64 / (1u64 << 53) as f64 * total;
         let k = cum.partition_point(|&c| c < u).min(shards - 1);
-        let reg = RegisterId::new(k);
-        let writer = k % N;
-        if rng.gen_range(0u64..100) < ZIPF_READ_PCT {
-            let reader = (writer + 1 + i % (N - 1)) % N;
-            w = w.step(reader, reg, Operation::Read);
-        } else {
-            next_value += 1;
-            w = w.step(writer, reg, Operation::Write(next_value));
-        }
+        w = mixed_step(w, k, i, &mut next_value, &mut rng);
     }
     w
+}
+
+/// Read-mostly workload with *uniform* register popularity — the
+/// read-mostly row without the zipfian skew.
+fn readmostly_workload(shards: usize, ops: usize, seed: u64) -> Workload<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new();
+    let mut next_value = 1u64;
+    for i in 0..ops {
+        let k = rng.gen_range(0usize..shards);
+        w = mixed_step(w, k, i, &mut next_value, &mut rng);
+    }
+    w
+}
+
+/// Contended-hot-key workload: every operation lands on register r0 —
+/// its writer process takes all the writes, the other four processes
+/// rotate through the reads — while `shards − 1` other registers are
+/// hosted but idle (so routing tags still exist and idle links matter).
+fn hotkey_workload(ops: usize, seed: u64) -> Workload<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = Workload::new();
+    let mut next_value = 1u64;
+    for i in 0..ops {
+        w = mixed_step(w, 0, i, &mut next_value, &mut rng);
+    }
+    w
+}
+
+/// One step of the 95/5 mixed workloads: a read from a rotating
+/// non-writer process, or a write from the register's writer.
+fn mixed_step(
+    w: Workload<u64>,
+    k: usize,
+    i: usize,
+    next_value: &mut u64,
+    rng: &mut StdRng,
+) -> Workload<u64> {
+    let reg = RegisterId::new(k);
+    let writer = k % N;
+    if rng.gen_range(0u64..100) < READ_PCT {
+        let reader = (writer + 1 + i % (N - 1)) % N;
+        w.step(reader, reg, Operation::Read)
+    } else {
+        *next_value += 1;
+        w.step(writer, reg, Operation::Write(*next_value))
+    }
 }
 
 struct Row {
     source: &'static str,
     mix: &'static str,
+    hold: &'static str,
     shards: usize,
     readers: usize,
     ops: usize,
@@ -132,11 +232,17 @@ struct Row {
     routing_bits_framed_gamma: u64,
     wire_bytes: u64,
     bytes_per_op: f64,
+    flushes_size: u64,
+    flushes_hold: u64,
+    flushes_shutdown: u64,
+    mean_hold_us: f64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn row_from_stats(
     source: &'static str,
     mix: &'static str,
+    hold: &'static str,
     shards: usize,
     readers: usize,
     ops: usize,
@@ -147,6 +253,11 @@ fn row_from_stats(
         stats.control_bits(),
         2 * stats.total_sent(),
         "the two-bit claim must survive framing and serialization"
+    );
+    assert_eq!(
+        stats.flushes_total(),
+        stats.frames_sent(),
+        "every frame must carry exactly one flush reason"
     );
     if shards == 64 {
         // Header codec v2 acceptance: the per-frame mode chooser never
@@ -161,6 +272,7 @@ fn row_from_stats(
     Row {
         source,
         mix,
+        hold,
         shards,
         readers,
         ops,
@@ -174,12 +286,16 @@ fn row_from_stats(
         routing_bits_framed_gamma: stats.frame_header_gamma_bits(),
         wire_bytes: stats.wire_bytes(),
         bytes_per_op: stats.wire_bytes() as f64 / ops as f64,
+        flushes_size: stats.flushes(FlushReason::Size),
+        flushes_hold: stats.flushes(FlushReason::Hold),
+        flushes_shutdown: stats.flushes(FlushReason::Shutdown),
+        mean_hold_us: stats.mean_observed_hold_ns() / 1_000.0,
     }
 }
 
 fn measure(shards: usize, readers: usize) -> Row {
     let workload = sweep_workload(shards, readers);
-    let mut space = build_space(shards, 42);
+    let mut space = build_space(shards, 42, Hold::Static);
     let t0 = Instant::now();
     workload
         .run_pipelined_on(space.driver_mut())
@@ -189,6 +305,7 @@ fn measure(shards: usize, readers: usize) -> Row {
     row_from_stats(
         "simnet",
         "uniform",
+        Hold::Static.label(),
         shards,
         readers,
         workload.len(),
@@ -197,18 +314,26 @@ fn measure(shards: usize, readers: usize) -> Row {
     )
 }
 
-fn measure_zipf(shards: usize) -> Row {
-    let workload = zipf_workload(shards, ZIPF_OPS, 7);
-    let mut space = build_space(shards, 42);
+/// One mixed-workload row (zipf95 / readmostly / hotkey) under the given
+/// hold policy.
+fn measure_mix(mix: &'static str, shards: usize, hold: Hold) -> Row {
+    let workload = match mix {
+        "zipf95" => zipf_workload(shards, MIX_OPS, 7),
+        "readmostly" => readmostly_workload(shards, MIX_OPS, 7),
+        "hotkey" => hotkey_workload(MIX_OPS, 7),
+        other => unreachable!("unknown mix {other}"),
+    };
+    let mut space = build_space(shards, 42, hold);
     let t0 = Instant::now();
     workload
         .run_pipelined_on(space.driver_mut())
-        .expect("zipf workload runs");
+        .expect("mixed workload runs");
     let wall = t0.elapsed();
     let stats = space.driver().stats();
     row_from_stats(
         "simnet",
-        "zipf95",
+        mix,
+        hold.label(),
         shards,
         0,
         workload.len(),
@@ -219,11 +344,22 @@ fn measure_zipf(shards: usize) -> Row {
 
 /// The same portable workload on the real loopback TCP backend: the bytes
 /// column is what `write(2)` handed to the kernel.
-fn measure_tcp(shards: usize, readers: usize) -> Row {
+fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
     let cfg = SystemConfig::max_resilience(N);
     let workload = sweep_workload(shards, readers);
+    let policy = match hold {
+        Hold::Static => {
+            FlushPolicy::fixed(64, std::time::Duration::from_micros(TCP_STATIC_HOLD_US))
+        }
+        Hold::Adaptive => FlushPolicy::adaptive(
+            64,
+            std::time::Duration::ZERO,
+            std::time::Duration::from_micros(TCP_ADAPTIVE_CEIL_US),
+        ),
+    };
     let mut cluster = TcpClusterBuilder::new(cfg)
         .registers(shards)
+        .flush_policy(policy)
         .build_sharded(0u64, |reg, id| {
             TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
         })
@@ -238,9 +374,15 @@ fn measure_tcp(shards: usize, readers: usize) -> Row {
         stats.wire_bytes() > 0,
         "TCP rows must populate bytes-on-wire"
     );
+    assert_eq!(
+        stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+        stats.total_sent(),
+        "TCP teardown reconciliation (abandoned accounting included)"
+    );
     row_from_stats(
         "tcp",
         "uniform",
+        hold.label(),
         shards,
         readers,
         workload.len(),
@@ -252,8 +394,12 @@ fn measure_tcp(shards: usize, readers: usize) -> Row {
 fn write_json(rows: &[Row]) {
     let mut out = String::from("{\n  \"bench\": \"shard_scaling_framed\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"zipf_ops\": {ZIPF_OPS}, \
-         \"zipf_read_pct\": {ZIPF_READ_PCT}, \"wire_codec\": true, \
+        "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"mix_ops\": {MIX_OPS}, \
+         \"read_pct\": {READ_PCT}, \"wire_codec\": true, \
+         \"simnet_static_hold_ticks\": {STATIC_HOLD}, \
+         \"simnet_adaptive_hold_ticks\": [0, 2000], \
+         \"tcp_static_hold_us\": {TCP_STATIC_HOLD_US}, \
+         \"tcp_adaptive_hold_us\": [0, {TCP_ADAPTIVE_CEIL_US}], \"max_batch\": 64, \
          \"transport\": \"frames\", \"unframed_baseline\": \"BENCH_shards.json\"}},\n"
     ));
     out.push_str("  \"rows\": [\n");
@@ -269,14 +415,18 @@ fn write_json(rows: &[Row]) {
             )
         };
         out.push_str(&format!(
-            "    {{\"source\": \"{}\", \"mix\": \"{}\", \"shards\": {}, \"readers\": {}, \
+            "    {{\"source\": \"{}\", \"mix\": \"{}\", \"hold\": \"{}\", \"shards\": {}, \
+             \"readers\": {}, \
              \"ops\": {}, \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"frames\": {}, \
              \"msgs_per_frame\": {:.2}, \"control_bits\": {}, \
              \"routing_bits_unframed\": {}, \"routing_bits_framed\": {}, \
              \"routing_bits_framed_gamma\": {}, \"framed_over_unframed\": {}, \
-             \"wire_bytes\": {}, \"bytes_per_op\": {:.1}}}{}\n",
+             \"wire_bytes\": {}, \"bytes_per_op\": {:.1}, \
+             \"flushes_size\": {}, \"flushes_hold\": {}, \"flushes_shutdown\": {}, \
+             \"mean_hold_us\": {:.2}}}{}\n",
             r.source,
             r.mix,
+            r.hold,
             r.shards,
             r.readers,
             r.ops,
@@ -291,6 +441,10 @@ fn write_json(rows: &[Row]) {
             ratio,
             r.wire_bytes,
             r.bytes_per_op,
+            r.flushes_size,
+            r.flushes_hold,
+            r.flushes_shutdown,
+            r.mean_hold_us,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
@@ -298,6 +452,28 @@ fn write_json(rows: &[Row]) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_frames.json");
     std::fs::write(path, out).expect("write BENCH_frames.json");
     println!("wrote {path}");
+}
+
+/// The in-bench acceptance bar (CI re-checks it from the JSON): the
+/// adaptive hold must match or beat the static default on bytes-on-wire
+/// for the zipfian and read-mostly rows. Both runs are deterministic
+/// simnet executions of the same workload, so the comparison is exact.
+fn assert_adaptive_not_worse(rows: &[Row]) {
+    for mix in ["zipf95", "readmostly"] {
+        for r in rows.iter().filter(|r| r.mix == mix && r.hold == "adaptive") {
+            let static_row = rows
+                .iter()
+                .find(|s| s.mix == mix && s.hold == "static" && s.shards == r.shards)
+                .expect("every adaptive row has a static twin");
+            assert!(
+                r.wire_bytes <= static_row.wire_bytes,
+                "adaptive loses to static on {mix}/{} shards: {} > {} wire bytes",
+                r.shards,
+                r.wire_bytes,
+                static_row.wire_bytes,
+            );
+        }
+    }
 }
 
 fn bench_shard_scaling(c: &mut Criterion) {
@@ -311,7 +487,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                 |b, &(shards, readers)| {
                     let workload = sweep_workload(shards, readers);
                     b.iter(|| {
-                        let mut space = build_space(shards, 42);
+                        let mut space = build_space(shards, 42, Hold::Static);
                         workload
                             .run_pipelined_on(space.driver_mut())
                             .expect("sweep workload runs");
@@ -337,7 +513,13 @@ fn main() {
         .iter()
         .flat_map(|&s| READER_COUNTS.iter().map(move |&r| measure(s, r)))
         .collect();
-    rows.extend(SHARD_COUNTS.iter().map(|&s| measure_zipf(s)));
-    rows.push(measure_tcp(16, 2));
+    for hold in [Hold::Static, Hold::Adaptive] {
+        rows.extend(SHARD_COUNTS.iter().map(|&s| measure_mix("zipf95", s, hold)));
+        rows.extend([16, 64].iter().map(|&s| measure_mix("readmostly", s, hold)));
+        rows.push(measure_mix("hotkey", 16, hold));
+    }
+    rows.push(measure_tcp(16, 2, Hold::Static));
+    rows.push(measure_tcp(16, 2, Hold::Adaptive));
+    assert_adaptive_not_worse(&rows);
     write_json(&rows);
 }

@@ -67,5 +67,5 @@ pub use op::{OpId, OpOutcome, Operation};
 pub use payload::Payload;
 pub use shard::{ShardSet, UnknownRegister};
 pub use space::RegisterSpace;
-pub use stats::{NetStats, ShardTraffic, StatsSnapshot};
+pub use stats::{FlushReason, NetStats, ShardTraffic, StatsSnapshot};
 pub use wire::{Envelope, MessageCost, WireMessage};

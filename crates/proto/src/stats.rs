@@ -13,6 +13,24 @@ use crate::frame::FrameCost;
 use crate::id::RegisterId;
 use crate::wire::MessageCost;
 
+/// Why a link's pending batch was flushed into a frame.
+///
+/// Every frame a backend sends results from exactly one flush decision, so
+/// `flushes(Size) + flushes(Hold) + flushes(Shutdown) == frames_sent()`
+/// whenever a backend records both — the counters explain *why* the frames
+/// in [`NetStats::frames_sent`] formed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlushReason {
+    /// The batch reached the policy's `max_batch` bound.
+    Size,
+    /// The oldest pending item's hold window expired (on the virtual-time
+    /// engine: the link's flush marker fired).
+    Hold,
+    /// The link was shutting down and flushed unconditionally so nothing
+    /// is stranded.
+    Shutdown,
+}
+
 /// Per-register (shard) traffic counters inside a [`NetStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardTraffic {
@@ -54,6 +72,13 @@ pub struct NetStats {
     framed_messages: u64,
     max_frame_messages: u64,
     wire_bytes: u64,
+    flushes_size: u64,
+    flushes_hold: u64,
+    flushes_shutdown: u64,
+    observed_hold_ns: u64,
+    max_observed_hold_ns: u64,
+    links_abandoned: u64,
+    messages_abandoned: u64,
 }
 
 impl NetStats {
@@ -127,6 +152,38 @@ impl NetStats {
         self.dropped_to_crashed += 1;
     }
 
+    /// Records one flush decision: why the batch became a frame and how
+    /// long its oldest item was actually held (nanoseconds of real time on
+    /// the live backends; virtual ticks × 1000 on the simulator, matching
+    /// its tick = 1µs interpretation).
+    pub fn record_flush(&mut self, reason: FlushReason, held_ns: u64) {
+        match reason {
+            FlushReason::Size => self.flushes_size += 1,
+            FlushReason::Hold => self.flushes_hold += 1,
+            FlushReason::Shutdown => self.flushes_shutdown += 1,
+        }
+        self.observed_hold_ns += held_ns;
+        self.max_observed_hold_ns = self.max_observed_hold_ns.max(held_ns);
+    }
+
+    /// Records a link abandoned mid-stream: a socket write failed, or a
+    /// reader met an oversized length prefix / corrupt frame it cannot
+    /// account message-by-message. While this is non-zero the
+    /// `delivered + dropped + abandoned == sent` teardown reconciliation
+    /// may not balance exactly (a poisoned frame's message count is
+    /// unknowable); when it is zero, the reconciliation must hold.
+    pub fn record_link_abandoned(&mut self) {
+        self.links_abandoned += 1;
+    }
+
+    /// Records `n` messages abandoned with a failed link (counted, unlike
+    /// a poisoned frame's contents): messages whose socket write failed,
+    /// plus everything drained off the dead link afterwards so teardown
+    /// reconciliation still balances.
+    pub fn record_messages_abandoned(&mut self, n: u64) {
+        self.messages_abandoned += n;
+    }
+
     /// Messages sent, total.
     pub fn total_sent(&self) -> u64 {
         self.total_sent
@@ -196,6 +253,58 @@ impl NetStats {
     /// backend encodes frames — see [`NetStats::record_wire_bytes`]).
     pub fn wire_bytes(&self) -> u64 {
         self.wire_bytes
+    }
+
+    /// Flushes recorded for the given reason.
+    pub fn flushes(&self, reason: FlushReason) -> u64 {
+        match reason {
+            FlushReason::Size => self.flushes_size,
+            FlushReason::Hold => self.flushes_hold,
+            FlushReason::Shutdown => self.flushes_shutdown,
+        }
+    }
+
+    /// Total flush decisions recorded — equals [`NetStats::frames_sent`]
+    /// on backends that record flush reasons (every frame is one flush).
+    pub fn flushes_total(&self) -> u64 {
+        self.flushes_size + self.flushes_hold + self.flushes_shutdown
+    }
+
+    /// Sum of observed hold times across all recorded flushes, in
+    /// nanoseconds (see [`NetStats::record_flush`] for the simulator's
+    /// tick conversion).
+    pub fn observed_hold_ns(&self) -> u64 {
+        self.observed_hold_ns
+    }
+
+    /// Longest observed hold of any single flush, in nanoseconds.
+    pub fn max_observed_hold_ns(&self) -> u64 {
+        self.max_observed_hold_ns
+    }
+
+    /// Mean observed hold per flush in nanoseconds (0.0 before any flush
+    /// was recorded) — the figure that shows how hard an adaptive policy
+    /// actually held batches back.
+    pub fn mean_observed_hold_ns(&self) -> f64 {
+        let flushes = self.flushes_total();
+        if flushes == 0 {
+            0.0
+        } else {
+            self.observed_hold_ns as f64 / flushes as f64
+        }
+    }
+
+    /// Links abandoned mid-stream (failed writes, poisoned frames). See
+    /// [`NetStats::record_link_abandoned`] for the reconciliation caveat.
+    pub fn links_abandoned(&self) -> u64 {
+        self.links_abandoned
+    }
+
+    /// Messages abandoned with failed links — the countable share of
+    /// abandoned traffic, included in teardown reconciliation as
+    /// `delivered + dropped + abandoned == sent`.
+    pub fn messages_abandoned(&self) -> u64 {
+        self.messages_abandoned
     }
 
     /// Messages that travelled inside frames.
@@ -408,6 +517,50 @@ mod tests {
 
         s.record_frame_drop_to_crashed(3);
         assert_eq!(s.dropped_to_crashed(), 3);
+    }
+
+    #[test]
+    fn flush_reasons_and_hold_summary_accumulate() {
+        let mut s = NetStats::new();
+        s.record_flush(FlushReason::Size, 1_000);
+        s.record_flush(FlushReason::Size, 3_000);
+        s.record_flush(FlushReason::Hold, 20_000);
+        s.record_flush(FlushReason::Shutdown, 0);
+        assert_eq!(s.flushes(FlushReason::Size), 2);
+        assert_eq!(s.flushes(FlushReason::Hold), 1);
+        assert_eq!(s.flushes(FlushReason::Shutdown), 1);
+        assert_eq!(s.flushes_total(), 4);
+        assert_eq!(s.observed_hold_ns(), 24_000);
+        assert_eq!(s.max_observed_hold_ns(), 20_000);
+        assert!((s.mean_observed_hold_ns() - 6_000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn abandoned_counters_close_the_reconciliation() {
+        let mut s = NetStats::new();
+        for _ in 0..10 {
+            s.record_send("A", MessageCost::new(2, 0));
+        }
+        s.record_deliveries(6);
+        s.record_frame_drop_to_crashed(1);
+        s.record_link_abandoned();
+        s.record_messages_abandoned(3);
+        assert_eq!(s.links_abandoned(), 1);
+        assert_eq!(s.messages_abandoned(), 3);
+        assert_eq!(
+            s.total_delivered() + s.dropped_to_crashed() + s.messages_abandoned(),
+            s.total_sent(),
+            "abandoned messages keep teardown reconciliation balanced"
+        );
+    }
+
+    #[test]
+    fn fresh_stats_report_zero_flushes_and_holds() {
+        let s = NetStats::new();
+        assert_eq!(s.flushes_total(), 0);
+        assert_eq!(s.mean_observed_hold_ns(), 0.0);
+        assert_eq!(s.links_abandoned(), 0);
+        assert_eq!(s.messages_abandoned(), 0);
     }
 
     #[test]

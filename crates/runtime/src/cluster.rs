@@ -26,8 +26,9 @@ use twobit_proto::{
 };
 use twobit_simnet::DelayModel;
 
+use crate::batcher::{BuildError, FlushPolicy};
 use crate::client::{ClientError, OpHandle, RegisterClient};
-use crate::link::{spawn_link, FlushPolicy, LinkConfig};
+use crate::link::{spawn_link, LinkConfig};
 use crate::recorder::Recorder;
 
 /// Messages consumed by a process thread.
@@ -106,6 +107,7 @@ pub struct ClusterBuilder {
     op_timeout: Duration,
     registers: Vec<RegisterId>,
     flush: FlushPolicy,
+    flush_overrides: HashMap<(ProcessId, ProcessId), FlushPolicy>,
     wire_codec: bool,
 }
 
@@ -120,6 +122,7 @@ impl ClusterBuilder {
             op_timeout: Duration::from_secs(10),
             registers: vec![RegisterId::ZERO],
             flush: FlushPolicy::default(),
+            flush_overrides: HashMap::new(),
             wire_codec: false,
         }
     }
@@ -137,10 +140,28 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the links' frame flush policy (how aggressively envelopes
-    /// coalesce; [`FlushPolicy::immediate`] disables batching).
+    /// Sets the links' default frame flush policy (how aggressively
+    /// envelopes coalesce; [`FlushPolicy::immediate`] disables batching,
+    /// [`FlushPolicy::adaptive`] auto-tunes the hold per link). Validated
+    /// at build time — an unsatisfiable policy is a typed
+    /// [`BuildError::Config`], not a panic inside a link thread.
     pub fn flush_policy(mut self, flush: FlushPolicy) -> Self {
         self.flush = flush;
+        self
+    }
+
+    /// Overrides the flush policy for one ordered link `src → dst`,
+    /// leaving every other link on the cluster-wide default — the
+    /// asymmetric-topology knob (e.g. coalesce hard toward a write-heavy
+    /// hub while keeping reader links latency-lean). Also validated at
+    /// build time.
+    pub fn flush_policy_for(
+        mut self,
+        src: impl Into<ProcessId>,
+        dst: impl Into<ProcessId>,
+        flush: FlushPolicy,
+    ) -> Self {
+        self.flush_overrides.insert((src.into(), dst.into()), flush);
         self
     }
 
@@ -179,9 +200,9 @@ impl ClusterBuilder {
     ///
     /// # Errors
     ///
-    /// Currently infallible; returns `Result` for forward compatibility
-    /// with transport-backed clusters.
-    pub fn build<A, F>(self, initial: A::Value, mut make: F) -> Result<Cluster<A>, std::io::Error>
+    /// [`BuildError::Config`] for an unsatisfiable flush policy (default
+    /// or per-link override); I/O never fails on this in-process backend.
+    pub fn build<A, F>(self, initial: A::Value, mut make: F) -> Result<Cluster<A>, BuildError>
     where
         A: Automaton,
         F: FnMut(ProcessId) -> A,
@@ -195,13 +216,15 @@ impl ClusterBuilder {
     ///
     /// # Errors
     ///
-    /// Currently infallible; returns `Result` for forward compatibility
-    /// with transport-backed clusters.
+    /// [`BuildError::Config`] for an unsatisfiable flush policy (default
+    /// or per-link override) — caught here, before any thread exists,
+    /// because a policy that panics a spawned link thread would silently
+    /// strand every message on that pair instead.
     pub fn build_sharded<A, F>(
         self,
         initial: A::Value,
         mut make: F,
-    ) -> Result<Cluster<A>, std::io::Error>
+    ) -> Result<Cluster<A>, BuildError>
     where
         A: Automaton,
         F: FnMut(RegisterId, ProcessId) -> A,
@@ -211,6 +234,10 @@ impl ClusterBuilder {
             !self.registers.is_empty(),
             "cluster needs at least one register"
         );
+        self.flush.validate()?;
+        for (link, policy) in &self.flush_overrides {
+            policy.validate_for(Some(*link))?;
+        }
         let crashed: Vec<Arc<AtomicBool>> =
             (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
         let stats = Arc::new(Mutex::new(NetStats::new()));
@@ -255,22 +282,33 @@ impl ClusterBuilder {
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                     .wrapping_add((i * n + j) as u64);
                 // The flush closure is where batches become frames — and
-                // where the shared-header routing cost is accounted, plus
-                // the byte-codec round trip under `wire_codec`.
+                // where the shared-header routing cost, the flush reason,
+                // and the observed hold are accounted, plus the byte-codec
+                // round trip under `wire_codec`.
                 let stats_f = Arc::clone(&stats);
                 let wire_codec = self.wire_codec;
-                let build_frame = move |batch: Vec<Envelope<A::Msg>>| {
-                    let frame = Frame::from_envelopes(batch);
-                    stats_f.lock().record_frame(frame.cost(tag_bits));
-                    if !wire_codec {
-                        return frame;
-                    }
-                    let blob = frame
-                        .encode()
-                        .expect("wire_codec requires a codec-capable message type");
-                    stats_f.lock().record_wire_bytes(blob.len() as u64);
-                    Frame::decode(&blob).expect("frame byte codec must round-trip")
-                };
+                let build_frame =
+                    move |batch: Vec<Envelope<A::Msg>>,
+                          reason: twobit_proto::FlushReason,
+                          held: std::time::Duration| {
+                        let frame = Frame::from_envelopes(batch);
+                        {
+                            let mut st = stats_f.lock();
+                            st.record_frame(frame.cost(tag_bits));
+                            st.record_flush(
+                                reason,
+                                held.as_nanos().min(u128::from(u64::MAX)) as u64,
+                            );
+                        }
+                        if !wire_codec {
+                            return frame;
+                        }
+                        let blob = frame
+                            .encode()
+                            .expect("wire_codec requires a codec-capable message type");
+                        stats_f.lock().record_wire_bytes(blob.len() as u64);
+                        Frame::decode(&blob).expect("frame byte codec must round-trip")
+                    };
                 // Frames reaching their deadline after the destination
                 // crashed drop whole — and must still be accounted, so
                 // delivered + dropped reconciles with sent like on the
@@ -281,11 +319,16 @@ impl ClusterBuilder {
                         .lock()
                         .record_frame_drop_to_crashed(frame.len() as u64);
                 };
+                let policy = self
+                    .flush_overrides
+                    .get(&(from, ProcessId::new(j)))
+                    .copied()
+                    .unwrap_or(self.flush);
                 let link = spawn_link(
                     rx,
                     framed_tx,
                     LinkConfig {
-                        policy: self.flush,
+                        policy,
                         delay: self.delay,
                         seed,
                         dest_crashed: Arc::clone(&crashed[j]),
@@ -641,11 +684,99 @@ impl<A: Automaton> Driver for Cluster<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batcher::{ConfigError, HoldPolicy};
     use twobit_baselines::AbdProcess;
     use twobit_core::TwoBitProcess;
 
     fn cfg(n: usize) -> SystemConfig {
         SystemConfig::max_resilience(n)
+    }
+
+    #[test]
+    fn builder_rejects_zero_max_batch_as_typed_error() {
+        // Regression: a zero max_batch used to be caught by an assert!
+        // inside each spawned link thread — the panic stranded every
+        // message on that pair while the cluster looked healthy.
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let err = ClusterBuilder::new(c)
+            .flush_policy(FlushPolicy {
+                max_batch: 0,
+                hold: HoldPolicy::Static(Duration::ZERO),
+            })
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64));
+        let Err(err) = err else {
+            panic!("a zero max_batch must fail the build")
+        };
+        assert!(
+            matches!(
+                err,
+                BuildError::Config(ConfigError::ZeroMaxBatch { link: None })
+            ),
+            "expected a typed config error, got {err}"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_bad_per_link_override_naming_the_link() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let err = ClusterBuilder::new(c)
+            .flush_policy_for(0, 2, FlushPolicy::fixed(0, Duration::ZERO))
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64));
+        let Err(err) = err else {
+            panic!("a zero max_batch override must fail the build")
+        };
+        match err {
+            BuildError::Config(ConfigError::ZeroMaxBatch { link: Some((a, b)) }) => {
+                assert_eq!((a, b), (ProcessId::new(0), ProcessId::new(2)));
+            }
+            other => panic!("expected a link-naming config error, got {other}"),
+        }
+        let err = ClusterBuilder::new(c)
+            .flush_policy_for(
+                1,
+                0,
+                FlushPolicy::adaptive(8, Duration::from_micros(50), Duration::from_micros(10)),
+            )
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64));
+        let Err(err) = err else {
+            panic!("an inverted adaptive band must fail the build")
+        };
+        assert!(matches!(
+            err,
+            BuildError::Config(ConfigError::HoldFloorAboveCeil { .. })
+        ));
+    }
+
+    #[test]
+    fn per_link_overrides_and_adaptive_default_serve_reads_and_writes() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(31)
+            .flush_policy(FlushPolicy::adaptive(
+                64,
+                Duration::ZERO,
+                Duration::from_micros(200),
+            ))
+            // One asymmetric link kept latency-lean.
+            .flush_policy_for(0, 1, FlushPolicy::immediate())
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        let mut r = cluster.client(1);
+        for i in 1..=5u64 {
+            w.write(i).unwrap();
+            assert_eq!(r.read().unwrap(), i);
+        }
+        let (history, stats) = cluster.shutdown();
+        twobit_lincheck::check_swmr(&history).unwrap();
+        assert_eq!(
+            stats.flushes_total(),
+            stats.frames_sent(),
+            "every frame carries exactly one flush reason"
+        );
     }
 
     #[test]

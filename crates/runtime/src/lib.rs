@@ -39,12 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batcher;
 pub mod client;
 pub mod cluster;
 mod link;
 pub mod recorder;
 
+pub use batcher::{BuildError, ConfigError, Flush, FlushPolicy, HoldPolicy, LinkBatcher};
 pub use client::{ClientError, OpHandle, RegisterClient};
 pub use cluster::{process_loop, Cluster, ClusterBuilder, Incoming, OutboundLinks};
-pub use link::FlushPolicy;
 pub use recorder::Recorder;

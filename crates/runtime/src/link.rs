@@ -2,12 +2,12 @@
 //! now speaking *frames*.
 //!
 //! One link thread serves one ordered process pair `p_i → p_j`. Incoming
-//! items accumulate in a pending batch under a [`FlushPolicy`]
-//! (size-based and hold-time-based); each flush hands the batch to a
-//! caller-supplied closure — the cluster builds a
-//! [`Frame`](twobit_proto::Frame) there and records its shared-header cost —
-//! and the result enters the delay heap as **one unit** with **one**
-//! independently sampled delay (ticks of the
+//! items accumulate in the shared [`LinkBatcher`] under a [`FlushPolicy`]
+//! (size-based, hold-based — static or adaptive); each flush hands the
+//! batch to a caller-supplied closure — the cluster builds a
+//! [`Frame`](twobit_proto::Frame) there and records its shared-header cost
+//! plus the flush reason — and the result enters the delay heap as **one
+//! unit** with **one** independently sampled delay (ticks of the
 //! [`DelayModel`](twobit_simnet::DelayModel) interpreted as microseconds).
 //! A later flush with a shorter delay genuinely overtakes an earlier one —
 //! the non-FIFO channel of the paper's model, realized with real threads.
@@ -24,46 +24,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use twobit_proto::FlushReason;
 use twobit_simnet::DelayModel;
 
-/// When a link flushes its pending batch into one frame.
-///
-/// A batch flushes as soon as **either** bound is hit: it has `max_batch`
-/// items, or its oldest item has waited `max_hold`. Items already queued on
-/// the channel are drained into the batch in one gulp before either bound
-/// is checked, so a burst coalesces without paying the hold time; `max_hold`
-/// only bounds how long a lone early message waits for company.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct FlushPolicy {
-    /// Flush when this many items are pending (≥ 1).
-    pub max_batch: usize,
-    /// Flush when the oldest pending item has waited this long.
-    pub max_hold: Duration,
-}
-
-impl FlushPolicy {
-    /// No coalescing: every item crosses the link alone, immediately.
-    pub fn immediate() -> Self {
-        FlushPolicy {
-            max_batch: 1,
-            max_hold: Duration::ZERO,
-        }
-    }
-}
-
-impl Default for FlushPolicy {
-    /// Coalesce up to 64 items, holding the batch at most 20µs — well under
-    /// the default 50–500µs link delays it amortizes against.
-    fn default() -> Self {
-        FlushPolicy {
-            max_batch: 64,
-            max_hold: Duration::from_micros(20),
-        }
-    }
-}
+use crate::batcher::{FlushPolicy, LinkBatcher};
 
 /// A flushed unit queued on a link, ordered by delivery deadline.
 struct Queued<B> {
@@ -91,7 +58,8 @@ impl<B> Ord for Queued<B> {
 
 /// Static configuration of one link thread.
 pub(crate) struct LinkConfig {
-    /// When pending items coalesce into a frame.
+    /// When pending items coalesce into a frame (validated by the
+    /// builder before this thread exists).
     pub(crate) policy: FlushPolicy,
     /// Per-frame delay sampler (ticks = microseconds).
     pub(crate) delay: DelayModel,
@@ -103,9 +71,10 @@ pub(crate) struct LinkConfig {
 
 /// Spawns the link thread for one ordered pair.
 ///
-/// Items received on `rx` accumulate under the config's flush policy; each
-/// flush maps the batch through `flush` (where the cluster builds a frame
-/// and accounts its header) and holds the result until its sampled
+/// Items received on `rx` accumulate in a [`LinkBatcher`] under the
+/// config's flush policy; each flush maps the batch through `flush`
+/// (where the cluster builds a frame and accounts its header, the flush
+/// reason, and the observed hold) and holds the result until its sampled
 /// deadline, then forwards it via `deliver` — unless the destination has
 /// crashed, checked **at delivery time** so a crash while a unit is in
 /// flight (including during the shutdown drain) hands the whole unit to
@@ -123,7 +92,7 @@ pub(crate) fn spawn_link<M, B, F, D>(
 where
     M: Send + 'static,
     B: Send + 'static,
-    F: FnMut(Vec<M>) -> B + Send + 'static,
+    F: FnMut(Vec<M>, FlushReason, Duration) -> B + Send + 'static,
     D: FnMut(B) + Send + 'static,
 {
     let LinkConfig {
@@ -132,12 +101,10 @@ where
         seed,
         dest_crashed,
     } = config;
-    assert!(policy.max_batch >= 1, "flush policy needs max_batch >= 1");
     std::thread::spawn(move || {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut heap: BinaryHeap<Reverse<Queued<B>>> = BinaryHeap::new();
-        let mut pending: Vec<M> = Vec::new();
-        let mut pending_since: Option<Instant> = None;
+        let mut batcher: LinkBatcher<M> = LinkBatcher::new(policy);
         let mut seq = 0u64;
         let mut disconnected = false;
         loop {
@@ -158,42 +125,25 @@ where
 
             // Opportunistically pull whatever is already queued on the
             // channel (up to the batch bound) — coalescing without holding.
-            while pending.len() < policy.max_batch {
-                match rx.try_recv() {
-                    Ok(m) => {
-                        if pending.is_empty() {
-                            pending_since = Some(Instant::now());
-                        }
-                        pending.push(m);
-                    }
-                    Err(TryRecvError::Empty) => break,
-                    Err(TryRecvError::Disconnected) => {
-                        disconnected = true;
-                        break;
-                    }
-                }
+            if batcher.gulp(&rx) {
+                disconnected = true;
             }
 
             // Flush when a policy bound is hit, or unconditionally on
             // shutdown so no message is stranded.
-            let hold_expired = pending_since.is_some_and(|t| t.elapsed() >= policy.max_hold);
-            if !pending.is_empty()
-                && (pending.len() >= policy.max_batch || hold_expired || disconnected)
-            {
-                let batch = std::mem::take(&mut pending);
-                pending_since = None;
+            if let Some(f) = batcher.take_due(Instant::now(), disconnected) {
                 // One tick of the delay model = 1µs of real time.
                 let micros = delay.sample(&mut rng);
                 heap.push(Reverse(Queued {
                     deadline: Instant::now() + Duration::from_micros(micros),
                     seq,
-                    unit: flush(batch),
+                    unit: flush(f.batch, f.reason, f.held),
                 }));
                 seq += 1;
             }
 
             if disconnected {
-                if heap.is_empty() && pending.is_empty() {
+                if heap.is_empty() && !batcher.has_pending() {
                     return;
                 }
                 // Drain: sleep to the next deadline, then loop so delivery
@@ -206,8 +156,9 @@ where
             }
 
             // Wait for the next deadline (delivery or flush) or the next
-            // incoming item.
-            let next_flush = pending_since.map(|t| t + policy.max_hold);
+            // incoming item. With nothing pending and nothing in flight
+            // this is a plain blocking recv — the no-busy-spin path.
+            let next_flush = batcher.flush_deadline();
             let next_delivery = heap.peek().map(|Reverse(q)| q.deadline);
             let next_deadline = match (next_flush, next_delivery) {
                 (Some(a), Some(b)) => Some(a.min(b)),
@@ -217,21 +168,13 @@ where
                 Some(deadline) => {
                     let d = deadline.saturating_duration_since(Instant::now());
                     match rx.recv_timeout(d) {
-                        Ok(m) => {
-                            if pending.is_empty() {
-                                pending_since = Some(Instant::now());
-                            }
-                            pending.push(m);
-                        }
+                        Ok(m) => batcher.push(m, Instant::now()),
                         Err(RecvTimeoutError::Timeout) => {}
                         Err(RecvTimeoutError::Disconnected) => disconnected = true,
                     }
                 }
                 None => match rx.recv() {
-                    Ok(m) => {
-                        pending_since = Some(Instant::now());
-                        pending.push(m);
-                    }
+                    Ok(m) => batcher.push(m, Instant::now()),
                     Err(_) => disconnected = true,
                 },
             }
@@ -244,6 +187,7 @@ mod tests {
     use std::sync::atomic::AtomicU32;
 
     use super::*;
+    use crate::batcher::HoldPolicy;
     use crossbeam::channel::unbounded;
 
     /// Spawns a link whose flush unit is simply the batch itself; dropped
@@ -273,7 +217,7 @@ mod tests {
                 seed,
                 dest_crashed: crashed,
             },
-            |b| b,
+            |b, _reason, _held| b,
             move |b: Vec<u32>| {
                 dropped_w.fetch_add(b.len() as u32, Ordering::Relaxed);
             },
@@ -347,10 +291,7 @@ mod tests {
     fn burst_coalesces_into_one_batch() {
         let crashed = Arc::new(AtomicBool::new(false));
         let (tx, out, _dropped, h) = id_link(
-            FlushPolicy {
-                max_batch: 64,
-                max_hold: Duration::from_millis(5),
-            },
+            FlushPolicy::fixed(64, Duration::from_millis(5)),
             DelayModel::Fixed(2_000),
             5,
             crashed,
@@ -378,10 +319,7 @@ mod tests {
     fn max_batch_caps_batch_size() {
         let crashed = Arc::new(AtomicBool::new(false));
         let (tx, out, _dropped, h) = id_link(
-            FlushPolicy {
-                max_batch: 8,
-                max_hold: Duration::from_millis(5),
-            },
+            FlushPolicy::fixed(8, Duration::from_millis(5)),
             DelayModel::Fixed(1_000),
             6,
             crashed,
@@ -404,10 +342,7 @@ mod tests {
         // delivery time and drop the whole batch.
         let crashed = Arc::new(AtomicBool::new(false));
         let (tx, out, dropped, h) = id_link(
-            FlushPolicy {
-                max_batch: 64,
-                max_hold: Duration::ZERO,
-            },
+            FlushPolicy::fixed(64, Duration::ZERO),
             DelayModel::Fixed(50_000), // 50ms in flight
             2,
             Arc::clone(&crashed),
@@ -427,6 +362,70 @@ mod tests {
             dropped.load(Ordering::Relaxed),
             10,
             "all ten messages were accounted as dropped, none delivered"
+        );
+    }
+
+    /// The trickle regression the adaptive hold exists for: messages
+    /// arriving far apart must neither strand (waiting for company that
+    /// never comes) nor busy-spin the thread. Exercises both a zero-hold
+    /// static policy and an adaptive one on the same workload.
+    #[test]
+    fn trickle_workload_strands_nothing_under_static_zero_and_adaptive_holds() {
+        for policy in [
+            FlushPolicy::fixed(64, Duration::ZERO),
+            FlushPolicy::adaptive(64, Duration::ZERO, Duration::from_micros(500)),
+        ] {
+            let crashed = Arc::new(AtomicBool::new(false));
+            let (tx, out, dropped, h) = id_link(policy, DelayModel::Fixed(100), 13, crashed);
+            let t0 = Instant::now();
+            for i in 0..20 {
+                tx.send(i).unwrap();
+                std::thread::sleep(Duration::from_millis(2)); // idle link
+            }
+            drop(tx);
+            h.join().unwrap();
+            let got: Vec<u32> = out.iter().flatten().collect();
+            assert_eq!(got.len(), 20, "no stranded messages under {policy:?}");
+            assert_eq!(dropped.load(Ordering::Relaxed), 0);
+            // Lone messages on an idle link flush immediately under both
+            // policies: the whole trickle (20 × 2ms pacing + 100µs delays)
+            // completes promptly instead of waiting out hold ceilings.
+            assert!(
+                t0.elapsed() < Duration::from_secs(2),
+                "idle-link flushes were not delayed: {:?}",
+                t0.elapsed()
+            );
+        }
+    }
+
+    /// A bursty sender under the adaptive policy coalesces harder than
+    /// the trickle case: batches actually fill.
+    #[test]
+    fn adaptive_link_coalesces_bursts() {
+        let crashed = Arc::new(AtomicBool::new(false));
+        let (tx, out, _dropped, h) = id_link(
+            FlushPolicy {
+                max_batch: 16,
+                hold: HoldPolicy::Adaptive {
+                    floor: Duration::ZERO,
+                    ceil: Duration::from_millis(2),
+                },
+            },
+            DelayModel::Fixed(100),
+            17,
+            crashed,
+        );
+        for i in 0..64 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        h.join().unwrap();
+        let batches: Vec<Vec<u32>> = out.iter().collect();
+        assert_eq!(batches.iter().map(Vec::len).sum::<usize>(), 64);
+        assert!(
+            batches.len() <= 8,
+            "a burst coalesces under the adaptive hold, got {} batches",
+            batches.len()
         );
     }
 }

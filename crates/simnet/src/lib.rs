@@ -52,7 +52,7 @@ pub use crash::{CrashPlan, CrashPoint};
 pub use delay::DelayModel;
 pub use invariant::{InFlightMsg, InvariantViolation, SimInvariant, SimView};
 pub use sim::{SimBuilder, SimError, SimReport, Simulation};
-pub use space::{SimSpace, SpaceBuilder};
+pub use space::{SimSpace, SpaceBuilder, VirtualHold};
 pub use twobit_proto::stats::{NetStats, StatsSnapshot};
 pub use workload::{ClientPlan, PlannedOp};
 

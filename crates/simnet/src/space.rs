@@ -46,13 +46,66 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, Frame, NetStats, OpId, OpOutcome, OpRecord,
-    OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
-    WireMessage,
+    Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, NetStats, OpId,
+    OpOutcome, OpRecord, OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory,
+    SystemConfig, WireMessage,
 };
 
 use crate::delay::DelayModel;
 use crate::SimTime;
+
+/// How long a staged link waits for company before flushing, in virtual
+/// ticks — the engine-side counterpart of the runtime links'
+/// `HoldPolicy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VirtualHold {
+    /// A fixed hold window (0 coalesces exactly the sends of one virtual
+    /// instant — the historical `flush_hold` behaviour).
+    Static(SimTime),
+    /// Auto-tune the hold between `floor` and `ceil` from the link's
+    /// observed (EWMA) inter-arrival gap in virtual ticks: an idle link
+    /// flushes after `floor`, a busy link holds toward `ceil` so staggered
+    /// operations coalesce. The same idle/busy EWMA rule as the live
+    /// runtime's adaptive `FlushPolicy`, with one deliberate difference:
+    /// the virtual engine has no `max_batch` size bound, so a busy link's
+    /// hold stretches toward a fixed few arrivals' worth
+    /// (`VIRTUAL_GAP_MULTIPLIER` × gap, clamped by `ceil`) instead of the
+    /// live batcher's time-to-fill-a-batch (`gap × max_batch`).
+    Adaptive {
+        /// Minimum hold, applied when the link looks idle.
+        floor: SimTime,
+        /// Maximum hold, approached as the link gets bursty; also the
+        /// idleness threshold (an EWMA gap at or beyond `ceil` means the
+        /// next arrival is not worth waiting for).
+        ceil: SimTime,
+    },
+}
+
+impl VirtualHold {
+    fn validate(&self) {
+        if let VirtualHold::Adaptive { floor, ceil } = self {
+            assert!(
+                floor <= ceil,
+                "adaptive virtual hold has floor {floor} above ceil {ceil}"
+            );
+        }
+    }
+}
+
+/// Per-link adaptive state: the EWMA inter-arrival gap and the last
+/// arrival instant, in virtual ticks (`None` before the link's first
+/// arrival, matching the live batcher: one message is no evidence).
+#[derive(Clone, Copy, Debug, Default)]
+struct LinkGap {
+    ewma: Option<SimTime>,
+    last_arrival: Option<SimTime>,
+}
+
+/// How many arrivals' worth a busy adaptive link holds for, in the
+/// absence of a size bound (the virtual engine frames whatever is staged
+/// when the marker fires — there is no `max_batch` whose fill time the
+/// hold could target, so a fixed small multiple stands in).
+const VIRTUAL_GAP_MULTIPLIER: u64 = 4;
 
 /// Builder for a [`SimSpace`].
 pub struct SpaceBuilder {
@@ -61,7 +114,8 @@ pub struct SpaceBuilder {
     delay: DelayModel,
     registers: Vec<RegisterId>,
     max_events: u64,
-    flush_hold: SimTime,
+    flush_hold: VirtualHold,
+    hold_overrides: BTreeMap<(ProcessId, ProcessId), VirtualHold>,
     wire_codec: bool,
 }
 
@@ -75,7 +129,8 @@ impl SpaceBuilder {
             delay: DelayModel::Fixed(crate::DEFAULT_DELTA),
             registers: vec![RegisterId::ZERO],
             max_events: 50_000_000,
-            flush_hold: 0,
+            flush_hold: VirtualHold::Static(0),
+            hold_overrides: BTreeMap::new(),
             wire_codec: false,
         }
     }
@@ -124,8 +179,8 @@ impl SpaceBuilder {
         self
     }
 
-    /// Sets the flush hold window, in virtual ticks — the engine-side
-    /// counterpart of the runtime links' size/ticks `FlushPolicy`:
+    /// Sets a static flush hold window, in virtual ticks — the engine-side
+    /// counterpart of the runtime links' `FlushPolicy`:
     /// envelopes staged on a link wait
     /// up to this long for company before flushing as one frame. The
     /// default of 0 coalesces exactly the sends of one virtual instant;
@@ -134,7 +189,42 @@ impl SpaceBuilder {
     /// way the channel stays a legal asynchronous channel — the hold is
     /// just extra (bounded) delay.
     pub fn flush_hold(mut self, ticks: SimTime) -> Self {
-        self.flush_hold = ticks;
+        self.flush_hold = VirtualHold::Static(ticks);
+        self
+    }
+
+    /// Sets the flush hold policy, including the adaptive variant
+    /// ([`VirtualHold::Adaptive`]) that auto-tunes each link's hold from
+    /// its observed inter-arrival gaps — the virtual-time analogue of the
+    /// runtime's adaptive `FlushPolicy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an adaptive hold with `floor > ceil` (this builder has no
+    /// fallible build step; the live builders return a typed error for the
+    /// same mistake).
+    pub fn flush_hold_policy(mut self, hold: VirtualHold) -> Self {
+        hold.validate();
+        self.flush_hold = hold;
+        self
+    }
+
+    /// Overrides the hold policy for one ordered link `src → dst`,
+    /// leaving every other link on the space-wide default — the
+    /// asymmetric-topology knob, mirrored on the live builders as
+    /// `flush_policy_for`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an adaptive hold with `floor > ceil`.
+    pub fn flush_hold_for(
+        mut self,
+        src: impl Into<ProcessId>,
+        dst: impl Into<ProcessId>,
+        hold: VirtualHold,
+    ) -> Self {
+        hold.validate();
+        self.hold_overrides.insert((src.into(), dst.into()), hold);
         self
     }
 
@@ -160,6 +250,8 @@ impl SpaceBuilder {
             queue: BinaryHeap::new(),
             staged: BTreeMap::new(),
             flush_hold: self.flush_hold,
+            hold_overrides: self.hold_overrides,
+            link_gap: BTreeMap::new(),
             wire_codec: self.wire_codec,
             seq: 0,
             rng: StdRng::seed_from_u64(self.seed),
@@ -212,6 +304,10 @@ impl<M> Ord for SpaceEvent<M> {
     }
 }
 
+/// One ordered link's staged batch: when staging began, and the envelopes
+/// waiting for the link's flush marker.
+type StagedBatch<M> = (SimTime, Vec<Envelope<M>>);
+
 /// A sharded, interactively-driven deterministic simulation.
 ///
 /// Construct with [`SpaceBuilder`]; drive through the [`Driver`] trait
@@ -227,11 +323,16 @@ pub struct SimSpace<A: Automaton> {
     crashed: Vec<bool>,
     now: SimTime,
     queue: BinaryHeap<SpaceEvent<A::Msg>>,
-    /// Envelopes staged per ordered link, waiting for the link's flush
-    /// marker to coalesce them into one [`Frame`].
-    staged: BTreeMap<(ProcessId, ProcessId), Vec<Envelope<A::Msg>>>,
+    /// Envelopes staged per ordered link (with the instant staging began),
+    /// waiting for the link's flush marker to coalesce them into one
+    /// [`Frame`].
+    staged: BTreeMap<(ProcessId, ProcessId), StagedBatch<A::Msg>>,
     /// How long a staged link waits for more envelopes before flushing.
-    flush_hold: SimTime,
+    flush_hold: VirtualHold,
+    /// Per-link hold overrides (asymmetric topologies).
+    hold_overrides: BTreeMap<(ProcessId, ProcessId), VirtualHold>,
+    /// Per-link EWMA inter-arrival state driving the adaptive hold.
+    link_gap: BTreeMap<(ProcessId, ProcessId), LinkGap>,
     /// Encode–decode fidelity mode: every flushed frame crosses the
     /// byte-level codec and the *decoded* copy is what gets delivered.
     wire_codec: bool,
@@ -296,11 +397,17 @@ impl<A: Automaton> SimSpace<A> {
     /// Under [`SpaceBuilder::wire_codec`] the frame additionally round-trips
     /// the byte codec here, and the decoded copy is what crosses the link.
     fn flush_link(&mut self, from: ProcessId, to: ProcessId) -> Result<(), DriverError> {
-        let Some(envs) = self.staged.remove(&(from, to)) else {
+        let Some((staged_at, envs)) = self.staged.remove(&(from, to)) else {
             return Ok(());
         };
         let mut frame = Frame::from_envelopes(envs);
         self.stats.record_frame(frame.cost(self.tag_bits));
+        // Every simulator flush is the link's hold marker firing; the
+        // observed hold is the marker's window (ticks = µs → ns ×1000).
+        self.stats.record_flush(
+            FlushReason::Hold,
+            self.now.saturating_sub(staged_at).saturating_mul(1_000),
+        );
         if self.wire_codec {
             let blob = frame
                 .encode()
@@ -376,14 +483,53 @@ impl<A: Automaton> SimSpace<A> {
             // actually on the wire are the frame header, recorded at flush.
             self.stats
                 .record_send_for(env.reg, env.kind(), env.cost().with_routing(self.tag_bits));
-            let staged = self.staged.entry((p, to)).or_default();
+            // Feed the link's gap estimate on every arrival — same-instant
+            // envelopes are gap-0 samples, which is what drives a bursty
+            // link toward its hold ceiling.
+            let now = self.now;
+            let gap_state = self.link_gap.entry((p, to)).or_default();
+            if let Some(last) = gap_state.last_arrival {
+                let gap = now.saturating_sub(last);
+                gap_state.ewma = Some(match gap_state.ewma {
+                    None => gap,
+                    // Keep a quarter of each new sample (EWMA α = 1/4),
+                    // mirroring the live batcher.
+                    Some(ewma) => ewma + (gap >> 2) - (ewma >> 2),
+                });
+            }
+            gap_state.last_arrival = Some(now);
+            let ewma = gap_state.ewma;
+            let (staged_at, staged) = self
+                .staged
+                .entry((p, to))
+                .or_insert_with(|| (now, Vec::new()));
             if staged.is_empty() {
+                *staged_at = now;
                 // First envelope on this link: arm its flush marker at the
-                // end of the hold window.
+                // end of the hold window the link's policy resolves to.
+                let hold = match self
+                    .hold_overrides
+                    .get(&(p, to))
+                    .unwrap_or(&self.flush_hold)
+                {
+                    VirtualHold::Static(ticks) => *ticks,
+                    VirtualHold::Adaptive { floor, ceil } => match ewma {
+                        // No gap evidence, or an idle link (the expected
+                        // next arrival is past the ceiling): flush fast.
+                        None => *floor,
+                        Some(gap) if gap >= *ceil => *floor,
+                        // Busy link: wait a few arrivals' worth, clamped
+                        // into the configured band (see the constant for
+                        // why this is not the live gap × max_batch rule).
+                        Some(gap) => gap
+                            .saturating_mul(VIRTUAL_GAP_MULTIPLIER)
+                            .clamp(*floor, *ceil),
+                    },
+                };
                 let seq = self.seq;
                 self.seq += 1;
                 self.queue.push(SpaceEvent {
-                    at: self.now + self.flush_hold,
+                    at: now + hold,
                     seq,
                     kind: SpaceEventKind::Flush { from: p, to },
                 });
@@ -651,6 +797,140 @@ mod tests {
             (s.now(), s.events(), s.stats().total_sent())
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn every_simnet_frame_carries_a_hold_flush_reason() {
+        let mut s = space(4, 6);
+        let p1 = ProcessId::new(1);
+        s.write(p1, RegisterId::new(2), 9).unwrap();
+        s.run_to_quiescence().unwrap();
+        let stats = s.stats();
+        assert_eq!(
+            stats.flushes(twobit_proto::FlushReason::Hold),
+            stats.frames_sent(),
+            "the simulator's flushes are all hold-marker firings"
+        );
+        assert_eq!(stats.flushes_total(), stats.frames_sent());
+    }
+
+    #[test]
+    fn static_hold_window_is_observed_in_the_stats() {
+        let cfg = cfg5();
+        let mut s = SpaceBuilder::new(cfg)
+            .seed(4)
+            .delay(DelayModel::Fixed(1_000))
+            .flush_hold(250)
+            .build(0u64, |_reg, id| MajorityEcho::new(id, cfg));
+        s.write(ProcessId::new(0), RegisterId::ZERO, 1).unwrap();
+        s.run_to_quiescence().unwrap();
+        let stats = s.stats();
+        assert_eq!(
+            stats.max_observed_hold_ns(),
+            250 * 1_000,
+            "250 virtual ticks = 250µs of observed hold"
+        );
+    }
+
+    #[test]
+    fn adaptive_hold_is_deterministic_and_equivalent_to_itself() {
+        let run = || {
+            let cfg = cfg5();
+            let mut s = SpaceBuilder::new(cfg)
+                .seed(13)
+                .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
+                .flush_hold_policy(VirtualHold::Adaptive {
+                    floor: 0,
+                    ceil: 1_500,
+                })
+                .registers(3)
+                .build(0u64, |_reg, id| MajorityEcho::new(id, cfg));
+            for round in 0..4u64 {
+                for i in 0..3usize {
+                    s.write(ProcessId::new(i), RegisterId::new(i), round)
+                        .unwrap();
+                }
+            }
+            s.run_to_quiescence().unwrap();
+            (
+                s.now(),
+                s.events(),
+                s.stats().total_sent(),
+                s.stats().frames_sent(),
+                s.stats().observed_hold_ns(),
+            )
+        };
+        assert_eq!(run(), run(), "adaptive holds stay a function of the seed");
+    }
+
+    #[test]
+    fn adaptive_hold_coalesces_staggered_traffic_at_least_as_well_as_zero_hold() {
+        let run = |hold: VirtualHold| {
+            let cfg = cfg5();
+            let mut s = SpaceBuilder::new(cfg)
+                .seed(29)
+                .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
+                .flush_hold_policy(hold)
+                .registers(8)
+                .build(0u64, |_reg, id| MajorityEcho::new(id, cfg));
+            // Staggered, busy traffic: issue every register's write and let
+            // replies overlap so links see a stream, not lone messages.
+            let mut tickets = Vec::new();
+            for k in 0..8usize {
+                tickets.push(
+                    s.invoke(
+                        ProcessId::new(k % 5),
+                        RegisterId::new(k),
+                        Operation::Write(1),
+                    )
+                    .unwrap(),
+                );
+            }
+            for t in &tickets {
+                s.poll(t).unwrap();
+            }
+            s.run_to_quiescence().unwrap();
+            s.stats().frames_sent()
+        };
+        let zero = run(VirtualHold::Static(0));
+        let adaptive = run(VirtualHold::Adaptive {
+            floor: 0,
+            ceil: 1_500,
+        });
+        assert!(
+            adaptive <= zero,
+            "adaptive ({adaptive} frames) must coalesce at least as hard as zero hold ({zero})"
+        );
+    }
+
+    #[test]
+    fn per_link_hold_override_applies_to_that_link() {
+        let cfg = cfg5();
+        let mut s = SpaceBuilder::new(cfg)
+            .seed(3)
+            .delay(DelayModel::Fixed(1_000))
+            .flush_hold(0)
+            // p0 → p1 holds long; every other link flushes per instant.
+            .flush_hold_for(0, 1, VirtualHold::Static(400))
+            .build(0u64, |_reg, id| MajorityEcho::new(id, cfg));
+        s.write(ProcessId::new(0), RegisterId::ZERO, 5).unwrap();
+        s.run_to_quiescence().unwrap();
+        let stats = s.stats();
+        assert_eq!(
+            stats.max_observed_hold_ns(),
+            400 * 1_000,
+            "only the overridden link held its batch"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "floor")]
+    fn inverted_adaptive_band_panics_at_the_builder() {
+        let cfg = cfg5();
+        let _ = SpaceBuilder::new(cfg).flush_hold_policy(VirtualHold::Adaptive {
+            floor: 100,
+            ceil: 50,
+        });
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   [`process_loop`](twobit_runtime::process_loop) (one [`ShardSet`] per
 //!   process, atomic frame handling, identical crash and accounting
 //!   semantics);
-//! * the per-link writer threads coalesce envelopes under the *same*
-//!   [`FlushPolicy`] as the runtime's chaos links;
+//! * the per-link writer threads coalesce envelopes in the *same*
+//!   [`LinkBatcher`] (one shared batching state machine, static or
+//!   adaptive [`FlushPolicy`], per-link overrides) as the runtime's chaos
+//!   links;
 //! * histories come from the *same* [`Recorder`], so
 //!   `check_swmr_sharded` applies unchanged.
 //!
@@ -54,14 +56,16 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use twobit_proto::{
     Automaton, Driver, DriverError, Envelope, Frame, NetStats, OpId, OpOutcome, OpTicket,
     Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig, WireMessage,
     MAX_FRAME_BODY_BYTES,
 };
-use twobit_runtime::{process_loop, FlushPolicy, Incoming, OutboundLinks, Recorder};
+use twobit_runtime::{
+    process_loop, BuildError, FlushPolicy, Incoming, LinkBatcher, OutboundLinks, Recorder,
+};
 
 /// Builder for a [`TcpCluster`].
 pub struct TcpClusterBuilder {
@@ -69,6 +73,7 @@ pub struct TcpClusterBuilder {
     registers: Vec<RegisterId>,
     op_timeout: Duration,
     flush: FlushPolicy,
+    flush_overrides: HashMap<(ProcessId, ProcessId), FlushPolicy>,
 }
 
 impl TcpClusterBuilder {
@@ -80,14 +85,31 @@ impl TcpClusterBuilder {
             registers: vec![RegisterId::ZERO],
             op_timeout: Duration::from_secs(10),
             flush: FlushPolicy::default(),
+            flush_overrides: HashMap::new(),
         }
     }
 
-    /// Sets the links' frame flush policy (how aggressively envelopes
-    /// coalesce before each socket write; [`FlushPolicy::immediate`]
-    /// writes every message as its own frame).
+    /// Sets the links' default frame flush policy (how aggressively
+    /// envelopes coalesce before each socket write;
+    /// [`FlushPolicy::immediate`] writes every message as its own frame,
+    /// [`FlushPolicy::adaptive`] auto-tunes the hold per link). Validated
+    /// at build time — an unsatisfiable policy is a typed
+    /// [`BuildError::Config`], not a panic inside a writer thread.
     pub fn flush_policy(mut self, flush: FlushPolicy) -> Self {
         self.flush = flush;
+        self
+    }
+
+    /// Overrides the flush policy for one ordered link `src → dst`,
+    /// leaving every other link on the cluster-wide default. Also
+    /// validated at build time.
+    pub fn flush_policy_for(
+        mut self,
+        src: impl Into<ProcessId>,
+        dst: impl Into<ProcessId>,
+        flush: FlushPolicy,
+    ) -> Self {
+        self.flush_overrides.insert((src.into(), dst.into()), flush);
         self
     }
 
@@ -114,9 +136,10 @@ impl TcpClusterBuilder {
     ///
     /// # Errors
     ///
-    /// Any socket error while binding the loopback listeners or wiring the
-    /// `n(n−1)` connection mesh.
-    pub fn build<A, F>(self, initial: A::Value, mut make: F) -> std::io::Result<TcpCluster<A>>
+    /// [`BuildError::Config`] for an unsatisfiable flush policy;
+    /// [`BuildError::Io`] for any socket error while binding the loopback
+    /// listeners or wiring the `n(n−1)` connection mesh.
+    pub fn build<A, F>(self, initial: A::Value, mut make: F) -> Result<TcpCluster<A>, BuildError>
     where
         A: Automaton,
         F: FnMut(ProcessId) -> A,
@@ -130,12 +153,16 @@ impl TcpClusterBuilder {
     ///
     /// # Errors
     ///
-    /// Any socket error during setup.
+    /// [`BuildError::Config`] for an unsatisfiable flush policy (default
+    /// or per-link override) — caught here, before any socket or thread
+    /// exists, because a policy that panics a spawned writer thread would
+    /// silently strand every message on that pair; [`BuildError::Io`] for
+    /// any socket error during setup.
     pub fn build_sharded<A, F>(
         self,
         initial: A::Value,
         mut make: F,
-    ) -> std::io::Result<TcpCluster<A>>
+    ) -> Result<TcpCluster<A>, BuildError>
     where
         A: Automaton,
         F: FnMut(RegisterId, ProcessId) -> A,
@@ -145,6 +172,10 @@ impl TcpClusterBuilder {
             !self.registers.is_empty(),
             "cluster needs at least one register"
         );
+        self.flush.validate()?;
+        for (link, policy) in &self.flush_overrides {
+            policy.validate_for(Some(*link))?;
+        }
         let crashed: Vec<Arc<AtomicBool>> =
             (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
         let stats = Arc::new(Mutex::new(NetStats::new()));
@@ -181,7 +212,11 @@ impl TcpClusterBuilder {
                 let mut hello = stream.try_clone()?;
                 hello.write_all(&(i as u32).to_be_bytes())?;
                 let (tx, rx) = unbounded::<Envelope<A::Msg>>();
-                let policy = self.flush;
+                let policy = self
+                    .flush_overrides
+                    .get(&(ProcessId::new(i), ProcessId::new(j)))
+                    .copied()
+                    .unwrap_or(self.flush);
                 let stats_w = Arc::clone(&stats);
                 threads.push(std::thread::spawn(move || {
                     writer_loop(rx, stream, policy, tag_bits, stats_w);
@@ -234,8 +269,17 @@ impl TcpClusterBuilder {
     }
 }
 
-/// Per-link socket writer: coalesce envelopes under the flush policy, then
-/// write each batch as one length-prefixed frame blob.
+/// Per-link socket writer: coalesce envelopes in the shared
+/// [`LinkBatcher`] (the same state machine as the runtime's chaos links),
+/// then write each batch as one length-prefixed frame blob.
+///
+/// Accounting happens **after** `write_all` succeeds — a frame recorded
+/// before a failed write would leave `frames_sent`/`wire_bytes`
+/// overcounted and break the `delivered + dropped + abandoned == sent`
+/// reconciliation at teardown. A failed write instead abandons the link:
+/// the frame's messages, anything still pending, and everything the
+/// process loop sends afterwards are drained and counted as abandoned so
+/// the books still balance.
 fn writer_loop<M: WireMessage>(
     rx: Receiver<Envelope<M>>,
     mut stream: TcpStream,
@@ -243,75 +287,81 @@ fn writer_loop<M: WireMessage>(
     tag_bits: u64,
     stats: Arc<Mutex<NetStats>>,
 ) {
-    assert!(policy.max_batch >= 1, "flush policy needs max_batch >= 1");
-    let mut pending: Vec<Envelope<M>> = Vec::new();
-    let mut since: Option<Instant> = None;
+    let mut batcher: LinkBatcher<Envelope<M>> = LinkBatcher::new(policy);
     let mut disconnected = false;
     loop {
         // Gulp whatever is already queued (coalescing without holding).
-        while pending.len() < policy.max_batch {
-            match rx.try_recv() {
-                Ok(env) => {
-                    if pending.is_empty() {
-                        since = Some(Instant::now());
-                    }
-                    pending.push(env);
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    disconnected = true;
-                    break;
-                }
-            }
+        if batcher.gulp(&rx) {
+            disconnected = true;
         }
 
-        let hold_expired = since.is_some_and(|t| t.elapsed() >= policy.max_hold);
-        if !pending.is_empty()
-            && (pending.len() >= policy.max_batch || hold_expired || disconnected)
-        {
-            let frame = Frame::from_envelopes(std::mem::take(&mut pending));
-            since = None;
+        if let Some(f) = batcher.take_due(Instant::now(), disconnected) {
+            let frame = Frame::from_envelopes(f.batch);
+            let messages = frame.len() as u64;
             let cost = frame.cost(tag_bits);
             let blob = frame
                 .encode()
                 .expect("the TCP transport requires a codec-capable message type");
-            {
+            if stream.write_all(&blob).is_ok() {
+                // Only a write the kernel accepted whole is accounted.
                 let mut st = stats.lock();
                 st.record_frame(cost);
+                st.record_flush(f.reason, f.held.as_nanos().min(u128::from(u64::MAX)) as u64);
                 st.record_wire_bytes(blob.len() as u64);
-            }
-            if stream.write_all(&blob).is_err() {
-                // Peer gone (shutdown); nothing more to deliver.
+            } else {
+                // Peer gone mid-run: abandon the link, keeping every
+                // in-flight and future message on it accounted.
+                abandon_link(messages, &mut batcher, &rx, &stats);
                 return;
             }
         }
 
         if disconnected {
-            if pending.is_empty() {
+            if !batcher.has_pending() {
                 let _ = stream.shutdown(Shutdown::Write);
                 return;
             }
             continue; // flush the remainder before hanging up
         }
 
-        match since {
-            Some(t) => {
-                let deadline = t + policy.max_hold;
+        match batcher.flush_deadline() {
+            Some(deadline) => {
                 let wait = deadline.saturating_duration_since(Instant::now());
                 match rx.recv_timeout(wait) {
-                    Ok(env) => pending.push(env),
+                    Ok(env) => batcher.push(env, Instant::now()),
                     Err(RecvTimeoutError::Timeout) => {}
                     Err(RecvTimeoutError::Disconnected) => disconnected = true,
                 }
             }
             None => match rx.recv() {
-                Ok(env) => {
-                    since = Some(Instant::now());
-                    pending.push(env);
-                }
+                Ok(env) => batcher.push(env, Instant::now()),
                 Err(_) => disconnected = true,
             },
         }
+    }
+}
+
+/// The failed-write path of [`writer_loop`]: records the link as
+/// abandoned, then counts the failed frame's messages, the batcher's
+/// remainder, and everything still arriving from the process loop as
+/// abandoned — draining until the sender hangs up so the teardown
+/// invariant `delivered + dropped + abandoned == sent` holds even though
+/// the socket died mid-run.
+fn abandon_link<M>(
+    failed_frame_messages: u64,
+    batcher: &mut LinkBatcher<Envelope<M>>,
+    rx: &Receiver<Envelope<M>>,
+    stats: &Mutex<NetStats>,
+) {
+    {
+        let mut st = stats.lock();
+        st.record_link_abandoned();
+        st.record_messages_abandoned(failed_frame_messages);
+        st.record_messages_abandoned(batcher.drain_remaining().len() as u64);
+    }
+    // Late sends stay accounted (and visible mid-run) one by one.
+    while rx.recv().is_ok() {
+        stats.lock().record_messages_abandoned(1);
     }
 }
 
@@ -321,6 +371,13 @@ fn writer_loop<M: WireMessage>(
 /// atomic non-delivery, with the drop accounted like the other backends).
 /// Keeps draining after a crash so the peer's writer never blocks on a
 /// full socket buffer.
+///
+/// A poisoned stream — oversized length prefix, truncated body, corrupt
+/// frame — abandons the link, but never silently: the event lands in
+/// [`NetStats::links_abandoned`], because a bailed reader strands every
+/// in-flight send on this link outside both `delivered` and `dropped`,
+/// and the teardown reconciliation needs to know the books cannot balance
+/// (a corrupt frame's message count is unknowable).
 fn reader_loop<A: Automaton>(
     mut stream: TcpStream,
     from: ProcessId,
@@ -331,19 +388,25 @@ fn reader_loop<A: Automaton>(
     loop {
         let mut prefix = [0u8; 4];
         if stream.read_exact(&mut prefix).is_err() {
-            return; // EOF: peer hung up
+            return; // clean EOF: peer flushed everything and hung up
         }
         let len = u32::from_be_bytes(prefix);
         if len > MAX_FRAME_BODY_BYTES {
-            return; // poisoned stream; abandon the link
+            // Poisoned stream; abandon the link, accounted.
+            stats.lock().record_link_abandoned();
+            return;
         }
         let mut blob = vec![0u8; 4 + len as usize];
         blob[..4].copy_from_slice(&prefix);
         if stream.read_exact(&mut blob[4..]).is_err() {
+            // Truncated mid-frame: the peer died between prefix and body.
+            stats.lock().record_link_abandoned();
             return;
         }
         let Ok(frame) = Frame::<A::Msg>::decode(&blob) else {
-            return; // corrupt frame; a byzantine-free peer never sends one
+            // Corrupt frame; a byzantine-free peer never sends one.
+            stats.lock().record_link_abandoned();
+            return;
         };
         let messages = frame.len() as u64;
         // Deliver only to a live process loop, and record the delivery
@@ -532,9 +595,208 @@ impl<A: Automaton> Driver for TcpCluster<A> {
 mod tests {
     use super::*;
     use twobit_core::TwoBitProcess;
+    use twobit_runtime::ConfigError;
 
     fn cfg(n: usize) -> SystemConfig {
         SystemConfig::max_resilience(n)
+    }
+
+    #[test]
+    fn builder_rejects_zero_max_batch_as_typed_error() {
+        // Regression: a zero max_batch used to be caught by an assert!
+        // inside each spawned writer thread — the panic stranded every
+        // message on that pair while the cluster looked healthy.
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let err = TcpClusterBuilder::new(c)
+            .flush_policy(FlushPolicy::fixed(0, Duration::ZERO))
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64));
+        let Err(err) = err else {
+            panic!("a zero max_batch must fail the build")
+        };
+        assert!(
+            matches!(
+                err,
+                BuildError::Config(ConfigError::ZeroMaxBatch { link: None })
+            ),
+            "expected a typed config error, got {err}"
+        );
+        // Per-link overrides are validated too, naming the link.
+        let err = TcpClusterBuilder::new(c)
+            .flush_policy_for(1, 2, FlushPolicy::fixed(0, Duration::ZERO))
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64));
+        let Err(err) = err else {
+            panic!("a zero max_batch override must fail the build")
+        };
+        assert!(matches!(
+            err,
+            BuildError::Config(ConfigError::ZeroMaxBatch {
+                link: Some((a, b))
+            }) if (a, b) == (ProcessId::new(1), ProcessId::new(2))
+        ));
+    }
+
+    /// Regression for the frame-accounting bugfix: stats used to be
+    /// recorded *before* `stream.write_all`, so a failed write left
+    /// `frames_sent`/`wire_bytes` overcounted and broke teardown
+    /// reconciliation. Drive `writer_loop` against a peer that hangs up
+    /// mid-run: only successfully written frames may be accounted as
+    /// frames, everything else must land in the abandoned counters, and
+    /// the sum must cover every message handed to the link.
+    #[test]
+    fn write_failure_mid_run_keeps_frame_accounting_reconciled() {
+        use twobit_core::TwoBitMsg;
+
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        drop(accepted); // peer gone: writes will fail once the RST lands
+
+        let stats = Arc::new(Mutex::new(NetStats::new()));
+        let (tx, rx) = unbounded::<Envelope<TwoBitMsg<u64>>>();
+        let stats_w = Arc::clone(&stats);
+        let h = std::thread::spawn(move || {
+            writer_loop(rx, stream, FlushPolicy::immediate(), 0, stats_w);
+        });
+
+        let mut sent = 0u64;
+        for _ in 0..500 {
+            if tx
+                .send(Envelope::new(RegisterId::ZERO, TwoBitMsg::Read))
+                .is_err()
+            {
+                break;
+            }
+            sent += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            if stats.lock().links_abandoned() > 0 {
+                break;
+            }
+        }
+        // A few more sends after the failure: the dead link must keep
+        // draining and accounting them instead of stranding them.
+        for _ in 0..5 {
+            if tx
+                .send(Envelope::new(RegisterId::ZERO, TwoBitMsg::Read))
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        drop(tx);
+        h.join().unwrap();
+
+        let st = stats.lock();
+        assert_eq!(st.links_abandoned(), 1, "the write failure was recorded");
+        assert!(st.messages_abandoned() > 0, "failed frames were counted");
+        assert_eq!(
+            st.framed_messages() + st.messages_abandoned(),
+            sent,
+            "every message is either in a successfully written frame or abandoned"
+        );
+        assert_eq!(
+            st.frames_sent(),
+            st.flushes_total(),
+            "flush reasons only cover frames that actually hit the wire"
+        );
+    }
+
+    /// Regression for the silent reader bail-out: an oversized length
+    /// prefix or a corrupt frame used to `return` with zero accounting,
+    /// stranding in-flight sends outside both `delivered` and `dropped`.
+    #[test]
+    fn poisoned_streams_mark_the_link_abandoned() {
+        use twobit_core::TwoBitMsg;
+
+        let poison = |bytes: &[u8]| {
+            let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let mut attacker = TcpStream::connect(addr).unwrap();
+            let (victim, _) = listener.accept().unwrap();
+            let stats = Arc::new(Mutex::new(NetStats::new()));
+            let (inbox_tx, inbox_rx) = unbounded::<Incoming<TwoBitProcess<u64>>>();
+            let stats_r = Arc::clone(&stats);
+            let crash = Arc::new(AtomicBool::new(false));
+            let h = std::thread::spawn(move || {
+                reader_loop::<TwoBitProcess<u64>>(
+                    victim,
+                    ProcessId::new(1),
+                    inbox_tx,
+                    crash,
+                    stats_r,
+                );
+            });
+            attacker.write_all(bytes).unwrap();
+            drop(attacker);
+            h.join().unwrap();
+            let st = stats.lock().clone();
+            let mut delivered = 0usize;
+            while inbox_rx.try_recv().is_ok() {
+                delivered += 1;
+            }
+            (st, delivered)
+        };
+
+        // Oversized length prefix.
+        let huge = (MAX_FRAME_BODY_BYTES + 1).to_be_bytes();
+        let (st, delivered) = poison(&huge);
+        assert_eq!(st.links_abandoned(), 1, "oversized prefix is accounted");
+        assert_eq!(delivered, 0);
+
+        // Truncated body: prefix promises more than the stream carries.
+        let (st, delivered) = poison(&[0, 0, 0, 16, 0xAB]);
+        assert_eq!(st.links_abandoned(), 1, "truncated body is accounted");
+        assert_eq!(delivered, 0);
+
+        // Well-framed garbage: the right length, an undecodable body.
+        let mut garbage = vec![0, 0, 0, 8];
+        garbage.extend([0xFF; 8]);
+        let (st, delivered) = poison(&garbage);
+        assert_eq!(st.links_abandoned(), 1, "corrupt frame is accounted");
+        assert_eq!(delivered, 0);
+
+        // Control: a clean EOF with no traffic abandons nothing.
+        let (st, delivered) = poison(&[]);
+        assert_eq!(st.links_abandoned(), 0, "clean EOF is not a poisoning");
+        assert_eq!(delivered, 0);
+        let _ = TwoBitMsg::<u64>::Read; // keep the import honest
+    }
+
+    #[test]
+    fn adaptive_flush_policy_serves_reads_and_writes_over_sockets() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let mut cluster = TcpClusterBuilder::new(c)
+            .flush_policy(FlushPolicy::adaptive(
+                64,
+                Duration::ZERO,
+                Duration::from_micros(200),
+            ))
+            .flush_policy_for(0, 1, FlushPolicy::immediate())
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        for i in 1..=5u64 {
+            cluster.write(writer, RegisterId::ZERO, i).unwrap();
+            assert_eq!(
+                cluster.read(ProcessId::new(1), RegisterId::ZERO).unwrap(),
+                i
+            );
+        }
+        let (history, stats) = cluster.shutdown();
+        twobit_lincheck::check_swmr(history.shard(RegisterId::ZERO).unwrap()).unwrap();
+        assert_eq!(
+            stats.flushes_total(),
+            stats.frames_sent(),
+            "every frame that hit a socket carries exactly one flush reason"
+        );
+        assert_eq!(stats.links_abandoned(), 0);
+        assert_eq!(
+            stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+            stats.total_sent(),
+            "teardown reconciliation with abandoned accounting"
+        );
     }
 
     #[test]

@@ -31,11 +31,30 @@
 //! as encoded-then-decoded bytes — and the TCP backend has no other mode:
 //! its `wire_bytes` are what the kernel actually carried.
 //!
+//! # Flush semantics: when does a frame form?
+//!
+//! How long a link holds a batch open is the latency/overhead knob. A
+//! `FlushPolicy` (runtime + TCP; `flush_hold`/`flush_hold_policy` is the
+//! simulator's virtual-time analogue) flushes on **size** (`max_batch`
+//! pending), on **hold** (the oldest item waited out the window), or on
+//! **shutdown** — and the stats say which, per frame
+//! (`NetStats::flushes(reason)`, plus the observed-hold summary). The hold
+//! itself is `HoldPolicy::Static(window)` or `HoldPolicy::Adaptive
+//! { floor, ceil }`, which EWMA-tracks each link's inter-arrival gap:
+//! a lone message on an idle link flushes after just `floor`
+//! (immediately, with the default zero floor), a bursty link holds toward
+//! `ceil` so the size bound does the flushing. Per-link overrides
+//! (`flush_policy_for` / `flush_hold_for`) tune asymmetric topologies.
+//! The runtime backend below runs adaptive; see `docs/wire-format.md` for
+//! the full semantics and `BENCH_frames.json` for static-vs-adaptive rows.
+//!
 //! Run with: `cargo run --example quickstart`
 
+use std::time::Duration;
+
 use twobit::{
-    ClusterBuilder, DelayModel, Driver, Operation, ProcessId, RegisterId, SpaceBuilder,
-    SystemConfig, TcpClusterBuilder, TwoBitProcess, Workload,
+    ClusterBuilder, DelayModel, Driver, FlushPolicy, Operation, ProcessId, RegisterId,
+    SpaceBuilder, SystemConfig, TcpClusterBuilder, TwoBitProcess, Workload,
 };
 
 /// Writes 1..=10 from the writer interleaved with reads from two readers —
@@ -70,13 +89,18 @@ fn run<D: Driver<Value = u64>>(
     twobit::lincheck::check_swmr_sharded(&sharded)?;
     let stats = driver.stats();
     println!(
-        "{label:8} {} ops, {} msgs in {} frames ({:.1} msgs/frame, {} B on wire), \
+        "{label:8} {} ops, {} msgs in {} frames ({:.1} msgs/frame, {} B on wire, \
+         flushed {}×size/{}×hold/{}×shutdown, mean hold {:.0}µs), \
          read {after} after 2 crashes, max {} control bits/msg — atomic",
         sharded.total_ops(),
         stats.total_sent(),
         stats.frames_sent(),
         stats.messages_per_frame(),
         stats.wire_bytes(),
+        stats.flushes(twobit::FlushReason::Size),
+        stats.flushes(twobit::FlushReason::Hold),
+        stats.flushes(twobit::FlushReason::Shutdown),
+        stats.mean_observed_hold_ns() / 1_000.0,
         stats.max_msg_control_bits(),
     );
     Ok(())
@@ -97,7 +121,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Backend 2: live threads with chaos links — 50–500µs delays plus 2ms
     // spikes, so messages genuinely reorder (the channels are not FIFO; the
-    // algorithm's alternating-bit discipline handles that).
+    // algorithm's alternating-bit discipline handles that). The links run
+    // the adaptive flush policy: idle links flush a lone message at once,
+    // bursty links converge toward full frames.
     let mut cluster = ClusterBuilder::new(cfg)
         .seed(7)
         .delay(DelayModel::Spiky {
@@ -107,6 +133,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spike_lo: 1_000,
             spike_hi: 2_000,
         })
+        .flush_policy(FlushPolicy::adaptive(
+            64,
+            Duration::ZERO,
+            Duration::from_micros(200),
+        ))
         .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
     run("runtime", &mut cluster)?;
 

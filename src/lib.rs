@@ -124,6 +124,44 @@
 //!   methods have defaults — but must override them to cross [`TcpCluster`]
 //!   or a `wire_codec(true)` backend. See `docs/wire-format.md`.
 //!
+//! ## Flush semantics: static and adaptive holds
+//!
+//! How aggressively a link coalesces envelopes into frames is a
+//! [`FlushPolicy`]: flush on **size** (`max_batch` pending), on **hold**
+//! (the oldest envelope waited out the window), or on **shutdown** —
+//! every backend records which, per frame
+//! ([`proto::NetStats::flushes`]), plus the observed-hold summary. The
+//! hold is [`HoldPolicy::Static`] or [`HoldPolicy::Adaptive`]`{ floor,
+//! ceil }`, which EWMA-tracks each link's inter-arrival gap so an idle
+//! link flushes a lone message immediately while a bursty link converges
+//! toward full frames. One shared state machine
+//! ([`runtime::LinkBatcher`]) drives the runtime's chaos links and the
+//! TCP socket writers; [`SpaceBuilder::flush_hold_policy`] /
+//! [`VirtualHold`] is the simulator's virtual-time analogue. Per-link
+//! overrides (`flush_policy_for`, `flush_hold_for`) handle asymmetric
+//! topologies, and unsatisfiable policies (`max_batch == 0`, inverted
+//! adaptive bands) fail the build with a typed [`BuildError`] instead of
+//! panicking a link thread:
+//!
+//! ```
+//! use std::time::Duration;
+//! use twobit::{ClusterBuilder, FlushPolicy, ProcessId, SystemConfig, TwoBitProcess};
+//!
+//! let cfg = SystemConfig::new(3, 1)?;
+//! let writer = ProcessId::new(0);
+//! let cluster = ClusterBuilder::new(cfg)
+//!     // Auto-tuned hold: 0 floor (idle links flush at once), 200µs ceil.
+//!     .flush_policy(FlushPolicy::adaptive(64, Duration::ZERO, Duration::from_micros(200)))
+//!     // Keep one latency-critical link unbatched.
+//!     .flush_policy_for(0, 1, FlushPolicy::immediate())
+//!     .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
+//! let mut w = cluster.client(0);
+//! w.write(7)?;
+//! let stats = cluster.stats();
+//! assert_eq!(stats.flushes_total(), stats.frames_sent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! ## Migrating from the pre-`Driver` API
 //!
 //! * `ClusterBuilder::new(cfg).build(..)` and `cluster.client(p)` still
@@ -173,12 +211,16 @@ pub use twobit_transport as transport;
 pub use twobit_baselines::{AbdProcess, MwmrProcess, PhasedProcess};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, Frame, FrameCost, FrameHeader, History,
-    OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterSpace, ShardSet,
-    ShardedHistory, SystemConfig, Workload,
+    Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, FrameCost, FrameHeader,
+    History, OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterSpace,
+    ShardSet, ShardedHistory, SystemConfig, Workload,
 };
-pub use twobit_runtime::{ClientError, Cluster, ClusterBuilder, FlushPolicy, RegisterClient};
+pub use twobit_runtime::{
+    BuildError, ClientError, Cluster, ClusterBuilder, ConfigError, FlushPolicy, HoldPolicy,
+    RegisterClient,
+};
 pub use twobit_simnet::{
     ClientPlan, CrashPlan, CrashPoint, DelayModel, SimBuilder, SimSpace, Simulation, SpaceBuilder,
+    VirtualHold,
 };
 pub use twobit_transport::{TcpCluster, TcpClusterBuilder};

@@ -5,10 +5,12 @@
 //! This is the contract the API redesign exists to enforce: anything
 //! expressible as a `Workload` means the same thing on every backend.
 
+use std::time::Duration;
+
 use twobit::lincheck::check_swmr_sharded;
 use twobit::{
-    ClusterBuilder, Driver, DriverError, Operation, ProcessId, RegisterId, SpaceBuilder,
-    SystemConfig, TcpClusterBuilder, TwoBitProcess, Workload,
+    ClusterBuilder, Driver, DriverError, FlushPolicy, Operation, ProcessId, RegisterId,
+    SpaceBuilder, SystemConfig, TcpClusterBuilder, TwoBitProcess, VirtualHold, Workload,
 };
 
 const N: usize = 5;
@@ -144,6 +146,65 @@ fn tcp_histories_match_simnet_per_register() {
         };
         assert_eq!(writes(sim_shard), writes(tcp_shard), "{reg}: write values");
     }
+}
+
+/// The adaptive flush policy is a transport knob, not a semantics knob:
+/// the same workload under auto-tuned per-link holds (plus a per-link
+/// override, exercising asymmetric configurations) must still produce
+/// linearizable sharded histories on all three backends, with every frame
+/// carrying a flush reason.
+#[test]
+fn adaptive_flush_policies_stay_linearizable_on_all_backends() {
+    let cfg = cfg();
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .flush_hold_policy(VirtualHold::Adaptive {
+            floor: 0,
+            ceil: 1_500,
+        })
+        .flush_hold_for(0, 1, VirtualHold::Static(0))
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    check_backend(&mut sim, "simnet/adaptive");
+    let stats = sim.stats();
+    assert_eq!(
+        stats.flushes_total(),
+        stats.frames_sent(),
+        "simnet/adaptive: one flush reason per frame"
+    );
+
+    let adaptive = FlushPolicy::adaptive(64, Duration::ZERO, Duration::from_micros(300));
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .flush_policy(adaptive)
+        .flush_policy_for(0, 1, FlushPolicy::immediate())
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    check_backend(&mut cluster, "runtime/adaptive");
+    let stats = Driver::stats(&cluster);
+    assert_eq!(
+        stats.flushes_total(),
+        stats.frames_sent(),
+        "runtime/adaptive: one flush reason per frame"
+    );
+
+    let mut tcp = TcpClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .flush_policy(adaptive)
+        .flush_policy_for(0, 1, FlushPolicy::immediate())
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    check_backend(&mut tcp, "tcp/adaptive");
+    let stats = tcp.stats();
+    assert_eq!(stats.links_abandoned(), 0, "tcp/adaptive: no failed links");
 }
 
 #[test]

@@ -206,10 +206,7 @@ fn cluster_frames_batch_and_stay_atomic_under_crash() {
     let cluster = ClusterBuilder::new(cfg)
         .seed(11)
         .registers(8)
-        .flush_policy(FlushPolicy {
-            max_batch: 64,
-            max_hold: Duration::from_micros(200),
-        })
+        .flush_policy(FlushPolicy::fixed(64, Duration::from_micros(200)))
         .op_timeout(Duration::from_secs(10))
         .build_sharded(0u64, |reg, id| {
             TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
