@@ -6,8 +6,12 @@
 //!   round (4Δ). Message control information grows with the sequence number.
 //! * [`mwmr`] — the multi-writer generalization (timestamps =
 //!   ⟨counter, process-id⟩, both write and read are two rounds). Not in
-//!   Table 1; included as the standard extension and to exercise the
-//!   general Wing–Gong checker.
+//!   Table 1; a first-class protocol across the whole stack (all three
+//!   backends, frames, the byte codec), checked by
+//!   `twobit_lincheck::check_mwmr`.
+//! * [`mixed`] — heterogeneous deployments: [`MixedProcess`] hosts the
+//!   paper's SWMR protocol and the MWMR automaton side by side in one
+//!   sharded backend, with a 1-bit-discriminated [`MixedMsg`] codec.
 //! * [`naive`] — a deliberately non-atomic strawman (local reads) used as
 //!   a negative control for the checker and simulator.
 //! * [`phased`] + [`profiles`] — **cost-faithful emulations** of the two
@@ -25,12 +29,14 @@
 #![warn(missing_docs)]
 
 pub mod abd;
+pub mod mixed;
 pub mod mwmr;
 pub mod naive;
 pub mod phased;
 pub mod profiles;
 
 pub use abd::{AbdMsg, AbdProcess};
+pub use mixed::{MixedMsg, MixedProcess};
 pub use mwmr::{MwmrMsg, MwmrProcess, Timestamp};
 pub use naive::{NaiveMsg, NaiveProcess};
 pub use phased::{CostProfile, PhasedMsg, PhasedProcess};

@@ -6,16 +6,23 @@
 //! appear as if executed sequentially, respecting real-time order, with every
 //! read returning the closest preceding write (or the initial value).
 //!
-//! Two checkers are provided:
+//! Three checkers are provided:
 //!
 //! * [`swmr`] — a specialized polynomial-time decision procedure for
 //!   **single-writer** histories with distinct written values. Its three
 //!   conditions are exactly the three claims of the paper's Lemma 10
 //!   (no read from the future, no overwritten read, no new/old inversion),
 //!   which are proved there to characterize SWMR atomicity.
+//! * [`mwmr`] — the polynomial **multi-writer** procedure for histories
+//!   with distinct written values: it resolves concurrent writes into a
+//!   timestamp order from real-time and observation constraints (a
+//!   constraint digraph over writes; a cycle certifies — and pinpoints —
+//!   non-linearizability). [`mwmr::check_sharded_modes`] dispatches a
+//!   sharded run's registers to [`swmr`] or [`mwmr`] per their declared
+//!   [`RegisterMode`](twobit_proto::RegisterMode).
 //! * [`wg`] — the general Wing–Gong search (with state memoization), usable
-//!   for multi-writer histories and as an independent cross-check of the
-//!   specialized checker on small histories.
+//!   for any history and as an independent cross-check of both specialized
+//!   checkers on small histories.
 //!
 //! # Examples
 //!
@@ -43,9 +50,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mwmr;
 pub mod swmr;
 pub mod wg;
 
+pub use mwmr::{
+    check as check_mwmr, check_sharded as check_mwmr_sharded, check_sharded_modes, ModeViolation,
+    MwmrVerdict, MwmrViolation, RegisterVerdict, ShardedModeViolation,
+    ShardedViolation as MwmrShardedViolation,
+};
 pub use swmr::{
     check as check_swmr, check_regular as check_swmr_regular, check_sharded as check_swmr_sharded,
     AtomicityViolation, ShardedViolation, SwmrVerdict,

@@ -1,0 +1,813 @@
+//! Timestamp-order linearizability checking for **multi-writer** register
+//! histories with distinct written values.
+//!
+//! The SWMR fast checker ([`crate::swmr`]) leans on the writer being
+//! sequential: the write order is given, and only the reads need placing.
+//! A multi-writer history has no given write order — concurrent writes may
+//! linearize either way — so the checker must *resolve* one. For histories
+//! whose written values are pairwise distinct (what every workload in this
+//! workspace produces; the MWMR ABD automaton tags each write with a unique
+//! `Timestamp` precisely so its effects are attributable), resolution is
+//! polynomial: every constraint a legal linearization must satisfy is of
+//! the form "write `a` linearizes before write `b`", derived from real time
+//! and from what the reads observed:
+//!
+//! 1. **write → write**: `a` responded before `b` was invoked;
+//! 2. **observer → write**: a read of `a`'s value responded before `b` was
+//!    invoked (the reader saw `a` as freshest while `b` had not started);
+//! 3. **write → observed**: `a` responded before a read of `b`'s value was
+//!    invoked (`a` was complete, yet the read saw `b` — so `b` is at least
+//!    as new);
+//! 4. **observer → observer**: a read of `a`'s value responded before a
+//!    read of `b`'s value was invoked, `a ≠ b` (the multi-writer
+//!    generalization of the SWMR new/old inversion claim).
+//!
+//! A history is linearizable **iff** each read's write was invoked by the
+//! read's response (the multi-writer Claim 1) and the constraint digraph
+//! over writes is acyclic: any topological order is then a legal
+//! *timestamp order* — insert each read after its write (same-write reads
+//! by invocation time) and every real-time precedence is respected by
+//! construction of the edges. Conversely every edge is forced, so a cycle
+//! certifies non-linearizability — and is what the checker reports,
+//! pinpointing the writes whose observed orders contradict
+//! ([`MwmrViolation::OrderCycle`]). Edges that would order a write before
+//! the initial value's pseudo-write are immediate violations with sharper
+//! names ([`MwmrViolation::StaleRead`] /
+//! [`MwmrViolation::NewOldInversion`]).
+//!
+//! Pending operations: a pending read constrains nothing; a pending write
+//! never generates outgoing real-time edges (it has no response) and can
+//! always be linearized at a position consistent with its incoming edges,
+//! so — unlike the Wing–Gong search — no subset enumeration is needed.
+//! The checker runs in `O((reads + writes)²)` worst case, entirely
+//! polynomial; the `wg` search cross-validates it on small histories in
+//! the test suite.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+use twobit_proto::{History, OpId, Operation, RegisterId, RegisterMode, ShardedHistory};
+
+use crate::swmr::{self, SwmrVerdict};
+
+/// Successful multi-writer verdict: counts plus the resolved write order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MwmrVerdict {
+    /// Number of completed reads validated.
+    pub reads_checked: usize,
+    /// Number of writes in the history (complete or pending).
+    pub writes: usize,
+    /// Number of reads that returned the initial value.
+    pub initial_reads: usize,
+    /// The resolved timestamp order: every write's `OpId` in a
+    /// linearization-compatible total order (concurrency broken by
+    /// invocation time, then `OpId`, so the order is deterministic).
+    pub write_order: Vec<OpId>,
+}
+
+/// Why a multi-writer history is not linearizable (or not checkable by
+/// this procedure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MwmrViolation {
+    /// Two writes wrote the same value (or a write wrote the initial
+    /// value), so reads cannot be attributed unambiguously; use the
+    /// Wing–Gong checker instead.
+    AmbiguousValues,
+    /// A read returned a value that was never written and is not the
+    /// initial value.
+    UnknownValue {
+        /// The offending read.
+        read: OpId,
+    },
+    /// A read returned a value whose write started only after the read had
+    /// already responded.
+    ReadFromFuture {
+        /// The offending read.
+        read: OpId,
+        /// The value's write.
+        write: OpId,
+    },
+    /// A read returned the initial value although some write had already
+    /// completed before the read began.
+    StaleRead {
+        /// The offending read.
+        read: OpId,
+        /// A write completed before the read's invocation.
+        overwritten_by: OpId,
+    },
+    /// A read of the initial value was invoked after a read of some
+    /// write's value had responded — the later read travelled back past
+    /// the pseudo-write of the initial value.
+    NewOldInversion {
+        /// The earlier read (saw a written value).
+        earlier: OpId,
+        /// The later read (saw the initial value).
+        later: OpId,
+    },
+    /// The derived before-constraints between writes are cyclic: no total
+    /// write order (and hence no linearization) exists. The cycle lists
+    /// the write `OpId`s in constraint order — e.g. two concurrent writes
+    /// observed in opposite orders by two readers produce the 2-cycle
+    /// `[a, b]`.
+    OrderCycle {
+        /// Writes forming the contradictory cycle, in edge order.
+        writes: Vec<OpId>,
+    },
+}
+
+impl fmt::Display for MwmrViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MwmrViolation::AmbiguousValues => {
+                write!(f, "duplicate written values; attribution ambiguous")
+            }
+            MwmrViolation::UnknownValue { read } => {
+                write!(f, "read {read} returned a never-written value")
+            }
+            MwmrViolation::ReadFromFuture { read, write } => {
+                write!(f, "read {read} returned write {write} from the future")
+            }
+            MwmrViolation::StaleRead {
+                read,
+                overwritten_by,
+            } => write!(
+                f,
+                "read {read} returned the initial value after write {overwritten_by} completed"
+            ),
+            MwmrViolation::NewOldInversion { earlier, later } => write!(
+                f,
+                "new/old inversion: read {earlier} saw a written value, later read {later} \
+                 saw the initial value"
+            ),
+            MwmrViolation::OrderCycle { writes } => {
+                write!(f, "contradictory write order: ")?;
+                for w in writes {
+                    write!(f, "{w} < ")?;
+                }
+                match writes.first() {
+                    Some(first) => write!(f, "{first}"),
+                    None => write!(f, "(empty cycle)"),
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for MwmrViolation {}
+
+/// Checks that a multi-writer register history is linearizable.
+///
+/// # Errors
+///
+/// Returns the first [`MwmrViolation`] found; see the module docs for the
+/// exact conditions.
+pub fn check<V: Clone + Eq + Hash>(history: &History<V>) -> Result<MwmrVerdict, MwmrViolation> {
+    // --- Collect writes; attribute values. Index 0 is the initial value's
+    // pseudo-write; real writes are 1..=k into `writes`. --------------------
+    let writes: Vec<&twobit_proto::OpRecord<V>> =
+        history.records.iter().filter(|r| r.op.is_write()).collect();
+    let mut index_of: HashMap<&V, usize> = HashMap::with_capacity(writes.len() + 1);
+    index_of.insert(&history.initial, 0);
+    for (i, w) in writes.iter().enumerate() {
+        let v = w.op.written_value().expect("writes carry a value");
+        if index_of.insert(v, i + 1).is_some() {
+            return Err(MwmrViolation::AmbiguousValues);
+        }
+    }
+
+    // --- Attribute completed reads. -----------------------------------------
+    struct ReadView {
+        op_id: OpId,
+        invoked_at: u64,
+        response_at: u64,
+        /// 0 = initial value, i ≥ 1 = `writes[i - 1]`.
+        x: usize,
+    }
+    let mut reads: Vec<ReadView> = Vec::new();
+    for r in &history.records {
+        if !matches!(r.op, Operation::Read) {
+            continue;
+        }
+        let Some((resp, outcome)) = &r.completed else {
+            continue; // pending reads constrain nothing
+        };
+        let v = outcome.read_value().expect("read outcome carries a value");
+        let x = *index_of
+            .get(v)
+            .ok_or(MwmrViolation::UnknownValue { read: r.op_id })?;
+        reads.push(ReadView {
+            op_id: r.op_id,
+            invoked_at: r.invoked_at,
+            response_at: *resp,
+            x,
+        });
+    }
+
+    // --- Multi-writer Claim 1: no read from the future. ---------------------
+    for r in &reads {
+        if r.x > 0 && writes[r.x - 1].invoked_at > r.response_at {
+            return Err(MwmrViolation::ReadFromFuture {
+                read: r.op_id,
+                write: writes[r.x - 1].op_id,
+            });
+        }
+    }
+
+    // --- Constraint digraph over write indices 1..=k. -----------------------
+    // adj[a] holds every b with a forced "a linearizes before b" edge
+    // (indices are 1-based; the initial pseudo-write never appears: edges
+    // out of it are trivial, edges into it are reported above/below).
+    let k = writes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); k + 1];
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut add_edge = |adj: &mut Vec<Vec<usize>>, a: usize, b: usize| {
+        if a != b && seen.insert((a, b)) {
+            adj[a].push(b);
+        }
+    };
+
+    // 1. write → write real-time precedence.
+    for (i, wi) in writes.iter().enumerate() {
+        let Some(resp) = wi.response_at() else {
+            continue; // pending writes precede nothing
+        };
+        for (j, wj) in writes.iter().enumerate() {
+            if i != j && resp < wj.invoked_at {
+                add_edge(&mut adj, i + 1, j + 1);
+            }
+        }
+    }
+    // 2. + 3. read-induced write constraints.
+    for r in &reads {
+        for (j, wj) in writes.iter().enumerate() {
+            let j1 = j + 1;
+            if j1 == r.x {
+                continue;
+            }
+            // Observer → write: the read saw x as freshest before w_j began.
+            if r.response_at < wj.invoked_at && r.x > 0 {
+                add_edge(&mut adj, r.x, j1);
+            }
+            // Write → observed: w_j was done, yet the read saw x.
+            if let Some(resp) = wj.response_at() {
+                if resp < r.invoked_at {
+                    if r.x == 0 {
+                        return Err(MwmrViolation::StaleRead {
+                            read: r.op_id,
+                            overwritten_by: wj.op_id,
+                        });
+                    }
+                    add_edge(&mut adj, j1, r.x);
+                }
+            }
+        }
+    }
+    // 4. observer → observer (read/read inversions across writes).
+    for r1 in &reads {
+        for r2 in &reads {
+            if r1.x == r2.x || r1.response_at >= r2.invoked_at {
+                continue;
+            }
+            if r2.x == 0 {
+                // r1 saw a written value (x ≥ 1 — x == 0 is excluded by
+                // r1.x != r2.x), then r2 saw the initial value.
+                return Err(MwmrViolation::NewOldInversion {
+                    earlier: r1.op_id,
+                    later: r2.op_id,
+                });
+            }
+            if r1.x > 0 {
+                add_edge(&mut adj, r1.x, r2.x);
+            }
+        }
+    }
+
+    // --- Resolve the order: deterministic Kahn topological sort. ------------
+    let mut indegree = vec![0usize; k + 1];
+    for targets in &adj {
+        for &b in targets {
+            indegree[b] += 1;
+        }
+    }
+    // Ready set keyed by (invoked_at, op_id) so concurrency resolves
+    // deterministically (and sensibly: earlier-invoked writes first).
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, usize)>> = (1..=k)
+        .filter(|&i| indegree[i] == 0)
+        .map(|i| std::cmp::Reverse((writes[i - 1].invoked_at, writes[i - 1].op_id.raw(), i)))
+        .collect();
+    let mut write_order = Vec::with_capacity(k);
+    while let Some(std::cmp::Reverse((_, _, a))) = ready.pop() {
+        write_order.push(writes[a - 1].op_id);
+        for &b in &adj[a] {
+            indegree[b] -= 1;
+            if indegree[b] == 0 {
+                ready.push(std::cmp::Reverse((
+                    writes[b - 1].invoked_at,
+                    writes[b - 1].op_id.raw(),
+                    b,
+                )));
+            }
+        }
+    }
+    if write_order.len() < k {
+        return Err(MwmrViolation::OrderCycle {
+            writes: extract_cycle(&adj, &indegree, &writes),
+        });
+    }
+
+    Ok(MwmrVerdict {
+        reads_checked: reads.len(),
+        writes: k,
+        initial_reads: reads.iter().filter(|r| r.x == 0).count(),
+        write_order,
+    })
+}
+
+/// Finds one concrete cycle among the nodes Kahn's sort could not clear,
+/// for pinpointed reporting. Every blocked node (`indegree > 0` at the
+/// end) kept at least one never-popped — hence blocked — *predecessor*
+/// (a blocked node may well be a sink downstream of the cycle, so the
+/// walk must go backward, where it can never escape the blocked set and
+/// must eventually revisit a node).
+fn extract_cycle<V>(
+    adj: &[Vec<usize>],
+    indegree: &[usize],
+    writes: &[&twobit_proto::OpRecord<V>],
+) -> Vec<OpId> {
+    let k = writes.len();
+    let blocked: Vec<bool> = (0..=k).map(|i| i > 0 && indegree[i] > 0).collect();
+    let start = (1..=k).find(|&i| blocked[i]).expect("a cycle exists");
+    let mut path: Vec<usize> = vec![start];
+    let mut on_path = vec![false; k + 1];
+    on_path[start] = true;
+    loop {
+        let cur = *path.last().expect("path is never empty");
+        let prev = (1..=k)
+            .find(|&p| blocked[p] && adj[p].contains(&cur))
+            .expect("blocked nodes keep a blocked predecessor");
+        if on_path[prev] {
+            let from = path.iter().position(|&n| n == prev).expect("on path");
+            // `path` walks predecessors (edges point path[i+1] → path[i]);
+            // reverse the tail so the reported cycle reads in edge order.
+            return path[from..]
+                .iter()
+                .rev()
+                .map(|&i| writes[i - 1].op_id)
+                .collect();
+        }
+        on_path[prev] = true;
+        path.push(prev);
+    }
+}
+
+/// A [`check`] failure localized to one register of a sharded run —
+/// the multi-writer counterpart of [`swmr::ShardedViolation`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedViolation {
+    /// The offending register.
+    pub reg: RegisterId,
+    /// Its violation.
+    pub violation: MwmrViolation,
+}
+
+impl fmt::Display for ShardedViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register {}: {}", self.reg, self.violation)
+    }
+}
+
+impl std::error::Error for ShardedViolation {}
+
+/// Checks every register of a sharded run as a multi-writer register.
+///
+/// # Errors
+///
+/// The first per-register violation, tagged with its register id.
+pub fn check_sharded<V: Clone + Eq + Hash>(
+    sharded: &ShardedHistory<V>,
+) -> Result<BTreeMap<RegisterId, MwmrVerdict>, ShardedViolation> {
+    let mut verdicts = BTreeMap::new();
+    for (reg, history) in sharded.iter() {
+        let verdict = check(history).map_err(|violation| ShardedViolation { reg, violation })?;
+        verdicts.insert(reg, verdict);
+    }
+    Ok(verdicts)
+}
+
+/// Per-register verdict of a mode-dispatched sharded check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegisterVerdict {
+    /// The register was checked as SWMR.
+    Swmr(SwmrVerdict),
+    /// The register was checked as MWMR.
+    Mwmr(MwmrVerdict),
+}
+
+impl RegisterVerdict {
+    /// Number of completed reads validated, whichever checker ran.
+    pub fn reads_checked(&self) -> usize {
+        match self {
+            RegisterVerdict::Swmr(v) => v.reads_checked,
+            RegisterVerdict::Mwmr(v) => v.reads_checked,
+        }
+    }
+
+    /// Number of writes in the history, whichever checker ran.
+    pub fn writes(&self) -> usize {
+        match self {
+            RegisterVerdict::Swmr(v) => v.writes,
+            RegisterVerdict::Mwmr(v) => v.writes,
+        }
+    }
+}
+
+/// A violation from either checker, tagged with the mode that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModeViolation {
+    /// The SWMR fast checker rejected the history.
+    Swmr(swmr::AtomicityViolation),
+    /// The MWMR timestamp-order checker rejected the history.
+    Mwmr(MwmrViolation),
+}
+
+impl fmt::Display for ModeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModeViolation::Swmr(v) => write!(f, "swmr: {v}"),
+            ModeViolation::Mwmr(v) => write!(f, "mwmr: {v}"),
+        }
+    }
+}
+
+/// A mode-dispatched per-register failure of a sharded run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedModeViolation {
+    /// The offending register.
+    pub reg: RegisterId,
+    /// Its violation, tagged with the checker that found it.
+    pub violation: ModeViolation,
+}
+
+impl fmt::Display for ShardedModeViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register {}: {}", self.reg, self.violation)
+    }
+}
+
+impl std::error::Error for ShardedModeViolation {}
+
+/// Checks every register of a sharded run with the checker its declared
+/// [`RegisterMode`] requires: SWMR registers go to the Lemma-10 fast
+/// procedure, MWMR registers to the timestamp-order checker. Registers
+/// absent from `modes` default to SWMR. This is the verification entry
+/// point for a mixed `RegisterSpace` — pass
+/// `RegisterSpace::histories()` and `RegisterSpace::modes()`.
+///
+/// # Errors
+///
+/// The first per-register violation, tagged with its register id and the
+/// checker that found it.
+pub fn check_sharded_modes<V: Clone + Eq + Hash>(
+    sharded: &ShardedHistory<V>,
+    modes: &BTreeMap<RegisterId, RegisterMode>,
+) -> Result<BTreeMap<RegisterId, RegisterVerdict>, ShardedModeViolation> {
+    let mut verdicts = BTreeMap::new();
+    for (reg, history) in sharded.iter() {
+        let mode = modes.get(&reg).copied().unwrap_or_default();
+        let verdict = match mode {
+            RegisterMode::Swmr => swmr::check(history)
+                .map(RegisterVerdict::Swmr)
+                .map_err(|v| ShardedModeViolation {
+                    reg,
+                    violation: ModeViolation::Swmr(v),
+                })?,
+            RegisterMode::Mwmr => {
+                check(history)
+                    .map(RegisterVerdict::Mwmr)
+                    .map_err(|v| ShardedModeViolation {
+                        reg,
+                        violation: ModeViolation::Mwmr(v),
+                    })?
+            }
+        };
+        verdicts.insert(reg, verdict);
+    }
+    Ok(verdicts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wg;
+    use twobit_proto::{OpOutcome, OpRecord, ProcessId};
+
+    fn w(op_id: u64, proc: usize, inv: u64, resp: u64, v: u64) -> OpRecord<u64> {
+        OpRecord {
+            op_id: OpId::new(op_id),
+            proc: ProcessId::new(proc),
+            op: Operation::Write(v),
+            invoked_at: inv,
+            completed: Some((resp, OpOutcome::Written)),
+        }
+    }
+
+    fn w_pending(op_id: u64, proc: usize, inv: u64, v: u64) -> OpRecord<u64> {
+        OpRecord {
+            op_id: OpId::new(op_id),
+            proc: ProcessId::new(proc),
+            op: Operation::Write(v),
+            invoked_at: inv,
+            completed: None,
+        }
+    }
+
+    fn r(op_id: u64, proc: usize, inv: u64, resp: u64, v: u64) -> OpRecord<u64> {
+        OpRecord {
+            op_id: OpId::new(op_id),
+            proc: ProcessId::new(proc),
+            op: Operation::Read,
+            invoked_at: inv,
+            completed: Some((resp, OpOutcome::ReadValue(v))),
+        }
+    }
+
+    fn hist(records: Vec<OpRecord<u64>>) -> History<u64> {
+        History {
+            initial: 0,
+            records,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let v = check(&hist(vec![])).unwrap();
+        assert_eq!(v, MwmrVerdict::default());
+    }
+
+    #[test]
+    fn two_writers_sequential() {
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            r(1, 2, 11, 20, 1),
+            w(2, 1, 21, 30, 2),
+            r(3, 3, 31, 40, 2),
+        ]);
+        let v = check(&h).unwrap();
+        assert_eq!(v.writes, 2);
+        assert_eq!(v.reads_checked, 2);
+        assert_eq!(v.write_order, vec![OpId::new(0), OpId::new(2)]);
+    }
+
+    #[test]
+    fn concurrent_writes_resolve_by_observation() {
+        // w(1) and w(2) overlap; a reader sees 2 then (later) another
+        // reader sees... also 2. Legal: order 1 < 2.
+        let h = hist(vec![
+            w(0, 0, 0, 50, 1),
+            w(1, 1, 0, 50, 2),
+            r(2, 2, 60, 70, 2),
+        ]);
+        let v = check(&h).unwrap();
+        assert_eq!(v.write_order.last(), Some(&OpId::new(1)));
+        // And the mirror image resolves the other way.
+        let h = hist(vec![
+            w(0, 0, 0, 50, 1),
+            w(1, 1, 0, 50, 2),
+            r(2, 2, 60, 70, 1),
+        ]);
+        let v = check(&h).unwrap();
+        assert_eq!(v.write_order.last(), Some(&OpId::new(0)));
+    }
+
+    #[test]
+    fn opposite_observation_orders_are_a_pinpointed_cycle() {
+        // Two concurrent writes; reader p2 sees 1 then 2, reader p3 sees
+        // 2 then 1 (all four reads pairwise non-overlapping per reader,
+        // and the cross-reader reads ordered so both directions are
+        // forced). The derived constraints w1 < w2 (p2) and w2 < w1 (p3)
+        // contradict.
+        let h = hist(vec![
+            w(0, 0, 0, 100, 1),
+            w(1, 1, 0, 100, 2),
+            r(2, 2, 10, 20, 1),
+            r(3, 2, 30, 40, 2),
+            r(4, 3, 10, 20, 2),
+            r(5, 3, 30, 40, 1),
+        ]);
+        let err = check(&h).unwrap_err();
+        let MwmrViolation::OrderCycle { writes } = err else {
+            panic!("expected an order cycle, got {err}");
+        };
+        let mut cycle = writes.clone();
+        cycle.sort();
+        assert_eq!(cycle, vec![OpId::new(0), OpId::new(1)]);
+        // The independent ground-truth search agrees.
+        assert!(wg::check_register(&h).is_err());
+    }
+
+    #[test]
+    fn respects_write_real_time_order() {
+        // w(1) completes before w(2) starts: a later read may never see 1.
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            w(1, 1, 20, 30, 2),
+            r(2, 2, 40, 50, 1),
+        ]);
+        assert!(matches!(check(&h), Err(MwmrViolation::OrderCycle { .. })));
+        assert!(wg::check_register(&h).is_err());
+    }
+
+    #[test]
+    fn stale_initial_read_is_pinpointed() {
+        let h = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 20, 30, 0)]);
+        assert_eq!(
+            check(&h),
+            Err(MwmrViolation::StaleRead {
+                read: OpId::new(1),
+                overwritten_by: OpId::new(0)
+            })
+        );
+    }
+
+    #[test]
+    fn initial_inversion_is_pinpointed() {
+        // Both reads overlap the write, but the second starts after the
+        // first responded and goes backward to the initial value.
+        let h = hist(vec![
+            w(0, 0, 0, 100, 1),
+            r(1, 1, 10, 20, 1),
+            r(2, 2, 30, 40, 0),
+        ]);
+        assert_eq!(
+            check(&h),
+            Err(MwmrViolation::NewOldInversion {
+                earlier: OpId::new(1),
+                later: OpId::new(2)
+            })
+        );
+    }
+
+    #[test]
+    fn read_from_future_is_pinpointed() {
+        let h = hist(vec![r(0, 1, 0, 5, 1), w(1, 0, 10, 20, 1)]);
+        assert_eq!(
+            check(&h),
+            Err(MwmrViolation::ReadFromFuture {
+                read: OpId::new(0),
+                write: OpId::new(1)
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_and_ambiguous_values_are_rejected() {
+        let h = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 20, 30, 9)]);
+        assert_eq!(
+            check(&h),
+            Err(MwmrViolation::UnknownValue { read: OpId::new(1) })
+        );
+        let h = hist(vec![w(0, 0, 0, 10, 5), w(1, 1, 20, 30, 5)]);
+        assert_eq!(check(&h), Err(MwmrViolation::AmbiguousValues));
+        let h = hist(vec![w(0, 0, 0, 10, 0)]);
+        assert_eq!(check(&h), Err(MwmrViolation::AmbiguousValues));
+    }
+
+    #[test]
+    fn pending_writes_need_no_subset_search() {
+        // A pending write may be observed...
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            w_pending(1, 1, 20, 2),
+            r(2, 2, 30, 40, 2),
+        ]);
+        check(&h).unwrap();
+        // ...or not, even much later...
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            w_pending(1, 1, 20, 2),
+            r(2, 2, 30, 40, 1),
+        ]);
+        check(&h).unwrap();
+        // ...but a read that responded before its invocation cannot.
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            w_pending(1, 1, 20, 2),
+            r(2, 2, 5, 15, 2),
+        ]);
+        assert!(check(&h).is_err());
+    }
+
+    #[test]
+    fn concurrent_reads_of_concurrent_writes_any_order() {
+        // Overlapping reads impose nothing on each other.
+        let h = hist(vec![
+            w(0, 0, 0, 100, 1),
+            w(1, 1, 0, 100, 2),
+            r(2, 2, 10, 60, 1),
+            r(3, 3, 20, 70, 2),
+            r(4, 4, 30, 80, 1),
+        ]);
+        check(&h).unwrap();
+        assert!(wg::check_register(&h).is_ok());
+    }
+
+    #[test]
+    fn three_writers_ring_is_a_cycle() {
+        // Three concurrent writes observed pairwise in a rotation:
+        // 1 < 2 (p3), 2 < 3 (p4), 3 < 1 (p0 reading after crash of its
+        // own write? — just a fifth process).
+        let h = hist(vec![
+            w(0, 0, 0, 100, 1),
+            w(1, 1, 0, 100, 2),
+            w(2, 2, 0, 100, 3),
+            r(3, 3, 10, 20, 1),
+            r(4, 3, 30, 40, 2),
+            r(5, 4, 10, 20, 2),
+            r(6, 4, 30, 40, 3),
+            r(7, 5, 10, 20, 3),
+            r(8, 5, 30, 40, 1),
+        ]);
+        let err = check(&h).unwrap_err();
+        let MwmrViolation::OrderCycle { writes } = err else {
+            panic!("expected a cycle, got {err}");
+        };
+        assert!(writes.len() >= 2 && writes.len() <= 3, "{writes:?}");
+        assert!(wg::check_register(&h).is_err());
+    }
+
+    #[test]
+    fn sharded_check_tags_the_register() {
+        let good = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 11, 20, 1)]);
+        let bad = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 20, 30, 0)]);
+        let r0 = RegisterId::new(0);
+        let r1 = RegisterId::new(1);
+        let mixed = ShardedHistory::from_tagged(
+            0u64,
+            [r0, r1],
+            good.records
+                .iter()
+                .map(|rec| (r0, rec.clone()))
+                .chain(bad.records.iter().map(|rec| (r1, rec.clone())))
+                .collect::<Vec<_>>(),
+        );
+        let err = check_sharded(&mixed).unwrap_err();
+        assert_eq!(err.reg, r1);
+        assert!(matches!(err.violation, MwmrViolation::StaleRead { .. }));
+    }
+
+    #[test]
+    fn mode_dispatch_routes_per_register() {
+        // r0 is a legal SWMR history; r1 is multi-writer — fine for the
+        // MWMR checker, rejected by the SWMR one. The dispatch must accept
+        // the pair exactly when r1 is declared Mwmr.
+        let swmr_h = hist(vec![w(0, 0, 0, 10, 1), r(1, 1, 11, 20, 1)]);
+        let mwmr_h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            w(1, 1, 20, 30, 2),
+            r(2, 2, 31, 40, 2),
+        ]);
+        let r0 = RegisterId::new(0);
+        let r1 = RegisterId::new(1);
+        let sharded = ShardedHistory::from_tagged(
+            0u64,
+            [r0, r1],
+            swmr_h
+                .records
+                .iter()
+                .map(|rec| (r0, rec.clone()))
+                .chain(mwmr_h.records.iter().map(|rec| (r1, rec.clone())))
+                .collect::<Vec<_>>(),
+        );
+        let modes: BTreeMap<_, _> = [(r0, RegisterMode::Swmr), (r1, RegisterMode::Mwmr)].into();
+        let verdicts = check_sharded_modes(&sharded, &modes).unwrap();
+        assert!(matches!(verdicts[&r0], RegisterVerdict::Swmr(_)));
+        assert!(matches!(verdicts[&r1], RegisterVerdict::Mwmr(_)));
+        assert_eq!(verdicts[&r1].writes(), 2);
+
+        // Declared SWMR, the multi-writer register is rejected — and the
+        // error names both the register and the checker.
+        let all_swmr: BTreeMap<_, _> = [(r0, RegisterMode::Swmr)].into();
+        let err = check_sharded_modes(&sharded, &all_swmr).unwrap_err();
+        assert_eq!(err.reg, r1);
+        assert!(matches!(
+            err.violation,
+            ModeViolation::Swmr(swmr::AtomicityViolation::MultipleWriters { .. })
+        ));
+    }
+
+    #[test]
+    fn swmr_histories_pass_the_mwmr_checker_too() {
+        // SWMR ⊂ MWMR: anything the fast checker accepts, this one must.
+        let h = hist(vec![
+            w(0, 0, 0, 10, 1),
+            r(1, 1, 11, 20, 1),
+            w(2, 0, 21, 30, 2),
+            r(3, 2, 31, 40, 2),
+        ]);
+        swmr::check(&h).unwrap();
+        let v = check(&h).unwrap();
+        assert_eq!(v.writes, 2);
+        assert_eq!(v.initial_reads, 0);
+    }
+}

@@ -66,6 +66,6 @@ pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
 pub use op::{OpId, OpOutcome, Operation};
 pub use payload::Payload;
 pub use shard::{ShardSet, UnknownRegister};
-pub use space::RegisterSpace;
+pub use space::{RegisterMode, RegisterSpace};
 pub use stats::{FlushReason, NetStats, ShardTraffic, StatsSnapshot};
 pub use wire::{Envelope, MessageCost, WireMessage};

@@ -13,18 +13,57 @@
 //! separately by [`NetStats`](crate::NetStats) (see
 //! [`NetStats::routing_bits`](crate::NetStats::routing_bits) and
 //! [`NetStats::shard`](crate::NetStats::shard)).
+//!
+//! # Register modes
+//!
+//! A register is declared [`RegisterMode::Swmr`] (the paper's single-writer
+//! protocol — the default) or [`RegisterMode::Mwmr`] (any process may issue
+//! `write`, served by a multi-writer automaton such as ABD's MWMR
+//! generalization). The mode is a *verification contract*, not a gate: the
+//! substrates enforce the model's sequentiality per `(process, register)`
+//! pair either way — on an MWMR register each writer process independently
+//! owns an in-flight slot, so concurrent writes from distinct processes
+//! pipeline freely while `DriverError::OperationInFlight` still protects
+//! each individual writer. Verification dispatches on the mode:
+//! `twobit_lincheck::check_sharded_modes` routes each register's history to
+//! the SWMR fast checker or the MWMR timestamp-order checker.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use crate::driver::{Driver, DriverError, OpTicket};
 use crate::history::{History, ShardedHistory};
 use crate::id::{ProcessId, RegisterId};
 use crate::op::{OpOutcome, Operation};
 
+/// Writer discipline of one register of a [`RegisterSpace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegisterMode {
+    /// Single-writer multi-reader — the paper's protocol: exactly one
+    /// process may write; its checker is the Lemma-10 fast procedure.
+    #[default]
+    Swmr,
+    /// Multi-writer multi-reader: any process may issue `write` (each
+    /// writer keeps its own per-`(process, register)` in-flight slot);
+    /// checked by timestamp-order linearizability
+    /// (`twobit_lincheck::check_mwmr`).
+    Mwmr,
+}
+
+impl fmt::Display for RegisterMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterMode::Swmr => write!(f, "swmr"),
+            RegisterMode::Mwmr => write!(f, "mwmr"),
+        }
+    }
+}
+
 /// A set of named registers multiplexed over one [`Driver`] backend.
 pub struct RegisterSpace<D: Driver> {
     driver: D,
     names: BTreeMap<String, RegisterId>,
+    modes: BTreeMap<RegisterId, RegisterMode>,
 }
 
 impl<D: Driver> RegisterSpace<D> {
@@ -39,9 +78,30 @@ impl<D: Driver> RegisterSpace<D> {
         driver: D,
         names: impl IntoIterator<Item = impl Into<String>>,
     ) -> Result<Self, DriverError> {
+        Self::new_with_modes(driver, names.into_iter().map(|n| (n, RegisterMode::Swmr)))
+    }
+
+    /// Binds `names` with an explicit [`RegisterMode`] per register — the
+    /// way to declare multi-writer registers. Names are bound in iteration
+    /// order to the backend's registers in id order, exactly like
+    /// [`RegisterSpace::new`].
+    ///
+    /// The mode is a verification contract: the caller must host a
+    /// matching automaton per register (e.g. `MwmrProcess` on MWMR-tagged
+    /// ids), and [`RegisterSpace::modes`] feeds the per-register checker
+    /// dispatch (`twobit_lincheck::check_sharded_modes`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`RegisterSpace::new`].
+    pub fn new_with_modes(
+        driver: D,
+        names: impl IntoIterator<Item = (impl Into<String>, RegisterMode)>,
+    ) -> Result<Self, DriverError> {
         let regs = driver.registers();
         let mut map = BTreeMap::new();
-        for (i, name) in names.into_iter().enumerate() {
+        let mut modes = BTreeMap::new();
+        for (i, (name, mode)) in names.into_iter().enumerate() {
             let Some(&reg) = regs.get(i) else {
                 return Err(DriverError::Backend(format!(
                     "space needs more than the {} hosted registers",
@@ -54,13 +114,35 @@ impl<D: Driver> RegisterSpace<D> {
                     "duplicate register name {name:?}"
                 )));
             }
+            modes.insert(reg, mode);
         }
-        Ok(RegisterSpace { driver, names: map })
+        Ok(RegisterSpace {
+            driver,
+            names: map,
+            modes,
+        })
     }
 
     /// The id a name is bound to.
     pub fn id(&self, name: &str) -> Option<RegisterId> {
         self.names.get(name).copied()
+    }
+
+    /// The mode a name's register was declared with.
+    pub fn mode(&self, name: &str) -> Option<RegisterMode> {
+        self.id(name).map(|reg| self.mode_of(reg))
+    }
+
+    /// The mode of one register id ([`RegisterMode::Swmr`] unless declared
+    /// otherwise).
+    pub fn mode_of(&self, reg: RegisterId) -> RegisterMode {
+        self.modes.get(&reg).copied().unwrap_or_default()
+    }
+
+    /// Every bound register's mode, keyed by id — the second input to
+    /// `twobit_lincheck::check_sharded_modes`.
+    pub fn modes(&self) -> &BTreeMap<RegisterId, RegisterMode> {
+        &self.modes
     }
 
     /// All bound names, in lexicographic order.

@@ -77,6 +77,55 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Multi-writer registers
+//!
+//! A register is declared [`RegisterMode::Swmr`] (the default — the
+//! paper's protocol, one writer) or [`RegisterMode::Mwmr`]: *any* process
+//! may issue `write`, served by the ABD-style multi-writer automaton
+//! ([`MwmrProcess`], timestamps ⟨counter, process-id⟩). There is no global
+//! write lock to lift — the model's sequentiality, and with it
+//! [`ClientError::OperationInFlight`], is enforced per
+//! `(process, register)` pair, so each writer owns its own in-flight slot
+//! and concurrent writes from distinct processes pipeline freely.
+//! Verification dispatches on the declared mode:
+//! [`lincheck::check_mwmr_sharded`] checks every register as MWMR
+//! (timestamp-order linearizability), [`lincheck::check_sharded_modes`]
+//! routes each register of a mixed space to the right checker. For mixed
+//! deployments — SWMR and MWMR registers on one cluster — host
+//! [`baselines::MixedProcess`] per register
+//! (`MixedProcess::for_mode(mode, ...)`):
+//!
+//! ```
+//! use twobit::lincheck::{check_mwmr_sharded, check_sharded_modes};
+//! use twobit::{
+//!     MwmrProcess, Operation, RegisterMode, RegisterSpace, SpaceBuilder, SystemConfig,
+//! };
+//!
+//! let cfg = SystemConfig::new(5, 2)?;
+//! // Host the MWMR automaton and declare the register multi-writer.
+//! let sim = SpaceBuilder::new(cfg)
+//!     .seed(1)
+//!     .wire_codec(true) // MwmrMsg is codec-capable: frames cross as bytes
+//!     .build(0u64, |_reg, id| MwmrProcess::new(id, cfg, 0u64));
+//! let mut space = RegisterSpace::new_with_modes(sim, [("counter", RegisterMode::Mwmr)])?;
+//!
+//! // Three *different* processes write concurrently — no OperationInFlight:
+//! // the in-flight slot is per (process, register), i.e. per writer.
+//! let t0 = space.issue(0, "counter", Operation::Write(10u64))?;
+//! let t1 = space.issue(1, "counter", Operation::Write(20))?;
+//! let t2 = space.issue(2, "counter", Operation::Write(30))?;
+//! for t in [t0, t1, t2] {
+//!     space.wait(&t)?;
+//! }
+//! assert!([10, 20, 30].contains(&space.read(4, "counter")?));
+//!
+//! // Timestamp-order linearizability, checked not assumed — per register,
+//! // or dispatched by each register's declared mode.
+//! check_mwmr_sharded(&space.histories())?;
+//! check_sharded_modes(&space.histories(), space.modes())?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
 //! Blocking clients still exist and gained pipelining: [`RegisterClient`]
 //! splits into [`RegisterClient::issue`] → [`runtime::OpHandle::wait`], so
 //! one caller can overlap operations on *different* registers while each
@@ -208,12 +257,12 @@ pub use twobit_runtime as runtime;
 pub use twobit_simnet as simnet;
 pub use twobit_transport as transport;
 
-pub use twobit_baselines::{AbdProcess, MwmrProcess, PhasedProcess};
+pub use twobit_baselines::{AbdProcess, MixedMsg, MixedProcess, MwmrProcess, PhasedProcess};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{
     Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, FrameCost, FrameHeader,
-    History, OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterSpace,
-    ShardSet, ShardedHistory, SystemConfig, Workload,
+    History, OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterMode,
+    RegisterSpace, ShardSet, ShardedHistory, SystemConfig, Workload,
 };
 pub use twobit_runtime::{
     BuildError, ClientError, Cluster, ClusterBuilder, ConfigError, FlushPolicy, HoldPolicy,

@@ -7,10 +7,15 @@
 //! checker's theory or code. proptest shrinks disagreements to minimal
 //! counterexamples.
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
-use twobit::lincheck::{swmr, wg};
+use twobit::lincheck::{check_sharded_modes, mwmr, swmr, wg};
 use twobit::proto::OpRecord;
-use twobit::{History, OpId, OpOutcome, Operation, ProcessId};
+use twobit::{
+    Driver, History, MixedProcess, OpId, OpOutcome, Operation, ProcessId, RegisterId, RegisterMode,
+    SystemConfig,
+};
 
 /// A randomly placed read: interval plus the index of the value it claims
 /// to have seen (0 = initial value).
@@ -132,6 +137,212 @@ proptest! {
         let h = History { initial: 0u64, records };
         prop_assert!(swmr::check(&h).is_ok());
         prop_assert!(wg::check_register(&h).is_ok());
+    }
+}
+
+/// A randomly placed multi-writer write: invoking process, interval, and
+/// whether it completed.
+#[derive(Clone, Debug)]
+struct ArbWrite {
+    proc: usize,
+    start: u64,
+    len: u64,
+    pending: bool,
+}
+
+fn arb_writes() -> impl Strategy<Value = Vec<ArbWrite>> {
+    prop::collection::vec(
+        (0usize..3, 0u64..80, 1u64..30, any::<bool>()).prop_map(|(proc, start, len, pending)| {
+            ArbWrite {
+                proc,
+                start,
+                len,
+                pending,
+            }
+        }),
+        0..4,
+    )
+}
+
+/// Builds a multi-writer history: arbitrary (possibly overlapping,
+/// possibly pending) writes of values 1..=k from several processes, plus
+/// arbitrary reads claiming any value index.
+fn build_mwmr_history(writes: &[ArbWrite], reads: &[ArbRead]) -> History<u64> {
+    let mut records = Vec::new();
+    let mut op = 0u64;
+    for (k, w) in writes.iter().enumerate() {
+        records.push(OpRecord {
+            op_id: OpId::new(op),
+            proc: ProcessId::new(w.proc),
+            op: Operation::Write(k as u64 + 1),
+            invoked_at: w.start,
+            completed: if w.pending {
+                None
+            } else {
+                Some((w.start + w.len, OpOutcome::Written))
+            },
+        });
+        op += 1;
+    }
+    for r in reads {
+        records.push(OpRecord {
+            op_id: OpId::new(op),
+            proc: ProcessId::new(r.proc + 3), // readers distinct from writers
+            op: Operation::Read,
+            invoked_at: r.start,
+            completed: Some((r.start + r.len, OpOutcome::ReadValue(r.value_idx as u64))),
+        });
+        op += 1;
+    }
+    History {
+        initial: 0,
+        records,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The MWMR timestamp-order checker and the WG search agree on every
+    /// random multi-writer history — concurrent writes, pending writes,
+    /// stale/future/inverted reads, the lot. Any disagreement is a bug in
+    /// the constraint-graph theory or its code.
+    #[test]
+    fn mwmr_checker_agrees_with_wg(
+        writes in arb_writes(),
+        reads in arb_reads(3),
+    ) {
+        let h = build_mwmr_history(&writes, &reads);
+        let fast = mwmr::check(&h);
+        let ground = wg::check_register(&h);
+        prop_assert_eq!(
+            fast.is_ok(),
+            ground.is_ok(),
+            "disagreement: mwmr={:?} wg={:?} history={:?}",
+            fast, ground, h
+        );
+    }
+
+    /// On single-writer histories the three checkers agree pairwise: the
+    /// MWMR procedure is a strict generalization of the SWMR one.
+    #[test]
+    fn mwmr_checker_subsumes_swmr_on_single_writer_histories(
+        writes in 0usize..4,
+        last_pending in any::<bool>(),
+        reads in arb_reads(3),
+    ) {
+        let h = build_history(writes, last_pending && writes > 0, &reads);
+        let multi = mwmr::check(&h);
+        let single = swmr::check(&h);
+        prop_assert_eq!(
+            multi.is_ok(),
+            single.is_ok(),
+            "disagreement: mwmr={:?} swmr={:?} history={:?}",
+            multi, single, h
+        );
+    }
+}
+
+proptest! {
+    // Whole-simulation cases are heavier than bare history checks.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed SWMR/MWMR register layouts × random crash schedules on
+    /// the deterministic sharded simulator always produce histories the
+    /// per-register checker dispatch accepts: protocol correctness and the
+    /// checker's positive direction, exercised together over the framed,
+    /// codec-on message path.
+    #[test]
+    fn mixed_layouts_with_crashes_pass_the_mode_dispatch(
+        seed in any::<u64>(),
+        mode_bits in prop::collection::vec(any::<bool>(), 1..5),
+        crash_victims in prop::collection::vec(0usize..5, 0..3),
+        crash_after in 0usize..10,
+        rounds in 1usize..3,
+    ) {
+        const N: usize = 5;
+        let cfg = SystemConfig::max_resilience(N); // t = 2
+        let modes: Vec<RegisterMode> = mode_bits
+            .iter()
+            .map(|&b| if b { RegisterMode::Mwmr } else { RegisterMode::Swmr })
+            .collect();
+        let writer_of = |reg: RegisterId| ProcessId::new(reg.index() % N);
+        let mut sim = twobit::SpaceBuilder::new(cfg)
+            .seed(seed)
+            .registers(modes.len())
+            .wire_codec(true)
+            .build(0u64, |reg, id| {
+                MixedProcess::for_mode(modes[reg.index()], id, cfg, writer_of(reg), 0u64)
+            });
+
+        // Crash at most t processes, at a random point of the schedule.
+        let mut victims: Vec<usize> = crash_victims;
+        victims.sort_unstable();
+        victims.dedup();
+        victims.truncate(2);
+        let mut crashed = [false; N];
+
+        let mut value = 0u64;
+        let mut step = 0usize;
+        for _round in 0..rounds {
+            for (k, mode) in modes.iter().enumerate() {
+                let reg = RegisterId::new(k);
+                if step == crash_after {
+                    for &v in &victims {
+                        sim.crash(ProcessId::new(v));
+                        crashed[v] = true;
+                    }
+                }
+                step += 1;
+                // Writers: the register's single writer, or (MWMR) two
+                // concurrent writers.
+                let writer_procs: Vec<usize> = match mode {
+                    RegisterMode::Swmr => vec![writer_of(reg).index()],
+                    RegisterMode::Mwmr => vec![k % N, (k + 1) % N],
+                };
+                let mut tickets = Vec::new();
+                for p in writer_procs {
+                    if crashed[p] {
+                        continue;
+                    }
+                    value += 1;
+                    if let Ok(t) = sim.invoke(ProcessId::new(p), reg, Operation::Write(value)) {
+                        tickets.push(t);
+                    }
+                }
+                let reader = (k + 3) % N;
+                if !crashed[reader] {
+                    if let Ok(t) = sim.invoke(ProcessId::new(reader), reg, Operation::Read) {
+                        tickets.push(t);
+                    }
+                }
+                for t in &tickets {
+                    // Live processes complete (a quorum survives any ≤ t
+                    // crash schedule); ops cut down mid-flight by their own
+                    // process's crash may legitimately stall.
+                    let _ = sim.poll(t);
+                }
+            }
+        }
+        sim.run_to_quiescence().expect("simulation stays healthy");
+
+        let modes_map: BTreeMap<RegisterId, RegisterMode> = modes
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| (RegisterId::new(k), m))
+            .collect();
+        let verdicts = check_sharded_modes(&sim.history(), &modes_map)
+            .unwrap_or_else(|e| panic!("seed {seed}: dispatch rejected the run: {e}"));
+        prop_assert_eq!(verdicts.len(), modes.len());
+        // Every register was checked by the checker its mode demands.
+        for (reg, verdict) in &verdicts {
+            let expect_mwmr = modes[reg.index()] == RegisterMode::Mwmr;
+            prop_assert_eq!(
+                matches!(verdict, twobit::lincheck::RegisterVerdict::Mwmr(_)),
+                expect_mwmr,
+                "register {} routed to the wrong checker", reg
+            );
+        }
     }
 }
 

@@ -3,9 +3,12 @@
 //! writer, operations pipeline across shards, and every per-register
 //! history must pass the atomicity checker.
 
-use twobit::lincheck::{check_swmr, check_swmr_sharded};
+use twobit::lincheck::{check_sharded_modes, check_swmr, check_swmr_sharded, RegisterVerdict};
 use twobit::proto::Driver;
-use twobit::{ClusterBuilder, Operation, ProcessId, RegisterSpace, SystemConfig, TwoBitProcess};
+use twobit::{
+    ClusterBuilder, MixedProcess, Operation, ProcessId, RegisterId, RegisterMode, RegisterSpace,
+    SystemConfig, TwoBitProcess,
+};
 
 const N: usize = 5;
 const REGISTERS: usize = 64;
@@ -95,4 +98,74 @@ fn named_registers_pipeline_across_shards() {
 
     // Unknown names are typed errors.
     assert!(space.read(0, "no-such-key").is_err());
+}
+
+/// A mixed space on the live cluster: one SWMR register (the paper's
+/// protocol) and one MWMR register (ABD timestamps) behind named bindings.
+/// Every process may write the MWMR register — three writers issue
+/// *concurrently* through the space, each holding its own per-writer
+/// in-flight slot — and verification dispatches per declared mode.
+#[test]
+fn mixed_space_declares_and_verifies_multi_writer_registers() {
+    let cfg = SystemConfig::max_resilience(N);
+    let layout = [RegisterMode::Swmr, RegisterMode::Mwmr];
+    let cluster = ClusterBuilder::new(cfg)
+        .seed(77)
+        .registers(layout.len())
+        .wire_codec(true)
+        .build_sharded(0u64, |reg, id| {
+            MixedProcess::for_mode(layout[reg.index()], id, cfg, ProcessId::new(0), 0u64)
+        })
+        .unwrap();
+    let mut space = RegisterSpace::new_with_modes(
+        cluster,
+        [
+            ("flags", RegisterMode::Swmr),
+            ("counter", RegisterMode::Mwmr),
+        ],
+    )
+    .unwrap();
+
+    // The modes API reflects the declaration.
+    assert_eq!(space.mode("flags"), Some(RegisterMode::Swmr));
+    assert_eq!(space.mode("counter"), Some(RegisterMode::Mwmr));
+    assert_eq!(space.mode("no-such-key"), None);
+    assert_eq!(space.mode_of(RegisterId::new(1)), RegisterMode::Mwmr);
+    // Undeclared ids default to SWMR, the conservative checker.
+    assert_eq!(space.mode_of(RegisterId::new(9)), RegisterMode::Swmr);
+    assert_eq!(space.modes().len(), 2);
+
+    // SWMR register: only p0 writes.
+    space.write(0, "flags", 7).unwrap();
+    assert_eq!(space.read(1, "flags").unwrap(), 7);
+
+    // MWMR register: three different processes write concurrently — each
+    // (process, register) pair has its own in-flight slot, so none of
+    // these is an OperationInFlight error.
+    let t1 = space.issue(1, "counter", Operation::Write(10)).unwrap();
+    let t2 = space.issue(2, "counter", Operation::Write(20)).unwrap();
+    let t3 = space.issue(3, "counter", Operation::Write(30)).unwrap();
+    // The same writer double-issuing IS still refused: sequentiality is
+    // lifted per register only across writers, never within one.
+    assert!(space.issue(1, "counter", Operation::Write(99)).is_err());
+    for t in [t1, t2, t3] {
+        space.wait(&t).unwrap();
+    }
+    let got = space.read(4, "counter").unwrap();
+    assert!(
+        [10, 20, 30].contains(&got),
+        "freshest write wins, got {got}"
+    );
+
+    // Verification dispatches on the declared mode, per register.
+    let verdicts = check_sharded_modes(&space.histories(), space.modes()).unwrap();
+    assert!(matches!(
+        verdicts[&RegisterId::new(0)],
+        RegisterVerdict::Swmr(_)
+    ));
+    let RegisterVerdict::Mwmr(mwmr) = &verdicts[&RegisterId::new(1)] else {
+        panic!("counter must be checked as MWMR");
+    };
+    assert_eq!(mwmr.writes, 3);
+    assert_eq!(mwmr.write_order.len(), 3, "concurrency fully resolved");
 }

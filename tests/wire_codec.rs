@@ -237,6 +237,55 @@ proptest! {
         roundtrip_frame(envs, 64);
     }
 
+    /// MWMR frames on the register-tagged path: arbitrary multisets of
+    /// `MwmrMsg` across registers coalesce into one frame whose blob
+    /// reconciles byte-for-byte with `FrameCost` (`roundtrip_frame` checks
+    /// `blob.len() == 4 + ⌈(header + Σ encoded_bits)/8⌉` and the
+    /// control/data split) and decodes back to the same messages.
+    #[test]
+    fn mwmr_frames_roundtrip_and_reconcile(
+        envs in prop::collection::vec((0usize..64, mwmr_msg()), 0..32),
+    ) {
+        let envs: Vec<Envelope<MwmrMsg<u64>>> = envs
+            .into_iter()
+            .map(|(reg, m)| Envelope::new(RegisterId::new(reg), m))
+            .collect();
+        roundtrip_frame(envs, 64);
+    }
+
+    /// Truncation fuzzing at the `Timestamp` boundary: frames of
+    /// timestamp-bearing MWMR messages (`Update` / `QueryReply`) are cut
+    /// at **every** byte position — including all the cuts landing inside
+    /// the gamma-coded ⟨counter, pid⟩ pair — and every cut must surface a
+    /// typed decode error, never a panic or a silently shortened frame.
+    #[test]
+    fn truncated_mwmr_frames_are_typed_errors(
+        tagged in prop::collection::vec(
+            (0usize..64, 0..MAX_CTR, timestamp(), any::<u64>(), any::<bool>()),
+            1..12,
+        ),
+    ) {
+        let envs: Vec<Envelope<MwmrMsg<u64>>> = tagged
+            .into_iter()
+            .map(|(reg, rid, ts, value, update)| {
+                let msg = if update {
+                    MwmrMsg::Update { rid, ts, value }
+                } else {
+                    MwmrMsg::QueryReply { rid, ts, value }
+                };
+                Envelope::new(RegisterId::new(reg), msg)
+            })
+            .collect();
+        let blob = Frame::from_envelopes(envs).encode().unwrap();
+        for cut in 0..blob.len() {
+            prop_assert!(
+                Frame::<MwmrMsg<u64>>::decode(&blob[..cut]).is_err(),
+                "truncation at byte {cut} of {} must fail",
+                blob.len()
+            );
+        }
+    }
+
     /// Corrupt blobs never panic: any prefix-truncation of a valid blob is
     /// rejected with a typed error.
     #[test]
@@ -272,6 +321,77 @@ fn envelope_delegates_codec_but_does_not_decode() {
         Envelope::<TwoBitMsg<u64>>::decode(&mut r),
         Err(WireError::Unsupported(_))
     ));
+}
+
+/// Framed MWMR fidelity end to end: the MWMR automaton runs **on decoded
+/// bytes** on both deterministic backends (`wire_codec(true)` — every
+/// frame crosses `Frame::encode` → `Frame::decode` on its link), with
+/// three concurrent writers per register, and the run stays
+/// timestamp-order linearizable while the aggregate blob bytes cover the
+/// accounted frame bits (gamma self-delimiting makes the wire strictly
+/// cover the modeled control+data; the per-frame byte-exact figure is the
+/// proptest above).
+#[test]
+fn mwmr_protocol_runs_on_decoded_bytes_on_both_deterministic_backends() {
+    use twobit::lincheck::check_mwmr_sharded;
+    use twobit::proto::NetStats;
+    use twobit::{
+        ClusterBuilder, Driver, MwmrProcess, Operation, ShardedHistory, SpaceBuilder, SystemConfig,
+        Workload,
+    };
+
+    let cfg = SystemConfig::new(5, 2).unwrap();
+    let registers = 3usize;
+    let mut w = Workload::new();
+    let mut value = 0u64;
+    for _round in 0..2 {
+        for k in 0..registers {
+            let reg = RegisterId::new(k);
+            for i in 0..3 {
+                value += 1;
+                w = w.step((k + i) % 5, reg, Operation::Write(value));
+            }
+            w = w.step((k + 3) % 5, reg, Operation::Read);
+        }
+    }
+
+    let verify = |sharded: &ShardedHistory<u64>, stats: &NetStats, label: &str| {
+        check_mwmr_sharded(sharded).unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert!(stats.wire_bytes() > 0, "{label}: frames crossed as bytes");
+        let accounted_bits = stats.frame_header_bits() + stats.control_bits() + stats.data_bits();
+        assert!(
+            8 * stats.wire_bytes() >= accounted_bits,
+            "{label}: {} wire bytes cannot carry {accounted_bits} accounted bits",
+            stats.wire_bytes()
+        );
+        assert_eq!(
+            stats.total_delivered() + stats.dropped_to_crashed(),
+            stats.total_sent(),
+            "{label}: decoded frames deliver exactly the encoded messages"
+        );
+    };
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(17)
+        .registers(registers)
+        .wire_codec(true)
+        .build(0u64, |_reg, id| MwmrProcess::new(id, cfg, 0u64));
+    w.run_pipelined_on(&mut sim).unwrap();
+    sim.run_to_quiescence().unwrap();
+    verify(&sim.history(), &sim.stats(), "simnet/mwmr/codec");
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(17)
+        .registers(registers)
+        .wire_codec(true)
+        .build_sharded(0u64, |_reg, id| MwmrProcess::new(id, cfg, 0u64))
+        .unwrap();
+    w.run_pipelined_on(&mut cluster).unwrap();
+    let sharded = Driver::history(&cluster);
+    // Quiesce (shutdown drains the links) before reconciling: a live
+    // snapshot could observe a send whose delivery is still in flight.
+    let (_, stats) = cluster.shutdown();
+    verify(&sharded, &stats, "runtime/mwmr/codec");
 }
 
 #[test]
