@@ -210,6 +210,9 @@ pub struct MwmrProcess<V> {
     value: V,
     rid_counter: u64,
     pending: Option<Pending<V>>,
+    /// Negative-control fault: acknowledge `Update`s without absorbing
+    /// their pair (see [`MwmrProcess::with_stale_acks`]).
+    stale_acks: bool,
 }
 
 impl<V: Payload> MwmrProcess<V> {
@@ -223,6 +226,22 @@ impl<V: Payload> MwmrProcess<V> {
             value: v0,
             rid_counter: 0,
             pending: None,
+            stale_acks: false,
+        }
+    }
+
+    /// A deliberately **broken** variant for checker negative controls:
+    /// the process acknowledges `Update` messages *without absorbing* the
+    /// carried `(timestamp, value)` pair. A writer still collects a quorum
+    /// of acks, but the acked pair was never installed — a later read
+    /// whose query quorum happens to meet only stale processes returns the
+    /// overwritten value. This is exactly the write-back obligation the
+    /// ABD correctness argument rests on; the model checker must find the
+    /// schedule that exposes dropping it.
+    pub fn with_stale_acks(id: ProcessId, cfg: SystemConfig, v0: V) -> Self {
+        MwmrProcess {
+            stale_acks: true,
+            ..Self::new(id, cfg, v0)
         }
     }
 
@@ -383,7 +402,9 @@ impl<V: Payload> Automaton for MwmrProcess<V> {
                 }
             }
             MwmrMsg::Update { rid, ts, value } => {
-                self.absorb(ts, value);
+                if !self.stale_acks {
+                    self.absorb(ts, value);
+                }
                 fx.send(from, MwmrMsg::UpdateAck { rid });
             }
             MwmrMsg::UpdateAck { rid } => {

@@ -40,7 +40,7 @@ fn bench_writer_fast_read(c: &mut Criterion) {
                     ),
                 );
                 sim.run().expect("bench sim").stats.total_sent()
-            })
+            });
         });
     }
     g.finish();
@@ -56,7 +56,7 @@ fn bench_read_dominated(c: &mut Criterion) {
             let [(tb, _), (abd, _)] = ablation::read_dominated(4, 100, seed);
             assert!(tb < abd, "two-bit must win read-heavy mixes");
             (tb, abd)
-        })
+        });
     });
     g.finish();
 }
@@ -82,7 +82,7 @@ fn bench_invariant_checking_cost(c: &mut Criterion) {
                 sim.client_plan(0, ClientPlan::ops((1..=10u64).map(Operation::Write)));
                 sim.client_plan(1, ClientPlan::ops((0..5).map(|_| Operation::<u64>::Read)));
                 sim.run().expect("bench sim").events
-            })
+            });
         });
     }
     g.finish();

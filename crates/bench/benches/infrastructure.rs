@@ -36,7 +36,7 @@ fn bench_automaton_hot_path(c: &mut Criterion) {
                 fx
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     g.bench_function("abd_write_delivery", |b| {
         b.iter_batched(
@@ -54,7 +54,7 @@ fn bench_automaton_hot_path(c: &mut Criterion) {
                 fx
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }
@@ -79,7 +79,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
                     sim.client_plan(r, ClientPlan::ops((0..20).map(|_| Operation::<u64>::Read)));
                 }
                 sim.run().expect("bench sim").events
-            })
+            });
         });
     }
     g.finish();
@@ -123,7 +123,7 @@ fn bench_lincheck(c: &mut Criterion) {
     for ops in [100usize, 1_000, 10_000] {
         let h = make_history(ops);
         g.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, _| {
-            b.iter(|| swmr::check(&h).expect("valid history"))
+            b.iter(|| swmr::check(&h).expect("valid history"));
         });
     }
     g.finish();
@@ -157,7 +157,7 @@ fn bench_runtime_roundtrip(c: &mut Criterion) {
             v += 1;
             w.write(v).expect("write");
             assert_eq!(r.read().expect("read"), v);
-        })
+        });
     });
     g.finish();
     drop((w, r));

@@ -49,7 +49,7 @@ fn bench_latency_rows(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("two-bit(2d,<=4d)", n), |b| {
         b.iter(|| {
             assert_latencies(cfg, |id| TwoBitProcess::new(id, cfg, writer, 0u64), 2, 4);
-        })
+        });
     });
     g.bench_function(BenchmarkId::new("abd-bounded-emu(12d,12d)", n), |b| {
         b.iter(|| {
@@ -59,7 +59,7 @@ fn bench_latency_rows(c: &mut Criterion) {
                 12,
                 12,
             );
-        })
+        });
     });
     g.bench_function(BenchmarkId::new("attiya-emu(14d,18d)", n), |b| {
         b.iter(|| {
@@ -69,7 +69,7 @@ fn bench_latency_rows(c: &mut Criterion) {
                 14,
                 18,
             );
-        })
+        });
     });
     g.finish();
 }
@@ -86,7 +86,7 @@ fn bench_concurrent_bounds(c: &mut Criterion) {
                 let r = latency::bounds(n, 10, seed, DelayModel::Fixed(DEFAULT_DELTA));
                 assert!(r.holds, "latency bound violated");
                 r.read_max_delta
-            })
+            });
         });
     }
     g.finish();

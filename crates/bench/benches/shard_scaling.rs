@@ -28,7 +28,12 @@
 //!   (`algo: "mwmr"`, timestamp-bearing messages, verified by
 //!   `check_mwmr_sharded`), so the headline bytes-on-wire and msgs/frame
 //!   comparison is finally apples-to-apples. Every row carries an `algo`
-//!   column (`"twobit"` everywhere else).
+//!   column (`"twobit"` everywhere else);
+//! * `modelcheck` — explorer throughput rows from `twobit-check`: paths
+//!   explored/pruned, replays, max depth, and wall time for the canonical
+//!   small configurations (plus a dpor-vs-naive pair, so the reduction
+//!   factor is itself a trajectory number). These rows carry no wire
+//!   columns — the explorer measures schedules, not bytes.
 //!
 //! The zipf95, readmostly, and hotkey rows are emitted **twice**: once
 //! under the static default hold (`hold: "static"`, `flush_hold(500)`) and
@@ -56,6 +61,7 @@ use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use twobit_baselines::MwmrProcess;
+use twobit_check::{explore, scenarios, ExploreOptions, Strategy};
 use twobit_core::TwoBitProcess;
 use twobit_proto::{
     Automaton, Driver, FlushReason, NetStats, Operation, ProcessId, RegisterId, RegisterSpace,
@@ -494,7 +500,99 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
     )
 }
 
-fn write_json(rows: &[Row]) {
+/// One model-checking throughput row: how big the DPOR-reduced schedule
+/// space of a canonical configuration is and how fast the explorer walks
+/// it. Published under `source: "modelcheck"` so checker-throughput
+/// regressions show up in the bench trajectory next to the wire numbers
+/// (the wire columns don't apply and are omitted; CI's per-row wire
+/// checks skip this source).
+struct CheckRow {
+    scenario: String,
+    strategy: &'static str,
+    paths_explored: u64,
+    paths_pruned: u64,
+    replays: u64,
+    max_depth: u64,
+    exhausted: bool,
+    wall_ms: f64,
+}
+
+fn measure_modelcheck_one(
+    scenario: &twobit_check::Scenario<twobit_core::TwoBitProcess<u64>>,
+    strategy: Strategy,
+) -> CheckRow {
+    let opts = ExploreOptions {
+        strategy,
+        ..ExploreOptions::default()
+    };
+    let t0 = Instant::now();
+    let report = explore(scenario, &opts).expect("exploration runs");
+    let wall = t0.elapsed();
+    assert!(
+        report.violation.is_none(),
+        "the published modelcheck rows are the positive configurations: {:?}",
+        report.violation
+    );
+    CheckRow {
+        scenario: scenario.name.clone(),
+        strategy: match strategy {
+            Strategy::Dpor => "dpor",
+            Strategy::Naive => "naive",
+        },
+        paths_explored: report.stats.paths_explored,
+        paths_pruned: report.stats.paths_pruned,
+        replays: report.stats.replays,
+        max_depth: report.stats.max_depth as u64,
+        exhausted: report.exhausted,
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+    }
+}
+
+/// The published exploration sweep: the writer-plus-concurrent-reader
+/// configuration under DPOR, the single-writer configuration under both
+/// strategies (so the reduction factor itself is a trajectory number),
+/// and the two-concurrent-writer MWMR space under DPOR.
+fn measure_modelcheck() -> Vec<CheckRow> {
+    let mut out = vec![
+        measure_modelcheck_one(&scenarios::twobit_swmr_wr(), Strategy::Dpor),
+        measure_modelcheck_one(&scenarios::twobit_swmr_w(), Strategy::Dpor),
+        measure_modelcheck_one(&scenarios::twobit_swmr_w(), Strategy::Naive),
+    ];
+    {
+        let scenario = scenarios::mwmr_two_writer();
+        let t0 = Instant::now();
+        let report = explore(&scenario, &ExploreOptions::default()).expect("exploration runs");
+        let wall = t0.elapsed();
+        assert!(report.violation.is_none() && report.exhausted);
+        out.push(CheckRow {
+            scenario: scenario.name.clone(),
+            strategy: "dpor",
+            paths_explored: report.stats.paths_explored,
+            paths_pruned: report.stats.paths_pruned,
+            replays: report.stats.replays,
+            max_depth: report.stats.max_depth as u64,
+            exhausted: report.exhausted,
+            wall_ms: wall.as_secs_f64() * 1_000.0,
+        });
+    }
+    let dpor = out
+        .iter()
+        .find(|r| r.strategy == "dpor" && r.scenario.contains("swmr-w/"))
+        .expect("single-writer dpor row present");
+    let naive = out
+        .iter()
+        .find(|r| r.strategy == "naive")
+        .expect("single-writer naive row present");
+    assert!(
+        naive.paths_explored >= 4 * dpor.paths_explored,
+        "DPOR reduction collapsed in the published rows: dpor={} naive={}",
+        dpor.paths_explored,
+        naive.paths_explored,
+    );
+    out
+}
+
+fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
     let mut out = String::from("{\n  \"bench\": \"shard_scaling_framed\",\n");
     out.push_str(&format!(
         "  \"config\": {{\"n\": {N}, \"rounds\": {ROUNDS}, \"mix_ops\": {MIX_OPS}, \
@@ -550,7 +648,28 @@ fn write_json(rows: &[Row]) {
             r.flushes_hold,
             r.flushes_shutdown,
             r.mean_hold_us,
-            if i + 1 == rows.len() { "" } else { "," },
+            if i + 1 == rows.len() && check_rows.is_empty() {
+                ""
+            } else {
+                ","
+            },
+        ));
+    }
+    for (i, r) in check_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"algo\": \"twobit\", \"source\": \"modelcheck\", \"mix\": \"{}\", \
+             \"strategy\": \"{}\", \"paths_explored\": {}, \"paths_pruned\": {}, \
+             \"replays\": {}, \"max_depth\": {}, \"exhausted\": {}, \
+             \"wall_ms\": {:.1}}}{}\n",
+            r.scenario,
+            r.strategy,
+            r.paths_explored,
+            r.paths_pruned,
+            r.replays,
+            r.max_depth,
+            r.exhausted,
+            r.wall_ms,
+            if i + 1 == check_rows.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -624,7 +743,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                             .run_pipelined_on(space.driver_mut())
                             .expect("sweep workload runs");
                         space.driver().stats().total_sent()
-                    })
+                    });
                 },
             );
         }
@@ -657,5 +776,6 @@ fn main() {
     rows.push(mwmr_row);
     assert_adaptive_not_worse(&rows);
     assert_two_bit_beats_mwmr(&rows);
-    write_json(&rows);
+    let check_rows = measure_modelcheck();
+    write_json(&rows, &check_rows);
 }

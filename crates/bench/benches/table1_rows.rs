@@ -43,28 +43,28 @@ fn bench_write_row(c: &mut Criterion) {
                 one_op_sim(cfg, Operation::Write(1), |id| {
                     TwoBitProcess::new(id, cfg, writer, 0u64)
                 })
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("abd-unbounded", n), &n, |b, _| {
             b.iter(|| {
                 one_op_sim(cfg, Operation::Write(1), |id| {
                     AbdProcess::new(id, cfg, writer, 0u64)
                 })
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("abd-bounded-emu", n), &n, |b, _| {
             b.iter(|| {
                 one_op_sim(cfg, Operation::Write(1), |id| {
                     PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n))
                 })
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("attiya-emu", n), &n, |b, _| {
             b.iter(|| {
                 one_op_sim(cfg, Operation::Write(1), |id| {
                     PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n))
                 })
-            })
+            });
         });
     }
     g.finish();
@@ -82,28 +82,28 @@ fn bench_read_row(c: &mut Criterion) {
                 one_op_sim(cfg, Operation::Read, |id| {
                     TwoBitProcess::new(id, cfg, writer, 0u64)
                 })
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("abd-unbounded", n), &n, |b, _| {
             b.iter(|| {
                 one_op_sim(cfg, Operation::Read, |id| {
                     AbdProcess::new(id, cfg, writer, 0u64)
                 })
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("abd-bounded-emu", n), &n, |b, _| {
             b.iter(|| {
                 one_op_sim(cfg, Operation::Read, |id| {
                     PhasedProcess::new(id, cfg, writer, 0u64, abd_bounded_profile(n))
                 })
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("attiya-emu", n), &n, |b, _| {
             b.iter(|| {
                 one_op_sim(cfg, Operation::Read, |id| {
                     PhasedProcess::new(id, cfg, writer, 0u64, attiya_profile(n))
                 })
-            })
+            });
         });
     }
     g.finish();
@@ -118,12 +118,12 @@ fn bench_cost_accounting(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_row3_cost_accounting");
     let msg: TwoBitMsg<u64> = TwoBitMsg::Write(Parity::Odd, 42);
     g.bench_function("twobit_msg_cost", |b| {
-        b.iter(|| std::hint::black_box(&msg).cost())
+        b.iter(|| std::hint::black_box(&msg).cost());
     });
     let cfg = SystemConfig::max_resilience(5);
     let p = TwoBitProcess::new(ProcessId::new(1), cfg, ProcessId::new(0), 0u64);
     g.bench_function("twobit_state_bits", |b| {
-        b.iter(|| std::hint::black_box(&p).state_bits())
+        b.iter(|| std::hint::black_box(&p).state_bits());
     });
     g.finish();
 }

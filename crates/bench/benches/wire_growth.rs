@@ -44,10 +44,10 @@ fn bench_wire_growth(c: &mut Criterion) {
     g.sample_size(10);
     for k in [10u64, 100, 1_000] {
         g.bench_with_input(BenchmarkId::new("two-bit", k), &k, |b, &k| {
-            b.iter(|| writes_run(true, 3, k))
+            b.iter(|| writes_run(true, 3, k));
         });
         g.bench_with_input(BenchmarkId::new("abd-unbounded", k), &k, |b, &k| {
-            b.iter(|| writes_run(false, 3, k))
+            b.iter(|| writes_run(false, 3, k));
         });
     }
     g.finish();

@@ -1,0 +1,688 @@
+//! The depth-first path explorer with sleep-set + persistent-set DPOR.
+//!
+//! # What is explored
+//!
+//! A scheduled-mode [`SimSpace`](twobit_simnet::SimSpace) exposes, at
+//! every point, the set of fireable events: frame deliveries, plan-step
+//! invocations and plan-step responses ([`EnabledEvent`]). The explorer
+//! drives a depth-first search over *which enabled event fires next*,
+//! plus bounded crash injection (at any point, any live process may crash,
+//! up to the scenario's budget). Every terminal path (empty enabled set)
+//! is checked: schedule liveness, each automaton's local invariants, and
+//! linearizability per register mode via
+//! [`check_sharded_modes`](twobit_lincheck::check_sharded_modes).
+//!
+//! # Why invocations and responses are schedulable
+//!
+//! Linearizability is a *real-time* property: which operations precede
+//! which is part of the input to the checker. Exploring only message
+//! interleavings would fix one arbitrary real-time order per delivery
+//! order and silently skip the others — unsound, because two delivery
+//! orders that commute at the processes can still differ in whether a
+//! response became visible before another invocation. Making `Invoke` and
+//! `Respond` events of the schedule puts the real-time order under the
+//! explorer's control, and the dependence relation below makes response →
+//! invocation reorderings first-class race candidates.
+//!
+//! # Partial-order reduction
+//!
+//! Two schedule steps are **dependent** iff they touch the same process,
+//! or one is a response and the other an invocation (they order the
+//! operations on the real-time line). Everything else commutes: swapping
+//! two adjacent independent events yields the same automaton states, the
+//! same in-flight frames and the same history up to timestamps the
+//! checker does not inspect. The explorer tracks a vector clock per fired
+//! event; when a newly fired event races with an earlier one (dependent,
+//! not happens-before), the earlier decision point gains a backtrack
+//! choice (persistent-set construction, with the Flanagan–Godefroid
+//! conservative fallback when the racing event was not yet enabled
+//! there). Sleep sets then keep already-covered commutations from being
+//! re-explored. [`Strategy::Naive`] disables all of this — every enabled
+//! event branches at every node — and exists so tests can *measure* the
+//! reduction.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use twobit_lincheck::check_sharded_modes;
+use twobit_proto::{
+    Automaton, Driver, DriverError, EnabledEvent, ProcessId, RegisterId, RegisterMode, Schedule,
+    ScheduleStep,
+};
+use twobit_simnet::SimSpace;
+
+use crate::minimize::{annotate, minimize, replay_lenient};
+use crate::scenario::Scenario;
+
+/// Path enumeration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Sleep-set + persistent-set dynamic partial-order reduction.
+    Dpor,
+    /// Branch on every enabled event at every node (no pruning). For
+    /// measuring what DPOR saves; same verdicts, many more paths.
+    Naive,
+}
+
+/// Exploration knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Enumeration strategy.
+    pub strategy: Strategy,
+    /// Stop after this many paths (explored + pruned); the report's
+    /// `exhausted` flag records whether the cap was hit.
+    pub max_paths: u64,
+    /// Delay-bounded bug hunting: explore only paths that deviate from the
+    /// heuristically-preferred first choice at most this many times. The
+    /// preferred order starves replicas (control frames before
+    /// value-spreading ones), so staleness witnesses sit a handful of
+    /// deviations from the first path — a bounded search finds in hundreds
+    /// of paths what plain DFS only reaches after draining astronomically
+    /// many equivalent suffixes. Bounded runs enumerate all choices
+    /// (sleep-set/persistent-set reasoning assumes full subtrees, which a
+    /// bound truncates) and always report `exhausted = false`. `None` (the
+    /// default) explores fully.
+    pub deviation_bound: Option<usize>,
+    /// Shrink the counterexample schedule by event elision on failure.
+    pub minimize: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            strategy: Strategy::Dpor,
+            max_paths: 1_000_000,
+            deviation_bound: None,
+            minimize: true,
+        }
+    }
+}
+
+/// Exploration counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Terminal paths fully executed and checked.
+    pub paths_explored: u64,
+    /// Paths cut by sleep sets (every remaining choice already covered by
+    /// an explored sibling subtree).
+    pub paths_pruned: u64,
+    /// Events fired on live (non-replay) exploration.
+    pub events_fired: u64,
+    /// Longest path, in events.
+    pub max_depth: usize,
+    /// Backtrack rebuilds (fresh space + prefix replay).
+    pub replays: u64,
+}
+
+/// A failing schedule, minimized and annotated for humans.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The (minimized) failing schedule — replay it verbatim with
+    /// [`ReplayScheduler::strict`](twobit_proto::ReplayScheduler::strict)
+    /// after parsing `schedule.to_string()`.
+    pub schedule: Schedule,
+    /// What check failed on this schedule.
+    pub reason: String,
+    /// One line per step: the token plus the event's label.
+    pub annotated: String,
+}
+
+/// What an exploration did and found.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Counters.
+    pub stats: ExploreStats,
+    /// The first violation found, if any (exploration stops on it).
+    pub violation: Option<Counterexample>,
+    /// `true` iff every path of the configuration was covered (no cap
+    /// hit, no early stop on violation).
+    pub exhausted: bool,
+}
+
+pub(crate) type Clock = Vec<u64>;
+
+fn leq(a: &Clock, b: &Clock) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+fn join_into(a: &mut Clock, b: &Clock) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// One branching option at a node: the step plus the process it touches
+/// (the `dest` of the dependence relation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Choice {
+    step: ScheduleStep,
+    dest: ProcessId,
+}
+
+fn is_invoke(s: ScheduleStep) -> bool {
+    matches!(s, ScheduleStep::Invoke(_))
+}
+
+fn is_respond(s: ScheduleStep) -> bool {
+    matches!(s, ScheduleStep::Respond(_))
+}
+
+fn is_deliver(s: ScheduleStep) -> bool {
+    matches!(s, ScheduleStep::Deliver(_))
+}
+
+/// The dependence relation: same process, or an invocation/response pair
+/// (their order fixes a real-time precedence the checker consumes).
+///
+/// One same-process pair is exempt: a response commutes with *any*
+/// delivery. Responding only stamps the operation record — it neither
+/// reads nor writes automaton state, a delivery can never disable a
+/// ready response (or vice versa), and the linearizability verdict
+/// depends only on the relative order of invocations and responses,
+/// which a respond/deliver swap leaves untouched.
+fn dependent(a: Choice, b: Choice) -> bool {
+    if (is_respond(a.step) && is_deliver(b.step)) || (is_deliver(a.step) && is_respond(b.step)) {
+        return false;
+    }
+    a.dest == b.dest
+        || (is_respond(a.step) && is_invoke(b.step))
+        || (is_invoke(a.step) && is_respond(b.step))
+}
+
+/// One fired event of the current path, with its happens-before clocks.
+struct PathEvent {
+    choice: Choice,
+    /// Full happens-before clock of the event.
+    clock: Clock,
+    /// Frames the fired handler created (their birth clocks are this
+    /// event's clock).
+    created: Vec<u64>,
+    /// Plan steps the fired handler completed internally.
+    became_ready: Vec<u64>,
+}
+
+/// One decision point of the DFS.
+struct Node {
+    /// Every branching option here (enabled events first, then crash
+    /// injections when budget remains).
+    choices: Vec<Choice>,
+    /// Steps scheduled for exploration at this node.
+    backtrack: BTreeSet<ScheduleStep>,
+    /// Steps whose subtrees are fully explored.
+    done: BTreeSet<ScheduleStep>,
+    /// Steps covered by an already-explored sibling (sleep set).
+    sleep: BTreeSet<ScheduleStep>,
+    /// The event currently fired from this node (the path continues in
+    /// its subtree).
+    fired: Option<PathEvent>,
+    /// No non-crash event was enabled: the path ends here.
+    terminal: bool,
+}
+
+/// Derived happens-before state along the current path.
+struct ClockState {
+    n: usize,
+    /// Clock of the last event at each process.
+    proc_clock: Vec<Clock>,
+    /// Frame birth clocks, by frame sequence number.
+    frame_birth: HashMap<u64, Clock>,
+    /// Clock of the event that readied each plan step's response.
+    ready_cause: HashMap<u64, Clock>,
+    /// Clock of each plan step's response event.
+    resp_clock: HashMap<u64, Clock>,
+    /// Join of all response clocks (responses precede later invocations
+    /// on the real-time line).
+    all_resp: Clock,
+    /// Join of all invocation clocks.
+    all_inv: Clock,
+}
+
+impl ClockState {
+    fn new(n: usize) -> Self {
+        ClockState {
+            n,
+            proc_clock: vec![vec![0; n]; n],
+            frame_birth: HashMap::new(),
+            ready_cause: HashMap::new(),
+            resp_clock: HashMap::new(),
+            all_resp: vec![0; n],
+            all_inv: vec![0; n],
+        }
+    }
+
+    /// The event's *enabling cause* clock: what must have happened for
+    /// this event to be fireable at all, excluding orderings that are
+    /// mere trace accidents. This is the right-hand side of the race
+    /// test — an earlier dependent event not in the cause is a race.
+    fn cause_of(&self, c: Choice, invoke_deps: &[u64]) -> Clock {
+        match c.step {
+            ScheduleStep::Deliver(seq) => self
+                .frame_birth
+                .get(&seq)
+                .cloned()
+                .unwrap_or_else(|| vec![0; self.n]),
+            ScheduleStep::Invoke(_) => {
+                let mut k = vec![0; self.n];
+                for dep in invoke_deps {
+                    if let Some(rc) = self.resp_clock.get(dep) {
+                        join_into(&mut k, rc);
+                    }
+                }
+                k
+            }
+            ScheduleStep::Respond(plan) => self
+                .ready_cause
+                .get(&plan)
+                .cloned()
+                .unwrap_or_else(|| vec![0; self.n]),
+            ScheduleStep::Crash(_) => vec![0; self.n],
+        }
+    }
+
+    /// The event's full happens-before clock: its cause, everything that
+    /// already happened at its process, and (for invocations/responses)
+    /// every earlier event of the dependent real-time-line kind.
+    fn clock_of(&self, c: Choice, cause: &Clock) -> Clock {
+        let mut k = cause.clone();
+        join_into(&mut k, &self.proc_clock[c.dest.index()]);
+        if is_invoke(c.step) {
+            join_into(&mut k, &self.all_resp);
+        }
+        if is_respond(c.step) {
+            join_into(&mut k, &self.all_inv);
+        }
+        k[c.dest.index()] += 1;
+        k
+    }
+
+    fn apply(&mut self, ev: &PathEvent) {
+        self.proc_clock[ev.choice.dest.index()] = ev.clock.clone();
+        for seq in &ev.created {
+            self.frame_birth.insert(*seq, ev.clock.clone());
+        }
+        for plan in &ev.became_ready {
+            self.ready_cause.insert(*plan, ev.clock.clone());
+        }
+        match ev.choice.step {
+            ScheduleStep::Respond(plan) => {
+                self.resp_clock.insert(plan, ev.clock.clone());
+                let clock = ev.clock.clone();
+                join_into(&mut self.all_resp, &clock);
+            }
+            ScheduleStep::Invoke(_) => {
+                let clock = ev.clock.clone();
+                join_into(&mut self.all_inv, &clock);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs every terminal-path check and returns the first failure.
+/// `terminal` gates the liveness check — a partial (minimization) replay
+/// legitimately leaves operations in flight.
+pub(crate) fn check_path<A: Automaton>(
+    space: &SimSpace<A>,
+    modes: &BTreeMap<RegisterId, RegisterMode>,
+    terminal: bool,
+) -> Option<String> {
+    if terminal {
+        if let Err(e) = space.check_schedule_liveness() {
+            return Some(format!("liveness: {e}"));
+        }
+    }
+    if let Err(e) = space.check_local_invariants() {
+        return Some(format!("local invariant: {e}"));
+    }
+    if let Err(e) = check_sharded_modes(&space.history(), modes) {
+        return Some(format!("linearizability: {e}"));
+    }
+    None
+}
+
+fn make_node<A: Automaton>(
+    space: &SimSpace<A>,
+    crashes_used: usize,
+    crash_budget: usize,
+    sleep: BTreeSet<ScheduleStep>,
+    strategy: Strategy,
+) -> Node {
+    // A path ends when nothing can fire — or when every plan step has
+    // responded (or died with its process): the operation history is
+    // then immutable, so the remaining network drain cannot affect any
+    // checked property and its interleavings would only pad the tree.
+    if space.plan_settled() {
+        return Node {
+            choices: Vec::new(),
+            backtrack: BTreeSet::new(),
+            done: BTreeSet::new(),
+            sleep,
+            fired: None,
+            terminal: true,
+        };
+    }
+    let mut enabled = space.enabled_events();
+    // Search-order heuristic (soundness-neutral — only DFS visit order):
+    // among deliveries, serve control frames before knowledge-spreading
+    // ones (WRITE/UPDATE kinds). The first paths explored then keep
+    // replicas maximally stale, which is the adversarial direction for
+    // staleness bugs — their witnesses end up a short edit distance from
+    // the first path instead of across the whole tree.
+    enabled.sort_by_key(|e| match e {
+        EnabledEvent::Respond { plan, .. } => (0u8, *plan),
+        EnabledEvent::Invoke { plan, .. } => (1, *plan),
+        EnabledEvent::Deliver { seq, label, .. } => {
+            let spreads =
+                label.contains("WRITE") || (label.contains("UPDATE") && !label.contains("ACK"));
+            (if spreads { 3 } else { 2 }, *seq)
+        }
+    });
+    let mut choices: Vec<Choice> = enabled
+        .iter()
+        .map(|e| Choice {
+            step: e.step(),
+            dest: e.dest(),
+        })
+        .collect();
+    let terminal = choices.is_empty();
+    // Crash injection points: any live process, between any two events.
+    // Not offered at terminal nodes — crashing after all operations
+    // completed cannot change any checked property.
+    if !terminal && crashes_used < crash_budget {
+        let n = space.config().n();
+        for i in 0..n {
+            let p = ProcessId::new(i);
+            if !space.is_crashed(p) {
+                choices.push(Choice {
+                    step: ScheduleStep::Crash(p),
+                    dest: p,
+                });
+            }
+        }
+    }
+    let mut backtrack = BTreeSet::new();
+    match strategy {
+        Strategy::Naive => {
+            for c in &choices {
+                backtrack.insert(c.step);
+            }
+        }
+        Strategy::Dpor => {
+            // Seed with the first non-sleeping event; races discovered
+            // deeper add the rest on demand. Crash choices are genuine
+            // branches (a crash is never equivalent to not crashing), so
+            // they are always scheduled — sleep sets still prune crash
+            // positions that differ only by commuting events.
+            if let Some(c) = choices
+                .iter()
+                .find(|c| !matches!(c.step, ScheduleStep::Crash(_)) && !sleep.contains(&c.step))
+            {
+                backtrack.insert(c.step);
+            }
+            for c in &choices {
+                if matches!(c.step, ScheduleStep::Crash(_)) && !sleep.contains(&c.step) {
+                    backtrack.insert(c.step);
+                }
+            }
+        }
+    }
+    Node {
+        choices,
+        backtrack,
+        done: BTreeSet::new(),
+        sleep,
+        fired: None,
+        terminal,
+    }
+}
+
+/// Rebuilds the backend to the stack's current prefix (stateless replay:
+/// the space is not snapshotable, so backtracking = fresh build + re-fire).
+fn rebuild<A: Automaton>(
+    scenario: &Scenario<A>,
+    stack: &[Node],
+    space: &mut SimSpace<A>,
+    clocks: &mut ClockState,
+    stats: &mut ExploreStats,
+) -> Result<(), DriverError> {
+    *space = scenario.build();
+    *clocks = ClockState::new(space.config().n());
+    stats.replays += 1;
+    for node in stack {
+        if let Some(ev) = &node.fired {
+            space.fire(ev.choice.step)?;
+            clocks.apply(ev);
+        }
+    }
+    Ok(())
+}
+
+fn schedule_of(stack: &[Node]) -> Schedule {
+    Schedule::from_steps(
+        stack
+            .iter()
+            .filter_map(|n| n.fired.as_ref().map(|ev| ev.choice.step)),
+    )
+}
+
+/// Explores every partial-order-inequivalent schedule of the scenario,
+/// checking each terminal path, and stops on the first violation.
+///
+/// # Errors
+///
+/// [`DriverError`] on backend misbehaviour (a bug in the explorer or the
+/// simulator, never a property violation — those land in the report).
+pub fn explore<A: Automaton>(
+    scenario: &Scenario<A>,
+    opts: &ExploreOptions,
+) -> Result<ExploreReport, DriverError> {
+    let mut stats = ExploreStats::default();
+    let mut space = scenario.build();
+    let n = space.config().n();
+    let crash_budget = scenario.crash_budget.min(space.config().t());
+    // A deviation bound truncates subtrees, which invalidates the
+    // subtree-coverage argument behind sleep sets and race-driven
+    // backtracking — bounded runs therefore enumerate naively (the bound
+    // itself is the pruning).
+    let strategy = if opts.deviation_bound.is_some() {
+        Strategy::Naive
+    } else {
+        opts.strategy
+    };
+    let bound = opts.deviation_bound.unwrap_or(usize::MAX);
+    let mut deviations_used = 0usize;
+    let mut clocks = ClockState::new(n);
+    let mut crashes_used = 0usize;
+    let mut stack: Vec<Node> = vec![make_node(
+        &space,
+        crashes_used,
+        crash_budget,
+        BTreeSet::new(),
+        strategy,
+    )];
+    let mut failure: Option<(Schedule, String)> = None;
+    let mut exhausted = opts.deviation_bound.is_none();
+
+    while !stack.is_empty() {
+        if stats.paths_explored + stats.paths_pruned >= opts.max_paths {
+            exhausted = false;
+            break;
+        }
+        let candidate = {
+            let node = stack.last().expect("stack checked non-empty");
+            let preferred = node.choices.first().map(|x| x.step);
+            node.choices.iter().copied().find(|c| {
+                node.backtrack.contains(&c.step)
+                    && !node.done.contains(&c.step)
+                    && !node.sleep.contains(&c.step)
+                    && (Some(c.step) == preferred || deviations_used < bound)
+            })
+        };
+        let Some(c) = candidate else {
+            // Leaf or fully-explored node: classify, pop, restore parent.
+            let node = stack.last().expect("stack checked non-empty");
+            if node.terminal && node.done.is_empty() {
+                stats.paths_explored += 1;
+                stats.max_depth = stats.max_depth.max(stack.len() - 1);
+                if let Some(reason) = check_path(&space, &scenario.modes, true) {
+                    failure = Some((schedule_of(&stack), reason));
+                    exhausted = false;
+                    break;
+                }
+            } else if node.done.is_empty() && !node.choices.is_empty() {
+                // Everything here is asleep: the path is covered by an
+                // explored sibling ordering.
+                stats.paths_pruned += 1;
+            }
+            stack.pop();
+            let Some(parent) = stack.last_mut() else {
+                break;
+            };
+            if let Some(ev) = parent.fired.take() {
+                if matches!(ev.choice.step, ScheduleStep::Crash(_)) {
+                    crashes_used -= 1;
+                }
+                if parent.choices.first().map(|x| x.step) != Some(ev.choice.step) {
+                    deviations_used -= 1;
+                }
+                // The explored subtree covers every continuation in which
+                // this step fires next — siblings need not re-fire it
+                // until a dependent event invalidates the equivalence.
+                if strategy == Strategy::Dpor {
+                    parent.sleep.insert(ev.choice.step);
+                }
+            }
+            rebuild(scenario, &stack, &mut space, &mut clocks, &mut stats)?;
+            continue;
+        };
+
+        // Fire the candidate: clocks, race detection, then the event.
+        let invoke_deps = match c.step {
+            ScheduleStep::Invoke(plan) => scenario.invoke_deps(plan as usize),
+            _ => Vec::new(),
+        };
+        let cause = clocks.cause_of(c, &invoke_deps);
+        let clock = clocks.clock_of(c, &cause);
+        if strategy == Strategy::Dpor {
+            let depth = stack.len() - 1;
+            for j in 0..depth {
+                let races = {
+                    let Some(ev_j) = &stack[j].fired else {
+                        continue;
+                    };
+                    dependent(ev_j.choice, c) && !leq(&ev_j.clock, &cause)
+                };
+                if !races {
+                    continue;
+                }
+                // The reversal of this pair is a distinct partial order:
+                // schedule our step at the earlier point. If it was not
+                // fireable there, schedule instead the earliest
+                // already-fired causal predecessor of our event that *was*
+                // a choice at j (Flanagan–Godefroid's refinement: running
+                // any cause of the racing event from j eventually
+                // re-enables it), and only when no such predecessor exists
+                // fall back to every option.
+                let fireable_there = stack[j].choices.iter().any(|x| x.step == c.step);
+                let cause_step = if fireable_there {
+                    None
+                } else {
+                    stack[j + 1..depth]
+                        .iter()
+                        .filter_map(|node| node.fired.as_ref())
+                        .find(|ev_k| {
+                            leq(&ev_k.clock, &clock)
+                                && stack[j].choices.iter().any(|x| x.step == ev_k.choice.step)
+                        })
+                        .map(|ev_k| ev_k.choice.step)
+                };
+                let node_j = &mut stack[j];
+                if fireable_there {
+                    node_j.backtrack.insert(c.step);
+                } else if let Some(step) = cause_step {
+                    node_j.backtrack.insert(step);
+                } else {
+                    let all: Vec<ScheduleStep> = node_j.choices.iter().map(|x| x.step).collect();
+                    node_j.backtrack.extend(all);
+                }
+            }
+        }
+        let outcome = space.fire(c.step)?;
+        stats.events_fired += 1;
+        // Local invariants must hold in every reachable state, so check
+        // them per event — a violation mid-path surfaces with the short
+        // prefix schedule instead of some drained-out descendant.
+        if let Err(e) = space.check_local_invariants() {
+            let mut schedule = schedule_of(&stack);
+            schedule.push(c.step);
+            failure = Some((schedule, format!("local invariant: {e}")));
+            exhausted = false;
+            break;
+        }
+        if matches!(c.step, ScheduleStep::Crash(_)) {
+            crashes_used += 1;
+        }
+        if stack
+            .last()
+            .and_then(|node| node.choices.first())
+            .map(|x| x.step)
+            != Some(c.step)
+        {
+            deviations_used += 1;
+        }
+        let ev = PathEvent {
+            choice: c,
+            clock,
+            created: outcome.created,
+            became_ready: outcome.became_ready,
+        };
+        clocks.apply(&ev);
+        let child_sleep: BTreeSet<ScheduleStep> = {
+            let node = stack.last_mut().expect("stack checked non-empty");
+            node.done.insert(c.step);
+            let sleep = node
+                .sleep
+                .iter()
+                .copied()
+                .filter(|w| {
+                    node.choices
+                        .iter()
+                        .find(|x| x.step == *w)
+                        .is_some_and(|wc| !dependent(*wc, c))
+                })
+                .collect();
+            node.fired = Some(ev);
+            sleep
+        };
+        stack.push(make_node(
+            &space,
+            crashes_used,
+            crash_budget,
+            child_sleep,
+            strategy,
+        ));
+    }
+
+    let violation = match failure {
+        None => None,
+        Some((schedule, reason)) => {
+            let (schedule, reason) = if opts.minimize {
+                let min = minimize(scenario, &schedule);
+                let (_, min_reason) = replay_lenient(scenario, &min);
+                (min, min_reason.unwrap_or(reason))
+            } else {
+                (schedule, reason)
+            };
+            let annotated = annotate(scenario, &schedule);
+            Some(Counterexample {
+                schedule,
+                reason,
+                annotated,
+            })
+        }
+    };
+    Ok(ExploreReport {
+        stats,
+        violation,
+        exhausted,
+    })
+}

@@ -1,0 +1,41 @@
+//! `twobit-check` — a DPOR model checker for the deterministic backend.
+//!
+//! Where the rest of the workspace *samples* schedules (seeded event
+//! loops, randomized delay models), this crate *enumerates* them: it
+//! drives a scheduled-mode [`SimSpace`](twobit_simnet::SimSpace) through
+//! every partial-order-inequivalent interleaving of a small
+//! configuration's deliveries, invocations, responses and (budgeted)
+//! crashes, and checks every terminal path for linearizability and the
+//! automata's local invariants. A failing path is shrunk to a 1-minimal
+//! [`Schedule`](twobit_proto::Schedule) whose string form replays
+//! verbatim.
+//!
+//! The crate splits into:
+//!
+//! * [`scenario`] — what to check: a space factory, an operation script
+//!   with real-time sequencing, register modes, a crash budget;
+//! * [`explore`] — the depth-first explorer with vector-clock
+//!   happens-before tracking and sleep-set + persistent-set dynamic
+//!   partial-order reduction;
+//! * [`scenarios`] — the canonical small configurations this repository
+//!   checks in CI, including the deliberately broken negative controls.
+//!
+//! ```
+//! use twobit_check::{explore, ExploreOptions, scenarios};
+//!
+//! let report = explore(&scenarios::twobit_swmr_w(), &ExploreOptions::default())?;
+//! assert!(report.violation.is_none());
+//! assert!(report.exhausted);
+//! # Ok::<(), twobit_proto::DriverError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+mod minimize;
+pub mod scenario;
+pub mod scenarios;
+
+pub use explore::{explore, Counterexample, ExploreOptions, ExploreReport, ExploreStats, Strategy};
+pub use scenario::{PlanStep, Scenario};

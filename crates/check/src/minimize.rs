@@ -1,0 +1,119 @@
+//! Counterexample shrinking by greedy event elision.
+//!
+//! A failing schedule straight out of the explorer carries everything the
+//! path happened to fire, most of it irrelevant to the violation. The
+//! minimizer repeatedly tries dropping one step and replaying leniently
+//! (steps whose preconditions the elision destroyed are skipped rather
+//! than erroring); whenever the replay still fails, it adopts the
+//! schedule that *actually fired* — which is at most as long as the
+//! candidate, so the loop strictly shrinks — and restarts. The fixpoint
+//! is 1-minimal: dropping any single step loses the violation. Because
+//! the result is exactly a sequence of steps that fired in order on a
+//! fresh build, it is strictly replayable by construction.
+
+use twobit_proto::{Automaton, Driver, ProcessId, Schedule, ScheduleStep};
+
+use crate::explore::check_path;
+use crate::scenario::Scenario;
+
+/// `true` if `step` can fire right now on `space` (crashes additionally
+/// consume the scenario's budget, tracked by the caller).
+fn fireable<A: Automaton>(
+    space: &twobit_simnet::SimSpace<A>,
+    step: ScheduleStep,
+    crashes_used: usize,
+    crash_budget: usize,
+) -> bool {
+    match step {
+        ScheduleStep::Crash(p) => {
+            crashes_used < crash_budget && p.index() < space.config().n() && !space.is_crashed(p)
+        }
+        _ => space.enabled_events().iter().any(|ev| ev.step() == step),
+    }
+}
+
+/// Replays `schedule` leniently on a fresh build: steps that are not
+/// fireable when their turn comes are skipped. Returns the schedule that
+/// actually fired and the first failing check on the end state, if any
+/// (liveness is only consulted when the replay ends on a terminal state —
+/// a partial replay legitimately leaves operations in flight).
+pub(crate) fn replay_lenient<A: Automaton>(
+    scenario: &Scenario<A>,
+    schedule: &Schedule,
+) -> (Schedule, Option<String>) {
+    let mut space = scenario.build();
+    let crash_budget = scenario.crash_budget.min(space.config().t());
+    let mut crashes_used = 0usize;
+    let mut fired = Schedule::new();
+    for &step in schedule.steps() {
+        if !fireable(&space, step, crashes_used, crash_budget) {
+            continue;
+        }
+        space
+            .fire(step)
+            .expect("fireability was checked before firing");
+        if matches!(step, ScheduleStep::Crash(_)) {
+            crashes_used += 1;
+        }
+        fired.push(step);
+        // Mirror the explorer: local invariants are per-state properties,
+        // so a replay reproduces an invariant counterexample at the same
+        // prefix length it was found at.
+        if let Err(e) = space.check_local_invariants() {
+            return (fired, Some(format!("local invariant: {e}")));
+        }
+    }
+    let terminal = space.plan_settled() || space.enabled_events().is_empty();
+    let reason = check_path(&space, &scenario.modes, terminal);
+    (fired, reason)
+}
+
+/// Shrinks a failing schedule to a 1-minimal failing schedule (see the
+/// module docs). `schedule` must fail when replayed; the result fails and
+/// is strictly replayable.
+pub(crate) fn minimize<A: Automaton>(scenario: &Scenario<A>, schedule: &Schedule) -> Schedule {
+    let mut current = schedule.clone();
+    'shrink: loop {
+        for i in 0..current.len() {
+            let candidate = current.without(i);
+            let (fired, reason) = replay_lenient(scenario, &candidate);
+            if reason.is_some() {
+                // `fired` ⊆ candidate ⊂ current, so this strictly shrinks.
+                current = fired;
+                continue 'shrink;
+            }
+        }
+        return current;
+    }
+}
+
+fn crash_label(p: ProcessId) -> String {
+    format!("crash p{}", p.index())
+}
+
+/// Renders `schedule` as one `token  label` line per step by replaying it
+/// and reading each event's label off the enabled set as it fires.
+pub(crate) fn annotate<A: Automaton>(scenario: &Scenario<A>, schedule: &Schedule) -> String {
+    let mut space = scenario.build();
+    let mut out = String::new();
+    for &step in schedule.steps() {
+        let label = match step {
+            ScheduleStep::Crash(p) => Some(crash_label(p)),
+            _ => space
+                .enabled_events()
+                .iter()
+                .find(|ev| ev.step() == step)
+                .map(|ev| ev.label().to_string()),
+        };
+        let token = step.to_string();
+        match label {
+            Some(label) if space.fire(step).is_ok() => {
+                out.push_str(&format!("{token:<5} {label}\n"));
+            }
+            _ => {
+                out.push_str(&format!("{token:<5} (not fireable here — skipped)\n"));
+            }
+        }
+    }
+    out
+}

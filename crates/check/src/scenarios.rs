@@ -1,0 +1,121 @@
+//! The canonical small configurations the repository model-checks.
+//!
+//! Each function returns a [`Scenario`] over one of the first-party
+//! automata. The positive scenarios (the paper's protocol, the healthy
+//! MWMR baseline) must pass on every path; the `*_broken` scenarios wire
+//! in deliberately damaged automata and exist as negative controls — the
+//! explorer must find their violations, or it is not looking hard enough.
+//!
+//! Sizes are chosen to be the smallest configurations that exercise the
+//! property: `n = 3, t = 1` is the minimum for quorum-based SWMR/MWMR
+//! protocols, while the no-second-phase SWMR ablation needs `n = 5,
+//! t = 2` — with one faulty process the skipped wait is still masked by
+//! the writer's own quorum, and the new/old inversion only has room to
+//! appear once two readers can see disjoint-but-intersecting quorums.
+
+use twobit_baselines::MwmrProcess;
+use twobit_core::{TwoBitOptions, TwoBitProcess};
+use twobit_proto::{Operation, ProcessId, RegisterId, RegisterMode, SystemConfig};
+use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder};
+
+use crate::scenario::Scenario;
+
+fn scheduled_space<A, F>(cfg: SystemConfig, make: F) -> SimSpace<A>
+where
+    A: twobit_proto::Automaton<Value = u64>,
+    F: Fn(RegisterId, ProcessId) -> A + Send + 'static,
+{
+    SpaceBuilder::new(cfg)
+        .seed(1)
+        .delay(DelayModel::Fixed(1))
+        .registers(1)
+        .scheduled(true)
+        .build(0u64, make)
+}
+
+const R: RegisterId = RegisterId::ZERO;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+/// The paper's SWMR register at `n = 3, t = 1`: the writer writes `1`
+/// while `p1` reads concurrently. Every schedule must linearize.
+pub fn twobit_swmr_wr() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("twobit-swmr-wr/n3t1", move || {
+        scheduled_space(cfg, move |_reg, id| TwoBitProcess::new(id, cfg, p(0), 0u64))
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(1), R, Operation::Read)
+    .mode(R, RegisterMode::Swmr)
+}
+
+/// The paper's SWMR register at `n = 3, t = 1`, single writer and no
+/// reader — the smallest non-trivial state space. Used to measure DPOR
+/// against naive enumeration.
+pub fn twobit_swmr_w() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("twobit-swmr-w/n3t1", move || {
+        scheduled_space(cfg, move |_reg, id| TwoBitProcess::new(id, cfg, p(0), 0u64))
+    })
+    .op(p(0), R, Operation::Write(1))
+    .mode(R, RegisterMode::Swmr)
+}
+
+/// Negative control: the SWMR ablation that skips Fig. 1's second wait
+/// (line 9), at `n = 5, t = 2`. The writer delivers only to `p1`, whose
+/// read then returns the new value on stale `PROCEED`s; `p2`'s later
+/// read still sees a quorum of old-value holders — a new/old inversion
+/// the explorer must find. At `n = 3` or `n = 4` the guard on line 20
+/// masks the skipped wait, which is why this control needs `t = 2`.
+pub fn twobit_swmr_no_confirmation_broken() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(5, 2).expect("5 > 2·2");
+    let options = TwoBitOptions {
+        read_confirmation: false,
+        ..TwoBitOptions::default()
+    };
+    Scenario::new("twobit-swmr-noconfirm/n5t2", move || {
+        scheduled_space(cfg, move |_reg, id| {
+            TwoBitProcess::with_options(id, cfg, p(0), 0u64, options)
+        })
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(1), R, Operation::Read)
+    .op_after(p(2), R, Operation::Read, 1)
+    .mode(R, RegisterMode::Swmr)
+}
+
+/// The timestamp-based MWMR baseline at `n = 3, t = 1` with two
+/// concurrent writers. Every schedule must satisfy the MWMR mode, and
+/// every reachable pre-settlement state must satisfy the replicas' local
+/// invariants. (Adding a trailing reader pushes the space past half a
+/// million inequivalent paths — the read-visibility direction is instead
+/// covered exhaustively by the SWMR scenario and, for this baseline, by
+/// the stale-acks negative control.)
+pub fn mwmr_two_writer() -> Scenario<MwmrProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("mwmr-two-writer/n3t1", move || {
+        scheduled_space(cfg, move |_reg, id| MwmrProcess::new(id, cfg, 0u64))
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(1), R, Operation::Write(2))
+    .mode(R, RegisterMode::Mwmr)
+}
+
+/// Negative control: an MWMR replica that acknowledges update messages
+/// **without absorbing them** (`MwmrProcess::with_stale_acks`). A write
+/// then "completes" while a quorum still holds the old value, and a
+/// subsequent read returns it — a stale read the explorer must find at
+/// the minimum configuration.
+pub fn mwmr_stale_acks_broken() -> Scenario<MwmrProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("mwmr-stale-acks/n3t1", move || {
+        scheduled_space(cfg, move |_reg, id| {
+            MwmrProcess::with_stale_acks(id, cfg, 0u64)
+        })
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op_after(p(1), R, Operation::Read, 0)
+    .mode(R, RegisterMode::Mwmr)
+}

@@ -1,0 +1,126 @@
+//! End-to-end exploration tests: the positive scenarios hold on every
+//! schedule, DPOR demonstrably prunes against naive enumeration, and
+//! crash injection widens the explored space without breaking anything.
+
+use twobit_check::{explore, scenarios, ExploreOptions, Strategy};
+
+#[test]
+fn exhaustive_swmr_writer_and_concurrent_reader_n3t1() {
+    let report = explore(&scenarios::twobit_swmr_wr(), &ExploreOptions::default()).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "the paper's protocol linearizes on every schedule: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted, "the configuration must be fully covered");
+    // The write/read interleaving space is real: many inequivalent paths,
+    // and sleep sets must actually prune some enumerations.
+    assert!(
+        report.stats.paths_explored > 50,
+        "suspiciously few paths: {:?}",
+        report.stats
+    );
+    assert!(report.stats.replays > 0, "DFS backtracking must replay");
+    assert!(report.stats.max_depth > 5, "paths are many events long");
+}
+
+#[test]
+fn exhaustive_mwmr_two_concurrent_writers_n3t1() {
+    let report = explore(&scenarios::mwmr_two_writer(), &ExploreOptions::default()).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "the healthy MWMR baseline holds on every schedule: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+    // Two concurrent two-phase writes at n = 3 leave tens of thousands of
+    // inequivalent interleavings even after DPOR; anything small means the
+    // explorer stopped looking.
+    assert!(
+        report.stats.paths_explored > 10_000,
+        "two concurrent writers must branch: {:?}",
+        report.stats
+    );
+}
+
+#[test]
+fn dpor_explores_fewer_paths_than_naive_with_the_same_verdict() {
+    let dpor = explore(
+        &scenarios::twobit_swmr_w(),
+        &ExploreOptions {
+            strategy: Strategy::Dpor,
+            ..ExploreOptions::default()
+        },
+    )
+    .unwrap();
+    let naive = explore(
+        &scenarios::twobit_swmr_w(),
+        &ExploreOptions {
+            strategy: Strategy::Naive,
+            ..ExploreOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(dpor.violation.is_none() && naive.violation.is_none());
+    assert!(dpor.exhausted && naive.exhausted);
+    assert!(
+        dpor.stats.paths_explored < naive.stats.paths_explored,
+        "DPOR must prune: dpor={:?} naive={:?}",
+        dpor.stats,
+        naive.stats
+    );
+    // The reduction is the point — require a real factor, not an
+    // off-by-a-few difference.
+    assert!(
+        naive.stats.paths_explored >= 4 * dpor.stats.paths_explored,
+        "reduction factor collapsed: dpor={:?} naive={:?}",
+        dpor.stats,
+        naive.stats
+    );
+}
+
+#[test]
+fn crash_injection_stays_safe_within_the_fault_bound() {
+    // One injected crash (= t) at any point of the single-writer run:
+    // the protocol must stay safe and no live process may starve.
+    let scenario = scenarios::twobit_swmr_w().crash_budget(1);
+    let report = explore(&scenario, &ExploreOptions::default()).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "t = 1 crash must be tolerated: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted);
+    let no_crash = explore(&scenarios::twobit_swmr_w(), &ExploreOptions::default()).unwrap();
+    assert!(
+        report.stats.paths_explored > no_crash.stats.paths_explored,
+        "crash branches must add paths: with={:?} without={:?}",
+        report.stats,
+        no_crash.stats
+    );
+}
+
+#[test]
+fn crash_budget_is_clamped_to_t() {
+    // Asking for more crashes than the fault bound must not let the
+    // explorer crash a majority (which would starve live processes and
+    // flag phantom liveness violations).
+    let scenario = scenarios::twobit_swmr_w().crash_budget(9);
+    let report = explore(&scenario, &ExploreOptions::default()).unwrap();
+    assert!(report.violation.is_none(), "{:?}", report.violation);
+    assert!(report.exhausted);
+}
+
+#[test]
+fn path_cap_reports_non_exhaustive() {
+    let report = explore(
+        &scenarios::twobit_swmr_wr(),
+        &ExploreOptions {
+            max_paths: 3,
+            ..ExploreOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!report.exhausted);
+    assert!(report.stats.paths_explored + report.stats.paths_pruned <= 3);
+}

@@ -177,7 +177,10 @@ impl<V: Payload> TwoBitProcess<V> {
 
     /// Number of `PROCEED` guards currently pending (line 20 waits).
     pub fn pending_read_guards(&self) -> usize {
-        self.read_guards.iter().map(|q| q.len()).sum()
+        self.read_guards
+            .iter()
+            .map(std::collections::VecDeque::len)
+            .sum()
     }
 
     fn me(&self) -> usize {

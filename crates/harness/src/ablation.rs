@@ -55,7 +55,7 @@ pub fn writer_read_modes(n: usize, reads: usize, seed: u64) -> [(f64, f64); 2] {
             .records
             .iter()
             .filter(|r| r.op.is_read())
-            .filter_map(|r| r.latency())
+            .filter_map(twobit_proto::OpRecord::latency)
             .max()
             .unwrap_or(0) as f64
             / DELTA as f64;

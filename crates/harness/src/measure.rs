@@ -185,16 +185,21 @@ where
         .records
         .iter()
         .filter(|r| r.op.is_write())
-        .filter_map(|r| r.latency())
+        .filter_map(twobit_proto::OpRecord::latency)
         .collect();
     let read_latencies: Vec<u64> = r2
         .history
         .records
         .iter()
         .filter(|r| r.op.is_read())
-        .filter_map(|r| r.latency())
+        .filter_map(twobit_proto::OpRecord::latency)
         .collect();
-    let state_bits_max = r2.procs.iter().map(|p| p.state_bits()).max().unwrap_or(0);
+    let state_bits_max = r2
+        .procs
+        .iter()
+        .map(twobit_proto::Automaton::state_bits)
+        .max()
+        .unwrap_or(0);
     let total = r2.stats.total_sent();
 
     OpMetrics {

@@ -223,7 +223,7 @@ pub fn check<V: Clone + Eq + Hash>(
         x: usize,
     }
     let mut reads: Vec<ReadView> = Vec::new();
-    for r in history.records.iter() {
+    for r in &history.records {
         if !matches!(r.op, Operation::Read) {
             continue;
         }

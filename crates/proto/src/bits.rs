@@ -92,7 +92,7 @@ pub fn gamma_bits(x: u64) -> u64 {
 /// assert_eq!(r.get_bits(2).unwrap(), 0b10);
 /// assert_eq!(r.get_gamma().unwrap(), 5);
 /// ```
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct BitWriter {
     bytes: Vec<u8>,
     /// Bits already used in the last byte (0 ⇒ last byte full / none yet).
@@ -157,6 +157,7 @@ impl BitWriter {
 }
 
 /// MSB-first bit source over a byte slice.
+#[derive(Debug)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
     pos: u64,

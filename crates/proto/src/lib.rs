@@ -38,6 +38,9 @@
 //!   — the unit a real TCP transport writes per link.
 //! * [`RegisterSpace`], [`Workload`], [`ShardedHistory`] — named registers,
 //!   portable operation scripts, and per-register history projection.
+//! * [`sched`] — the pluggable scheduling surface for controlled execution:
+//!   [`Schedule`] tokens, [`EnabledEvent`]s, and the [`Scheduler`] trait
+//!   the `twobit-check` model checker drives the simulator through.
 //!
 //! [Mostéfaoui & Raynal 2016]: https://hal.inria.fr/hal-01271135
 
@@ -52,6 +55,7 @@ pub mod history;
 pub mod id;
 pub mod op;
 pub mod payload;
+pub mod sched;
 pub mod shard;
 pub mod space;
 pub mod stats;
@@ -65,6 +69,10 @@ pub use history::{History, OpRecord, ShardedHistory};
 pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
 pub use op::{OpId, OpOutcome, Operation};
 pub use payload::Payload;
+pub use sched::{
+    EnabledEvent, ReplayScheduler, SchedDecision, Schedule, ScheduleStep, Scheduler,
+    VirtualTimeScheduler,
+};
 pub use shard::{ShardSet, UnknownRegister};
 pub use space::{RegisterMode, RegisterSpace};
 pub use stats::{FlushReason, NetStats, ShardTraffic, StatsSnapshot};

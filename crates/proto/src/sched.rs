@@ -1,0 +1,461 @@
+//! Pluggable scheduling of a deterministic backend's enabled events.
+//!
+//! A deterministic backend (the sharded simulator in *scheduled mode*) does
+//! not pick which enabled event fires next — a [`Scheduler`] does. The
+//! backend exposes its current choice points as [`EnabledEvent`]s; the
+//! scheduler answers with a [`SchedDecision`]; the fired steps accumulate
+//! into a [`Schedule`], a replayable token with a stable, human-readable
+//! string form (`"i0 d2 r0"`). Three schedulers matter in practice:
+//!
+//! * [`VirtualTimeScheduler`] — fires events in virtual-time order, the
+//!   closest scheduled-mode analogue of the seeded default event loop;
+//! * [`ReplayScheduler`] — replays a recorded [`Schedule`] verbatim
+//!   (strict) or best-effort (lenient, for counterexample shrinking);
+//! * the model checker's depth-first path explorer (`twobit-check`), which
+//!   drives the backend through *every* partial-order-inequivalent
+//!   schedule of a small configuration.
+//!
+//! Event identities are stable per run prefix: a frame keeps the sequence
+//! number it was born with, and plan steps are numbered by their position
+//! in the scenario script — so a `Schedule` recorded on one run replays
+//! bit-identically on a fresh backend built from the same configuration.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::id::ProcessId;
+
+/// One step of a recorded (or prescribed) schedule. The string form is a
+/// single compact token: `d<seq>` delivers a frame, `i<plan>` /
+/// `r<plan>` fire a plan step's invocation / response, `c<proc>` crashes
+/// a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScheduleStep {
+    /// Deliver the in-flight frame with this birth sequence number.
+    Deliver(u64),
+    /// Fire plan step `plan`'s invocation (the client issues the op).
+    Invoke(u64),
+    /// Fire plan step `plan`'s response (the client observes completion).
+    Respond(u64),
+    /// Crash this process (between events; in-flight frames to it drop).
+    Crash(ProcessId),
+}
+
+impl fmt::Display for ScheduleStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleStep::Deliver(seq) => write!(f, "d{seq}"),
+            ScheduleStep::Invoke(plan) => write!(f, "i{plan}"),
+            ScheduleStep::Respond(plan) => write!(f, "r{plan}"),
+            ScheduleStep::Crash(p) => write!(f, "c{}", p.index()),
+        }
+    }
+}
+
+/// Error parsing a [`Schedule`] or [`ScheduleStep`] from its string form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    token: String,
+}
+
+impl fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unparseable schedule token {:?}", self.token)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+impl FromStr for ScheduleStep {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ScheduleParseError {
+            token: s.to_string(),
+        };
+        let (kind, num) = s.split_at(1);
+        let n: u64 = num.parse().map_err(|_| err())?;
+        match kind {
+            "d" => Ok(ScheduleStep::Deliver(n)),
+            "i" => Ok(ScheduleStep::Invoke(n)),
+            "r" => Ok(ScheduleStep::Respond(n)),
+            "c" => Ok(ScheduleStep::Crash(ProcessId::new(
+                usize::try_from(n).map_err(|_| err())?,
+            ))),
+            _ => Err(err()),
+        }
+    }
+}
+
+/// A replayable sequence of [`ScheduleStep`]s — the token a failing
+/// exploration prints and a regression test replays verbatim.
+///
+/// # Examples
+///
+/// ```
+/// use twobit_proto::sched::{Schedule, ScheduleStep};
+///
+/// let s: Schedule = "i0 d0 r0".parse()?;
+/// assert_eq!(s.steps().len(), 3);
+/// assert_eq!(s.to_string(), "i0 d0 r0");
+/// assert_eq!(s.steps()[1], ScheduleStep::Deliver(0));
+/// # Ok::<(), twobit_proto::sched::ScheduleParseError>(())
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule(Vec<ScheduleStep>);
+
+impl Schedule {
+    /// The empty schedule.
+    pub fn new() -> Self {
+        Schedule(Vec::new())
+    }
+
+    /// Builds a schedule from steps.
+    pub fn from_steps(steps: impl IntoIterator<Item = ScheduleStep>) -> Self {
+        Schedule(steps.into_iter().collect())
+    }
+
+    /// Appends one step.
+    pub fn push(&mut self, step: ScheduleStep) {
+        self.0.push(step);
+    }
+
+    /// The recorded steps, in firing order.
+    pub fn steps(&self) -> &[ScheduleStep] {
+        &self.0
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if no steps are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The schedule with the step at `index` elided (for counterexample
+    /// shrinking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn without(&self, index: usize) -> Schedule {
+        let mut steps = self.0.clone();
+        steps.remove(index);
+        Schedule(steps)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = ScheduleParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        s.split_whitespace()
+            .map(ScheduleStep::from_str)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Schedule)
+    }
+}
+
+/// One event a scheduled backend could fire next.
+///
+/// `label` is a short human-readable description (message kinds for a
+/// frame, `p<i>:write`/`p<i>:read` for plan steps) used when annotating
+/// counterexample schedules; it carries no semantics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnabledEvent {
+    /// An in-flight frame that may be delivered.
+    Deliver {
+        /// The frame's stable birth sequence number.
+        seq: u64,
+        /// Sending process.
+        from: ProcessId,
+        /// Destination process.
+        to: ProcessId,
+        /// Number of protocol messages inside the frame.
+        msgs: u64,
+        /// Virtual due time (used only by [`VirtualTimeScheduler`]).
+        due: u64,
+        /// Message kinds, joined with `+`.
+        label: String,
+    },
+    /// A plan step whose invocation may fire (its process is idle and its
+    /// dependency, if any, has responded).
+    Invoke {
+        /// Plan step index.
+        plan: u64,
+        /// The invoking process.
+        proc: ProcessId,
+        /// `p<i>:write` / `p<i>:read`.
+        label: String,
+    },
+    /// A plan step whose operation completed internally and whose response
+    /// may be observed by the client.
+    Respond {
+        /// Plan step index.
+        plan: u64,
+        /// The responding process.
+        proc: ProcessId,
+        /// `p<i>:write` / `p<i>:read`.
+        label: String,
+    },
+}
+
+impl EnabledEvent {
+    /// The [`ScheduleStep`] firing this event.
+    pub fn step(&self) -> ScheduleStep {
+        match self {
+            EnabledEvent::Deliver { seq, .. } => ScheduleStep::Deliver(*seq),
+            EnabledEvent::Invoke { plan, .. } => ScheduleStep::Invoke(*plan),
+            EnabledEvent::Respond { plan, .. } => ScheduleStep::Respond(*plan),
+        }
+    }
+
+    /// The process whose state (or observable interface) the event touches.
+    pub fn dest(&self) -> ProcessId {
+        match self {
+            EnabledEvent::Deliver { to, .. } => *to,
+            EnabledEvent::Invoke { proc, .. } | EnabledEvent::Respond { proc, .. } => *proc,
+        }
+    }
+
+    /// The event's annotation label.
+    pub fn label(&self) -> &str {
+        match self {
+            EnabledEvent::Deliver { label, .. }
+            | EnabledEvent::Invoke { label, .. }
+            | EnabledEvent::Respond { label, .. } => label,
+        }
+    }
+}
+
+/// A scheduler's answer to "which enabled event fires next?".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedDecision {
+    /// Fire this step. A [`ScheduleStep::Crash`] is legal even though
+    /// crashes never appear in the enabled set — crash choices belong to
+    /// the scheduler, not the backend.
+    Fire(ScheduleStep),
+    /// Stop driving the backend (the run ends here).
+    Stop,
+}
+
+/// Chooses which enabled event a scheduled backend fires next.
+///
+/// The backend guarantees: `enabled` lists every currently fireable
+/// delivery and plan step; firing a step not in the list (other than a
+/// crash) is rejected with a typed error. A scheduler must return
+/// [`SchedDecision::Stop`] when `enabled` is empty (the run is terminal).
+pub trait Scheduler {
+    /// Picks the next step (or stops).
+    fn decide(&mut self, enabled: &[EnabledEvent]) -> SchedDecision;
+}
+
+/// Fires enabled events in virtual-time order (`(due, seq)` for frames,
+/// with plan responses first and invocations next at every instant) —
+/// the scheduled-mode analogue of the default event loop's "pop the
+/// earliest event" rule.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualTimeScheduler;
+
+impl Scheduler for VirtualTimeScheduler {
+    fn decide(&mut self, enabled: &[EnabledEvent]) -> SchedDecision {
+        // Responses and invocations are instantaneous client-side events:
+        // fire them before any network delivery, lowest plan index first.
+        let mut best: Option<(u64, u64, ScheduleStep)> = None;
+        for ev in enabled {
+            let key = match ev {
+                EnabledEvent::Respond { plan, .. } => (0, *plan),
+                EnabledEvent::Invoke { plan, .. } => (1, *plan),
+                EnabledEvent::Deliver { due, seq, .. } => (2 + *due, *seq),
+            };
+            if best.is_none_or(|(a, b, _)| key < (a, b)) {
+                best = Some((key.0, key.1, ev.step()));
+            }
+        }
+        match best {
+            Some((_, _, step)) => SchedDecision::Fire(step),
+            None => SchedDecision::Stop,
+        }
+    }
+}
+
+/// Replays a recorded [`Schedule`].
+///
+/// In strict mode every step must be fireable when its turn comes (the
+/// backend errors otherwise) — the contract a minimized counterexample
+/// satisfies by construction. In lenient mode steps that are not currently
+/// enabled are skipped silently, which is what counterexample shrinking
+/// needs: eliding one event may starve later ones of their preconditions.
+/// Both stop after the last step.
+#[derive(Clone, Debug)]
+pub struct ReplayScheduler {
+    steps: VecDeque<ScheduleStep>,
+    lenient: bool,
+}
+
+impl ReplayScheduler {
+    /// Strict replay: every step must be enabled at its turn.
+    pub fn strict(schedule: &Schedule) -> Self {
+        ReplayScheduler {
+            steps: schedule.steps().iter().copied().collect(),
+            lenient: false,
+        }
+    }
+
+    /// Lenient replay: steps that are not enabled are skipped.
+    pub fn lenient(schedule: &Schedule) -> Self {
+        ReplayScheduler {
+            steps: schedule.steps().iter().copied().collect(),
+            lenient: true,
+        }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn decide(&mut self, enabled: &[EnabledEvent]) -> SchedDecision {
+        while let Some(step) = self.steps.pop_front() {
+            let fireable = matches!(step, ScheduleStep::Crash(_))
+                || enabled.iter().any(|ev| ev.step() == step);
+            if fireable || !self.lenient {
+                return SchedDecision::Fire(step);
+            }
+        }
+        SchedDecision::Stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips_through_its_string_form() {
+        let s = Schedule::from_steps([
+            ScheduleStep::Invoke(0),
+            ScheduleStep::Deliver(12),
+            ScheduleStep::Crash(ProcessId::new(2)),
+            ScheduleStep::Respond(0),
+        ]);
+        let text = s.to_string();
+        assert_eq!(text, "i0 d12 c2 r0");
+        assert_eq!(text.parse::<Schedule>().unwrap(), s);
+    }
+
+    #[test]
+    fn empty_schedule_round_trips() {
+        let s = Schedule::new();
+        assert_eq!(s.to_string(), "");
+        assert_eq!("".parse::<Schedule>().unwrap(), s);
+        assert_eq!("  ".parse::<Schedule>().unwrap(), s);
+    }
+
+    #[test]
+    fn bad_tokens_are_rejected() {
+        assert!("x3".parse::<Schedule>().is_err());
+        assert!("d".parse::<Schedule>().is_err());
+        assert!("dd3".parse::<Schedule>().is_err());
+        assert!("i0 quux".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn without_elides_one_step() {
+        let s: Schedule = "i0 d1 r0".parse().unwrap();
+        assert_eq!(s.without(1).to_string(), "i0 r0");
+        assert_eq!(s.len(), 3, "original untouched");
+    }
+
+    #[test]
+    fn virtual_time_scheduler_orders_responses_invokes_deliveries() {
+        let enabled = vec![
+            EnabledEvent::Deliver {
+                seq: 3,
+                from: ProcessId::new(0),
+                to: ProcessId::new(1),
+                msgs: 1,
+                due: 10,
+                label: "WRITE".into(),
+            },
+            EnabledEvent::Invoke {
+                plan: 1,
+                proc: ProcessId::new(1),
+                label: "p1:read".into(),
+            },
+            EnabledEvent::Respond {
+                plan: 0,
+                proc: ProcessId::new(0),
+                label: "p0:write".into(),
+            },
+        ];
+        let mut sched = VirtualTimeScheduler;
+        assert_eq!(
+            sched.decide(&enabled),
+            SchedDecision::Fire(ScheduleStep::Respond(0))
+        );
+        assert_eq!(sched.decide(&enabled[..2]), {
+            SchedDecision::Fire(ScheduleStep::Invoke(1))
+        });
+        assert_eq!(
+            sched.decide(&enabled[..1]),
+            SchedDecision::Fire(ScheduleStep::Deliver(3))
+        );
+        assert_eq!(sched.decide(&[]), SchedDecision::Stop);
+    }
+
+    #[test]
+    fn strict_replay_emits_every_step_then_stops() {
+        let s: Schedule = "i0 d7".parse().unwrap();
+        let mut sched = ReplayScheduler::strict(&s);
+        // Strict replay emits the step even when it is not enabled — the
+        // backend is the one that rejects it.
+        assert_eq!(
+            sched.decide(&[]),
+            SchedDecision::Fire(ScheduleStep::Invoke(0))
+        );
+        assert_eq!(
+            sched.decide(&[]),
+            SchedDecision::Fire(ScheduleStep::Deliver(7))
+        );
+        assert_eq!(sched.decide(&[]), SchedDecision::Stop);
+    }
+
+    #[test]
+    fn lenient_replay_skips_steps_that_are_not_enabled() {
+        let s: Schedule = "d7 d8 c1".parse().unwrap();
+        let enabled = vec![EnabledEvent::Deliver {
+            seq: 8,
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+            msgs: 1,
+            due: 0,
+            label: "WRITE".into(),
+        }];
+        let mut sched = ReplayScheduler::lenient(&s);
+        // d7 is not enabled: skipped; d8 is.
+        assert_eq!(
+            sched.decide(&enabled),
+            SchedDecision::Fire(ScheduleStep::Deliver(8))
+        );
+        // Crashes are always fireable.
+        assert_eq!(
+            sched.decide(&[]),
+            SchedDecision::Fire(ScheduleStep::Crash(ProcessId::new(1)))
+        );
+        assert_eq!(sched.decide(&[]), SchedDecision::Stop);
+    }
+}

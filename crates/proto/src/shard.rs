@@ -67,6 +67,16 @@ pub struct ShardSet<A: Automaton> {
     shards: BTreeMap<RegisterId, A>,
 }
 
+impl<A: Automaton> std::fmt::Debug for ShardSet<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("id", &self.id)
+            .field("routing_bits", &self.routing_bits)
+            .field("registers", &self.shards.keys().collect::<Vec<_>>())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Error returned when an operation targets a register the set does not
 /// host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

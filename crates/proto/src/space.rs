@@ -66,6 +66,15 @@ pub struct RegisterSpace<D: Driver> {
     modes: BTreeMap<RegisterId, RegisterMode>,
 }
 
+impl<D: Driver> std::fmt::Debug for RegisterSpace<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisterSpace")
+            .field("names", &self.names)
+            .field("modes", &self.modes)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<D: Driver> RegisterSpace<D> {
     /// Binds `names` (in iteration order) to the backend's registers (in id
     /// order).

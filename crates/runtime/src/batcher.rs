@@ -265,6 +265,17 @@ pub struct LinkBatcher<M> {
     last_arrival: Option<Instant>,
 }
 
+impl<M> std::fmt::Debug for LinkBatcher<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LinkBatcher")
+            .field("policy", &self.policy)
+            .field("pending", &self.pending.len())
+            .field("since", &self.since)
+            .field("deadline", &self.deadline)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<M> LinkBatcher<M> {
     /// Creates an empty batcher. The policy must be valid
     /// ([`FlushPolicy::validate`]) — the builders guarantee this before

@@ -70,6 +70,15 @@ pub struct RegisterClient<A: Automaton> {
     reg: RegisterId,
 }
 
+impl<A: Automaton> std::fmt::Debug for RegisterClient<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisterClient")
+            .field("proc", &self.proc)
+            .field("reg", &self.reg)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<A: Automaton> RegisterClient<A> {
     pub(crate) fn new(shared: Arc<Shared<A>>, proc: ProcessId, reg: RegisterId) -> Self {
         RegisterClient { shared, proc, reg }

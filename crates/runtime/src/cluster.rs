@@ -57,6 +57,25 @@ pub enum Incoming<A: Automaton> {
     Shutdown,
 }
 
+impl<A: Automaton> std::fmt::Debug for Incoming<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Incoming::Frame { from, frame } => f
+                .debug_struct("Frame")
+                .field("from", from)
+                .field("msgs", &frame.len())
+                .finish(),
+            Incoming::Invoke { reg, op_id, op, .. } => f
+                .debug_struct("Invoke")
+                .field("reg", reg)
+                .field("op_id", op_id)
+                .field("op", op)
+                .finish_non_exhaustive(),
+            Incoming::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
 /// One `(process, register)` pair's client-side in-flight state. The API
 /// layer enforces the model's per-register sequentiality with this table:
 /// a second `issue` on a busy pair gets [`ClientError::OperationInFlight`]
@@ -100,6 +119,7 @@ pub(crate) struct Shared<A: Automaton> {
 }
 
 /// Builder for a [`Cluster`].
+#[derive(Debug)]
 pub struct ClusterBuilder {
     cfg: SystemConfig,
     seed: u64,
@@ -480,6 +500,15 @@ pub struct Cluster<A: Automaton> {
     link_threads: Vec<JoinHandle<()>>,
 }
 
+impl<A: Automaton> std::fmt::Debug for Cluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("proc_threads", &self.proc_threads.len())
+            .field("link_threads", &self.link_threads.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<A: Automaton> Cluster<A> {
     /// The system configuration.
     pub fn config(&self) -> SystemConfig {
@@ -793,7 +822,10 @@ mod tests {
         assert_eq!(r.read().unwrap(), 7);
         let (history, stats) = cluster.shutdown();
         assert_eq!(history.records.len(), 2);
-        assert!(history.records.iter().all(|r| r.is_complete()));
+        assert!(history
+            .records
+            .iter()
+            .all(twobit_proto::OpRecord::is_complete));
         assert!(stats.total_sent() > 0);
         twobit_lincheck::check_swmr(&history).unwrap();
     }

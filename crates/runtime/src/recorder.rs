@@ -19,6 +19,14 @@ pub struct Recorder<V> {
     inner: Mutex<Inner<V>>,
 }
 
+impl<V: std::fmt::Debug> std::fmt::Debug for Recorder<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("initial", &self.initial)
+            .finish_non_exhaustive()
+    }
+}
+
 struct Inner<V> {
     records: Vec<(RegisterId, OpRecord<V>)>,
     index: HashMap<OpId, usize>,

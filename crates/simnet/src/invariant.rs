@@ -42,6 +42,16 @@ pub struct SimView<'a, A: Automaton> {
     pub inflight: &'a [InFlightMsg<'a, A::Msg>],
 }
 
+impl<A: Automaton> std::fmt::Debug for SimView<'_, A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimView")
+            .field("now", &self.now)
+            .field("crashed", &self.crashed)
+            .field("inflight", &self.inflight.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a, A: Automaton> SimView<'a, A> {
     /// Iterates over live (non-crashed) processes.
     pub fn live_procs(&self) -> impl Iterator<Item = &'a A> + '_ {

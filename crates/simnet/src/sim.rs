@@ -100,6 +100,7 @@ impl<A: Automaton> SimReport<A> {
 }
 
 /// Builder for a [`Simulation`].
+#[derive(Debug)]
 pub struct SimBuilder {
     cfg: SystemConfig,
     seed: u64,
@@ -190,6 +191,8 @@ impl SimBuilder {
             stats: NetStats::new(),
             plans: (0..n).map(|_| Vec::new()).collect(),
             plan_cursor: vec![0; n],
+            plan_start: vec![0; n],
+            started: false,
             outstanding: vec![None; n],
             invariants: Vec::new(),
             check_every: self.check_every,
@@ -251,8 +254,15 @@ struct QueuedEvent<A: Automaton> {
     kind: EventKind<A>,
 }
 
-// Min-heap ordering on (at, seq); BinaryHeap is a max-heap so comparisons
-// are reversed here.
+// Total order on events: `(at, seq)` ascending — virtual time first, then
+// the birth sequence number as the same-instant tie-break. Every `seq` is
+// allocated at a point determined by the configuration and prior events
+// (time-based crashes at build, first plan invocations at start in
+// process-id order, handler sends in handler order), never by the order
+// test code happened to call the builder — so two identically-configured
+// simulations replay identically, whatever the insertion order.
+// `BinaryHeap` is a max-heap; the comparison is reversed to pop the
+// minimum.
 impl<A: Automaton> PartialEq for QueuedEvent<A> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -289,6 +299,14 @@ pub struct Simulation<A: Automaton> {
     stats: NetStats,
     plans: Vec<Vec<PlannedOp<A::Value>>>,
     plan_cursor: Vec<usize>,
+    /// Virtual instant of each process's first scripted invocation
+    /// (start offset + the first op's delay).
+    plan_start: Vec<SimTime>,
+    /// Whether the first event has been processed. First plan invocations
+    /// are scheduled lazily at that point, in process-id order, so the
+    /// order of `client_plan` calls never leaks into event sequence
+    /// numbers (a prerequisite for byte-stable schedule replay).
+    started: bool,
     /// Per process: the outstanding op and whether it came from a plan
     /// (plan-issued completions schedule the next scripted op).
     outstanding: Vec<Option<(OpId, bool)>>,
@@ -299,27 +317,43 @@ pub struct Simulation<A: Automaton> {
     max_time: SimTime,
 }
 
+impl<A: Automaton> std::fmt::Debug for Simulation<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("cfg", &self.cfg)
+            .field("now", &self.now)
+            .field("crashed", &self.crashed)
+            .field("queued_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<A: Automaton> Simulation<A> {
-    /// Assigns a client plan to a process.
+    /// Assigns a client plan to a process. First invocations are scheduled
+    /// when the simulation starts stepping, in process-id order — the
+    /// order of `client_plan` calls is immaterial to the run.
     ///
     /// # Panics
     ///
-    /// Panics if the process already has a plan: its first invocation is
-    /// scheduled eagerly, so a replacement would leave a stale event in the
-    /// queue and break per-process sequentiality.
+    /// Panics if the process already has a plan (a replacement would break
+    /// per-process sequentiality) or if the simulation has already started
+    /// stepping (the new plan's first invocation would be silently late).
     pub fn client_plan(&mut self, proc: impl Into<ProcessId>, plan: ClientPlan<A::Value>) {
         let proc = proc.into();
+        assert!(
+            !self.started,
+            "client plans must be assigned before the simulation steps"
+        );
         assert!(
             self.plans[proc.index()].is_empty(),
             "process {proc} already has a client plan"
         );
         let (ops, start_at) = plan.into_parts();
+        if let Some(first) = ops.first() {
+            self.plan_start[proc.index()] = start_at + first.delay_before;
+        }
         self.plans[proc.index()] = ops;
         self.plan_cursor[proc.index()] = 0;
-        if let Some(first) = self.plans[proc.index()].first() {
-            let at = start_at + first.delay_before;
-            self.schedule_invoke(proc, at);
-        }
     }
 
     /// Registers a global invariant, checked every `check_every` events.
@@ -343,6 +377,22 @@ impl<A: Automaton> Simulation<A> {
         });
     }
 
+    /// Schedules every plan's first invocation, in process-id order, the
+    /// first time the simulation steps. Deferring this to start makes the
+    /// invocation events' sequence numbers (the same-instant tie-break) a
+    /// function of the process ids alone, not of `client_plan` call order.
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.plans.len() {
+            if !self.plans[i].is_empty() {
+                self.schedule_invoke(ProcessId::new(i), self.plan_start[i]);
+            }
+        }
+    }
+
     fn schedule_invoke(&mut self, proc: ProcessId, at: SimTime) {
         let cursor = self.plan_cursor[proc.index()];
         let op = self.plans[proc.index()][cursor].op.clone();
@@ -364,6 +414,7 @@ impl<A: Automaton> Simulation<A> {
     /// Returns [`SimError`] on invariant violation, protocol misbehaviour,
     /// or when the event/time guards trip.
     pub fn step(&mut self) -> Result<bool, SimError> {
+        self.ensure_started();
         let Some(ev) = self.queue.pop() else {
             return Ok(false);
         };
@@ -602,7 +653,7 @@ impl<A: Automaton> Simulation<A> {
         };
         let mut invariants = std::mem::take(&mut self.invariants);
         let mut failure = None;
-        for inv in invariants.iter_mut() {
+        for inv in &mut invariants {
             if let Err(detail) = inv.check(&view) {
                 failure = Some(InvariantViolation {
                     invariant: inv.name(),
@@ -784,6 +835,47 @@ mod tests {
         assert_eq!(report.stats.sent_of_kind("PING"), 4);
         assert_eq!(report.stats.sent_of_kind("PONG"), 4);
         assert_eq!(report.stats.total_delivered(), 8);
+    }
+
+    #[test]
+    fn plan_insertion_order_does_not_change_the_run() {
+        // Two same-instant invocations on different processes: whatever
+        // order the plans are assigned in, the event tie-break is the
+        // process id, so the histories are identical — the byte-stability
+        // schedule replay depends on.
+        let run = |flipped: bool| {
+            let cfg = cfg5();
+            let mut sim = SimBuilder::new(cfg)
+                .delay(DelayModel::Uniform { lo: 1, hi: 1_000 })
+                .seed(17)
+                .build(|id| MajorityEcho::new(id, cfg));
+            let plans = [
+                (0usize, ClientPlan::ops([Operation::Write(1u64)])),
+                (1usize, ClientPlan::ops([Operation::Write(2u64)])),
+            ];
+            let order: Vec<usize> = if flipped { vec![1, 0] } else { vec![0, 1] };
+            for i in order {
+                let (p, plan) = &plans[i];
+                sim.client_plan(*p, plan.clone());
+            }
+            let report = sim.run().unwrap();
+            (
+                format!("{:?}", report.history.records),
+                report.final_time,
+                report.events,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the simulation steps")]
+    fn late_plan_assignment_is_rejected() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut sim = SimBuilder::new(cfg).build(|id| NullRegister::new(id, cfg));
+        sim.client_plan(0, ClientPlan::ops([Operation::Write(1u64)]));
+        sim.run_to_quiescence().unwrap();
+        sim.client_plan(1, ClientPlan::ops([Operation::Write(2u64)]));
     }
 
     #[test]

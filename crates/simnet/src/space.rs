@@ -46,9 +46,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, NetStats, OpId,
-    OpOutcome, OpRecord, OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory,
-    SystemConfig, WireMessage,
+    Automaton, Driver, DriverError, Effects, EnabledEvent, Envelope, FlushReason, Frame, NetStats,
+    OpId, OpOutcome, OpRecord, OpTicket, Operation, ProcessId, RegisterId, SchedDecision, Schedule,
+    ScheduleStep, Scheduler, ShardSet, ShardedHistory, SystemConfig, WireMessage,
 };
 
 use crate::delay::DelayModel;
@@ -108,6 +108,7 @@ struct LinkGap {
 const VIRTUAL_GAP_MULTIPLIER: u64 = 4;
 
 /// Builder for a [`SimSpace`].
+#[derive(Debug)]
 pub struct SpaceBuilder {
     cfg: SystemConfig,
     seed: u64,
@@ -117,6 +118,7 @@ pub struct SpaceBuilder {
     flush_hold: VirtualHold,
     hold_overrides: BTreeMap<(ProcessId, ProcessId), VirtualHold>,
     wire_codec: bool,
+    scheduled: bool,
 }
 
 impl SpaceBuilder {
@@ -132,7 +134,36 @@ impl SpaceBuilder {
             flush_hold: VirtualHold::Static(0),
             hold_overrides: BTreeMap::new(),
             wire_codec: false,
+            scheduled: false,
         }
+    }
+
+    /// Puts the space in **scheduled mode**: no event fires until a
+    /// [`Scheduler`] (or an explicit [`SimSpace::fire`]) picks it. The
+    /// event heap is replaced by an open set of enabled events; operations
+    /// are scripted with [`SimSpace::plan_op`] and their invocations and
+    /// responses become schedulable events of their own, so a controlling
+    /// scheduler decides the *real-time order* of the run's observable
+    /// endpoints as well as its message interleaving. This is the surface
+    /// `twobit-check` explores exhaustively; interactive
+    /// [`Driver::invoke`]/[`Driver::poll`] are rejected in this mode.
+    ///
+    /// Scheduled-mode semantics (deliberate differences from the default
+    /// event loop):
+    ///
+    /// * Each handler execution's sends flush immediately, one frame per
+    ///   ordered link per handler — hold windows never merge two handlers'
+    ///   sends, so the frame structure is a deterministic function of the
+    ///   schedule alone.
+    /// * Virtual time advances by exactly 1 tick per fired event, giving
+    ///   every invocation/response a unique instant; sampled delays only
+    ///   order the [`VirtualTimeScheduler`](twobit_proto::VirtualTimeScheduler)'s
+    ///   default replay.
+    /// * Crashes fire *between* events ([`ScheduleStep::Crash`]) and drop
+    ///   the in-flight frames addressed to the crashed process.
+    pub fn scheduled(mut self, on: bool) -> Self {
+        self.scheduled = on;
+        self
     }
 
     /// Routes every flushed frame through the byte-level codec
@@ -262,6 +293,11 @@ impl SpaceBuilder {
             stats: NetStats::new(),
             events: 0,
             max_events: self.max_events,
+            scheduled: self.scheduled,
+            open: Vec::new(),
+            plan: Vec::new(),
+            created_scratch: Vec::new(),
+            ready_scratch: Vec::new(),
         }
     }
 }
@@ -285,8 +321,14 @@ struct SpaceEvent<M> {
     kind: SpaceEventKind<M>,
 }
 
-// Min-heap ordering on (at, seq); BinaryHeap is a max-heap so comparisons
-// are reversed here.
+// Total order on events: `(at, seq)` ascending — virtual time first, then
+// the *birth* sequence number as the same-instant tie-break. `seq` is
+// allocated when the event is created, and creation order is itself a
+// deterministic function of the configuration and the schedule (handler
+// sends flush in ascending destination order via the staged `BTreeMap`),
+// never of builder-call or map-insertion order. This stability is what
+// makes a recorded `Schedule` replayable byte-for-byte. `BinaryHeap` is a
+// max-heap, so the comparison below is reversed to pop the minimum.
 impl<M> PartialEq for SpaceEvent<M> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -307,6 +349,50 @@ impl<M> Ord for SpaceEvent<M> {
 /// One ordered link's staged batch: when staging began, and the envelopes
 /// waiting for the link's flush marker.
 type StagedBatch<M> = (SimTime, Vec<Envelope<M>>);
+
+/// Lifecycle of one scheduled-mode plan step. Invocation and response are
+/// *separate schedulable events*: the register's external interface is a
+/// single real-time line, so the order in which completions become visible
+/// relative to later invocations is itself a scheduling choice the model
+/// checker must control (it decides which real-time precedences the
+/// linearizability checker gets to assume).
+#[derive(Clone, Debug)]
+enum PlanState<V> {
+    /// Not yet invoked.
+    Pending,
+    /// Invocation fired; the automaton is working on it.
+    Invoked,
+    /// The automaton completed the operation internally; the response has
+    /// not yet been observed by the client.
+    Ready(OpOutcome<V>),
+    /// The response fired; the operation is complete in the history.
+    Responded,
+}
+
+/// One scripted operation of a scheduled-mode run.
+#[derive(Clone, Debug)]
+struct PlanEntry<V> {
+    proc: ProcessId,
+    reg: RegisterId,
+    op: Operation<V>,
+    /// Plan index whose response must fire before this step may be
+    /// invoked (cross-process sequencing; same-process steps are already
+    /// sequential by program order).
+    after: Option<usize>,
+    op_id: Option<OpId>,
+    state: PlanState<V>,
+}
+
+/// What one [`SimSpace::fire`] call did, for the explorer's happens-before
+/// bookkeeping.
+#[derive(Clone, Debug, Default)]
+pub struct FireOutcome {
+    /// Birth sequence numbers of the frames the fired handler created.
+    pub created: Vec<u64>,
+    /// Plan steps whose operations completed internally during this fire
+    /// (their [`ScheduleStep::Respond`] events are now enabled).
+    pub became_ready: Vec<u64>,
+}
 
 /// A sharded, interactively-driven deterministic simulation.
 ///
@@ -346,6 +432,32 @@ pub struct SimSpace<A: Automaton> {
     stats: NetStats,
     events: u64,
     max_events: u64,
+    /// Scheduled mode (see [`SpaceBuilder::scheduled`]): events fire only
+    /// when chosen.
+    scheduled: bool,
+    /// Scheduled mode's open event set (replaces the heap; kept in birth
+    /// order, i.e. ascending `seq`).
+    open: Vec<SpaceEvent<A::Msg>>,
+    /// Scheduled mode's scripted operations.
+    plan: Vec<PlanEntry<A::Value>>,
+    /// Frames created by the currently-firing handler (drained into the
+    /// [`FireOutcome`]).
+    created_scratch: Vec<u64>,
+    /// Plan steps readied by the currently-firing handler.
+    ready_scratch: Vec<u64>,
+}
+
+impl<A: Automaton> std::fmt::Debug for SimSpace<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSpace")
+            .field("cfg", &self.cfg)
+            .field("registers", &self.registers)
+            .field("now", &self.now)
+            .field("crashed", &self.crashed)
+            .field("scheduled", &self.scheduled)
+            .field("open_frames", &self.open.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<A: Automaton> SimSpace<A> {
@@ -419,11 +531,27 @@ impl<A: Automaton> SimSpace<A> {
         let delay = self.delay.sample(&mut self.rng);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(SpaceEvent {
+        if self.scheduled && self.crashed[to.index()] {
+            // Scheduled mode drops frames to a dead destination at birth:
+            // there is no delivery event left to do it later, and an
+            // undeliverable frame must not linger in the enabled set.
+            self.stats.record_frame_drop_to_crashed(frame.len() as u64);
+            return Ok(());
+        }
+        let ev = SpaceEvent {
             at: self.now + delay,
             seq,
             kind: SpaceEventKind::Deliver { from, to, frame },
-        });
+        };
+        if self.scheduled {
+            // The frame joins the open set (in birth order) and waits for
+            // a scheduler to pick it; its sampled delay only orders the
+            // default virtual-time replay.
+            self.created_scratch.push(seq);
+            self.open.push(ev);
+        } else {
+            self.queue.push(ev);
+        }
         Ok(())
     }
 
@@ -483,6 +611,17 @@ impl<A: Automaton> SimSpace<A> {
             // actually on the wire are the frame header, recorded at flush.
             self.stats
                 .record_send_for(env.reg, env.kind(), env.cost().with_routing(self.tag_bits));
+            if self.scheduled {
+                // Scheduled mode has no hold windows: stage the envelope
+                // and flush every touched link right after this loop, so
+                // one handler execution = one frame per ordered link.
+                self.staged
+                    .entry((p, to))
+                    .or_insert_with(|| (self.now, Vec::new()))
+                    .1
+                    .push(env);
+                continue;
+            }
             // Feed the link's gap estimate on every arrival — same-instant
             // envelopes are gap-0 samples, which is what drives a bursty
             // link toward its hold ceiling.
@@ -536,7 +675,40 @@ impl<A: Automaton> SimSpace<A> {
             }
             staged.push(env);
         }
+        if self.scheduled {
+            // Immediate flush, ascending destination order (`staged` is a
+            // `BTreeMap`), so frame birth order is schedule-determined.
+            let links: Vec<(ProcessId, ProcessId)> = self.staged.keys().copied().collect();
+            for (from, to) in links {
+                self.flush_link(from, to)?;
+            }
+        }
         for (op_id, outcome) in fx.drain_completions() {
+            if self.scheduled {
+                // Completion makes the plan step's *response* schedulable;
+                // the record is finalized only when that response fires.
+                let idx = self
+                    .plan
+                    .iter()
+                    .position(|e| e.op_id == Some(op_id))
+                    .ok_or_else(|| {
+                        DriverError::Backend(format!("completion for unknown {op_id}"))
+                    })?;
+                let entry = &mut self.plan[idx];
+                if entry.proc != p {
+                    return Err(DriverError::Backend(format!(
+                        "{op_id} of p{} completed by p{}",
+                        entry.proc.index(),
+                        p.index()
+                    )));
+                }
+                if !matches!(entry.state, PlanState::Invoked) {
+                    return Err(DriverError::Backend(format!("{op_id} completed twice")));
+                }
+                entry.state = PlanState::Ready(outcome);
+                self.ready_scratch.push(idx as u64);
+                continue;
+            }
             let (reg, rec) = self
                 .records
                 .get_mut(op_id.raw() as usize)
@@ -557,6 +729,359 @@ impl<A: Automaton> SimSpace<A> {
     }
 }
 
+/// Scheduled-mode surface (see [`SpaceBuilder::scheduled`]): plan
+/// operations, inspect the enabled-event set, fire chosen steps, or hand
+/// the whole loop to a [`Scheduler`].
+impl<A: Automaton> SimSpace<A> {
+    /// Scripts one operation for a scheduled run and returns its plan
+    /// index. Steps of one process run in program (plan) order; use
+    /// [`SimSpace::plan_op_after`] for cross-process sequencing.
+    ///
+    /// # Panics
+    ///
+    /// Panics outside scheduled mode, or on an unknown process/register —
+    /// plans are authored by test code, so mistakes are programming
+    /// errors, not run outcomes.
+    pub fn plan_op(&mut self, proc: ProcessId, reg: RegisterId, op: Operation<A::Value>) -> usize {
+        self.plan_entry(proc, reg, op, None)
+    }
+
+    /// Like [`SimSpace::plan_op`], but the step's invocation stays
+    /// disabled until plan step `after`'s *response* has fired — the
+    /// scenario-level way to demand real-time precedence between
+    /// operations of different processes.
+    ///
+    /// # Panics
+    ///
+    /// As [`SimSpace::plan_op`]; additionally if `after` is not an
+    /// existing plan index.
+    pub fn plan_op_after(
+        &mut self,
+        proc: ProcessId,
+        reg: RegisterId,
+        op: Operation<A::Value>,
+        after: usize,
+    ) -> usize {
+        self.plan_entry(proc, reg, op, Some(after))
+    }
+
+    fn plan_entry(
+        &mut self,
+        proc: ProcessId,
+        reg: RegisterId,
+        op: Operation<A::Value>,
+        after: Option<usize>,
+    ) -> usize {
+        assert!(self.scheduled, "plan_op requires scheduled mode");
+        assert!(
+            proc.index() < self.cfg.n(),
+            "plan_op: unknown process {proc:?}"
+        );
+        assert!(
+            self.registers.contains(&reg),
+            "plan_op: unknown register {reg:?}"
+        );
+        if let Some(a) = after {
+            assert!(a < self.plan.len(), "plan_op_after: unknown plan step {a}");
+        }
+        self.plan.push(PlanEntry {
+            proc,
+            reg,
+            op,
+            after,
+            op_id: None,
+            state: PlanState::Pending,
+        });
+        self.plan.len() - 1
+    }
+
+    /// Whether plan step `idx`'s invocation may fire: still pending, its
+    /// process live and done with every earlier plan step, and its
+    /// explicit dependency (if any) responded.
+    fn invoke_enabled(&self, idx: usize) -> bool {
+        let e = &self.plan[idx];
+        if !matches!(e.state, PlanState::Pending) || self.crashed[e.proc.index()] {
+            return false;
+        }
+        if self.plan[..idx]
+            .iter()
+            .any(|o| o.proc == e.proc && !matches!(o.state, PlanState::Responded))
+        {
+            return false;
+        }
+        match e.after {
+            Some(a) => matches!(self.plan[a].state, PlanState::Responded),
+            None => true,
+        }
+    }
+
+    fn plan_label(e: &PlanEntry<A::Value>) -> String {
+        let what = match &e.op {
+            Operation::Read => "read".to_string(),
+            Operation::Write(v) => format!("write({v:?})"),
+        };
+        format!("p{}:{what}", e.proc.index())
+    }
+
+    /// The currently fireable events: responses (ready plan steps, plan
+    /// order), then invocations (enabled plan steps, plan order), then
+    /// deliveries (open frames, birth order). Crashes never appear — the
+    /// crash choice belongs to the scheduler ([`ScheduleStep::Crash`] is
+    /// always fireable against a live process).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside scheduled mode.
+    pub fn enabled_events(&self) -> Vec<EnabledEvent> {
+        assert!(self.scheduled, "enabled_events requires scheduled mode");
+        let mut out = Vec::new();
+        for (idx, e) in self.plan.iter().enumerate() {
+            if matches!(e.state, PlanState::Ready(_)) && !self.crashed[e.proc.index()] {
+                out.push(EnabledEvent::Respond {
+                    plan: idx as u64,
+                    proc: e.proc,
+                    label: Self::plan_label(e),
+                });
+            }
+        }
+        for (idx, e) in self.plan.iter().enumerate() {
+            if self.invoke_enabled(idx) {
+                out.push(EnabledEvent::Invoke {
+                    plan: idx as u64,
+                    proc: e.proc,
+                    label: Self::plan_label(e),
+                });
+            }
+        }
+        for ev in &self.open {
+            let SpaceEventKind::Deliver { from, to, frame } = &ev.kind else {
+                continue;
+            };
+            let mut kinds: Vec<&'static str> = frame.iter().map(|(_, m)| m.kind()).collect();
+            kinds.dedup();
+            out.push(EnabledEvent::Deliver {
+                seq: ev.seq,
+                from: *from,
+                to: *to,
+                msgs: frame.len() as u64,
+                due: ev.at,
+                label: kinds.join("+"),
+            });
+        }
+        out
+    }
+
+    /// Fires one schedule step. Each fire advances virtual time by one
+    /// tick, so every invocation, response and delivery has a unique
+    /// instant and the history's real-time order is exactly the firing
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::Backend`] outside scheduled mode, when the step is
+    /// not currently fireable (strict-replay contract), or when the event
+    /// guard trips.
+    pub fn fire(&mut self, step: ScheduleStep) -> Result<FireOutcome, DriverError> {
+        if !self.scheduled {
+            return Err(DriverError::Backend(
+                "fire requires scheduled mode (SpaceBuilder::scheduled)".into(),
+            ));
+        }
+        self.events += 1;
+        if self.events > self.max_events {
+            return Err(DriverError::Backend(format!(
+                "event limit exceeded ({} events)",
+                self.max_events
+            )));
+        }
+        self.now += 1;
+        self.created_scratch.clear();
+        self.ready_scratch.clear();
+        match step {
+            ScheduleStep::Deliver(seq) => {
+                let pos = self
+                    .open
+                    .iter()
+                    .position(|ev| ev.seq == seq)
+                    .ok_or_else(|| {
+                        DriverError::Backend(format!("delivery d{seq} is not enabled"))
+                    })?;
+                // `Vec::remove` keeps the rest of the open set in birth
+                // order.
+                let ev = self.open.remove(pos);
+                let SpaceEventKind::Deliver { from, to, frame } = ev.kind else {
+                    unreachable!("the open set holds only deliveries");
+                };
+                let pi = to.index();
+                debug_assert!(!self.crashed[pi], "crash pruned frames to p{pi}");
+                self.stats.record_deliveries(frame.len() as u64);
+                let mut fx = Effects::new();
+                for env in frame.into_envelopes() {
+                    self.nodes[pi].on_message(from, env, &mut fx);
+                }
+                self.apply_effects(to, fx)?;
+            }
+            ScheduleStep::Invoke(plan) => {
+                let idx = plan as usize;
+                if idx >= self.plan.len() || !self.invoke_enabled(idx) {
+                    return Err(DriverError::Backend(format!(
+                        "invocation i{plan} is not enabled"
+                    )));
+                }
+                let (proc, reg, op) = {
+                    let e = &self.plan[idx];
+                    (e.proc, e.reg, e.op.clone())
+                };
+                let op_id = OpId::new(self.records.len() as u64);
+                self.records.push((
+                    reg,
+                    OpRecord {
+                        op_id,
+                        proc,
+                        op: op.clone(),
+                        invoked_at: self.now,
+                        completed: None,
+                    },
+                ));
+                self.outstanding.insert((proc, reg), op_id);
+                {
+                    let e = &mut self.plan[idx];
+                    e.op_id = Some(op_id);
+                    e.state = PlanState::Invoked;
+                }
+                let mut fx = Effects::new();
+                self.nodes[proc.index()]
+                    .on_invoke(reg, op_id, op, &mut fx)
+                    .expect("plan_entry checked register presence");
+                self.apply_effects(proc, fx)?;
+            }
+            ScheduleStep::Respond(plan) => {
+                let idx = plan as usize;
+                let enabled = self.plan.get(idx).is_some_and(|e| {
+                    matches!(e.state, PlanState::Ready(_)) && !self.crashed[e.proc.index()]
+                });
+                if !enabled {
+                    return Err(DriverError::Backend(format!(
+                        "response r{plan} is not enabled"
+                    )));
+                }
+                let e = &mut self.plan[idx];
+                let PlanState::Ready(outcome) =
+                    std::mem::replace(&mut e.state, PlanState::Responded)
+                else {
+                    unreachable!("checked Ready above");
+                };
+                let op_id = e.op_id.expect("Ready implies invoked");
+                let (proc, reg) = (e.proc, e.reg);
+                let rec = &mut self.records[op_id.raw() as usize].1;
+                debug_assert!(rec.completed.is_none());
+                rec.completed = Some((self.now, outcome));
+                self.outstanding.remove(&(proc, reg));
+            }
+            ScheduleStep::Crash(p) => {
+                let pi = p.index();
+                if pi >= self.cfg.n() {
+                    return Err(DriverError::Backend(format!(
+                        "crash c{pi}: unknown process"
+                    )));
+                }
+                if self.crashed[pi] {
+                    return Err(DriverError::Backend(format!("crash c{pi}: already down")));
+                }
+                self.crashed[pi] = true;
+                self.drop_open_frames_to(p);
+            }
+        }
+        Ok(FireOutcome {
+            created: std::mem::take(&mut self.created_scratch),
+            became_ready: std::mem::take(&mut self.ready_scratch),
+        })
+    }
+
+    /// Drops every open frame addressed to `p` (atomic non-delivery with
+    /// the crash), keeping `delivered + dropped == sent` accounting exact.
+    fn drop_open_frames_to(&mut self, p: ProcessId) {
+        let mut dropped = 0u64;
+        self.open.retain(|ev| match &ev.kind {
+            SpaceEventKind::Deliver { to, frame, .. } if *to == p => {
+                dropped += frame.len() as u64;
+                false
+            }
+            _ => true,
+        });
+        if dropped > 0 {
+            self.stats.record_frame_drop_to_crashed(dropped);
+        }
+    }
+
+    /// Hands the scheduling loop to `sched` until it stops (a
+    /// [`Scheduler`] must stop on an empty enabled set). Returns the fired
+    /// schedule — replaying it with [`ReplayScheduler::strict`] on a fresh
+    /// identically-built space reproduces this run exactly.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimSpace::fire`] error (a scheduler prescribing an
+    /// unfireable step, or the event guard tripping).
+    ///
+    /// [`ReplayScheduler::strict`]: twobit_proto::ReplayScheduler::strict
+    pub fn run_scheduled(&mut self, sched: &mut dyn Scheduler) -> Result<Schedule, DriverError> {
+        let mut fired = Schedule::new();
+        loop {
+            let enabled = self.enabled_events();
+            match sched.decide(&enabled) {
+                SchedDecision::Stop => return Ok(fired),
+                SchedDecision::Fire(step) => {
+                    self.fire(step)?;
+                    fired.push(step);
+                }
+            }
+        }
+    }
+
+    /// Checks that a *terminal* scheduled run (empty enabled set) starved
+    /// no live process: an operation that was invoked but never completed,
+    /// with no messages left to deliver, means a live process lost its
+    /// quorum — impossible under the paper's `t < n/2` crash bound, so a
+    /// violation of the algorithm's termination claim.
+    ///
+    /// # Errors
+    ///
+    /// A description of the starved plan step.
+    pub fn check_schedule_liveness(&self) -> Result<(), String> {
+        for (idx, e) in self.plan.iter().enumerate() {
+            if self.crashed[e.proc.index()] {
+                continue;
+            }
+            if matches!(e.state, PlanState::Invoked) {
+                return Err(format!(
+                    "plan step {idx} ({}) invoked but never completed: the \
+                     terminal schedule starved a live process",
+                    Self::plan_label(e)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `p` has crashed.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        self.crashed[p.index()]
+    }
+
+    /// Whether every plan step has run to completion or died with its
+    /// process. Once this holds, no future delivery can change the
+    /// operation history — frames still in flight only touch automaton
+    /// state — so a model checker may soundly cut the schedule here
+    /// instead of draining the network.
+    pub fn plan_settled(&self) -> bool {
+        assert!(self.scheduled, "plan_settled requires scheduled mode");
+        self.plan
+            .iter()
+            .all(|e| matches!(e.state, PlanState::Responded) || self.crashed[e.proc.index()])
+    }
+}
+
 impl<A: Automaton> Driver for SimSpace<A> {
     type Value = A::Value;
 
@@ -574,6 +1099,13 @@ impl<A: Automaton> Driver for SimSpace<A> {
         reg: RegisterId,
         op: Operation<A::Value>,
     ) -> Result<OpTicket, DriverError> {
+        if self.scheduled {
+            return Err(DriverError::Backend(
+                "scheduled mode: script operations with plan_op and fire them \
+                 through a Scheduler, not Driver::invoke"
+                    .into(),
+            ));
+        }
         let pi = proc.index();
         if pi >= self.cfg.n() {
             return Err(DriverError::UnknownProcess(proc));
@@ -628,6 +1160,9 @@ impl<A: Automaton> Driver for SimSpace<A> {
 
     fn crash(&mut self, proc: ProcessId) {
         self.crashed[proc.index()] = true;
+        if self.scheduled {
+            self.drop_open_frames_to(proc);
+        }
     }
 
     fn history(&self) -> ShardedHistory<A::Value> {
@@ -647,6 +1182,7 @@ impl<A: Automaton> Driver for SimSpace<A> {
 mod tests {
     use super::*;
     use crate::testutil::MajorityEcho;
+    use twobit_proto::{ReplayScheduler, VirtualTimeScheduler};
 
     fn cfg5() -> SystemConfig {
         SystemConfig::new(5, 2).unwrap()
@@ -956,6 +1492,109 @@ mod tests {
         assert_eq!(err, DriverError::ProcessUnavailable(ProcessId::new(2)));
         // Minority crash: others still make progress.
         s.write(ProcessId::new(0), RegisterId::ZERO, 5).unwrap();
+    }
+
+    fn scheduled_space(cfg: SystemConfig, seed: u64) -> SimSpace<MajorityEcho> {
+        SpaceBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Fixed(1_000))
+            .scheduled(true)
+            .build(0u64, |_reg, id| MajorityEcho::new(id, cfg))
+    }
+
+    #[test]
+    fn scheduled_mode_virtual_time_run_completes_the_plan() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut s = scheduled_space(cfg, 1);
+        let w = s.plan_op(ProcessId::new(0), RegisterId::ZERO, Operation::Write(7));
+        let r = s.plan_op_after(ProcessId::new(1), RegisterId::ZERO, Operation::Read, w);
+        let fired = s.run_scheduled(&mut VirtualTimeScheduler).unwrap();
+        assert!(s.enabled_events().is_empty(), "run is terminal");
+        s.check_schedule_liveness().unwrap();
+        // Both plan steps invoked and responded, in dependency order.
+        let h = s.history();
+        let recs = &h.shard(RegisterId::ZERO).unwrap().records;
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].completed.as_ref().unwrap().0 < recs[1].invoked_at);
+        // The fired schedule starts by invoking the write (the only
+        // enabled event at the start) and fires every step exactly once.
+        assert_eq!(fired.steps()[0], ScheduleStep::Invoke(w as u64));
+        assert!(fired.steps().contains(&ScheduleStep::Respond(r as u64)));
+    }
+
+    #[test]
+    fn scheduled_runs_replay_bit_identically() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let run = |sched: &mut dyn Scheduler| {
+            let mut s = scheduled_space(cfg, 5);
+            s.plan_op(ProcessId::new(0), RegisterId::ZERO, Operation::Write(3));
+            s.plan_op(ProcessId::new(1), RegisterId::ZERO, Operation::Read);
+            let fired = s.run_scheduled(sched).unwrap();
+            (fired, format!("{:?}", s.history()), s.stats().total_sent())
+        };
+        let (fired, hist, sent) = run(&mut VirtualTimeScheduler);
+        // Strict replay of the recorded schedule reproduces the run.
+        let (fired2, hist2, sent2) = run(&mut ReplayScheduler::strict(&fired));
+        assert_eq!(fired, fired2);
+        assert_eq!(hist, hist2);
+        assert_eq!(sent, sent2);
+        // And the schedule string round-trips through its text form.
+        let reparsed: Schedule = fired.to_string().parse().unwrap();
+        let (fired3, hist3, _) = run(&mut ReplayScheduler::strict(&reparsed));
+        assert_eq!(fired, fired3);
+        assert_eq!(hist, hist3);
+    }
+
+    #[test]
+    fn scheduled_crash_drops_open_frames_atomically() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut s = scheduled_space(cfg, 2);
+        let w = s.plan_op(ProcessId::new(0), RegisterId::ZERO, Operation::Write(1));
+        s.fire(ScheduleStep::Invoke(w as u64)).unwrap();
+        // The write's PINGs to p1 and p2 are open; crash p2.
+        let before = s.enabled_events().len();
+        s.fire(ScheduleStep::Crash(ProcessId::new(2))).unwrap();
+        assert_eq!(s.enabled_events().len(), before - 1);
+        assert!(s.is_crashed(ProcessId::new(2)));
+        let stats = s.stats();
+        assert!(stats.dropped_to_crashed() > 0);
+        // A second crash of the same process is rejected.
+        assert!(s.fire(ScheduleStep::Crash(ProcessId::new(2))).is_err());
+        // Majority alive: the write still completes.
+        let mut rest = VirtualTimeScheduler;
+        s.run_scheduled(&mut rest).unwrap();
+        s.check_schedule_liveness().unwrap();
+        // At quiescence every sent message was delivered or dropped whole.
+        let end = s.stats();
+        assert_eq!(
+            end.total_delivered() + end.dropped_to_crashed(),
+            end.total_sent()
+        );
+    }
+
+    #[test]
+    fn scheduled_mode_rejects_unfireable_steps_and_interactive_driving() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut s = scheduled_space(cfg, 3);
+        let w = s.plan_op(ProcessId::new(0), RegisterId::ZERO, Operation::Write(1));
+        // Nothing delivered yet: no response, no such frame.
+        assert!(s.fire(ScheduleStep::Respond(w as u64)).is_err());
+        assert!(s.fire(ScheduleStep::Deliver(99)).is_err());
+        // Interactive invoke is a different driving mode.
+        assert!(s
+            .invoke(ProcessId::new(0), RegisterId::ZERO, Operation::Read)
+            .is_err());
+    }
+
+    #[test]
+    fn scheduled_liveness_check_flags_a_starved_operation() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut s = scheduled_space(cfg, 4);
+        let w = s.plan_op(ProcessId::new(0), RegisterId::ZERO, Operation::Write(1));
+        s.fire(ScheduleStep::Invoke(w as u64)).unwrap();
+        // Invoked, nothing delivered: a (non-terminal) stall.
+        let err = s.check_schedule_liveness().unwrap_err();
+        assert!(err.contains("plan step 0"), "{err}");
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn same_instant_events_processed_in_schedule_order() {
             r.history
                 .records
                 .iter()
-                .map(|rec| rec.response_at())
+                .map(twobit_proto::OpRecord::response_at)
                 .collect::<Vec<_>>(),
         )
     };

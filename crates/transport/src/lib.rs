@@ -68,6 +68,7 @@ use twobit_runtime::{
 };
 
 /// Builder for a [`TcpCluster`].
+#[derive(Debug)]
 pub struct TcpClusterBuilder {
     cfg: SystemConfig,
     registers: Vec<RegisterId>,
@@ -453,6 +454,16 @@ pub struct TcpCluster<A: Automaton> {
     /// Latest polled outcome per pair (so re-polling is idempotent).
     completed: HashMap<(ProcessId, RegisterId), (OpId, OpOutcome<A::Value>)>,
     threads: Vec<JoinHandle<()>>,
+}
+
+impl<A: Automaton> std::fmt::Debug for TcpCluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpCluster")
+            .field("cfg", &self.cfg)
+            .field("registers", &self.registers)
+            .field("addrs", &self.addrs)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<A: Automaton> TcpCluster<A> {

@@ -211,6 +211,35 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Model checking: every schedule of a small configuration
+//!
+//! The seeded simulator and the chaos runtime *sample* schedules; the
+//! model checker ([`check`], crate `twobit-check`) *enumerates* them. A
+//! scheduled-mode space (`SpaceBuilder::scheduled(true)`) exposes its
+//! enabled events — frame deliveries, operation invocations and
+//! responses — and a pluggable [`proto::Scheduler`] picks what fires
+//! next; the checker's depth-first explorer drives every
+//! partial-order-inequivalent choice sequence of a small configuration,
+//! with sleep-set + persistent-set DPOR pruning, bounded crash
+//! injection, and a minimized replayable counterexample on failure:
+//!
+//! ```
+//! use twobit::check::{explore, scenarios, ExploreOptions};
+//!
+//! // n = 3, t = 1: one write racing one read — every interleaving.
+//! let report = explore(&scenarios::twobit_swmr_wr(), &ExploreOptions::default())?;
+//! assert!(report.violation.is_none(), "the paper's protocol linearizes");
+//! assert!(report.exhausted, "the whole space was covered");
+//! assert!(report.stats.paths_explored > 0);
+//! # Ok::<(), twobit::DriverError>(())
+//! ```
+//!
+//! Counterexample schedules are plain strings (`i0 d3 r0 …`) that replay
+//! verbatim through [`proto::ReplayScheduler`]. See
+//! `docs/model-checking.md` for what exactly is explored, how DPOR and
+//! the settlement cut keep the space finite and small, and how to add a
+//! configuration.
+//!
 //! ## Migrating from the pre-`Driver` API
 //!
 //! * `ClusterBuilder::new(cfg).build(..)` and `cluster.client(p)` still
@@ -239,6 +268,8 @@
 //! * [`transport`] — the real-socket backend: the same cluster over
 //!   loopback TCP, one length-prefixed frame stream per ordered link;
 //! * [`lincheck`] — atomicity checking, per register;
+//! * [`check`] — the DPOR model checker: exhaustive schedule exploration
+//!   for the deterministic backend on small configurations;
 //! * [`harness`] — the experiments regenerating the paper's Table 1 and
 //!   in-text claims.
 //!
@@ -249,6 +280,7 @@
 #![warn(missing_docs)]
 
 pub use twobit_baselines as baselines;
+pub use twobit_check as check;
 pub use twobit_core as core;
 pub use twobit_harness as harness;
 pub use twobit_lincheck as lincheck;
