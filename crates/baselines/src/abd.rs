@@ -468,6 +468,11 @@ impl<V: Payload> Automaton for AbdProcess<V> {
             + bits_for(self.write_counter)
             + bits_for(self.rid_counter)
     }
+
+    /// ABD's write permission is statically pinned to its single writer.
+    fn swmr_writer(&self) -> Option<ProcessId> {
+        Some(self.writer)
+    }
 }
 
 #[cfg(test)]

@@ -590,6 +590,11 @@ impl<V: Payload> Automaton for PhasedProcess<V> {
     fn state_bits(&self) -> u64 {
         self.profile.modeled_state_bits
     }
+
+    /// The emulated SWMR baselines all pin write permission to one writer.
+    fn swmr_writer(&self) -> Option<ProcessId> {
+        Some(self.writer)
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,15 @@
 //! * `simnet` / `zipf95` — workload realism: register popularity drawn
 //!   from a Zipf(1.0) distribution over the shards, 95% reads / 5% writes;
 //! * `simnet` / `readmostly` — the same 95/5 read-mostly mix with uniform
-//!   register popularity;
+//!   register popularity. These rows are emitted twice more per hold as
+//!   the **cache acceptance pair**: `cache: "proto"` and `cache: "safe"`
+//!   both disable the automaton-level `writer_fast_read` shortcut (so
+//!   every read would run the two-phase protocol), then `"safe"` turns on
+//!   the gated local read cache of `twobit-cache`. The pair isolates the
+//!   driver-level cache contribution — `local_read_pct` and the exact
+//!   bytes/allocation savings — as first-class trajectory numbers. (The
+//!   plain `cache: "off"` rows keep the paper's default algorithm, where
+//!   the writer's own fast read already costs zero messages.);
 //! * `simnet` / `hotkey` — the contended-hot-key row: every operation
 //!   targets register r0 (readers rotating over the non-writer processes)
 //!   while the other shards sit idle;
@@ -49,19 +57,31 @@
 //! delta/gamma-vs-bitmap mode bit must never lose to forced delta/gamma
 //! (`frame_header_bits ≤ frame_header_gamma_bits`).
 //!
+//! Every row also reports `allocs_per_op` — heap allocations per
+//! operation, counted by a wrapping global allocator around each measured
+//! run — so the zero-copy frame path and the read cache are held to an
+//! allocation budget, not just a byte budget. CI's bench smoke job fails
+//! if a `cache: "safe"` read-mostly row does not beat its `"off"` twin on
+//! both `bytes_per_op` and `allocs_per_op`, or reports `local_read_pct`
+//! of zero.
+//!
 //! Results land in `BENCH_frames.json` at the workspace root.
 //!
 //! Run with: `cargo bench --bench shard_scaling`
 //! Fast mode (JSON only, no criterion sampling — what CI's bench smoke job
 //! runs): `BENCH_FAST=1 cargo bench --bench shard_scaling`
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use twobit_baselines::MwmrProcess;
+use twobit_cache::CacheMode;
 use twobit_check::{explore, scenarios, ExploreOptions, Strategy};
+use twobit_core::TwoBitOptions;
 use twobit_core::TwoBitProcess;
 use twobit_proto::{
     Automaton, Driver, FlushReason, NetStats, Operation, ProcessId, RegisterId, RegisterSpace,
@@ -70,6 +90,38 @@ use twobit_proto::{
 use twobit_runtime::FlushPolicy;
 use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder, VirtualHold};
 use twobit_transport::TcpClusterBuilder;
+
+/// Counts heap allocations so every row can publish `allocs_per_op`. The
+/// deallocation path is untouched; the counter is relaxed — we want a
+/// cheap census, not a profiler.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the only addition is a relaxed
+// counter increment on the allocation paths.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 const N: usize = 5;
 const SHARD_COUNTS: [usize; 4] = [1, 4, 16, 64];
@@ -126,6 +178,7 @@ fn build_space_with<A, F>(
     shards: usize,
     seed: u64,
     hold: Hold,
+    cache: CacheMode,
     make: F,
 ) -> RegisterSpace<SimSpace<A>>
 where
@@ -142,6 +195,7 @@ where
         // Route every frame through the byte codec: the run executes on
         // decoded bytes and `wire_bytes` reports real blob sizes.
         .wire_codec(true)
+        .cache_mode(cache)
         .registers(shards)
         .build(0u64, make);
     let names = (0..shards).map(|k| format!("shard:{k:03}"));
@@ -152,11 +206,21 @@ fn build_space(
     shards: usize,
     seed: u64,
     hold: Hold,
+    cache: CacheMode,
 ) -> RegisterSpace<SimSpace<TwoBitProcess<u64>>> {
     let cfg = SystemConfig::max_resilience(N);
-    build_space_with(shards, seed, hold, move |reg, id| {
+    build_space_with(shards, seed, hold, cache, move |reg, id| {
         TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
     })
+}
+
+/// JSON label for a row's cache mode.
+fn cache_label(cache: CacheMode) -> &'static str {
+    match cache {
+        CacheMode::Off => "off",
+        CacheMode::Safe => "safe",
+        CacheMode::UnsafeAblated => "unsafe",
+    }
 }
 
 /// One write + `readers` reads per register per round, pipelined across
@@ -228,8 +292,10 @@ fn hotkey_workload(ops: usize, seed: u64) -> Workload<u64> {
     w
 }
 
-/// One step of the 95/5 mixed workloads: a read from a rotating
-/// non-writer process, or a write from the register's writer.
+/// One step of the 95/5 mixed workloads: a read from a rotating process —
+/// **including the register's own writer**, so the co-location gate of
+/// `CacheMode::Safe` has real traffic to serve — or a write from the
+/// register's writer.
 fn mixed_step(
     w: Workload<u64>,
     k: usize,
@@ -240,7 +306,7 @@ fn mixed_step(
     let reg = RegisterId::new(k);
     let writer = k % N;
     if rng.gen_range(0u64..100) < READ_PCT {
-        let reader = (writer + 1 + i % (N - 1)) % N;
+        let reader = (writer + i % N) % N;
         w.step(reader, reg, Operation::Read)
     } else {
         *next_value += 1;
@@ -257,6 +323,7 @@ struct Row {
     source: &'static str,
     mix: &'static str,
     hold: &'static str,
+    cache: &'static str,
     shards: usize,
     readers: usize,
     ops: usize,
@@ -270,6 +337,11 @@ struct Row {
     routing_bits_framed_gamma: u64,
     wire_bytes: u64,
     bytes_per_op: f64,
+    allocs_per_op: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_fallbacks: u64,
+    local_read_pct: f64,
     flushes_size: u64,
     flushes_hold: u64,
     flushes_shutdown: u64,
@@ -282,10 +354,12 @@ fn row_from_stats(
     source: &'static str,
     mix: &'static str,
     hold: &'static str,
+    cache: &'static str,
     shards: usize,
     readers: usize,
     ops: usize,
     wall_ns: f64,
+    allocs: u64,
     stats: &NetStats,
 ) -> Row {
     if algo == "twobit" {
@@ -317,11 +391,21 @@ fn row_from_stats(
             stats.frame_header_gamma_bits(),
         );
     }
+    // Share of cache-consulted reads served locally. With the cache on,
+    // every read consults it exactly once, so the denominator is the
+    // row's read count; with it off all three counters are zero.
+    let consulted = stats.cache_hits() + stats.cache_misses() + stats.cache_fallbacks();
+    let local_read_pct = if consulted == 0 {
+        0.0
+    } else {
+        100.0 * stats.cache_hits() as f64 / consulted as f64
+    };
     Row {
         algo,
         source,
         mix,
         hold,
+        cache,
         shards,
         readers,
         ops,
@@ -335,6 +419,11 @@ fn row_from_stats(
         routing_bits_framed_gamma: stats.frame_header_gamma_bits(),
         wire_bytes: stats.wire_bytes(),
         bytes_per_op: stats.wire_bytes() as f64 / ops as f64,
+        allocs_per_op: allocs as f64 / ops as f64,
+        cache_hits: stats.cache_hits(),
+        cache_misses: stats.cache_misses(),
+        cache_fallbacks: stats.cache_fallbacks(),
+        local_read_pct,
         flushes_size: stats.flushes(FlushReason::Size),
         flushes_hold: stats.flushes(FlushReason::Hold),
         flushes_shutdown: stats.flushes(FlushReason::Shutdown),
@@ -344,22 +433,26 @@ fn row_from_stats(
 
 fn measure(shards: usize, readers: usize) -> Row {
     let workload = sweep_workload(shards, readers);
-    let mut space = build_space(shards, 42, Hold::Static);
+    let mut space = build_space(shards, 42, Hold::Static, CacheMode::Off);
+    let a0 = allocs_now();
     let t0 = Instant::now();
     workload
         .run_pipelined_on(space.driver_mut())
         .expect("sweep workload runs");
     let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
     let stats = space.driver().stats();
     row_from_stats(
         "twobit",
         "simnet",
         "uniform",
         Hold::Static.label(),
+        "off",
         shards,
         readers,
         workload.len(),
         wall.as_nanos() as f64,
+        allocs,
         &stats,
     )
 }
@@ -374,23 +467,27 @@ fn measure_head_to_head() -> (Row, Row) {
     let (shards, readers) = HEAD_TO_HEAD;
     let workload = sweep_workload(shards, readers);
 
-    let mut twobit = build_space(shards, 42, Hold::Static);
+    let mut twobit = build_space(shards, 42, Hold::Static, CacheMode::Off);
+    let a0 = allocs_now();
     let t0 = Instant::now();
     workload
         .run_pipelined_on(twobit.driver_mut())
         .expect("two-bit head-to-head workload runs");
     let twobit_wall = t0.elapsed();
+    let twobit_allocs = allocs_now() - a0;
     let twobit_stats = twobit.driver().stats();
 
     let cfg = SystemConfig::max_resilience(N);
-    let mut mwmr = build_space_with(shards, 42, Hold::Static, move |_reg, id| {
+    let mut mwmr = build_space_with(shards, 42, Hold::Static, CacheMode::Off, move |_reg, id| {
         MwmrProcess::new(id, cfg, 0u64)
     });
+    let a0 = allocs_now();
     let t0 = Instant::now();
     workload
         .run_pipelined_on(mwmr.driver_mut())
         .expect("MWMR head-to-head workload runs");
     let mwmr_wall = t0.elapsed();
+    let mwmr_allocs = allocs_now() - a0;
     twobit_lincheck::check_mwmr_sharded(&mwmr.driver().history())
         .expect("the MWMR run must be timestamp-order linearizable");
     let mwmr_stats = mwmr.driver().stats();
@@ -401,10 +498,12 @@ fn measure_head_to_head() -> (Row, Row) {
             "simnet",
             "headtohead",
             Hold::Static.label(),
+            "off",
             shards,
             readers,
             workload.len(),
             twobit_wall.as_nanos() as f64,
+            twobit_allocs,
             &twobit_stats,
         ),
         row_from_stats(
@@ -412,42 +511,101 @@ fn measure_head_to_head() -> (Row, Row) {
             "simnet",
             "headtohead",
             Hold::Static.label(),
+            "off",
             shards,
             readers,
             workload.len(),
             mwmr_wall.as_nanos() as f64,
+            mwmr_allocs,
             &mwmr_stats,
         ),
     )
 }
 
 /// One mixed-workload row (zipf95 / readmostly / hotkey) under the given
-/// hold policy.
-fn measure_mix(mix: &'static str, shards: usize, hold: Hold) -> Row {
+/// hold policy and cache mode. The `cache: "safe"` twin runs the *same*
+/// deterministic workload, so its bytes/allocation deltas against `"off"`
+/// are exact, not sampled.
+fn measure_mix(mix: &'static str, shards: usize, hold: Hold, cache: CacheMode) -> Row {
     let workload = match mix {
         "zipf95" => zipf_workload(shards, MIX_OPS, 7),
         "readmostly" => readmostly_workload(shards, MIX_OPS, 7),
         "hotkey" => hotkey_workload(MIX_OPS, 7),
         other => unreachable!("unknown mix {other}"),
     };
-    let mut space = build_space(shards, 42, hold);
+    let mut space = build_space(shards, 42, hold, cache);
+    let a0 = allocs_now();
     let t0 = Instant::now();
     workload
         .run_pipelined_on(space.driver_mut())
         .expect("mixed workload runs");
     let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    // A cached read must be indistinguishable from a protocol read to the
+    // checker: the safe rows are verified executions, same as the rest.
+    if cache != CacheMode::Off {
+        twobit_lincheck::check_swmr_sharded(&space.driver().history())
+            .expect("cached rows must stay atomic");
+    }
     let stats = space.driver().stats();
     row_from_stats(
         "twobit",
         "simnet",
         mix,
         hold.label(),
+        cache_label(cache),
         shards,
         0,
         workload.len(),
         wall.as_nanos() as f64,
+        allocs,
         &stats,
     )
+}
+
+/// The cache acceptance pair: the same deterministic read-mostly workload
+/// run twice with the writer's automaton-level fast read disabled
+/// (`writer_fast_read: false`, so every read would run the two-phase
+/// protocol) — once with the cache off (`cache: "proto"`) and once with
+/// the writer-gated local read cache (`cache: "safe"`). The delta between
+/// the two rows is *exactly* what the driver-level cache saves; both
+/// histories are checked atomic before their stats are published.
+fn measure_cache_pair(shards: usize, hold: Hold) -> (Row, Row) {
+    let cfg = SystemConfig::max_resilience(N);
+    let options = TwoBitOptions {
+        writer_fast_read: false,
+        ..TwoBitOptions::default()
+    };
+    let workload = readmostly_workload(shards, MIX_OPS, 7);
+    let run = |cache: CacheMode, label: &'static str| -> Row {
+        let mut space = build_space_with(shards, 42, hold, cache, move |reg, id| {
+            TwoBitProcess::with_options(id, cfg, ProcessId::new(reg.index() % N), 0u64, options)
+        });
+        let a0 = allocs_now();
+        let t0 = Instant::now();
+        workload
+            .run_pipelined_on(space.driver_mut())
+            .expect("cache-pair workload runs");
+        let wall = t0.elapsed();
+        let allocs = allocs_now() - a0;
+        twobit_lincheck::check_swmr_sharded(&space.driver().history())
+            .expect("cache-pair rows must stay atomic");
+        let stats = space.driver().stats();
+        row_from_stats(
+            "twobit",
+            "simnet",
+            "readmostly",
+            hold.label(),
+            label,
+            shards,
+            0,
+            workload.len(),
+            wall.as_nanos() as f64,
+            allocs,
+            &stats,
+        )
+    };
+    (run(CacheMode::Off, "proto"), run(CacheMode::Safe, "safe"))
 }
 
 /// The same portable workload on the real loopback TCP backend: the bytes
@@ -472,11 +630,13 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
             TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
         })
         .expect("loopback TCP cluster starts");
+    let a0 = allocs_now();
     let t0 = Instant::now();
     workload
         .run_pipelined_on(&mut cluster)
         .expect("workload runs over TCP");
     let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
     let (_, stats) = cluster.shutdown();
     assert!(
         stats.wire_bytes() > 0,
@@ -492,10 +652,12 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
         "tcp",
         "uniform",
         hold.label(),
+        "off",
         shards,
         readers,
         workload.len(),
         wall.as_nanos() as f64,
+        allocs,
         &stats,
     )
 }
@@ -617,19 +779,22 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
         };
         out.push_str(&format!(
             "    {{\"algo\": \"{}\", \"source\": \"{}\", \"mix\": \"{}\", \"hold\": \"{}\", \
-             \"shards\": {}, \
+             \"cache\": \"{}\", \"shards\": {}, \
              \"readers\": {}, \
              \"ops\": {}, \"wall_ns_per_op\": {:.1}, \"msgs\": {}, \"frames\": {}, \
              \"msgs_per_frame\": {:.2}, \"control_bits\": {}, \
              \"routing_bits_unframed\": {}, \"routing_bits_framed\": {}, \
              \"routing_bits_framed_gamma\": {}, \"framed_over_unframed\": {}, \
-             \"wire_bytes\": {}, \"bytes_per_op\": {:.1}, \
+             \"wire_bytes\": {}, \"bytes_per_op\": {:.1}, \"allocs_per_op\": {:.1}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_fallbacks\": {}, \
+             \"local_read_pct\": {:.1}, \
              \"flushes_size\": {}, \"flushes_hold\": {}, \"flushes_shutdown\": {}, \
              \"mean_hold_us\": {:.2}}}{}\n",
             r.algo,
             r.source,
             r.mix,
             r.hold,
+            r.cache,
             r.shards,
             r.readers,
             r.ops,
@@ -644,6 +809,11 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
             ratio,
             r.wire_bytes,
             r.bytes_per_op,
+            r.allocs_per_op,
+            r.cache_hits,
+            r.cache_misses,
+            r.cache_fallbacks,
+            r.local_read_pct,
             r.flushes_size,
             r.flushes_hold,
             r.flushes_shutdown,
@@ -687,7 +857,9 @@ fn assert_adaptive_not_worse(rows: &[Row]) {
         for r in rows.iter().filter(|r| r.mix == mix && r.hold == "adaptive") {
             let static_row = rows
                 .iter()
-                .find(|s| s.mix == mix && s.hold == "static" && s.shards == r.shards)
+                .find(|s| {
+                    s.mix == mix && s.hold == "static" && s.shards == r.shards && s.cache == r.cache
+                })
                 .expect("every adaptive row has a static twin");
             assert!(
                 r.wire_bytes <= static_row.wire_bytes,
@@ -697,6 +869,54 @@ fn assert_adaptive_not_worse(rows: &[Row]) {
                 static_row.wire_bytes,
             );
         }
+    }
+}
+
+/// The read-cache acceptance bar (CI re-checks it from the JSON): every
+/// `cache: "safe"` read-mostly row must serve a real share of its reads
+/// locally and beat its `cache: "proto"` twin — same workload, same hold,
+/// same deterministic schedule, same (fast-read-disabled) automaton — on
+/// both bytes-on-wire and allocations per operation. A cache that hits
+/// nothing, or whose bookkeeping costs more than the protocol traffic it
+/// saves, fails the bench.
+fn assert_safe_cache_pays(rows: &[Row]) {
+    let safe_rows: Vec<&Row> = rows.iter().filter(|r| r.cache == "safe").collect();
+    assert!(
+        !safe_rows.is_empty(),
+        "the trajectory must include cache-on rows"
+    );
+    for r in safe_rows {
+        let off = rows
+            .iter()
+            .find(|s| {
+                s.cache == "proto" && s.mix == r.mix && s.hold == r.hold && s.shards == r.shards
+            })
+            .expect("every safe row has a proto twin");
+        assert!(
+            r.local_read_pct > 0.0 && r.cache_hits > 0,
+            "safe cache never hit on {}/{}/{} shards",
+            r.mix,
+            r.hold,
+            r.shards,
+        );
+        assert!(
+            r.wire_bytes < off.wire_bytes,
+            "safe cache must cut wire bytes on {}/{}/{} shards: {} >= {}",
+            r.mix,
+            r.hold,
+            r.shards,
+            r.wire_bytes,
+            off.wire_bytes,
+        );
+        assert!(
+            r.allocs_per_op < off.allocs_per_op,
+            "safe cache must cut allocations on {}/{}/{} shards: {:.1} >= {:.1}",
+            r.mix,
+            r.hold,
+            r.shards,
+            r.allocs_per_op,
+            off.allocs_per_op,
+        );
     }
 }
 
@@ -738,7 +958,7 @@ fn bench_shard_scaling(c: &mut Criterion) {
                 |b, &(shards, readers)| {
                     let workload = sweep_workload(shards, readers);
                     b.iter(|| {
-                        let mut space = build_space(shards, 42, Hold::Static);
+                        let mut space = build_space(shards, 42, Hold::Static, CacheMode::Off);
                         workload
                             .run_pipelined_on(space.driver_mut())
                             .expect("sweep workload runs");
@@ -765,9 +985,20 @@ fn main() {
         .flat_map(|&s| READER_COUNTS.iter().map(move |&r| measure(s, r)))
         .collect();
     for hold in [Hold::Static, Hold::Adaptive] {
-        rows.extend(SHARD_COUNTS.iter().map(|&s| measure_mix("zipf95", s, hold)));
-        rows.extend([16, 64].iter().map(|&s| measure_mix("readmostly", s, hold)));
-        rows.push(measure_mix("hotkey", 16, hold));
+        rows.extend(
+            SHARD_COUNTS
+                .iter()
+                .map(|&s| measure_mix("zipf95", s, hold, CacheMode::Off)),
+        );
+        // The read-mostly rows run three times: the paper-default baseline,
+        // then the proto/safe cache acceptance pair CI compares.
+        for &s in &[16, 64] {
+            rows.push(measure_mix("readmostly", s, hold, CacheMode::Off));
+            let (proto_row, safe_row) = measure_cache_pair(s, hold);
+            rows.push(proto_row);
+            rows.push(safe_row);
+        }
+        rows.push(measure_mix("hotkey", 16, hold, CacheMode::Off));
     }
     rows.push(measure_tcp(16, 2, Hold::Static));
     rows.push(measure_tcp(16, 2, Hold::Adaptive));
@@ -775,6 +1006,7 @@ fn main() {
     rows.push(twobit_row);
     rows.push(mwmr_row);
     assert_adaptive_not_worse(&rows);
+    assert_safe_cache_pays(&rows);
     assert_two_bit_beats_mwmr(&rows);
     let check_rows = measure_modelcheck();
     write_json(&rows, &check_rows);

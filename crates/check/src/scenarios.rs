@@ -14,6 +14,7 @@
 //! appear once two readers can see disjoint-but-intersecting quorums.
 
 use twobit_baselines::MwmrProcess;
+use twobit_cache::CacheMode;
 use twobit_core::{TwoBitOptions, TwoBitProcess};
 use twobit_proto::{Operation, ProcessId, RegisterId, RegisterMode, SystemConfig};
 use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder};
@@ -25,11 +26,20 @@ where
     A: twobit_proto::Automaton<Value = u64>,
     F: Fn(RegisterId, ProcessId) -> A + Send + 'static,
 {
+    cached_space(cfg, CacheMode::Off, make)
+}
+
+fn cached_space<A, F>(cfg: SystemConfig, cache: CacheMode, make: F) -> SimSpace<A>
+where
+    A: twobit_proto::Automaton<Value = u64>,
+    F: Fn(RegisterId, ProcessId) -> A + Send + 'static,
+{
     SpaceBuilder::new(cfg)
         .seed(1)
         .delay(DelayModel::Fixed(1))
         .registers(1)
         .scheduled(true)
+        .cache_mode(cache)
         .build(0u64, make)
 }
 
@@ -60,6 +70,46 @@ pub fn twobit_swmr_w() -> Scenario<TwoBitProcess<u64>> {
         scheduled_space(cfg, move |_reg, id| TwoBitProcess::new(id, cfg, p(0), 0u64))
     })
     .op(p(0), R, Operation::Write(1))
+    .mode(R, RegisterMode::Swmr)
+}
+
+/// The paper's SWMR register at `n = 3, t = 1` with the gated local read
+/// cache on ([`CacheMode::Safe`]): the writer writes `1` and then reads
+/// its own register — served from its cache with zero messages — while
+/// `p1` reads concurrently through the protocol. Every schedule must
+/// still linearize: the gate only admits the writer's own
+/// locally-confirmed value, which is current by the SWMR argument.
+pub fn twobit_swmr_cached() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("twobit-swmr-cached/n3t1", move || {
+        cached_space(cfg, CacheMode::Safe, move |_reg, id| {
+            TwoBitProcess::new(id, cfg, p(0), 0u64)
+        })
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(1), R, Operation::Read)
+    .op_after(p(0), R, Operation::Read, 0)
+    .mode(R, RegisterMode::Swmr)
+}
+
+/// Negative control: the read cache with its safety gate removed
+/// ([`CacheMode::UnsafeAblated`]), at `n = 3, t = 1`. `p1`'s first read
+/// runs the protocol and caches what it returned; after the write of `1`
+/// completes, `p1`'s second read is served blindly from that cache. On
+/// any schedule where the first read finished before the write took
+/// effect, the second read returns the overwritten `0` — a stale read
+/// the explorer must find, proving the writer-co-location gate is
+/// load-bearing.
+pub fn twobit_swmr_cache_ablated_broken() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("twobit-swmr-cache-ablated/n3t1", move || {
+        cached_space(cfg, CacheMode::UnsafeAblated, move |_reg, id| {
+            TwoBitProcess::new(id, cfg, p(0), 0u64)
+        })
+    })
+    .op(p(1), R, Operation::Read)
+    .op(p(0), R, Operation::Write(1))
+    .op_after(p(1), R, Operation::Read, 1)
     .mode(R, RegisterMode::Swmr)
 }
 

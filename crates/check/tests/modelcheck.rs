@@ -25,6 +25,24 @@ fn exhaustive_swmr_writer_and_concurrent_reader_n3t1() {
 }
 
 #[test]
+fn exhaustive_swmr_with_safe_read_cache_n3t1() {
+    let report = explore(&scenarios::twobit_swmr_cached(), &ExploreOptions::default()).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "the writer-gated cache stays linearizable on every schedule: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted, "the configuration must be fully covered");
+    // The cached scenario adds the writer's local read on top of the
+    // write/read interleaving space — it must still branch for real.
+    assert!(
+        report.stats.paths_explored > 50,
+        "suspiciously few paths: {:?}",
+        report.stats
+    );
+}
+
+#[test]
 fn exhaustive_mwmr_two_concurrent_writers_n3t1() {
     let report = explore(&scenarios::mwmr_two_writer(), &ExploreOptions::default()).unwrap();
     assert!(

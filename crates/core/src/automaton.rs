@@ -461,6 +461,13 @@ impl<V: Payload> Automaton for TwoBitProcess<V> {
         history_bits + vec_bits + buffered_bits + guard_bits
     }
 
+    /// Fig. 1's write permission is statically pinned: `p_w` alone writes,
+    /// so the local read cache may serve reads there (the driver-level
+    /// generalization of the `writer_fast_read` option).
+    fn swmr_writer(&self) -> Option<ProcessId> {
+        Some(self.writer)
+    }
+
     /// Locally-checkable pieces of the paper's proof obligations:
     ///
     /// * Lemma 3: `w_sync_i[i] = max_j w_sync_i[j]`;

@@ -143,6 +143,16 @@ pub trait Automaton: Send + 'static {
     fn check_local_invariants(&self) -> Result<(), String> {
         Ok(())
     }
+
+    /// The register's single writer, when this automaton implements an
+    /// SWMR protocol whose write permission is statically pinned to one
+    /// process. The local read cache's safety gate serves a read with no
+    /// communication only at that process (see `docs/read-cache.md`); the
+    /// default `None` — correct for MWMR protocols and anything dynamic —
+    /// disables local serving entirely.
+    fn swmr_writer(&self) -> Option<ProcessId> {
+        None
+    }
 }
 
 #[cfg(test)]

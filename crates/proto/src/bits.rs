@@ -12,6 +12,8 @@
 
 use std::fmt;
 
+use bytes::Bytes;
+
 /// Error surfaced by the wire codec (bit I/O, header, frame, message and
 /// payload decoders).
 ///
@@ -105,6 +107,18 @@ impl BitWriter {
         BitWriter::default()
     }
 
+    /// Creates a writer that appends into `buf` (cleared first), reusing
+    /// its capacity — the hook the pooled frame-encode path uses to write
+    /// every frame into a recycled per-link buffer instead of a fresh
+    /// allocation.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            bytes: buf,
+            used: 0,
+        }
+    }
+
     /// Appends one bit.
     pub fn put_bit(&mut self, bit: bool) {
         if self.used == 0 {
@@ -141,6 +155,20 @@ impl BitWriter {
         }
     }
 
+    /// Appends `s` whole, most significant bit of each byte first. On a
+    /// byte-aligned cursor this is a single `extend_from_slice` instead of
+    /// a per-bit loop — the encode-side counterpart of
+    /// [`BitReader::get_byte_slice`]'s zero-copy fast path.
+    pub fn put_bytes(&mut self, s: &[u8]) {
+        if self.used == 0 {
+            self.bytes.extend_from_slice(s);
+        } else {
+            for &b in s {
+                self.put_bits(u64::from(b), 8);
+            }
+        }
+    }
+
     /// Bits written so far (before the final byte's zero padding).
     pub fn bit_len(&self) -> u64 {
         if self.used == 0 {
@@ -157,16 +185,41 @@ impl BitWriter {
 }
 
 /// MSB-first bit source over a byte slice.
+///
+/// A reader built with [`BitReader::new_shared`] additionally remembers the
+/// shared [`Bytes`] allocation behind its input, which lets
+/// [`BitReader::get_byte_slice`] hand payload bytes out as **zero-copy
+/// sub-views** of the received blob whenever the cursor happens to be
+/// byte-aligned (the bit-packed format makes alignment opportunistic, not
+/// guaranteed).
 #[derive(Debug)]
 pub struct BitReader<'a> {
     bytes: &'a [u8],
     pos: u64,
+    /// The shared allocation `bytes` views, when the caller has one —
+    /// `bytes` must equal `&shared[..]`.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> BitReader<'a> {
     /// Creates a reader over `bytes`.
     pub fn new(bytes: &'a [u8]) -> Self {
-        BitReader { bytes, pos: 0 }
+        BitReader {
+            bytes,
+            pos: 0,
+            shared: None,
+        }
+    }
+
+    /// Creates a reader over a shared buffer; byte-aligned
+    /// [`BitReader::get_byte_slice`] calls then slice `backing` without
+    /// copying.
+    pub fn new_shared(backing: &'a Bytes) -> Self {
+        BitReader {
+            bytes: backing,
+            pos: 0,
+            shared: Some(backing),
+        }
     }
 
     /// Reads one bit.
@@ -221,6 +274,36 @@ impl<'a> BitReader<'a> {
             x = (x << 1) | u64::from(self.get_bit()?);
         }
         Ok(x)
+    }
+
+    /// Reads `len` whole bytes. When the cursor is byte-aligned and the
+    /// reader was built with [`BitReader::new_shared`], the result is a
+    /// zero-copy sub-view of the backing allocation; otherwise the bytes
+    /// are copied out bit by bit (a bit-packed stream cannot promise
+    /// alignment). Either way the cursor advances exactly `8 × len` bits.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `8 × len` bits remain (the
+    /// cursor does not move).
+    pub fn get_byte_slice(&mut self, len: usize) -> Result<Bytes, WireError> {
+        let bits = (len as u64).checked_mul(8).ok_or(WireError::Overflow)?;
+        if bits > self.remaining_bits() {
+            return Err(WireError::Truncated);
+        }
+        if self.pos.is_multiple_of(8) {
+            let start = (self.pos / 8) as usize;
+            self.pos += bits;
+            if let Some(backing) = self.shared {
+                return Ok(backing.slice(start..start + len));
+            }
+            return Ok(Bytes::copy_from_slice(&self.bytes[start..start + len]));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.get_bits(8)? as u8);
+        }
+        Ok(Bytes::from(out))
     }
 
     /// Bits consumed so far.
@@ -309,6 +392,84 @@ mod tests {
         // All-zeros never terminates a gamma code.
         let mut r = BitReader::new(&[0x00]);
         assert_eq!(r.get_gamma(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn reused_buffer_writer_matches_fresh_writer() {
+        let mut fresh = BitWriter::new();
+        fresh.put_bits(0b101, 3);
+        fresh.put_gamma(9);
+        let expected = fresh.into_bytes();
+        // A dirty recycled buffer produces the identical stream.
+        let mut reused = BitWriter::with_buffer(vec![0xFF; 32]);
+        reused.put_bits(0b101, 3);
+        reused.put_gamma(9);
+        let got = reused.into_bytes();
+        assert_eq!(got, expected);
+        assert!(got.capacity() >= 32, "capacity was recycled");
+    }
+
+    #[test]
+    fn put_bytes_aligned_and_unaligned_agree() {
+        let payload = [0xDE, 0xAD, 0xBE, 0xEF];
+        let mut aligned = BitWriter::new();
+        aligned.put_bytes(&payload);
+        assert_eq!(aligned.into_bytes(), payload);
+        // Unaligned: same bits, shifted.
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        w.put_bytes(&payload);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bit().unwrap());
+        for &b in &payload {
+            assert_eq!(r.get_bits(8).unwrap(), u64::from(b));
+        }
+    }
+
+    #[test]
+    fn aligned_byte_slice_is_zero_copy_into_the_backing() {
+        let blob = Bytes::from(vec![0xAA, 1, 2, 3, 4]);
+        let mut r = BitReader::new_shared(&blob);
+        assert_eq!(r.get_bits(8).unwrap(), 0xAA);
+        let slice = r.get_byte_slice(3).unwrap();
+        assert_eq!(&slice[..], &[1, 2, 3]);
+        let base = blob.as_ptr() as usize;
+        let p = slice.as_ptr() as usize;
+        assert!(
+            p >= base && p + slice.len() <= base + blob.len(),
+            "aligned slice must point into the original allocation"
+        );
+        assert_eq!(r.bits_read(), 32);
+        assert_eq!(r.get_byte_slice(2), Err(WireError::Truncated));
+        assert_eq!(r.bits_read(), 32, "failed slice must not consume");
+    }
+
+    #[test]
+    fn unaligned_byte_slice_copies_but_reads_the_same_bytes() {
+        let mut w = BitWriter::new();
+        w.put_bit(true);
+        w.put_bytes(&[7, 8, 9]);
+        let blob = Bytes::from(w.into_bytes());
+        let mut r = BitReader::new_shared(&blob);
+        assert!(r.get_bit().unwrap());
+        let slice = r.get_byte_slice(3).unwrap();
+        assert_eq!(&slice[..], &[7, 8, 9]);
+        let base = blob.as_ptr() as usize;
+        let p = slice.as_ptr() as usize;
+        assert!(
+            p < base || p >= base + blob.len(),
+            "an unaligned slice cannot view the backing"
+        );
+    }
+
+    #[test]
+    fn unshared_reader_byte_slices_still_work() {
+        let raw = [5u8, 6, 7];
+        let mut r = BitReader::new(&raw);
+        let s = r.get_byte_slice(3).unwrap();
+        assert_eq!(&s[..], &[5, 6, 7]);
+        r.expect_zero_padding().unwrap();
     }
 
     #[test]

@@ -34,11 +34,14 @@
 //! to route, like the unframed transport — while the blob still carries
 //! the small self-describing header skeleton).
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 use crate::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use crate::id::RegisterId;
+use crate::pool::BufferPool;
 use crate::wire::{Envelope, WireMessage};
 
 /// Error type of the frame and header decoders.
@@ -238,20 +241,39 @@ impl<M: WireMessage> Frame<M> {
     /// codec; [`WireError::Overflow`] if the body exceeds
     /// [`MAX_FRAME_BODY_BYTES`].
     pub fn encode(&self) -> Result<Bytes, WireError> {
-        let mut w = BitWriter::new();
+        Ok(Bytes::from(self.encode_into_vec(Vec::new())?))
+    }
+
+    /// [`Frame::encode`] into a recycled buffer checked out of `pool`: the
+    /// steady-state hot path allocates nothing, and the returned [`Bytes`]
+    /// gives the buffer back to the pool when its last view drops (after
+    /// the socket write, after the simulator delivers the frame). The blob
+    /// is byte-identical to [`Frame::encode`]'s.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Frame::encode`].
+    pub fn encode_pooled(&self, pool: &Arc<BufferPool>) -> Result<Bytes, WireError> {
+        Ok(pool.freeze(self.encode_into_vec(pool.checkout())?))
+    }
+
+    /// Shared encode body: writes a 32-bit length placeholder, the header
+    /// and every message into `buf` (cleared first, capacity reused), then
+    /// patches the real body length over the placeholder.
+    fn encode_into_vec(&self, buf: Vec<u8>) -> Result<Vec<u8>, WireError> {
+        let mut w = BitWriter::with_buffer(buf);
+        w.put_bits(0, 32); // length-prefix placeholder, patched below
         self.header().encode_into(&mut w);
         for (_, m) in self.iter() {
             m.encode_into(&mut w)?;
         }
-        let body = w.into_bytes();
-        let len = u32::try_from(body.len()).map_err(|_| WireError::Overflow)?;
+        let mut blob = w.into_bytes();
+        let len = u32::try_from(blob.len() - 4).map_err(|_| WireError::Overflow)?;
         if len > MAX_FRAME_BODY_BYTES {
             return Err(WireError::Overflow);
         }
-        let mut blob = Vec::with_capacity(4 + body.len());
-        blob.extend_from_slice(&len.to_be_bytes());
-        blob.extend_from_slice(&body);
-        Ok(Bytes::from(blob))
+        blob[..4].copy_from_slice(&len.to_be_bytes());
+        Ok(blob)
     }
 
     /// Parses one blob produced by [`Frame::encode`] (length prefix
@@ -269,19 +291,47 @@ impl<M: WireMessage> Frame<M> {
     /// [`WireError::Malformed`] on a corrupt body;
     /// [`WireError::Unsupported`] if the message type has no codec.
     pub fn decode(blob: &[u8]) -> Result<Frame<M>, WireError> {
+        Self::check_prefix(blob)?;
+        let mut r = BitReader::new(&blob[4..]);
+        Self::decode_body(&mut r)
+    }
+
+    /// [`Frame::decode`] over a shared [`Bytes`] blob: structurally the
+    /// same hardened parse, but the reader remembers the backing
+    /// allocation, so any byte-aligned payload a message codec pulls out
+    /// via [`BitReader::get_byte_slice`] is a **zero-copy sub-view of the
+    /// received blob** — the slices stay valid (and keep the blob alive)
+    /// after this call returns. This is the decode path of every byte
+    /// transport; `decode` remains for callers holding a plain slice.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Frame::decode`].
+    pub fn decode_shared(blob: &Bytes) -> Result<Frame<M>, WireError> {
+        Self::check_prefix(blob)?;
+        let body = blob.slice(4..);
+        let mut r = BitReader::new_shared(&body);
+        Self::decode_body(&mut r)
+    }
+
+    /// Validates the 4-byte length prefix against the buffer.
+    fn check_prefix(blob: &[u8]) -> Result<(), WireError> {
         if blob.len() < 4 {
             return Err(WireError::Truncated);
         }
-        let (prefix, body) = blob.split_at(4);
-        let declared = u32::from_be_bytes(prefix.try_into().expect("split at 4"));
+        let declared = u32::from_be_bytes(blob[..4].try_into().expect("4 bytes checked"));
         if declared > MAX_FRAME_BODY_BYTES {
             return Err(WireError::Overflow);
         }
-        if declared as usize != body.len() {
+        if declared as usize != blob.len() - 4 {
             return Err(WireError::LengthMismatch);
         }
-        let mut r = BitReader::new(body);
-        let header = FrameHeader::decode_from(&mut r)?;
+        Ok(())
+    }
+
+    /// Shared decode body (everything after the length prefix).
+    fn decode_body(r: &mut BitReader<'_>) -> Result<Frame<M>, WireError> {
+        let header = FrameHeader::decode_from(r)?;
         // Bound the total message count by the remaining input before
         // allocating any group: every encodable message is at least one
         // bit. The sum must be overflow-checked — the per-group counts are
@@ -302,7 +352,7 @@ impl<M: WireMessage> Frame<M> {
             // more than a sane chunk; longer groups grow organically.
             let mut msgs = Vec::with_capacity((count as usize).min(DECODE_RESERVE_CAP));
             for _ in 0..count {
-                msgs.push(M::decode(&mut r)?);
+                msgs.push(M::decode(r)?);
             }
             groups.push(FrameGroup { reg, msgs });
         }
@@ -526,15 +576,17 @@ impl FrameHeader {
         }
     }
 
-    /// Encodes the header into bytes (final byte zero-padded).
+    /// Encodes the header into a [`Bytes`] blob (final byte zero-padded) —
+    /// the same wire type [`Frame::encode`] returns, so the whole codec
+    /// speaks `Bytes`.
     ///
     /// # Panics
     ///
     /// As for [`FrameHeader::encode_into`].
-    pub fn encode(&self) -> Vec<u8> {
+    pub fn encode(&self) -> Bytes {
         let mut w = BitWriter::new();
         self.encode_into(&mut w);
-        w.into_bytes()
+        Bytes::from(w.into_bytes())
     }
 
     /// Decodes a header from the front of `r`, leaving the cursor after
@@ -995,5 +1047,92 @@ mod tests {
         let frame = Frame::from_envelopes([env(0, 1)]);
         // γ(2) + mode + γ(1) + γ(1) = 3 + 1 + 1 + 1.
         assert_eq!(frame.header().bits(), 6);
+    }
+
+    #[test]
+    fn pooled_encode_is_byte_identical_and_recycles_its_buffer() {
+        let pool = BufferPool::new();
+        let frame = Frame::from_envelopes([env(0, 7), env(3, 9), env(0, 8)]);
+        let fresh = frame.encode().unwrap();
+        let pooled = frame.encode_pooled(&pool).unwrap();
+        assert_eq!(pooled, fresh, "pooled blob must be byte-identical");
+        assert_eq!(Frame::<Tag>::decode(&pooled).unwrap(), frame);
+        // The buffer is still owned by the blob...
+        assert_eq!(pool.available(), 0);
+        drop(pooled);
+        // ...and rejoins the pool when the last view drops, so the next
+        // frame encodes into it.
+        assert_eq!(pool.available(), 1);
+        let again = frame.encode_pooled(&pool).unwrap();
+        assert_eq!(again, fresh);
+        assert_eq!(pool.recycled(), 1);
+    }
+
+    /// A message with a byte-string payload whose wire layout lands the raw
+    /// bytes on a byte boundary: 6 header bits (singleton frame) + 2 tag
+    /// bits + 7 filler bits + γ(17) = 9 length bits = 24. Exists to pin the
+    /// zero-copy decode path deterministically; the property tests cover
+    /// arbitrary (mostly unaligned) layouts.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Blob(Bytes);
+
+    impl WireMessage for Blob {
+        fn kind(&self) -> &'static str {
+            "BLOB"
+        }
+        fn cost(&self) -> MessageCost {
+            MessageCost::new(2, 8 * self.0.len() as u64)
+        }
+        fn encoded_bits(&self) -> u64 {
+            2 + 7 + crate::Payload::encoded_bits(&self.0)
+        }
+        fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+            w.put_bits(0b11, 2);
+            w.put_bits(0, 7);
+            crate::Payload::encode_into(&self.0, w)
+        }
+        fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+            if r.get_bits(2)? != 0b11 {
+                return Err(WireError::Malformed("bad Blob tag"));
+            }
+            r.get_bits(7)?;
+            Ok(Blob(<Bytes as crate::Payload>::decode(r)?))
+        }
+    }
+
+    #[test]
+    fn shared_decode_hands_out_zero_copy_payload_views() {
+        let payload = Bytes::copy_from_slice(&[0xC0u8; 16]);
+        let frame = Frame::from_envelopes([Envelope::new(RegisterId::new(0), Blob(payload))]);
+        // Raw payload bytes start exactly 24 bits into the body.
+        assert_eq!(frame.encoded_bits(), 24 + 8 * 16);
+        let blob = frame.encode().unwrap();
+
+        let decoded = Frame::<Blob>::decode_shared(&blob).unwrap();
+        assert_eq!(decoded, frame);
+        let (_, msg) = decoded.iter().next().unwrap();
+        let base = blob.as_ptr() as usize;
+        let p = msg.0.as_ptr() as usize;
+        assert_eq!(
+            p,
+            base + 4 + 3,
+            "payload must be a view of the blob: prefix (4) + aligned body offset (3)"
+        );
+        // The slice keeps the blob's allocation alive on its own.
+        let view = decoded.iter().next().unwrap().1 .0.clone();
+        drop(decoded);
+        drop(blob);
+        assert_eq!(&view[..], &[0xC0u8; 16]);
+
+        // The plain-slice decoder parses the same blob but must copy.
+        let blob2 = frame.encode().unwrap();
+        let copied = Frame::<Blob>::decode(&blob2).unwrap();
+        assert_eq!(copied, frame);
+        let q = copied.iter().next().unwrap().1 .0.as_ptr() as usize;
+        let base2 = blob2.as_ptr() as usize;
+        assert!(
+            q < base2 || q >= base2 + blob2.len(),
+            "unshared decode cannot view the blob"
+        );
     }
 }

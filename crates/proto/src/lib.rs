@@ -55,6 +55,7 @@ pub mod history;
 pub mod id;
 pub mod op;
 pub mod payload;
+pub mod pool;
 pub mod sched;
 pub mod shard;
 pub mod space;
@@ -63,12 +64,14 @@ pub mod wire;
 
 pub use automaton::{Automaton, Effects};
 pub use bits::{BitReader, BitWriter, WireError};
+pub use bytes::Bytes;
 pub use driver::{Driver, DriverError, OpTicket, Workload, WorkloadStep};
 pub use frame::{Frame, FrameCost, FrameDecodeError, FrameHeader, MAX_FRAME_BODY_BYTES};
 pub use history::{History, OpRecord, ShardedHistory};
 pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
 pub use op::{OpId, OpOutcome, Operation};
 pub use payload::Payload;
+pub use pool::BufferPool;
 pub use sched::{
     EnabledEvent, ReplayScheduler, SchedDecision, Schedule, ScheduleStep, Scheduler,
     VirtualTimeScheduler,

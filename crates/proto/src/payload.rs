@@ -8,6 +8,9 @@
 
 use std::fmt::Debug;
 use std::hash::Hash;
+// `Sync` is part of the Payload contract so a process-local read cache can
+// hand concurrent readers shared references to completed values.
+use bytes::Bytes;
 
 use crate::bits::{gamma_bits, BitReader, BitWriter, WireError};
 
@@ -27,7 +30,7 @@ use crate::bits::{gamma_bits, BitReader, BitWriter, WireError};
 /// must be self-delimiting on the wire, so they prepend a gamma-coded
 /// length and `encoded_bits() > data_bits()` — the prefix is framing, not
 /// data, and is reported by `encoded_bits` only.
-pub trait Payload: Clone + Eq + Hash + Debug + Send + 'static {
+pub trait Payload: Clone + Eq + Hash + Debug + Send + Sync + 'static {
     /// Number of data bits this value occupies on the wire.
     fn data_bits(&self) -> u64;
 
@@ -119,9 +122,7 @@ impl Payload for () {
 /// Shared codec of the byte-string payloads: γ(len+1), then the raw bytes.
 fn encode_byte_string(bytes: &[u8], w: &mut BitWriter) {
     w.put_gamma(bytes.len() as u64 + 1);
-    for &b in bytes {
-        w.put_bits(u64::from(b), 8);
-    }
+    w.put_bytes(bytes);
 }
 
 fn decode_byte_string(r: &mut BitReader<'_>) -> Result<Vec<u8>, WireError> {
@@ -168,6 +169,36 @@ impl Payload for Vec<u8> {
     }
     fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
         decode_byte_string(r)
+    }
+}
+
+/// The zero-copy bulk payload: wire layout identical to `Vec<u8>`
+/// (γ(len+1), then the raw bytes — **no** alignment padding, so
+/// [`Payload::encoded_bits`] stays position-independent and the frame cost
+/// reconciliation is unaffected), but decoding goes through
+/// [`BitReader::get_byte_slice`]: over a shared blob with the cursor
+/// byte-aligned, the decoded value is a sub-view of the received
+/// allocation, not a copy.
+impl Payload for Bytes {
+    fn data_bits(&self) -> u64 {
+        8 * self.len() as u64
+    }
+    fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.len() as u64 + 1) + 8 * self.len() as u64
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        encode_byte_string(self, w);
+        Ok(())
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let len = r.get_gamma()?.checked_sub(1).ok_or(WireError::Overflow)?;
+        // Bound the declared length against the remaining input before
+        // any allocation or slice is sized from it (decoder hardening —
+        // same policy as the Vec<u8> codec).
+        if len.checked_mul(8).ok_or(WireError::Overflow)? > r.remaining_bits() {
+            return Err(WireError::Overflow);
+        }
+        r.get_byte_slice(len as usize)
     }
 }
 
@@ -248,6 +279,36 @@ mod tests {
         roundtrip(&vec![0u8, 1, 255, 128]);
         roundtrip(&(42u64, true));
         roundtrip(&(1u32, vec![9u8; 30]));
+        roundtrip(&Bytes::new());
+        roundtrip(&Bytes::copy_from_slice(&[0u8, 1, 255, 128]));
+        roundtrip(&(7u32, Bytes::copy_from_slice(&[9u8; 30])));
+    }
+
+    #[test]
+    fn bytes_payload_matches_vec_wire_layout() {
+        // `Bytes` and `Vec<u8>` are the same wire type: either decodes the
+        // other's encoding, so callers can migrate per-call-site.
+        let v = vec![3u8, 1, 4, 1, 5, 9, 2, 6];
+        let mut w = BitWriter::new();
+        v.encode_into(&mut w).unwrap();
+        let blob = w.into_bytes();
+        let mut r = BitReader::new(&blob);
+        let b = Bytes::decode(&mut r).unwrap();
+        assert_eq!(&b[..], &v[..]);
+        assert_eq!(b.encoded_bits(), v.encoded_bits());
+
+        let mut w2 = BitWriter::new();
+        b.encode_into(&mut w2).unwrap();
+        assert_eq!(w2.into_bytes(), blob);
+    }
+
+    #[test]
+    fn bytes_decode_bounds_length_before_allocating() {
+        let mut w = BitWriter::new();
+        w.put_gamma((1u64 << 40) + 1);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(Bytes::decode(&mut r), Err(WireError::Overflow));
     }
 
     #[test]

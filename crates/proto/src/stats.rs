@@ -79,6 +79,9 @@ pub struct NetStats {
     max_observed_hold_ns: u64,
     links_abandoned: u64,
     messages_abandoned: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_fallbacks: u64,
 }
 
 impl NetStats {
@@ -307,6 +310,42 @@ impl NetStats {
         self.messages_abandoned
     }
 
+    /// Records one read served from the process-local register cache — no
+    /// message, no frame, no wire bytes. Cache-served reads never enter
+    /// the `delivered + dropped + abandoned == sent` reconciliation (they
+    /// send nothing), which is exactly the point.
+    pub fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Records a read that consulted the local cache and found no entry
+    /// for its register, falling through to the message protocol.
+    pub fn record_cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
+    /// Records a read that found a cached entry but whose safety gate
+    /// refused to serve it (reader not co-located with the SWMR writer,
+    /// or the entry not yet confirmed), falling through to the protocol.
+    pub fn record_cache_fallback(&mut self) {
+        self.cache_fallbacks += 1;
+    }
+
+    /// Reads served locally from the register cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Reads that found no cached entry and went to the network.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Reads whose cached entry the safety gate refused to serve.
+    pub fn cache_fallbacks(&self) -> u64 {
+        self.cache_fallbacks
+    }
+
     /// Messages that travelled inside frames.
     pub fn framed_messages(&self) -> u64 {
         self.framed_messages
@@ -358,6 +397,7 @@ impl NetStats {
             frames_sent: self.frames_sent,
             frame_header_bits: self.frame_header_bits,
             wire_bytes: self.wire_bytes,
+            cache_hits: self.cache_hits,
         }
     }
 }
@@ -373,6 +413,7 @@ pub struct StatsSnapshot {
     frames_sent: u64,
     frame_header_bits: u64,
     wire_bytes: u64,
+    cache_hits: u64,
 }
 
 impl StatsSnapshot {
@@ -410,6 +451,11 @@ impl StatsSnapshot {
     pub fn kind_since(&self, earlier: &StatsSnapshot, kind: &str) -> u64 {
         self.sent_by_kind.get(kind).copied().unwrap_or(0)
             - earlier.sent_by_kind.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Cache-served reads between `earlier` and `self`.
+    pub fn cache_hits_since(&self, earlier: &StatsSnapshot) -> u64 {
+        self.cache_hits - earlier.cache_hits
     }
 
     /// Total messages in this snapshot (since run start).
@@ -561,6 +607,24 @@ mod tests {
         assert_eq!(s.mean_observed_hold_ns(), 0.0);
         assert_eq!(s.links_abandoned(), 0);
         assert_eq!(s.messages_abandoned(), 0);
+    }
+
+    #[test]
+    fn cache_counters_accumulate_and_diff() {
+        let mut s = NetStats::new();
+        s.record_cache_miss();
+        let before = s.snapshot();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_fallback();
+        assert_eq!(s.cache_hits(), 2);
+        assert_eq!(s.cache_misses(), 1);
+        assert_eq!(s.cache_fallbacks(), 1);
+        // A cache hit sends nothing: the wire counters stay untouched.
+        assert_eq!(s.total_sent(), 0);
+        assert_eq!(s.wire_bytes(), 0);
+        let after = s.snapshot();
+        assert_eq!(after.cache_hits_since(&before), 2);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Property tests for the substrate primitives.
 
+use bytes::Bytes;
 use proptest::prelude::*;
+use twobit_proto::bits::{gamma_bits, BitReader, BitWriter, WireError};
 use twobit_proto::payload::bits_for;
 use twobit_proto::{
     Envelope, Frame, FrameHeader, MessageCost, NetStats, Payload, RegisterId, SystemConfig,
@@ -18,6 +20,34 @@ impl WireMessage for Probe {
     }
     fn cost(&self) -> MessageCost {
         MessageCost::new(2, 64)
+    }
+}
+
+/// A codec-capable message carrying a byte-string payload: two control
+/// bits, then the `Bytes` payload codec (γ(len+1) + raw bytes). Used to
+/// probe the zero-copy decode path over arbitrary frame layouts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Chunk(Bytes);
+
+impl WireMessage for Chunk {
+    fn kind(&self) -> &'static str {
+        "CHUNK"
+    }
+    fn cost(&self) -> MessageCost {
+        MessageCost::new(2, 8 * self.0.len() as u64)
+    }
+    fn encoded_bits(&self) -> u64 {
+        2 + Payload::encoded_bits(&self.0)
+    }
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        w.put_bits(0b10, 2);
+        Payload::encode_into(&self.0, w)
+    }
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        if r.get_bits(2)? != 0b10 {
+            return Err(WireError::Malformed("bad Chunk tag"));
+        }
+        Ok(Chunk(<Bytes as Payload>::decode(r)?))
     }
 }
 
@@ -151,6 +181,63 @@ proptest! {
             .map(|e| (e.reg.index(), e.inner.0))
             .collect();
         prop_assert_eq!(back, expected);
+    }
+
+    /// Zero-copy decode: parsing a `Bytes` blob with `decode_shared` hands
+    /// every *byte-aligned* payload out as a pointer into the received
+    /// allocation — no copy — while unaligned payloads (the bit-packed
+    /// format cannot promise alignment) are copied but read back equal.
+    /// The expected alignment of each payload is recomputed independently
+    /// from the declared bit layout, so this also cross-checks
+    /// `encoded_bits` against the encoder.
+    #[test]
+    fn shared_frame_decode_is_zero_copy_on_aligned_payloads(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..20),
+        reg in 0usize..8,
+    ) {
+        let envs: Vec<Envelope<Chunk>> = payloads
+            .iter()
+            .map(|p| Envelope::new(RegisterId::new(reg), Chunk(Bytes::copy_from_slice(p))))
+            .collect();
+        let frame = Frame::from_envelopes(envs);
+        let blob = frame.encode().unwrap();
+        let decoded = Frame::<Chunk>::decode_shared(&blob).unwrap();
+        prop_assert_eq!(&decoded, &frame);
+
+        let base = blob.as_ptr() as usize;
+        let mut aligned_seen = false;
+        // Walk the wire layout: header, then per message 2 tag bits and a
+        // γ(len+1) length code ahead of the raw payload bytes.
+        let mut pos = frame.header().bits();
+        for (_, msg) in decoded.iter() {
+            pos += 2 + gamma_bits(msg.0.len() as u64 + 1);
+            let p = msg.0.as_ptr() as usize;
+            if pos % 8 == 0 && !msg.0.is_empty() {
+                aligned_seen = true;
+                prop_assert_eq!(
+                    p,
+                    base + 4 + (pos / 8) as usize,
+                    "aligned payload at bit {} must view the blob", pos
+                );
+            } else if !msg.0.is_empty() {
+                prop_assert!(
+                    p < base || p >= base + blob.len(),
+                    "unaligned payload at bit {} cannot view the blob", pos
+                );
+            }
+            pos += 8 * msg.0.len() as u64;
+        }
+        prop_assert_eq!(pos, frame.encoded_bits());
+        // Not every random layout aligns; when one does, the views must
+        // outlive the frame they were decoded from.
+        if aligned_seen {
+            let views: Vec<Bytes> = decoded.iter().map(|(_, m)| m.0.clone()).collect();
+            drop(decoded);
+            drop(blob);
+            for (v, p) in views.iter().zip(&payloads) {
+                prop_assert_eq!(&v[..], &p[..]);
+            }
+        }
     }
 
     /// Batching a whole space's worth of adjacent registers always

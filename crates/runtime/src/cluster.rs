@@ -19,9 +19,10 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use twobit_cache::{cache_pair, CacheDecision, CacheMode};
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, Envelope, Frame, History, NetStats, OpId, OpOutcome,
-    OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
+    Automaton, BufferPool, Driver, DriverError, Effects, Envelope, Frame, History, NetStats, OpId,
+    OpOutcome, OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
     WireMessage,
 };
 use twobit_simnet::DelayModel;
@@ -129,6 +130,7 @@ pub struct ClusterBuilder {
     flush: FlushPolicy,
     flush_overrides: HashMap<(ProcessId, ProcessId), FlushPolicy>,
     wire_codec: bool,
+    cache_mode: CacheMode,
 }
 
 impl ClusterBuilder {
@@ -144,7 +146,20 @@ impl ClusterBuilder {
             flush: FlushPolicy::default(),
             flush_overrides: HashMap::new(),
             wire_codec: false,
+            cache_mode: CacheMode::Off,
         }
+    }
+
+    /// Sets the local read-cache mode (default [`CacheMode::Off`]). Under
+    /// [`CacheMode::Safe`] each process thread serves a read from its own
+    /// confirmed snapshot — zero frames, zero wire bytes — when it is the
+    /// register's SWMR writer (`Automaton::swmr_writer`); decisions are
+    /// counted in `NetStats::cache_hits` / `cache_misses` /
+    /// `cache_fallbacks`. [`CacheMode::UnsafeAblated`] drops the gate — a
+    /// deliberately unsound negative control.
+    pub fn cache_mode(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
     }
 
     /// Routes every flushed frame through the byte-level codec
@@ -307,6 +322,9 @@ impl ClusterBuilder {
                 // round trip under `wire_codec`.
                 let stats_f = Arc::clone(&stats);
                 let wire_codec = self.wire_codec;
+                // Per-link buffer pool: encode reuses the link's last flush
+                // buffers instead of allocating fresh ones per frame.
+                let pool = BufferPool::new();
                 let build_frame =
                     move |batch: Vec<Envelope<A::Msg>>,
                           reason: twobit_proto::FlushReason,
@@ -324,10 +342,12 @@ impl ClusterBuilder {
                             return frame;
                         }
                         let blob = frame
-                            .encode()
+                            .encode_pooled(&pool)
                             .expect("wire_codec requires a codec-capable message type");
                         stats_f.lock().record_wire_bytes(blob.len() as u64);
-                        Frame::decode(&blob).expect("frame byte codec must round-trip")
+                        // Zero-copy receive: decoded payloads are `Bytes`
+                        // views into `blob` where the layout byte-aligns.
+                        Frame::decode_shared(&blob).expect("frame byte codec must round-trip")
                     };
                 // Frames reaching their deadline after the destination
                 // crashed drop whole — and must still be accounted, so
@@ -369,8 +389,9 @@ impl ClusterBuilder {
             let outs: OutboundLinks<A::Msg> = link_txs[i].clone();
             let crashed = crashed.clone();
             let stats = Arc::clone(&stats);
+            let cache_mode = self.cache_mode;
             proc_threads.push(std::thread::spawn(move || {
-                process_loop(shards, inbox_rx, outs, crashed, stats);
+                process_loop(shards, inbox_rx, outs, crashed, stats, cache_mode);
             }));
         }
 
@@ -394,6 +415,16 @@ impl ClusterBuilder {
     }
 }
 
+/// One in-flight invocation's loop-side state: the reply channel, plus
+/// what the cache needs at completion time (the target register and, for a
+/// write, the value being written — `OpOutcome::Written` does not carry
+/// it).
+struct PendingOp<A: Automaton> {
+    reply: Sender<OpOutcome<A::Value>>,
+    reg: RegisterId,
+    written: Option<A::Value>,
+}
+
 /// The body of one process thread: drain the inbox, run handlers
 /// atomically, batch outbound envelopes per destination, answer
 /// completions. Public because every live backend shares it — the
@@ -401,20 +432,34 @@ impl ClusterBuilder {
 /// transport to socket-writer threads; the protocol semantics (crash
 /// checks, send accounting with the deployment's tag width, per-frame drop
 /// recording for crashed destinations) are identical by construction.
+///
+/// `cache_mode` wires the local read cache (`twobit-cache`): the loop owns
+/// one writer/reader pair, publishes every locally-completed operation's
+/// value *before* answering the client, and serves a read invocation from
+/// the snapshot — zero protocol messages — when the gate admits it. The
+/// publish-before-reply order is what makes hit counts deterministic for
+/// sequential workloads, and therefore comparable across backends.
 pub fn process_loop<A: Automaton>(
     mut shards: ShardSet<A>,
     inbox: crossbeam::channel::Receiver<Incoming<A>>,
     outs: OutboundLinks<A::Msg>,
     crashed: Vec<Arc<AtomicBool>>,
     stats: Arc<Mutex<NetStats>>,
+    cache_mode: CacheMode,
 ) {
-    let me = shards.id().index();
+    let me = shards.id();
     // Unframed-equivalent tag width, derived from the hosted register count
     // (the tag is a per-deployment constant, not per-message state).
     let tag_bits = shards.routing_bits();
-    let mut replies: HashMap<OpId, Sender<OpOutcome<A::Value>>> = HashMap::new();
+    let reg_slot: HashMap<RegisterId, usize> = shards
+        .registers()
+        .enumerate()
+        .map(|(slot, reg)| (reg, slot))
+        .collect();
+    let (mut cache_w, cache_r) = cache_pair::<A::Value>(reg_slot.len(), cache_mode);
+    let mut pending: HashMap<OpId, PendingOp<A>> = HashMap::new();
     while let Ok(incoming) = inbox.recv() {
-        if crashed[me].load(Ordering::Relaxed) {
+        if crashed[me.index()].load(Ordering::Relaxed) {
             return; // silently halt: crash semantics
         }
         let mut fx = Effects::new();
@@ -434,12 +479,38 @@ pub fn process_loop<A: Automaton>(
                 op,
                 reply,
             } => {
-                replies.insert(op_id, reply);
+                if matches!(op, Operation::Read) && cache_mode != CacheMode::Off {
+                    if let Some(&slot) = reg_slot.get(&reg) {
+                        match cache_r.try_read(slot) {
+                            CacheDecision::Hit(v) => {
+                                // Served locally: no automaton invocation,
+                                // no frames, no wire bytes.
+                                stats.lock().record_cache_hit();
+                                let _ = reply.send(OpOutcome::ReadValue(v));
+                                continue;
+                            }
+                            CacheDecision::Miss => stats.lock().record_cache_miss(),
+                            CacheDecision::Fallback => stats.lock().record_cache_fallback(),
+                        }
+                    }
+                }
+                let written = match &op {
+                    Operation::Write(v) => Some(v.clone()),
+                    Operation::Read => None,
+                };
+                pending.insert(
+                    op_id,
+                    PendingOp {
+                        reply,
+                        reg,
+                        written,
+                    },
+                );
                 if shards.on_invoke(reg, op_id, op, &mut fx).is_err() {
                     // Unknown register: validated at the client layer, so
                     // this is unreachable in practice; dropping the reply
                     // surfaces as ProcessUnavailable there.
-                    replies.remove(&op_id);
+                    pending.remove(&op_id);
                     continue;
                 }
             }
@@ -474,8 +545,21 @@ pub fn process_loop<A: Automaton>(
             }
         }
         for (op_id, outcome) in fx.drain_completions() {
-            if let Some(reply) = replies.remove(&op_id) {
-                let _ = reply.send(outcome);
+            if let Some(p) = pending.remove(&op_id) {
+                // Publish the confirmed snapshot BEFORE the reply: once
+                // the client observes completion, the cache entry exists.
+                if cache_mode != CacheMode::Off {
+                    let value = match (&outcome, p.written) {
+                        (OpOutcome::ReadValue(v), _) => Some(v.clone()),
+                        (OpOutcome::Written, w) => w,
+                    };
+                    if let (Some(v), Some(&slot)) = (value, reg_slot.get(&p.reg)) {
+                        let writer_here =
+                            shards.shard(p.reg).and_then(Automaton::swmr_writer) == Some(me);
+                        cache_w.publish(slot, v, writer_here);
+                    }
+                }
+                let _ = p.reply.send(outcome);
             }
         }
     }
@@ -1016,6 +1100,37 @@ mod tests {
                 Err(other) => panic!("unexpected error: {other:?}"),
             }
         }
+        let (history, _) = cluster.shutdown();
+        twobit_lincheck::check_swmr(&history).unwrap();
+    }
+
+    #[test]
+    fn safe_cache_serves_writer_co_located_reads_with_zero_traffic() {
+        let c = cfg(3);
+        let writer = ProcessId::new(0);
+        let cluster = ClusterBuilder::new(c)
+            .seed(23)
+            .cache_mode(CacheMode::Safe)
+            .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
+            .unwrap();
+        let mut w = cluster.client(0);
+        let mut r = cluster.client(1);
+        w.write(7).unwrap();
+        let sent_after_write = cluster.stats().total_sent();
+        // The writer's own read is served from its confirmed snapshot.
+        assert_eq!(w.read().unwrap(), 7);
+        let stats = cluster.stats();
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(
+            stats.total_sent(),
+            sent_after_write,
+            "a gated hit sends no protocol messages"
+        );
+        // A non-writer's read runs the protocol (fallback, not a hit).
+        assert_eq!(r.read().unwrap(), 7);
+        let stats = cluster.stats();
+        assert_eq!(stats.cache_hits(), 1, "p1's read was not served locally");
+        assert!(stats.total_sent() > sent_after_write);
         let (history, _) = cluster.shutdown();
         twobit_lincheck::check_swmr(&history).unwrap();
     }

@@ -45,6 +45,11 @@ use std::collections::{BTreeMap, BinaryHeap, HashMap};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use twobit_cache::{cache_pair, CacheDecision, CacheMode, CacheReader, CacheWriter};
+
+/// One process's local read cache: the writer half fed by completions,
+/// the reader half consulted on read invocations.
+type CachePair<V> = (CacheWriter<V>, CacheReader<V>);
 use twobit_proto::{
     Automaton, Driver, DriverError, Effects, EnabledEvent, Envelope, FlushReason, Frame, NetStats,
     OpId, OpOutcome, OpRecord, OpTicket, Operation, ProcessId, RegisterId, SchedDecision, Schedule,
@@ -119,6 +124,7 @@ pub struct SpaceBuilder {
     hold_overrides: BTreeMap<(ProcessId, ProcessId), VirtualHold>,
     wire_codec: bool,
     scheduled: bool,
+    cache_mode: CacheMode,
 }
 
 impl SpaceBuilder {
@@ -135,7 +141,22 @@ impl SpaceBuilder {
             hold_overrides: BTreeMap::new(),
             wire_codec: false,
             scheduled: false,
+            cache_mode: CacheMode::Off,
         }
+    }
+
+    /// Sets the local read-cache mode (default [`CacheMode::Off`]). Under
+    /// [`CacheMode::Safe`] a read is served with zero communication when
+    /// the invoking process is the register's SWMR writer
+    /// ([`Automaton::swmr_writer`]) and holds a confirmed snapshot; every
+    /// decision is counted in
+    /// [`NetStats::cache_hits`](twobit_proto::NetStats::cache_hits) /
+    /// `cache_misses` / `cache_fallbacks`.
+    /// [`CacheMode::UnsafeAblated`] serves any confirmed entry blindly — a
+    /// deliberately unsound negative control for the model checker.
+    pub fn cache_mode(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
     }
 
     /// Puts the space in **scheduled mode**: no event fires until a
@@ -271,6 +292,15 @@ impl SpaceBuilder {
         let nodes: Vec<ShardSet<A>> = (0..n)
             .map(|i| ShardSet::new(ProcessId::new(i), &self.registers, &mut make))
             .collect();
+        let caches = (0..n)
+            .map(|_| cache_pair(self.registers.len(), self.cache_mode))
+            .collect();
+        let reg_slot = self
+            .registers
+            .iter()
+            .enumerate()
+            .map(|(slot, reg)| (*reg, slot))
+            .collect();
         SimSpace {
             cfg: self.cfg,
             tag_bits: RegisterId::routing_bits(self.registers.len()),
@@ -298,6 +328,9 @@ impl SpaceBuilder {
             plan: Vec::new(),
             created_scratch: Vec::new(),
             ready_scratch: Vec::new(),
+            cache_mode: self.cache_mode,
+            caches,
+            reg_slot,
         }
     }
 }
@@ -445,6 +478,14 @@ pub struct SimSpace<A: Automaton> {
     created_scratch: Vec<u64>,
     /// Plan steps readied by the currently-firing handler.
     ready_scratch: Vec<u64>,
+    /// Local read-cache mode (see [`SpaceBuilder::cache_mode`]).
+    cache_mode: CacheMode,
+    /// One cache pair per process: the writer half fed by completions in
+    /// [`SimSpace::apply_effects`], the reader half consulted on read
+    /// invocations.
+    caches: Vec<CachePair<A::Value>>,
+    /// Register → cache-slot index (position in `registers`).
+    reg_slot: HashMap<RegisterId, usize>,
 }
 
 impl<A: Automaton> std::fmt::Debug for SimSpace<A> {
@@ -525,7 +566,9 @@ impl<A: Automaton> SimSpace<A> {
                 .encode()
                 .map_err(|e| DriverError::Backend(format!("wire codec encode: {e}")))?;
             self.stats.record_wire_bytes(blob.len() as u64);
-            frame = Frame::decode(&blob)
+            // Zero-copy receive path: decoded payloads are `Bytes` views
+            // into `blob` wherever the bit layout byte-aligns them.
+            frame = Frame::decode_shared(&blob)
                 .map_err(|e| DriverError::Backend(format!("wire codec decode: {e}")))?;
         }
         let delay = self.delay.sample(&mut self.rng);
@@ -705,8 +748,13 @@ impl<A: Automaton> SimSpace<A> {
                 if !matches!(entry.state, PlanState::Invoked) {
                     return Err(DriverError::Backend(format!("{op_id} completed twice")));
                 }
-                entry.state = PlanState::Ready(outcome);
+                let (reg, op) = (entry.reg, entry.op.clone());
+                entry.state = PlanState::Ready(outcome.clone());
                 self.ready_scratch.push(idx as u64);
+                // The automaton finished the operation at this fire: the
+                // snapshot is confirmed now, even though its response event
+                // has not been scheduled yet.
+                self.publish_completion(p, reg, &op, &outcome);
                 continue;
             }
             let (reg, rec) = self
@@ -722,10 +770,63 @@ impl<A: Automaton> SimSpace<A> {
                     rec.proc
                 )));
             }
-            rec.completed = Some((self.now, outcome));
-            self.outstanding.remove(&(p, *reg));
+            rec.completed = Some((self.now, outcome.clone()));
+            let (reg, op) = (*reg, rec.op.clone());
+            self.outstanding.remove(&(p, reg));
+            self.publish_completion(p, reg, &op, &outcome);
         }
         Ok(())
+    }
+
+    /// Publishes a locally-completed operation's value into `p`'s cache: a
+    /// completed write confirms the written value, a completed read the
+    /// value it returned. `writer_here` is captured from the shard
+    /// automaton's [`Automaton::swmr_writer`] at publish time.
+    fn publish_completion(
+        &mut self,
+        p: ProcessId,
+        reg: RegisterId,
+        op: &Operation<A::Value>,
+        outcome: &OpOutcome<A::Value>,
+    ) {
+        if self.cache_mode == CacheMode::Off {
+            return;
+        }
+        let Some(&slot) = self.reg_slot.get(&reg) else {
+            return;
+        };
+        let value = match (outcome, op) {
+            (OpOutcome::ReadValue(v), _) | (OpOutcome::Written, Operation::Write(v)) => v.clone(),
+            (OpOutcome::Written, Operation::Read) => return,
+        };
+        let writer_here = self.nodes[p.index()]
+            .shard(reg)
+            .and_then(Automaton::swmr_writer)
+            == Some(p);
+        self.caches[p.index()].0.publish(slot, value, writer_here);
+    }
+
+    /// Consults `proc`'s cache for a read on `reg`, counting the decision.
+    /// Returns the cached value when the read may be served locally.
+    fn try_serve_cached(&mut self, proc: ProcessId, reg: RegisterId) -> Option<A::Value> {
+        if self.cache_mode == CacheMode::Off {
+            return None;
+        }
+        let slot = *self.reg_slot.get(&reg)?;
+        match self.caches[proc.index()].1.try_read(slot) {
+            CacheDecision::Hit(v) => {
+                self.stats.record_cache_hit();
+                Some(v)
+            }
+            CacheDecision::Miss => {
+                self.stats.record_cache_miss();
+                None
+            }
+            CacheDecision::Fallback => {
+                self.stats.record_cache_fallback();
+                None
+            }
+        }
     }
 }
 
@@ -949,11 +1050,25 @@ impl<A: Automaton> SimSpace<A> {
                     e.op_id = Some(op_id);
                     e.state = PlanState::Invoked;
                 }
-                let mut fx = Effects::new();
-                self.nodes[proc.index()]
-                    .on_invoke(reg, op_id, op, &mut fx)
-                    .expect("plan_entry checked register presence");
-                self.apply_effects(proc, fx)?;
+                let cached = if matches!(op, Operation::Read) {
+                    self.try_serve_cached(proc, reg)
+                } else {
+                    None
+                };
+                if let Some(v) = cached {
+                    // Cache hit: the operation is internally complete the
+                    // instant it is invoked — its *response* still fires as
+                    // a separate schedulable event, so the checker controls
+                    // exactly when the cached value becomes visible.
+                    self.plan[idx].state = PlanState::Ready(OpOutcome::ReadValue(v));
+                    self.ready_scratch.push(idx as u64);
+                } else {
+                    let mut fx = Effects::new();
+                    self.nodes[proc.index()]
+                        .on_invoke(reg, op_id, op, &mut fx)
+                        .expect("plan_entry checked register presence");
+                    self.apply_effects(proc, fx)?;
+                }
             }
             ScheduleStep::Respond(plan) => {
                 let idx = plan as usize;
@@ -1118,6 +1233,24 @@ impl<A: Automaton> Driver for SimSpace<A> {
         }
         if self.outstanding.contains_key(&(proc, reg)) {
             return Err(DriverError::OperationInFlight { proc, reg });
+        }
+        if matches!(op, Operation::Read) {
+            if let Some(v) = self.try_serve_cached(proc, reg) {
+                // Cache hit: the read completes at this very instant with
+                // zero communication — no automaton invocation, no sends.
+                let op_id = OpId::new(self.records.len() as u64);
+                self.records.push((
+                    reg,
+                    OpRecord {
+                        op_id,
+                        proc,
+                        op,
+                        invoked_at: self.now,
+                        completed: Some((self.now, OpOutcome::ReadValue(v))),
+                    },
+                ));
+                return Ok(OpTicket { proc, reg, op_id });
+            }
         }
         let op_id = OpId::new(self.records.len() as u64);
         self.records.push((
@@ -1595,6 +1728,93 @@ mod tests {
         // Invoked, nothing delivered: a (non-terminal) stall.
         let err = s.check_schedule_liveness().unwrap_err();
         assert!(err.contains("plan step 0"), "{err}");
+    }
+
+    fn cached_space(mode: CacheMode, seed: u64) -> SimSpace<MajorityEcho> {
+        let cfg = cfg5();
+        SpaceBuilder::new(cfg)
+            .seed(seed)
+            .delay(DelayModel::Fixed(1_000))
+            .registers(2)
+            .cache_mode(mode)
+            .build(0u64, |_reg, id| MajorityEcho::new(id, cfg))
+    }
+
+    #[test]
+    fn cache_off_counts_nothing() {
+        let mut s = space(2, 8);
+        let p0 = ProcessId::new(0);
+        s.write(p0, RegisterId::ZERO, 3).unwrap();
+        s.read(p0, RegisterId::ZERO).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits(), 0);
+        assert_eq!(stats.cache_misses(), 0);
+        assert_eq!(stats.cache_fallbacks(), 0);
+    }
+
+    #[test]
+    fn safe_cache_without_a_swmr_writer_never_serves() {
+        // MajorityEcho is multi-writer (`swmr_writer` is None), so the
+        // safety gate refuses every confirmed entry: reads after a local
+        // completion are fallbacks, never hits.
+        let mut s = cached_space(CacheMode::Safe, 17);
+        let p0 = ProcessId::new(0);
+        assert_eq!(s.read(p0, RegisterId::ZERO).unwrap(), 0);
+        s.write(p0, RegisterId::ZERO, 5).unwrap();
+        assert_eq!(s.read(p0, RegisterId::ZERO).unwrap(), 5);
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits(), 0, "the gate must refuse");
+        assert_eq!(stats.cache_misses(), 1, "first read found nothing");
+        assert_eq!(stats.cache_fallbacks(), 1, "second read was gated");
+    }
+
+    #[test]
+    fn ablated_cache_serves_blindly_with_zero_traffic() {
+        let mut s = cached_space(CacheMode::UnsafeAblated, 17);
+        let p0 = ProcessId::new(0);
+        s.write(p0, RegisterId::ZERO, 5).unwrap();
+        let sent_after_write = s.stats().total_sent();
+        assert_eq!(s.read(p0, RegisterId::ZERO).unwrap(), 5);
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(
+            stats.total_sent(),
+            sent_after_write,
+            "a cache hit sends nothing"
+        );
+        // The hit left a completed record at a single instant.
+        let h = s.history();
+        let rec = &h.shard(RegisterId::ZERO).unwrap().records[1];
+        assert_eq!(rec.completed.as_ref().unwrap().0, rec.invoked_at);
+    }
+
+    #[test]
+    fn scheduled_cache_hit_still_fires_a_separate_response() {
+        let cfg = SystemConfig::new(3, 1).unwrap();
+        let mut s = SpaceBuilder::new(cfg)
+            .seed(6)
+            .delay(DelayModel::Fixed(1_000))
+            .scheduled(true)
+            .cache_mode(CacheMode::UnsafeAblated)
+            .build(0u64, |_reg, id| MajorityEcho::new(id, cfg));
+        let w = s.plan_op(ProcessId::new(0), RegisterId::ZERO, Operation::Write(4));
+        let r1 = s.plan_op_after(ProcessId::new(0), RegisterId::ZERO, Operation::Read, w);
+        let r2 = s.plan_op_after(ProcessId::new(0), RegisterId::ZERO, Operation::Read, r1);
+        s.run_scheduled(&mut VirtualTimeScheduler).unwrap();
+        s.check_schedule_liveness().unwrap();
+        let h = s.history();
+        let recs = &h.shard(RegisterId::ZERO).unwrap().records;
+        assert_eq!(recs.len(), 3);
+        for rec in recs {
+            assert!(rec.completed.is_some());
+        }
+        // The second read hit the cache (the first one's completion
+        // confirmed the entry), and its response fired as its own event:
+        // completion strictly after invocation in scheduled time.
+        assert!(s.stats().cache_hits() >= 1);
+        let hit = &recs[2];
+        assert!(hit.completed.as_ref().unwrap().0 > hit.invoked_at);
+        let _ = r2;
     }
 
     #[test]

@@ -58,10 +58,11 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
+use twobit_cache::CacheMode;
 use twobit_proto::{
-    Automaton, Driver, DriverError, Envelope, Frame, NetStats, OpId, OpOutcome, OpTicket,
-    Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig, WireMessage,
-    MAX_FRAME_BODY_BYTES,
+    Automaton, BufferPool, Bytes, Driver, DriverError, Envelope, Frame, NetStats, OpId, OpOutcome,
+    OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
+    WireMessage, MAX_FRAME_BODY_BYTES,
 };
 use twobit_runtime::{
     process_loop, BuildError, FlushPolicy, Incoming, LinkBatcher, OutboundLinks, Recorder,
@@ -75,6 +76,7 @@ pub struct TcpClusterBuilder {
     op_timeout: Duration,
     flush: FlushPolicy,
     flush_overrides: HashMap<(ProcessId, ProcessId), FlushPolicy>,
+    cache_mode: CacheMode,
 }
 
 impl TcpClusterBuilder {
@@ -87,7 +89,17 @@ impl TcpClusterBuilder {
             op_timeout: Duration::from_secs(10),
             flush: FlushPolicy::default(),
             flush_overrides: HashMap::new(),
+            cache_mode: CacheMode::Off,
         }
+    }
+
+    /// Sets the local read-cache mode (default [`CacheMode::Off`]) — the
+    /// same knob as the other backends: each process thread serves gated
+    /// reads from its confirmed snapshot with zero socket traffic, counted
+    /// in `NetStats::cache_hits` / `cache_misses` / `cache_fallbacks`.
+    pub fn cache_mode(mut self, mode: CacheMode) -> Self {
+        self.cache_mode = mode;
+        self
     }
 
     /// Sets the links' default frame flush policy (how aggressively
@@ -247,8 +259,9 @@ impl TcpClusterBuilder {
             let outs = link_txs[i].clone();
             let crashed = crashed.clone();
             let stats = Arc::clone(&stats);
+            let cache_mode = self.cache_mode;
             threads.push(std::thread::spawn(move || {
-                process_loop(shards, inbox_rx, outs, crashed, stats);
+                process_loop(shards, inbox_rx, outs, crashed, stats, cache_mode);
             }));
         }
         drop(link_txs); // writers hang up once their process thread exits
@@ -290,6 +303,9 @@ fn writer_loop<M: WireMessage>(
 ) {
     let mut batcher: LinkBatcher<Envelope<M>> = LinkBatcher::new(policy);
     let mut disconnected = false;
+    // Per-link buffer pool: once the kernel has taken a frame's bytes the
+    // buffer returns here, so a steady link stops allocating per flush.
+    let pool = BufferPool::new();
     loop {
         // Gulp whatever is already queued (coalescing without holding).
         if batcher.gulp(&rx) {
@@ -301,7 +317,7 @@ fn writer_loop<M: WireMessage>(
             let messages = frame.len() as u64;
             let cost = frame.cost(tag_bits);
             let blob = frame
-                .encode()
+                .encode_pooled(&pool)
                 .expect("the TCP transport requires a codec-capable message type");
             if stream.write_all(&blob).is_ok() {
                 // Only a write the kernel accepted whole is accounted.
@@ -404,7 +420,10 @@ fn reader_loop<A: Automaton>(
             stats.lock().record_link_abandoned();
             return;
         }
-        let Ok(frame) = Frame::<A::Msg>::decode(&blob) else {
+        // One receive buffer per frame, shared onward: decoded payloads
+        // are zero-copy `Bytes` views into it where the layout aligns.
+        let blob = Bytes::from(blob);
+        let Ok(frame) = Frame::<A::Msg>::decode_shared(&blob) else {
             // Corrupt frame; a byzantine-free peer never sends one.
             stats.lock().record_link_abandoned();
             return;

@@ -264,6 +264,8 @@
 //!   of the bounded baselines of Table 1;
 //! * [`simnet`] — the deterministic discrete-event simulator (non-FIFO
 //!   channels, crash injection, virtual time), single-register and sharded;
+//! * [`cache`] — the epoch-reclaimed per-process read cache and its
+//!   writer-co-location safety gate ([`CacheMode`]);
 //! * [`runtime`] — the live threaded runtime with chaos links;
 //! * [`transport`] — the real-socket backend: the same cluster over
 //!   loopback TCP, one length-prefixed frame stream per ordered link;
@@ -280,6 +282,7 @@
 #![warn(missing_docs)]
 
 pub use twobit_baselines as baselines;
+pub use twobit_cache as cache;
 pub use twobit_check as check;
 pub use twobit_core as core;
 pub use twobit_harness as harness;
@@ -290,6 +293,7 @@ pub use twobit_simnet as simnet;
 pub use twobit_transport as transport;
 
 pub use twobit_baselines::{AbdProcess, MixedMsg, MixedProcess, MwmrProcess, PhasedProcess};
+pub use twobit_cache::{CacheDecision, CacheMode};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{
     Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, FrameCost, FrameHeader,

@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use twobit::lincheck::{check_mwmr_sharded, check_swmr_sharded};
 use twobit::{
-    ClusterBuilder, Driver, DriverError, FlushPolicy, MwmrProcess, Operation, ProcessId,
+    CacheMode, ClusterBuilder, Driver, DriverError, FlushPolicy, MwmrProcess, Operation, ProcessId,
     RegisterId, SpaceBuilder, SystemConfig, TcpClusterBuilder, TwoBitProcess, VirtualHold,
     Workload,
 };
@@ -206,6 +206,114 @@ fn adaptive_flush_policies_stay_linearizable_on_all_backends() {
     check_backend(&mut tcp, "tcp/adaptive");
     let stats = tcp.stats();
     assert_eq!(stats.links_abandoned(), 0, "tcp/adaptive: no failed links");
+}
+
+/// A script whose cache decisions are fully determined: each round writes
+/// a register, lets its writer re-read it (the safety gate admits exactly
+/// this), then reads it from a non-writer (the gate refuses). Run
+/// sequentially, every backend must make the *same* decisions.
+fn cached_workload() -> Workload<u64> {
+    let mut w = Workload::new();
+    for round in 0..6u64 {
+        for k in 0..REGISTERS {
+            let reg = RegisterId::new(k);
+            let writer = writer_of(reg);
+            w = w.step(writer, reg, Operation::Write(100 * (k as u64 + 1) + round));
+            // The writer's own read: served from its local cache.
+            w = w.step(writer, reg, Operation::Read);
+            // A non-writer's read: always through the protocol.
+            w = w.step((writer.index() + 1) % N, reg, Operation::Read);
+        }
+    }
+    w
+}
+
+/// The local read cache is a semantics-preserving optimization and its hit
+/// accounting is part of the backend contract: simulator, threaded runtime
+/// and real TCP must agree on the exact cache hit/miss/fallback counts for
+/// a deterministic sequential script, all three histories must stay
+/// atomic, and message accounting must still reconcile.
+#[test]
+fn safe_read_cache_decisions_agree_across_backends() {
+    let cfg = cfg();
+    // 6 rounds × 4 registers: every writer-read after the first write hits.
+    let expect_hits = 6 * REGISTERS as u64;
+    // Per (register, non-writer) pair the first read finds an empty slot
+    // (miss), the remaining five find a gated entry (fallback).
+    let expect_misses = REGISTERS as u64;
+    let expect_fallbacks = 5 * REGISTERS as u64;
+
+    let check = |label: &str, hist: &twobit::proto::ShardedHistory<u64>| {
+        let verdicts =
+            check_swmr_sharded(hist).unwrap_or_else(|e| panic!("{label}: not atomic: {e}"));
+        for (reg, verdict) in &verdicts {
+            assert_eq!(verdict.writes, 6, "{label}: {reg} writes");
+            assert_eq!(verdict.reads_checked, 12, "{label}: {reg} reads");
+        }
+    };
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .cache_mode(CacheMode::Safe)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    cached_workload().run_on(&mut sim).unwrap();
+    check("simnet/cache", &sim.history());
+    // Drain trailing quorum acks before reconciling delivery accounting.
+    sim.run_to_quiescence().unwrap();
+    let sim_stats = sim.stats();
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .cache_mode(CacheMode::Safe)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    cached_workload().run_on(&mut cluster).unwrap();
+    check("runtime/cache", &Driver::history(&cluster));
+    let rt_stats = Driver::stats(&cluster);
+
+    let mut tcp = TcpClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .cache_mode(CacheMode::Safe)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    cached_workload().run_on(&mut tcp).unwrap();
+    check("tcp/cache", &Driver::history(&tcp));
+    let (_, tcp_stats) = tcp.shutdown();
+
+    for (label, stats) in [
+        ("simnet/cache", &sim_stats),
+        ("runtime/cache", &rt_stats),
+        ("tcp/cache", &tcp_stats),
+    ] {
+        assert_eq!(stats.cache_hits(), expect_hits, "{label}: hits");
+        assert_eq!(stats.cache_misses(), expect_misses, "{label}: misses");
+        assert_eq!(
+            stats.cache_fallbacks(),
+            expect_fallbacks,
+            "{label}: fallbacks"
+        );
+    }
+    // A cache hit is a *local* completion — accounting still reconciles.
+    assert_eq!(
+        sim_stats.total_delivered() + sim_stats.dropped_to_crashed(),
+        sim_stats.total_sent(),
+        "simnet/cache: delivered + dropped == sent"
+    );
+    assert_eq!(
+        tcp_stats.total_delivered()
+            + tcp_stats.dropped_to_crashed()
+            + tcp_stats.messages_abandoned(),
+        tcp_stats.total_sent(),
+        "tcp/cache: delivered + dropped + abandoned == sent"
+    );
 }
 
 /// MWMR workload: every register takes **three concurrent writers** per

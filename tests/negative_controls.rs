@@ -414,6 +414,46 @@ fn model_checker_catches_skipped_read_confirmation() {
     assert!(err.to_string().contains("inversion"), "{err}");
 }
 
+/// The model checker's teeth, read cache: removing the writer-co-location
+/// gate (`CacheMode::UnsafeAblated`) lets a non-writer serve a blind local
+/// read from a stale confirmed entry. Exploration at `n = 3, t = 1` must
+/// find the stale read, and the minimized schedule must replay verbatim
+/// to the same violation on a fresh build — proving the gate, not luck,
+/// is what keeps `CacheMode::Safe` sound.
+#[test]
+fn model_checker_catches_gate_ablated_read_cache() {
+    use twobit::check::{explore, scenarios, ExploreOptions};
+    use twobit::lincheck::check_sharded_modes;
+    use twobit::proto::{ReplayScheduler, Schedule};
+    use twobit::Driver;
+
+    let scenario = scenarios::twobit_swmr_cache_ablated_broken();
+    let report = explore(&scenario, &ExploreOptions::default()).expect("exploration runs");
+    let cx = report.violation.expect("the ablated cache must be caught");
+    assert!(
+        cx.reason.contains("overwritten") || cx.reason.contains("inversion"),
+        "wrong verdict: {}",
+        cx.reason
+    );
+
+    let parsed: Schedule = cx.schedule.to_string().parse().expect("schedule parses");
+    let mut space = scenario.build();
+    space
+        .run_scheduled(&mut ReplayScheduler::strict(&parsed))
+        .expect("a minimized counterexample replays verbatim");
+    let err = check_sharded_modes(&space.history(), &scenario.modes)
+        .expect_err("the replay reproduces the violation");
+    assert!(
+        err.to_string().contains("overwritten") || err.to_string().contains("inversion"),
+        "{err}"
+    );
+    // The replayed run really served the poisoned read from the cache.
+    assert!(
+        space.stats().cache_hits() >= 1,
+        "the counterexample must go through the cache hit path"
+    );
+}
+
 /// The model checker's teeth, MWMR: a replica that acknowledges update
 /// messages without absorbing them lets a write "complete" on a stale
 /// quorum — plain DPOR exploration at `n = 3, t = 1` must find the stale

@@ -1,49 +1,156 @@
 //! Vendored minimal stand-in for the `bytes` crate (offline build).
 //!
-//! [`Bytes`] is a cheaply-clonable immutable byte buffer, [`BytesMut`] a
-//! growable builder, and [`BufMut`] the writing trait — just enough for the
-//! two-bit wire codec. No zero-copy slicing or split operations.
+//! [`Bytes`] is a cheaply-clonable immutable byte buffer with **zero-copy
+//! slicing**: a `Bytes` is a `(owner, offset, len)` view over a shared
+//! allocation, so [`Bytes::slice`] hands out sub-views without copying and
+//! [`Bytes::from_owner`] turns any byte-backed owner (a pooled buffer, a
+//! memory-mapped file stand-in) into a `Bytes` whose allocation is released
+//! — or returned to its pool — when the last view drops. [`BytesMut`] is a
+//! growable builder and [`BufMut`] the writing trait — the subset the
+//! two-bit wire codec uses.
 
-use std::ops::Deref;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Cheaply-clonable immutable byte buffer.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
-pub struct Bytes(Arc<[u8]>);
+/// Cheaply-clonable immutable byte buffer: a shared-ownership view
+/// (`offset..offset + len`) over one allocation. Clones and
+/// [slices](Bytes::slice) share the allocation; equality and hashing are
+/// content-based, like the real `bytes` crate.
+#[derive(Clone)]
+pub struct Bytes {
+    owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    offset: usize,
+    len: usize,
+}
 
 impl Bytes {
+    /// Creates an empty buffer (no allocation is shared).
+    pub fn new() -> Self {
+        Bytes {
+            owner: Arc::new([0u8; 0]),
+            offset: 0,
+            len: 0,
+        }
+    }
+
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes::from(data.to_vec())
     }
 
-    /// Number of bytes.
+    /// Wraps an arbitrary byte-backed owner without copying. The owner is
+    /// dropped when the last `Bytes` viewing it drops — the hook pooled
+    /// buffers use to return themselves to their pool.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
+        Bytes {
+            owner: Arc::new(owner),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Returns a zero-copy sub-view sharing this buffer's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted, matching the
+    /// real crate's contract.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            owner: Arc::clone(&self.owner),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Number of bytes in this view.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
-    /// Returns `true` if the buffer is empty.
+    /// Returns `true` if the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
+    }
+
+    /// Pointer to the first byte of this view (inside the shared
+    /// allocation) — what the zero-copy property tests range-check.
+    pub fn as_ptr(&self) -> *const u8 {
+        self.as_slice().as_ptr()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &(*self.owner).as_ref()[self.offset..self.offset + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        let len = v.len();
+        Bytes {
+            owner: Arc::new(v),
+            offset: 0,
+            len,
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", self.as_slice())
     }
 }
 
@@ -72,7 +179,7 @@ impl BytesMut {
         self.0.is_empty()
     }
 
-    /// Converts to an immutable [`Bytes`].
+    /// Converts to an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.0)
     }
@@ -123,5 +230,75 @@ mod tests {
     fn empty_roundtrip() {
         assert!(BytesMut::new().freeze().is_empty());
         assert_eq!(Bytes::copy_from_slice(&[]).len(), 0);
+        assert!(Bytes::default().is_empty());
+    }
+
+    #[test]
+    fn slicing_is_zero_copy() {
+        let whole = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = whole.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // The sub-view points into the original allocation.
+        let base = whole.as_ptr() as usize;
+        assert_eq!(mid.as_ptr() as usize, base + 2);
+        // Nested slices stay inside the same allocation.
+        let inner = mid.slice(1..=2);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(inner.as_ptr() as usize, base + 3);
+        // Unbounded ranges work.
+        assert_eq!(&mid.slice(..)[..], &[2, 3, 4, 5]);
+        assert_eq!(&mid.slice(2..)[..], &[4, 5]);
+        assert_eq!(&mid.slice(..1)[..], &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_range_slice_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn equality_and_hash_are_content_based() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Bytes::from(vec![9, 9, 1, 2, 9]).slice(2..4);
+        let b = Bytes::copy_from_slice(&[1, 2]);
+        assert_eq!(a, b);
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert_ne!(a, Bytes::copy_from_slice(&[1, 3]));
+    }
+
+    #[test]
+    fn from_owner_drops_owner_with_the_last_view() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc as StdArc;
+
+        struct Tracked(Vec<u8>, StdArc<AtomicBool>);
+        impl AsRef<[u8]> for Tracked {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.1.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let dropped = StdArc::new(AtomicBool::new(false));
+        let b = Bytes::from_owner(Tracked(vec![1, 2, 3], StdArc::clone(&dropped)));
+        let sub = b.slice(1..);
+        drop(b);
+        assert!(!dropped.load(Ordering::SeqCst), "a view is still alive");
+        assert_eq!(&sub[..], &[2, 3]);
+        drop(sub);
+        assert!(
+            dropped.load(Ordering::SeqCst),
+            "last view releases the owner"
+        );
     }
 }
