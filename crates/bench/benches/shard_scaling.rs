@@ -29,6 +29,14 @@
 //!   while the other shards sit idle;
 //! * `tcp` / `uniform` — the same portable workload on the real loopback
 //!   TCP backend (`TcpCluster`), proving the byte path end to end;
+//! * `reactor` / `uniform` — the same workload again on the event-driven
+//!   reactor transport (`twobit-reactor`): identical frames and flush
+//!   policy to the `tcp` rows, every link multiplexed over a 4-thread
+//!   pool. CI asserts its `wire_bytes` stays within 1.05x of the
+//!   thread-per-link row. The live-socket rows (`tcp`, `reactor`) also
+//!   publish wall-clock per-op latency percentiles (`lat_p50_us`,
+//!   `lat_p99_us`, from the recorder's invoke/response timestamps);
+//!   simnet rows carry `null` there — their clocks are virtual;
 //! * `simnet` / `headtohead` — the two-bit protocol versus its
 //!   multi-writer competitor: the **same** workload, framing, hold policy
 //!   and codec-on delivery, run once with the paper's automaton
@@ -85,8 +93,9 @@ use twobit_core::TwoBitOptions;
 use twobit_core::TwoBitProcess;
 use twobit_proto::{
     Automaton, Driver, FlushReason, NetStats, Operation, ProcessId, RegisterId, RegisterSpace,
-    SystemConfig, Workload,
+    ShardedHistory, SystemConfig, Workload,
 };
+use twobit_reactor::ReactorClusterBuilder;
 use twobit_runtime::FlushPolicy;
 use twobit_simnet::{DelayModel, SimSpace, SpaceBuilder, VirtualHold};
 use twobit_transport::TcpClusterBuilder;
@@ -346,6 +355,33 @@ struct Row {
     flushes_hold: u64,
     flushes_shutdown: u64,
     mean_hold_us: f64,
+    /// Wall-clock per-operation latency percentiles in microseconds,
+    /// from the recorder's invoke/response timestamps. Populated on the
+    /// live-socket rows (`tcp`, `reactor`); `None` (JSON `null`) on
+    /// simnet rows, whose timestamps are virtual ticks.
+    lat_p50_us: Option<f64>,
+    lat_p99_us: Option<f64>,
+}
+
+/// Wall-clock p50/p99 operation latency in microseconds from a live
+/// backend's history (recorder timestamps are nanoseconds since start).
+fn latency_percentiles_us(hist: &ShardedHistory<u64>) -> (f64, f64) {
+    let mut lats: Vec<u64> = hist
+        .iter()
+        .flat_map(|(_, shard)| {
+            shard
+                .records
+                .iter()
+                .filter_map(twobit_proto::OpRecord::latency)
+        })
+        .collect();
+    assert!(!lats.is_empty(), "latency rows need completed operations");
+    lats.sort_unstable();
+    let pick = |q: f64| -> f64 {
+        let idx = ((lats.len() - 1) as f64 * q).round() as usize;
+        lats[idx] as f64 / 1_000.0
+    };
+    (pick(0.50), pick(0.99))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -428,6 +464,8 @@ fn row_from_stats(
         flushes_hold: stats.flushes(FlushReason::Hold),
         flushes_shutdown: stats.flushes(FlushReason::Shutdown),
         mean_hold_us: stats.mean_observed_hold_ns() / 1_000.0,
+        lat_p50_us: None,
+        lat_p99_us: None,
     }
 }
 
@@ -637,7 +675,7 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
         .expect("workload runs over TCP");
     let wall = t0.elapsed();
     let allocs = allocs_now() - a0;
-    let (_, stats) = cluster.shutdown();
+    let (history, stats) = cluster.shutdown();
     assert!(
         stats.wire_bytes() > 0,
         "TCP rows must populate bytes-on-wire"
@@ -647,7 +685,7 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
         stats.total_sent(),
         "TCP teardown reconciliation (abandoned accounting included)"
     );
-    row_from_stats(
+    let mut row = row_from_stats(
         "twobit",
         "tcp",
         "uniform",
@@ -659,7 +697,102 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
         wall.as_nanos() as f64,
         allocs,
         &stats,
-    )
+    );
+    let (p50, p99) = latency_percentiles_us(&history);
+    row.lat_p50_us = Some(p50);
+    row.lat_p99_us = Some(p99);
+    row
+}
+
+/// The same portable workload on the reactor transport: identical frames
+/// and flush policy to the `tcp` row, but every link multiplexed over a
+/// 4-thread event-loop pool instead of a reader+writer thread pair per
+/// link. Published as `source: "reactor"`; CI asserts its `wire_bytes`
+/// does not exceed the thread-per-link row's (same protocol, same
+/// framing — the reactor must not pay a byte tax for the flat thread
+/// count).
+fn measure_reactor(shards: usize, readers: usize, hold: Hold) -> Row {
+    let cfg = SystemConfig::max_resilience(N);
+    let workload = sweep_workload(shards, readers);
+    let policy = match hold {
+        Hold::Static => {
+            FlushPolicy::fixed(64, std::time::Duration::from_micros(TCP_STATIC_HOLD_US))
+        }
+        Hold::Adaptive => FlushPolicy::adaptive(
+            64,
+            std::time::Duration::ZERO,
+            std::time::Duration::from_micros(TCP_ADAPTIVE_CEIL_US),
+        ),
+    };
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .registers(shards)
+        .flush_policy(policy)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+        })
+        .expect("loopback reactor cluster starts");
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(&mut node)
+        .expect("workload runs over the reactor");
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    let (history, stats) = node.shutdown();
+    assert!(
+        stats.wire_bytes() > 0,
+        "reactor rows must populate bytes-on-wire"
+    );
+    assert_eq!(
+        stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+        stats.total_sent(),
+        "reactor teardown reconciliation (resend epochs counted once)"
+    );
+    assert_eq!(
+        stats.reconnects(),
+        0,
+        "a healthy loopback bench run never reconnects"
+    );
+    let mut row = row_from_stats(
+        "twobit",
+        "reactor",
+        "uniform",
+        hold.label(),
+        "off",
+        shards,
+        readers,
+        workload.len(),
+        wall.as_nanos() as f64,
+        allocs,
+        &stats,
+    );
+    let (p50, p99) = latency_percentiles_us(&history);
+    row.lat_p50_us = Some(p50);
+    row.lat_p99_us = Some(p99);
+    row
+}
+
+/// The reactor must not pay a wire-byte tax over the thread-per-link
+/// backend: same protocol, same framing, same flush policy — the bytes
+/// should match up to flush-timing noise (1.05x tolerance).
+fn assert_reactor_matches_tcp_bytes(rows: &[Row]) {
+    for hold in ["static", "adaptive"] {
+        let tcp = rows
+            .iter()
+            .find(|r| r.source == "tcp" && r.hold == hold)
+            .expect("tcp row present");
+        let reactor = rows
+            .iter()
+            .find(|r| r.source == "reactor" && r.hold == hold)
+            .expect("reactor row present");
+        assert!(
+            reactor.wire_bytes as f64 <= tcp.wire_bytes as f64 * 1.05,
+            "reactor pays a byte tax over thread-per-link ({hold} hold): \
+             {} > {} * 1.05",
+            reactor.wire_bytes,
+            tcp.wire_bytes,
+        );
+    }
 }
 
 /// One model-checking throughput row: how big the DPOR-reduced schedule
@@ -789,7 +922,7 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_fallbacks\": {}, \
              \"local_read_pct\": {:.1}, \
              \"flushes_size\": {}, \"flushes_hold\": {}, \"flushes_shutdown\": {}, \
-             \"mean_hold_us\": {:.2}}}{}\n",
+             \"mean_hold_us\": {:.2}, \"lat_p50_us\": {}, \"lat_p99_us\": {}}}{}\n",
             r.algo,
             r.source,
             r.mix,
@@ -818,6 +951,10 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
             r.flushes_hold,
             r.flushes_shutdown,
             r.mean_hold_us,
+            r.lat_p50_us
+                .map_or("null".to_string(), |v| format!("{v:.1}")),
+            r.lat_p99_us
+                .map_or("null".to_string(), |v| format!("{v:.1}")),
             if i + 1 == rows.len() && check_rows.is_empty() {
                 ""
             } else {
@@ -1002,10 +1139,13 @@ fn main() {
     }
     rows.push(measure_tcp(16, 2, Hold::Static));
     rows.push(measure_tcp(16, 2, Hold::Adaptive));
+    rows.push(measure_reactor(16, 2, Hold::Static));
+    rows.push(measure_reactor(16, 2, Hold::Adaptive));
     let (twobit_row, mwmr_row) = measure_head_to_head();
     rows.push(twobit_row);
     rows.push(mwmr_row);
     assert_adaptive_not_worse(&rows);
+    assert_reactor_matches_tcp_bytes(&rows);
     assert_safe_cache_pays(&rows);
     assert_two_bit_beats_mwmr(&rows);
     let check_rows = measure_modelcheck();

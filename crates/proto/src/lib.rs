@@ -38,6 +38,9 @@
 //!   — the unit a real TCP transport writes per link.
 //! * [`RegisterSpace`], [`Workload`], [`ShardedHistory`] — named registers,
 //!   portable operation scripts, and per-register history projection.
+//! * [`linkseq`] — frame sequence numbers, the reconnect handshake, and
+//!   sequenced-record framing for links that survive transient socket
+//!   failures with resend (the reactor transport's wire extension).
 //! * [`sched`] — the pluggable scheduling surface for controlled execution:
 //!   [`Schedule`] tokens, [`EnabledEvent`]s, and the [`Scheduler`] trait
 //!   the `twobit-check` model checker drives the simulator through.
@@ -53,6 +56,7 @@ pub mod driver;
 pub mod frame;
 pub mod history;
 pub mod id;
+pub mod linkseq;
 pub mod op;
 pub mod payload;
 pub mod pool;

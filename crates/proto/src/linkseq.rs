@@ -1,0 +1,243 @@
+//! Wire helpers for sequenced, reconnectable ordered links.
+//!
+//! The reactor transport (`twobit-reactor`) extends the frame byte stream
+//! with three tiny structures so a link can survive a transient socket
+//! failure without losing or duplicating frames:
+//!
+//! * [`LinkHello`] — the connector's handshake: which ordered link
+//!   `src → dst` this connection carries. Sent once, immediately after
+//!   `connect(2)`.
+//! * [`LinkWelcome`] — the acceptor's reply: the highest frame sequence
+//!   number it has consumed on that link, so the connector can prune its
+//!   resend buffer and replay exactly the un-acked tail.
+//! * the *record* framing — each frame blob crosses prefixed by an 8-byte
+//!   big-endian sequence number: `[seq:8][len:4][body:len]`, where
+//!   `[len:4][body]` is the standard [`Frame::encode`](crate::Frame::encode)
+//!   blob. Cumulative 8-byte acks flow on the reverse direction of the
+//!   same socket.
+//!
+//! Sequence numbers start at 1 per ordered link and never reset across
+//! reconnects; 0 in a [`LinkWelcome`] means "nothing consumed yet".
+//! Everything here is fixed-width big-endian — no bit-level codec — because
+//! these bytes are transport overhead, not protocol messages, and are
+//! deliberately excluded from the two-bit accounting.
+
+use crate::bits::WireError;
+use crate::frame::MAX_FRAME_BODY_BYTES;
+use crate::id::ProcessId;
+
+/// Magic prefix of a [`LinkHello`].
+pub const HELLO_MAGIC: [u8; 4] = *b"TBL1";
+/// Encoded size of a [`LinkHello`].
+pub const HELLO_LEN: usize = 16;
+/// Magic prefix of a [`LinkWelcome`].
+pub const WELCOME_MAGIC: [u8; 4] = *b"TBW1";
+/// Encoded size of a [`LinkWelcome`].
+pub const WELCOME_LEN: usize = 12;
+/// Size of the per-record sequence prefix.
+pub const SEQ_PREFIX_LEN: usize = 8;
+/// Size of one cumulative ack (a bare big-endian sequence number).
+pub const ACK_LEN: usize = 8;
+
+/// The connector's reconnect handshake: names the ordered link this
+/// connection carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkHello {
+    /// The sending process (the connector's side of the ordered link).
+    pub src: ProcessId,
+    /// The receiving process (hosted by the accepting node).
+    pub dst: ProcessId,
+}
+
+impl LinkHello {
+    /// Encodes to the fixed [`HELLO_LEN`]-byte wire form
+    /// (`magic ∥ src:u32 ∥ dst:u32 ∥ reserved:u32`).
+    pub fn encode(&self) -> [u8; HELLO_LEN] {
+        let mut out = [0u8; HELLO_LEN];
+        out[..4].copy_from_slice(&HELLO_MAGIC);
+        out[4..8].copy_from_slice(&(self.src.index() as u32).to_be_bytes());
+        out[8..12].copy_from_slice(&(self.dst.index() as u32).to_be_bytes());
+        out
+    }
+
+    /// Decodes from exactly [`HELLO_LEN`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when `buf` is short,
+    /// [`WireError::Malformed`] on a bad magic or non-zero reserved tail.
+    pub fn decode(buf: &[u8]) -> Result<LinkHello, WireError> {
+        if buf.len() < HELLO_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[..4] != HELLO_MAGIC {
+            return Err(WireError::Malformed("link hello magic"));
+        }
+        if buf[12..HELLO_LEN] != [0u8; 4] {
+            return Err(WireError::Malformed("link hello reserved bytes"));
+        }
+        let src = u32::from_be_bytes(buf[4..8].try_into().expect("4 bytes"));
+        let dst = u32::from_be_bytes(buf[8..12].try_into().expect("4 bytes"));
+        Ok(LinkHello {
+            src: ProcessId::new(src as usize),
+            dst: ProcessId::new(dst as usize),
+        })
+    }
+}
+
+/// The acceptor's handshake reply: where the connector should resume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkWelcome {
+    /// Highest frame sequence number the acceptor has consumed on this
+    /// link (0 = none). The connector prunes its resend buffer up to and
+    /// including this seq and replays the rest.
+    pub last_delivered: u64,
+}
+
+impl LinkWelcome {
+    /// Encodes to the fixed [`WELCOME_LEN`]-byte wire form
+    /// (`magic ∥ last_delivered:u64`).
+    pub fn encode(&self) -> [u8; WELCOME_LEN] {
+        let mut out = [0u8; WELCOME_LEN];
+        out[..4].copy_from_slice(&WELCOME_MAGIC);
+        out[4..12].copy_from_slice(&self.last_delivered.to_be_bytes());
+        out
+    }
+
+    /// Decodes from exactly [`WELCOME_LEN`] bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when `buf` is short,
+    /// [`WireError::Malformed`] on a bad magic.
+    pub fn decode(buf: &[u8]) -> Result<LinkWelcome, WireError> {
+        if buf.len() < WELCOME_LEN {
+            return Err(WireError::Truncated);
+        }
+        if buf[..4] != WELCOME_MAGIC {
+            return Err(WireError::Malformed("link welcome magic"));
+        }
+        let last = u64::from_be_bytes(buf[4..12].try_into().expect("8 bytes"));
+        Ok(LinkWelcome {
+            last_delivered: last,
+        })
+    }
+}
+
+/// Appends one sequenced record (`[seq:8] ∥ blob`) to `out`. `blob` must
+/// be a length-prefixed frame blob from
+/// [`Frame::encode`](crate::Frame::encode) /
+/// [`Frame::encode_pooled`](crate::Frame::encode_pooled).
+pub fn encode_record(seq: u64, blob: &[u8], out: &mut Vec<u8>) {
+    out.reserve(SEQ_PREFIX_LEN + blob.len());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(blob);
+}
+
+/// Tries to split one sequenced record off the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, or
+/// `Ok(Some((seq, total)))` where `total` is the record's full length —
+/// the frame blob is `&buf[SEQ_PREFIX_LEN..total]` (length prefix
+/// included, ready for [`Frame::decode`](crate::Frame::decode)).
+///
+/// # Errors
+///
+/// [`WireError::Overflow`] when the blob's declared body length exceeds
+/// [`MAX_FRAME_BODY_BYTES`] — the poisoned-stream guard, checked before
+/// any buffer is sized from attacker-controlled input.
+pub fn split_record(buf: &[u8]) -> Result<Option<(u64, usize)>, WireError> {
+    if buf.len() < SEQ_PREFIX_LEN + 4 {
+        return Ok(None);
+    }
+    let seq = u64::from_be_bytes(buf[..SEQ_PREFIX_LEN].try_into().expect("8 bytes"));
+    let body_len = u32::from_be_bytes(
+        buf[SEQ_PREFIX_LEN..SEQ_PREFIX_LEN + 4]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if body_len > MAX_FRAME_BODY_BYTES {
+        return Err(WireError::Overflow);
+    }
+    let total = SEQ_PREFIX_LEN + 4 + body_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((seq, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrips_and_rejects_garbage() {
+        let h = LinkHello {
+            src: ProcessId::new(3),
+            dst: ProcessId::new(61),
+        };
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HELLO_LEN);
+        assert_eq!(LinkHello::decode(&bytes).unwrap(), h);
+        assert_eq!(
+            LinkHello::decode(&bytes[..HELLO_LEN - 1]),
+            Err(WireError::Truncated)
+        );
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert!(matches!(
+            LinkHello::decode(&bad),
+            Err(WireError::Malformed(_))
+        ));
+        let mut dirty = h.encode();
+        dirty[15] = 1; // reserved bytes must stay zero
+        assert!(matches!(
+            LinkHello::decode(&dirty),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn welcome_roundtrips() {
+        for last in [0u64, 1, u64::MAX] {
+            let w = LinkWelcome {
+                last_delivered: last,
+            };
+            assert_eq!(LinkWelcome::decode(&w.encode()).unwrap(), w);
+        }
+        assert_eq!(LinkWelcome::decode(&[0u8; 5]), Err(WireError::Truncated));
+        let mut bad = LinkWelcome { last_delivered: 7 }.encode();
+        bad[1] = 0;
+        assert!(matches!(
+            LinkWelcome::decode(&bad),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn records_split_incrementally() {
+        // A fake 3-byte-body blob with its 4-byte length prefix.
+        let blob = [0u8, 0, 0, 3, 0xAA, 0xBB, 0xCC];
+        let mut wire = Vec::new();
+        encode_record(41, &blob, &mut wire);
+        encode_record(42, &blob, &mut wire);
+        // Byte-at-a-time arrival: no record until the first is whole.
+        for cut in 0..SEQ_PREFIX_LEN + blob.len() {
+            assert_eq!(split_record(&wire[..cut]).unwrap(), None, "cut={cut}");
+        }
+        let (seq, total) = split_record(&wire).unwrap().expect("first record whole");
+        assert_eq!(seq, 41);
+        assert_eq!(&wire[SEQ_PREFIX_LEN..total], &blob);
+        let rest = &wire[total..];
+        let (seq2, total2) = split_record(rest).unwrap().expect("second record whole");
+        assert_eq!(seq2, 42);
+        assert_eq!(total2, rest.len());
+    }
+
+    #[test]
+    fn oversized_record_is_rejected_before_allocation() {
+        let mut wire = 77u64.to_be_bytes().to_vec();
+        wire.extend((MAX_FRAME_BODY_BYTES + 1).to_be_bytes());
+        assert_eq!(split_record(&wire), Err(WireError::Overflow));
+    }
+}

@@ -79,6 +79,10 @@ pub struct NetStats {
     max_observed_hold_ns: u64,
     links_abandoned: u64,
     messages_abandoned: u64,
+    reconnects: u64,
+    frames_resent: u64,
+    frames_deduped: u64,
+    resend_buffer_high_water: u64,
     cache_hits: u64,
     cache_misses: u64,
     cache_fallbacks: u64,
@@ -185,6 +189,60 @@ impl NetStats {
     /// reconciliation still balances.
     pub fn record_messages_abandoned(&mut self, n: u64) {
         self.messages_abandoned += n;
+    }
+
+    /// Records one successful re-dial of a previously connected link: the
+    /// transport survived a transient socket failure without losing the
+    /// link. Distinct from crash semantics (a crashed *process* never
+    /// comes back) and from [`NetStats::record_link_abandoned`] (a link
+    /// given up on for good).
+    pub fn record_reconnect(&mut self) {
+        self.reconnects += 1;
+    }
+
+    /// Records `n` frames retransmitted from a resend buffer after a
+    /// reconnect — frames that had already been handed to a socket once.
+    /// Retransmission never touches the message counters: a message is
+    /// `sent` once, and the receiver's sequence dedup guarantees it is
+    /// `delivered` (or `dropped`) at most once, so resend epochs enter the
+    /// `delivered + dropped + abandoned == sent` reconciliation exactly
+    /// once.
+    pub fn record_frames_resent(&mut self, n: u64) {
+        self.frames_resent += n;
+    }
+
+    /// Records one duplicate frame discarded by the receiver's sequence
+    /// dedup (its seq was at or below the link's delivery cursor). The
+    /// frame's messages were already counted delivered/dropped on first
+    /// receipt, so a dedup hit changes no reconciliation counter.
+    pub fn record_frame_deduped(&mut self) {
+        self.frames_deduped += 1;
+    }
+
+    /// Records the current depth of one link's resend buffer (un-acked
+    /// sealed frames), keeping the high-water mark.
+    pub fn record_resend_buffer_depth(&mut self, depth: u64) {
+        self.resend_buffer_high_water = self.resend_buffer_high_water.max(depth);
+    }
+
+    /// Successful re-dials of previously connected links.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Frames retransmitted from resend buffers after reconnects.
+    pub fn frames_resent(&self) -> u64 {
+        self.frames_resent
+    }
+
+    /// Duplicate frames discarded by receiver-side sequence dedup.
+    pub fn frames_deduped(&self) -> u64 {
+        self.frames_deduped
+    }
+
+    /// Deepest any link's resend buffer ever got (un-acked sealed frames).
+    pub fn resend_buffer_high_water(&self) -> u64 {
+        self.resend_buffer_high_water
     }
 
     /// Messages sent, total.
@@ -597,6 +655,34 @@ mod tests {
             s.total_delivered() + s.dropped_to_crashed() + s.messages_abandoned(),
             s.total_sent(),
             "abandoned messages keep teardown reconciliation balanced"
+        );
+    }
+
+    #[test]
+    fn reconnect_counters_track_resend_epochs_without_touching_reconciliation() {
+        let mut s = NetStats::new();
+        for _ in 0..4 {
+            s.record_send("A", MessageCost::new(2, 0));
+        }
+        // First transmission delivers 2 messages, then the socket dies.
+        s.record_deliveries(2);
+        s.record_resend_buffer_depth(1);
+        s.record_resend_buffer_depth(3);
+        s.record_resend_buffer_depth(2);
+        s.record_reconnect();
+        // The replay retransmits two frames; one was already delivered and
+        // is discarded by seq dedup, the other delivers the remaining 2.
+        s.record_frames_resent(2);
+        s.record_frame_deduped();
+        s.record_deliveries(2);
+        assert_eq!(s.reconnects(), 1);
+        assert_eq!(s.frames_resent(), 2);
+        assert_eq!(s.frames_deduped(), 1);
+        assert_eq!(s.resend_buffer_high_water(), 3);
+        assert_eq!(
+            s.total_delivered() + s.dropped_to_crashed() + s.messages_abandoned(),
+            s.total_sent(),
+            "a resend epoch enters the reconciliation exactly once"
         );
     }
 

@@ -1,0 +1,52 @@
+//! `twobit-reactor` — event-driven cross-host TCP transport with
+//! reconnect-and-resend.
+//!
+//! The thread-per-link TCP backend (`twobit-transport`) spends two OS
+//! threads per ordered link: fine at `n = 3`, ruinous at `n = 64` (4032
+//! links → 8064 threads). This crate multiplexes *all* of a node's links
+//! over a small fixed pool of event-loop threads built on a vendored
+//! `poll(2)`/`ppoll(2)` readiness poller ([`poller`]) — no `mio`, no
+//! `libc` crate, no new dependencies. A node's thread count is
+//! `hosted processes + pool_size + 1 (dialer)`, independent of the link
+//! count.
+//!
+//! Beyond the thread-count fix, the reactor adds two capabilities the
+//! thread-per-link backend lacks:
+//!
+//! * **Cross-host deployment.** The builder is split into
+//!   [`ReactorNodeBuilder::listen`] (bind, possibly port 0, report the
+//!   bound address) and [`ListeningNode::join`] (peer map → running
+//!   node), so each process set can live in a different OS process or a
+//!   different machine. The all-local [`ReactorClusterBuilder`] remains a
+//!   one-call drop-in for tests and benches.
+//! * **Reconnect-and-resend.** A transient socket failure is *not* a
+//!   crash: the link re-dials with exponential backoff and replays
+//!   un-acked frames from a bounded per-link resend buffer, using the
+//!   `linkseq` sequence handshake to resume exactly after the receiver's
+//!   last delivered frame. Receivers dedup by sequence number, so a frame
+//!   that was delivered-but-un-acked when the socket died is never
+//!   delivered twice. Crash semantics ([`twobit_proto::Driver::crash`])
+//!   are unchanged and permanent.
+//!
+//! Frame semantics, flush policies, and the `NetStats` reconciliation
+//! invariant (`delivered + dropped + abandoned == sent`, exact while
+//! `links_abandoned == 0`) are shared with the other live backends;
+//! reconnect activity is visible as `reconnects`, `frames_resent`,
+//! `frames_deduped`, and `resend_buffer_high_water`.
+//!
+//! See `docs/transport.md` for the architecture tour and deployment
+//! guide.
+
+// Unlike the rest of the workspace this crate cannot forbid unsafe_code:
+// the vendored poller speaks the C ABI directly (two FFI declarations with
+// SAFETY comments in `poller::sys`). Everything else stays safe.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+#[allow(unsafe_code)]
+pub mod poller;
+mod reactor;
+
+pub use node::{ListeningNode, ReactorClusterBuilder, ReactorNode, ReactorNodeBuilder};
+pub use reactor::ReconnectPolicy;

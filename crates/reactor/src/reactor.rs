@@ -1,0 +1,1211 @@
+//! The reactor event loop: every ordered link of a node, multiplexed over
+//! a small fixed pool of threads.
+//!
+//! Each reactor thread owns a disjoint set of *send links* (outbound
+//! ordered pairs `src → dst` whose `src` is hosted on this node) and
+//! *receive connections* (accepted sockets carrying a peer's link toward a
+//! locally hosted process). One `poll(2)` set per thread watches all of
+//! them plus a [`Waker`] and — on thread 0 — the node's listener. The
+//! per-link [`LinkBatcher`] is the same flush engine the thread-per-link
+//! backends use; its hold deadline becomes the poll timeout instead of a
+//! parked thread's `recv_timeout`.
+//!
+//! ## Reconnect with resend
+//!
+//! Every sealed frame gets a per-link sequence number and is retained in a
+//! bounded resend buffer until the receiver's cumulative ack (flowing on
+//! the reverse direction of the same socket) covers it. When a connection
+//! dies the link re-dials through the shared [`dialer_loop`] (exponential
+//! backoff); the reconnect handshake ([`LinkHello`] → [`LinkWelcome`])
+//! tells the sender where the receiver actually is, the resend buffer is
+//! pruned to that point and the un-acked tail is replayed. The receiver
+//! dedups anything at or below its `last_delivered`, so a frame is handed
+//! to the destination inbox exactly once no matter how many sockets it
+//! crossed. A link whose resend buffer overflows, or whose re-dial budget
+//! is exhausted, is *abandoned* — the existing crash-adjacent bookkeeping
+//! (`links_abandoned`, `messages_abandoned`) that tells the teardown
+//! reconciliation the books may not balance.
+//!
+//! Accounting matches the thread-per-link TCP backend: `frames_sent` /
+//! `flushes_total` tick once at seal time, `wire_bytes` counts frame blob
+//! bytes handed to a socket (sequence prefixes, acks and handshakes are
+//! transport overhead and excluded; a replayed frame's bytes count again),
+//! and deliveries tick when the destination inbox accepts the frame.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::Mutex;
+use twobit_proto::linkseq::{self, LinkHello, LinkWelcome, ACK_LEN, HELLO_LEN, WELCOME_LEN};
+use twobit_proto::{Automaton, BufferPool, Bytes, Envelope, Frame, NetStats, ProcessId};
+use twobit_runtime::{FlushPolicy, Incoming, LinkBatcher, OutboundSink};
+
+use crate::poller::{poll_fds, PollFd, WakeRx, Waker, POLL_IN, POLL_OUT};
+
+/// How long a freshly accepted connection may sit without completing its
+/// [`LinkHello`] before the reactor drops it.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// How a link behaves when its connection dies (and on the initial dial).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Backoff before the first re-attempt; doubles per failure.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Consecutive failed attempts before the link is abandoned.
+    pub max_attempts: u32,
+    /// `connect(2)` timeout per attempt.
+    pub dial_timeout: Duration,
+    /// How long to wait for the peer's [`LinkWelcome`] after connecting.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    /// ~8s of total retry budget: enough to ride out a peer restart on a
+    /// CI box without stalling teardown for long when the peer is gone.
+    fn default() -> Self {
+        ReconnectPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(200),
+            max_attempts: 40,
+            dial_timeout: Duration::from_secs(1),
+            handshake_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Backoff before re-attempt number `attempt` (1-based): exponential from
+/// the base, capped.
+fn backoff_for(policy: &ReconnectPolicy, attempt: u32) -> Duration {
+    let doublings = attempt.saturating_sub(1).min(20);
+    policy
+        .base_backoff
+        .saturating_mul(1u32 << doublings)
+        .min(policy.max_backoff)
+}
+
+/// Which reactor thread owns the receive side of ordered link `src → dst`.
+/// Deliberately decoupled from the send-side partition (`li % pool`): both
+/// directions of a process pair usually land on different threads, which
+/// spreads the socket work.
+pub(crate) fn recv_owner(src: ProcessId, dst: ProcessId, pool: usize) -> usize {
+    (src.index().wrapping_mul(31).wrapping_add(dst.index())) % pool
+}
+
+/// One ordered link this node sends on.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct LinkSpec {
+    pub(crate) src: ProcessId,
+    pub(crate) dst: ProcessId,
+    /// Where `dst`'s node listens.
+    pub(crate) addr: SocketAddr,
+}
+
+/// The process loop's handle to one reactor-owned link: enqueue the
+/// envelope, then nudge the owning reactor out of its poll.
+pub(crate) struct LinkSender<M> {
+    pub(crate) tx: Sender<(usize, Envelope<M>)>,
+    pub(crate) waker: Arc<Waker>,
+    pub(crate) li: usize,
+}
+
+impl<M> OutboundSink<M> for LinkSender<M> {
+    fn deliver(&self, env: Envelope<M>) {
+        if self.tx.send((self.li, env)).is_ok() {
+            self.waker.wake();
+        }
+    }
+}
+
+/// A sealed frame parked in the resend buffer until acked.
+struct Sealed {
+    seq: u64,
+    blob: Bytes,
+    /// Message count, for abandoned-link accounting.
+    msgs: u64,
+    /// Whether the frame was ever handed to a socket — a replay of a
+    /// transmitted frame counts in `frames_resent`, a first transmission
+    /// after a reconnect does not.
+    transmitted: bool,
+}
+
+/// Reactor-side state of one send link.
+pub(crate) struct SendLink<M> {
+    pub(crate) spec: LinkSpec,
+    pub(crate) batcher: LinkBatcher<Envelope<M>>,
+    next_seq: u64,
+    resend: VecDeque<Sealed>,
+    conn: Option<usize>,
+    pub(crate) dialing: bool,
+    ever_connected: bool,
+    abandoned: bool,
+}
+
+impl<M> SendLink<M> {
+    pub(crate) fn new(spec: LinkSpec, policy: FlushPolicy) -> Self {
+        SendLink {
+            spec,
+            batcher: LinkBatcher::new(policy),
+            next_seq: 1,
+            resend: VecDeque::new(),
+            conn: None,
+            dialing: false,
+            ever_connected: false,
+            abandoned: false,
+        }
+    }
+
+    fn drained(&self) -> bool {
+        self.abandoned || (self.resend.is_empty() && !self.batcher.has_pending())
+    }
+}
+
+/// A pending socket write, compacting as the kernel takes bytes.
+#[derive(Default)]
+struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Writes as much as the socket takes right now. `WouldBlock` is a
+    /// clean stop (the poll set picks up writable interest); anything else
+    /// is the connection's death.
+    fn write_to(&mut self, stream: &mut TcpStream) -> io::Result<()> {
+        while self.pos < self.buf.len() {
+            match stream.write(&self.buf[self.pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 64 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(())
+    }
+}
+
+/// What a registered connection is for.
+#[derive(Clone, Copy)]
+enum ConnKind {
+    /// Accepted, [`LinkHello`] not yet complete.
+    Handshake { since: Instant },
+    /// Carries send link `li` outbound; acks flow back on it.
+    Send { li: usize },
+    /// Carries a peer's link toward a locally hosted process.
+    Recv { src: ProcessId, dst: ProcessId },
+}
+
+/// One non-blocking socket in the poll set.
+struct Conn {
+    stream: TcpStream,
+    kind: ConnKind,
+    rbuf: Vec<u8>,
+    wbuf: WriteBuf,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, kind: ConnKind) -> Self {
+        Conn {
+            stream,
+            kind,
+            rbuf: Vec::new(),
+            wbuf: WriteBuf::default(),
+        }
+    }
+}
+
+/// A request for the shared dialer thread: connect `addr`, run the
+/// [`LinkHello`]/[`LinkWelcome`] handshake, hand the socket back to
+/// reactor `thread` as a [`Cmd::DialDone`].
+pub(crate) struct DialReq {
+    pub(crate) thread: usize,
+    pub(crate) li: usize,
+    pub(crate) hello: LinkHello,
+    pub(crate) addr: SocketAddr,
+    pub(crate) attempt: u32,
+    pub(crate) not_before: Instant,
+}
+
+/// Control messages a reactor drains (after a [`Waker`] nudge) between
+/// poll iterations.
+pub(crate) enum Cmd {
+    /// A handshaken receive socket routed from the accepting reactor to
+    /// the thread owning `recv_owner(src, dst)`; `carry` is whatever
+    /// followed the hello in the accept buffer.
+    AdoptRecv {
+        src: ProcessId,
+        dst: ProcessId,
+        stream: TcpStream,
+        carry: Vec<u8>,
+    },
+    /// The dialer finished (re)connecting link `li`: a non-blocking socket
+    /// plus the peer's `last_delivered` on success, `None` when the
+    /// attempt budget ran out.
+    DialDone {
+        li: usize,
+        result: Option<(TcpStream, u64)>,
+    },
+    /// Fault injection: shut down every established socket on this thread
+    /// (links then recover through the reconnect path).
+    Sever,
+    /// Start draining: flush immediately, signal `done_tx` once every
+    /// owned link is drained (or the grace deadline forces abandonment).
+    Drain,
+    /// Exit the event loop.
+    Stop,
+}
+
+/// One reactor thread's whole world. Constructed field-by-field in
+/// `node.rs`, then consumed by [`Reactor::run`] on its own thread.
+pub(crate) struct Reactor<A: Automaton> {
+    /// This thread's index in the pool.
+    pub(crate) slot: usize,
+    /// Pool size (for `recv_owner` routing).
+    pub(crate) pool_size: usize,
+    pub(crate) tag_bits: u64,
+    /// Resend-buffer overflow threshold, in frames.
+    pub(crate) resend_cap: usize,
+    pub(crate) drain_grace: Duration,
+    pub(crate) stats: Arc<Mutex<NetStats>>,
+    pub(crate) crashed: Vec<Arc<AtomicBool>>,
+    /// Destination inboxes, indexed by process; `None` for processes not
+    /// hosted on this node.
+    pub(crate) inboxes: Vec<Option<Sender<Incoming<A>>>>,
+    pub(crate) cmd_rx: Receiver<Cmd>,
+    pub(crate) cmd_txs: Vec<Sender<Cmd>>,
+    pub(crate) wakers: Vec<Arc<Waker>>,
+    pub(crate) wake_rx: WakeRx,
+    pub(crate) env_rx: Receiver<(usize, Envelope<A::Msg>)>,
+    pub(crate) dial_tx: Sender<DialReq>,
+    /// The node's listener (thread 0 only), non-blocking.
+    pub(crate) listener: Option<TcpListener>,
+    /// Send links owned by this thread, keyed by global link index.
+    pub(crate) links: HashMap<usize, SendLink<A::Msg>>,
+    /// Stable iteration order over `links` (keys never change after
+    /// construction).
+    pub(crate) link_ids: Vec<usize>,
+    /// Receive-side cursor per ordered link: highest seq handed to the
+    /// destination inbox. Outlives any individual connection — this is
+    /// what makes redelivery after a reconnect detectable.
+    pub(crate) recv_links: HashMap<(ProcessId, ProcessId), u64>,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) done_tx: Sender<usize>,
+}
+
+impl<A: Automaton> Reactor<A> {
+    /// The event loop. Returns when a [`Cmd::Stop`] arrives.
+    pub(crate) fn run(mut self) {
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut state = LoopState {
+            draining: false,
+            drain_deadline: None,
+            done_sent: false,
+        };
+        loop {
+            let now = Instant::now();
+            self.sweep_stale_handshakes(&mut conns, now);
+            self.flush_all(&mut conns, now, state.draining);
+            let timeout = self.next_deadline(&conns, &state, now);
+            let (mut fds, conn_ids) = self.build_pollfds(&conns);
+            if poll_fds(&mut fds, timeout).is_err() {
+                // A transient poll failure (fd churn race); don't spin.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+            if fds[0].readable() {
+                self.wake_rx.drain();
+            }
+            let has_listener = self.listener.is_some();
+            if has_listener && fds[1].readable() {
+                self.accept_all(&mut conns);
+            }
+            let base = 1 + usize::from(has_listener);
+            for (k, &ci) in conn_ids.iter().enumerate() {
+                let fd = fds[base + k];
+                if fd.readable() {
+                    self.conn_readable(&mut conns, ci);
+                }
+                if fd.writable() && matches!(conns.get(ci), Some(Some(_))) {
+                    self.flush_conn(&mut conns, ci);
+                }
+            }
+            if self.drain_cmds(&mut conns, &mut state) {
+                return;
+            }
+            self.drain_envs();
+            let now = Instant::now();
+            self.flush_all(&mut conns, now, state.draining);
+            self.check_drained(&mut conns, &mut state, now);
+        }
+    }
+
+    /// Builds the poll set: waker, listener (thread 0), then every live
+    /// connection — readable interest always, writable only while bytes
+    /// are queued.
+    fn build_pollfds(&self, conns: &[Option<Conn>]) -> (Vec<PollFd>, Vec<usize>) {
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd::new(self.wake_rx.fd(), POLL_IN));
+        if let Some(l) = &self.listener {
+            fds.push(PollFd::new(l.as_raw_fd(), POLL_IN));
+        }
+        let mut ids = Vec::with_capacity(conns.len());
+        for (ci, conn) in conns.iter().enumerate() {
+            if let Some(c) = conn {
+                let mut ev = POLL_IN;
+                if !c.wbuf.is_empty() {
+                    ev |= POLL_OUT;
+                }
+                fds.push(PollFd::new(c.stream.as_raw_fd(), ev));
+                ids.push(ci);
+            }
+        }
+        (fds, ids)
+    }
+
+    /// The poll timeout: the earliest of any link's flush-hold deadline,
+    /// the drain grace deadline, and any pending handshake's expiry.
+    /// `None` (block forever) when nothing is scheduled — a waker nudge
+    /// delivers whatever comes next.
+    fn next_deadline(
+        &self,
+        conns: &[Option<Conn>],
+        state: &LoopState,
+        now: Instant,
+    ) -> Option<Duration> {
+        let mut min: Option<Instant> = state.drain_deadline;
+        let mut fold = |d: Instant| min = Some(min.map_or(d, |m| m.min(d)));
+        for link in self.links.values() {
+            if !link.abandoned {
+                if let Some(d) = link.batcher.flush_deadline() {
+                    fold(d);
+                }
+            }
+        }
+        for conn in conns.iter().flatten() {
+            if let ConnKind::Handshake { since } = conn.kind {
+                fold(since + HANDSHAKE_TIMEOUT);
+            }
+        }
+        min.map(|d| d.saturating_duration_since(now))
+    }
+
+    /// Drops accepted connections that never completed their hello.
+    fn sweep_stale_handshakes(&mut self, conns: &mut [Option<Conn>], now: Instant) {
+        for slot in conns.iter_mut() {
+            let stale = matches!(
+                slot.as_ref().map(|c| c.kind),
+                Some(ConnKind::Handshake { since }) if now.duration_since(since) >= HANDSHAKE_TIMEOUT
+            );
+            if stale {
+                if let Some(conn) = slot.take() {
+                    let _ = conn.stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+
+    /// Moves every queued envelope into its link's batcher (abandoned
+    /// links account the message instead — it can never be delivered).
+    fn drain_envs(&mut self) {
+        loop {
+            match self.env_rx.try_recv() {
+                Ok((li, env)) => {
+                    let Some(link) = self.links.get_mut(&li) else {
+                        continue;
+                    };
+                    if link.abandoned {
+                        self.stats.lock().record_messages_abandoned(1);
+                    } else {
+                        link.batcher.push(env, Instant::now());
+                    }
+                }
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    /// Seals every due batch on every link: frame → seq → resend buffer →
+    /// socket (when connected).
+    fn flush_all(&mut self, conns: &mut [Option<Conn>], now: Instant, shutdown: bool) {
+        for idx in 0..self.link_ids.len() {
+            let li = self.link_ids[idx];
+            self.flush_link(conns, li, now, shutdown);
+        }
+    }
+
+    fn flush_link(&mut self, conns: &mut [Option<Conn>], li: usize, now: Instant, shutdown: bool) {
+        loop {
+            let Some(link) = self.links.get_mut(&li) else {
+                return;
+            };
+            if link.abandoned {
+                return;
+            }
+            let Some(f) = link.batcher.take_due(now, shutdown) else {
+                return;
+            };
+            let frame = Frame::from_envelopes(f.batch);
+            let msgs = frame.len() as u64;
+            let cost = frame.cost(self.tag_bits);
+            let blob = frame
+                .encode_pooled(&self.pool)
+                .expect("the reactor transport requires a codec-capable message type");
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            link.resend.push_back(Sealed {
+                seq,
+                blob: blob.clone(),
+                msgs,
+                transmitted: false,
+            });
+            let depth = link.resend.len();
+            let conn = link.conn;
+            {
+                let mut st = self.stats.lock();
+                st.record_frame(cost);
+                st.record_flush(f.reason, f.held.as_nanos().min(u128::from(u64::MAX)) as u64);
+                st.record_resend_buffer_depth(depth as u64);
+            }
+            if depth > self.resend_cap {
+                // The peer is not acking (down longer than the buffer can
+                // absorb): give the link up rather than grow unboundedly.
+                self.abandon_link(conns, li);
+                return;
+            }
+            if let Some(ci) = conn {
+                self.append_record(conns, ci, seq, &blob);
+                if let Some(link) = self.links.get_mut(&li) {
+                    if let Some(s) = link.resend.back_mut() {
+                        s.transmitted = true;
+                    }
+                }
+                self.flush_conn(conns, ci);
+            }
+        }
+    }
+
+    /// Queues one sequenced record on a connection and accounts its frame
+    /// bytes (the 8-byte seq prefix is transport overhead, not counted).
+    fn append_record(&mut self, conns: &mut [Option<Conn>], ci: usize, seq: u64, blob: &[u8]) {
+        if let Some(conn) = conns.get_mut(ci).and_then(Option::as_mut) {
+            linkseq::encode_record(seq, blob, &mut conn.wbuf.buf);
+            self.stats.lock().record_wire_bytes(blob.len() as u64);
+        }
+    }
+
+    /// Writes a connection's queued bytes; a dead socket goes through the
+    /// failure path (re-dial for send links).
+    fn flush_conn(&mut self, conns: &mut [Option<Conn>], ci: usize) {
+        let res = {
+            let Some(conn) = conns.get_mut(ci).and_then(Option::as_mut) else {
+                return;
+            };
+            let Conn { stream, wbuf, .. } = conn;
+            wbuf.write_to(stream)
+        };
+        if res.is_err() {
+            self.conn_failed(conns, ci);
+        }
+    }
+
+    /// Reads whatever the socket has; returns whether it reached EOF or
+    /// an error (the caller decides what that means for the conn's kind).
+    fn read_some(conns: &mut [Option<Conn>], ci: usize) -> bool {
+        let Some(conn) = conns.get_mut(ci).and_then(Option::as_mut) else {
+            return false;
+        };
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => return true,
+                Ok(n) => conn.rbuf.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+
+    fn conn_readable(&mut self, conns: &mut Vec<Option<Conn>>, ci: usize) {
+        let Some(kind) = conns.get(ci).and_then(Option::as_ref).map(|c| c.kind) else {
+            return;
+        };
+        match kind {
+            ConnKind::Handshake { .. } => self.handshake_readable(conns, ci),
+            ConnKind::Send { li } => self.send_readable(conns, ci, li),
+            ConnKind::Recv { src, dst } => {
+                let closed = Self::read_some(conns, ci);
+                self.deliver_buffered(conns, ci, src, dst);
+                if closed {
+                    // Clean hangup (or peer death): the cursor in
+                    // `recv_links` survives for the next incarnation.
+                    drop_conn(conns, ci);
+                }
+            }
+        }
+    }
+
+    /// The send half's inbound direction carries cumulative acks; EOF or
+    /// error means the connection died and the link must re-dial.
+    fn send_readable(&mut self, conns: &mut [Option<Conn>], ci: usize, li: usize) {
+        let closed = Self::read_some(conns, ci);
+        let ack = {
+            let Some(conn) = conns.get_mut(ci).and_then(Option::as_mut) else {
+                return;
+            };
+            let whole = (conn.rbuf.len() / ACK_LEN) * ACK_LEN;
+            if whole == 0 {
+                None
+            } else {
+                let last = u64::from_be_bytes(
+                    conn.rbuf[whole - ACK_LEN..whole]
+                        .try_into()
+                        .expect("8 bytes"),
+                );
+                conn.rbuf.drain(..whole);
+                Some(last)
+            }
+        };
+        if let Some(ack) = ack {
+            if let Some(link) = self.links.get_mut(&li) {
+                while link.resend.front().is_some_and(|s| s.seq <= ack) {
+                    link.resend.pop_front();
+                }
+            }
+        }
+        if closed {
+            self.conn_failed(conns, ci);
+        }
+    }
+
+    /// Accepts everything the listener has queued; each new socket starts
+    /// in the handshake state until its [`LinkHello`] arrives.
+    fn accept_all(&mut self, conns: &mut Vec<Option<Conn>>) {
+        let mut accepted = Vec::new();
+        if let Some(listener) = &self.listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => accepted.push(stream),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+        for stream in accepted {
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            alloc_conn(
+                conns,
+                Conn::new(
+                    stream,
+                    ConnKind::Handshake {
+                        since: Instant::now(),
+                    },
+                ),
+            );
+        }
+    }
+
+    fn handshake_readable(&mut self, conns: &mut Vec<Option<Conn>>, ci: usize) {
+        let closed = Self::read_some(conns, ci);
+        enum Hs {
+            Wait,
+            Bad,
+            Ready(LinkHello, TcpStream, Vec<u8>),
+        }
+        let state = {
+            let Some(slot) = conns.get_mut(ci) else {
+                return;
+            };
+            let Some(conn) = slot.as_mut() else { return };
+            if conn.rbuf.len() < HELLO_LEN {
+                Hs::Wait
+            } else {
+                match LinkHello::decode(&conn.rbuf[..HELLO_LEN]) {
+                    Ok(h) => {
+                        let carry = conn.rbuf[HELLO_LEN..].to_vec();
+                        let conn = slot.take().expect("checked above");
+                        Hs::Ready(h, conn.stream, carry)
+                    }
+                    Err(_) => Hs::Bad,
+                }
+            }
+        };
+        match state {
+            Hs::Wait => {
+                if closed {
+                    drop_conn(conns, ci);
+                }
+            }
+            Hs::Bad => {
+                // Garbage where a hello should be: not one of our links,
+                // but accounted so a poisoned setup is visible.
+                self.stats.lock().record_link_abandoned();
+                drop_conn(conns, ci);
+            }
+            Hs::Ready(hello, stream, carry) => {
+                let owner = recv_owner(hello.src, hello.dst, self.pool_size);
+                if owner == self.slot {
+                    self.adopt_recv(conns, hello.src, hello.dst, stream, carry);
+                } else if self.cmd_txs[owner]
+                    .send(Cmd::AdoptRecv {
+                        src: hello.src,
+                        dst: hello.dst,
+                        stream,
+                        carry,
+                    })
+                    .is_ok()
+                {
+                    self.wakers[owner].wake();
+                }
+            }
+        }
+    }
+
+    /// Takes ownership of a handshaken receive socket: answers with the
+    /// link's resume point, then treats `carry` as the first read.
+    fn adopt_recv(
+        &mut self,
+        conns: &mut Vec<Option<Conn>>,
+        src: ProcessId,
+        dst: ProcessId,
+        stream: TcpStream,
+        carry: Vec<u8>,
+    ) {
+        let hosted = self.inboxes.get(dst.index()).is_some_and(Option::is_some);
+        if !hosted {
+            // A hello for a process that does not live here: config skew
+            // between nodes. Visible, not silent.
+            self.stats.lock().record_link_abandoned();
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        // A reconnect supersedes any previous incarnation still open.
+        let stale: Vec<usize> = conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| match slot.as_ref().map(|c| c.kind) {
+                Some(ConnKind::Recv { src: s, dst: d }) if s == src && d == dst => Some(i),
+                _ => None,
+            })
+            .collect();
+        for old in stale {
+            drop_conn(conns, old);
+        }
+        let last = *self.recv_links.entry((src, dst)).or_insert(0);
+        let mut conn = Conn::new(stream, ConnKind::Recv { src, dst });
+        conn.rbuf = carry;
+        conn.wbuf.buf.extend_from_slice(
+            &LinkWelcome {
+                last_delivered: last,
+            }
+            .encode(),
+        );
+        let ci = alloc_conn(conns, conn);
+        self.flush_conn(conns, ci);
+        self.deliver_buffered(conns, ci, src, dst);
+    }
+
+    /// Slices buffered records, dedups against the link cursor, decodes
+    /// and delivers each fresh frame, then acks the cumulative high mark.
+    fn deliver_buffered(
+        &mut self,
+        conns: &mut [Option<Conn>],
+        ci: usize,
+        src: ProcessId,
+        dst: ProcessId,
+    ) {
+        let (records, poisoned) = {
+            let Some(conn) = conns.get_mut(ci).and_then(Option::as_mut) else {
+                return;
+            };
+            let mut records: Vec<(u64, Bytes)> = Vec::new();
+            let mut off = 0usize;
+            let mut poisoned = false;
+            loop {
+                match linkseq::split_record(&conn.rbuf[off..]) {
+                    Ok(Some((seq, total))) => {
+                        let blob = conn.rbuf[off + linkseq::SEQ_PREFIX_LEN..off + total].to_vec();
+                        records.push((seq, Bytes::from(blob)));
+                        off += total;
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        poisoned = true;
+                        break;
+                    }
+                }
+            }
+            conn.rbuf.drain(..off);
+            (records, poisoned)
+        };
+        let mut acked = None;
+        for (seq, blob) in records {
+            let last = self.recv_links.get(&(src, dst)).copied().unwrap_or(0);
+            if seq <= last {
+                // A replayed frame this side already consumed: the whole
+                // point of the cursor — ack again, deliver never.
+                acked = Some(last);
+                self.stats.lock().record_frame_deduped();
+                continue;
+            }
+            let Ok(frame) = Frame::<A::Msg>::decode_shared(&blob) else {
+                // Corrupt frame from a byzantine-free peer: poisoned link.
+                self.stats.lock().record_link_abandoned();
+                drop_conn(conns, ci);
+                return;
+            };
+            let msgs = frame.len() as u64;
+            self.recv_links.insert((src, dst), seq);
+            acked = Some(seq);
+            let delivered = !self.crashed[dst.index()].load(Ordering::Relaxed)
+                && self.inboxes[dst.index()]
+                    .as_ref()
+                    .is_some_and(|tx| tx.send(Incoming::Frame { from: src, frame }).is_ok());
+            let mut st = self.stats.lock();
+            if delivered {
+                st.record_deliveries(msgs);
+            } else {
+                st.record_frame_drop_to_crashed(msgs);
+            }
+        }
+        if poisoned {
+            self.stats.lock().record_link_abandoned();
+            drop_conn(conns, ci);
+            return;
+        }
+        if let Some(ack) = acked {
+            let appended = match conns.get_mut(ci).and_then(Option::as_mut) {
+                Some(conn) => {
+                    conn.wbuf.buf.extend_from_slice(&ack.to_be_bytes());
+                    true
+                }
+                None => false,
+            };
+            if appended {
+                self.flush_conn(conns, ci);
+            }
+        }
+    }
+
+    /// A connection died. Receive sides just drop (the peer re-dials);
+    /// send sides clear the link's conn and schedule a re-dial.
+    fn conn_failed(&mut self, conns: &mut [Option<Conn>], ci: usize) {
+        let Some(conn) = conns.get_mut(ci).and_then(Option::take) else {
+            return;
+        };
+        let _ = conn.stream.shutdown(Shutdown::Both);
+        if let ConnKind::Send { li } = conn.kind {
+            let current = self.links.get(&li).and_then(|l| l.conn);
+            if current == Some(ci) {
+                if let Some(link) = self.links.get_mut(&li) {
+                    link.conn = None;
+                }
+                self.schedule_redial(li);
+            }
+        }
+    }
+
+    fn schedule_redial(&mut self, li: usize) {
+        let Some(link) = self.links.get_mut(&li) else {
+            return;
+        };
+        if link.abandoned || link.dialing {
+            return;
+        }
+        link.dialing = true;
+        let req = DialReq {
+            thread: self.slot,
+            li,
+            hello: LinkHello {
+                src: link.spec.src,
+                dst: link.spec.dst,
+            },
+            addr: link.spec.addr,
+            attempt: 0,
+            not_before: Instant::now(),
+        };
+        if self.dial_tx.send(req).is_err() {
+            // Dialer gone (tear-down racing a failure): the link cannot
+            // recover.
+            if let Some(link) = self.links.get_mut(&li) {
+                link.dialing = false;
+            }
+        }
+    }
+
+    /// The dialer's verdict for link `li`.
+    fn dial_done(
+        &mut self,
+        conns: &mut Vec<Option<Conn>>,
+        li: usize,
+        result: Option<(TcpStream, u64)>,
+    ) {
+        let Some((stream, resume)) = result else {
+            if let Some(link) = self.links.get_mut(&li) {
+                link.dialing = false;
+            }
+            self.abandon_link(conns, li);
+            return;
+        };
+        let staging = {
+            let Some(link) = self.links.get_mut(&li) else {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            };
+            link.dialing = false;
+            if link.abandoned {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            let reconnect = link.ever_connected;
+            link.ever_connected = true;
+            let old = link.conn.take();
+            // The peer consumed up to `resume`: those frames are settled
+            // even if their acks died with the old socket.
+            while link.resend.front().is_some_and(|s| s.seq <= resume) {
+                link.resend.pop_front();
+            }
+            let mut resent = 0u64;
+            let replay: Vec<(u64, Bytes)> = link
+                .resend
+                .iter_mut()
+                .map(|s| {
+                    if s.transmitted {
+                        resent += 1;
+                    }
+                    s.transmitted = true;
+                    (s.seq, s.blob.clone())
+                })
+                .collect();
+            (reconnect, old, replay, resent)
+        };
+        let (reconnect, old, replay, resent) = staging;
+        if let Some(old) = old {
+            drop_conn(conns, old);
+        }
+        let ci = alloc_conn(conns, Conn::new(stream, ConnKind::Send { li }));
+        if let Some(link) = self.links.get_mut(&li) {
+            link.conn = Some(ci);
+        }
+        {
+            let mut st = self.stats.lock();
+            if reconnect {
+                st.record_reconnect();
+            }
+            if resent > 0 {
+                st.record_frames_resent(resent);
+            }
+        }
+        for (seq, blob) in &replay {
+            self.append_record(conns, ci, *seq, blob);
+        }
+        self.flush_conn(conns, ci);
+    }
+
+    /// Gives up on a link: everything sealed-but-unsettled and everything
+    /// still pending is accounted as abandoned (the signal that teardown
+    /// reconciliation may not balance — an un-acked frame might or might
+    /// not have been consumed remotely).
+    fn abandon_link(&mut self, conns: &mut [Option<Conn>], li: usize) {
+        let (msgs, conn) = {
+            let Some(link) = self.links.get_mut(&li) else {
+                return;
+            };
+            if link.abandoned {
+                return;
+            }
+            link.abandoned = true;
+            let mut msgs: u64 = link.resend.iter().map(|s| s.msgs).sum();
+            msgs += link.batcher.drain_remaining().len() as u64;
+            link.resend.clear();
+            (msgs, link.conn.take())
+        };
+        if let Some(ci) = conn {
+            if let Some(c) = conns.get_mut(ci).and_then(Option::take) {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+        }
+        let mut st = self.stats.lock();
+        st.record_link_abandoned();
+        st.record_messages_abandoned(msgs);
+    }
+
+    /// Handles queued control messages; `true` means Stop.
+    fn drain_cmds(&mut self, conns: &mut Vec<Option<Conn>>, state: &mut LoopState) -> bool {
+        loop {
+            match self.cmd_rx.try_recv() {
+                Ok(Cmd::AdoptRecv {
+                    src,
+                    dst,
+                    stream,
+                    carry,
+                }) => self.adopt_recv(conns, src, dst, stream, carry),
+                Ok(Cmd::DialDone { li, result }) => self.dial_done(conns, li, result),
+                Ok(Cmd::Sever) => {
+                    for conn in conns.iter().flatten() {
+                        if !matches!(conn.kind, ConnKind::Handshake { .. }) {
+                            // Just kill the socket; the event loop notices
+                            // the EOF and runs the normal failure path.
+                            let _ = conn.stream.shutdown(Shutdown::Both);
+                        }
+                    }
+                }
+                Ok(Cmd::Drain) => {
+                    state.draining = true;
+                    if state.drain_deadline.is_none() {
+                        state.drain_deadline = Some(Instant::now() + self.drain_grace);
+                    }
+                }
+                Ok(Cmd::Stop) => return true,
+                Err(TryRecvError::Empty | TryRecvError::Disconnected) => return false,
+            }
+        }
+    }
+
+    /// During a drain: signal `done_tx` once every owned link has settled
+    /// (resend empty, nothing pending, all write buffers flushed). Past
+    /// the grace deadline, force-abandon what's left and signal anyway —
+    /// a peer that will never ack must not hang teardown.
+    fn check_drained(&mut self, conns: &mut [Option<Conn>], state: &mut LoopState, now: Instant) {
+        if !state.draining || state.done_sent {
+            return;
+        }
+        let expired = state.drain_deadline.is_some_and(|d| now >= d);
+        if expired {
+            for idx in 0..self.link_ids.len() {
+                let li = self.link_ids[idx];
+                let undrained = self.links.get(&li).is_some_and(|l| !l.drained());
+                if undrained {
+                    self.abandon_link(conns, li);
+                }
+            }
+        }
+        let links_done = self.links.values().all(SendLink::drained);
+        let writes_done = conns
+            .iter()
+            .flatten()
+            .all(|c| c.wbuf.is_empty() || !matches!(c.kind, ConnKind::Send { .. }));
+        if expired || (links_done && writes_done) {
+            state.done_sent = true;
+            // Stop treating the grace deadline as a poll deadline — the
+            // loop keeps serving acks until Stop, parked on the waker.
+            state.drain_deadline = None;
+            let _ = self.done_tx.send(self.slot);
+        }
+    }
+}
+
+/// Loop-local drain state (kept out of [`Reactor`] so `run` can borrow
+/// the reactor and the conn slab independently).
+struct LoopState {
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    done_sent: bool,
+}
+
+/// Registers a connection in the first free slab slot.
+fn alloc_conn(conns: &mut Vec<Option<Conn>>, conn: Conn) -> usize {
+    if let Some(ci) = conns.iter().position(Option::is_none) {
+        conns[ci] = Some(conn);
+        ci
+    } else {
+        conns.push(Some(conn));
+        conns.len() - 1
+    }
+}
+
+/// Closes and forgets a connection (no link-side effects).
+fn drop_conn(conns: &mut [Option<Conn>], ci: usize) {
+    if let Some(conn) = conns.get_mut(ci).and_then(Option::take) {
+        let _ = conn.stream.shutdown(Shutdown::Both);
+    }
+}
+
+/// The node's single dialer thread: every blocking connect/handshake in
+/// one place, so reactor threads never block on `connect(2)`. Requests
+/// carry their own backoff schedule; a failed attempt is re-queued with
+/// exponential backoff until the policy's budget runs out, at which point
+/// the owning reactor gets a `DialDone { result: None }` and abandons the
+/// link. Serializing dials also keeps any one listener's accept backlog
+/// shallow during the initial mesh build.
+pub(crate) fn dialer_loop(
+    dial_rx: &Receiver<DialReq>,
+    cmd_txs: &[Sender<Cmd>],
+    wakers: &[Arc<Waker>],
+    policy: ReconnectPolicy,
+) {
+    let mut queue: Vec<DialReq> = Vec::new();
+    loop {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].not_before > now {
+                i += 1;
+                continue;
+            }
+            let req = queue.swap_remove(i);
+            match try_dial(&req, &policy) {
+                Ok(done) => {
+                    if cmd_txs[req.thread]
+                        .send(Cmd::DialDone {
+                            li: req.li,
+                            result: Some(done),
+                        })
+                        .is_ok()
+                    {
+                        wakers[req.thread].wake();
+                    }
+                }
+                Err(_) => {
+                    let attempt = req.attempt + 1;
+                    if attempt >= policy.max_attempts {
+                        if cmd_txs[req.thread]
+                            .send(Cmd::DialDone {
+                                li: req.li,
+                                result: None,
+                            })
+                            .is_ok()
+                        {
+                            wakers[req.thread].wake();
+                        }
+                    } else {
+                        queue.push(DialReq {
+                            attempt,
+                            not_before: Instant::now() + backoff_for(&policy, attempt),
+                            ..req
+                        });
+                    }
+                }
+            }
+        }
+        let next_due = queue.iter().map(|r| r.not_before).min();
+        match next_due {
+            Some(t) => {
+                let wait = t.saturating_duration_since(Instant::now());
+                match dial_rx.recv_timeout(wait.max(Duration::from_micros(100))) {
+                    Ok(req) => queue.push(req),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    // Every reactor (and the node) hung up: tear-down.
+                    // Pending retries die with us — their reactors are
+                    // gone too, so nobody is waiting on a verdict.
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match dial_rx.recv() {
+                Ok(req) => queue.push(req),
+                Err(_) => return,
+            },
+        }
+    }
+}
+
+/// One blocking dial + handshake round trip.
+fn try_dial(req: &DialReq, policy: &ReconnectPolicy) -> io::Result<(TcpStream, u64)> {
+    let mut stream = TcpStream::connect_timeout(&req.addr, policy.dial_timeout)?;
+    stream.set_nodelay(true)?;
+    stream.write_all(&req.hello.encode())?;
+    stream.set_read_timeout(Some(policy.handshake_timeout))?;
+    let mut buf = [0u8; WELCOME_LEN];
+    stream.read_exact(&mut buf)?;
+    let welcome = LinkWelcome::decode(&buf)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad link welcome"))?;
+    stream.set_read_timeout(None)?;
+    stream.set_nonblocking(true)?;
+    Ok((stream, welcome.last_delivered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_from_base_and_caps() {
+        let p = ReconnectPolicy {
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(100),
+            ..ReconnectPolicy::default()
+        };
+        assert_eq!(backoff_for(&p, 1), Duration::from_millis(1));
+        assert_eq!(backoff_for(&p, 2), Duration::from_millis(2));
+        assert_eq!(backoff_for(&p, 4), Duration::from_millis(8));
+        assert_eq!(backoff_for(&p, 30), Duration::from_millis(100), "capped");
+    }
+
+    #[test]
+    fn recv_owner_spreads_and_is_stable() {
+        let a = recv_owner(ProcessId::new(0), ProcessId::new(1), 4);
+        assert_eq!(a, recv_owner(ProcessId::new(0), ProcessId::new(1), 4));
+        assert!(a < 4);
+        // All four threads get some share of a 8-process mesh.
+        let mut seen = [false; 4];
+        for s in 0..8 {
+            for d in 0..8 {
+                if s != d {
+                    seen[recv_owner(ProcessId::new(s), ProcessId::new(d), 4)] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "every thread owns some recv links");
+    }
+
+    #[test]
+    fn write_buf_survives_partial_writes_and_compacts() {
+        // A socket pair whose reader never reads: writes eventually
+        // WouldBlock, and the buffer keeps the unwritten tail.
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        tx.set_nonblocking(true).unwrap();
+        let (_rx, _) = listener.accept().unwrap();
+        let mut tx = tx;
+        let mut wbuf = WriteBuf::default();
+        let chunk = vec![0xAB; 1 << 16];
+        let mut queued = 0usize;
+        for _ in 0..256 {
+            wbuf.buf.extend_from_slice(&chunk);
+            queued += chunk.len();
+            wbuf.write_to(&mut tx).unwrap();
+            if !wbuf.is_empty() {
+                break; // the kernel buffer filled up — the case under test
+            }
+            queued = 0;
+        }
+        assert!(!wbuf.is_empty(), "socket buffers are not 16 MiB deep");
+        assert!(wbuf.buf.len() - wbuf.pos <= queued);
+        // Drain the peer and the remainder flushes cleanly.
+        let mut rx = _rx;
+        rx.set_nonblocking(true).unwrap();
+        let mut sink = [0u8; 1 << 16];
+        for _ in 0..10_000 {
+            while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
+            wbuf.write_to(&mut tx).unwrap();
+            if wbuf.is_empty() {
+                break;
+            }
+        }
+        assert!(wbuf.is_empty(), "the tail flushed once the peer drained");
+        assert_eq!(wbuf.pos, 0, "compacted after a full flush");
+    }
+}

@@ -364,6 +364,14 @@ impl<M> LinkBatcher<M> {
         self.deadline
     }
 
+    /// The time remaining until [`LinkBatcher::flush_deadline`], saturated
+    /// at zero — the timer form an event loop wants: a reactor registers
+    /// this as its poll timeout instead of parking a dedicated thread per
+    /// link (`None` still means "nothing pending, no timer needed").
+    pub fn time_to_deadline(&self, now: Instant) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(now))
+    }
+
     /// Whether any items are pending.
     pub fn has_pending(&self) -> bool {
         !self.pending.is_empty()
@@ -477,6 +485,24 @@ mod tests {
         assert!(
             b2.flush_deadline().is_none(),
             "a drained batcher leaves its owner parked, even mid-conversation"
+        );
+    }
+
+    #[test]
+    fn time_to_deadline_is_the_timer_form_of_the_flush_deadline() {
+        let mut b = LinkBatcher::new(FlushPolicy::fixed(64, Duration::from_micros(100)));
+        let t0 = Instant::now();
+        assert_eq!(b.time_to_deadline(t0), None, "idle: no timer to arm");
+        b.push(1u32, t0);
+        assert_eq!(
+            b.time_to_deadline(t0),
+            Some(Duration::from_micros(100)),
+            "the full hold remains at arrival time"
+        );
+        assert_eq!(
+            b.time_to_deadline(at(t0, 150)),
+            Some(Duration::ZERO),
+            "past the deadline the timer saturates at zero (poll returns now)"
         );
     }
 

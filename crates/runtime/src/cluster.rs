@@ -99,6 +99,26 @@ pub(crate) type InflightMap<V> = HashMap<(ProcessId, RegisterId), Slot<V>>;
 /// backend — takes one.
 pub type OutboundLinks<M> = Vec<Option<Sender<Envelope<M>>>>;
 
+/// Where a process loop hands its outbound envelopes, one ordered link per
+/// sink. [`process_loop`] is generic over this so every live backend keeps
+/// the same loop body while feeding different machinery: the in-process
+/// cluster and the thread-per-link TCP transport implement it with a plain
+/// crossbeam [`Sender`] (a parked link/writer thread on the other end);
+/// the reactor transport implements it with a channel-plus-waker pair that
+/// nudges an event loop instead of waking a dedicated thread.
+pub trait OutboundSink<M> {
+    /// Hands one enveloped message to the ordered link. Delivery is
+    /// best-effort: a sink whose far side is gone drops the envelope (the
+    /// backend accounts it as abandoned or dropped on its own path).
+    fn deliver(&self, env: Envelope<M>);
+}
+
+impl<M> OutboundSink<M> for Sender<Envelope<M>> {
+    fn deliver(&self, env: Envelope<M>) {
+        let _ = self.send(env);
+    }
+}
+
 /// The full link-channel matrix, indexed `[src][dst]`.
 type LinkTxs<M> = Vec<OutboundLinks<M>>;
 
@@ -439,10 +459,10 @@ struct PendingOp<A: Automaton> {
 /// the snapshot — zero protocol messages — when the gate admits it. The
 /// publish-before-reply order is what makes hit counts deterministic for
 /// sequential workloads, and therefore comparable across backends.
-pub fn process_loop<A: Automaton>(
+pub fn process_loop<A: Automaton, S: OutboundSink<A::Msg>>(
     mut shards: ShardSet<A>,
     inbox: crossbeam::channel::Receiver<Incoming<A>>,
-    outs: OutboundLinks<A::Msg>,
+    outs: Vec<Option<S>>,
     crashed: Vec<Arc<AtomicBool>>,
     stats: Arc<Mutex<NetStats>>,
     cache_mode: CacheMode,
@@ -539,7 +559,7 @@ pub fn process_loop<A: Automaton>(
                 }
                 if let Some(tx) = outs[to.index()].as_ref() {
                     for env in batch {
-                        let _ = tx.send(env);
+                        tx.deliver(env);
                     }
                 }
             }

@@ -47,5 +47,5 @@ pub mod recorder;
 
 pub use batcher::{BuildError, ConfigError, Flush, FlushPolicy, HoldPolicy, LinkBatcher};
 pub use client::{ClientError, OpHandle, RegisterClient};
-pub use cluster::{process_loop, Cluster, ClusterBuilder, Incoming, OutboundLinks};
+pub use cluster::{process_loop, Cluster, ClusterBuilder, Incoming, OutboundLinks, OutboundSink};
 pub use recorder::Recorder;

@@ -343,7 +343,9 @@ mod tests {
         let crashed = Arc::new(AtomicBool::new(false));
         let (tx, out, dropped, h) = id_link(
             FlushPolicy::fixed(64, Duration::ZERO),
-            DelayModel::Fixed(50_000), // 50ms in flight
+            // Long enough in flight that the crash flag below is set well
+            // before delivery even on a loaded single-core runner.
+            DelayModel::Fixed(400_000), // 400ms
             2,
             Arc::clone(&crashed),
         );

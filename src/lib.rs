@@ -160,6 +160,45 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
+//! ## Scaling out: the reactor transport
+//!
+//! [`TcpCluster`] spends a reader + writer thread per ordered link —
+//! transparent at `n = 3`, untenable at `n = 64` (4032 links). The
+//! reactor backend ([`ReactorClusterBuilder`] / [`ReactorNodeBuilder`],
+//! crate `twobit-reactor`) multiplexes every link over a small fixed pool
+//! of event-loop threads (`poll(2)`-based, no new dependencies), so a
+//! node runs `hosted processes + pool_size + 1` threads no matter how
+//! many links it owns. It adds two things the thread-per-link backend
+//! cannot do: **cross-host deployment** (split `listen(addr)` → report
+//! the bound port → `join(peer_map)`) and **reconnect-and-resend** —
+//! a transiently failed socket re-dials with backoff and replays un-acked
+//! frames from a bounded resend buffer, with sequence-number dedup on
+//! the receive side, all visible in [`proto::NetStats`] (`reconnects`,
+//! `frames_resent`, `frames_deduped`, `resend_buffer_high_water`).
+//!
+//! ```
+//! use twobit::{Driver, ProcessId, RegisterId, ReactorClusterBuilder, SystemConfig, TwoBitProcess};
+//!
+//! let cfg = SystemConfig::new(3, 1)?;
+//! let writer = ProcessId::new(0);
+//! let mut node = ReactorClusterBuilder::new(cfg)
+//!     .pool_size(2) // 3 procs + 2 reactors + 1 dialer = 6 threads
+//!     .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))?;
+//! node.write(writer, RegisterId::ZERO, 9)?;
+//! assert_eq!(node.read(ProcessId::new(2), RegisterId::ZERO)?, 9);
+//! assert_eq!(node.thread_count(), 6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! **Migrating from `TcpClusterBuilder`:** `ReactorClusterBuilder` is a
+//! drop-in for the all-local case — same `registers` / `flush_policy` /
+//! `cache_mode` / `op_timeout` knobs, same `Driver` surface, same
+//! history and stats semantics. For multi-host deployments switch to
+//! `ReactorNodeBuilder::new(cfg).host([..]).listen(addr)?.join(&peers,
+//! ..)` and drive each process through the node that hosts it (a
+//! non-hosted process is a typed `DriverError::Backend`). See
+//! `docs/transport.md` for the architecture and deployment guide.
+//!
 //! ## Migrating to the byte-level frame API
 //!
 //! * `Frame::encode()` returns the length-prefixed blob; `Frame::decode`
@@ -288,6 +327,7 @@ pub use twobit_core as core;
 pub use twobit_harness as harness;
 pub use twobit_lincheck as lincheck;
 pub use twobit_proto as proto;
+pub use twobit_reactor as reactor;
 pub use twobit_runtime as runtime;
 pub use twobit_simnet as simnet;
 pub use twobit_transport as transport;
@@ -299,6 +339,9 @@ pub use twobit_proto::{
     Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, FrameCost, FrameHeader,
     History, OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterMode,
     RegisterSpace, ShardSet, ShardedHistory, SystemConfig, Workload,
+};
+pub use twobit_reactor::{
+    ListeningNode, ReactorClusterBuilder, ReactorNode, ReactorNodeBuilder, ReconnectPolicy,
 };
 pub use twobit_runtime::{
     BuildError, ClientError, Cluster, ClusterBuilder, ConfigError, FlushPolicy, HoldPolicy,

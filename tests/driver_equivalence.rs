@@ -10,8 +10,8 @@ use std::time::Duration;
 use twobit::lincheck::{check_mwmr_sharded, check_swmr_sharded};
 use twobit::{
     CacheMode, ClusterBuilder, Driver, DriverError, FlushPolicy, MwmrProcess, Operation, ProcessId,
-    RegisterId, SpaceBuilder, SystemConfig, TcpClusterBuilder, TwoBitProcess, VirtualHold,
-    Workload,
+    ReactorClusterBuilder, RegisterId, SpaceBuilder, SystemConfig, TcpClusterBuilder,
+    TwoBitProcess, VirtualHold, Workload,
 };
 
 const N: usize = 5;
@@ -96,6 +96,80 @@ fn same_workload_runs_on_tcp_backend() {
     assert!(
         cluster.stats().wire_bytes() > 0,
         "tcp: the workload crossed real sockets as encoded frames"
+    );
+}
+
+#[test]
+fn same_workload_runs_on_reactor_backend() {
+    let cfg = cfg();
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback reactor cluster starts");
+    check_backend(&mut node, "reactor");
+    let stats = node.stats();
+    assert!(
+        stats.wire_bytes() > 0,
+        "reactor: the workload crossed real sockets as encoded frames"
+    );
+    assert_eq!(stats.reconnects(), 0, "reactor: no failures were injected");
+}
+
+/// The reactor backend and the simulator agree per register: same
+/// completed operation counts, same per-register atomicity verdicts, and
+/// the same written-value sequences — the reactor is an execution
+/// substrate, not a semantics change.
+#[test]
+fn reactor_histories_match_simnet_per_register() {
+    let cfg = cfg();
+    let w = workload();
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .wire_codec(true)
+        .build(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    w.run_on(&mut sim).unwrap();
+    let sim_hist = sim.history();
+    let sim_verdicts = check_swmr_sharded(&sim_hist).unwrap();
+
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    w.run_on(&mut node).unwrap();
+    let (node_hist, node_stats) = node.shutdown();
+    let node_verdicts = check_swmr_sharded(&node_hist).unwrap();
+
+    assert_eq!(sim_hist.len(), node_hist.len(), "register count");
+    assert_eq!(sim_hist.total_ops(), node_hist.total_ops(), "op count");
+    for ((reg_s, v_s), (reg_r, v_r)) in sim_verdicts.iter().zip(node_verdicts.iter()) {
+        assert_eq!(reg_s, reg_r);
+        assert_eq!(v_s.writes, v_r.writes, "{reg_s}: write count");
+        assert_eq!(v_s.reads_checked, v_r.reads_checked, "{reg_s}: read count");
+    }
+    for (reg, sim_shard) in sim_hist.iter() {
+        let node_shard = node_hist.shard(reg).unwrap();
+        let writes = |h: &twobit::History<u64>| -> Vec<u64> {
+            h.records
+                .iter()
+                .filter_map(|r| r.op.written_value().copied())
+                .collect()
+        };
+        assert_eq!(writes(sim_shard), writes(node_shard), "{reg}: write values");
+    }
+    assert_eq!(
+        node_stats.total_delivered()
+            + node_stats.dropped_to_crashed()
+            + node_stats.messages_abandoned(),
+        node_stats.total_sent(),
+        "reactor: delivered + dropped + abandoned == sent"
     );
 }
 

@@ -1,0 +1,261 @@
+//! Integration tests for the reactor transport: flat thread count under
+//! many links, reconnect-and-resend accounting, and the two-node
+//! listen/join deployment path.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use twobit::lincheck::{check_swmr, check_swmr_sharded};
+use twobit::{
+    Driver, FlushPolicy, ProcessId, ReactorClusterBuilder, ReactorNodeBuilder, RegisterId,
+    SystemConfig, TwoBitProcess,
+};
+
+/// How many OS threads this process currently runs (from
+/// `/proc/self/status`); `None` off-Linux.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Satellite: the reactor's reason to exist. 16 processes × 64 shards is
+/// 240 ordered links; the thread-per-link backend would burn 480 socket
+/// threads, the reactor runs `procs + pool + dialer` regardless.
+#[test]
+fn thread_count_is_flat_in_the_link_count() {
+    let cfg = SystemConfig::max_resilience(16);
+    let writer = ProcessId::new(0);
+    let before = os_thread_count();
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .pool_size(4)
+        .registers(64)
+        .build_sharded(0u64, |_reg, id| TwoBitProcess::new(id, cfg, writer, 0u64))
+        .expect("reactor cluster starts");
+    assert_eq!(
+        node.thread_count(),
+        16 + 4 + 1,
+        "procs + pool + dialer, not O(links)"
+    );
+    if let (Some(b), Some(a)) = (before, os_thread_count()) {
+        // Real OS accounting, with slack for unrelated test-harness
+        // threads: far under the 480 link threads the old backend needs.
+        assert!(
+            a.saturating_sub(b) < 60,
+            "spawned {} threads for 240 links",
+            a.saturating_sub(b)
+        );
+    }
+    // The mesh actually works: traffic on a high shard and a low one.
+    node.write(writer, RegisterId::ZERO, 1).unwrap();
+    node.write(writer, RegisterId::new(63), 2).unwrap();
+    assert_eq!(node.read(ProcessId::new(9), RegisterId::ZERO).unwrap(), 1);
+    assert_eq!(
+        node.read(ProcessId::new(15), RegisterId::new(63)).unwrap(),
+        2
+    );
+    let (history, stats) = node.shutdown();
+    check_swmr_sharded(&history).unwrap();
+    assert_eq!(stats.links_abandoned(), 0);
+    assert_eq!(
+        stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+        stats.total_sent(),
+        "flat-thread run reconciles exactly"
+    );
+}
+
+/// Tentpole acceptance: 64 processes × 64 shards — 4032 ordered links —
+/// on one box, still `procs + pool + dialer` threads, still atomic.
+#[test]
+fn sixty_four_procs_sixty_four_shards_on_one_box() {
+    let cfg = SystemConfig::max_resilience(64);
+    let writer = ProcessId::new(0);
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .pool_size(4)
+        .registers(64)
+        // The mesh is 4032 dials through one serializing dialer; give
+        // the first operation time to ride out the build-up.
+        .op_timeout(Duration::from_secs(120))
+        .drain_grace(Duration::from_secs(10))
+        .build_sharded(0u64, |_reg, id| TwoBitProcess::new(id, cfg, writer, 0u64))
+        .expect("64-process reactor cluster starts");
+    assert_eq!(node.thread_count(), 64 + 4 + 1);
+    node.write(writer, RegisterId::ZERO, 7).unwrap();
+    assert_eq!(node.read(ProcessId::new(63), RegisterId::ZERO).unwrap(), 7);
+    let (history, stats) = node.shutdown();
+    check_swmr(history.shard(RegisterId::ZERO).unwrap()).unwrap();
+    assert_eq!(stats.links_abandoned(), 0, "every link drained cleanly");
+    assert_eq!(
+        stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+        stats.total_sent(),
+        "4032-link run reconciles exactly"
+    );
+}
+
+/// Satellite: reconnect accounting. Sever every live socket mid-workload
+/// (a *transient* failure — contrast `Driver::crash`): links must
+/// recover via redial + resend, no operation may observe a duplicate
+/// delivery, and the books must still balance exactly with
+/// `reconnects >= 1`.
+#[test]
+fn severed_links_reconnect_without_double_delivery() {
+    let cfg = SystemConfig::max_resilience(3);
+    let writer = ProcessId::new(0);
+    let reg = RegisterId::ZERO;
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .pool_size(2)
+        // Small frames: plenty of distinct sequence numbers in flight.
+        .flush_policy(FlushPolicy::immediate())
+        .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))
+        .expect("reactor cluster starts");
+
+    for round in 1..=30u64 {
+        if round % 5 == 0 {
+            // Kill every established socket while the next write's frames
+            // race the failure notice.
+            node.sever_links();
+        }
+        node.write(writer, reg, round).unwrap();
+        let got = node
+            .read(ProcessId::new((round % 2 + 1) as usize), reg)
+            .unwrap();
+        assert_eq!(got, round, "round {round} read the freshest write");
+    }
+
+    let (history, stats) = node.shutdown();
+    let verdict = check_swmr(history.shard(reg).unwrap()).unwrap();
+    assert_eq!(verdict.writes, 30, "every write completed exactly once");
+    assert_eq!(verdict.reads_checked, 30);
+    assert!(
+        stats.reconnects() >= 1,
+        "severed links recovered by reconnecting (got {})",
+        stats.reconnects()
+    );
+    assert_eq!(
+        stats.links_abandoned(),
+        0,
+        "transient failures recover; they do not abandon links"
+    );
+    assert!(
+        stats.resend_buffer_high_water() >= 1,
+        "sealed frames pass through the resend buffer"
+    );
+    // The tentpole invariant: resend epochs are counted exactly once —
+    // replayed frames never double-count deliveries, deduped frames are
+    // never delivered.
+    assert_eq!(
+        stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+        stats.total_sent(),
+        "delivered + dropped + abandoned == sent across {} reconnects \
+         ({} frames resent, {} deduped)",
+        stats.reconnects(),
+        stats.frames_resent(),
+        stats.frames_deduped(),
+    );
+}
+
+/// Tentpole: the cross-host deployment shape. Two nodes in one test
+/// process, each hosting part of the configuration, wired by exchanging
+/// bound addresses (port 0) exactly as two separate machines would.
+#[test]
+fn two_nodes_listen_join_and_interoperate() {
+    let cfg = SystemConfig::max_resilience(3);
+    let writer = ProcessId::new(0);
+    let p1 = ProcessId::new(1);
+    let p2 = ProcessId::new(2);
+    let make = move |_reg: RegisterId, id: ProcessId| TwoBitProcess::new(id, cfg, writer, 0u64);
+
+    // Bind both halves first — addresses must exist before either joins.
+    let left = ReactorNodeBuilder::new(cfg)
+        .host([0usize])
+        .pool_size(1)
+        .listen("127.0.0.1:0")
+        .expect("left binds");
+    let right = ReactorNodeBuilder::new(cfg)
+        .host([1usize, 2])
+        .pool_size(2)
+        .listen("127.0.0.1:0")
+        .expect("right binds");
+    let left_addr = left.local_addr();
+    let right_addr = right.local_addr();
+    assert_ne!(left_addr.port(), 0, "the OS-assigned port is surfaced");
+    assert_ne!(right_addr.port(), 0);
+
+    let mut left = left
+        .join(
+            &HashMap::from([(p1, right_addr), (p2, right_addr)]),
+            0u64,
+            make,
+        )
+        .expect("left joins");
+    let mut right = right
+        .join(&HashMap::from([(writer, left_addr)]), 0u64, make)
+        .expect("right joins");
+    assert_eq!(left.thread_count(), 1 + 1 + 1);
+    assert_eq!(right.thread_count(), 2 + 2 + 1);
+
+    // Each process is driven through the node hosting it. A write needs a
+    // majority (2 of 3), so completing one proves the cross-node links.
+    for v in 1..=10u64 {
+        left.write(writer, RegisterId::ZERO, v).unwrap();
+        assert_eq!(right.read(p1, RegisterId::ZERO).unwrap(), v);
+        assert_eq!(right.read(p2, RegisterId::ZERO).unwrap(), v);
+    }
+
+    // Quiesce (trailing acks settle), then shut down left first — the
+    // realistic order where a peer disappears while the other drains.
+    std::thread::sleep(Duration::from_millis(200));
+    let (left_hist, left_stats) = left.shutdown();
+    let (right_hist, right_stats) = right.shutdown();
+
+    // Each node records the operations of *its* processes; together they
+    // cover the workload.
+    assert_eq!(left_hist.total_ops(), 10, "left: the writes");
+    assert_eq!(right_hist.total_ops(), 20, "right: the reads");
+    assert_eq!(left_stats.links_abandoned(), 0);
+    assert_eq!(right_stats.links_abandoned(), 0);
+
+    // Per-node books cannot balance (each node's sends are delivered on
+    // the other), but the *deployment-wide* ledger must: every message
+    // sent anywhere was delivered somewhere.
+    let sent = left_stats.total_sent() + right_stats.total_sent();
+    let delivered = left_stats.total_delivered() + right_stats.total_delivered();
+    let dropped = left_stats.dropped_to_crashed() + right_stats.dropped_to_crashed();
+    let abandoned = left_stats.messages_abandoned() + right_stats.messages_abandoned();
+    assert_eq!(
+        delivered + dropped + abandoned,
+        sent,
+        "summed across nodes: delivered + dropped + abandoned == sent"
+    );
+    assert!(left_stats.wire_bytes() > 0 && right_stats.wire_bytes() > 0);
+}
+
+/// `crash` stays `crash` on the reactor backend: a crashed process stops
+/// answering (its frames are dropped, counted), distinct from the
+/// transient sever-and-reconnect path.
+#[test]
+fn crash_semantics_are_preserved_alongside_reconnect() {
+    let cfg = SystemConfig::max_resilience(3);
+    let writer = ProcessId::new(0);
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .pool_size(2)
+        .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))
+        .expect("reactor cluster starts");
+    node.write(writer, RegisterId::ZERO, 1).unwrap();
+    node.crash(ProcessId::new(2));
+    // A majority (p0, p1) survives: the register stays live.
+    node.write(writer, RegisterId::ZERO, 2).unwrap();
+    assert_eq!(node.read(ProcessId::new(1), RegisterId::ZERO).unwrap(), 2);
+    let (history, stats) = node.shutdown();
+    check_swmr(history.shard(RegisterId::ZERO).unwrap()).unwrap();
+    assert!(
+        stats.dropped_to_crashed() > 0,
+        "frames to the crashed process are dropped, not retried"
+    );
+    assert_eq!(
+        stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
+        stats.total_sent(),
+    );
+}
