@@ -115,6 +115,7 @@ fn make_history(ops: usize) -> History<u64> {
     History {
         initial: 0,
         records,
+        recoveries: vec![],
     }
 }
 

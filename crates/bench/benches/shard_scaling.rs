@@ -36,7 +36,15 @@
 //!   thread-per-link row. The live-socket rows (`tcp`, `reactor`) also
 //!   publish wall-clock per-op latency percentiles (`lat_p50_us`,
 //!   `lat_p99_us`, from the recorder's invoke/response timestamps);
-//!   simnet rows carry `null` there — their clocks are virtual;
+//!   simnet rows carry `null` there — their clocks are virtual — and
+//!   instead publish the *virtual-time* twins `lat_p50_ticks` /
+//!   `lat_p99_ticks` from the same invoke/response timestamps in
+//!   simulator ticks (the live rows carry `null` in those columns);
+//! * `simnet` / `recovery` — the uniform (16 shards, 2 readers) sweep on
+//!   a space built with crash-recovery support enabled but **no crash
+//!   injected**: the steady-state cost of the lifecycle machinery. CI
+//!   asserts its `wire_bytes` stays within 1.02x of the recovery-disabled
+//!   uniform twin — enabling recovery must be free until someone crashes;
 //! * `simnet` / `headtohead` — the two-bit protocol versus its
 //!   multi-writer competitor: the **same** workload, framing, hold policy
 //!   and codec-on delivery, run once with the paper's automaton
@@ -188,6 +196,7 @@ fn build_space_with<A, F>(
     seed: u64,
     hold: Hold,
     cache: CacheMode,
+    recovery: bool,
     make: F,
 ) -> RegisterSpace<SimSpace<A>>
 where
@@ -205,6 +214,9 @@ where
         // decoded bytes and `wire_bytes` reports real blob sizes.
         .wire_codec(true)
         .cache_mode(cache)
+        // The recovery row's knob: lifecycle machinery armed, no crash
+        // injected. Everywhere else the knob is off.
+        .recovery(recovery)
         .registers(shards)
         .build(0u64, make);
     let names = (0..shards).map(|k| format!("shard:{k:03}"));
@@ -218,7 +230,7 @@ fn build_space(
     cache: CacheMode,
 ) -> RegisterSpace<SimSpace<TwoBitProcess<u64>>> {
     let cfg = SystemConfig::max_resilience(N);
-    build_space_with(shards, seed, hold, cache, move |reg, id| {
+    build_space_with(shards, seed, hold, cache, false, move |reg, id| {
         TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
     })
 }
@@ -361,11 +373,17 @@ struct Row {
     /// simnet rows, whose timestamps are virtual ticks.
     lat_p50_us: Option<f64>,
     lat_p99_us: Option<f64>,
+    /// Virtual-time per-operation latency percentiles in simulator
+    /// ticks, from the same invoke/response timestamps. Populated on
+    /// simnet rows; `None` (JSON `null`) on the live-socket rows, whose
+    /// timestamps are wall-clock nanoseconds.
+    lat_p50_ticks: Option<u64>,
+    lat_p99_ticks: Option<u64>,
 }
 
-/// Wall-clock p50/p99 operation latency in microseconds from a live
-/// backend's history (recorder timestamps are nanoseconds since start).
-fn latency_percentiles_us(hist: &ShardedHistory<u64>) -> (f64, f64) {
+/// Sorted completed-operation latencies from a history, in whatever unit
+/// the backend's recorder stamped (nanoseconds live, ticks on simnet).
+fn sorted_latencies(hist: &ShardedHistory<u64>) -> Vec<u64> {
     let mut lats: Vec<u64> = hist
         .iter()
         .flat_map(|(_, shard)| {
@@ -377,11 +395,30 @@ fn latency_percentiles_us(hist: &ShardedHistory<u64>) -> (f64, f64) {
         .collect();
     assert!(!lats.is_empty(), "latency rows need completed operations");
     lats.sort_unstable();
-    let pick = |q: f64| -> f64 {
-        let idx = ((lats.len() - 1) as f64 * q).round() as usize;
-        lats[idx] as f64 / 1_000.0
-    };
-    (pick(0.50), pick(0.99))
+    lats
+}
+
+fn percentile(lats: &[u64], q: f64) -> u64 {
+    let idx = ((lats.len() - 1) as f64 * q).round() as usize;
+    lats[idx]
+}
+
+/// Wall-clock p50/p99 operation latency in microseconds from a live
+/// backend's history (recorder timestamps are nanoseconds since start).
+fn latency_percentiles_us(hist: &ShardedHistory<u64>) -> (f64, f64) {
+    let lats = sorted_latencies(hist);
+    (
+        percentile(&lats, 0.50) as f64 / 1_000.0,
+        percentile(&lats, 0.99) as f64 / 1_000.0,
+    )
+}
+
+/// Virtual-time p50/p99 operation latency in simulator ticks from a
+/// simnet history — the deterministic twin of `latency_percentiles_us`,
+/// published raw (ticks are already the natural unit).
+fn latency_percentiles_ticks(hist: &ShardedHistory<u64>) -> (u64, u64) {
+    let lats = sorted_latencies(hist);
+    (percentile(&lats, 0.50), percentile(&lats, 0.99))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -466,7 +503,17 @@ fn row_from_stats(
         mean_hold_us: stats.mean_observed_hold_ns() / 1_000.0,
         lat_p50_us: None,
         lat_p99_us: None,
+        lat_p50_ticks: None,
+        lat_p99_ticks: None,
     }
+}
+
+/// Attach the virtual-time latency twins to a simnet row.
+fn with_tick_latencies(mut row: Row, hist: &ShardedHistory<u64>) -> Row {
+    let (p50, p99) = latency_percentiles_ticks(hist);
+    row.lat_p50_ticks = Some(p50);
+    row.lat_p99_ticks = Some(p99);
+    row
 }
 
 fn measure(shards: usize, readers: usize) -> Row {
@@ -480,7 +527,7 @@ fn measure(shards: usize, readers: usize) -> Row {
     let wall = t0.elapsed();
     let allocs = allocs_now() - a0;
     let stats = space.driver().stats();
-    row_from_stats(
+    let row = row_from_stats(
         "twobit",
         "simnet",
         "uniform",
@@ -492,7 +539,49 @@ fn measure(shards: usize, readers: usize) -> Row {
         wall.as_nanos() as f64,
         allocs,
         &stats,
-    )
+    );
+    with_tick_latencies(row, &space.driver().history())
+}
+
+/// The recovery steady-state row: the uniform (shards, readers) sweep on
+/// a space with crash-recovery support enabled but no crash injected.
+/// Its wire traffic is what merely *arming* the lifecycle machinery
+/// costs; `assert_recovery_is_free` holds it to within 1.02x of the
+/// recovery-disabled uniform twin from the sweep.
+fn measure_recovery(shards: usize, readers: usize) -> Row {
+    let cfg = SystemConfig::max_resilience(N);
+    let workload = sweep_workload(shards, readers);
+    let mut space = build_space_with(
+        shards,
+        42,
+        Hold::Static,
+        CacheMode::Off,
+        true,
+        move |reg, id| TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64),
+    );
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(space.driver_mut())
+        .expect("recovery-armed workload runs");
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    let stats = space.driver().stats();
+    assert_eq!(stats.recoveries(), 0, "this row injects no crash");
+    let row = row_from_stats(
+        "twobit",
+        "simnet",
+        "recovery",
+        Hold::Static.label(),
+        "off",
+        shards,
+        readers,
+        workload.len(),
+        wall.as_nanos() as f64,
+        allocs,
+        &stats,
+    );
+    with_tick_latencies(row, &space.driver().history())
 }
 
 /// The two-bit-vs-MWMR head-to-head pair: the same sweep workload, the
@@ -516,9 +605,14 @@ fn measure_head_to_head() -> (Row, Row) {
     let twobit_stats = twobit.driver().stats();
 
     let cfg = SystemConfig::max_resilience(N);
-    let mut mwmr = build_space_with(shards, 42, Hold::Static, CacheMode::Off, move |_reg, id| {
-        MwmrProcess::new(id, cfg, 0u64)
-    });
+    let mut mwmr = build_space_with(
+        shards,
+        42,
+        Hold::Static,
+        CacheMode::Off,
+        false,
+        move |_reg, id| MwmrProcess::new(id, cfg, 0u64),
+    );
     let a0 = allocs_now();
     let t0 = Instant::now();
     workload
@@ -531,31 +625,37 @@ fn measure_head_to_head() -> (Row, Row) {
     let mwmr_stats = mwmr.driver().stats();
 
     (
-        row_from_stats(
-            "twobit",
-            "simnet",
-            "headtohead",
-            Hold::Static.label(),
-            "off",
-            shards,
-            readers,
-            workload.len(),
-            twobit_wall.as_nanos() as f64,
-            twobit_allocs,
-            &twobit_stats,
+        with_tick_latencies(
+            row_from_stats(
+                "twobit",
+                "simnet",
+                "headtohead",
+                Hold::Static.label(),
+                "off",
+                shards,
+                readers,
+                workload.len(),
+                twobit_wall.as_nanos() as f64,
+                twobit_allocs,
+                &twobit_stats,
+            ),
+            &twobit.driver().history(),
         ),
-        row_from_stats(
-            "mwmr",
-            "simnet",
-            "headtohead",
-            Hold::Static.label(),
-            "off",
-            shards,
-            readers,
-            workload.len(),
-            mwmr_wall.as_nanos() as f64,
-            mwmr_allocs,
-            &mwmr_stats,
+        with_tick_latencies(
+            row_from_stats(
+                "mwmr",
+                "simnet",
+                "headtohead",
+                Hold::Static.label(),
+                "off",
+                shards,
+                readers,
+                workload.len(),
+                mwmr_wall.as_nanos() as f64,
+                mwmr_allocs,
+                &mwmr_stats,
+            ),
+            &mwmr.driver().history(),
         ),
     )
 }
@@ -586,7 +686,7 @@ fn measure_mix(mix: &'static str, shards: usize, hold: Hold, cache: CacheMode) -
             .expect("cached rows must stay atomic");
     }
     let stats = space.driver().stats();
-    row_from_stats(
+    let row = row_from_stats(
         "twobit",
         "simnet",
         mix,
@@ -598,7 +698,8 @@ fn measure_mix(mix: &'static str, shards: usize, hold: Hold, cache: CacheMode) -
         wall.as_nanos() as f64,
         allocs,
         &stats,
-    )
+    );
+    with_tick_latencies(row, &space.driver().history())
 }
 
 /// The cache acceptance pair: the same deterministic read-mostly workload
@@ -616,7 +717,7 @@ fn measure_cache_pair(shards: usize, hold: Hold) -> (Row, Row) {
     };
     let workload = readmostly_workload(shards, MIX_OPS, 7);
     let run = |cache: CacheMode, label: &'static str| -> Row {
-        let mut space = build_space_with(shards, 42, hold, cache, move |reg, id| {
+        let mut space = build_space_with(shards, 42, hold, cache, false, move |reg, id| {
             TwoBitProcess::with_options(id, cfg, ProcessId::new(reg.index() % N), 0u64, options)
         });
         let a0 = allocs_now();
@@ -629,7 +730,7 @@ fn measure_cache_pair(shards: usize, hold: Hold) -> (Row, Row) {
         twobit_lincheck::check_swmr_sharded(&space.driver().history())
             .expect("cache-pair rows must stay atomic");
         let stats = space.driver().stats();
-        row_from_stats(
+        let row = row_from_stats(
             "twobit",
             "simnet",
             "readmostly",
@@ -641,7 +742,8 @@ fn measure_cache_pair(shards: usize, hold: Hold) -> (Row, Row) {
             wall.as_nanos() as f64,
             allocs,
             &stats,
-        )
+        );
+        with_tick_latencies(row, &space.driver().history())
     };
     (run(CacheMode::Off, "proto"), run(CacheMode::Safe, "safe"))
 }
@@ -922,7 +1024,8 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
              \"cache_hits\": {}, \"cache_misses\": {}, \"cache_fallbacks\": {}, \
              \"local_read_pct\": {:.1}, \
              \"flushes_size\": {}, \"flushes_hold\": {}, \"flushes_shutdown\": {}, \
-             \"mean_hold_us\": {:.2}, \"lat_p50_us\": {}, \"lat_p99_us\": {}}}{}\n",
+             \"mean_hold_us\": {:.2}, \"lat_p50_us\": {}, \"lat_p99_us\": {}, \
+             \"lat_p50_ticks\": {}, \"lat_p99_ticks\": {}}}{}\n",
             r.algo,
             r.source,
             r.mix,
@@ -955,6 +1058,10 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
                 .map_or("null".to_string(), |v| format!("{v:.1}")),
             r.lat_p99_us
                 .map_or("null".to_string(), |v| format!("{v:.1}")),
+            r.lat_p50_ticks
+                .map_or("null".to_string(), |v| v.to_string()),
+            r.lat_p99_ticks
+                .map_or("null".to_string(), |v| v.to_string()),
             if i + 1 == rows.len() && check_rows.is_empty() {
                 ""
             } else {
@@ -1057,6 +1164,36 @@ fn assert_safe_cache_pays(rows: &[Row]) {
     }
 }
 
+/// The recovery acceptance bar (CI re-checks it from the JSON): arming
+/// the crash-recovery machinery must be free until someone crashes. The
+/// `mix: "recovery"` row runs the exact workload of the uniform
+/// (16 shards, 2 readers) static sweep row on the same seed, so its
+/// steady-state `wire_bytes` must stay within 1.02x of that
+/// recovery-disabled twin.
+fn assert_recovery_is_free(rows: &[Row]) {
+    let rec = rows
+        .iter()
+        .find(|r| r.mix == "recovery")
+        .expect("recovery row present");
+    let twin = rows
+        .iter()
+        .find(|r| {
+            r.source == "simnet"
+                && r.mix == "uniform"
+                && r.shards == rec.shards
+                && r.readers == rec.readers
+                && r.hold == rec.hold
+                && r.cache == rec.cache
+        })
+        .expect("the recovery row has a recovery-disabled uniform twin");
+    assert!(
+        rec.wire_bytes as f64 <= twin.wire_bytes as f64 * 1.02,
+        "arming recovery taxes the steady state: {} > {} * 1.02 wire bytes",
+        rec.wire_bytes,
+        twin.wire_bytes,
+    );
+}
+
 /// The head-to-head acceptance bar (CI re-checks it from the JSON): under
 /// identical workload, framing and codec-on delivery, the two-bit protocol
 /// must beat its multi-writer competitor on bytes-on-wire and on control
@@ -1144,10 +1281,12 @@ fn main() {
     let (twobit_row, mwmr_row) = measure_head_to_head();
     rows.push(twobit_row);
     rows.push(mwmr_row);
+    rows.push(measure_recovery(16, 2));
     assert_adaptive_not_worse(&rows);
     assert_reactor_matches_tcp_bytes(&rows);
     assert_safe_cache_pays(&rows);
     assert_two_bit_beats_mwmr(&rows);
+    assert_recovery_is_free(&rows);
     let check_rows = measure_modelcheck();
     write_json(&rows, &check_rows);
 }

@@ -179,7 +179,16 @@ fn is_deliver(s: ScheduleStep) -> bool {
 /// ready response (or vice versa), and the linearizability verdict
 /// depends only on the relative order of invocations and responses,
 /// which a respond/deliver swap leaves untouched.
+///
+/// A recovery is dependent with *everything*: the atomic rejoin reads
+/// every live process's state for snapshot selection, runs the
+/// `apply_rejoin` hook at each of them, and purges the rejoiner's
+/// in-flight frames — no event commutes with it. Conservative dependence
+/// only costs paths, never soundness.
 fn dependent(a: Choice, b: Choice) -> bool {
+    if matches!(a.step, ScheduleStep::Recover(_)) || matches!(b.step, ScheduleStep::Recover(_)) {
+        return true;
+    }
     if (is_respond(a.step) && is_deliver(b.step)) || (is_deliver(a.step) && is_respond(b.step)) {
         return false;
     }
@@ -274,7 +283,7 @@ impl ClockState {
                 .get(&plan)
                 .cloned()
                 .unwrap_or_else(|| vec![0; self.n]),
-            ScheduleStep::Crash(_) => vec![0; self.n],
+            ScheduleStep::Crash(_) | ScheduleStep::Recover(_) => vec![0; self.n],
         }
     }
 
@@ -339,18 +348,31 @@ pub(crate) fn check_path<A: Automaton>(
     None
 }
 
-fn make_node<A: Automaton>(
-    space: &SimSpace<A>,
+/// Per-path injection budgets and spend, threaded through node creation.
+#[derive(Clone, Copy, Debug)]
+struct Budgets {
     crashes_used: usize,
     crash_budget: usize,
+    recovers_used: usize,
+    recover_budget: usize,
+}
+
+fn make_node<A: Automaton>(
+    space: &SimSpace<A>,
+    budgets: Budgets,
     sleep: BTreeSet<ScheduleStep>,
     strategy: Strategy,
 ) -> Node {
+    // Whether a recovery could still fire somewhere down this path.
+    let revivable = budgets.recovers_used < budgets.recover_budget && space.recovery_enabled();
     // A path ends when nothing can fire — or when every plan step has
     // responded (or died with its process): the operation history is
     // then immutable, so the remaining network drain cannot affect any
     // checked property and its interleavings would only pad the tree.
-    if space.plan_settled() {
+    // One exception: a plan step parked on a crashed process counts as
+    // settled, but a recovery would make it runnable again — with budget
+    // left, such nodes stay open.
+    if space.plan_settled() && !(revivable && space.plan_waiting_on_crashed()) {
         return Node {
             choices: Vec::new(),
             backtrack: BTreeSet::new(),
@@ -383,19 +405,37 @@ fn make_node<A: Automaton>(
             dest: e.dest(),
         })
         .collect();
-    let terminal = choices.is_empty();
+    // No enabled event usually ends the path — unless a recovery can
+    // still revive a parked plan step, in which case the recovery choices
+    // below keep the node open.
+    let terminal = choices.is_empty() && !(revivable && space.plan_waiting_on_crashed());
     // Crash injection points: any live process, between any two events.
     // Not offered at terminal nodes — crashing after all operations
     // completed cannot change any checked property.
-    if !terminal && crashes_used < crash_budget {
+    if !terminal {
         let n = space.config().n();
-        for i in 0..n {
-            let p = ProcessId::new(i);
-            if !space.is_crashed(p) {
-                choices.push(Choice {
-                    step: ScheduleStep::Crash(p),
-                    dest: p,
-                });
+        if budgets.crashes_used < budgets.crash_budget {
+            for i in 0..n {
+                let p = ProcessId::new(i);
+                if !space.is_crashed(p) {
+                    choices.push(Choice {
+                        step: ScheduleStep::Crash(p),
+                        dest: p,
+                    });
+                }
+            }
+        }
+        // Recovery injection points: any crashed process, between any two
+        // events, while budget remains.
+        if revivable {
+            for i in 0..n {
+                let p = ProcessId::new(i);
+                if space.is_crashed(p) {
+                    choices.push(Choice {
+                        step: ScheduleStep::Recover(p),
+                        dest: p,
+                    });
+                }
             }
         }
     }
@@ -408,18 +448,21 @@ fn make_node<A: Automaton>(
         }
         Strategy::Dpor => {
             // Seed with the first non-sleeping event; races discovered
-            // deeper add the rest on demand. Crash choices are genuine
-            // branches (a crash is never equivalent to not crashing), so
-            // they are always scheduled — sleep sets still prune crash
+            // deeper add the rest on demand. Crash and recovery choices
+            // are genuine branches (a crash is never equivalent to not
+            // crashing, a rejoin never to staying down), so they are
+            // always scheduled — sleep sets still prune injection
             // positions that differ only by commuting events.
+            let injected =
+                |s: ScheduleStep| matches!(s, ScheduleStep::Crash(_) | ScheduleStep::Recover(_));
             if let Some(c) = choices
                 .iter()
-                .find(|c| !matches!(c.step, ScheduleStep::Crash(_)) && !sleep.contains(&c.step))
+                .find(|c| !injected(c.step) && !sleep.contains(&c.step))
             {
                 backtrack.insert(c.step);
             }
             for c in &choices {
-                if matches!(c.step, ScheduleStep::Crash(_)) && !sleep.contains(&c.step) {
+                if injected(c.step) && !sleep.contains(&c.step) {
                     backtrack.insert(c.step);
                 }
             }
@@ -491,14 +534,13 @@ pub fn explore<A: Automaton>(
     let bound = opts.deviation_bound.unwrap_or(usize::MAX);
     let mut deviations_used = 0usize;
     let mut clocks = ClockState::new(n);
-    let mut crashes_used = 0usize;
-    let mut stack: Vec<Node> = vec![make_node(
-        &space,
-        crashes_used,
+    let mut budgets = Budgets {
+        crashes_used: 0,
         crash_budget,
-        BTreeSet::new(),
-        strategy,
-    )];
+        recovers_used: 0,
+        recover_budget: scenario.recover_budget,
+    };
+    let mut stack: Vec<Node> = vec![make_node(&space, budgets, BTreeSet::new(), strategy)];
     let mut failure: Option<(Schedule, String)> = None;
     let mut exhausted = opts.deviation_bound.is_none();
 
@@ -538,8 +580,10 @@ pub fn explore<A: Automaton>(
                 break;
             };
             if let Some(ev) = parent.fired.take() {
-                if matches!(ev.choice.step, ScheduleStep::Crash(_)) {
-                    crashes_used -= 1;
+                match ev.choice.step {
+                    ScheduleStep::Crash(_) => budgets.crashes_used -= 1,
+                    ScheduleStep::Recover(_) => budgets.recovers_used -= 1,
+                    _ => {}
                 }
                 if parent.choices.first().map(|x| x.step) != Some(ev.choice.step) {
                     deviations_used -= 1;
@@ -618,8 +662,10 @@ pub fn explore<A: Automaton>(
             exhausted = false;
             break;
         }
-        if matches!(c.step, ScheduleStep::Crash(_)) {
-            crashes_used += 1;
+        match c.step {
+            ScheduleStep::Crash(_) => budgets.crashes_used += 1,
+            ScheduleStep::Recover(_) => budgets.recovers_used += 1,
+            _ => {}
         }
         if stack
             .last()
@@ -653,13 +699,7 @@ pub fn explore<A: Automaton>(
             node.fired = Some(ev);
             sleep
         };
-        stack.push(make_node(
-            &space,
-            crashes_used,
-            crash_budget,
-            child_sleep,
-            strategy,
-        ));
+        stack.push(make_node(&space, budgets, child_sleep, strategy));
     }
 
     let violation = match failure {

@@ -16,20 +16,33 @@ use twobit_proto::{Automaton, Driver, ProcessId, Schedule, ScheduleStep};
 use crate::explore::check_path;
 use crate::scenario::Scenario;
 
-/// `true` if `step` can fire right now on `space` (crashes additionally
-/// consume the scenario's budget, tracked by the caller).
+/// `true` if `step` can fire right now on `space` (crashes and recoveries
+/// additionally consume the scenario's budgets, tracked by the caller).
 fn fireable<A: Automaton>(
     space: &twobit_simnet::SimSpace<A>,
     step: ScheduleStep,
-    crashes_used: usize,
-    crash_budget: usize,
+    used: &InjectionSpend,
+    budget: &InjectionSpend,
 ) -> bool {
     match step {
         ScheduleStep::Crash(p) => {
-            crashes_used < crash_budget && p.index() < space.config().n() && !space.is_crashed(p)
+            used.crashes < budget.crashes && p.index() < space.config().n() && !space.is_crashed(p)
+        }
+        ScheduleStep::Recover(p) => {
+            used.recovers < budget.recovers
+                && space.recovery_enabled()
+                && p.index() < space.config().n()
+                && space.is_crashed(p)
         }
         _ => space.enabled_events().iter().any(|ev| ev.step() == step),
     }
+}
+
+/// Crash/recover counters (both the replay's spend and the budgets).
+#[derive(Clone, Copy, Debug, Default)]
+struct InjectionSpend {
+    crashes: usize,
+    recovers: usize,
 }
 
 /// Replays `schedule` leniently on a fresh build: steps that are not
@@ -42,18 +55,23 @@ pub(crate) fn replay_lenient<A: Automaton>(
     schedule: &Schedule,
 ) -> (Schedule, Option<String>) {
     let mut space = scenario.build();
-    let crash_budget = scenario.crash_budget.min(space.config().t());
-    let mut crashes_used = 0usize;
+    let budget = InjectionSpend {
+        crashes: scenario.crash_budget.min(space.config().t()),
+        recovers: scenario.recover_budget,
+    };
+    let mut used = InjectionSpend::default();
     let mut fired = Schedule::new();
     for &step in schedule.steps() {
-        if !fireable(&space, step, crashes_used, crash_budget) {
+        if !fireable(&space, step, &used, &budget) {
             continue;
         }
         space
             .fire(step)
             .expect("fireability was checked before firing");
-        if matches!(step, ScheduleStep::Crash(_)) {
-            crashes_used += 1;
+        match step {
+            ScheduleStep::Crash(_) => used.crashes += 1,
+            ScheduleStep::Recover(_) => used.recovers += 1,
+            _ => {}
         }
         fired.push(step);
         // Mirror the explorer: local invariants are per-state properties,
@@ -99,6 +117,7 @@ pub(crate) fn annotate<A: Automaton>(scenario: &Scenario<A>, schedule: &Schedule
     for &step in schedule.steps() {
         let label = match step {
             ScheduleStep::Crash(p) => Some(crash_label(p)),
+            ScheduleStep::Recover(p) => Some(format!("recover p{}", p.index())),
             _ => space
                 .enabled_events()
                 .iter()

@@ -40,6 +40,10 @@ pub struct Scenario<A: Automaton> {
     pub modes: BTreeMap<RegisterId, RegisterMode>,
     /// Maximum number of crash steps the explorer may inject per path.
     pub crash_budget: usize,
+    /// Maximum number of recovery steps the explorer may inject per path
+    /// (each brings one currently-crashed process back up; requires the
+    /// factory to build its spaces with `SpaceBuilder::recovery(true)`).
+    pub recover_budget: usize,
 }
 
 impl<A: Automaton> fmt::Debug for Scenario<A> {
@@ -49,6 +53,7 @@ impl<A: Automaton> fmt::Debug for Scenario<A> {
             .field("plan", &self.plan)
             .field("modes", &self.modes)
             .field("crash_budget", &self.crash_budget)
+            .field("recover_budget", &self.recover_budget)
             .finish_non_exhaustive()
     }
 }
@@ -63,6 +68,7 @@ impl<A: Automaton> Scenario<A> {
             plan: Vec::new(),
             modes: BTreeMap::new(),
             crash_budget: 0,
+            recover_budget: 0,
         }
     }
 
@@ -109,6 +115,16 @@ impl<A: Automaton> Scenario<A> {
     #[must_use]
     pub fn crash_budget(mut self, budget: usize) -> Self {
         self.crash_budget = budget;
+        self
+    }
+
+    /// Allows up to `budget` injected recoveries per explored path. Only
+    /// meaningful together with a non-zero crash budget and a factory
+    /// that enables `SpaceBuilder::recovery` — a recovery is offered at a
+    /// node exactly when some process is crashed there.
+    #[must_use]
+    pub fn recover_budget(mut self, budget: usize) -> Self {
+        self.recover_budget = budget;
         self
     }
 

@@ -43,6 +43,21 @@ where
         .build(0u64, make)
 }
 
+fn recovery_space<A, F>(cfg: SystemConfig, skip_bump: bool, make: F) -> SimSpace<A>
+where
+    A: twobit_proto::Automaton<Value = u64>,
+    F: Fn(RegisterId, ProcessId) -> A + Send + 'static,
+{
+    SpaceBuilder::new(cfg)
+        .seed(1)
+        .delay(DelayModel::Fixed(1))
+        .registers(1)
+        .scheduled(true)
+        .recovery(true)
+        .recovery_skip_incarnation_bump(skip_bump)
+        .build(0u64, make)
+}
+
 const R: RegisterId = RegisterId::ZERO;
 
 fn p(i: usize) -> ProcessId {
@@ -134,6 +149,58 @@ pub fn twobit_swmr_no_confirmation_broken() -> Scenario<TwoBitProcess<u64>> {
     .op(p(1), R, Operation::Read)
     .op_after(p(2), R, Operation::Read, 1)
     .mode(R, RegisterMode::Swmr)
+}
+
+/// The paper's SWMR register at `n = 3, t = 1` under crash **and
+/// rejoin**: the writer writes `1` then `2` (same-process steps run in
+/// order; a step orphaned by a crash dies and unblocks its successor),
+/// `p1` reads after the second write responds, and the explorer may
+/// crash any one process at any point and later bring it back through
+/// the full recovery path (snapshot adoption, rejoin barrier,
+/// incarnation bump). Every schedule must linearize — in particular the
+/// adversarial one where the writer crashes mid-write and its
+/// post-recovery write reuses the dead write's sequence number: the
+/// bump fences the previous incarnation's in-flight frames as stale, so
+/// the colliding old-value frame is never absorbed.
+pub fn twobit_swmr_recover() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("twobit-swmr-recover/n3t1", move || {
+        recovery_space(cfg, false, move |_reg, id| {
+            TwoBitProcess::new(id, cfg, p(0), 0u64)
+        })
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(0), R, Operation::Write(2))
+    .op_after(p(1), R, Operation::Read, 1)
+    .mode(R, RegisterMode::Swmr)
+    .crash_budget(1)
+    .recover_budget(1)
+}
+
+/// Negative control: the same crash-and-rejoin configuration with the
+/// incarnation bump (and with it the stale-frame fence) ablated
+/// ([`SpaceBuilder::recovery_skip_incarnation_bump`]). The witness is a
+/// sequence-number collision across incarnations: the writer crashes
+/// with `WRITE(1)` still in flight, rejoins at the pre-write barrier,
+/// and its next write reuses the dead write's sequence number — one
+/// replica absorbs the stale `WRITE(1)` as that sequence number and
+/// echoes it, the writer counts the echo toward `WRITE(2)`'s quorum,
+/// and the post-write read served by the poisoned replica returns `1`.
+/// The explorer must find this, proving the incarnation fence is
+/// load-bearing.
+pub fn twobit_swmr_recover_no_fence_broken() -> Scenario<TwoBitProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("twobit-swmr-recover-nofence/n3t1", move || {
+        recovery_space(cfg, true, move |_reg, id| {
+            TwoBitProcess::new(id, cfg, p(0), 0u64)
+        })
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(0), R, Operation::Write(2))
+    .op_after(p(1), R, Operation::Read, 1)
+    .mode(R, RegisterMode::Swmr)
+    .crash_budget(1)
+    .recover_budget(1)
 }
 
 /// The timestamp-based MWMR baseline at `n = 3, t = 1` with two

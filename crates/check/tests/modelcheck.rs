@@ -130,6 +130,40 @@ fn crash_budget_is_clamped_to_t() {
 }
 
 #[test]
+fn crash_and_rejoin_is_exhausted_and_stays_safe_n3t1() {
+    // One crash plus one full recovery (snapshot adoption, rejoin
+    // barrier, incarnation bump) at any pair of points in the
+    // write-then-read run: every schedule must linearize and the whole
+    // space must be covered.
+    // The recovery step is conservatively dependent with every other step
+    // (a rejoin rewrites every live process's state), so DPOR prunes little
+    // here and the space is genuinely large: just over the default path
+    // cap. Raise it — exhaustion is the point of this test.
+    let opts = ExploreOptions {
+        max_paths: 2_000_000,
+        ..ExploreOptions::default()
+    };
+    let scenario = twobit_check::scenarios::twobit_swmr_recover();
+    let report = explore(&scenario, &opts).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "crash-and-rejoin must stay linearizable: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted, "the configuration must be fully covered");
+    // Recovery branches must genuinely widen the space beyond crash-only.
+    let crash_only = scenarios::twobit_swmr_recover().recover_budget(0);
+    let crash_report = explore(&crash_only, &opts).unwrap();
+    assert!(crash_report.violation.is_none());
+    assert!(
+        report.stats.paths_explored > crash_report.stats.paths_explored,
+        "recovery branches must add paths: with={:?} without={:?}",
+        report.stats,
+        crash_report.stats
+    );
+}
+
+#[test]
 fn path_cap_reports_non_exhaustive() {
     let report = explore(
         &scenarios::twobit_swmr_wr(),

@@ -468,6 +468,97 @@ impl<V: Payload> Automaton for TwoBitProcess<V> {
         Some(self.writer)
     }
 
+    /// Donor side of recovery: this process's confirmed prefix *is* its
+    /// history (Lemma 3 — `history_i[0..w_sync_i[i]]` is a prefix of the
+    /// written sequence), so the whole vector ships as the snapshot.
+    fn recovery_snapshot(&self) -> Option<Vec<V>> {
+        Some(self.history.clone())
+    }
+
+    /// Rebuilds this (recovering) process's state from the quorum-adopted
+    /// `snapshot`, as if it had witnessed every write up to the snapshot
+    /// barrier `s = snapshot.len() − 1` and nothing since:
+    ///
+    /// * `history := snapshot`, `w_sync := [s; n]` — every peer is assumed
+    ///   to sit exactly at the barrier (the live peers are simultaneously
+    ///   hard-reset to it by [`Automaton::apply_rejoin`]);
+    /// * `r_sync := [0; n]` — read sequence numbering restarts; `r_sync`
+    ///   rows are process-local counters, so restarting is sound as long
+    ///   as pre-recovery `PROCEED`s can no longer arrive, which the
+    ///   incarnation fence guarantees;
+    /// * buffers, guards and the pending op are discarded — any operation
+    ///   interrupted by the crash stays incomplete in the history;
+    /// * `sent_writes := [s; n]` keeps the Lemma 5 bookkeeping consistent
+    ///   with the equal-`w_sync` case.
+    fn install_recovery(&mut self, snapshot: &[V]) {
+        debug_assert!(!snapshot.is_empty(), "snapshot always contains v0");
+        let n = self.cfg.n();
+        let s = snapshot.len() as u64 - 1;
+        self.history = snapshot.to_vec();
+        self.w_sync = vec![s; n];
+        self.r_sync = vec![0; n];
+        for q in &mut self.buffered {
+            q.clear();
+        }
+        for q in &mut self.read_guards {
+            q.clear();
+        }
+        self.pending = None;
+        self.sent_writes = vec![s; n];
+    }
+
+    /// Hard-resets this (live) process's per-peer bookkeeping to the
+    /// snapshot barrier when `rejoining` comes back. The snapshot is the
+    /// longest live prefix, so it extends this process's own history
+    /// (histories are prefixes of one another — Lemma 2); adopting it and
+    /// declaring every peer to be exactly at the barrier is consistent
+    /// because *every* live process performs the same reset atomically and
+    /// all pre-recovery in-flight frames are fenced as stale:
+    ///
+    /// * read guards are dropped *without* sending `PROCEED` — the
+    ///   requester's matching wait is resolved at the barrier below, and a
+    ///   late `PROCEED` on top of that would double-count;
+    /// * `r_sync[j] := r_sync[me]` for all `j` aligns the local `PROCEED`
+    ///   ledger so a read this process has pending (or invokes next)
+    ///   counts quorums from a consistent base;
+    /// * the final `check_pending` completes any own operation whose
+    ///   quorum predicate the barrier satisfies: a pending write's value
+    ///   is inside the snapshot (this process is live, so its history is
+    ///   part of the longest-prefix computation) and a pending read
+    ///   returns the barrier value — the recovery barrier is its
+    ///   linearization point.
+    fn apply_rejoin(
+        &mut self,
+        rejoining: ProcessId,
+        snapshot: &[V],
+        fx: &mut Effects<TwoBitMsg<V>, V>,
+    ) {
+        debug_assert_ne!(
+            rejoining, self.id,
+            "the rejoining process installs, not rejoins"
+        );
+        debug_assert!(
+            snapshot.len() >= self.history.len(),
+            "snapshot is the longest live prefix"
+        );
+        let n = self.cfg.n();
+        let s = snapshot.len() as u64 - 1;
+        self.history = snapshot.to_vec();
+        self.w_sync = vec![s; n];
+        self.sent_writes = vec![s; n];
+        for q in &mut self.buffered {
+            q.clear();
+        }
+        for q in &mut self.read_guards {
+            q.clear();
+        }
+        let mine = self.r_sync[self.me()];
+        for r in &mut self.r_sync {
+            *r = mine;
+        }
+        self.check_pending(fx);
+    }
+
     /// Locally-checkable pieces of the paper's proof obligations:
     ///
     /// * Lemma 3: `w_sync_i[i] = max_j w_sync_i[j]`;
@@ -865,6 +956,67 @@ mod tests {
         p.on_invoke(OpId::new(1), Operation::Read, &mut fx);
         assert_eq!(fx.completions(), &[(OpId::new(1), OpOutcome::ReadValue(5))]);
         p.check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn recovery_snapshot_is_the_history() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(9), &mut fx);
+        settle(&mut ps, &mut fx);
+        assert_eq!(ps[2].recovery_snapshot().unwrap(), vec![0, 9]);
+    }
+
+    #[test]
+    fn install_recovery_rebuilds_state_at_the_barrier() {
+        let mut p1 = TwoBitProcess::new(ProcessId::new(1), cfg(3), ProcessId::new(0), 0u64);
+        // Dirty the state a little: a buffered out-of-order WRITE and a
+        // read guard, both of which must be discarded.
+        let mut fx = Effects::new();
+        p1.on_message(
+            ProcessId::new(0),
+            TwoBitMsg::Write(Parity::Even, 2),
+            &mut fx,
+        );
+        p1.on_message(ProcessId::new(2), TwoBitMsg::Read, &mut fx);
+        p1.install_recovery(&[0u64, 5, 6]);
+        assert_eq!(p1.history(), &[0, 5, 6]);
+        assert_eq!(p1.w_sync(), &[2, 2, 2]);
+        assert_eq!(p1.r_sync(), &[0, 0, 0]);
+        assert_eq!(p1.buffered_from(ProcessId::new(0)), 0);
+        assert_eq!(p1.pending_read_guards(), 0);
+        p1.check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_rejoin_completes_pending_write_at_the_barrier() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(7), Operation::Write(4), &mut fx);
+        assert!(fx.completions().is_empty(), "no echo yet: write pending");
+        // p1 crashes and rejoins; the adopted snapshot is the longest live
+        // prefix, which includes the writer's own in-flight value.
+        let mut fxr = Effects::new();
+        ps[0].apply_rejoin(ProcessId::new(1), &[0u64, 4], &mut fxr);
+        assert_eq!(fxr.completions(), &[(OpId::new(7), OpOutcome::Written)]);
+        assert!(fxr.sends().is_empty(), "rejoin emits completions only");
+        ps[0].check_local_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_rejoin_completes_pending_read_at_the_barrier() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(3), Operation::Read, &mut fx);
+        assert!(fx.completions().is_empty(), "no PROCEED yet: read pending");
+        let mut fxr = Effects::new();
+        ps[1].apply_rejoin(ProcessId::new(2), &[0u64, 8], &mut fxr);
+        assert_eq!(
+            fxr.completions(),
+            &[(OpId::new(3), OpOutcome::ReadValue(8))],
+            "the barrier value is the read's linearization point"
+        );
+        ps[1].check_local_invariants().unwrap();
     }
 
     #[test]

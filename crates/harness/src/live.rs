@@ -72,7 +72,7 @@ pub fn scenario(n: usize, writes: u64, seed: u64) -> LiveSummary {
         let cluster_ref = &cluster;
         s.spawn(move || {
             std::thread::sleep(Duration::from_millis(30));
-            cluster_ref.crash(victim);
+            cluster_ref.crash(victim).expect("victim is live");
         });
     });
 

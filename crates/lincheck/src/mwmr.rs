@@ -536,6 +536,7 @@ mod tests {
         History {
             initial: 0,
             records,
+            recoveries: vec![],
         }
     }
 

@@ -26,7 +26,11 @@
 //! its value may legitimately be read (condition 1 still applies). The model
 //! only exempts the *last* operation of each faulty process, and a single
 //! writer can only have its last write pending, which is exactly what this
-//! treatment covers.
+//! treatment covers — with one extension: when the history records a
+//! crash-recovery of the writer ([`History::recoveries`]), a write orphaned
+//! by the crash stays pending even though the recovered incarnation invokes
+//! fresh writes afterwards, so a pending write is also legal when a recovery
+//! of the writer falls between it and its successor.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -198,9 +202,19 @@ pub fn check<V: Clone + Eq + Hash>(
                 }
             }
             None => {
-                return Err(AtomicityViolation::PendingWriteNotLast {
-                    write: pair[0].op_id,
-                })
+                // A non-last pending write is only legal when the writer
+                // crashed during it and completed a recovery before invoking
+                // the successor: the crash orphaned the write (it stays
+                // pending forever) and the rejoin re-admits the process as a
+                // writer. Without such a recovery record the history is
+                // malformed — a sequential writer cannot start a new write
+                // while its previous one is in flight.
+                if !history.recovered_between(pair[0].proc, pair[0].invoked_at, pair[1].invoked_at)
+                {
+                    return Err(AtomicityViolation::PendingWriteNotLast {
+                        write: pair[0].op_id,
+                    });
+                }
             }
         }
     }
@@ -433,6 +447,7 @@ mod tests {
         History {
             initial: 0,
             records,
+            recoveries: vec![],
         }
     }
 

@@ -225,6 +225,7 @@ mod tests {
         History {
             initial: 0,
             records,
+            recoveries: vec![],
         }
     }
 

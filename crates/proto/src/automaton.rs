@@ -153,6 +153,43 @@ pub trait Automaton: Send + 'static {
     fn swmr_writer(&self) -> Option<ProcessId> {
         None
     }
+
+    /// Donor side of crash-recovery: this process's confirmed value
+    /// sequence (initial value first), the payload of one SNAPSHOT
+    /// transfer. `None` — the default — marks the automaton as not
+    /// supporting recovery at all; backends reject
+    /// [`Driver::recover`](crate::Driver::recover) with a typed error
+    /// instead of silently rejoining with garbage state.
+    fn recovery_snapshot(&self) -> Option<Vec<Self::Value>> {
+        None
+    }
+
+    /// Recovering side of crash-recovery: replaces this automaton's state
+    /// with the quorum-adopted `snapshot` (the longest donor prefix).
+    /// Called while the process is `Recovering`, before any rejoin
+    /// acknowledgment flows; any operation left pending at the crash is
+    /// discarded (it stays incomplete in the history). The default is a
+    /// no-op, reachable only if a backend skips the
+    /// [`Automaton::recovery_snapshot`] support check.
+    fn install_recovery(&mut self, snapshot: &[Self::Value]) {
+        let _ = snapshot;
+    }
+
+    /// Live-peer side of crash-recovery: `rejoining` has installed
+    /// `snapshot` and is rejoining quorums under a fresh incarnation.
+    /// Implementations hard-reset their per-peer protocol bookkeeping to
+    /// the snapshot barrier and complete (via `fx`) any of their own
+    /// operations whose quorum predicates the barrier now satisfies; they
+    /// must not assume any pre-recovery in-flight message will still be
+    /// delivered (stale frames are fenced). The default is a no-op.
+    fn apply_rejoin(
+        &mut self,
+        rejoining: ProcessId,
+        snapshot: &[Self::Value],
+        fx: &mut Effects<Self::Msg, Self::Value>,
+    ) {
+        let _ = (rejoining, snapshot, fx);
+    }
 }
 
 #[cfg(test)]

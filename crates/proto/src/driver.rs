@@ -25,6 +25,7 @@ use std::fmt;
 
 use crate::history::ShardedHistory;
 use crate::id::{ProcessId, RegisterId, SystemConfig};
+use crate::lifecycle::Lifecycle;
 use crate::op::{OpId, OpOutcome, Operation};
 use crate::payload::Payload;
 use crate::stats::NetStats;
@@ -60,6 +61,15 @@ pub enum DriverError {
     },
     /// The target process crashed (or the backend shut down).
     ProcessUnavailable(ProcessId),
+    /// [`Driver::crash`] targeted a process that is not up — crashing the
+    /// same process twice is a scripting error, uniformly rejected by
+    /// every backend.
+    AlreadyCrashed(ProcessId),
+    /// [`Driver::recover`] targeted a process that is not crashed.
+    NotCrashed(ProcessId),
+    /// [`Driver::recover`] on a deployment whose automaton does not
+    /// implement the recovery hooks (no snapshot to transfer).
+    RecoveryUnsupported,
     /// The operation did not complete within the backend's time budget —
     /// with more than `t` crashes the required quorum may never form.
     Timeout,
@@ -85,6 +95,11 @@ impl fmt::Display for DriverError {
                 write!(f, "{proc} already has an operation in flight on {reg}")
             }
             DriverError::ProcessUnavailable(p) => write!(f, "process {p} unavailable"),
+            DriverError::AlreadyCrashed(p) => write!(f, "process {p} is not up"),
+            DriverError::NotCrashed(p) => write!(f, "process {p} is not crashed"),
+            DriverError::RecoveryUnsupported => {
+                write!(f, "this deployment's automaton does not support recovery")
+            }
             DriverError::Timeout => write!(f, "operation timed out"),
             DriverError::Stalled(op) => write!(f, "backend quiescent with {op} incomplete"),
             DriverError::ProtocolMismatch => write!(f, "mismatched operation outcome"),
@@ -138,8 +153,34 @@ pub trait Driver {
     fn poll(&mut self, ticket: &OpTicket) -> Result<OpOutcome<Self::Value>, DriverError>;
 
     /// Crashes `proc`: it stops taking steps; messages to it are dropped.
-    /// Irreversible.
-    fn crash(&mut self, proc: ProcessId);
+    /// Reversible only through [`Driver::recover`].
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::AlreadyCrashed`] when `proc` is not up;
+    /// [`DriverError::UnknownProcess`] for bad addressing.
+    fn crash(&mut self, proc: ProcessId) -> Result<(), DriverError>;
+
+    /// Recovers a crashed `proc`: the backend fetches a frame-aligned
+    /// snapshot from the live peers, installs it at `proc`, has every live
+    /// peer apply the rejoin, and bumps `proc`'s incarnation so stale
+    /// pre-crash frames are fenced instead of delivered. On return `proc`
+    /// is [`Lifecycle::Up`] and may invoke operations again; operations it
+    /// left incomplete at the crash stay incomplete (the checker's crash
+    /// rules cover them).
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::NotCrashed`] when `proc` is not crashed;
+    /// [`DriverError::RecoveryUnsupported`] when the deployment's automaton
+    /// has no recovery hooks; [`DriverError::UnknownProcess`] for bad
+    /// addressing.
+    fn recover(&mut self, proc: ProcessId) -> Result<(), DriverError>;
+
+    /// The current lifecycle state of `proc` (out-of-range ids report
+    /// [`Lifecycle::Crashed`]: a process that does not exist takes no
+    /// steps).
+    fn lifecycle(&self, proc: ProcessId) -> Lifecycle;
 
     /// Snapshot of the per-register operation histories recorded so far.
     fn history(&self) -> ShardedHistory<Self::Value>;

@@ -61,6 +61,26 @@ impl<V> OpRecord<V> {
     }
 }
 
+/// One completed crash-recovery of a process, as seen by the history.
+///
+/// Recoveries are *global* events of a run (not per-register): a recovered
+/// process rejoins every shard's quorums at once. The linearizability
+/// checker uses these records to relax its crash rules: an operation the
+/// process left incomplete at the crash stays incomplete even though the
+/// process later invoked fresh operations, which without the recovery
+/// record would look like a protocol bug (a non-last pending write).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// The recovered process.
+    pub proc: ProcessId,
+    /// The instant (substrate time units) the process rejoined — after
+    /// this, fresh invocations by `proc` may appear in the history.
+    pub at: u64,
+    /// The process's incarnation number after this recovery (1 for the
+    /// first rejoin).
+    pub incarnation: u64,
+}
+
 /// A complete run history: the initial register value plus every operation
 /// record, in no particular order.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +89,10 @@ pub struct History<V> {
     pub initial: V,
     /// All operation records of the run.
     pub records: Vec<OpRecord<V>>,
+    /// Completed crash-recoveries of the run, in rejoin order (empty on
+    /// runs without recovery — the historical shape).
+    #[serde(default)]
+    pub recoveries: Vec<RecoveryRecord>,
 }
 
 impl<V> History<V> {
@@ -77,7 +101,23 @@ impl<V> History<V> {
         History {
             initial,
             records: Vec::new(),
+            recoveries: Vec::new(),
         }
+    }
+
+    /// Returns `true` if `proc` completed a recovery in the half-open
+    /// window `[after, before)` — the checker's test for whether a pending
+    /// operation was orphaned by a crash that the process later recovered
+    /// from.
+    pub fn recovered_between(&self, proc: ProcessId, after: u64, before: u64) -> bool {
+        self.recoveries
+            .iter()
+            .any(|r| r.proc == proc && r.at >= after && r.at < before)
+    }
+
+    /// Returns `true` if `proc` completed any recovery at or after `at`.
+    pub fn recovered_since(&self, proc: ProcessId, at: u64) -> bool {
+        self.recoveries.iter().any(|r| r.proc == proc && r.at >= at)
     }
 
     /// Number of operations (complete or not).
@@ -162,6 +202,17 @@ impl<V: Clone> ShardedHistory<V> {
             .or_insert_with(|| History::new(initial))
             .records
             .push(rec);
+    }
+
+    /// Attaches the run's recovery records to every shard's history.
+    /// Recoveries are global events (a recovered process rejoins all
+    /// registers at once), so each per-register [`History`] carries the
+    /// full list — call this after the last record has been pushed.
+    pub fn with_recoveries(mut self, recoveries: &[RecoveryRecord]) -> Self {
+        for h in self.shards.values_mut() {
+            h.recoveries = recoveries.to_vec();
+        }
+        self
     }
 }
 

@@ -56,12 +56,14 @@ pub mod driver;
 pub mod frame;
 pub mod history;
 pub mod id;
+pub mod lifecycle;
 pub mod linkseq;
 pub mod op;
 pub mod payload;
 pub mod pool;
 pub mod sched;
 pub mod shard;
+pub mod snapshot;
 pub mod space;
 pub mod stats;
 pub mod wire;
@@ -71,8 +73,9 @@ pub use bits::{BitReader, BitWriter, WireError};
 pub use bytes::Bytes;
 pub use driver::{Driver, DriverError, OpTicket, Workload, WorkloadStep};
 pub use frame::{Frame, FrameCost, FrameDecodeError, FrameHeader, MAX_FRAME_BODY_BYTES};
-pub use history::{History, OpRecord, ShardedHistory};
+pub use history::{History, OpRecord, RecoveryRecord, ShardedHistory};
 pub use id::{ProcessId, RegisterId, SystemConfig, SystemConfigError};
+pub use lifecycle::{Lifecycle, LifecycleState, WrongState};
 pub use op::{OpId, OpOutcome, Operation};
 pub use payload::Payload;
 pub use pool::BufferPool;
@@ -81,6 +84,7 @@ pub use sched::{
     VirtualTimeScheduler,
 };
 pub use shard::{ShardSet, UnknownRegister};
+pub use snapshot::Snapshot;
 pub use space::{RegisterMode, RegisterSpace};
-pub use stats::{FlushReason, NetStats, ShardTraffic, StatsSnapshot};
+pub use stats::{FlushReason, IncarnationLedger, NetStats, ShardTraffic, StatsSnapshot};
 pub use wire::{Envelope, MessageCost, WireMessage};

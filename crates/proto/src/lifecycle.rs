@@ -1,0 +1,209 @@
+//! The process lifecycle state machine: `Up → Crashed → Recovering → Up`.
+//!
+//! The paper's base model makes crashes permanent: a faulty process stops
+//! taking steps forever. The model extension (§ "crash-recovery", and the
+//! follow-up treatment in arXiv 1702.08176) lets a crashed process come
+//! back, provided it rejoins with a *consistent* copy of the register state
+//! and provided messages from its previous incarnation can no longer be
+//! mistaken for current ones. [`Lifecycle`] is the three-state machine every
+//! backend threads through its liveness bookkeeping in place of the old
+//! `crashed: bool`, and [`LifecycleState`] is the per-process record
+//! (state + incarnation counter) the backends actually store.
+//!
+//! State transitions, enforced by every [`Driver`](crate::Driver):
+//!
+//! * `Up → Crashed` via [`Driver::crash`](crate::Driver::crash); crashing a
+//!   process that is not `Up` is [`DriverError::AlreadyCrashed`]
+//!   (crate::DriverError::AlreadyCrashed).
+//! * `Crashed → Recovering → Up` via
+//!   [`Driver::recover`](crate::Driver::recover): the backend fetches a
+//!   frame-aligned snapshot from the live peers, installs it, has every live
+//!   peer acknowledge the rejoin, and bumps the process's **incarnation**
+//!   number so frames sent by (or to) the previous incarnation are rejected
+//!   as stale instead of delivered. Recovering a process that is not
+//!   `Crashed` is [`DriverError::NotCrashed`](crate::DriverError::NotCrashed).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Liveness of one process, as observed through the [`Driver`](crate::Driver)
+/// interface.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lifecycle {
+    /// Taking steps; messages to it are delivered.
+    #[default]
+    Up,
+    /// Stopped; messages to it are dropped. May transition to `Recovering`
+    /// via [`Driver::recover`](crate::Driver::recover).
+    Crashed,
+    /// Mid-recovery: fetching and installing a snapshot, not yet rejoined.
+    /// Transient — synchronous backends pass through it inside one
+    /// `recover` call, so drivers observe it only from other threads or
+    /// from automaton hooks.
+    Recovering,
+}
+
+impl Lifecycle {
+    /// Returns `true` in the `Up` state.
+    pub fn is_up(self) -> bool {
+        self == Lifecycle::Up
+    }
+
+    /// Returns `true` in the `Crashed` state.
+    pub fn is_crashed(self) -> bool {
+        self == Lifecycle::Crashed
+    }
+}
+
+impl fmt::Display for Lifecycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lifecycle::Up => write!(f, "up"),
+            Lifecycle::Crashed => write!(f, "crashed"),
+            Lifecycle::Recovering => write!(f, "recovering"),
+        }
+    }
+}
+
+/// A rejected lifecycle transition, carrying the state the process was
+/// actually in. Callers translate it into the matching typed
+/// [`DriverError`](crate::DriverError) variant
+/// ([`AlreadyCrashed`](crate::DriverError::AlreadyCrashed) /
+/// [`NotCrashed`](crate::DriverError::NotCrashed)).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WrongState(pub Lifecycle);
+
+impl fmt::Display for WrongState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal lifecycle transition from the {} state", self.0)
+    }
+}
+
+impl std::error::Error for WrongState {}
+
+/// One process's lifecycle record: its current [`Lifecycle`] state plus the
+/// incarnation counter that fences stale cross-incarnation frames.
+///
+/// The incarnation starts at 0 and is bumped exactly once per completed
+/// recovery, *before* the process rejoins — so every frame staged by (or
+/// addressed to) the pre-crash incarnation compares strictly below the
+/// rejoined process's incarnation and can be recognized as stale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecycleState {
+    /// Current liveness state.
+    pub state: Lifecycle,
+    /// Completed recoveries of this process (0 for the initial incarnation).
+    pub incarnation: u64,
+}
+
+impl LifecycleState {
+    /// A fresh process: `Up`, incarnation 0.
+    pub fn new() -> Self {
+        LifecycleState::default()
+    }
+
+    /// Marks the process crashed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WrongState`] when the process is not `Up` — callers
+    /// translate this into
+    /// [`DriverError::AlreadyCrashed`](crate::DriverError::AlreadyCrashed).
+    pub fn crash(&mut self) -> Result<(), WrongState> {
+        if self.state != Lifecycle::Up {
+            return Err(WrongState(self.state));
+        }
+        self.state = Lifecycle::Crashed;
+        Ok(())
+    }
+
+    /// Enters the `Recovering` state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WrongState`] when the process is not `Crashed` — callers
+    /// translate this into
+    /// [`DriverError::NotCrashed`](crate::DriverError::NotCrashed).
+    pub fn begin_recovery(&mut self) -> Result<(), WrongState> {
+        if self.state != Lifecycle::Crashed {
+            return Err(WrongState(self.state));
+        }
+        self.state = Lifecycle::Recovering;
+        Ok(())
+    }
+
+    /// Completes a recovery: back `Up`, with the incarnation bumped unless
+    /// `bump_incarnation` is false (the model checker's negative-control
+    /// ablation).
+    pub fn complete_recovery(&mut self, bump_incarnation: bool) {
+        debug_assert_eq!(self.state, Lifecycle::Recovering);
+        self.state = Lifecycle::Up;
+        if bump_incarnation {
+            self.incarnation += 1;
+        }
+    }
+
+    /// Aborts an in-progress recovery (the recovering process crashed
+    /// again before rejoining): back to `Crashed`, incarnation untouched.
+    pub fn abort_recovery(&mut self) {
+        debug_assert_eq!(self.state, Lifecycle::Recovering);
+        self.state = Lifecycle::Crashed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cycle_bumps_incarnation_once() {
+        let mut s = LifecycleState::new();
+        assert!(s.state.is_up());
+        assert_eq!(s.incarnation, 0);
+        s.crash().unwrap();
+        assert!(s.state.is_crashed());
+        s.begin_recovery().unwrap();
+        assert_eq!(s.state, Lifecycle::Recovering);
+        s.complete_recovery(true);
+        assert!(s.state.is_up());
+        assert_eq!(s.incarnation, 1);
+    }
+
+    #[test]
+    fn illegal_transitions_are_rejected() {
+        let mut s = LifecycleState::new();
+        assert!(s.begin_recovery().is_err(), "cannot recover an up process");
+        s.crash().unwrap();
+        assert!(s.crash().is_err(), "cannot crash a crashed process");
+        s.begin_recovery().unwrap();
+        assert!(s.crash().is_err(), "recovering is not up");
+    }
+
+    #[test]
+    fn ablated_recovery_skips_the_bump() {
+        let mut s = LifecycleState::new();
+        s.crash().unwrap();
+        s.begin_recovery().unwrap();
+        s.complete_recovery(false);
+        assert!(s.state.is_up());
+        assert_eq!(s.incarnation, 0, "ablation keeps the old incarnation");
+    }
+
+    #[test]
+    fn aborted_recovery_returns_to_crashed() {
+        let mut s = LifecycleState::new();
+        s.crash().unwrap();
+        s.begin_recovery().unwrap();
+        s.abort_recovery();
+        assert!(s.state.is_crashed());
+        assert_eq!(s.incarnation, 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Lifecycle::Up.to_string(), "up");
+        assert_eq!(Lifecycle::Crashed.to_string(), "crashed");
+        assert_eq!(Lifecycle::Recovering.to_string(), "recovering");
+    }
+}

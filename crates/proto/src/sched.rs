@@ -29,7 +29,7 @@ use crate::id::ProcessId;
 /// One step of a recorded (or prescribed) schedule. The string form is a
 /// single compact token: `d<seq>` delivers a frame, `i<plan>` /
 /// `r<plan>` fire a plan step's invocation / response, `c<proc>` crashes
-/// a process.
+/// a process, `u<proc>` recovers (brings back *up*) a crashed process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ScheduleStep {
     /// Deliver the in-flight frame with this birth sequence number.
@@ -40,6 +40,10 @@ pub enum ScheduleStep {
     Respond(u64),
     /// Crash this process (between events; in-flight frames to it drop).
     Crash(ProcessId),
+    /// Recover this crashed process: snapshot adoption, rejoin barrier and
+    /// incarnation bump fire atomically as one step (between events, like
+    /// a crash); in-flight pre-recovery frames become fenceable as stale.
+    Recover(ProcessId),
 }
 
 impl fmt::Display for ScheduleStep {
@@ -49,6 +53,7 @@ impl fmt::Display for ScheduleStep {
             ScheduleStep::Invoke(plan) => write!(f, "i{plan}"),
             ScheduleStep::Respond(plan) => write!(f, "r{plan}"),
             ScheduleStep::Crash(p) => write!(f, "c{}", p.index()),
+            ScheduleStep::Recover(p) => write!(f, "u{}", p.index()),
         }
     }
 }
@@ -81,6 +86,9 @@ impl FromStr for ScheduleStep {
             "i" => Ok(ScheduleStep::Invoke(n)),
             "r" => Ok(ScheduleStep::Respond(n)),
             "c" => Ok(ScheduleStep::Crash(ProcessId::new(
+                usize::try_from(n).map_err(|_| err())?,
+            ))),
+            "u" => Ok(ScheduleStep::Recover(ProcessId::new(
                 usize::try_from(n).map_err(|_| err())?,
             ))),
             _ => Err(err()),
@@ -330,7 +338,10 @@ impl ReplayScheduler {
 impl Scheduler for ReplayScheduler {
     fn decide(&mut self, enabled: &[EnabledEvent]) -> SchedDecision {
         while let Some(step) = self.steps.pop_front() {
-            let fireable = matches!(step, ScheduleStep::Crash(_))
+            // Crashes and recoveries never appear in the enabled set —
+            // those choices belong to the scheduler — so replay fires
+            // them unconditionally and lets the backend judge them.
+            let fireable = matches!(step, ScheduleStep::Crash(_) | ScheduleStep::Recover(_))
                 || enabled.iter().any(|ev| ev.step() == step);
             if fireable || !self.lenient {
                 return SchedDecision::Fire(step);
@@ -350,10 +361,11 @@ mod tests {
             ScheduleStep::Invoke(0),
             ScheduleStep::Deliver(12),
             ScheduleStep::Crash(ProcessId::new(2)),
+            ScheduleStep::Recover(ProcessId::new(2)),
             ScheduleStep::Respond(0),
         ]);
         let text = s.to_string();
-        assert_eq!(text, "i0 d12 c2 r0");
+        assert_eq!(text, "i0 d12 c2 u2 r0");
         assert_eq!(text.parse::<Schedule>().unwrap(), s);
     }
 

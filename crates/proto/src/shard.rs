@@ -179,6 +179,50 @@ impl<A: Automaton> ShardSet<A> {
         self.wrap(reg, inner, fx);
     }
 
+    /// Donor side of recovery for one register: the hosted automaton's
+    /// confirmed value sequence, or `None` when the register is unknown or
+    /// its automaton does not support recovery.
+    pub fn recovery_snapshot(&self, reg: RegisterId) -> Option<Vec<A::Value>> {
+        self.shards.get(&reg).and_then(Automaton::recovery_snapshot)
+    }
+
+    /// Installs a recovery snapshot into one register's automaton (the
+    /// recovering process's side).
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownRegister`] if `reg` is not hosted here.
+    pub fn install_recovery(
+        &mut self,
+        reg: RegisterId,
+        snapshot: &[A::Value],
+    ) -> Result<(), UnknownRegister> {
+        let shard = self.shards.get_mut(&reg).ok_or(UnknownRegister(reg))?;
+        shard.install_recovery(snapshot);
+        Ok(())
+    }
+
+    /// Routes a rejoin barrier to one register's automaton (the live-peer
+    /// side), wrapping its effects in envelopes like every other handler.
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownRegister`] if `reg` is not hosted here (no effects are
+    /// produced in that case).
+    pub fn apply_rejoin(
+        &mut self,
+        reg: RegisterId,
+        rejoining: ProcessId,
+        snapshot: &[A::Value],
+        fx: &mut Effects<Envelope<A::Msg>, A::Value>,
+    ) -> Result<(), UnknownRegister> {
+        let shard = self.shards.get_mut(&reg).ok_or(UnknownRegister(reg))?;
+        let mut inner = Effects::new();
+        shard.apply_rejoin(rejoining, snapshot, &mut inner);
+        self.wrap(reg, inner, fx);
+        Ok(())
+    }
+
     /// Total local state across all hosted registers.
     pub fn state_bits(&self) -> u64 {
         self.shards.values().map(Automaton::state_bits).sum()

@@ -1,0 +1,176 @@
+//! The SNAPSHOT transfer: the recovery wire format.
+//!
+//! When a crashed process rejoins (see `docs/recovery.md`), one live donor
+//! ships it the register's confirmed value sequence as a single
+//! frame-aligned blob. This module is that blob's codec: a register id and
+//! the value sequence, bit-packed over the same [`Payload`] codecs the
+//! regular message path uses, so the transfer round-trips byte-exactly and
+//! its size is accounted in [`NetStats`](crate::NetStats) as
+//! `snapshot_bytes` — deliberately *outside* the per-message
+//! `delivered + dropped + abandoned == sent` reconciliation, because a
+//! snapshot is a state transfer, not a protocol message.
+
+use crate::bits::{gamma_bits, BitReader, BitWriter, WireError};
+use crate::id::RegisterId;
+use crate::payload::Payload;
+
+/// Decoder hardening: a snapshot declaring more values than this is
+/// rejected before any allocation or decode loop is sized from it. Far
+/// above any history a bounded exploration or bench run produces, and it
+/// bounds the work a malformed (or hostile) blob can demand — relevant for
+/// zero-width payloads like `()`, whose per-value decode consumes no input
+/// and therefore cannot self-limit.
+pub const MAX_SNAPSHOT_VALUES: u64 = 1 << 24;
+
+/// One register's recovery snapshot: the confirmed value sequence
+/// (initial value first), tagged with the register it belongs to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot<V> {
+    /// The register this sequence belongs to.
+    pub reg: RegisterId,
+    /// The confirmed values, oldest first (index 0 is the initial value).
+    pub values: Vec<V>,
+}
+
+impl<V: Payload> Snapshot<V> {
+    /// Creates a snapshot of `reg`'s confirmed sequence.
+    pub fn new(reg: RegisterId, values: Vec<V>) -> Self {
+        Snapshot { reg, values }
+    }
+
+    /// The wire kind tag, for logs and traces.
+    pub fn kind(&self) -> &'static str {
+        "SNAPSHOT"
+    }
+
+    /// Exact encoded size in bits: γ(reg+1), γ(count+1), then each value's
+    /// self-delimiting encoding.
+    pub fn encoded_bits(&self) -> u64 {
+        gamma_bits(self.reg.index() as u64 + 1)
+            + gamma_bits(self.values.len() as u64 + 1)
+            + self.values.iter().map(Payload::encoded_bits).sum::<u64>()
+    }
+
+    /// Appends this snapshot to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the value codec's errors (e.g. a payload type with no
+    /// byte-level codec).
+    pub fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        w.put_gamma(self.reg.index() as u64 + 1);
+        w.put_gamma(self.values.len() as u64 + 1);
+        for v in &self.values {
+            v.encode_into(w)?;
+        }
+        Ok(())
+    }
+
+    /// Encodes this snapshot as a standalone byte blob.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the value codec's errors.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut w = BitWriter::new();
+        self.encode_into(&mut w)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Parses one snapshot from the front of `r` (inverse of
+    /// [`Snapshot::encode_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces truncation and malformed-input errors from the bit reader
+    /// and the value codec; rejects declared value counts above
+    /// [`MAX_SNAPSHOT_VALUES`] before allocating.
+    pub fn decode_from(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        let reg = r.get_gamma()?.checked_sub(1).ok_or(WireError::Overflow)?;
+        let reg = RegisterId::new(usize::try_from(reg).map_err(|_| WireError::Overflow)?);
+        let count = r.get_gamma()?.checked_sub(1).ok_or(WireError::Overflow)?;
+        if count > MAX_SNAPSHOT_VALUES {
+            return Err(WireError::Overflow);
+        }
+        let mut values = Vec::with_capacity(count.min(1024) as usize);
+        for _ in 0..count {
+            values.push(V::decode(r)?);
+        }
+        Ok(Snapshot { reg, values })
+    }
+
+    /// Decodes a standalone byte blob produced by [`Snapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Snapshot::decode_from`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = BitReader::new(bytes);
+        Self::decode_from(&mut r)
+    }
+
+    /// Encoded size in whole bytes (the unit `snapshot_bytes` accounts).
+    pub fn encoded_len_bytes(&self) -> u64 {
+        self.encoded_bits().div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrips_bit_exactly() {
+        let snap = Snapshot::new(RegisterId::new(3), vec![0u64, 7, 42, u64::MAX]);
+        let blob = snap.encode().unwrap();
+        assert_eq!(blob.len() as u64, snap.encoded_len_bytes());
+        let back = Snapshot::<u64>::decode(&blob).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn encoded_bits_is_exact() {
+        let snap = Snapshot::new(
+            RegisterId::ZERO,
+            vec!["a".to_string(), "longer".to_string()],
+        );
+        let mut w = BitWriter::new();
+        snap.encode_into(&mut w).unwrap();
+        assert_eq!(w.bit_len(), snap.encoded_bits());
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = Snapshot::new(RegisterId::ZERO, Vec::<u64>::new());
+        let back = Snapshot::<u64>::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let snap = Snapshot::new(RegisterId::new(1), vec![1u64, 2, 3]);
+        let blob = snap.encode().unwrap();
+        assert!(Snapshot::<u64>::decode(&blob[..blob.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn hostile_count_is_bounded_before_allocation() {
+        // γ(reg+1)=γ(1), then a declared count far above the cap, then
+        // nothing: must fail fast, not allocate or spin.
+        let mut w = BitWriter::new();
+        w.put_gamma(1);
+        w.put_gamma(MAX_SNAPSHOT_VALUES + 2);
+        let blob = w.into_bytes();
+        assert_eq!(Snapshot::<()>::decode(&blob), Err(WireError::Overflow));
+    }
+
+    #[test]
+    fn variable_width_values_roundtrip() {
+        let snap = Snapshot::new(
+            RegisterId::new(9),
+            vec![vec![1u8, 2, 3], Vec::new(), vec![0xFF; 40]],
+        );
+        let back = Snapshot::<Vec<u8>>::decode(&snap.encode().unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -52,6 +52,29 @@ impl ShardTraffic {
     }
 }
 
+/// One recovery epoch's share of the
+/// `delivered + dropped + stale + abandoned == sent` reconciliation.
+///
+/// A recovery epoch starts at run start (epoch 0) and a new one begins at
+/// every completed [`NetStats::record_recovery`]. Each counter records the
+/// events that *occurred while that epoch was current* — a message sent in
+/// one epoch may be delivered (or fenced) in a later one, so the
+/// reconciliation is exact over the **sum** of all epochs, while the
+/// per-epoch rows show how traffic distributes across incarnations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IncarnationLedger {
+    /// Messages handed to the network during this epoch.
+    pub sent: u64,
+    /// Messages delivered during this epoch.
+    pub delivered: u64,
+    /// Messages dropped to crashed destinations during this epoch.
+    pub dropped_to_crashed: u64,
+    /// Messages fenced as stale (older incarnation/epoch) during this epoch.
+    pub dropped_stale: u64,
+    /// Messages abandoned with failed links during this epoch.
+    pub abandoned: u64,
+}
+
 /// Running totals for one simulation (or one live-runtime session).
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -86,6 +109,11 @@ pub struct NetStats {
     cache_hits: u64,
     cache_misses: u64,
     cache_fallbacks: u64,
+    recoveries: u64,
+    dropped_stale: u64,
+    snapshot_frames: u64,
+    snapshot_bytes: u64,
+    ledgers: Vec<IncarnationLedger>,
 }
 
 impl NetStats {
@@ -94,8 +122,17 @@ impl NetStats {
         NetStats::default()
     }
 
+    /// The current recovery epoch's ledger row, created on first touch.
+    fn ledger(&mut self) -> &mut IncarnationLedger {
+        if self.ledgers.is_empty() {
+            self.ledgers.push(IncarnationLedger::default());
+        }
+        self.ledgers.last_mut().expect("just pushed")
+    }
+
     /// Records one message handed to the network.
     pub fn record_send(&mut self, kind: &'static str, cost: MessageCost) {
+        self.ledger().sent += 1;
         *self.sent_by_kind.entry(kind).or_insert(0) += 1;
         *self.bits_by_kind.entry(kind).or_insert(0) += cost.total_bits();
         self.total_sent += 1;
@@ -141,22 +178,58 @@ impl NetStats {
     /// Records one message delivered to a live process.
     pub fn record_delivery(&mut self) {
         self.total_delivered += 1;
+        self.ledger().delivered += 1;
     }
 
     /// Records `n` messages delivered at once (a whole frame).
     pub fn record_deliveries(&mut self, n: u64) {
         self.total_delivered += n;
+        self.ledger().delivered += n;
     }
 
     /// Records `n` messages dropped at once because their frame's
     /// destination had crashed (frames drop atomically).
     pub fn record_frame_drop_to_crashed(&mut self, n: u64) {
         self.dropped_to_crashed += n;
+        self.ledger().dropped_to_crashed += n;
     }
 
     /// Records one message dropped because its destination had crashed.
     pub fn record_drop_to_crashed(&mut self) {
         self.dropped_to_crashed += 1;
+        self.ledger().dropped_to_crashed += 1;
+    }
+
+    /// Records `n` messages fenced at delivery because their frame was
+    /// staged by (or addressed to) a previous incarnation of a since-
+    /// recovered process, or before the current rejoin epoch. Fenced
+    /// frames drop atomically, like frames to a crashed destination, and
+    /// enter the reconciliation as their own term:
+    /// `delivered + dropped + stale + abandoned == sent`. Zero unless a
+    /// recovery happened.
+    pub fn record_dropped_stale(&mut self, n: u64) {
+        self.dropped_stale += n;
+        self.ledger().dropped_stale += n;
+    }
+
+    /// Records one completed crash-recovery (snapshot installed, rejoin
+    /// applied, incarnation bumped) and opens the next recovery epoch in
+    /// the per-incarnation ledger.
+    pub fn record_recovery(&mut self) {
+        self.recoveries += 1;
+        // Materialize the epoch that just ended (even if it saw no
+        // traffic), then open the new one.
+        self.ledger();
+        self.ledgers.push(IncarnationLedger::default());
+    }
+
+    /// Records one snapshot transfer of `bytes` encoded bytes (the
+    /// SNAPSHOT wire message). Snapshot traffic is state transfer, not
+    /// protocol messaging: it is counted here and **not** in the message
+    /// send/deliver reconciliation.
+    pub fn record_snapshot_frame(&mut self, bytes: u64) {
+        self.snapshot_frames += 1;
+        self.snapshot_bytes += bytes;
     }
 
     /// Records one flush decision: why the batch became a frame and how
@@ -189,6 +262,7 @@ impl NetStats {
     /// reconciliation still balances.
     pub fn record_messages_abandoned(&mut self, n: u64) {
         self.messages_abandoned += n;
+        self.ledger().abandoned += n;
     }
 
     /// Records one successful re-dial of a previously connected link: the
@@ -258,6 +332,37 @@ impl NetStats {
     /// Messages dropped at delivery because the destination crashed.
     pub fn dropped_to_crashed(&self) -> u64 {
         self.dropped_to_crashed
+    }
+
+    /// Messages fenced at delivery as stale (previous incarnation or
+    /// pre-rejoin epoch). Zero unless a recovery happened.
+    pub fn dropped_stale(&self) -> u64 {
+        self.dropped_stale
+    }
+
+    /// Completed crash-recoveries.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// SNAPSHOT transfers performed (one per completed recovery donor
+    /// stream).
+    pub fn snapshot_frames(&self) -> u64 {
+        self.snapshot_frames
+    }
+
+    /// Encoded bytes of all SNAPSHOT transfers (excluded from
+    /// [`NetStats::wire_bytes`]: state transfer, not protocol traffic).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
+    /// The per-incarnation reconciliation ledger: row `k` covers the epoch
+    /// between recovery `k-1` and recovery `k` (row 0 runs from start).
+    /// Empty only when nothing was recorded at all. The sum of every
+    /// column reproduces the aggregate counters exactly.
+    pub fn incarnation_ledgers(&self) -> &[IncarnationLedger] {
+        &self.ledgers
     }
 
     /// Messages sent of the given kind.
@@ -711,6 +816,59 @@ mod tests {
         assert_eq!(s.wire_bytes(), 0);
         let after = s.snapshot();
         assert_eq!(after.cache_hits_since(&before), 2);
+    }
+
+    #[test]
+    fn per_incarnation_ledger_partitions_the_reconciliation() {
+        let mut s = NetStats::new();
+        for _ in 0..5 {
+            s.record_send("A", MessageCost::new(2, 0));
+        }
+        s.record_deliveries(3);
+        s.record_frame_drop_to_crashed(1);
+        s.record_recovery();
+        // One pre-recovery message is fenced in the new epoch, and fresh
+        // traffic flows.
+        s.record_dropped_stale(1);
+        for _ in 0..2 {
+            s.record_send("A", MessageCost::new(2, 0));
+        }
+        s.record_deliveries(2);
+        assert_eq!(s.recoveries(), 1);
+        assert_eq!(s.dropped_stale(), 1);
+        let ledgers = s.incarnation_ledgers();
+        assert_eq!(ledgers.len(), 2, "one epoch per incarnation");
+        assert_eq!(ledgers[0].sent, 5);
+        assert_eq!(ledgers[0].delivered, 3);
+        assert_eq!(ledgers[0].dropped_to_crashed, 1);
+        assert_eq!(ledgers[1].sent, 2);
+        assert_eq!(ledgers[1].delivered, 2);
+        assert_eq!(ledgers[1].dropped_stale, 1);
+        // Columns sum back to the aggregates, and the extended
+        // reconciliation closes over the whole run.
+        let sent: u64 = ledgers.iter().map(|l| l.sent).sum();
+        let delivered: u64 = ledgers.iter().map(|l| l.delivered).sum();
+        assert_eq!(sent, s.total_sent());
+        assert_eq!(delivered, s.total_delivered());
+        assert_eq!(
+            s.total_delivered()
+                + s.dropped_to_crashed()
+                + s.dropped_stale()
+                + s.messages_abandoned(),
+            s.total_sent(),
+            "stale fencing keeps the reconciliation exact"
+        );
+    }
+
+    #[test]
+    fn snapshot_transfer_is_counted_outside_the_message_counters() {
+        let mut s = NetStats::new();
+        s.record_snapshot_frame(40);
+        s.record_snapshot_frame(16);
+        assert_eq!(s.snapshot_frames(), 2);
+        assert_eq!(s.snapshot_bytes(), 56);
+        assert_eq!(s.total_sent(), 0, "state transfer is not a message");
+        assert_eq!(s.wire_bytes(), 0);
     }
 
     #[test]

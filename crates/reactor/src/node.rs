@@ -29,10 +29,12 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::Mutex;
 use twobit_cache::CacheMode;
 use twobit_proto::{
-    Automaton, BufferPool, Driver, DriverError, NetStats, OpId, OpOutcome, OpTicket, Operation,
-    ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
+    Automaton, BufferPool, Driver, DriverError, Lifecycle, LifecycleState, NetStats, OpId,
+    OpOutcome, OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
 };
-use twobit_runtime::{process_loop, BuildError, FlushPolicy, Incoming, Recorder};
+use twobit_runtime::{
+    process_loop, recover_process, BuildError, FlushPolicy, Incoming, Recorder, RecoveryParts,
+};
 
 use crate::poller::{waker_pair, Waker};
 use crate::reactor::{
@@ -449,6 +451,7 @@ impl ListeningNode {
             addr: bound_addr,
             inbox_txs,
             crashed,
+            life: Mutex::new(vec![LifecycleState::new(); n]),
             recorder: Recorder::new(initial),
             stats,
             op_ids: AtomicU64::new(0),
@@ -481,6 +484,7 @@ pub struct ReactorNode<A: Automaton> {
     addr: SocketAddr,
     inbox_txs: Vec<Option<Sender<Incoming<A>>>>,
     crashed: Vec<Arc<AtomicBool>>,
+    life: Mutex<Vec<LifecycleState>>,
     recorder: Recorder<A::Value>,
     stats: Arc<Mutex<NetStats>>,
     op_ids: AtomicU64,
@@ -707,12 +711,50 @@ impl<A: Automaton> Driver for ReactorNode<A> {
         }
     }
 
-    fn crash(&mut self, proc: ProcessId) {
-        self.crashed[proc.index()].store(true, Ordering::Relaxed);
-        if let Some(tx) = self.inbox_txs[proc.index()].as_ref() {
-            // Nudge the thread so it observes the flag even when idle.
-            let _ = tx.send(Incoming::Shutdown);
+    fn crash(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        let pi = proc.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
         }
+        self.life.lock()[pi]
+            .crash()
+            .map_err(|_| DriverError::AlreadyCrashed(proc))?;
+        self.crashed[pi].store(true, Ordering::Relaxed);
+        if let Some(tx) = self.inbox_txs[pi].as_ref() {
+            // Nudge the thread so it observes the flag even when idle.
+            // (Not a shutdown — the parked thread must survive for a
+            // later recovery.)
+            let _ = tx.send(Incoming::Nudge);
+        }
+        Ok(())
+    }
+
+    fn recover(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        // The stop-the-world coordinator needs a quiesced cluster; an op
+        // still in flight anywhere would keep the books open forever.
+        if let Some((p, r)) = self.pending.keys().next() {
+            return Err(DriverError::OperationInFlight { proc: *p, reg: *r });
+        }
+        recover_process(
+            proc,
+            &RecoveryParts {
+                cfg: self.cfg,
+                registers: &self.registers,
+                inboxes: &self.inbox_txs,
+                life: &self.life,
+                crashed: &self.crashed,
+                stats: &self.stats,
+                recorder: &self.recorder,
+                quiesce_timeout: self.op_timeout,
+            },
+        )
+    }
+
+    fn lifecycle(&self, proc: ProcessId) -> Lifecycle {
+        self.life
+            .lock()
+            .get(proc.index())
+            .map_or(Lifecycle::Crashed, |l| l.state)
     }
 
     fn history(&self) -> ShardedHistory<A::Value> {

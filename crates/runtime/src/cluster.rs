@@ -21,9 +21,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use twobit_cache::{cache_pair, CacheDecision, CacheMode};
 use twobit_proto::{
-    Automaton, BufferPool, Driver, DriverError, Effects, Envelope, Frame, History, NetStats, OpId,
-    OpOutcome, OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
-    WireMessage,
+    Automaton, BufferPool, Driver, DriverError, Effects, Envelope, Frame, History, Lifecycle,
+    LifecycleState, NetStats, OpId, OpOutcome, OpTicket, Operation, ProcessId, RegisterId,
+    ShardSet, ShardedHistory, SystemConfig, WireMessage,
 };
 use twobit_simnet::DelayModel;
 
@@ -31,6 +31,16 @@ use crate::batcher::{BuildError, FlushPolicy};
 use crate::client::{ClientError, OpHandle, RegisterClient};
 use crate::link::{spawn_link, LinkConfig};
 use crate::recorder::Recorder;
+
+/// One recovery's worth of per-register snapshots, shared between the
+/// coordinator, the recovering process, and every live peer (the same
+/// values are installed at all of them — that is the barrier).
+pub type RegisterSnapshots<V> = Arc<Vec<(RegisterId, Vec<V>)>>;
+
+/// A donor's reply to [`Incoming::SnapshotReq`]: the confirmed snapshot
+/// of every hosted register, `None` when the automaton has no recovery
+/// hooks.
+pub type DonorSnapshots<V> = Option<Vec<(RegisterId, Vec<V>)>>;
 
 /// Messages consumed by a process thread.
 pub enum Incoming<A: Automaton> {
@@ -54,6 +64,40 @@ pub enum Incoming<A: Automaton> {
         /// Channel on which to deliver the outcome.
         reply: Sender<OpOutcome<A::Value>>,
     },
+    /// Crash nudge: wakes an idle thread so it observes its crash flag.
+    /// Carries no other meaning — a live process ignores it.
+    Nudge,
+    /// Recovery coordinator → live donor: report the confirmed snapshot of
+    /// every hosted register (`None` if the automaton has no recovery
+    /// hooks). Doubles as an inbox barrier: the reply proves every frame
+    /// enqueued before this request has been handled.
+    SnapshotReq {
+        /// Where to deliver the per-register snapshots.
+        reply: Sender<DonorSnapshots<A::Value>>,
+    },
+    /// Recovery coordinator → the crashed (parked) process: install the
+    /// snapshot as the new local state of every register and rebuild the
+    /// loop-local caches. Only handled while the process's crash flag is
+    /// set; a live process treats it as a coordinator bug and ignores it.
+    Install {
+        /// The barrier state, one entry per hosted register.
+        snapshots: RegisterSnapshots<A::Value>,
+        /// Acked once the state is installed.
+        reply: Sender<()>,
+    },
+    /// Recovery coordinator → every live peer: `rejoining` is back with
+    /// the given barrier state; hard-reset per-peer protocol state to it
+    /// (the automatons' `apply_rejoin` hook). Acked after the hook's
+    /// effects have been applied, so a completion the barrier unblocks is
+    /// answered before the coordinator proceeds.
+    Rejoin {
+        /// The recovered process.
+        rejoining: ProcessId,
+        /// The same barrier state installed at the recovered process.
+        snapshots: RegisterSnapshots<A::Value>,
+        /// Acked once the rejoin has been applied.
+        reply: Sender<()>,
+    },
     /// Graceful shutdown request.
     Shutdown,
 }
@@ -71,6 +115,21 @@ impl<A: Automaton> std::fmt::Debug for Incoming<A> {
                 .field("reg", reg)
                 .field("op_id", op_id)
                 .field("op", op)
+                .finish_non_exhaustive(),
+            Incoming::Nudge => f.write_str("Nudge"),
+            Incoming::SnapshotReq { .. } => f.write_str("SnapshotReq"),
+            Incoming::Install { snapshots, .. } => f
+                .debug_struct("Install")
+                .field("registers", &snapshots.len())
+                .finish_non_exhaustive(),
+            Incoming::Rejoin {
+                rejoining,
+                snapshots,
+                ..
+            } => f
+                .debug_struct("Rejoin")
+                .field("rejoining", rejoining)
+                .field("registers", &snapshots.len())
                 .finish_non_exhaustive(),
             Incoming::Shutdown => f.write_str("Shutdown"),
         }
@@ -131,6 +190,9 @@ pub(crate) struct Shared<A: Automaton> {
     pub(crate) registers: Vec<RegisterId>,
     pub(crate) inbox_txs: Vec<Sender<Incoming<A>>>,
     pub(crate) crashed: Vec<Arc<AtomicBool>>,
+    /// Lifecycle records (state + incarnation) behind the hot-path
+    /// `crashed` flags; the driver surface validates transitions here.
+    pub(crate) life: Mutex<Vec<LifecycleState>>,
     pub(crate) recorder: Recorder<A::Value>,
     /// Shared with the process and adapter threads, which update it.
     pub(crate) stats: Arc<Mutex<NetStats>>,
@@ -421,6 +483,7 @@ impl ClusterBuilder {
                 registers: self.registers,
                 inbox_txs,
                 crashed,
+                life: Mutex::new(vec![LifecycleState::new(); n]),
                 recorder: Recorder::new(initial),
                 stats,
                 op_ids: AtomicU64::new(0),
@@ -453,6 +516,13 @@ struct PendingOp<A: Automaton> {
 /// checks, send accounting with the deployment's tag width, per-frame drop
 /// recording for crashed destinations) are identical by construction.
 ///
+/// A crashed process *parks* instead of exiting: the thread keeps draining
+/// its inbox but discards everything except a recovery
+/// [`Incoming::Install`] from the coordinator (see
+/// [`recover_process`](crate::recover_process)) or a teardown
+/// [`Incoming::Shutdown`] — so [`Driver::recover`] can bring the process
+/// back without respawning threads.
+///
 /// `cache_mode` wires the local read cache (`twobit-cache`): the loop owns
 /// one writer/reader pair, publishes every locally-completed operation's
 /// value *before* answering the client, and serves a read invocation from
@@ -476,15 +546,68 @@ pub fn process_loop<A: Automaton, S: OutboundSink<A::Msg>>(
         .enumerate()
         .map(|(slot, reg)| (reg, slot))
         .collect();
-    let (mut cache_w, cache_r) = cache_pair::<A::Value>(reg_slot.len(), cache_mode);
+    let (mut cache_w, mut cache_r) = cache_pair::<A::Value>(reg_slot.len(), cache_mode);
     let mut pending: HashMap<OpId, PendingOp<A>> = HashMap::new();
     while let Ok(incoming) = inbox.recv() {
         if crashed[me.index()].load(Ordering::Relaxed) {
-            return; // silently halt: crash semantics
+            // Parked: crash semantics without losing the thread. Every
+            // in-flight client reply is dropped (ops died with the crash;
+            // waiting clients observe the disconnect), frames and fresh
+            // invocations vanish unprocessed, and the only ways out are a
+            // recovery installation from the coordinator — which hands the
+            // thread a fresh barrier state to resume from — or teardown.
+            pending.clear();
+            match incoming {
+                Incoming::Shutdown => return,
+                Incoming::Install { snapshots, reply } => {
+                    for (reg, snap) in snapshots.iter() {
+                        let _ = shards.install_recovery(*reg, snap);
+                    }
+                    // The pre-crash cache could serve a value older than
+                    // the barrier; start from cold like a rebooted process.
+                    let (w, r) = cache_pair::<A::Value>(reg_slot.len(), cache_mode);
+                    cache_w = w;
+                    cache_r = r;
+                    let _ = reply.send(());
+                }
+                _ => {}
+            }
+            continue;
         }
         let mut fx = Effects::new();
+        // A rejoin is acked only after its effects (barrier completions)
+        // have been applied below.
+        let mut rejoin_ack: Option<Sender<()>> = None;
         match incoming {
             Incoming::Shutdown => return,
+            Incoming::Nudge => continue,
+            Incoming::SnapshotReq { reply } => {
+                let regs: Vec<RegisterId> = shards.registers().collect();
+                let mut snaps = Vec::with_capacity(regs.len());
+                let mut supported = true;
+                for reg in regs {
+                    match shards.recovery_snapshot(reg) {
+                        Some(s) => snaps.push((reg, s)),
+                        None => {
+                            supported = false;
+                            break;
+                        }
+                    }
+                }
+                let _ = reply.send(supported.then_some(snaps));
+                continue;
+            }
+            Incoming::Install { .. } => continue, // not crashed: stray, ignore
+            Incoming::Rejoin {
+                rejoining,
+                snapshots,
+                reply,
+            } => {
+                for (reg, snap) in snapshots.iter() {
+                    let _ = shards.apply_rejoin(*reg, rejoining, snap, &mut fx);
+                }
+                rejoin_ack = Some(reply);
+            }
             Incoming::Frame { from, frame } => {
                 // Atomic handling: every message of the frame runs at this
                 // point of the process's timeline (crash checked above,
@@ -582,6 +705,9 @@ pub fn process_loop<A: Automaton, S: OutboundSink<A::Msg>>(
                 let _ = p.reply.send(outcome);
             }
         }
+        if let Some(ack) = rejoin_ack {
+            let _ = ack.send(());
+        }
     }
 }
 
@@ -657,12 +783,68 @@ impl<A: Automaton> Cluster<A> {
     }
 
     /// Crashes process `proc`: it stops handling events; messages addressed
-    /// to it are dropped. Irreversible.
-    pub fn crash(&self, proc: impl Into<ProcessId>) {
+    /// to it are dropped. Reversible only through [`Cluster::recover`].
+    ///
+    /// # Errors
+    ///
+    /// [`DriverError::AlreadyCrashed`] when `proc` is not up;
+    /// [`DriverError::UnknownProcess`] for an out-of-range id.
+    pub fn crash(&self, proc: impl Into<ProcessId>) -> Result<(), DriverError> {
         let proc = proc.into();
-        self.shared.crashed[proc.index()].store(true, Ordering::Relaxed);
-        // Nudge the thread so it observes the flag even when idle.
-        let _ = self.shared.inbox_txs[proc.index()].send(Incoming::Shutdown);
+        let pi = proc.index();
+        if pi >= self.shared.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        self.shared.life.lock()[pi]
+            .crash()
+            .map_err(|_| DriverError::AlreadyCrashed(proc))?;
+        self.shared.crashed[pi].store(true, Ordering::Relaxed);
+        // Nudge the thread so it observes the flag even when idle (the
+        // parked thread ignores the nudge itself).
+        let _ = self.shared.inbox_txs[pi].send(Incoming::Nudge);
+        Ok(())
+    }
+
+    /// Recovers a crashed process: quiesces the cluster, transfers a
+    /// frame-aligned snapshot from the live peers, rejoins the quorums and
+    /// bumps the incarnation — the shared live-backend recipe, see
+    /// [`recover_process`](crate::recover_process).
+    ///
+    /// Requires a quiet cluster: no operation may be in flight on any
+    /// process (blocking clients included), or the quiesce phase times
+    /// out.
+    ///
+    /// # Errors
+    ///
+    /// See [`recover_process`](crate::recover_process).
+    pub fn recover(&self, proc: impl Into<ProcessId>) -> Result<(), DriverError> {
+        let proc = proc.into();
+        let inboxes: Vec<Option<Sender<Incoming<A>>>> =
+            self.shared.inbox_txs.iter().cloned().map(Some).collect();
+        crate::recovery::recover_process(
+            proc,
+            &crate::recovery::RecoveryParts {
+                cfg: self.shared.cfg,
+                registers: &self.shared.registers,
+                inboxes: &inboxes,
+                life: &self.shared.life,
+                crashed: &self.shared.crashed,
+                stats: &self.shared.stats,
+                recorder: &self.shared.recorder,
+                quiesce_timeout: self.shared.op_timeout,
+            },
+        )
+    }
+
+    /// The current lifecycle state of `proc` (out-of-range ids report
+    /// [`Lifecycle::Crashed`], matching the [`Driver`] contract).
+    pub fn lifecycle(&self, proc: impl Into<ProcessId>) -> Lifecycle {
+        let proc = proc.into();
+        self.shared
+            .life
+            .lock()
+            .get(proc.index())
+            .map_or(Lifecycle::Crashed, |l| l.state)
     }
 
     /// Snapshot of the flat operation history recorded so far (all
@@ -801,8 +983,21 @@ impl<A: Automaton> Driver for Cluster<A> {
         Ok(outcome)
     }
 
-    fn crash(&mut self, proc: ProcessId) {
-        Cluster::crash(self, proc);
+    fn crash(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        Cluster::crash(self, proc)
+    }
+
+    fn recover(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        // Driver-issued operations must all be polled first: an unpolled
+        // ticket is in flight and would defeat the quiesce.
+        if let Some((p, r)) = self.driver_pending.keys().next() {
+            return Err(DriverError::OperationInFlight { proc: *p, reg: *r });
+        }
+        Cluster::recover(self, proc)
+    }
+
+    fn lifecycle(&self, proc: ProcessId) -> Lifecycle {
+        Cluster::lifecycle(self, proc)
     }
 
     fn history(&self) -> ShardedHistory<A::Value> {
@@ -963,8 +1158,8 @@ mod tests {
         let mut w = cluster.client(0);
         let mut r = cluster.client(1);
         w.write(1).unwrap();
-        cluster.crash(3);
-        cluster.crash(4);
+        cluster.crash(3).unwrap();
+        cluster.crash(4).unwrap();
         w.write(2).unwrap();
         assert_eq!(r.read().unwrap(), 2);
         let (history, _) = cluster.shutdown();
@@ -982,8 +1177,8 @@ mod tests {
             .unwrap();
         let mut w = cluster.client(0);
         w.write(1).unwrap();
-        cluster.crash(1);
-        cluster.crash(2);
+        cluster.crash(1).unwrap();
+        cluster.crash(2).unwrap();
         // The writer alone cannot reach a quorum of 2.
         assert_eq!(w.write(2), Err(crate::ClientError::Timeout));
     }
@@ -996,7 +1191,7 @@ mod tests {
             .op_timeout(Duration::from_millis(300))
             .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
             .unwrap();
-        cluster.crash(1);
+        cluster.crash(1).unwrap();
         let mut r = cluster.client(1);
         // Either the inbox is already closed or the op times out — the
         // operation must not succeed.

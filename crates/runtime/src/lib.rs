@@ -44,8 +44,12 @@ pub mod client;
 pub mod cluster;
 mod link;
 pub mod recorder;
+pub mod recovery;
 
 pub use batcher::{BuildError, ConfigError, Flush, FlushPolicy, HoldPolicy, LinkBatcher};
 pub use client::{ClientError, OpHandle, RegisterClient};
-pub use cluster::{process_loop, Cluster, ClusterBuilder, Incoming, OutboundLinks, OutboundSink};
+pub use cluster::{
+    process_loop, Cluster, ClusterBuilder, Incoming, OutboundLinks, OutboundSink, RegisterSnapshots,
+};
 pub use recorder::Recorder;
+pub use recovery::{recover_process, RecoveryParts};

@@ -5,7 +5,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use twobit_proto::{
-    History, OpId, OpOutcome, OpRecord, Operation, ProcessId, RegisterId, ShardedHistory,
+    History, OpId, OpOutcome, OpRecord, Operation, ProcessId, RecoveryRecord, RegisterId,
+    ShardedHistory,
 };
 
 /// Records operation invocations/responses from many client threads,
@@ -30,6 +31,7 @@ impl<V: std::fmt::Debug> std::fmt::Debug for Recorder<V> {
 struct Inner<V> {
     records: Vec<(RegisterId, OpRecord<V>)>,
     index: HashMap<OpId, usize>,
+    recoveries: Vec<RecoveryRecord>,
 }
 
 impl<V: Clone> Recorder<V> {
@@ -41,6 +43,7 @@ impl<V: Clone> Recorder<V> {
             inner: Mutex::new(Inner {
                 records: Vec::new(),
                 index: HashMap::new(),
+                recoveries: Vec::new(),
             }),
         }
     }
@@ -87,12 +90,24 @@ impl<V: Clone> Recorder<V> {
         rec.completed = Some((at, outcome));
     }
 
+    /// Records a completed crash-recovery of `proc` at time `at`, with the
+    /// process's post-recovery incarnation number. Recoveries are global
+    /// events of the run — every snapshot (flat or sharded) carries them.
+    pub fn recovered(&self, proc: ProcessId, at: u64, incarnation: u64) {
+        self.inner.lock().recoveries.push(RecoveryRecord {
+            proc,
+            at,
+            incarnation,
+        });
+    }
+
     /// All records flattened into one history (register tags dropped) —
     /// the single-register view, also useful for whole-run accounting.
     pub fn snapshot(&self) -> History<V> {
         let g = self.inner.lock();
         let mut h = History::new(self.initial.clone());
         h.records.extend(g.records.iter().map(|(_, r)| r.clone()));
+        h.recoveries = g.recoveries.clone();
         h
     }
 
@@ -104,6 +119,7 @@ impl<V: Clone> Recorder<V> {
             registers.iter().copied(),
             g.records.iter().cloned(),
         )
+        .with_recoveries(&g.recoveries)
     }
 }
 

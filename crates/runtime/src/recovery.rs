@@ -1,0 +1,291 @@
+//! The stop-the-world recovery coordinator shared by every live backend.
+//!
+//! The deterministic simulator recovers a process by running the event
+//! queue to quiescence and then transferring state synchronously — there
+//! is nothing in flight by construction. The live backends (in-process
+//! cluster, TCP transport, reactor transport) reproduce the same recipe
+//! against real threads and sockets:
+//!
+//! 1. **Quiesce**: wait until the wire books balance
+//!    (`delivered + dropped + stale + abandoned == sent`) *and* a barrier
+//!    round-trip through every live process confirms the balance is
+//!    stable — i.e. no frame is in a socket buffer, link queue, or
+//!    unprocessed inbox, and handling the last of them produced no new
+//!    sends. The [`Incoming::SnapshotReq`] doubles as that barrier
+//!    (inboxes are FIFO), so the snapshots it returns are exactly the
+//!    frame-aligned state the paper's recovery argument needs.
+//! 2. **Select**: per register, take the longest confirmed snapshot among
+//!    the live peers (a quiesced cluster agrees on a prefix; the writer's
+//!    copy is the longest — Lemma 3's `w_sync[me] = max` shape).
+//! 3. **Fidelity**: round-trip each snapshot through the `SNAPSHOT` byte
+//!    codec ([`Snapshot::encode`] / [`Snapshot::decode`]) and account the
+//!    blob in `NetStats::snapshot_frames` / `snapshot_bytes` — state
+//!    transfer is accounted *separately* from protocol messages, so the
+//!    `delivered + dropped + stale + abandoned == sent` reconciliation is
+//!    untouched by recoveries.
+//! 4. **Install** the barrier state at the parked process
+//!    ([`Incoming::Install`]), then un-crash it, then have every live peer
+//!    **rejoin** it ([`Incoming::Rejoin`] → the automatons' `apply_rejoin`
+//!    hook, which may complete operations the barrier unblocks).
+//! 5. **Bump the incarnation** and record the recovery (stats ledger +
+//!    history [`RecoveryRecord`](twobit_proto::RecoveryRecord)).
+//!
+//! Because step 1 proves the network empty, no frame from the previous
+//! incarnation can ever be delivered after the rejoin — the quiesce *is*
+//! the incarnation fence on these backends. The deterministic simulator
+//! (`SimSpace`) additionally exercises the adversarial case where stale
+//! frames survive into the rejoin (its negative-control knob skips the
+//! fence), which is where the model checker proves the fence necessary.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use twobit_proto::{
+    Automaton, DriverError, LifecycleState, NetStats, ProcessId, RegisterId, Snapshot, SystemConfig,
+};
+
+use crate::cluster::{Incoming, RegisterSnapshots};
+use crate::recorder::Recorder;
+
+/// How long each individual control round-trip (snapshot request, install,
+/// rejoin ack) may take before the recovery is abandoned.
+const STEP_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Everything the shared coordinator needs from a backend. All three live
+/// backends own these pieces already — this struct just borrows them for
+/// the duration of one [`recover_process`] call.
+#[allow(missing_debug_implementations)]
+pub struct RecoveryParts<'a, A: Automaton> {
+    /// The system configuration.
+    pub cfg: SystemConfig,
+    /// The hosted registers, in id order.
+    pub registers: &'a [RegisterId],
+    /// Inbox senders, one per process (`None` for processes hosted on
+    /// another node — the reactor's multi-host case).
+    pub inboxes: &'a [Option<Sender<Incoming<A>>>],
+    /// The per-process lifecycle records (state + incarnation).
+    pub life: &'a Mutex<Vec<LifecycleState>>,
+    /// The hot-path crash flags the links and process loops consult.
+    pub crashed: &'a [Arc<AtomicBool>],
+    /// The shared wire statistics.
+    pub stats: &'a Mutex<NetStats>,
+    /// The history recorder (recoveries are appended here).
+    pub recorder: &'a Recorder<A::Value>,
+    /// Overall deadline budget for the quiesce phase.
+    pub quiesce_timeout: Duration,
+}
+
+/// Returns `true` when every sent message is accounted as delivered,
+/// dropped (to a crashed process or as stale), or abandoned — i.e. nothing
+/// is in flight on any link.
+fn books_balance(st: &NetStats) -> bool {
+    st.total_sent()
+        == st.total_delivered()
+            + st.dropped_to_crashed()
+            + st.dropped_stale()
+            + st.messages_abandoned()
+}
+
+/// Recovers `proc` on a live backend: quiesce, snapshot, install, rejoin,
+/// bump. See the module docs for the full recipe and its safety argument.
+///
+/// The caller must hold no operation in flight anywhere in the cluster —
+/// the driver surfaces enforce this for driver-issued operations and
+/// document it for raw blocking clients.
+///
+/// # Errors
+///
+/// [`DriverError::UnknownProcess`] / [`DriverError::NotCrashed`] for bad
+/// targets; [`DriverError::RecoveryUnsupported`] when the automaton has no
+/// recovery hooks; [`DriverError::Backend`] when no live donor exists or
+/// the cluster does not quiesce within the budget. On any error the
+/// process is left `Crashed` (never half-recovered).
+pub fn recover_process<A: Automaton>(
+    proc: ProcessId,
+    parts: &RecoveryParts<'_, A>,
+) -> Result<(), DriverError> {
+    let pi = proc.index();
+    if pi >= parts.cfg.n() {
+        return Err(DriverError::UnknownProcess(proc));
+    }
+    if parts.inboxes[pi].is_none() {
+        return Err(DriverError::Backend(format!(
+            "process {proc} is not hosted on this node"
+        )));
+    }
+    parts.life.lock()[pi]
+        .begin_recovery()
+        .map_err(|_| DriverError::NotCrashed(proc))?;
+    match run_recovery(proc, parts) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Never half-recovered: back to Crashed, flag re-set (it may
+            // have been cleared between install and a failed rejoin).
+            parts.crashed[pi].store(true, Ordering::Relaxed);
+            parts.life.lock()[pi].abort_recovery();
+            Err(e)
+        }
+    }
+}
+
+fn run_recovery<A: Automaton>(
+    proc: ProcessId,
+    parts: &RecoveryParts<'_, A>,
+) -> Result<(), DriverError> {
+    let pi = proc.index();
+    let n = parts.cfg.n();
+    let live: Vec<usize> = (0..n)
+        .filter(|&q| {
+            q != pi && !parts.crashed[q].load(Ordering::Relaxed) && parts.inboxes[q].is_some()
+        })
+        .collect();
+    if live.is_empty() {
+        return Err(DriverError::Backend(
+            "no live donor process to recover from".into(),
+        ));
+    }
+
+    // Phase 1+2: quiesce with barrier, collecting the donors' snapshots.
+    // Each round: wait for the books to balance, barrier through every
+    // live process (the snapshot request), then confirm nothing moved —
+    // handling a backlog frame can emit fresh sends, which reopen the
+    // books and force another round.
+    let deadline = Instant::now() + parts.quiesce_timeout;
+    let donor_snaps: Vec<Vec<(RegisterId, Vec<A::Value>)>> = loop {
+        while !books_balance(&parts.stats.lock()) {
+            if Instant::now() >= deadline {
+                return Err(DriverError::Backend(
+                    "recovery quiesce timed out: messages still in flight".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let sent_before = parts.stats.lock().total_sent();
+        let mut replies = Vec::with_capacity(live.len());
+        for &q in &live {
+            let (tx, rx) = bounded(1);
+            let inbox = parts.inboxes[q].as_ref().expect("live peers have inboxes");
+            if inbox.send(Incoming::SnapshotReq { reply: tx }).is_err() {
+                return Err(DriverError::Backend(format!(
+                    "donor process p{q} is gone (node shutting down?)"
+                )));
+            }
+            match rx.recv_timeout(STEP_TIMEOUT) {
+                Ok(Some(snaps)) => replies.push(snaps),
+                Ok(None) => return Err(DriverError::RecoveryUnsupported),
+                Err(_) => {
+                    return Err(DriverError::Backend(format!(
+                        "donor process p{q} did not answer the snapshot request"
+                    )))
+                }
+            }
+        }
+        let st = parts.stats.lock();
+        if books_balance(&st) && st.total_sent() == sent_before {
+            break replies;
+        }
+        drop(st);
+        if Instant::now() >= deadline {
+            return Err(DriverError::Backend(
+                "recovery quiesce timed out: the cluster kept generating traffic".into(),
+            ));
+        }
+    };
+
+    // Phase 2: per register, the longest confirmed snapshot wins.
+    let mut barrier: Vec<(RegisterId, Vec<A::Value>)> = Vec::with_capacity(parts.registers.len());
+    for &reg in parts.registers {
+        let mut best: Option<Vec<A::Value>> = None;
+        for donor in &donor_snaps {
+            if let Some((_, s)) = donor.iter().find(|(r, _)| *r == reg) {
+                if best.as_ref().is_none_or(|b| s.len() > b.len()) {
+                    best = Some(s.clone());
+                }
+            }
+        }
+        let Some(best) = best else {
+            return Err(DriverError::RecoveryUnsupported);
+        };
+        barrier.push((reg, best));
+    }
+
+    // Phase 3: codec fidelity + accounting. The live backends all speak
+    // the byte codec (sockets leave no choice; the in-process cluster
+    // proves fidelity the same way), so the installed values are the ones
+    // that survived encode → decode.
+    let mut installed: Vec<(RegisterId, Vec<A::Value>)> = Vec::with_capacity(barrier.len());
+    {
+        let mut st = parts.stats.lock();
+        for (reg, values) in barrier {
+            let snap = Snapshot::new(reg, values);
+            let blob = snap.encode().map_err(|e| {
+                DriverError::Backend(format!("snapshot encode failed for {reg}: {e}"))
+            })?;
+            st.record_snapshot_frame(blob.len() as u64);
+            let decoded = Snapshot::<A::Value>::decode(&blob).map_err(|e| {
+                DriverError::Backend(format!("snapshot codec round-trip failed for {reg}: {e}"))
+            })?;
+            installed.push((decoded.reg, decoded.values));
+        }
+    }
+    let snapshots: RegisterSnapshots<A::Value> = Arc::new(installed);
+
+    // Phase 4a: install at the parked process.
+    {
+        let (tx, rx) = bounded(1);
+        let inbox = parts.inboxes[pi].as_ref().expect("checked above");
+        if inbox
+            .send(Incoming::Install {
+                snapshots: Arc::clone(&snapshots),
+                reply: tx,
+            })
+            .is_err()
+        {
+            return Err(DriverError::Backend(format!(
+                "process {proc} thread is gone (node shutting down?)"
+            )));
+        }
+        rx.recv_timeout(STEP_TIMEOUT).map_err(|_| {
+            DriverError::Backend(format!("process {proc} did not ack the snapshot install"))
+        })?;
+    }
+
+    // Phase 4b: un-crash (links deliver to it again; the network is empty,
+    // so the first frame it sees is post-barrier), then rejoin the peers.
+    parts.crashed[pi].store(false, Ordering::Relaxed);
+    for &q in &live {
+        let (tx, rx) = bounded(1);
+        let inbox = parts.inboxes[q].as_ref().expect("live peers have inboxes");
+        if inbox
+            .send(Incoming::Rejoin {
+                rejoining: proc,
+                snapshots: Arc::clone(&snapshots),
+                reply: tx,
+            })
+            .is_err()
+        {
+            return Err(DriverError::Backend(format!(
+                "peer process p{q} is gone (node shutting down?)"
+            )));
+        }
+        rx.recv_timeout(STEP_TIMEOUT).map_err(|_| {
+            DriverError::Backend(format!("peer process p{q} did not ack the rejoin"))
+        })?;
+    }
+
+    // Phase 5: bump the incarnation, open a fresh stats ledger, record the
+    // recovery in the history.
+    let incarnation = {
+        let mut life = parts.life.lock();
+        life[pi].complete_recovery(true);
+        life[pi].incarnation
+    };
+    parts.stats.lock().record_recovery();
+    parts
+        .recorder
+        .recovered(proc, parts.recorder.now(), incarnation);
+    Ok(())
+}

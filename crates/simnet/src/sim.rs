@@ -16,8 +16,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, History, OpId, OpOutcome, OpRecord, OpTicket,
-    Operation, ProcessId, RegisterId, ShardedHistory, SystemConfig, WireMessage,
+    Automaton, Driver, DriverError, Effects, History, Lifecycle, OpId, OpOutcome, OpRecord,
+    OpTicket, Operation, ProcessId, RegisterId, ShardedHistory, SystemConfig, WireMessage,
 };
 
 use crate::crash::{CrashPlan, CrashPoint};
@@ -773,8 +773,38 @@ impl<A: Automaton> Driver for Simulation<A> {
         }
     }
 
-    fn crash(&mut self, proc: ProcessId) {
-        self.crashed[proc.index()] = true;
+    fn crash(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        let pi = proc.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        if self.crashed[pi] {
+            return Err(DriverError::AlreadyCrashed(proc));
+        }
+        self.crashed[pi] = true;
+        Ok(())
+    }
+
+    fn recover(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        let pi = proc.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        if !self.crashed[pi] {
+            return Err(DriverError::NotCrashed(proc));
+        }
+        Err(DriverError::Backend(
+            "the scripted Simulation backend does not support recovery; \
+             drive recovery workloads through SimSpace"
+                .into(),
+        ))
+    }
+
+    fn lifecycle(&self, proc: ProcessId) -> Lifecycle {
+        match self.crashed.get(proc.index()) {
+            Some(false) => Lifecycle::Up,
+            _ => Lifecycle::Crashed,
+        }
     }
 
     fn history(&self) -> ShardedHistory<A::Value> {

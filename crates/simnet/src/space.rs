@@ -51,9 +51,10 @@ use twobit_cache::{cache_pair, CacheDecision, CacheMode, CacheReader, CacheWrite
 /// the reader half consulted on read invocations.
 type CachePair<V> = (CacheWriter<V>, CacheReader<V>);
 use twobit_proto::{
-    Automaton, Driver, DriverError, Effects, EnabledEvent, Envelope, FlushReason, Frame, NetStats,
-    OpId, OpOutcome, OpRecord, OpTicket, Operation, ProcessId, RegisterId, SchedDecision, Schedule,
-    ScheduleStep, Scheduler, ShardSet, ShardedHistory, SystemConfig, WireMessage,
+    Automaton, Driver, DriverError, Effects, EnabledEvent, Envelope, FlushReason, Frame, Lifecycle,
+    LifecycleState, NetStats, OpId, OpOutcome, OpRecord, OpTicket, Operation, ProcessId,
+    RecoveryRecord, RegisterId, SchedDecision, Schedule, ScheduleStep, Scheduler, ShardSet,
+    ShardedHistory, Snapshot, SystemConfig, WireMessage,
 };
 
 use crate::delay::DelayModel;
@@ -125,6 +126,8 @@ pub struct SpaceBuilder {
     wire_codec: bool,
     scheduled: bool,
     cache_mode: CacheMode,
+    recovery: bool,
+    recovery_skip_incarnation_bump: bool,
 }
 
 impl SpaceBuilder {
@@ -142,7 +145,37 @@ impl SpaceBuilder {
             wire_codec: false,
             scheduled: false,
             cache_mode: CacheMode::Off,
+            recovery: false,
+            recovery_skip_incarnation_bump: false,
         }
+    }
+
+    /// Enables crash-recovery (default off — the paper's base model, where
+    /// crashes are permanent). When on, [`Driver::recover`] and (in
+    /// scheduled mode) [`ScheduleStep::Recover`] bring a crashed process
+    /// back: the space fetches the longest confirmed prefix from the live
+    /// peers as a [`Snapshot`], installs it
+    /// ([`Automaton::install_recovery`]), hard-resets every live peer to
+    /// the snapshot barrier ([`Automaton::apply_rejoin`]), bumps the
+    /// process's incarnation and fences every pre-recovery in-flight frame
+    /// as stale. When off, `recover` is a typed error and no behaviour
+    /// changes — a recovery-enabled space produces byte-identical traffic
+    /// to a disabled one as long as no recovery actually fires.
+    pub fn recovery(mut self, on: bool) -> Self {
+        self.recovery = on;
+        self
+    }
+
+    /// **Negative-control ablation**: recoveries skip the incarnation bump
+    /// and with it the stale-frame fence, so frames sent to (or among) the
+    /// peers before the crash can still be delivered after everyone reset
+    /// to the snapshot barrier. This is deliberately broken — the model
+    /// checker uses it to demonstrate that the fence is load-bearing (a
+    /// rejoin without it produces checkable atomicity violations). Never
+    /// enable outside experiments.
+    pub fn recovery_skip_incarnation_bump(mut self, on: bool) -> Self {
+        self.recovery_skip_incarnation_bump = on;
+        self
     }
 
     /// Sets the local read-cache mode (default [`CacheMode::Off`]). Under
@@ -306,7 +339,10 @@ impl SpaceBuilder {
             tag_bits: RegisterId::routing_bits(self.registers.len()),
             registers: self.registers,
             nodes,
-            crashed: vec![false; n],
+            life: vec![LifecycleState::new(); n],
+            recovery: self.recovery,
+            skip_inc_bump: self.recovery_skip_incarnation_bump,
+            recovery_records: Vec::new(),
             now: 0,
             queue: BinaryHeap::new(),
             staged: BTreeMap::new(),
@@ -400,6 +436,12 @@ enum PlanState<V> {
     Ready(OpOutcome<V>),
     /// The response fired; the operation is complete in the history.
     Responded,
+    /// The invoking process crashed while the operation was in flight
+    /// (Invoked or Ready): the record stays incomplete in the history —
+    /// the paper's consistency clause exempts, for each faulty process,
+    /// its last invoked operation — and the step counts as settled so a
+    /// later recovery of the process does not deadlock the plan.
+    Died,
 }
 
 /// One scripted operation of a scheduled-mode run.
@@ -439,7 +481,16 @@ pub struct SimSpace<A: Automaton> {
     /// build time and used only for routing accounting.
     tag_bits: u64,
     nodes: Vec<ShardSet<A>>,
-    crashed: Vec<bool>,
+    /// Per-process lifecycle (`Up → Crashed → Recovering → Up`) and
+    /// incarnation counter — the refactor of the old `crashed: Vec<bool>`.
+    life: Vec<LifecycleState>,
+    /// Whether [`SpaceBuilder::recovery`] enabled crash-recovery.
+    recovery: bool,
+    /// Negative-control ablation
+    /// ([`SpaceBuilder::recovery_skip_incarnation_bump`]).
+    skip_inc_bump: bool,
+    /// Completed recoveries, in rejoin order (threaded into the history).
+    recovery_records: Vec<RecoveryRecord>,
     now: SimTime,
     queue: BinaryHeap<SpaceEvent<A::Msg>>,
     /// Envelopes staged per ordered link (with the instant staging began),
@@ -494,7 +545,7 @@ impl<A: Automaton> std::fmt::Debug for SimSpace<A> {
             .field("cfg", &self.cfg)
             .field("registers", &self.registers)
             .field("now", &self.now)
-            .field("crashed", &self.crashed)
+            .field("life", &self.life)
             .field("scheduled", &self.scheduled)
             .field("open_frames", &self.open.len())
             .finish_non_exhaustive()
@@ -535,7 +586,7 @@ impl<A: Automaton> SimSpace<A> {
     /// The first violation, prefixed with the process id.
     pub fn check_local_invariants(&self) -> Result<(), String> {
         for (i, node) in self.nodes.iter().enumerate() {
-            if self.crashed[i] {
+            if !self.life[i].state.is_up() {
                 continue;
             }
             node.check_local_invariants()
@@ -574,7 +625,7 @@ impl<A: Automaton> SimSpace<A> {
         let delay = self.delay.sample(&mut self.rng);
         let seq = self.seq;
         self.seq += 1;
-        if self.scheduled && self.crashed[to.index()] {
+        if self.scheduled && !self.life[to.index()].state.is_up() {
             // Scheduled mode drops frames to a dead destination at birth:
             // there is no delivery event left to do it later, and an
             // undeliverable frame must not linger in the enabled set.
@@ -622,7 +673,7 @@ impl<A: Automaton> SimSpace<A> {
                     )));
                 }
                 let pi = to.index();
-                if self.crashed[pi] {
+                if !self.life[pi].state.is_up() {
                     // Atomic non-delivery: the whole frame is lost with its
                     // target.
                     self.stats.record_frame_drop_to_crashed(frame.len() as u64);
@@ -901,17 +952,22 @@ impl<A: Automaton> SimSpace<A> {
     /// explicit dependency (if any) responded.
     fn invoke_enabled(&self, idx: usize) -> bool {
         let e = &self.plan[idx];
-        if !matches!(e.state, PlanState::Pending) || self.crashed[e.proc.index()] {
+        if !matches!(e.state, PlanState::Pending) || !self.life[e.proc.index()].state.is_up() {
             return false;
         }
+        // Program order counts a died step as done: its process crashed
+        // mid-operation, and after a recovery the remaining steps become
+        // invokable again.
         if self.plan[..idx]
             .iter()
-            .any(|o| o.proc == e.proc && !matches!(o.state, PlanState::Responded))
+            .any(|o| o.proc == e.proc && !matches!(o.state, PlanState::Responded | PlanState::Died))
         {
             return false;
         }
         match e.after {
-            Some(a) => matches!(self.plan[a].state, PlanState::Responded),
+            // A died dependency can never respond; the precedence it was
+            // meant to enforce is vacuous, so the dependent step unblocks.
+            Some(a) => matches!(self.plan[a].state, PlanState::Responded | PlanState::Died),
             None => true,
         }
     }
@@ -937,7 +993,7 @@ impl<A: Automaton> SimSpace<A> {
         assert!(self.scheduled, "enabled_events requires scheduled mode");
         let mut out = Vec::new();
         for (idx, e) in self.plan.iter().enumerate() {
-            if matches!(e.state, PlanState::Ready(_)) && !self.crashed[e.proc.index()] {
+            if matches!(e.state, PlanState::Ready(_)) && self.life[e.proc.index()].state.is_up() {
                 out.push(EnabledEvent::Respond {
                     plan: idx as u64,
                     proc: e.proc,
@@ -1014,7 +1070,7 @@ impl<A: Automaton> SimSpace<A> {
                     unreachable!("the open set holds only deliveries");
                 };
                 let pi = to.index();
-                debug_assert!(!self.crashed[pi], "crash pruned frames to p{pi}");
+                debug_assert!(self.life[pi].state.is_up(), "crash pruned frames to p{pi}");
                 self.stats.record_deliveries(frame.len() as u64);
                 let mut fx = Effects::new();
                 for env in frame.into_envelopes() {
@@ -1073,7 +1129,8 @@ impl<A: Automaton> SimSpace<A> {
             ScheduleStep::Respond(plan) => {
                 let idx = plan as usize;
                 let enabled = self.plan.get(idx).is_some_and(|e| {
-                    matches!(e.state, PlanState::Ready(_)) && !self.crashed[e.proc.index()]
+                    matches!(e.state, PlanState::Ready(_))
+                        && self.life[e.proc.index()].state.is_up()
                 });
                 if !enabled {
                     return Err(DriverError::Backend(format!(
@@ -1094,17 +1151,10 @@ impl<A: Automaton> SimSpace<A> {
                 self.outstanding.remove(&(proc, reg));
             }
             ScheduleStep::Crash(p) => {
-                let pi = p.index();
-                if pi >= self.cfg.n() {
-                    return Err(DriverError::Backend(format!(
-                        "crash c{pi}: unknown process"
-                    )));
-                }
-                if self.crashed[pi] {
-                    return Err(DriverError::Backend(format!("crash c{pi}: already down")));
-                }
-                self.crashed[pi] = true;
-                self.drop_open_frames_to(p);
+                self.do_crash(p)?;
+            }
+            ScheduleStep::Recover(p) => {
+                self.do_recover(p)?;
             }
         }
         Ok(FireOutcome {
@@ -1127,6 +1177,153 @@ impl<A: Automaton> SimSpace<A> {
         if dropped > 0 {
             self.stats.record_frame_drop_to_crashed(dropped);
         }
+    }
+
+    /// The incarnation fence, applied eagerly: at a completed recovery
+    /// every in-flight frame was staged under the previous incarnation and
+    /// would be rejected on receipt, so it is dropped here instead of at
+    /// its delivery event — equivalent semantics, and it keeps the model
+    /// checker's enabled set free of dead choices.
+    fn purge_open_frames_as_stale(&mut self) {
+        let mut stale = 0u64;
+        self.open.retain(|ev| match &ev.kind {
+            SpaceEventKind::Deliver { frame, .. } => {
+                stale += frame.len() as u64;
+                false
+            }
+            SpaceEventKind::Flush { .. } => true,
+        });
+        if stale > 0 {
+            self.stats.record_dropped_stale(stale);
+        }
+    }
+
+    /// Shared crash path of [`Driver::crash`] and
+    /// [`ScheduleStep::Crash`]: lifecycle transition, atomic frame drop,
+    /// and (scheduled mode) plan-step death for the operations the crash
+    /// interrupted.
+    fn do_crash(&mut self, p: ProcessId) -> Result<(), DriverError> {
+        let pi = p.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(p));
+        }
+        self.life[pi]
+            .crash()
+            .map_err(|_| DriverError::AlreadyCrashed(p))?;
+        if self.scheduled {
+            self.drop_open_frames_to(p);
+            for e in &mut self.plan {
+                if e.proc == p && matches!(e.state, PlanState::Invoked | PlanState::Ready(_)) {
+                    e.state = PlanState::Died;
+                    self.outstanding.remove(&(p, e.reg));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared recovery path of [`Driver::recover`] and
+    /// [`ScheduleStep::Recover`] — one atomic rejoin:
+    ///
+    /// 1. (event mode only) run to quiescence, so the transfer happens on
+    ///    an empty network;
+    /// 2. per register, adopt the longest confirmed prefix among the live
+    ///    donors as the [`Snapshot`] (round-tripping the byte codec under
+    ///    [`SpaceBuilder::wire_codec`], and accounting its size as
+    ///    `snapshot_bytes` either way);
+    /// 3. install it at `p` and hard-reset every live peer to the barrier
+    ///    ([`Automaton::apply_rejoin`] — its effects flow as ordinary
+    ///    new-epoch traffic);
+    /// 4. bump `p`'s incarnation and fence all pre-recovery frames as
+    ///    stale (skipped together by the negative-control ablation).
+    fn do_recover(&mut self, p: ProcessId) -> Result<(), DriverError> {
+        let pi = p.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(p));
+        }
+        if !self.recovery {
+            return Err(DriverError::Backend(
+                "recovery is disabled for this space (enable SpaceBuilder::recovery)".into(),
+            ));
+        }
+        if !self.life[pi].state.is_crashed() {
+            return Err(DriverError::NotCrashed(p));
+        }
+        if !self.scheduled {
+            // Quiescing first empties the network (frames to the crashed
+            // process drop), so no pre-recovery frame survives the rejoin.
+            self.run_to_quiescence()?;
+        }
+        if !(0..self.cfg.n()).any(|q| q != pi && self.life[q].state.is_up()) {
+            return Err(DriverError::Backend(format!(
+                "recover {p}: no live donor process"
+            )));
+        }
+        self.life[pi]
+            .begin_recovery()
+            .expect("checked Crashed above");
+        let registers = self.registers.clone();
+        for reg in registers {
+            let mut best: Option<Vec<A::Value>> = None;
+            for q in 0..self.cfg.n() {
+                if q == pi || !self.life[q].state.is_up() {
+                    continue;
+                }
+                if let Some(s) = self.nodes[q].recovery_snapshot(reg) {
+                    if best.as_ref().is_none_or(|b| s.len() > b.len()) {
+                        best = Some(s);
+                    }
+                }
+            }
+            let Some(values) = best else {
+                self.life[pi].abort_recovery();
+                return Err(DriverError::RecoveryUnsupported);
+            };
+            let wrapped = Snapshot::new(reg, values);
+            let snap = if self.wire_codec {
+                let blob = wrapped
+                    .encode()
+                    .map_err(|e| DriverError::Backend(format!("snapshot encode: {e}")))?;
+                self.stats.record_snapshot_frame(blob.len() as u64);
+                Snapshot::<A::Value>::decode(&blob)
+                    .map_err(|e| DriverError::Backend(format!("snapshot decode: {e}")))?
+                    .values
+            } else {
+                self.stats
+                    .record_snapshot_frame(wrapped.encoded_len_bytes());
+                wrapped.values
+            };
+            self.nodes[pi]
+                .install_recovery(reg, &snap)
+                .expect("the space hosts all of its registers");
+            for q in 0..self.cfg.n() {
+                if q == pi || !self.life[q].state.is_up() {
+                    continue;
+                }
+                let mut fx = Effects::new();
+                self.nodes[q]
+                    .apply_rejoin(reg, p, &snap, &mut fx)
+                    .expect("the space hosts all of its registers");
+                self.apply_effects(ProcessId::new(q), fx)?;
+            }
+        }
+        // Operations the crash orphaned are gone for good; the rejoined
+        // process starts clean (its pre-crash cache must not serve either:
+        // peers may have adopted a value it never confirmed).
+        self.outstanding.retain(|(proc, _), _| *proc != p);
+        self.caches[pi] = cache_pair(self.registers.len(), self.cache_mode);
+        let bump = !self.skip_inc_bump;
+        self.life[pi].complete_recovery(bump);
+        if bump {
+            self.purge_open_frames_as_stale();
+        }
+        self.stats.record_recovery();
+        self.recovery_records.push(RecoveryRecord {
+            proc: p,
+            at: self.now,
+            incarnation: self.life[pi].incarnation,
+        });
+        Ok(())
     }
 
     /// Hands the scheduling loop to `sched` until it stops (a
@@ -1165,9 +1362,12 @@ impl<A: Automaton> SimSpace<A> {
     /// A description of the starved plan step.
     pub fn check_schedule_liveness(&self) -> Result<(), String> {
         for (idx, e) in self.plan.iter().enumerate() {
-            if self.crashed[e.proc.index()] {
+            if !self.life[e.proc.index()].state.is_up() {
                 continue;
             }
+            // Died steps are exempt: their process crashed mid-operation
+            // (and possibly recovered since) — the op is gone by rule, not
+            // by starvation.
             if matches!(e.state, PlanState::Invoked) {
                 return Err(format!(
                     "plan step {idx} ({}) invoked but never completed: the \
@@ -1179,9 +1379,21 @@ impl<A: Automaton> SimSpace<A> {
         Ok(())
     }
 
-    /// Whether `p` has crashed.
+    /// Whether `p` is currently crashed (recovered processes are up again).
     pub fn is_crashed(&self, p: ProcessId) -> bool {
-        self.crashed[p.index()]
+        self.life[p.index()].state.is_crashed()
+    }
+
+    /// Whether [`SpaceBuilder::recovery`] enabled crash-recovery (a
+    /// [`ScheduleStep::Recover`] on a space built without it is a typed
+    /// error, so schedulers ask first).
+    pub fn recovery_enabled(&self) -> bool {
+        self.recovery
+    }
+
+    /// `p`'s incarnation number (0 until its first completed recovery).
+    pub fn incarnation(&self, p: ProcessId) -> u64 {
+        self.life[p.index()].incarnation
     }
 
     /// Whether every plan step has run to completion or died with its
@@ -1191,9 +1403,26 @@ impl<A: Automaton> SimSpace<A> {
     /// instead of draining the network.
     pub fn plan_settled(&self) -> bool {
         assert!(self.scheduled, "plan_settled requires scheduled mode");
-        self.plan
-            .iter()
-            .all(|e| matches!(e.state, PlanState::Responded) || self.crashed[e.proc.index()])
+        self.plan.iter().all(|e| {
+            matches!(e.state, PlanState::Responded | PlanState::Died)
+                || !self.life[e.proc.index()].state.is_up()
+        })
+    }
+
+    /// Whether some scripted operation is still waiting but its process is
+    /// down — the one situation where a future [`ScheduleStep::Recover`]
+    /// re-opens a settled plan ([`SimSpace::plan_settled`] counts steps on
+    /// crashed processes as settled because, absent recovery, they can
+    /// never run).
+    pub fn plan_waiting_on_crashed(&self) -> bool {
+        assert!(
+            self.scheduled,
+            "plan_waiting_on_crashed requires scheduled mode"
+        );
+        self.plan.iter().any(|e| {
+            !matches!(e.state, PlanState::Responded | PlanState::Died)
+                && !self.life[e.proc.index()].state.is_up()
+        })
     }
 }
 
@@ -1228,7 +1457,7 @@ impl<A: Automaton> Driver for SimSpace<A> {
         if !self.registers.contains(&reg) {
             return Err(DriverError::UnknownRegister(reg));
         }
-        if self.crashed[pi] {
+        if !self.life[pi].state.is_up() {
             return Err(DriverError::ProcessUnavailable(proc));
         }
         if self.outstanding.contains_key(&(proc, reg)) {
@@ -1282,20 +1511,27 @@ impl<A: Automaton> Driver for SimSpace<A> {
                 return Ok(outcome.clone());
             }
             if !self.step()? {
-                return if self.crashed[ticket.proc.index()] {
-                    Err(DriverError::ProcessUnavailable(ticket.proc))
-                } else {
+                return if self.life[ticket.proc.index()].state.is_up() {
                     Err(DriverError::Stalled(ticket.op_id))
+                } else {
+                    Err(DriverError::ProcessUnavailable(ticket.proc))
                 };
             }
         }
     }
 
-    fn crash(&mut self, proc: ProcessId) {
-        self.crashed[proc.index()] = true;
-        if self.scheduled {
-            self.drop_open_frames_to(proc);
-        }
+    fn crash(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        self.do_crash(proc)
+    }
+
+    fn recover(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        self.do_recover(proc)
+    }
+
+    fn lifecycle(&self, proc: ProcessId) -> Lifecycle {
+        self.life
+            .get(proc.index())
+            .map_or(Lifecycle::Crashed, |l| l.state)
     }
 
     fn history(&self) -> ShardedHistory<A::Value> {
@@ -1304,6 +1540,7 @@ impl<A: Automaton> Driver for SimSpace<A> {
             self.registers.iter().copied(),
             self.records.iter().cloned(),
         )
+        .with_recoveries(&self.recovery_records)
     }
 
     fn stats(&self) -> NetStats {
@@ -1387,7 +1624,7 @@ mod tests {
             .unwrap();
         // Crash p4 while the two-message frame to it is still in flight:
         // both messages vanish together, none is half-delivered.
-        s.crash(p4);
+        s.crash(p4).unwrap();
         s.poll(&t0).unwrap();
         s.poll(&t1).unwrap();
         s.run_to_quiescence().unwrap();
@@ -1618,7 +1855,7 @@ mod tests {
     #[test]
     fn crash_is_observed() {
         let mut s = space(1, 3);
-        s.crash(ProcessId::new(2));
+        s.crash(ProcessId::new(2)).unwrap();
         let err = s
             .invoke(ProcessId::new(2), RegisterId::ZERO, Operation::Read)
             .unwrap_err();

@@ -60,12 +60,13 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::Mutex;
 use twobit_cache::CacheMode;
 use twobit_proto::{
-    Automaton, BufferPool, Bytes, Driver, DriverError, Envelope, Frame, NetStats, OpId, OpOutcome,
-    OpTicket, Operation, ProcessId, RegisterId, ShardSet, ShardedHistory, SystemConfig,
-    WireMessage, MAX_FRAME_BODY_BYTES,
+    Automaton, BufferPool, Bytes, Driver, DriverError, Envelope, Frame, Lifecycle, LifecycleState,
+    NetStats, OpId, OpOutcome, OpTicket, Operation, ProcessId, RegisterId, ShardSet,
+    ShardedHistory, SystemConfig, WireMessage, MAX_FRAME_BODY_BYTES,
 };
 use twobit_runtime::{
-    process_loop, BuildError, FlushPolicy, Incoming, LinkBatcher, OutboundLinks, Recorder,
+    process_loop, recover_process, BuildError, FlushPolicy, Incoming, LinkBatcher, OutboundLinks,
+    Recorder, RecoveryParts,
 };
 
 /// Builder for a [`TcpCluster`].
@@ -272,6 +273,7 @@ impl TcpClusterBuilder {
             addrs,
             inbox_txs,
             crashed,
+            life: Mutex::new(vec![LifecycleState::new(); n]),
             recorder: Recorder::new(initial),
             stats,
             op_ids: AtomicU64::new(0),
@@ -462,6 +464,7 @@ pub struct TcpCluster<A: Automaton> {
     addrs: Vec<SocketAddr>,
     inbox_txs: Vec<Sender<Incoming<A>>>,
     crashed: Vec<Arc<AtomicBool>>,
+    life: Mutex<Vec<LifecycleState>>,
     recorder: Recorder<A::Value>,
     stats: Arc<Mutex<NetStats>>,
     op_ids: AtomicU64,
@@ -606,10 +609,49 @@ impl<A: Automaton> Driver for TcpCluster<A> {
         }
     }
 
-    fn crash(&mut self, proc: ProcessId) {
-        self.crashed[proc.index()].store(true, Ordering::Relaxed);
-        // Nudge the thread so it observes the flag even when idle.
-        let _ = self.inbox_txs[proc.index()].send(Incoming::Shutdown);
+    fn crash(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        let pi = proc.index();
+        if pi >= self.cfg.n() {
+            return Err(DriverError::UnknownProcess(proc));
+        }
+        self.life.lock()[pi]
+            .crash()
+            .map_err(|_| DriverError::AlreadyCrashed(proc))?;
+        self.crashed[pi].store(true, Ordering::Relaxed);
+        // Nudge the thread so it observes the flag even when idle. (Not a
+        // shutdown — the parked thread must survive for a later recovery.)
+        let _ = self.inbox_txs[pi].send(Incoming::Nudge);
+        Ok(())
+    }
+
+    fn recover(&mut self, proc: ProcessId) -> Result<(), DriverError> {
+        // The stop-the-world coordinator needs a quiesced cluster; an op
+        // still in flight anywhere would keep the books open forever.
+        if let Some((p, r)) = self.pending.keys().next() {
+            return Err(DriverError::OperationInFlight { proc: *p, reg: *r });
+        }
+        let inboxes: Vec<Option<Sender<Incoming<A>>>> =
+            self.inbox_txs.iter().cloned().map(Some).collect();
+        recover_process(
+            proc,
+            &RecoveryParts {
+                cfg: self.cfg,
+                registers: &self.registers,
+                inboxes: &inboxes,
+                life: &self.life,
+                crashed: &self.crashed,
+                stats: &self.stats,
+                recorder: &self.recorder,
+                quiesce_timeout: self.op_timeout,
+            },
+        )
+    }
+
+    fn lifecycle(&self, proc: ProcessId) -> Lifecycle {
+        self.life
+            .lock()
+            .get(proc.index())
+            .map_or(Lifecycle::Crashed, |l| l.state)
     }
 
     fn history(&self) -> ShardedHistory<A::Value> {
@@ -880,8 +922,8 @@ mod tests {
             .build(0u64, |id| TwoBitProcess::new(id, c, writer, 0u64))
             .unwrap();
         cluster.write(writer, RegisterId::ZERO, 1).unwrap();
-        Driver::crash(&mut cluster, ProcessId::new(3));
-        Driver::crash(&mut cluster, ProcessId::new(4));
+        Driver::crash(&mut cluster, ProcessId::new(3)).unwrap();
+        Driver::crash(&mut cluster, ProcessId::new(4)).unwrap();
         cluster.write(writer, RegisterId::ZERO, 2).unwrap();
         assert_eq!(
             cluster.read(ProcessId::new(1), RegisterId::ZERO).unwrap(),

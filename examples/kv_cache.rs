@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Two nodes crash; the store keeps serving and stays per-key atomic.
-    store.driver_mut().crash(ProcessId::new(3));
-    store.driver_mut().crash(ProcessId::new(4));
+    store.driver_mut().crash(ProcessId::new(3)).unwrap();
+    store.driver_mut().crash(ProcessId::new(4)).unwrap();
     store.write(coordinator, "degraded", 1)?;
     let seen = store.read(1, "degraded")?;
     println!("after 2 crashes, p1 sees degraded={seen}");

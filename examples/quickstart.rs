@@ -80,8 +80,8 @@ fn run<D: Driver<Value = u64>>(
     workload(reg).run_on(driver)?;
 
     // Crash up to t processes — the register stays live and atomic.
-    driver.crash(ProcessId::new(3));
-    driver.crash(ProcessId::new(4));
+    driver.crash(ProcessId::new(3)).unwrap();
+    driver.crash(ProcessId::new(4)).unwrap();
     driver.write(ProcessId::new(0), reg, 11)?;
     let after = driver.read(ProcessId::new(1), reg)?;
 

@@ -337,8 +337,9 @@ pub use twobit_cache::{CacheDecision, CacheMode};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{
     Automaton, Driver, DriverError, Effects, Envelope, FlushReason, Frame, FrameCost, FrameHeader,
-    History, OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId, RegisterId, RegisterMode,
-    RegisterSpace, ShardSet, ShardedHistory, SystemConfig, Workload,
+    History, Lifecycle, LifecycleState, OpId, OpOutcome, OpTicket, Operation, Payload, ProcessId,
+    RecoveryRecord, RegisterId, RegisterMode, RegisterSpace, ShardSet, ShardedHistory,
+    SystemConfig, Workload,
 };
 pub use twobit_reactor::{
     ListeningNode, ReactorClusterBuilder, ReactorNode, ReactorNodeBuilder, ReconnectPolicy,

@@ -76,6 +76,7 @@ fn build_history(writes: usize, last_pending: bool, reads: &[ArbRead]) -> Histor
     History {
         initial: 0,
         records,
+        recoveries: vec![],
     }
 }
 
@@ -134,7 +135,7 @@ proptest! {
             t += 2 * gap;
             op += 1;
         }
-        let h = History { initial: 0u64, records };
+        let h = History { initial: 0u64, records, recoveries: vec![] };
         prop_assert!(swmr::check(&h).is_ok());
         prop_assert!(wg::check_register(&h).is_ok());
     }
@@ -197,6 +198,7 @@ fn build_mwmr_history(writes: &[ArbWrite], reads: &[ArbRead]) -> History<u64> {
     History {
         initial: 0,
         records,
+        recoveries: vec![],
     }
 }
 
@@ -289,7 +291,7 @@ proptest! {
                 let reg = RegisterId::new(k);
                 if step == crash_after {
                     for &v in &victims {
-                        sim.crash(ProcessId::new(v));
+                        sim.crash(ProcessId::new(v)).unwrap();
                         crashed[v] = true;
                     }
                 }

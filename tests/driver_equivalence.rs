@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use twobit::lincheck::{check_mwmr_sharded, check_swmr_sharded};
 use twobit::{
-    CacheMode, ClusterBuilder, Driver, DriverError, FlushPolicy, MwmrProcess, Operation, ProcessId,
-    ReactorClusterBuilder, RegisterId, SpaceBuilder, SystemConfig, TcpClusterBuilder,
+    CacheMode, ClusterBuilder, Driver, DriverError, FlushPolicy, Lifecycle, MwmrProcess, Operation,
+    ProcessId, ReactorClusterBuilder, RegisterId, SpaceBuilder, SystemConfig, TcpClusterBuilder,
     TwoBitProcess, VirtualHold, Workload,
 };
 
@@ -550,7 +550,7 @@ fn mwmr_concurrent_writers_survive_a_crash() {
         for t in &tickets {
             driver.poll(t).unwrap();
         }
-        driver.crash(ProcessId::new(4));
+        driver.crash(ProcessId::new(4)).unwrap();
         // Round 2: all three write again after the crash.
         let tickets: Vec<_> = (0..3)
             .map(|i| {
@@ -620,8 +620,8 @@ fn crash_tolerance_is_portable() {
         let reg = RegisterId::new(0);
         let writer = writer_of(reg); // p0: not crashed below
         driver.write(writer, reg, 1).unwrap();
-        driver.crash(ProcessId::new(3));
-        driver.crash(ProcessId::new(4));
+        driver.crash(ProcessId::new(3)).unwrap();
+        driver.crash(ProcessId::new(4)).unwrap();
         driver.write(writer, reg, 2).unwrap();
         assert_eq!(driver.read(ProcessId::new(1), reg).unwrap(), 2);
         // A crashed process cannot invoke.
@@ -648,4 +648,204 @@ fn crash_tolerance_is_portable() {
         })
         .unwrap();
     run(&mut cluster);
+}
+
+/// One crash-recover-rejoin workload, four backends, identical per-register
+/// histories. A replica crashes and rejoins mid-run (it must then serve
+/// reads through the protocol again), and afterwards the *writer* crashes
+/// and rejoins (the rejoin must re-admit it as the writer with a fresh
+/// incarnation). The extracted history fingerprint — completed-op count,
+/// written-value sequence, read results, and `(process, incarnation)`
+/// recovery records — must be the same on the deterministic simulator, the
+/// threaded runtime, real TCP, and the reactor.
+#[test]
+fn crash_recover_rejoin_is_portable_across_all_four_backends() {
+    let cfg = cfg();
+    let reg = RegisterId::new(0);
+    let writer = writer_of(reg); // p0
+    let replica = ProcessId::new(3);
+
+    type Fingerprint = (usize, Vec<u64>, Vec<u64>, Vec<(usize, u64)>);
+    let run = |driver: &mut dyn Driver<Value = u64>, label: &str| -> Fingerprint {
+        driver.write(writer, reg, 1).unwrap();
+
+        // A replica crashes; the surviving quorum keeps the register live.
+        driver.crash(replica).unwrap();
+        assert_eq!(driver.lifecycle(replica), Lifecycle::Crashed, "{label}");
+        driver.write(writer, reg, 2).unwrap();
+
+        // The replica rejoins and must serve through the protocol again.
+        driver.recover(replica).unwrap();
+        assert_eq!(driver.lifecycle(replica), Lifecycle::Up, "{label}");
+        assert_eq!(driver.read(replica, reg).unwrap(), 2, "{label}");
+
+        // Now the writer itself crashes and rejoins: the recovery barrier
+        // re-admits it as the writer with a bumped incarnation, so its next
+        // write (which reuses a dead sequence number) still completes on a
+        // genuine quorum.
+        driver.crash(writer).unwrap();
+        assert!(
+            matches!(
+                driver.invoke(writer, reg, Operation::Read),
+                Err(DriverError::ProcessUnavailable(_))
+            ),
+            "{label}: a crashed process cannot invoke"
+        );
+        driver.recover(writer).unwrap();
+        assert_eq!(driver.lifecycle(writer), Lifecycle::Up, "{label}");
+        driver.write(writer, reg, 3).unwrap();
+        assert_eq!(driver.read(ProcessId::new(1), reg).unwrap(), 3, "{label}");
+
+        let hist = driver.history();
+        check_swmr_sharded(&hist).unwrap_or_else(|e| panic!("{label}: not atomic: {e}"));
+        let shard = hist.shard(reg).unwrap();
+        let writes: Vec<u64> = shard
+            .records
+            .iter()
+            .filter_map(|r| r.op.written_value().copied())
+            .collect();
+        let reads: Vec<u64> = shard
+            .reads()
+            .filter_map(|r| r.completed.as_ref().and_then(|(_, o)| o.read_value()))
+            .copied()
+            .collect();
+        let recoveries: Vec<(usize, u64)> = shard
+            .recoveries
+            .iter()
+            .map(|r| (r.proc.index(), r.incarnation))
+            .collect();
+        (shard.len(), writes, reads, recoveries)
+    };
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(1)
+        .recovery(true)
+        .build(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    let sim_fp = run(&mut sim, "simnet");
+    assert_eq!(
+        sim_fp,
+        (
+            5,
+            vec![1, 2, 3],
+            vec![2, 3],
+            vec![(replica.index(), 1), (writer.index(), 1)]
+        ),
+        "simnet: expected fingerprint"
+    );
+    assert_eq!(
+        sim.stats().recoveries(),
+        2,
+        "simnet: both rejoins accounted"
+    );
+    assert!(
+        sim.stats().snapshot_frames() > 0,
+        "simnet: snapshots crossed as frames"
+    );
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(7)
+        .registers(1)
+        .build_sharded(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    let rt_fp = run(&mut cluster, "runtime");
+    assert_eq!(sim_fp, rt_fp, "runtime fingerprint diverges from simnet");
+
+    let mut tcp = TcpClusterBuilder::new(cfg)
+        .registers(1)
+        .build_sharded(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    let tcp_fp = run(&mut tcp, "tcp");
+    assert_eq!(sim_fp, tcp_fp, "tcp fingerprint diverges from simnet");
+    assert!(
+        tcp.stats().snapshot_frames() > 0,
+        "tcp: snapshots crossed real sockets"
+    );
+
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .registers(1)
+        .build_sharded(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback reactor cluster starts");
+    let reactor_fp = run(&mut node, "reactor");
+    assert_eq!(
+        sim_fp, reactor_fp,
+        "reactor fingerprint diverges from simnet"
+    );
+}
+
+/// Lifecycle misuse is a *typed* error on every backend — no panics, no
+/// silently-accepted double crash (the TCP and reactor builders used to
+/// absorb a second `crash` of the same process without complaint).
+#[test]
+fn lifecycle_errors_are_typed_and_uniform_across_backends() {
+    let cfg = cfg();
+    let run = |driver: &mut dyn Driver<Value = u64>, label: &str| {
+        let p = ProcessId::new(4);
+        let ghost = ProcessId::new(99);
+        assert!(
+            matches!(driver.recover(p), Err(DriverError::NotCrashed(q)) if q == p),
+            "{label}: recovering an up process"
+        );
+        driver.crash(p).unwrap();
+        assert!(
+            matches!(driver.crash(p), Err(DriverError::AlreadyCrashed(q)) if q == p),
+            "{label}: double crash"
+        );
+        assert!(
+            matches!(driver.crash(ghost), Err(DriverError::UnknownProcess(q)) if q == ghost),
+            "{label}: crashing an unknown process"
+        );
+        assert!(
+            matches!(driver.recover(ghost), Err(DriverError::UnknownProcess(q)) if q == ghost),
+            "{label}: recovering an unknown process"
+        );
+        assert_eq!(driver.lifecycle(p), Lifecycle::Crashed, "{label}");
+        assert_eq!(
+            driver.lifecycle(ghost),
+            Lifecycle::Crashed,
+            "{label}: out-of-range processes read as crashed"
+        );
+    };
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(1)
+        .registers(1)
+        .recovery(true)
+        .build(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    run(&mut sim, "simnet");
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(1)
+        .registers(1)
+        .build_sharded(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    run(&mut cluster, "runtime");
+
+    let mut tcp = TcpClusterBuilder::new(cfg)
+        .registers(1)
+        .build_sharded(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    run(&mut tcp, "tcp");
+
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .registers(1)
+        .build_sharded(0u64, move |reg, id| {
+            TwoBitProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback reactor cluster starts");
+    run(&mut node, "reactor");
 }

@@ -165,8 +165,8 @@ fn frames_drop_atomically_under_crashes_and_registers_stay_atomic() {
     // Warm every register, then crash two processes with frames in flight
     // (staged sends and queued frames both exist mid-workload).
     sweep_workload(16, 2, 1).run_pipelined_on(&mut sim).unwrap();
-    sim.crash(ProcessId::new(3));
-    sim.crash(ProcessId::new(4));
+    sim.crash(ProcessId::new(3)).unwrap();
+    sim.crash(ProcessId::new(4)).unwrap();
 
     // Registers whose writer survives keep taking writes and reads.
     for k in 0..16usize {
@@ -237,7 +237,7 @@ fn cluster_frames_batch_and_stay_atomic_under_crash() {
     }
 
     // Crash a non-writer-critical process; the rest keeps serving.
-    cluster.crash(4);
+    cluster.crash(4).unwrap();
     for k in 0..8usize {
         if k % N == 4 {
             continue; // its writer just crashed

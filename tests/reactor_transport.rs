@@ -244,7 +244,7 @@ fn crash_semantics_are_preserved_alongside_reconnect() {
         .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))
         .expect("reactor cluster starts");
     node.write(writer, RegisterId::ZERO, 1).unwrap();
-    node.crash(ProcessId::new(2));
+    node.crash(ProcessId::new(2)).unwrap();
     // A majority (p0, p1) survives: the register stays live.
     node.write(writer, RegisterId::ZERO, 2).unwrap();
     assert_eq!(node.read(ProcessId::new(1), RegisterId::ZERO).unwrap(), 2);
@@ -257,5 +257,88 @@ fn crash_semantics_are_preserved_alongside_reconnect() {
     assert_eq!(
         stats.total_delivered() + stats.dropped_to_crashed() + stats.messages_abandoned(),
         stats.total_sent(),
+    );
+}
+
+/// Satellite: the full fault gauntlet on one backend — a process crashes,
+/// rejoins through the snapshot path, and crashes *again*, interleaved
+/// with socket severs (transient failures the reconnect layer absorbs).
+/// Crash, reconnect, and recover are three different events and the
+/// accounting must keep them apart: resends never double-count, stale
+/// fences are booked separately from crash drops, and the per-incarnation
+/// ledgers sum exactly to `delivered + dropped + stale + abandoned ==
+/// sent`.
+#[test]
+fn crash_recover_crash_interleaved_with_severs_reconciles() {
+    let cfg = SystemConfig::max_resilience(3);
+    let writer = ProcessId::new(0);
+    let victim = ProcessId::new(2);
+    let reg = RegisterId::ZERO;
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .flush_policy(FlushPolicy::immediate())
+        .build(0u64, |id| TwoBitProcess::new(id, cfg, writer, 0u64))
+        .expect("reactor cluster starts");
+
+    for round in 1..=24u64 {
+        match round {
+            4 | 14 | 20 => node.sever_links(),
+            8 => node.crash(victim).unwrap(),
+            12 => {
+                node.recover(victim).unwrap();
+                // The rejoined process serves through the protocol again.
+                assert_eq!(node.read(victim, reg).unwrap(), 11);
+            }
+            16 => node.crash(victim).unwrap(),
+            _ => {}
+        }
+        node.write(writer, reg, round).unwrap();
+        assert_eq!(node.read(ProcessId::new(1), reg).unwrap(), round);
+    }
+
+    let (history, stats) = node.shutdown();
+    let shard = history.shard(reg).unwrap();
+    let verdict = check_swmr(shard).unwrap();
+    assert_eq!(verdict.writes, 24, "every write completed exactly once");
+    assert_eq!(
+        shard.recoveries.len(),
+        1,
+        "one completed rejoin on the record"
+    );
+    assert_eq!(shard.recoveries[0].proc, victim);
+    assert_eq!(shard.recoveries[0].incarnation, 1);
+
+    assert!(stats.reconnects() >= 1, "severs forced redials");
+    assert_eq!(stats.recoveries(), 1);
+    assert!(
+        stats.snapshot_frames() >= 1,
+        "the rejoin shipped a snapshot"
+    );
+    assert!(
+        stats.dropped_to_crashed() > 0,
+        "traffic to the crashed process was dropped"
+    );
+    assert_eq!(
+        stats.total_delivered()
+            + stats.dropped_to_crashed()
+            + stats.dropped_stale()
+            + stats.messages_abandoned(),
+        stats.total_sent(),
+        "delivered + dropped + stale + abandoned == sent"
+    );
+    // Per-incarnation ledgers: epoch 0 (initial) and epoch 1 (post-rejoin)
+    // partition the same totals.
+    let ledgers = stats.incarnation_ledgers();
+    assert_eq!(ledgers.len(), 2, "one ledger per incarnation epoch");
+    assert_eq!(
+        ledgers.iter().map(|l| l.sent).sum::<u64>(),
+        stats.total_sent()
+    );
+    assert_eq!(
+        ledgers.iter().map(|l| l.delivered).sum::<u64>(),
+        stats.total_delivered()
+    );
+    assert!(
+        ledgers[1].sent > 0,
+        "the post-rejoin epoch carried real traffic"
     );
 }

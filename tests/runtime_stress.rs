@@ -117,9 +117,9 @@ fn crash_during_concurrent_traffic() {
         let cl = &cluster;
         s.spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            cl.crash(3);
+            cl.crash(3).unwrap();
             std::thread::sleep(Duration::from_millis(20));
-            cl.crash(4);
+            cl.crash(4).unwrap();
         });
     });
     let (history, _) = cluster.shutdown();

@@ -7,14 +7,18 @@
 
 use proc_macro::TokenStream;
 
-/// Expands to nothing; satisfies `#[derive(Serialize)]`.
-#[proc_macro_derive(Serialize)]
+/// Expands to nothing; satisfies `#[derive(Serialize)]`. Registers the
+/// `serde` helper attribute so field annotations like `#[serde(default)]`
+/// parse, exactly as the real derive does.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
-#[proc_macro_derive(Deserialize)]
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`. Registers the
+/// `serde` helper attribute so field annotations like `#[serde(default)]`
+/// parse, exactly as the real derive does.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
