@@ -9,9 +9,14 @@
 //!   Table 1; a first-class protocol across the whole stack (all three
 //!   backends, frames, the byte codec), checked by
 //!   `twobit_lincheck::check_mwmr`.
+//! * [`ohram`] — the latency-optimal competitor: **Oh-RAM** fast reads
+//!   (arXiv 1610.08373), a hybrid one-round / one-and-a-half-round read on
+//!   top of the classic one-round SWMR write. It concedes the bit budget
+//!   (timestamps on the wire, an n²-message relay round as fallback) to
+//!   win message delays — the third axis of the bench head-to-head.
 //! * [`mixed`] — heterogeneous deployments: [`MixedProcess`] hosts the
-//!   paper's SWMR protocol and the MWMR automaton side by side in one
-//!   sharded backend, with a 1-bit-discriminated [`MixedMsg`] codec.
+//!   paper's SWMR protocol, the MWMR automaton, and Oh-RAM side by side in
+//!   one sharded backend, with a prefix-discriminated [`MixedMsg`] codec.
 //! * [`naive`] — a deliberately non-atomic strawman (local reads) used as
 //!   a negative control for the checker and simulator.
 //! * [`phased`] + [`profiles`] — **cost-faithful emulations** of the two
@@ -32,6 +37,7 @@ pub mod abd;
 pub mod mixed;
 pub mod mwmr;
 pub mod naive;
+pub mod ohram;
 pub mod phased;
 pub mod profiles;
 
@@ -39,5 +45,6 @@ pub use abd::{AbdMsg, AbdProcess};
 pub use mixed::{MixedMsg, MixedProcess};
 pub use mwmr::{MwmrMsg, MwmrProcess, Timestamp};
 pub use naive::{NaiveMsg, NaiveProcess};
+pub use ohram::{OhRamMsg, OhRamProcess};
 pub use phased::{CostProfile, PhasedMsg, PhasedProcess};
 pub use profiles::{abd_bounded_profile, attiya_profile};

@@ -1,0 +1,1160 @@
+//! Oh-RAM fast reads: the one-and-a-half-round SWMR register of
+//! *Oh-RAM! One and a Half Round Atomic Memory* (Hadjistasi, Nicolaou &
+//! Schwarzmann, arXiv 1610.08373), with the server-relay structure of
+//! *Time-Efficient Read/Write Register* (arXiv 1601.04820).
+//!
+//! The paper's two-bit protocol wins on wire bits; this automaton competes
+//! on the other axis — **message delays per read**:
+//!
+//! * **write(v)** (writer only): `seq += 1`, broadcast `Write⟨seq, v⟩`,
+//!   wait for a quorum of `WriteAck`s counting itself — one round (2Δ),
+//!   exactly the classic SWMR shape;
+//! * **read()** — the hybrid one-and-a-half-round structure. The reader
+//!   broadcasts `Read⟨rid⟩`; every server (the reader included — each
+//!   process plays its own server role locally) reacts twice:
+//!   1. it **answers directly** with `ReadAck⟨rid, ts, v⟩`, its current
+//!      pair, and
+//!   2. it **relays** that pair to all servers as
+//!      `Relay⟨reader, rid, ts, v⟩`; a server that has absorbed relays
+//!      from a quorum answers `RelayAck⟨rid, ts, v⟩` with its (now
+//!      updated) pair.
+//!
+//!   The reader completes by whichever rule fires first:
+//!   * **fast (one round, 2Δ)**: some quorum of direct acks (its own
+//!     pair counts) reports *the same* timestamp — return it;
+//!   * **relay (one and a half rounds, 3Δ)**: a quorum of relay acks —
+//!     return the **minimum** timestamp among them.
+//!
+//! Why each rule is atomic (SWMR, `n > 2t`, quorum `= n − t`):
+//!
+//! * *Fast*: a uniform quorum at `ts` means `n − t` processes held a pair
+//!   `≥ ts` at their ack time (pairs are monotone). Any later operation's
+//!   evidence quorum intersects it, so later fast reads see a uniform
+//!   value `≥ ts`, later relay reads a minimum `≥ ts`, and any write that
+//!   completed before the read began sits `≤ ts` by the same
+//!   intersection. Mixing timestamps never completes the fast rule — that
+//!   is exactly the case it forbids.
+//! * *Relay minimum*: every relay-acker first absorbed relays from a full
+//!   quorum. That relay quorum intersects the evidence quorum of every
+//!   previously completed operation, and those relays were *sent* after
+//!   this read began (a relay answers this read's `Read`), hence after
+//!   the earlier operation completed — so every acker absorbed a pair
+//!   `≥` every earlier result before answering, and the minimum over the
+//!   ack quorum still dominates all of them. Taking the **maximum** here
+//!   would be unsound: a lone ack can report an in-flight write held by
+//!   no quorum, which a later read is free to miss —
+//!   [`OhRamProcess::with_no_relay`] ablates the relay wait and returns
+//!   exactly that maximum, and the model checker catches it
+//!   (`tests/negative_controls.rs`).
+//!
+//! The two evidence pools are never mixed: fast completion counts only
+//! direct acks, relay completion only relay acks.
+//!
+//! **Recovery** (the PR 9 lifecycle) rides on the snapshot's *length*:
+//! a process's snapshot is its dense write history — `Write` messages
+//! from the single writer arrive in link order, so the history has no
+//! holes — padded out to its eagerly-adopted pair when a relay has pushed
+//! the pair ahead of the writes actually received. Only the length (the
+//! barrier timestamp) and the last element (the barrier value) of a
+//! snapshot are load-bearing, and timestamps name unique values in SWMR,
+//! so the longest snapshot among live donors is the *global* maximum pair
+//! — the barrier never regresses below any completed operation (every
+//! completed operation leaves `≥ n − t − 1 ≥ t ≥ 1` live holders), and
+//! the writer resumes strictly above every timestamp it ever issued, so
+//! a sequence number is never reused with a different value.
+
+use std::collections::BTreeMap;
+
+use twobit_proto::bits::{gamma_bits, BitReader, BitWriter, WireError};
+use twobit_proto::payload::bits_for;
+use twobit_proto::{
+    Automaton, Effects, MessageCost, OpId, Operation, Payload, ProcessId, SystemConfig, WireMessage,
+};
+
+/// Messages of the Oh-RAM register. Six wire types, three tag bits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OhRamMsg<V> {
+    /// The writer's phase-2 broadcast: sequence number and new value.
+    Write {
+        /// The write's sequence number (the SWMR timestamp).
+        seq: u64,
+        /// The written value.
+        value: V,
+    },
+    /// Acknowledges a `Write`.
+    WriteAck {
+        /// Echoed sequence number.
+        seq: u64,
+    },
+    /// A reader's broadcast query.
+    Read {
+        /// Request identifier, unique per reader.
+        rid: u64,
+    },
+    /// A server's *direct* answer to a `Read`: its current pair.
+    ReadAck {
+        /// Echoed request identifier.
+        rid: u64,
+        /// The responder's timestamp.
+        ts: u64,
+        /// The responder's value.
+        value: V,
+    },
+    /// The server-to-server relay of a read answer.
+    Relay {
+        /// The process whose read this relay serves.
+        reader: u32,
+        /// The read's request identifier.
+        rid: u64,
+        /// The relaying server's timestamp.
+        ts: u64,
+        /// The relaying server's value.
+        value: V,
+    },
+    /// A server's answer after absorbing a quorum of relays.
+    RelayAck {
+        /// Echoed request identifier.
+        rid: u64,
+        /// The responder's (relay-updated) timestamp.
+        ts: u64,
+        /// The responder's value.
+        value: V,
+    },
+}
+
+const TAG_BITS: u64 = 3;
+
+impl<V: Payload> WireMessage for OhRamMsg<V> {
+    fn kind(&self) -> &'static str {
+        match self {
+            OhRamMsg::Write { .. } => "OHRAM_WRITE",
+            OhRamMsg::WriteAck { .. } => "OHRAM_WRITE_ACK",
+            OhRamMsg::Read { .. } => "OHRAM_READ",
+            OhRamMsg::ReadAck { .. } => "OHRAM_READ_ACK",
+            OhRamMsg::Relay { .. } => "OHRAM_RELAY",
+            OhRamMsg::RelayAck { .. } => "OHRAM_RELAY_ACK",
+        }
+    }
+
+    fn cost(&self) -> MessageCost {
+        match self {
+            OhRamMsg::Write { seq, value } => {
+                MessageCost::new(TAG_BITS + bits_for(*seq), value.data_bits())
+            }
+            OhRamMsg::WriteAck { seq } => MessageCost::new(TAG_BITS + bits_for(*seq), 0),
+            OhRamMsg::Read { rid } => MessageCost::new(TAG_BITS + bits_for(*rid), 0),
+            OhRamMsg::ReadAck { rid, ts, value } | OhRamMsg::RelayAck { rid, ts, value } => {
+                MessageCost::new(TAG_BITS + bits_for(*rid) + bits_for(*ts), value.data_bits())
+            }
+            OhRamMsg::Relay {
+                reader,
+                rid,
+                ts,
+                value,
+            } => MessageCost::new(
+                TAG_BITS + bits_for(u64::from(*reader)) + bits_for(*rid) + bits_for(*ts),
+                value.data_bits(),
+            ),
+        }
+    }
+
+    /// Wire size: 3-bit tag, then every integer field gamma-coded
+    /// (`γ(x + 1)`, matching the ABD/MWMR codec convention), then the
+    /// value's own encoding where present.
+    fn encoded_bits(&self) -> u64 {
+        TAG_BITS
+            + match self {
+                OhRamMsg::Write { seq, value } => gamma_bits(seq + 1) + value.encoded_bits(),
+                OhRamMsg::WriteAck { seq } => gamma_bits(seq + 1),
+                OhRamMsg::Read { rid } => gamma_bits(rid + 1),
+                OhRamMsg::ReadAck { rid, ts, value } | OhRamMsg::RelayAck { rid, ts, value } => {
+                    gamma_bits(rid + 1) + gamma_bits(ts + 1) + value.encoded_bits()
+                }
+                OhRamMsg::Relay {
+                    reader,
+                    rid,
+                    ts,
+                    value,
+                } => {
+                    gamma_bits(u64::from(*reader) + 1)
+                        + gamma_bits(rid + 1)
+                        + gamma_bits(ts + 1)
+                        + value.encoded_bits()
+                }
+            }
+    }
+
+    fn encode_into(&self, w: &mut BitWriter) -> Result<(), WireError> {
+        match self {
+            OhRamMsg::Write { seq, value } => {
+                w.put_bits(0, TAG_BITS as u32);
+                w.put_gamma(seq + 1);
+                value.encode_into(w)
+            }
+            OhRamMsg::WriteAck { seq } => {
+                w.put_bits(1, TAG_BITS as u32);
+                w.put_gamma(seq + 1);
+                Ok(())
+            }
+            OhRamMsg::Read { rid } => {
+                w.put_bits(2, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                Ok(())
+            }
+            OhRamMsg::ReadAck { rid, ts, value } => {
+                w.put_bits(3, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                w.put_gamma(ts + 1);
+                value.encode_into(w)
+            }
+            OhRamMsg::Relay {
+                reader,
+                rid,
+                ts,
+                value,
+            } => {
+                w.put_bits(4, TAG_BITS as u32);
+                w.put_gamma(u64::from(*reader) + 1);
+                w.put_gamma(rid + 1);
+                w.put_gamma(ts + 1);
+                value.encode_into(w)
+            }
+            OhRamMsg::RelayAck { rid, ts, value } => {
+                w.put_bits(5, TAG_BITS as u32);
+                w.put_gamma(rid + 1);
+                w.put_gamma(ts + 1);
+                value.encode_into(w)
+            }
+        }
+    }
+
+    fn decode(r: &mut BitReader<'_>) -> Result<Self, WireError> {
+        match r.get_bits(TAG_BITS as u32)? {
+            0 => {
+                let seq = r.get_gamma()? - 1;
+                Ok(OhRamMsg::Write {
+                    seq,
+                    value: V::decode(r)?,
+                })
+            }
+            1 => Ok(OhRamMsg::WriteAck {
+                seq: r.get_gamma()? - 1,
+            }),
+            2 => Ok(OhRamMsg::Read {
+                rid: r.get_gamma()? - 1,
+            }),
+            3 => {
+                let rid = r.get_gamma()? - 1;
+                let ts = r.get_gamma()? - 1;
+                Ok(OhRamMsg::ReadAck {
+                    rid,
+                    ts,
+                    value: V::decode(r)?,
+                })
+            }
+            4 => {
+                let reader = r.get_gamma()? - 1;
+                let reader = u32::try_from(reader).map_err(|_| WireError::Overflow)?;
+                let rid = r.get_gamma()? - 1;
+                let ts = r.get_gamma()? - 1;
+                Ok(OhRamMsg::Relay {
+                    reader,
+                    rid,
+                    ts,
+                    value: V::decode(r)?,
+                })
+            }
+            5 => {
+                let rid = r.get_gamma()? - 1;
+                let ts = r.get_gamma()? - 1;
+                Ok(OhRamMsg::RelayAck {
+                    rid,
+                    ts,
+                    value: V::decode(r)?,
+                })
+            }
+            _ => Err(WireError::Malformed("unassigned OHRAM tag")),
+        }
+    }
+}
+
+/// Per-`(reader, rid)` server-side relay bookkeeping.
+#[derive(Clone, Debug)]
+struct RelayEntry {
+    /// Which servers' relays this process has absorbed (itself included).
+    seen: Vec<bool>,
+    count: usize,
+    /// Whether the relay ack has been sent (exactly once per read).
+    acked: bool,
+}
+
+impl RelayEntry {
+    fn new(n: usize) -> Self {
+        RelayEntry {
+            seen: vec![false; n],
+            count: 0,
+            acked: false,
+        }
+    }
+
+    fn note(&mut self, from: ProcessId) -> bool {
+        if self.seen[from.index()] {
+            return false;
+        }
+        self.seen[from.index()] = true;
+        self.count += 1;
+        true
+    }
+}
+
+/// The reader/writer side of an operation in flight.
+#[derive(Clone, Debug)]
+enum Pending<V> {
+    Write {
+        op_id: OpId,
+        seq: u64,
+        /// Which processes have acknowledged (the writer itself included).
+        acks: Vec<bool>,
+        count: usize,
+    },
+    Read {
+        op_id: OpId,
+        rid: u64,
+        /// Per-source direct acks (the reader's own pair included).
+        direct: Vec<Option<(u64, V)>>,
+        /// Per-source relay acks.
+        relay: Vec<Option<(u64, V)>>,
+        relay_count: usize,
+    },
+}
+
+/// One process of the Oh-RAM SWMR register. Every process serves reads;
+/// only `writer` may write.
+#[derive(Clone, Debug)]
+pub struct OhRamProcess<V> {
+    id: ProcessId,
+    cfg: SystemConfig,
+    writer: ProcessId,
+    /// The eagerly-adopted pair — what acks and relays report.
+    ts: u64,
+    value: V,
+    /// Dense history of `Write`s received in order (`history[k]` is write
+    /// `k`'s value, `history[0] = v0`). The pair may run *ahead* of this
+    /// via relay adoption; it is never behind.
+    history: Vec<V>,
+    /// Defensive parking for a `Write` arriving above `history.len()`.
+    /// Single writer + ordered links make this unreachable in every
+    /// supported substrate; if a transport ever reorders, density — which
+    /// recovery's barrier argument rests on — survives.
+    stash: BTreeMap<u64, V>,
+    rid_counter: u64,
+    pending: Option<Pending<V>>,
+    relays: BTreeMap<(u32, u64), RelayEntry>,
+    /// Negative-control fault: see [`OhRamProcess::with_no_relay`].
+    no_relay: bool,
+}
+
+impl<V: Payload> OhRamProcess<V> {
+    /// Creates process `id` with single writer `writer` and initial
+    /// register value `v0`.
+    pub fn new(id: ProcessId, cfg: SystemConfig, writer: ProcessId, v0: V) -> Self {
+        assert!(id.index() < cfg.n(), "process id out of range");
+        assert!(writer.index() < cfg.n(), "writer id out of range");
+        OhRamProcess {
+            id,
+            cfg,
+            writer,
+            ts: 0,
+            value: v0.clone(),
+            history: vec![v0],
+            stash: BTreeMap::new(),
+            rid_counter: 0,
+            pending: None,
+            relays: BTreeMap::new(),
+            no_relay: false,
+        }
+    }
+
+    /// A deliberately **broken** variant for checker negative controls:
+    /// servers answer reads directly but never relay, and the reader —
+    /// with no relay quorum to wait for — returns the **maximum** over a
+    /// quorum of direct acks without requiring uniformity (and without
+    /// the healthy reader's adopt-on-return write-back). A lone ack can
+    /// carry an in-flight write held by no quorum, which a subsequent
+    /// read is free to miss: the new/old inversion the relay round
+    /// exists to prevent, and exactly what the model checker must find.
+    pub fn with_no_relay(id: ProcessId, cfg: SystemConfig, writer: ProcessId, v0: V) -> Self {
+        OhRamProcess {
+            no_relay: true,
+            ..Self::new(id, cfg, writer, v0)
+        }
+    }
+
+    /// Current `(timestamp, value)` pair.
+    pub fn local_pair(&self) -> (u64, &V) {
+        (self.ts, &self.value)
+    }
+
+    fn me(&self) -> usize {
+        self.id.index()
+    }
+
+    fn absorb(&mut self, ts: u64, value: V) {
+        if ts > self.ts {
+            self.ts = ts;
+            self.value = value;
+        }
+    }
+
+    fn broadcast(&self, msg: &OhRamMsg<V>, fx: &mut Effects<OhRamMsg<V>, V>) {
+        for j in self.cfg.peers(self.id).collect::<Vec<_>>() {
+            fx.send(j, msg.clone());
+        }
+    }
+
+    fn next_rid(&mut self) -> u64 {
+        self.rid_counter += 1;
+        self.rid_counter
+    }
+
+    /// Absorbs a `Write` into the dense history (parking it if a gap ever
+    /// appeared) and into the pair.
+    fn absorb_write(&mut self, seq: u64, value: V) {
+        let next = self.history.len() as u64;
+        if seq == next {
+            self.history.push(value.clone());
+        } else if seq > next {
+            self.stash.insert(seq, value.clone());
+        }
+        while let Some(v) = self.stash.remove(&(self.history.len() as u64)) {
+            self.history.push(v);
+        }
+        self.absorb(seq, value);
+    }
+
+    /// The server half of `Read` handling, shared by the wire path and the
+    /// reader's own local participation: answer directly, then relay.
+    /// Returns the relay broadcast's self-note result so the caller can
+    /// check this server's own relay quorum.
+    fn serve_read(&mut self, reader: ProcessId, rid: u64, fx: &mut Effects<OhRamMsg<V>, V>) {
+        if reader != self.id {
+            fx.send(
+                reader,
+                OhRamMsg::ReadAck {
+                    rid,
+                    ts: self.ts,
+                    value: self.value.clone(),
+                },
+            );
+        }
+        if self.no_relay {
+            return;
+        }
+        self.broadcast(
+            &OhRamMsg::Relay {
+                reader: reader.index() as u32,
+                rid,
+                ts: self.ts,
+                value: self.value.clone(),
+            },
+            fx,
+        );
+        // This server's own relay counts toward its own quorum.
+        self.note_relay(self.id, reader.index() as u32, rid, fx);
+    }
+
+    /// Records one relay for `(reader, rid)` at this server and sends the
+    /// relay ack once a quorum of relays has been absorbed.
+    fn note_relay(
+        &mut self,
+        from: ProcessId,
+        reader: u32,
+        rid: u64,
+        fx: &mut Effects<OhRamMsg<V>, V>,
+    ) {
+        let n = self.cfg.n();
+        let quorum = self.cfg.quorum();
+        let entry = self
+            .relays
+            .entry((reader, rid))
+            .or_insert_with(|| RelayEntry::new(n));
+        if !entry.note(from) {
+            return;
+        }
+        let fire = !entry.acked && entry.count >= quorum;
+        if fire {
+            entry.acked = true;
+        }
+        if entry.acked && entry.count == n {
+            // Every server has relayed; nothing more can arrive.
+            self.relays.remove(&(reader, rid));
+        }
+        if fire {
+            let ack = OhRamMsg::RelayAck {
+                rid,
+                ts: self.ts,
+                value: self.value.clone(),
+            };
+            let reader = ProcessId::new(reader as usize);
+            if reader == self.id {
+                // Our own relay ack: record it directly.
+                let (ts, value) = (self.ts, self.value.clone());
+                self.record_relay_ack(self.id, rid, ts, value, fx);
+            } else {
+                fx.send(reader, ack);
+            }
+        }
+    }
+
+    /// Reader side: one direct ack arrived (or was self-contributed).
+    fn record_direct_ack(
+        &mut self,
+        from: ProcessId,
+        rid: u64,
+        ts: u64,
+        value: V,
+        fx: &mut Effects<OhRamMsg<V>, V>,
+    ) {
+        if !self.no_relay {
+            // Adopt-on-return: harmless (pairs are monotone) and it keeps
+            // this reader's own future fast quorums fresh. The ablation
+            // skips it — see `with_no_relay`.
+            self.absorb(ts, value.clone());
+        }
+        let quorum = self.cfg.quorum();
+        let no_relay = self.no_relay;
+        let Some(Pending::Read {
+            op_id,
+            rid: want,
+            direct,
+            ..
+        }) = self.pending.as_mut()
+        else {
+            return;
+        };
+        if rid != *want || direct[from.index()].is_some() {
+            return;
+        }
+        direct[from.index()] = Some((ts, value.clone()));
+        let op_id = *op_id;
+        if no_relay {
+            // Ablated completion rule: any quorum of direct acks, maximum
+            // pair, no uniformity demanded. Unsound by design.
+            let acks: Vec<&(u64, V)> = direct.iter().flatten().collect();
+            if acks.len() >= quorum {
+                let (_, v) = acks
+                    .iter()
+                    .max_by_key(|(t, _)| *t)
+                    .expect("quorum is non-empty");
+                let v = v.clone();
+                self.pending = None;
+                fx.complete_read(op_id, v);
+            }
+            return;
+        }
+        // Fast rule: a quorum of direct acks all carrying the same
+        // timestamp. Only acks at exactly `ts` are evidence for `ts`.
+        let uniform = direct.iter().flatten().filter(|(t, _)| *t == ts).count();
+        if uniform >= quorum {
+            self.pending = None;
+            fx.complete_read(op_id, value);
+        }
+    }
+
+    /// Reader side: one relay ack arrived (or was self-contributed).
+    fn record_relay_ack(
+        &mut self,
+        from: ProcessId,
+        rid: u64,
+        ts: u64,
+        value: V,
+        fx: &mut Effects<OhRamMsg<V>, V>,
+    ) {
+        self.absorb(ts, value.clone());
+        let quorum = self.cfg.quorum();
+        let Some(Pending::Read {
+            op_id,
+            rid: want,
+            relay,
+            relay_count,
+            ..
+        }) = self.pending.as_mut()
+        else {
+            return;
+        };
+        if rid != *want || relay[from.index()].is_some() {
+            return;
+        }
+        relay[from.index()] = Some((ts, value));
+        *relay_count += 1;
+        if *relay_count >= quorum {
+            // Relay rule: minimum over the ack quorum (see the module
+            // docs for why minimum — and only minimum — is atomic here).
+            let (_, v) = relay
+                .iter()
+                .flatten()
+                .min_by_key(|(t, _)| *t)
+                .expect("quorum is non-empty");
+            let v = v.clone();
+            let op_id = *op_id;
+            self.pending = None;
+            fx.complete_read(op_id, v);
+        }
+    }
+}
+
+impl<V: Payload> Automaton for OhRamProcess<V> {
+    type Value = V;
+    type Msg = OhRamMsg<V>;
+
+    fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn config(&self) -> SystemConfig {
+        self.cfg
+    }
+
+    /// # Panics
+    ///
+    /// Panics if an operation is invoked while another is pending, or if a
+    /// process other than the writer invokes `write`.
+    fn on_invoke(&mut self, op_id: OpId, op: Operation<V>, fx: &mut Effects<OhRamMsg<V>, V>) {
+        assert!(
+            self.pending.is_none(),
+            "{}: operation already pending",
+            self.id
+        );
+        match op {
+            Operation::Write(v) => {
+                assert_eq!(self.id, self.writer, "SWMR: only the writer writes");
+                let seq = self.history.len() as u64;
+                self.absorb_write(seq, v.clone());
+                let mut acks = vec![false; self.cfg.n()];
+                acks[self.me()] = true;
+                self.pending = Some(Pending::Write {
+                    op_id,
+                    seq,
+                    acks,
+                    count: 1,
+                });
+                self.broadcast(&OhRamMsg::Write { seq, value: v }, fx);
+            }
+            Operation::Read => {
+                let rid = self.next_rid();
+                let n = self.cfg.n();
+                self.pending = Some(Pending::Read {
+                    op_id,
+                    rid,
+                    direct: vec![None; n],
+                    relay: vec![None; n],
+                    relay_count: 0,
+                });
+                self.broadcast(&OhRamMsg::Read { rid }, fx);
+                // Our own pair is the first direct ack...
+                let (ts, value) = (self.ts, self.value.clone());
+                self.record_direct_ack(self.id, rid, ts, value, fx);
+                // ...and we play our own server role: relay to everyone.
+                self.serve_read(self.id, rid, fx);
+            }
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: OhRamMsg<V>, fx: &mut Effects<OhRamMsg<V>, V>) {
+        match msg {
+            OhRamMsg::Write { seq, value } => {
+                self.absorb_write(seq, value);
+                fx.send(from, OhRamMsg::WriteAck { seq });
+            }
+            OhRamMsg::WriteAck { seq } => {
+                let quorum = self.cfg.quorum();
+                if let Some(Pending::Write {
+                    op_id,
+                    seq: want,
+                    acks,
+                    count,
+                }) = self.pending.as_mut()
+                {
+                    if seq == *want && !acks[from.index()] {
+                        acks[from.index()] = true;
+                        *count += 1;
+                        if *count >= quorum {
+                            let op_id = *op_id;
+                            self.pending = None;
+                            fx.complete_write(op_id);
+                        }
+                    }
+                }
+            }
+            OhRamMsg::Read { rid } => {
+                self.serve_read(from, rid, fx);
+            }
+            OhRamMsg::ReadAck { rid, ts, value } => {
+                self.record_direct_ack(from, rid, ts, value, fx);
+            }
+            OhRamMsg::Relay {
+                reader,
+                rid,
+                ts,
+                value,
+            } => {
+                self.absorb(ts, value);
+                self.note_relay(from, reader, rid, fx);
+            }
+            OhRamMsg::RelayAck { rid, ts, value } => {
+                self.record_relay_ack(from, rid, ts, value, fx);
+            }
+        }
+    }
+
+    /// Local memory: the dense history, the pair, and the transient relay
+    /// bookkeeping. Like the paper's protocol the history grows with the
+    /// write count — Oh-RAM trades neither its unbounded local state nor
+    /// its bit budget away; it buys message delays.
+    fn state_bits(&self) -> u64 {
+        let history_bits: u64 = self.history.iter().map(Payload::data_bits).sum();
+        let stash_bits: u64 = self.stash.values().map(|v| 64 + v.data_bits()).sum();
+        let relay_bits: u64 = self.relays.values().map(|e| e.seen.len() as u64 + 64).sum();
+        history_bits + stash_bits + relay_bits + bits_for(self.ts) + self.value.data_bits()
+    }
+
+    fn swmr_writer(&self) -> Option<ProcessId> {
+        Some(self.writer)
+    }
+
+    /// Donor side of recovery: the dense history, padded with the current
+    /// value out to the eagerly-adopted pair when relays have pushed the
+    /// pair ahead of the writes received. Only the snapshot's length (the
+    /// barrier timestamp) and last element (the barrier value — unique
+    /// per timestamp in SWMR) are load-bearing; see the module docs.
+    fn recovery_snapshot(&self) -> Option<Vec<V>> {
+        let mut snap = self.history.clone();
+        if self.ts + 1 > snap.len() as u64 {
+            snap.resize(
+                usize::try_from(self.ts + 1).expect("timestamps fit usize"),
+                self.value.clone(),
+            );
+        }
+        Some(snap)
+    }
+
+    /// Rebuilds this (recovering) process at the barrier: the snapshot is
+    /// the longest among the live donors, i.e. the global maximum pair, so
+    /// adopting its end as the pair and its length as the writer's resume
+    /// point never regresses a completed operation and never reuses a
+    /// sequence number.
+    fn install_recovery(&mut self, snapshot: &[V]) {
+        debug_assert!(!snapshot.is_empty(), "snapshot always contains v0");
+        self.history = snapshot.to_vec();
+        self.ts = snapshot.len() as u64 - 1;
+        self.value = snapshot.last().expect("non-empty").clone();
+        self.stash.clear();
+        self.relays.clear();
+        self.pending = None;
+        self.rid_counter = 0;
+    }
+
+    /// Hard-resets this (live) process to the barrier when `rejoining`
+    /// comes back. The barrier is the global maximum pair, so this never
+    /// regresses the local pair; relay bookkeeping is dropped because the
+    /// incarnation fence discards every pre-recovery frame, and a pending
+    /// operation resolves *at* the barrier — the recovery point is its
+    /// linearization point (a pending write's timestamp is `≤` the
+    /// barrier because this process's own snapshot was on offer).
+    fn apply_rejoin(
+        &mut self,
+        rejoining: ProcessId,
+        snapshot: &[V],
+        fx: &mut Effects<OhRamMsg<V>, V>,
+    ) {
+        debug_assert_ne!(
+            rejoining, self.id,
+            "the rejoining process installs, not rejoins"
+        );
+        let barrier = snapshot.len() as u64 - 1;
+        debug_assert!(
+            barrier >= self.ts,
+            "the barrier is the global maximum pair ({} < {})",
+            barrier,
+            self.ts,
+        );
+        self.history = snapshot.to_vec();
+        self.ts = barrier;
+        self.value = snapshot.last().expect("non-empty").clone();
+        self.stash.clear();
+        self.relays.clear();
+        match self.pending.take() {
+            Some(Pending::Write { op_id, .. }) => fx.complete_write(op_id),
+            Some(Pending::Read { op_id, .. }) => fx.complete_read(op_id, self.value.clone()),
+            None => {}
+        }
+    }
+
+    /// Locally-checkable invariants of the hybrid structure:
+    ///
+    /// * the pair never trails the dense history (`ts ≥ |history| − 1`),
+    ///   and when it sits exactly at the top the values agree;
+    /// * the writer's pair *is* its history top (relays can only carry
+    ///   timestamps the writer already issued) and its stash is empty;
+    /// * only the writer ever has a write pending;
+    /// * a relay entry acks only on a full quorum of distinct relays.
+    fn check_local_invariants(&self) -> Result<(), String> {
+        let top = self.history.len() as u64 - 1;
+        if self.ts < top {
+            return Err(format!("pair ts {} trails history top {top}", self.ts));
+        }
+        if self.id == self.writer {
+            if self.ts != top {
+                return Err(format!("writer pair ts {} != history top {top}", self.ts));
+            }
+            if !self.stash.is_empty() {
+                return Err("writer has stashed writes".into());
+            }
+        }
+        if matches!(self.pending, Some(Pending::Write { .. })) && self.id != self.writer {
+            return Err("non-writer has a write pending".into());
+        }
+        for ((reader, rid), e) in &self.relays {
+            if e.acked && e.count < self.cfg.quorum() {
+                return Err(format!(
+                    "relay entry ({reader}, {rid}) acked below quorum ({})",
+                    e.count
+                ));
+            }
+            if e.count != e.seen.iter().filter(|s| **s).count() {
+                return Err(format!("relay entry ({reader}, {rid}) count drifted"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+    use twobit_proto::OpOutcome;
+
+    fn cfg(n: usize) -> SystemConfig {
+        SystemConfig::max_resilience(n)
+    }
+
+    fn procs(n: usize) -> Vec<OhRamProcess<u64>> {
+        (0..n)
+            .map(|i| OhRamProcess::new(ProcessId::new(i), cfg(n), ProcessId::new(0), 0u64))
+            .collect()
+    }
+
+    /// Synchronously runs all traffic to quiescence, FIFO. Returns the
+    /// completions harvested along the way.
+    fn settle(
+        ps: &mut [OhRamProcess<u64>],
+        fx: Effects<OhRamMsg<u64>, u64>,
+        origin: ProcessId,
+    ) -> Vec<(OpId, OpOutcome<u64>)> {
+        let mut fx = fx;
+        let mut done: Vec<_> = fx.drain_completions().collect();
+        let mut q: VecDeque<(ProcessId, ProcessId, OhRamMsg<u64>)> =
+            fx.drain_sends().map(|(to, m)| (origin, to, m)).collect();
+        while let Some((from, to, m)) = q.pop_front() {
+            let mut fx = Effects::new();
+            ps[to.index()].on_message(from, m, &mut fx);
+            done.extend(fx.drain_completions());
+            for (next, m2) in fx.drain_sends() {
+                q.push_back((to, next, m2));
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn write_is_one_round_and_installs_everywhere() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(7), &mut fx);
+        let done = settle(&mut ps, fx, ProcessId::new(0));
+        assert!(done
+            .iter()
+            .any(|(id, o)| *id == OpId::new(0) && matches!(o, OpOutcome::Written)));
+        for p in &ps {
+            assert_eq!(p.local_pair(), (1, &7));
+            assert_eq!(p.history, vec![0, 7]);
+            p.check_local_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn quiescent_read_completes_fast_and_returns_latest() {
+        let mut ps = procs(3);
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(0), Operation::Write(9), &mut fx);
+        settle(&mut ps, fx, ProcessId::new(0));
+        let mut fx = Effects::new();
+        ps[2].on_invoke(OpId::new(1), Operation::Read, &mut fx);
+        let done = settle(&mut ps, fx, ProcessId::new(2));
+        assert!(done
+            .iter()
+            .any(|(id, o)| *id == OpId::new(1) && *o == OpOutcome::ReadValue(9)));
+        for p in &ps {
+            p.check_local_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn fast_rule_fires_on_a_uniform_direct_quorum_only() {
+        // n = 5, quorum = 3. The reader's own pair is stale (0); two
+        // direct acks at ts 1 are not enough with the reader at 0 —
+        // uniformity is per-timestamp, never mixed.
+        let n = 5;
+        let mut ps: Vec<OhRamProcess<u64>> = (0..n)
+            .map(|i| OhRamProcess::new(ProcessId::new(i), cfg(n), ProcessId::new(0), 0u64))
+            .collect();
+        let mut fx = Effects::new();
+        ps[4].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        fx.drain_sends().for_each(drop);
+        let mut fx = Effects::new();
+        ps[4].on_message(
+            ProcessId::new(0),
+            OhRamMsg::ReadAck {
+                rid: 1,
+                ts: 1,
+                value: 5,
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.drain_completions().count(), 0, "2-of-3 at ts 1");
+        let mut fx = Effects::new();
+        ps[4].on_message(
+            ProcessId::new(1),
+            OhRamMsg::ReadAck {
+                rid: 1,
+                ts: 1,
+                value: 5,
+            },
+            &mut fx,
+        );
+        assert_eq!(
+            fx.drain_completions().count(),
+            0,
+            "reader's own stale ack never counts toward the ts-1 quorum"
+        );
+        let mut fx = Effects::new();
+        ps[4].on_message(
+            ProcessId::new(2),
+            OhRamMsg::ReadAck {
+                rid: 1,
+                ts: 1,
+                value: 5,
+            },
+            &mut fx,
+        );
+        let done: Vec<_> = fx.drain_completions().collect();
+        assert_eq!(
+            done,
+            vec![(OpId::new(0), OpOutcome::ReadValue(5))],
+            "third distinct ack at ts 1 completes the fast rule"
+        );
+    }
+
+    #[test]
+    fn relay_rule_returns_the_minimum_over_the_ack_quorum() {
+        let n = 3;
+        let mut ps = procs(n);
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        fx.drain_sends().for_each(drop);
+        // Starve the fast rule (no direct acks), feed relay acks with
+        // mixed timestamps: the minimum must win.
+        let mut fx = Effects::new();
+        ps[1].on_message(
+            ProcessId::new(0),
+            OhRamMsg::RelayAck {
+                rid: 1,
+                ts: 4,
+                value: 44,
+            },
+            &mut fx,
+        );
+        assert_eq!(fx.drain_completions().count(), 0);
+        let mut fx = Effects::new();
+        ps[1].on_message(
+            ProcessId::new(2),
+            OhRamMsg::RelayAck {
+                rid: 1,
+                ts: 2,
+                value: 22,
+            },
+            &mut fx,
+        );
+        let done: Vec<_> = fx.drain_completions().collect();
+        assert_eq!(done, vec![(OpId::new(0), OpOutcome::ReadValue(22))]);
+        // The reader still absorbed the larger pair for future quorums.
+        assert_eq!(ps[1].local_pair(), (4, &44));
+    }
+
+    #[test]
+    fn servers_relay_and_ack_after_a_relay_quorum() {
+        let mut ps = procs(3);
+        // p2 receives p1's Read: it must answer directly AND relay.
+        let mut fx = Effects::new();
+        ps[2].on_message(ProcessId::new(1), OhRamMsg::Read { rid: 1 }, &mut fx);
+        let sends: Vec<_> = fx.drain_sends().collect();
+        let direct = sends
+            .iter()
+            .filter(|(to, m)| *to == ProcessId::new(1) && matches!(m, OhRamMsg::ReadAck { .. }))
+            .count();
+        let relays = sends
+            .iter()
+            .filter(|(_, m)| matches!(m, OhRamMsg::Relay { .. }))
+            .count();
+        assert_eq!((direct, relays), (1, 2));
+        // One more relay (its own already counts) completes p2's quorum.
+        let mut fx = Effects::new();
+        ps[2].on_message(
+            ProcessId::new(0),
+            OhRamMsg::Relay {
+                reader: 1,
+                rid: 1,
+                ts: 3,
+                value: 33,
+            },
+            &mut fx,
+        );
+        let sends: Vec<_> = fx.drain_sends().collect();
+        assert!(
+            sends.iter().any(|(to, m)| *to == ProcessId::new(1)
+                && matches!(
+                    m,
+                    OhRamMsg::RelayAck {
+                        rid: 1,
+                        ts: 3,
+                        value: 33
+                    }
+                )),
+            "relay ack carries the relay-updated pair: {sends:?}"
+        );
+    }
+
+    #[test]
+    fn no_relay_ablation_returns_an_unconfirmed_maximum() {
+        let n = 3;
+        let mut ps: Vec<OhRamProcess<u64>> = (0..n)
+            .map(|i| {
+                OhRamProcess::with_no_relay(ProcessId::new(i), cfg(n), ProcessId::new(0), 0u64)
+            })
+            .collect();
+        // Server p0 holds an in-flight write's pair no quorum has.
+        ps[0].absorb_write(1, 11);
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(0), Operation::Read, &mut fx);
+        let sends: Vec<_> = fx.drain_sends().collect();
+        assert!(
+            sends
+                .iter()
+                .all(|(_, m)| matches!(m, OhRamMsg::Read { .. })),
+            "the ablation never relays: {sends:?}"
+        );
+        let mut fx = Effects::new();
+        ps[1].on_message(
+            ProcessId::new(0),
+            OhRamMsg::ReadAck {
+                rid: 1,
+                ts: 1,
+                value: 11,
+            },
+            &mut fx,
+        );
+        let done: Vec<_> = fx.drain_completions().collect();
+        assert_eq!(
+            done,
+            vec![(OpId::new(0), OpOutcome::ReadValue(11))],
+            "self(0) + p0(1) is a quorum; max wins without uniformity"
+        );
+        assert_eq!(ps[1].local_pair(), (0, &0), "no adopt-on-return either");
+    }
+
+    #[test]
+    fn recovery_snapshot_pads_to_the_adopted_pair() {
+        let mut ps = procs(3);
+        ps[1].absorb_write(1, 11);
+        assert_eq!(ps[1].recovery_snapshot().unwrap(), vec![0, 11]);
+        // A relay pushes the pair ahead of the dense history: the
+        // snapshot's length follows the pair, its tail the pair's value.
+        ps[1].absorb(3, 33);
+        assert_eq!(ps[1].recovery_snapshot().unwrap(), vec![0, 11, 33, 33]);
+    }
+
+    #[test]
+    fn install_and_rejoin_meet_at_the_barrier() {
+        let mut ps = procs(3);
+        let snap = vec![0u64, 5, 6];
+        ps[2].install_recovery(&snap);
+        assert_eq!(ps[2].local_pair(), (2, &6));
+        assert_eq!(ps[2].history, snap);
+        ps[2].check_local_invariants().unwrap();
+        // A live peer with a pending read resolves it at the barrier.
+        let mut fx = Effects::new();
+        ps[1].on_invoke(OpId::new(7), Operation::Read, &mut fx);
+        let mut fx = Effects::new();
+        ps[1].apply_rejoin(ProcessId::new(2), &snap, &mut fx);
+        let done: Vec<_> = fx.drain_completions().collect();
+        assert_eq!(done, vec![(OpId::new(7), OpOutcome::ReadValue(6))]);
+        assert_eq!(ps[1].local_pair(), (2, &6));
+        // The writer resumes strictly above the barrier.
+        ps[0].apply_rejoin(ProcessId::new(2), &snap, &mut Effects::new());
+        let mut fx = Effects::new();
+        ps[0].on_invoke(OpId::new(8), Operation::Write(9), &mut fx);
+        assert!(fx
+            .drain_sends()
+            .all(|(_, m)| matches!(m, OhRamMsg::Write { seq: 3, value: 9 })));
+    }
+
+    #[test]
+    fn message_costs_account_tag_and_fields() {
+        let m = OhRamMsg::ReadAck {
+            rid: 1,
+            ts: 7,
+            value: 1u64,
+        };
+        // tag(3) + rid(1) + ts(3) control bits; 64 data bits.
+        assert_eq!(m.cost().control_bits, 3 + 1 + 3);
+        assert_eq!(m.cost().data_bits, 64);
+        let m = OhRamMsg::<u64>::Read { rid: 2 };
+        assert_eq!(m.cost().control_bits, 3 + 2);
+        assert_eq!(m.cost().data_bits, 0);
+    }
+
+    #[test]
+    fn every_variant_roundtrips_the_codec() {
+        let msgs: Vec<OhRamMsg<u64>> = vec![
+            OhRamMsg::Write { seq: 3, value: 7 },
+            OhRamMsg::WriteAck { seq: 3 },
+            OhRamMsg::Read { rid: 9 },
+            OhRamMsg::ReadAck {
+                rid: 9,
+                ts: 3,
+                value: 7,
+            },
+            OhRamMsg::Relay {
+                reader: 2,
+                rid: 9,
+                ts: 3,
+                value: 7,
+            },
+            OhRamMsg::RelayAck {
+                rid: 9,
+                ts: 3,
+                value: 7,
+            },
+        ];
+        for m in &msgs {
+            let mut w = BitWriter::new();
+            m.encode_into(&mut w).unwrap();
+            assert_eq!(w.bit_len(), m.encoded_bits(), "{}", m.kind());
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(&OhRamMsg::<u64>::decode(&mut r).unwrap(), m);
+            assert_eq!(r.bits_read(), m.encoded_bits(), "{}", m.kind());
+        }
+    }
+}

@@ -46,13 +46,26 @@
 //!   asserts its `wire_bytes` stays within 1.02x of the recovery-disabled
 //!   uniform twin — enabling recovery must be free until someone crashes;
 //! * `simnet` / `headtohead` — the two-bit protocol versus its
-//!   multi-writer competitor: the **same** workload, framing, hold policy
-//!   and codec-on delivery, run once with the paper's automaton
-//!   (`algo: "twobit"`) and once with the MWMR ABD automaton
+//!   competitors: the **same** workload, framing, hold policy and
+//!   codec-on delivery, run once with the paper's automaton
+//!   (`algo: "twobit"`), once with the MWMR ABD automaton
 //!   (`algo: "mwmr"`, timestamp-bearing messages, verified by
-//!   `check_mwmr_sharded`), so the headline bytes-on-wire and msgs/frame
+//!   `check_mwmr_sharded`), and once with the Oh-RAM hybrid-read
+//!   automaton (`algo: "ohram"`, one-and-a-half-round reads, verified by
+//!   `check_swmr_sharded`), so the headline bytes-on-wire and msgs/frame
 //!   comparison is finally apples-to-apples. Every row carries an `algo`
 //!   column (`"twobit"` everywhere else);
+//! * the **latency pair**: the read-mostly static-hold 16-shard simnet
+//!   row is re-run with the Oh-RAM automaton (`algo: "ohram"`,
+//!   `mix: "readmostly"`) on the same deterministic workload, and the
+//!   uniform TCP sweep gets an Oh-RAM twin so the live-socket clock
+//!   domain (`lat_p50_us`) is populated for both algorithms too. CI
+//!   asserts the trade both ways: Oh-RAM must beat two-bit on
+//!   `lat_p50_ticks` for the read-mostly mix (its reads complete in one
+//!   round in the common case where two-bit needs the read/confirmation
+//!   exchange), while two-bit must keep winning `wire_bytes` *and*
+//!   `control_bits` (the relay round is Θ(n²) messages per read — the
+//!   paper's headline survives the latency competitor);
 //! * `modelcheck` — explorer throughput rows from `twobit-check`: paths
 //!   explored/pruned, replays, max depth, and wall time for the canonical
 //!   small configurations (plus a dpor-vs-naive pair, so the reduction
@@ -94,7 +107,7 @@ use std::time::Instant;
 use criterion::{BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use twobit_baselines::MwmrProcess;
+use twobit_baselines::{MwmrProcess, OhRamProcess};
 use twobit_cache::CacheMode;
 use twobit_check::{explore, scenarios, ExploreOptions, Strategy};
 use twobit_core::TwoBitOptions;
@@ -442,11 +455,12 @@ fn row_from_stats(
             "the two-bit claim must survive framing and serialization"
         );
     } else {
-        // The MWMR competitor pays real control bits for its timestamps —
-        // that gap IS the comparison this row exists to publish.
+        // The competitors pay real control bits — MWMR for its
+        // timestamps, Oh-RAM for its three-bit tags and γ-coded fields —
+        // and that gap IS the comparison these rows exist to publish.
         assert!(
             stats.control_bits() > 2 * stats.total_sent(),
-            "MWMR rows must carry more than two control bits per message"
+            "competitor rows must carry more than two control bits per message"
         );
     }
     assert_eq!(
@@ -584,13 +598,14 @@ fn measure_recovery(shards: usize, readers: usize) -> Row {
     with_tick_latencies(row, &space.driver().history())
 }
 
-/// The two-bit-vs-MWMR head-to-head pair: the same sweep workload, the
-/// same framing, hold, and codec-on delivery — one run with the paper's
-/// automaton, one with the MWMR ABD automaton (any process may write, so
-/// the identical steps are legal there too). The MWMR run's history is
-/// additionally pushed through the timestamp-order checker, so the row is
-/// a *verified* linearizable execution, not just traffic.
-fn measure_head_to_head() -> (Row, Row) {
+/// The three-way head-to-head: the same sweep workload, the same framing,
+/// hold, and codec-on delivery — one run with the paper's automaton, one
+/// with the MWMR ABD automaton (any process may write, so the identical
+/// steps are legal there too), one with the Oh-RAM hybrid-read automaton.
+/// Each competitor's history is pushed through its mode's checker
+/// (timestamp-order for MWMR, SWMR for Oh-RAM), so every row is a
+/// *verified* linearizable execution, not just traffic.
+fn measure_head_to_head() -> (Row, Row, Row) {
     let (shards, readers) = HEAD_TO_HEAD;
     let workload = sweep_workload(shards, readers);
 
@@ -624,6 +639,25 @@ fn measure_head_to_head() -> (Row, Row) {
         .expect("the MWMR run must be timestamp-order linearizable");
     let mwmr_stats = mwmr.driver().stats();
 
+    let mut ohram = build_space_with(
+        shards,
+        42,
+        Hold::Static,
+        CacheMode::Off,
+        false,
+        move |reg, id| OhRamProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64),
+    );
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(ohram.driver_mut())
+        .expect("Oh-RAM head-to-head workload runs");
+    let ohram_wall = t0.elapsed();
+    let ohram_allocs = allocs_now() - a0;
+    twobit_lincheck::check_swmr_sharded(&ohram.driver().history())
+        .expect("the Oh-RAM run must be linearizable");
+    let ohram_stats = ohram.driver().stats();
+
     (
         with_tick_latencies(
             row_from_stats(
@@ -656,6 +690,22 @@ fn measure_head_to_head() -> (Row, Row) {
                 &mwmr_stats,
             ),
             &mwmr.driver().history(),
+        ),
+        with_tick_latencies(
+            row_from_stats(
+                "ohram",
+                "simnet",
+                "headtohead",
+                Hold::Static.label(),
+                "off",
+                shards,
+                readers,
+                workload.len(),
+                ohram_wall.as_nanos() as f64,
+                ohram_allocs,
+                &ohram_stats,
+            ),
+            &ohram.driver().history(),
         ),
     )
 }
@@ -692,6 +742,46 @@ fn measure_mix(mix: &'static str, shards: usize, hold: Hold, cache: CacheMode) -
         mix,
         hold.label(),
         cache_label(cache),
+        shards,
+        0,
+        workload.len(),
+        wall.as_nanos() as f64,
+        allocs,
+        &stats,
+    );
+    with_tick_latencies(row, &space.driver().history())
+}
+
+/// The Oh-RAM half of the latency pair: the exact read-mostly workload of
+/// the `measure_mix("readmostly", shards, hold, Off)` row — same seed,
+/// same framing, same codec-on delivery — run on the Oh-RAM hybrid-read
+/// automaton instead of the paper's. The history is pushed through the
+/// SWMR checker before the stats are published (Oh-RAM changes the delay
+/// budget of a read, not the correctness contract), so the row is a
+/// verified linearizable execution. `assert_ohram_trades_bits_for_latency`
+/// compares it against its two-bit twin on both axes.
+fn measure_ohram_mix(shards: usize, hold: Hold) -> Row {
+    let cfg = SystemConfig::max_resilience(N);
+    let workload = readmostly_workload(shards, MIX_OPS, 7);
+    let mut space = build_space_with(shards, 42, hold, CacheMode::Off, false, move |reg, id| {
+        OhRamProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+    });
+    let a0 = allocs_now();
+    let t0 = Instant::now();
+    workload
+        .run_pipelined_on(space.driver_mut())
+        .expect("Oh-RAM read-mostly workload runs");
+    let wall = t0.elapsed();
+    let allocs = allocs_now() - a0;
+    twobit_lincheck::check_swmr_sharded(&space.driver().history())
+        .expect("the Oh-RAM run must be linearizable");
+    let stats = space.driver().stats();
+    let row = row_from_stats(
+        "ohram",
+        "simnet",
+        "readmostly",
+        hold.label(),
+        "off",
         shards,
         0,
         workload.len(),
@@ -749,8 +839,21 @@ fn measure_cache_pair(shards: usize, hold: Hold) -> (Row, Row) {
 }
 
 /// The same portable workload on the real loopback TCP backend: the bytes
-/// column is what `write(2)` handed to the kernel.
-fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
+/// column is what `write(2)` handed to the kernel. Parameterized over the
+/// automaton so the live-socket clock domain (`lat_p50_us`) is populated
+/// for the Oh-RAM competitor under *exactly* the framing and flush setup
+/// of the two-bit row.
+fn measure_tcp_with<A, F>(
+    algo: &'static str,
+    shards: usize,
+    readers: usize,
+    hold: Hold,
+    make: F,
+) -> Row
+where
+    A: Automaton<Value = u64>,
+    F: FnMut(RegisterId, ProcessId) -> A,
+{
     let cfg = SystemConfig::max_resilience(N);
     let workload = sweep_workload(shards, readers);
     let policy = match hold {
@@ -766,9 +869,7 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
     let mut cluster = TcpClusterBuilder::new(cfg)
         .registers(shards)
         .flush_policy(policy)
-        .build_sharded(0u64, |reg, id| {
-            TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
-        })
+        .build_sharded(0u64, make)
         .expect("loopback TCP cluster starts");
     let a0 = allocs_now();
     let t0 = Instant::now();
@@ -778,6 +879,8 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
     let wall = t0.elapsed();
     let allocs = allocs_now() - a0;
     let (history, stats) = cluster.shutdown();
+    twobit_lincheck::check_swmr_sharded(&history)
+        .expect("TCP rows are verified executions, not just traffic");
     assert!(
         stats.wire_bytes() > 0,
         "TCP rows must populate bytes-on-wire"
@@ -788,7 +891,7 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
         "TCP teardown reconciliation (abandoned accounting included)"
     );
     let mut row = row_from_stats(
-        "twobit",
+        algo,
         "tcp",
         "uniform",
         hold.label(),
@@ -804,6 +907,24 @@ fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
     row.lat_p50_us = Some(p50);
     row.lat_p99_us = Some(p99);
     row
+}
+
+fn measure_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
+    let cfg = SystemConfig::max_resilience(N);
+    measure_tcp_with("twobit", shards, readers, hold, move |reg, id| {
+        TwoBitProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+    })
+}
+
+/// The Oh-RAM TCP twin: the same sweep workload over real sockets, so
+/// both algorithms publish wall-clock latency percentiles, not just the
+/// virtual-tick ones. The history is SWMR-checked like every other
+/// verified row.
+fn measure_ohram_tcp(shards: usize, readers: usize, hold: Hold) -> Row {
+    let cfg = SystemConfig::max_resilience(N);
+    measure_tcp_with("ohram", shards, readers, hold, move |reg, id| {
+        OhRamProcess::new(id, cfg, ProcessId::new(reg.index() % N), 0u64)
+    })
 }
 
 /// The same portable workload on the reactor transport: identical frames
@@ -881,11 +1002,11 @@ fn assert_reactor_matches_tcp_bytes(rows: &[Row]) {
     for hold in ["static", "adaptive"] {
         let tcp = rows
             .iter()
-            .find(|r| r.source == "tcp" && r.hold == hold)
+            .find(|r| r.algo == "twobit" && r.source == "tcp" && r.hold == hold)
             .expect("tcp row present");
         let reactor = rows
             .iter()
-            .find(|r| r.source == "reactor" && r.hold == hold)
+            .find(|r| r.algo == "twobit" && r.source == "reactor" && r.hold == hold)
             .expect("reactor row present");
         assert!(
             reactor.wire_bytes as f64 <= tcp.wire_bytes as f64 * 1.05,
@@ -904,6 +1025,7 @@ fn assert_reactor_matches_tcp_bytes(rows: &[Row]) {
 /// (the wire columns don't apply and are omitted; CI's per-row wire
 /// checks skip this source).
 struct CheckRow {
+    algo: &'static str,
     scenario: String,
     strategy: &'static str,
     paths_explored: u64,
@@ -914,8 +1036,9 @@ struct CheckRow {
     wall_ms: f64,
 }
 
-fn measure_modelcheck_one(
-    scenario: &twobit_check::Scenario<twobit_core::TwoBitProcess<u64>>,
+fn measure_modelcheck_one<A: Automaton>(
+    algo: &'static str,
+    scenario: &twobit_check::Scenario<A>,
     strategy: Strategy,
 ) -> CheckRow {
     let opts = ExploreOptions {
@@ -931,6 +1054,7 @@ fn measure_modelcheck_one(
         report.violation
     );
     CheckRow {
+        algo,
         scenario: scenario.name.clone(),
         strategy: match strategy {
             Strategy::Dpor => "dpor",
@@ -948,29 +1072,19 @@ fn measure_modelcheck_one(
 /// The published exploration sweep: the writer-plus-concurrent-reader
 /// configuration under DPOR, the single-writer configuration under both
 /// strategies (so the reduction factor itself is a trajectory number),
-/// and the two-concurrent-writer MWMR space under DPOR.
+/// the two-concurrent-writer MWMR space, and the Oh-RAM
+/// writer-plus-concurrent-reader space — one throughput row per hosted
+/// algorithm.
 fn measure_modelcheck() -> Vec<CheckRow> {
-    let mut out = vec![
-        measure_modelcheck_one(&scenarios::twobit_swmr_wr(), Strategy::Dpor),
-        measure_modelcheck_one(&scenarios::twobit_swmr_w(), Strategy::Dpor),
-        measure_modelcheck_one(&scenarios::twobit_swmr_w(), Strategy::Naive),
+    let out = vec![
+        measure_modelcheck_one("twobit", &scenarios::twobit_swmr_wr(), Strategy::Dpor),
+        measure_modelcheck_one("twobit", &scenarios::twobit_swmr_w(), Strategy::Dpor),
+        measure_modelcheck_one("twobit", &scenarios::twobit_swmr_w(), Strategy::Naive),
+        measure_modelcheck_one("mwmr", &scenarios::mwmr_two_writer(), Strategy::Dpor),
+        measure_modelcheck_one("ohram", &scenarios::ohram_swmr_wr(), Strategy::Dpor),
     ];
-    {
-        let scenario = scenarios::mwmr_two_writer();
-        let t0 = Instant::now();
-        let report = explore(&scenario, &ExploreOptions::default()).expect("exploration runs");
-        let wall = t0.elapsed();
-        assert!(report.violation.is_none() && report.exhausted);
-        out.push(CheckRow {
-            scenario: scenario.name.clone(),
-            strategy: "dpor",
-            paths_explored: report.stats.paths_explored,
-            paths_pruned: report.stats.paths_pruned,
-            replays: report.stats.replays,
-            max_depth: report.stats.max_depth as u64,
-            exhausted: report.exhausted,
-            wall_ms: wall.as_secs_f64() * 1_000.0,
-        });
+    for r in &out {
+        assert!(r.exhausted, "published modelcheck rows must be exhaustive");
     }
     let dpor = out
         .iter()
@@ -1071,10 +1185,11 @@ fn write_json(rows: &[Row], check_rows: &[CheckRow]) {
     }
     for (i, r) in check_rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"algo\": \"twobit\", \"source\": \"modelcheck\", \"mix\": \"{}\", \
+            "    {{\"algo\": \"{}\", \"source\": \"modelcheck\", \"mix\": \"{}\", \
              \"strategy\": \"{}\", \"paths_explored\": {}, \"paths_pruned\": {}, \
              \"replays\": {}, \"max_depth\": {}, \"exhausted\": {}, \
              \"wall_ms\": {:.1}}}{}\n",
+            r.algo,
             r.scenario,
             r.strategy,
             r.paths_explored,
@@ -1102,7 +1217,11 @@ fn assert_adaptive_not_worse(rows: &[Row]) {
             let static_row = rows
                 .iter()
                 .find(|s| {
-                    s.mix == mix && s.hold == "static" && s.shards == r.shards && s.cache == r.cache
+                    s.algo == r.algo
+                        && s.mix == mix
+                        && s.hold == "static"
+                        && s.shards == r.shards
+                        && s.cache == r.cache
                 })
                 .expect("every adaptive row has a static twin");
             assert!(
@@ -1221,6 +1340,54 @@ fn assert_two_bit_beats_mwmr(rows: &[Row]) {
     );
 }
 
+/// The latency-pair acceptance bar (CI re-checks it from the JSON): on
+/// the deterministic read-mostly simnet pair — same workload, same seed,
+/// same framing and codec-on delivery — the Oh-RAM hybrid read must beat
+/// the two-bit protocol on median virtual-tick latency (its common-case
+/// read is one round where two-bit needs the read/confirmation
+/// exchange), while the two-bit protocol must keep winning bytes-on-wire
+/// *and* control bits (Oh-RAM's relay round is Θ(n²) messages per read).
+/// Both directions failing-closed is the point: the trade is real, not a
+/// strictly-dominated competitor.
+fn assert_ohram_trades_bits_for_latency(rows: &[Row]) {
+    let of = |algo: &str| {
+        rows.iter()
+            .find(|r| {
+                r.algo == algo
+                    && r.source == "simnet"
+                    && r.mix == "readmostly"
+                    && r.hold == "static"
+                    && r.cache == "off"
+                    && r.shards == HEAD_TO_HEAD.0
+            })
+            .unwrap_or_else(|| panic!("missing readmostly latency-pair {algo} row"))
+    };
+    let twobit = of("twobit");
+    let ohram = of("ohram");
+    let (t_p50, o_p50) = (
+        twobit
+            .lat_p50_ticks
+            .expect("simnet rows carry tick latency"),
+        ohram.lat_p50_ticks.expect("simnet rows carry tick latency"),
+    );
+    assert!(
+        o_p50 < t_p50,
+        "Oh-RAM must beat two-bit on read-mostly median latency: {o_p50} >= {t_p50} ticks"
+    );
+    assert!(
+        twobit.wire_bytes < ohram.wire_bytes,
+        "two-bit must keep winning bytes-on-wire: {} vs {}",
+        twobit.wire_bytes,
+        ohram.wire_bytes
+    );
+    assert!(
+        twobit.control_bits < ohram.control_bits,
+        "two-bit must keep winning control bits: {} vs {}",
+        twobit.control_bits,
+        ohram.control_bits
+    );
+}
+
 fn bench_shard_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("register_space_shard_scaling");
     g.sample_size(10);
@@ -1274,18 +1441,24 @@ fn main() {
         }
         rows.push(measure_mix("hotkey", 16, hold, CacheMode::Off));
     }
+    // The Oh-RAM half of the latency pair: the 16-shard static-hold
+    // read-mostly twin of the `measure_mix` row pushed above.
+    rows.push(measure_ohram_mix(HEAD_TO_HEAD.0, Hold::Static));
     rows.push(measure_tcp(16, 2, Hold::Static));
     rows.push(measure_tcp(16, 2, Hold::Adaptive));
+    rows.push(measure_ohram_tcp(16, 2, Hold::Static));
     rows.push(measure_reactor(16, 2, Hold::Static));
     rows.push(measure_reactor(16, 2, Hold::Adaptive));
-    let (twobit_row, mwmr_row) = measure_head_to_head();
+    let (twobit_row, mwmr_row, ohram_row) = measure_head_to_head();
     rows.push(twobit_row);
     rows.push(mwmr_row);
+    rows.push(ohram_row);
     rows.push(measure_recovery(16, 2));
     assert_adaptive_not_worse(&rows);
     assert_reactor_matches_tcp_bytes(&rows);
     assert_safe_cache_pays(&rows);
     assert_two_bit_beats_mwmr(&rows);
+    assert_ohram_trades_bits_for_latency(&rows);
     assert_recovery_is_free(&rows);
     let check_rows = measure_modelcheck();
     write_json(&rows, &check_rows);

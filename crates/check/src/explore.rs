@@ -84,6 +84,18 @@ pub struct ExploreOptions {
     pub deviation_bound: Option<usize>,
     /// Shrink the counterexample schedule by event elision on failure.
     pub minimize: bool,
+    /// Keep exploring past the settlement cut. By default a path ends
+    /// once every plan step has responded (or died with its process):
+    /// the operation history is then immutable, so the remaining network
+    /// drain cannot change the linearizability verdict. What it *can*
+    /// still change is automaton state — a late delivery absorbed after
+    /// the last response must not break a local invariant or complete a
+    /// ghost operation. With this knob on, settled paths stay open until
+    /// the enabled set is genuinely empty, interleaving the full
+    /// post-settlement drain (crash/recovery injection stays closed after
+    /// settlement — faults there cannot reach any checked property that
+    /// the drained deliveries do not already reach).
+    pub drain_after_settlement: bool,
 }
 
 impl Default for ExploreOptions {
@@ -93,6 +105,7 @@ impl Default for ExploreOptions {
             max_paths: 1_000_000,
             deviation_bound: None,
             minimize: true,
+            drain_after_settlement: false,
         }
     }
 }
@@ -362,6 +375,7 @@ fn make_node<A: Automaton>(
     budgets: Budgets,
     sleep: BTreeSet<ScheduleStep>,
     strategy: Strategy,
+    drain: bool,
 ) -> Node {
     // Whether a recovery could still fire somewhere down this path.
     let revivable = budgets.recovers_used < budgets.recover_budget && space.recovery_enabled();
@@ -371,8 +385,11 @@ fn make_node<A: Automaton>(
     // checked property and its interleavings would only pad the tree.
     // One exception: a plan step parked on a crashed process counts as
     // settled, but a recovery would make it runnable again — with budget
-    // left, such nodes stay open.
-    if space.plan_settled() && !(revivable && space.plan_waiting_on_crashed()) {
+    // left, such nodes stay open. With `drain_after_settlement` the cut
+    // moves: settled paths stay open until the network is empty, so late
+    // deliveries are themselves explored against the local invariants.
+    let settled = space.plan_settled() && !(revivable && space.plan_waiting_on_crashed());
+    if settled && !drain {
         return Node {
             choices: Vec::new(),
             backtrack: BTreeSet::new(),
@@ -411,8 +428,10 @@ fn make_node<A: Automaton>(
     let terminal = choices.is_empty() && !(revivable && space.plan_waiting_on_crashed());
     // Crash injection points: any live process, between any two events.
     // Not offered at terminal nodes — crashing after all operations
-    // completed cannot change any checked property.
-    if !terminal {
+    // completed cannot change any checked property — nor on drained
+    // post-settlement nodes, where a fault cannot reach anything the
+    // drained deliveries themselves do not.
+    if !terminal && !settled {
         let n = space.config().n();
         if budgets.crashes_used < budgets.crash_budget {
             for i in 0..n {
@@ -540,7 +559,13 @@ pub fn explore<A: Automaton>(
         recovers_used: 0,
         recover_budget: scenario.recover_budget,
     };
-    let mut stack: Vec<Node> = vec![make_node(&space, budgets, BTreeSet::new(), strategy)];
+    let mut stack: Vec<Node> = vec![make_node(
+        &space,
+        budgets,
+        BTreeSet::new(),
+        strategy,
+        opts.drain_after_settlement,
+    )];
     let mut failure: Option<(Schedule, String)> = None;
     let mut exhausted = opts.deviation_bound.is_none();
 
@@ -699,7 +724,13 @@ pub fn explore<A: Automaton>(
             node.fired = Some(ev);
             sleep
         };
-        stack.push(make_node(&space, budgets, child_sleep, strategy));
+        stack.push(make_node(
+            &space,
+            budgets,
+            child_sleep,
+            strategy,
+            opts.drain_after_settlement,
+        ));
     }
 
     let violation = match failure {

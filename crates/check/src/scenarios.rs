@@ -13,7 +13,7 @@
 //! the writer's own quorum, and the new/old inversion only has room to
 //! appear once two readers can see disjoint-but-intersecting quorums.
 
-use twobit_baselines::MwmrProcess;
+use twobit_baselines::{MwmrProcess, OhRamProcess};
 use twobit_cache::CacheMode;
 use twobit_core::{TwoBitOptions, TwoBitProcess};
 use twobit_proto::{Operation, ProcessId, RegisterId, RegisterMode, SystemConfig};
@@ -201,6 +201,45 @@ pub fn twobit_swmr_recover_no_fence_broken() -> Scenario<TwoBitProcess<u64>> {
     .mode(R, RegisterMode::Swmr)
     .crash_budget(1)
     .recover_budget(1)
+}
+
+/// The Oh-RAM fast-read automaton at `n = 3, t = 1`: the writer writes
+/// `1` while `p1` reads concurrently. The read may complete by either
+/// rule — a uniform fast quorum of direct acks, or the minimum over a
+/// quorum of relay acks — and the explorer drives both through every
+/// inequivalent interleaving of the n² relay traffic. Every schedule
+/// must linearize under the SWMR checker (Oh-RAM keeps the paper's
+/// single-writer correctness contract; only the delay budget differs).
+pub fn ohram_swmr_wr() -> Scenario<OhRamProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("ohram-swmr-wr/n3t1", move || {
+        scheduled_space(cfg, move |_reg, id| OhRamProcess::new(id, cfg, p(0), 0u64))
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(1), R, Operation::Read)
+    .mode(R, RegisterMode::OhRam)
+}
+
+/// Negative control: Oh-RAM with the server-relay step ablated
+/// ([`OhRamProcess::with_no_relay`]) — readers return the **maximum**
+/// over any quorum of direct acks without demanding timestamp
+/// uniformity, i.e. the one-round read of a protocol that forgot why the
+/// half round exists. The witness is a new/old inversion: `p1`'s read
+/// overlaps the write and returns `1` off a lone fresh ack, then `p2`'s
+/// later read sees a quorum that never absorbed the write and returns
+/// `0`. The explorer must find this at the minimum configuration,
+/// proving the relay round is load-bearing.
+pub fn ohram_no_relay_broken() -> Scenario<OhRamProcess<u64>> {
+    let cfg = SystemConfig::new(3, 1).expect("3 > 2·1");
+    Scenario::new("ohram-no-relay/n3t1", move || {
+        scheduled_space(cfg, move |_reg, id| {
+            OhRamProcess::with_no_relay(id, cfg, p(0), 0u64)
+        })
+    })
+    .op(p(0), R, Operation::Write(1))
+    .op(p(1), R, Operation::Read)
+    .op_after(p(2), R, Operation::Read, 1)
+    .mode(R, RegisterMode::OhRam)
 }
 
 /// The timestamp-based MWMR baseline at `n = 3, t = 1` with two

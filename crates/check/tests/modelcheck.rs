@@ -43,6 +43,28 @@ fn exhaustive_swmr_with_safe_read_cache_n3t1() {
 }
 
 #[test]
+fn exhaustive_ohram_writer_and_concurrent_reader_n3t1() {
+    let report = explore(&scenarios::ohram_swmr_wr(), &ExploreOptions::default()).unwrap();
+    assert!(
+        report.violation.is_none(),
+        "Oh-RAM linearizes on every schedule: {:?}",
+        report.violation
+    );
+    assert!(report.exhausted, "the configuration must be fully covered");
+    // The read fans out to n servers which each relay to all n, so even
+    // with the settlement cut (exploration stops once every planned op
+    // completed) the space must out-branch the two-bit write/read
+    // scenario. If this comes in small, the explorer is not actually
+    // driving the relay round.
+    assert!(
+        report.stats.paths_explored > 100,
+        "relay traffic must branch: {:?}",
+        report.stats
+    );
+    assert!(report.stats.replays > 0, "DFS backtracking must replay");
+}
+
+#[test]
 fn exhaustive_mwmr_two_concurrent_writers_n3t1() {
     let report = explore(&scenarios::mwmr_two_writer(), &ExploreOptions::default()).unwrap();
     assert!(
@@ -160,6 +182,44 @@ fn crash_and_rejoin_is_exhausted_and_stays_safe_n3t1() {
         "recovery branches must add paths: with={:?} without={:?}",
         report.stats,
         crash_report.stats
+    );
+}
+
+#[test]
+fn post_settlement_drain_is_explored_when_asked() {
+    // Closing the drain gap: by default, paths end at the settlement cut
+    // (every plan step responded), leaving late deliveries to the
+    // randomized tier. With `drain_after_settlement` the same n = 3,
+    // t = 1 scenario keeps each path open until the network is empty, so
+    // every post-settlement delivery interleaving is driven against the
+    // automata's local invariants — and the space must grow for real.
+    let drained = explore(
+        &scenarios::twobit_swmr_wr(),
+        &ExploreOptions {
+            drain_after_settlement: true,
+            max_paths: 2_000_000,
+            ..ExploreOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        drained.violation.is_none(),
+        "late deliveries must be harmless: {:?}",
+        drained.violation
+    );
+    assert!(drained.exhausted, "the drained space must be fully covered");
+    let cut = explore(&scenarios::twobit_swmr_wr(), &ExploreOptions::default()).unwrap();
+    assert!(
+        drained.stats.paths_explored > cut.stats.paths_explored,
+        "draining must widen the space: drained={:?} cut={:?}",
+        drained.stats,
+        cut.stats
+    );
+    assert!(
+        drained.stats.max_depth > cut.stats.max_depth,
+        "drained paths must run longer than the settlement cut: drained={:?} cut={:?}",
+        drained.stats,
+        cut.stats
     );
 }
 

@@ -476,7 +476,10 @@ pub fn check_sharded_modes<V: Clone + Eq + Hash>(
     for (reg, history) in sharded.iter() {
         let mode = modes.get(&reg).copied().unwrap_or_default();
         let verdict = match mode {
-            RegisterMode::Swmr => swmr::check(history)
+            // Oh-RAM keeps SWMR's writer discipline and correctness
+            // contract — only the read's message-delay budget differs — so
+            // its histories face the very same Lemma-10 fast procedure.
+            RegisterMode::Swmr | RegisterMode::OhRam => swmr::check(history)
                 .map(RegisterVerdict::Swmr)
                 .map_err(|v| ShardedModeViolation {
                     reg,

@@ -48,6 +48,12 @@ pub enum RegisterMode {
     /// checked by timestamp-order linearizability
     /// (`twobit_lincheck::check_mwmr`).
     Mwmr,
+    /// Single-writer multi-reader served by the Oh-RAM fast-read automaton
+    /// (arXiv 1610.08373): the writer discipline — and therefore the
+    /// checker — is exactly [`RegisterMode::Swmr`]'s Lemma-10 fast
+    /// procedure; what changes is the read's message-delay budget, not its
+    /// correctness contract.
+    OhRam,
 }
 
 impl fmt::Display for RegisterMode {
@@ -55,6 +61,7 @@ impl fmt::Display for RegisterMode {
         match self {
             RegisterMode::Swmr => write!(f, "swmr"),
             RegisterMode::Mwmr => write!(f, "mwmr"),
+            RegisterMode::OhRam => write!(f, "ohram"),
         }
     }
 }

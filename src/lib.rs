@@ -23,6 +23,14 @@
 //!
 //! ## Quickstart: one workload, two backends
 //!
+//! The paper's automaton ([`TwoBitProcess`]) is the default throughout,
+//! but registers are pluggable: the multi-writer ABD baseline
+//! ([`MwmrProcess`]) and the latency-optimal Oh-RAM hybrid read
+//! ([`OhRamProcess`], one round in the common case) host on every
+//! backend through the same builders. `docs/algorithms.md` lays out the
+//! three protocols' round/bit/generality trade-offs, the Oh-RAM wire
+//! layout, and which checker verdict applies to each mode.
+//!
 //! ```
 //! use twobit::{
 //!     Driver, Operation, ProcessId, RegisterId, SpaceBuilder, SystemConfig, TwoBitProcess,
@@ -332,7 +340,9 @@ pub use twobit_runtime as runtime;
 pub use twobit_simnet as simnet;
 pub use twobit_transport as transport;
 
-pub use twobit_baselines::{AbdProcess, MixedMsg, MixedProcess, MwmrProcess, PhasedProcess};
+pub use twobit_baselines::{
+    AbdProcess, MixedMsg, MixedProcess, MwmrProcess, OhRamProcess, PhasedProcess,
+};
 pub use twobit_cache::{CacheDecision, CacheMode};
 pub use twobit_core::{TwoBitOptions, TwoBitProcess};
 pub use twobit_proto::{

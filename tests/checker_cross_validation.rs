@@ -257,7 +257,7 @@ proptest! {
     #[test]
     fn mixed_layouts_with_crashes_pass_the_mode_dispatch(
         seed in any::<u64>(),
-        mode_bits in prop::collection::vec(any::<bool>(), 1..5),
+        mode_bits in prop::collection::vec(0u8..3, 1..5),
         crash_victims in prop::collection::vec(0usize..5, 0..3),
         crash_after in 0usize..10,
         rounds in 1usize..3,
@@ -266,7 +266,11 @@ proptest! {
         let cfg = SystemConfig::max_resilience(N); // t = 2
         let modes: Vec<RegisterMode> = mode_bits
             .iter()
-            .map(|&b| if b { RegisterMode::Mwmr } else { RegisterMode::Swmr })
+            .map(|&b| match b {
+                0 => RegisterMode::Swmr,
+                1 => RegisterMode::Mwmr,
+                _ => RegisterMode::OhRam,
+            })
             .collect();
         let writer_of = |reg: RegisterId| ProcessId::new(reg.index() % N);
         let mut sim = twobit::SpaceBuilder::new(cfg)
@@ -299,7 +303,7 @@ proptest! {
                 // Writers: the register's single writer, or (MWMR) two
                 // concurrent writers.
                 let writer_procs: Vec<usize> = match mode {
-                    RegisterMode::Swmr => vec![writer_of(reg).index()],
+                    RegisterMode::Swmr | RegisterMode::OhRam => vec![writer_of(reg).index()],
                     RegisterMode::Mwmr => vec![k % N, (k + 1) % N],
                 };
                 let mut tickets = Vec::new();

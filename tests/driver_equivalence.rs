@@ -9,9 +9,9 @@ use std::time::Duration;
 
 use twobit::lincheck::{check_mwmr_sharded, check_swmr_sharded};
 use twobit::{
-    CacheMode, ClusterBuilder, Driver, DriverError, FlushPolicy, Lifecycle, MwmrProcess, Operation,
-    ProcessId, ReactorClusterBuilder, RegisterId, SpaceBuilder, SystemConfig, TcpClusterBuilder,
-    TwoBitProcess, VirtualHold, Workload,
+    CacheMode, ClusterBuilder, Driver, DriverError, FlushPolicy, Lifecycle, MwmrProcess,
+    OhRamProcess, Operation, ProcessId, ReactorClusterBuilder, RegisterId, SpaceBuilder,
+    SystemConfig, TcpClusterBuilder, TwoBitProcess, VirtualHold, Workload,
 };
 
 const N: usize = 5;
@@ -777,6 +777,170 @@ fn crash_recover_rejoin_is_portable_across_all_four_backends() {
     let reactor_fp = run(&mut node, "reactor");
     assert_eq!(
         sim_fp, reactor_fp,
+        "reactor fingerprint diverges from simnet"
+    );
+}
+
+/// Oh-RAM workload: writes from each register's single writer plus enough
+/// overlapping readers that both of the read completion rules (the uniform
+/// fast quorum and the relayed minimum) see real traffic. Run pipelined so
+/// reads overlap writes and each other.
+fn ohram_workload() -> Workload<u64> {
+    let mut w = Workload::new();
+    for round in 0..6u64 {
+        for k in 0..REGISTERS {
+            let reg = RegisterId::new(k);
+            let writer = writer_of(reg);
+            w = w.step(writer, reg, Operation::Write(100 * (k as u64 + 1) + round));
+            // Three readers per register per round, rotating — including
+            // the writer itself reading its own register.
+            w = w.step((writer.index() + 1) % N, reg, Operation::Read);
+            w = w.step((writer.index() + 2) % N, reg, Operation::Read);
+            w = w.step(writer.index(), reg, Operation::Read);
+        }
+    }
+    w
+}
+
+/// Per-register history fingerprint: completed-op count, written-value
+/// sequence, and the multiset of read results. Interleavings legitimately
+/// differ across backends (virtual time vs real schedulers), so read
+/// results are compared as sorted multisets, not sequences.
+fn ohram_fingerprint(
+    hist: &twobit::proto::ShardedHistory<u64>,
+) -> Vec<(usize, Vec<u64>, Vec<u64>)> {
+    hist.iter()
+        .map(|(_, shard)| {
+            let writes: Vec<u64> = shard
+                .records
+                .iter()
+                .filter_map(|r| r.op.written_value().copied())
+                .collect();
+            let mut reads: Vec<u64> = shard
+                .reads()
+                .filter_map(|r| r.completed.as_ref().and_then(|(_, o)| o.read_value()))
+                .copied()
+                .collect();
+            reads.sort_unstable();
+            (shard.len(), writes, reads)
+        })
+        .collect()
+}
+
+/// The Oh-RAM automaton is a first-class citizen of every backend: the
+/// same workload runs identically on the deterministic simulator, the
+/// threaded runtime, real TCP and the reactor; every history passes the
+/// SWMR atomicity checker (Oh-RAM keeps the single-writer contract); the
+/// per-register fingerprints agree; and message accounting reconciles
+/// *exactly* — `delivered + dropped + abandoned == sent` — even with the
+/// n² relay traffic in flight at shutdown.
+#[test]
+fn ohram_workload_runs_on_all_four_backends() {
+    let cfg = cfg();
+    let w = ohram_workload();
+
+    let check = |label: &str, hist: &twobit::proto::ShardedHistory<u64>| {
+        assert_eq!(hist.len(), REGISTERS, "{label}: register count");
+        assert_eq!(hist.total_ops(), w.len(), "{label}: op count");
+        let verdicts =
+            check_swmr_sharded(hist).unwrap_or_else(|e| panic!("{label}: not atomic: {e}"));
+        for (reg, verdict) in &verdicts {
+            assert_eq!(verdict.writes, 6, "{label}: {reg} writes");
+            assert_eq!(verdict.reads_checked, 18, "{label}: {reg} reads");
+        }
+    };
+
+    let mut sim = SpaceBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .wire_codec(true)
+        .build(0u64, |reg, id| {
+            OhRamProcess::new(id, cfg, writer_of(reg), 0u64)
+        });
+    w.run_pipelined_on(&mut sim).unwrap();
+    check("simnet/ohram", &sim.history());
+    // Drain trailing relay traffic before reconciling delivery accounting.
+    sim.run_to_quiescence().unwrap();
+    let sim_stats = sim.stats();
+    assert_eq!(
+        sim_stats.total_delivered() + sim_stats.dropped_to_crashed(),
+        sim_stats.total_sent(),
+        "simnet/ohram: delivered + dropped == sent"
+    );
+    let sim_fp = ohram_fingerprint(&sim.history());
+
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(7)
+        .registers(REGISTERS)
+        .wire_codec(true)
+        .build_sharded(0u64, |reg, id| {
+            OhRamProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .unwrap();
+    w.run_pipelined_on(&mut cluster).unwrap();
+    check("runtime/ohram", &Driver::history(&cluster));
+    let rt_fp = ohram_fingerprint(&Driver::history(&cluster));
+
+    let mut tcp = TcpClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            OhRamProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback TCP cluster starts");
+    w.run_pipelined_on(&mut tcp).unwrap();
+    check("tcp/ohram", &Driver::history(&tcp));
+    let tcp_fp = ohram_fingerprint(&Driver::history(&tcp));
+    let (_, tcp_stats) = tcp.shutdown();
+    assert!(
+        tcp_stats.wire_bytes() > 0,
+        "tcp/ohram: real bytes on real sockets"
+    );
+    assert_eq!(
+        tcp_stats.total_delivered()
+            + tcp_stats.dropped_to_crashed()
+            + tcp_stats.messages_abandoned(),
+        tcp_stats.total_sent(),
+        "tcp/ohram: delivered + dropped + abandoned == sent"
+    );
+
+    let mut node = ReactorClusterBuilder::new(cfg)
+        .registers(REGISTERS)
+        .build_sharded(0u64, |reg, id| {
+            OhRamProcess::new(id, cfg, writer_of(reg), 0u64)
+        })
+        .expect("loopback reactor cluster starts");
+    w.run_pipelined_on(&mut node).unwrap();
+    check("reactor/ohram", &Driver::history(&node));
+    let reactor_fp = ohram_fingerprint(&Driver::history(&node));
+    let (_, node_stats) = node.shutdown();
+    assert_eq!(
+        node_stats.total_delivered()
+            + node_stats.dropped_to_crashed()
+            + node_stats.messages_abandoned(),
+        node_stats.total_sent(),
+        "reactor/ohram: delivered + dropped + abandoned == sent"
+    );
+
+    // Writes are fixed by the script, so the write sequences must agree
+    // verbatim everywhere; read multisets must agree because every read
+    // returns some written (or initial) value of a single-writer history
+    // with per-script determinism in what was written.
+    let writes_only = |fp: &[(usize, Vec<u64>, Vec<u64>)]| -> Vec<(usize, Vec<u64>)> {
+        fp.iter().map(|(n, w, _)| (*n, w.clone())).collect()
+    };
+    assert_eq!(
+        writes_only(&sim_fp),
+        writes_only(&rt_fp),
+        "runtime fingerprint diverges from simnet"
+    );
+    assert_eq!(
+        writes_only(&sim_fp),
+        writes_only(&tcp_fp),
+        "tcp fingerprint diverges from simnet"
+    );
+    assert_eq!(
+        writes_only(&sim_fp),
+        writes_only(&reactor_fp),
         "reactor fingerprint diverges from simnet"
     );
 }

@@ -459,6 +459,52 @@ fn model_checker_catches_gate_ablated_read_cache() {
     );
 }
 
+/// The model checker's teeth, Oh-RAM: ablating the server-relay half
+/// round (readers return the maximum over any quorum of direct acks,
+/// uniformity not demanded) must be caught by exploration at `n = 3,
+/// t = 1`. The witness is a new/old inversion: `p1`'s overlapping read
+/// returns the in-flight `1` off a lone fresh ack while a quorum still
+/// holds `0`, and `p2`'s strictly-later read returns `0`. The minimized
+/// counterexample must round-trip through its string form and replay
+/// *verbatim* (strict — every step fires) to the same violation,
+/// proving the relay round — not luck — is what makes the fast read
+/// atomic.
+#[test]
+fn model_checker_catches_ablated_ohram_relay() {
+    use twobit::check::{explore, scenarios, ExploreOptions};
+    use twobit::lincheck::check_sharded_modes;
+    use twobit::proto::{ReplayScheduler, Schedule};
+    use twobit::Driver;
+
+    let scenario = scenarios::ohram_no_relay_broken();
+    let report = explore(&scenario, &ExploreOptions::default()).expect("exploration runs");
+    let cx = report.violation.expect("the relay ablation must be caught");
+    assert!(
+        cx.reason.contains("inversion"),
+        "wrong verdict: {}",
+        cx.reason
+    );
+    // Minimized: the write's invoke, both reads' invoke/respond pairs,
+    // and just the handful of acks that build the fresh singleton and
+    // the stale quorum.
+    assert!(
+        cx.schedule.len() <= 16,
+        "counterexample not minimal: {} ({} steps)",
+        cx.schedule,
+        cx.schedule.len()
+    );
+
+    // Round-trip through the string form and replay strictly.
+    let parsed: Schedule = cx.schedule.to_string().parse().expect("schedule parses");
+    let mut space = scenario.build();
+    space
+        .run_scheduled(&mut ReplayScheduler::strict(&parsed))
+        .expect("a minimized counterexample replays verbatim");
+    let err = check_sharded_modes(&space.history(), &scenario.modes)
+        .expect_err("the replay reproduces the violation");
+    assert!(err.to_string().contains("inversion"), "{err}");
+}
+
 /// The model checker's teeth, MWMR: a replica that acknowledges update
 /// messages without absorbing them lets a write "complete" on a stale
 /// quorum — plain DPOR exploration at `n = 3, t = 1` must find the stale

@@ -10,6 +10,7 @@ use proptest::prelude::*;
 use twobit::baselines::abd::AbdMsg;
 use twobit::baselines::mwmr::{MwmrMsg, Timestamp};
 use twobit::baselines::naive::NaiveMsg;
+use twobit::baselines::ohram::OhRamMsg;
 use twobit::baselines::phased::{Padded, PhasedMsg};
 use twobit::core::msg::{Parity, TwoBitMsg};
 use twobit::proto::bits::{BitReader, BitWriter, WireError};
@@ -127,6 +128,32 @@ fn mwmr_msg() -> impl Strategy<Value = MwmrMsg<u64>> {
             value
         }),
         (0..MAX_CTR).prop_map(|rid| MwmrMsg::UpdateAck { rid }),
+    ]
+}
+
+fn ohram_msg() -> impl Strategy<Value = OhRamMsg<u64>> {
+    prop_oneof![
+        (0..MAX_CTR, any::<u64>()).prop_map(|(seq, value)| OhRamMsg::Write { seq, value }),
+        (0..MAX_CTR).prop_map(|seq| OhRamMsg::WriteAck { seq }),
+        (0..MAX_CTR).prop_map(|rid| OhRamMsg::Read { rid }),
+        (0..MAX_CTR, 0..MAX_CTR, any::<u64>()).prop_map(|(rid, ts, value)| OhRamMsg::ReadAck {
+            rid,
+            ts,
+            value
+        }),
+        (0u32..1024, 0..MAX_CTR, 0..MAX_CTR, any::<u64>()).prop_map(|(reader, rid, ts, value)| {
+            OhRamMsg::Relay {
+                reader,
+                rid,
+                ts,
+                value,
+            }
+        }),
+        (0..MAX_CTR, 0..MAX_CTR, any::<u64>()).prop_map(|(rid, ts, value)| OhRamMsg::RelayAck {
+            rid,
+            ts,
+            value
+        }),
     ]
 }
 
@@ -280,6 +307,68 @@ proptest! {
         for cut in 0..blob.len() {
             prop_assert!(
                 Frame::<MwmrMsg<u64>>::decode(&blob[..cut]).is_err(),
+                "truncation at byte {cut} of {} must fail",
+                blob.len()
+            );
+        }
+    }
+
+    /// Every `OhRamMsg` variant round-trips bit-exactly: tag plus
+    /// γ-coded fields in, the same message out, cursor landing exactly
+    /// at `encoded_bits`.
+    #[test]
+    fn ohram_messages_roundtrip(msg in ohram_msg()) {
+        roundtrip_msg(&msg);
+        // The wire carries at least the modeled control budget: the tag
+        // and γ-coded counters are control, the 64-bit payload is data.
+        let cost = msg.cost();
+        prop_assert!(msg.encoded_bits() >= cost.control_bits);
+    }
+
+    /// Oh-RAM frames on the register-tagged path: arbitrary multisets of
+    /// `OhRamMsg` across registers coalesce into one frame whose blob
+    /// reconciles byte-for-byte with `FrameCost` (`roundtrip_frame`
+    /// checks `blob.len() == 4 + ⌈(header + Σ encoded_bits)/8⌉` and the
+    /// control/data split) and decodes back to the same messages.
+    #[test]
+    fn ohram_frames_roundtrip_and_reconcile(
+        envs in prop::collection::vec((0usize..64, ohram_msg()), 0..32),
+    ) {
+        let envs: Vec<Envelope<OhRamMsg<u64>>> = envs
+            .into_iter()
+            .map(|(reg, m)| Envelope::new(RegisterId::new(reg), m))
+            .collect();
+        roundtrip_frame(envs, 64);
+    }
+
+    /// Truncation fuzzing at the γ-coded timestamp boundary: frames of
+    /// timestamp-bearing Oh-RAM messages (`ReadAck` / `Relay` /
+    /// `RelayAck`, whose `ts` is γ-coded right before the fixed-width
+    /// value) are cut at **every** byte position and every cut must
+    /// surface a typed decode error, never a panic or a silently
+    /// shortened frame.
+    #[test]
+    fn truncated_ohram_frames_are_typed_errors(
+        tagged in prop::collection::vec(
+            (0usize..64, 0..MAX_CTR, 0..MAX_CTR, any::<u64>(), 0u8..3),
+            1..12,
+        ),
+    ) {
+        let envs: Vec<Envelope<OhRamMsg<u64>>> = tagged
+            .into_iter()
+            .map(|(reg, rid, ts, value, pick)| {
+                let msg = match pick {
+                    0 => OhRamMsg::ReadAck { rid, ts, value },
+                    1 => OhRamMsg::Relay { reader: (reg % 5) as u32, rid, ts, value },
+                    _ => OhRamMsg::RelayAck { rid, ts, value },
+                };
+                Envelope::new(RegisterId::new(reg), msg)
+            })
+            .collect();
+        let blob = Frame::from_envelopes(envs).encode().unwrap();
+        for cut in 0..blob.len() {
+            prop_assert!(
+                Frame::<OhRamMsg<u64>>::decode(&blob[..cut]).is_err(),
                 "truncation at byte {cut} of {} must fail",
                 blob.len()
             );
